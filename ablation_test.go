@@ -1,0 +1,216 @@
+package dcfail
+
+// Ablation studies: each test switches off one mechanism the paper blames
+// for a finding and checks the finding weakens or disappears — evidence
+// that the simulator reproduces the paper through the claimed causes
+// rather than by accident.
+
+import (
+	"testing"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/inject"
+)
+
+// TestAblationWorkloadGate: the paper attributes Hypotheses 1–2 (failures
+// not uniform over weekdays/hours) to workload-gated, log-based detection.
+// Miscellaneous tickets are the cleanest probe — they are human-filed and
+// carry no batch-window structure.
+func TestAblationWorkloadGate(t *testing.T) {
+	run := func(gate bool) *core.HourOfDayResult {
+		p := fleetgen.SmallProfile()
+		p.WorkloadGate = gate
+		res, err := fms.Run(p, fms.DefaultConfig(), 321)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hod, err := core.HourOfDay(res.Trace, fot.Misc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hod
+	}
+	gated := run(true)
+	flat := run(false)
+	if !gated.Test.Reject(0.01) {
+		t.Errorf("with the gate, H2 should be rejected: %v", gated.Test)
+	}
+	if flat.Test.Reject(0.01) {
+		t.Errorf("without the gate, H2 should not be rejected: %v", flat.Test)
+	}
+	t.Logf("hour-of-day X²: gated %.0f vs ungated %.0f", gated.Test.Stat, flat.Test.Stat)
+}
+
+// TestAblationBatchFailures: the paper blames the TBF's failure to fit
+// any classic distribution (Hypothesis 3) on batch failures. Removing the
+// batch injectors must shrink the exponential misfit dramatically and
+// empty Table V.
+func TestAblationBatchFailures(t *testing.T) {
+	run := func(withBatch bool) (*core.TBFResult, *core.BatchFrequencyResult) {
+		p := fleetgen.SmallProfile()
+		if !withBatch {
+			p.NewInjectors = func() []inject.Injector { return nil }
+		}
+		res, err := fms.Run(p, fms.DefaultConfig(), 654)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbf, err := core.TBFAnalysis(res.Trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := core.BatchFrequency(res.Trace, []int{10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbf, bf
+	}
+	withBatch, bfWith := run(true)
+	noBatch, bfNo := run(false)
+
+	ksWith := fitKS(t, withBatch, "exponential")
+	ksNo := fitKS(t, noBatch, "exponential")
+	t.Logf("exponential KS: with batches %.4f, without %.4f", ksWith, ksNo)
+	if !(ksNo < ksWith*0.55) {
+		t.Errorf("removing batches should slash the exponential misfit: %.4f -> %.4f", ksWith, ksNo)
+	}
+
+	// Calibration reallocates the whole HDD budget to the baseline when
+	// batches are off, so daily counts still clear low thresholds from
+	// Poisson noise; the batch signature is the drop, not a zero.
+	r10With := batchR(bfWith, fot.HDD, 10)
+	r10No := batchR(bfNo, fot.HDD, 10)
+	t.Logf("HDD r10: with batches %.3f, without %.3f", r10With, r10No)
+	if !(r10No < r10With*0.75) {
+		t.Errorf("batch days should drop without injection: %.3f -> %.3f", r10With, r10No)
+	}
+}
+
+// TestAblationPerfectRepair: §III-D and §V-C blame repeating and
+// synchronized failures on ineffective repairs. With perfect repair
+// (no organic recurrences, no planted repeat groups) the repeat
+// statistics and the per-server concentration must collapse.
+func TestAblationPerfectRepair(t *testing.T) {
+	run := func(perfect bool) (*core.RepeatResult, *core.ServerSkewResult) {
+		p := fleetgen.SmallProfile()
+		cfg := fms.DefaultConfig()
+		if perfect {
+			cfg.RepeatProb = 0
+			p.NewInjectors = func() []inject.Injector {
+				return []inject.Injector{
+					&inject.HDDBatch{
+						MeanLog: 1.2, SigmaLog: 1.0, MinSize: 6, MaxCohortFrac: 0.6,
+						AgeWeight: inject.DefaultHDDAgeWeight,
+					},
+					&inject.PDUOutage{RatePerYear: 3, ServersPerPDU: 30, FanFollowProb: 0.07},
+					&inject.CorrelatedPairs{RatePer10kServerYears: 85, Weights: inject.TableVIWeights()},
+				}
+			}
+		}
+		res, err := fms.Run(p, cfg, 987)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.RepeatAnalysis(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := core.ServerSkew(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, sk
+	}
+	baseRep, baseSkew := run(false)
+	perfRep, perfSkew := run(true)
+
+	// Same-slot batch re-hits still register as repeats under the paper's
+	// metric, so the fraction drops rather than vanishes.
+	t.Logf("repeat-server fraction: baseline %.4f, perfect repair %.4f",
+		baseRep.RepeatServerFraction, perfRep.RepeatServerFraction)
+	if !(perfRep.RepeatServerFraction < baseRep.RepeatServerFraction*0.9) {
+		t.Error("perfect repair should reduce the repeat-server fraction")
+	}
+	if !(perfRep.NeverRepeatFraction > baseRep.NeverRepeatFraction) {
+		t.Error("perfect repair should raise the never-repeat fraction")
+	}
+	t.Logf("busiest server tickets: baseline %d, perfect repair %d",
+		baseSkew.MaxOneServer, perfSkew.MaxOneServer)
+	if perfSkew.MaxOneServer >= 100 {
+		t.Errorf("chronic server survived perfect repair: %d tickets", perfSkew.MaxOneServer)
+	}
+	if !(perfSkew.TopShare[0.02] < baseSkew.TopShare[0.02]) {
+		t.Error("perfect repair should thin the Fig. 7 tail")
+	}
+}
+
+func fitKS(t *testing.T, r *core.TBFResult, family string) float64 {
+	t.Helper()
+	for _, f := range r.Fits {
+		if f.Dist.Name() == family {
+			if f.Err != nil {
+				t.Fatalf("%s fit failed: %v", family, f.Err)
+			}
+			return f.KS
+		}
+	}
+	t.Fatalf("no %s fit in result", family)
+	return 0
+}
+
+func batchR(bf *core.BatchFrequencyResult, c fot.Component, th int) float64 {
+	for _, row := range bf.Rows {
+		if row.Component == c {
+			return row.R[th]
+		}
+	}
+	return 0
+}
+
+// TestAblationWarranty: Table I's D_error share is not a free parameter —
+// it emerges from warranty expiry meeting the fleet's age mix. Extending
+// the warranty must shrink it.
+func TestAblationWarranty(t *testing.T) {
+	share := func(years int) float64 {
+		p := fleetgen.SmallProfile()
+		p.FleetSpec.WarrantyYears = years
+		res, err := fms.Run(p, fms.DefaultConfig(), 111)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := res.Trace.CountByCategory()
+		return float64(counts[fot.Error]) / float64(res.Trace.Len())
+	}
+	short := share(2)
+	long := share(5)
+	t.Logf("D_error share: 2y warranty %.3f, 5y warranty %.3f", short, long)
+	if !(long < short*0.7) {
+		t.Errorf("longer warranty should slash the out-of-warranty share: %.3f -> %.3f", short, long)
+	}
+}
+
+// TestAblationCoverageRamp: rolling the FMS out during the window (the
+// paper's §VIII limitation) suppresses early-window tickets, bending the
+// yearly trend — the reason the paper cautions about cross-year claims.
+func TestAblationCoverageRamp(t *testing.T) {
+	firstYearShare := func(cfg fms.Config) float64 {
+		res, err := fms.Run(fleetgen.SmallProfile(), cfg, 222)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _, _ := res.Trace.Span()
+		early := res.Trace.Between(lo, lo.AddDate(1, 0, 0)).Len()
+		return float64(early) / float64(res.Trace.Len())
+	}
+	full := firstYearShare(fms.DefaultConfig())
+	ramp := fms.DefaultConfig()
+	ramp.CoverageStart, ramp.CoverageEnd = 0.4, 1.0
+	partial := firstYearShare(ramp)
+	t.Logf("first-year ticket share: full coverage %.3f, rollout %.3f", full, partial)
+	if !(partial < full) {
+		t.Error("coverage rollout should starve the first year")
+	}
+}

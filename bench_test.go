@@ -1,0 +1,275 @@
+package dcfail
+
+// Benchmark harness: one benchmark per paper table and figure, each
+// running its analysis over the shared paper-scale trace (≈260k tickets,
+// ≈124k servers, four years). `go test -bench=. -benchmem` therefore
+// regenerates the entire evaluation; the printed rows live in
+// cmd/fotreport and the paper-vs-measured record in EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/inject"
+)
+
+// BenchmarkGenerateSmall measures the full pipeline (fleet build,
+// injection, calibration, baseline sampling, FMS) at test scale.
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkGeneratePaper measures the pipeline at paper scale.
+func BenchmarkGeneratePaper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := fms.Run(fleetgen.PaperProfile(), fms.DefaultConfig(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CategoryBreakdown(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComponentBreakdown(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+			if _, err := core.TypeBreakdown(res.Trace, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DayOfWeek(res.Trace, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HourOfDay(res.Trace, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.TBFAnalysis(res.Trace, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AllRejected(0.05) {
+			b.Fatal("hypothesis 3 unexpectedly retained")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	res, cen := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
+			if _, err := core.LifecycleRates(res.Trace, cen, c, 48); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ServerSkew(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepeats(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RepeatAnalysis(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	res, cen := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RackAnalysis(res.Trace, cen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	res, cen := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, idc := range []string{"dc01", "dc02"} {
+			if _, err := core.RackPositions(res.Trace, cen, idc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BatchFrequency(res.Trace, []int{100, 200, 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchWindows(b *testing.B) {
+	res, cen := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eps, err := core.BatchWindows(res.Trace, cen, 30*time.Minute, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(eps) == 0 {
+			b.Fatal("no episodes")
+		}
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CorrelatedPairs(res.Trace, 24*time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SyncRepeatGroups(res.Trace, 2*time.Minute, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ResponseTimes(res.Trace, fot.Fixing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ResponseTimesByClass(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	res, _ := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ProductLineRT(res.Trace, fot.HDD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoWorkloadGate measures the generation pipeline with
+// uniform (ungated) detection times — the Hypothesis 1/2 ablation.
+func BenchmarkAblationNoWorkloadGate(b *testing.B) {
+	p := fleetgen.SmallProfile()
+	p.WorkloadGate = false
+	for i := 0; i < b.N; i++ {
+		if _, err := fms.Run(p, fms.DefaultConfig(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoBatch measures generation without correlated-failure
+// injection — the Hypothesis 3 / Table V ablation.
+func BenchmarkAblationNoBatch(b *testing.B) {
+	p := fleetgen.SmallProfile()
+	p.NewInjectors = func() []inject.Injector { return nil }
+	for i := 0; i < b.N; i++ {
+		if _, err := fms.Run(p, fms.DefaultConfig(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPerfectRepair measures generation with RepeatProb 0 —
+// the §III-D ablation.
+func BenchmarkAblationPerfectRepair(b *testing.B) {
+	cfg := fms.DefaultConfig()
+	cfg.RepeatProb = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := fms.Run(fleetgen.SmallProfile(), cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

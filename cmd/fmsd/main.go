@@ -1,0 +1,182 @@
+// Command fmsd runs the networked failure management system (paper
+// Fig. 1): a TCP collector that accepts agent failure reports and
+// operator commands as JSON lines, with optional live batch alerts and
+// an on-disk ticket archive.
+//
+//	fmsd -listen 127.0.0.1:7070 -archive /var/lib/fms
+//
+// With -selftest, fmsd also generates a small synthetic trace, replays it
+// through an agent connection, runs the automated operator loop until the
+// pool drains, prints pool statistics (and any batch alerts raised on the
+// way), and exits — a one-command end-to-end demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fmsnet"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fmsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fmsd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "collector listen address")
+	selftest := fs.Bool("selftest", false, "replay a generated trace through the collector and exit")
+	seed := fs.Int64("seed", 1, "selftest generation seed")
+	limit := fs.Int("limit", 2000, "selftest: number of tickets to replay")
+	archiveDir := fs.String("archive", "", "archive collected tickets into this directory on shutdown")
+	alertWindow := fs.Duration("alert-window", 3*time.Hour, "batch alert sliding window")
+	alertThreshold := fs.Int("alert-threshold", 20, "batch alert distinct-server threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	collector, err := fmsnet.NewCollector(*listen)
+	if err != nil {
+		return err
+	}
+	collector.EnableBatchAlerts(
+		mine.NewBatchDetector(*alertWindow, *alertThreshold),
+		func(a mine.BatchAlert) { fmt.Println("fmsd:", a.String()) },
+	)
+	fmt.Printf("fmsd: collecting on %s\n", collector.Addr())
+
+	shutdown := func() error {
+		cerr := collector.Close()
+		if *archiveDir == "" {
+			return cerr
+		}
+		arch, err := archive.Open(*archiveDir, 0)
+		if err != nil {
+			return err
+		}
+		tr := collector.Trace()
+		if err := arch.AppendTrace(tr); err != nil {
+			arch.Close()
+			return err
+		}
+		if err := arch.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("fmsd: archived %d tickets into %s\n", tr.Len(), *archiveDir)
+		return cerr
+	}
+
+	if *selftest {
+		if err := runSelftest(collector, *seed, *limit); err != nil {
+			collector.Close()
+			return err
+		}
+		return shutdown()
+	}
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("fmsd: shutting down")
+	return shutdown()
+}
+
+func runSelftest(collector *fmsnet.Collector, seed int64, limit int) error {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+
+	// Automated operator reviewing the pool in the background.
+	stop := make(chan struct{})
+	opDone := make(chan error, 1)
+	var closed int
+	go func() {
+		cfg := fmsnet.DefaultOperatorConfig()
+		cfg.Interval = 50 * time.Millisecond
+		var err error
+		closed, err = fmsnet.RunOperator(collector.Addr(), cfg, stop)
+		opDone <- err
+	}()
+
+	// One agent replays the simulated tickets over the wire.
+	reports := make(chan *fmsnet.Report, 256)
+	agentDone := make(chan error, 1)
+	var stats *fmsnet.AgentStats
+	go func() {
+		var err error
+		stats, err = fmsnet.RunAgent(collector.Addr(), reports, fmsnet.DefaultAgentConfig())
+		agentDone <- err
+	}()
+	n := 0
+	for _, tk := range res.Trace.Tickets {
+		if n >= limit {
+			break
+		}
+		reports <- ticketToReport(tk)
+		n++
+	}
+	close(reports)
+	if err := <-agentDone; err != nil {
+		close(stop)
+		<-opDone
+		return fmt.Errorf("agent: %w", err)
+	}
+	close(stop)
+	if err := <-opDone; err != nil {
+		return fmt.Errorf("operator: %w", err)
+	}
+
+	operator, err := fmsnet.Dial(collector.Addr())
+	if err != nil {
+		return err
+	}
+	defer operator.Close()
+	poolStats, err := operator.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fmsd selftest: agent sent %d (retries %d), operator closed %d, pool=%+v\n",
+		stats.Sent, stats.Retries, closed, *poolStats)
+	if poolStats.Open != 0 {
+		return fmt.Errorf("selftest left %d tickets open", poolStats.Open)
+	}
+	exported := collector.Trace()
+	if err := exported.Validate(); err != nil {
+		return fmt.Errorf("exported trace invalid: %w", err)
+	}
+	fmt.Printf("fmsd selftest: exported trace of %d tickets validates\n", exported.Len())
+	return nil
+}
+
+func ticketToReport(tk fot.Ticket) *fmsnet.Report {
+	return &fmsnet.Report{
+		HostID:      tk.HostID,
+		Hostname:    tk.Hostname,
+		IDC:         tk.IDC,
+		Rack:        tk.Rack,
+		Position:    tk.Position,
+		Device:      tk.Device.String(),
+		Slot:        tk.Slot,
+		Type:        tk.Type,
+		Time:        tk.Time,
+		Detail:      tk.Detail,
+		ProductLine: tk.ProductLine,
+		DeployTime:  tk.DeployTime,
+		Model:       tk.Model,
+		InWarranty:  tk.Category.String() != "D_error",
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/archive"
+)
+
+func TestSelftest(t *testing.T) {
+	err := run([]string{"-listen", "127.0.0.1:0", "-selftest", "-limit", "200", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-listen", "not-an-addr"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestSelftestWithArchive(t *testing.T) {
+	dir := t.TempDir() + "/arch"
+	err := run([]string{"-listen", "127.0.0.1:0", "-selftest", "-limit", "150", "-seed", "3", "-archive", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 150 {
+		t.Errorf("archived %d tickets, want 150", tr.Len())
+	}
+}

@@ -1,0 +1,104 @@
+// Command fotgen generates a synthetic failure-operation-ticket trace with
+// the dcfail simulator and writes it to CSV or JSON-lines.
+//
+// Usage:
+//
+//	fotgen -profile small -seed 1 -format csv -out trace.csv
+//	fotgen -profile paper -seed 42 -format jsonl -out trace.jsonl
+//
+// The same (profile, seed) pair always produces the same trace, so
+// downstream tools (fotreport) can rebuild the matching fleet census
+// deterministically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fotgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fotgen", flag.ContinueOnError)
+	profileName := fs.String("profile", "small", "generation profile: small | paper")
+	seed := fs.Int64("seed", 1, "deterministic generation seed")
+	format := fs.String("format", "csv", "output format: csv | jsonl")
+	out := fs.String("out", "", "output file (default stdout)")
+	archiveDir := fs.String("archive", "", "write into a segmented ticket archive directory instead of a flat file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := profileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	res, err := fms.Run(profile, fms.DefaultConfig(), *seed)
+	if err != nil {
+		return err
+	}
+	if *archiveDir != "" {
+		arch, err := archive.Open(*archiveDir, 0)
+		if err != nil {
+			return err
+		}
+		if err := arch.AppendTrace(res.Trace); err != nil {
+			arch.Close()
+			return err
+		}
+		if err := arch.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fotgen: archived %d tickets into %s (%d segments)\n",
+			res.Trace.Len(), *archiveDir, len(arch.Segments()))
+		return nil
+	}
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = res.Trace.WriteCSV(w)
+	case "jsonl":
+		err = res.Trace.WriteJSONL(w)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fotgen: %d tickets from %d servers (profile %s, seed %d)\n",
+		res.Trace.Len(), res.Fleet.NumServers(), profile.Name, *seed)
+	return nil
+}
+
+func profileByName(name string) (fleetgen.Profile, error) {
+	switch name {
+	case "small":
+		return fleetgen.SmallProfile(), nil
+	case "paper":
+		return fleetgen.PaperProfile(), nil
+	default:
+		return fleetgen.Profile{}, fmt.Errorf("unknown profile %q (want small or paper)", name)
+	}
+}

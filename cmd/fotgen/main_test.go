@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/fot"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-profile", "small", "-seed", "3", "-out", out}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := fot.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 1000 {
+		t.Errorf("trace has only %d tickets", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWritesJSONLToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "small", "-seed", "3", "-format", "jsonl"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fot.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 1000 {
+		t.Errorf("trace has only %d tickets", tr.Len())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "9", "-format", "csv"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9", "-format", "csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus"},
+		{"-format", "xml"},
+		{"-out", filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv")},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunArchiveMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	if err := run([]string{"-profile", "small", "-seed", "3", "-archive", dir}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 1000 {
+		t.Errorf("archive holds only %d tickets", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command fotmine runs the §VII-B mining layer over a ticket trace: the
+// related-information report for a specific ticket, the fleet-wide
+// temporal association rules, and the §VII-A early-warning predictor
+// scorecard.
+//
+//	fotmine -trace trace.csv -ticket 1234      # context for one FOT
+//	fotmine -trace trace.csv -rules            # association rules
+//	fotmine -trace trace.csv -predict -horizon 240h
+//	fotmine -profile small -seed 1 -rules      # in-memory trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fotmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fotmine", flag.ContinueOnError)
+	profileName := fs.String("profile", "small", "generation profile when no trace file is given: small | paper")
+	seed := fs.Int64("seed", 1, "deterministic generation seed")
+	tracePath := fs.String("trace", "", "trace file from fotgen (csv or jsonl by extension)")
+	ticketID := fs.Uint64("ticket", 0, "print the related-information context for this ticket id")
+	rules := fs.Bool("rules", false, "mine temporal association rules")
+	predict := fs.Bool("predict", false, "score the warning-based failure predictor")
+	chronic := fs.Bool("chronic", false, "rank the worst repeat-flapping servers")
+	horizon := fs.Duration("horizon", 10*24*time.Hour, "predictor horizon / rule window scale")
+	minSupport := fs.Int("min-support", 3, "rules: minimum supporting servers")
+	minLift := fs.Float64("min-lift", 3.0, "rules: minimum temporal lift")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ticketID == 0 && !*rules && !*predict && !*chronic {
+		return fmt.Errorf("nothing to do: pass -ticket, -rules, -predict and/or -chronic")
+	}
+
+	var trace *fot.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*tracePath, ".jsonl") {
+			trace, err = fot.ReadJSONL(f)
+		} else {
+			trace, err = fot.ReadCSV(f)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		var profile fleetgen.Profile
+		switch *profileName {
+		case "small":
+			profile = fleetgen.SmallProfile()
+		case "paper":
+			profile = fleetgen.PaperProfile()
+		default:
+			return fmt.Errorf("unknown profile %q (want small or paper)", *profileName)
+		}
+		res, err := fms.Run(profile, fms.DefaultConfig(), *seed)
+		if err != nil {
+			return err
+		}
+		trace = res.Trace
+	}
+
+	if *ticketID != 0 {
+		ix, err := mine.NewIndex(trace)
+		if err != nil {
+			return err
+		}
+		ctx, err := ix.Contextualize(*ticketID)
+		if err != nil {
+			return err
+		}
+		if err := report.TicketContext(w, ctx); err != nil {
+			return err
+		}
+	}
+	if *rules {
+		mined, err := mine.MineRules(trace, 24*time.Hour, *minSupport, *minLift)
+		if err != nil {
+			return err
+		}
+		if err := report.MiningRules(w, mined, 20); err != nil {
+			return err
+		}
+	}
+	if *predict {
+		eval, err := mine.EvaluateWarningPredictor(trace, *horizon)
+		if err != nil {
+			return err
+		}
+		if err := report.PredictorEval(w, eval); err != nil {
+			return err
+		}
+	}
+	if *chronic {
+		top, err := mine.ChronicServers(trace, 15, 3)
+		if err != nil {
+			return err
+		}
+		if err := report.ChronicServers(w, top); err != nil {
+			return err
+		}
+	}
+	return nil
+}

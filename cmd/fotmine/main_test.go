@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+)
+
+func TestRunRulesAndPredict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "small", "-seed", "6", "-rules", "-predict"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "association rules") {
+		t.Errorf("missing rules section:\n%s", out)
+	}
+	if !strings.Contains(out, "recall") {
+		t.Errorf("missing predictor section:\n%s", out)
+	}
+}
+
+func TestRunTicketContextFromFile(t *testing.T) {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-ticket", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ticket 100:") {
+		t.Errorf("missing context:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{}, // nothing to do
+		{"-profile", "bogus", "-rules"},
+		{"-trace", "/no/such.csv", "-rules"},
+		{"-ticket", "99999999"}, // unknown ticket in generated trace
+		{"-wat"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunChronic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "small", "-seed", "6", "-chronic"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chronic servers") {
+		t.Errorf("missing chronic section:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,388 @@
+// Command fotreport runs every analysis of the DSN'17 study over a ticket
+// trace and prints each paper table and figure.
+//
+// Two modes:
+//
+//	fotreport -profile small -seed 1
+//	    Generate the trace in memory and analyze it (census included).
+//
+//	fotreport -trace trace.csv -profile small -seed 1
+//	    Load a trace written by fotgen; the fleet census is rebuilt
+//	    deterministically from the same (profile, seed).
+//
+// Select a subset with -only (comma-separated ids):
+//
+//	fotreport -only table1,table5,fig9,mine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/report"
+	"dcfail/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fotreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fotreport", flag.ContinueOnError)
+	profileName := fs.String("profile", "small", "generation profile: small | paper")
+	seed := fs.Int64("seed", 1, "deterministic generation seed")
+	tracePath := fs.String("trace", "", "trace file from fotgen (csv or jsonl by extension); empty = generate in memory")
+	archiveDir := fs.String("archive", "", "read the trace from a fotgen -archive directory")
+	csvDir := fs.String("csvdir", "", "also export every figure's data series as CSV files into this directory")
+	only := fs.String("only", "", "comma-separated subset of: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,repeats,table4,fig8,table5,batches,table6,table8,fig9,fig10,fig11,mine,trend,verdicts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := profileByName(*profileName)
+	if err != nil {
+		return err
+	}
+
+	var trace *fot.Trace
+	var fleet *topo.Fleet
+	switch {
+	case *tracePath != "" && *archiveDir != "":
+		return fmt.Errorf("-trace and -archive are mutually exclusive")
+	case *tracePath == "" && *archiveDir == "":
+		res, err := fms.Run(profile, fms.DefaultConfig(), *seed)
+		if err != nil {
+			return err
+		}
+		trace, fleet = res.Trace, res.Fleet
+	case *archiveDir != "":
+		arch, err := archive.Open(*archiveDir, 0)
+		if err != nil {
+			return err
+		}
+		trace, err = arch.Query(time.Time{}, time.Time{})
+		if cerr := arch.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fleet, err = topo.Build(profile.FleetSpec, *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		trace, err = loadTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		fleet, err = topo.Build(profile.FleetSpec, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	census := core.CensusFromFleet(fleet)
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if *csvDir != "" {
+		if err := exportCSVs(trace, census, *csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fotreport: figure CSVs written to %s\n", *csvDir)
+	}
+	return printAll(w, trace, census, sel)
+}
+
+// exportCSVs writes each figure's data series into dir.
+func exportCSVs(trace *fot.Trace, census *core.Census, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return report.FigureCSVs(trace, census, func(name string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+}
+
+func printAll(w io.Writer, trace *fot.Trace, census *core.Census, sel func(string) bool) error {
+	section := func(id string, fn func() error) error {
+		if !sel(id) {
+			return nil
+		}
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	if err := section("verdicts", func() error {
+		r, err := core.Hypotheses(trace, census)
+		if err != nil {
+			return err
+		}
+		return report.Hypotheses(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table1", func() error {
+		r, err := core.CategoryBreakdown(trace)
+		if err != nil {
+			return err
+		}
+		return report.CategoryBreakdown(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table2", func() error {
+		r, err := core.ComponentBreakdown(trace)
+		if err != nil {
+			return err
+		}
+		return report.ComponentBreakdown(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig2", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+			r, err := core.TypeBreakdown(trace, c)
+			if err != nil {
+				return err
+			}
+			if err := report.TypeBreakdown(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig3", func() error {
+		r, err := core.DayOfWeek(trace, 0)
+		if err != nil {
+			return err
+		}
+		return report.DayOfWeek(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig4", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.Misc} {
+			r, err := core.HourOfDay(trace, c)
+			if err != nil {
+				return err
+			}
+			if err := report.HourOfDay(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig5", func() error {
+		r, err := core.TBFAnalysis(trace, 0)
+		if err != nil {
+			return err
+		}
+		return report.TBF(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig6", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
+			r, err := core.LifecycleRates(trace, census, c, 48)
+			if err != nil {
+				return err
+			}
+			if err := report.Lifecycle(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig7", func() error {
+		r, err := core.ServerSkew(trace)
+		if err != nil {
+			return err
+		}
+		return report.ServerSkew(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("repeats", func() error {
+		r, err := core.RepeatAnalysis(trace)
+		if err != nil {
+			return err
+		}
+		return report.Repeats(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table4", func() error {
+		r, err := core.RackAnalysis(trace, census)
+		if err != nil {
+			return err
+		}
+		return report.RackAnalysis(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig8", func() error {
+		for _, idc := range []string{"dc01", "dc02"} {
+			r, err := core.RackPositions(trace, census, idc)
+			if err != nil {
+				return err
+			}
+			if err := report.RackPositions(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("table5", func() error {
+		r, err := core.BatchFrequency(trace, nil)
+		if err != nil {
+			return err
+		}
+		return report.BatchFrequency(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("batches", func() error {
+		eps, err := core.BatchWindows(trace, census, 30*time.Minute, 20)
+		if err != nil {
+			return err
+		}
+		return report.BatchEpisodes(w, eps, 10)
+	}); err != nil {
+		return err
+	}
+	if err := section("table6", func() error {
+		r, err := core.CorrelatedPairs(trace, 24*time.Hour)
+		if err != nil {
+			return err
+		}
+		return report.CorrelatedPairs(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table8", func() error {
+		groups, err := core.SyncRepeatGroups(trace, 2*time.Minute, 3)
+		if err != nil {
+			return err
+		}
+		return report.SyncRepeatGroups(w, groups, 10)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig9", func() error {
+		for _, cat := range []fot.Category{fot.Fixing, fot.FalseAlarm} {
+			r, err := core.ResponseTimes(trace, cat)
+			if err != nil {
+				return err
+			}
+			if err := report.ResponseTimes(w, cat.String(), r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig10", func() error {
+		r, err := core.ResponseTimesByClass(trace)
+		if err != nil {
+			return err
+		}
+		return report.ResponseTimesByClass(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig11", func() error {
+		r, err := core.ProductLineRT(trace, fot.HDD)
+		if err != nil {
+			return err
+		}
+		return report.ProductLineRT(w, r, 15)
+	}); err != nil {
+		return err
+	}
+	if err := section("trend", func() error {
+		r, err := core.Trend(trace)
+		if err != nil {
+			return err
+		}
+		return report.Trend(w, r)
+	}); err != nil {
+		return err
+	}
+	return section("mine", func() error {
+		rules, err := mine.MineRules(trace, 24*time.Hour, 3, 3.0)
+		if err != nil {
+			return err
+		}
+		if err := report.MiningRules(w, rules, 12); err != nil {
+			return err
+		}
+		eval, err := mine.EvaluateWarningPredictor(trace, 10*24*time.Hour)
+		if err != nil {
+			return err
+		}
+		return report.PredictorEval(w, eval)
+	})
+}
+
+func loadTrace(path string) (*fot.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return fot.ReadJSONL(f)
+	}
+	return fot.ReadCSV(f)
+}
+
+func profileByName(name string) (fleetgen.Profile, error) {
+	switch name {
+	case "small":
+		return fleetgen.SmallProfile(), nil
+	case "paper":
+		return fleetgen.PaperProfile(), nil
+	default:
+		return fleetgen.Profile{}, fmt.Errorf("unknown profile %q (want small or paper)", name)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+)
+
+func TestRunInMemorySubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "small", "-seed", "4", "-only", "table1,table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I —") || !strings.Contains(out, "Table II —") {
+		t.Errorf("missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "Fig. 5") {
+		t.Error("-only leaked other sections")
+	}
+}
+
+func TestRunAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "small", "-seed", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I —", "Table II —", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+		"Fig. 6", "Fig. 7", "§III-D", "Table IV", "Fig. 8", "Table V",
+		"§V-A", "Table VI", "Table VIII", "Fig. 9", "Fig. 10", "Fig. 11",
+		"§VII-B", "§VII-A", "Trend —", "Hypotheses —",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	// Generate the same trace fotgen would, save it, and reload.
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{"-trace", path, "-profile", "small", "-seed", "5", "-only", "table2,fig8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II —") || !strings.Contains(buf.String(), "Fig. 8") {
+		t.Errorf("trace-file mode output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunJSONLTraceFile(t *testing.T) {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-only", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I —") {
+		t.Error("jsonl trace not analyzed")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus"},
+		{"-trace", "/no/such/file.csv"},
+		{"-nope"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunFromArchive(t *testing.T) {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, err := archive.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendTrace(res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-archive", dir, "-seed", "5", "-only", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II —") {
+		t.Error("archive mode output wrong")
+	}
+	// Mutually exclusive flags rejected.
+	if err := run([]string{"-archive", dir, "-trace", "x.csv"}, &bytes.Buffer{}); err == nil {
+		t.Error("-trace and -archive together accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "4", "-only", "table1", "-csvdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Errorf("only %d CSV files exported", len(entries))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig3_weekday.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "day,count,fraction") {
+		t.Errorf("fig3 csv malformed: %q", string(raw[:40]))
+	}
+}

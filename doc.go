@@ -1,0 +1,33 @@
+// Package dcfail is a reproduction of the DSN'17 measurement study
+// "What Can We Learn from Four Years of Data Center Hardware Failures?"
+// (Wang, Zhang, Xu).
+//
+// The original study analyzes 290,000+ proprietary failure operation
+// tickets; since neither the data nor the analysis code was released,
+// this repository rebuilds the whole stack:
+//
+//   - internal/topo, internal/hazard, internal/workload — a synthetic
+//     fleet with lifecycle hazards and workload-gated failure detection
+//   - internal/inject, internal/fleetgen — correlated-failure injectors
+//     (batch epidemics, PDU outages, repeat twins, the chronic BBU
+//     server) and Table II-calibrated baseline generation
+//   - internal/fms, internal/fmsnet, internal/archive — the failure
+//     management system: ticket-lifecycle engine, a real TCP collector
+//     with agents / operator loops / live batch alerts, and the on-disk
+//     ticket archive
+//   - internal/stats — distributions, MLE fitting, chi-squared and KS
+//     testing, AIC ranking
+//   - internal/core — the paper's analyses, one per table and figure,
+//     plus hypothesis-verdict and year-over-year trend summaries
+//   - internal/mine — the §VII-B extension: ticket context, temporal
+//     association rules, the early-warning failure predictor, streaming
+//     batch alerts
+//   - internal/report — text and CSV rendering of every table and figure
+//
+// The root package holds the experiment harness: `go test` verifies the
+// paper's findings re-emerge from the synthetic trace (with ablations
+// showing each finding collapses when its mechanism is switched off) and
+// `go test -bench=.` regenerates every table and figure at paper scale.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package dcfail

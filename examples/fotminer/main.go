@@ -1,0 +1,100 @@
+// Fotminer demonstrates the §VII-B extension: the correlation-mining
+// layer the paper says the stateless FMS needs. It mines temporal
+// association rules from a trace, scores the §VII-A early-warning
+// predictor, and prints the operator-facing "related information" report
+// for the two most interesting tickets — a chronic flapper and a batch
+// member — which a stateless FMS would have shown as unrelated incidents.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/report"
+)
+
+func main() {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 4242)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Temporal association rules: which failure kinds attract each other
+	// on the same server beyond time coincidence?
+	rules, err := mine.MineRules(res.Trace, 24*time.Hour, 3, 3.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.MiningRules(os.Stdout, rules, 10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// The early-warning predictor the paper's operators ignored (§VII-A).
+	eval, err := mine.EvaluateWarningPredictor(res.Trace, 10*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.PredictorEval(os.Stdout, eval); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Per-ticket context: pick the busiest server's latest ticket (the
+	// chronic BBU suspect) and one ticket from the busiest hour (a batch
+	// member).
+	ix, err := mine.NewIndex(res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	var chronicHost uint64
+	for _, tk := range res.Trace.Tickets {
+		counts[tk.HostID]++
+		if counts[tk.HostID] > counts[chronicHost] {
+			chronicHost = tk.HostID
+		}
+	}
+	// The chronic server alternates RAID-card and drive tickets; show its
+	// final RAID ticket (the true culprit's class).
+	var chronicID uint64
+	hourCounts := map[int64]int{}
+	var bestHour int64
+	for _, tk := range res.Trace.Tickets {
+		if tk.HostID == chronicHost && (chronicID == 0 || tk.Device == fot.RAIDCard) {
+			chronicID = tk.ID
+		}
+		h := tk.Time.Unix() / 3600
+		hourCounts[h]++
+		if hourCounts[h] > hourCounts[bestHour] {
+			bestHour = h
+		}
+	}
+	var batchID uint64
+	for _, tk := range res.Trace.Tickets {
+		if tk.Time.Unix()/3600 == bestHour {
+			batchID = tk.ID
+			break
+		}
+	}
+
+	fmt.Println("what the operator should see next to these FOTs:")
+	for _, id := range []uint64{chronicID, batchID} {
+		ctx, err := ix.Contextualize(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.TicketContext(os.Stdout, ctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("=> with this context, the paper's year-long BBU flap (§III-D) is one")
+	fmt.Println("   glance instead of 400 independent tickets")
+}

@@ -1,0 +1,145 @@
+// Netpipeline runs the paper's Fig. 1 architecture end to end over real
+// TCP: a collector comes up, host agents replay a simulated month of
+// failures as wire reports, an operator client reviews and closes the
+// pool, the tickets land in an on-disk archive, and the archived trace is
+// analyzed — proving the analysis pipeline is agnostic to where tickets
+// come from.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fmsnet"
+	"dcfail/internal/fot"
+	"dcfail/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Simulate a trace to replay; take one month of tickets.
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 2718)
+	if err != nil {
+		return err
+	}
+	month := res.Trace.Between(
+		time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
+	)
+	fmt.Printf("replaying %d tickets through the wire pipeline\n", month.Len())
+
+	// 2. Collector on an ephemeral port.
+	collector, err := fmsnet.NewCollector("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+	fmt.Printf("collector listening on %s\n", collector.Addr())
+
+	// 3. Four concurrent agents partition the tickets by host id.
+	const agents = 4
+	channels := make([]chan *fmsnet.Report, agents)
+	for i := range channels {
+		channels[i] = make(chan *fmsnet.Report, 64)
+	}
+	var wg sync.WaitGroup
+	agentErrs := make([]error, agents)
+	sent := make([]int, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats, err := fmsnet.RunAgent(collector.Addr(), channels[i], fmsnet.DefaultAgentConfig())
+			agentErrs[i] = err
+			if stats != nil {
+				sent[i] = stats.Sent
+			}
+		}(i)
+	}
+	for _, tk := range month.Tickets {
+		channels[tk.HostID%agents] <- &fmsnet.Report{
+			HostID: tk.HostID, Hostname: tk.Hostname, IDC: tk.IDC,
+			Rack: tk.Rack, Position: tk.Position,
+			Device: tk.Device.String(), Slot: tk.Slot, Type: tk.Type,
+			Time: tk.Time, Detail: tk.Detail,
+			ProductLine: tk.ProductLine, DeployTime: tk.DeployTime,
+			Model:      tk.Model,
+			InWarranty: tk.Category != fot.Error,
+		}
+	}
+	for _, ch := range channels {
+		close(ch)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range agentErrs {
+		if err != nil {
+			return fmt.Errorf("agent %d: %w", i, err)
+		}
+		total += sent[i]
+	}
+	fmt.Printf("agents delivered %d reports\n", total)
+
+	// 4. An operator drains the open pool.
+	operator, err := fmsnet.Dial(collector.Addr())
+	if err != nil {
+		return err
+	}
+	defer operator.Close()
+	open, err := operator.List(true, 0)
+	if err != nil {
+		return err
+	}
+	for _, t := range open {
+		if err := operator.CloseTicket(t.ID, fot.ActionRepairOrder, "op-net"); err != nil {
+			return err
+		}
+	}
+	stats, err := operator.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("operator closed %d tickets; pool now %+v\n", len(open), *stats)
+
+	// 5. Archive the collected tickets on disk, query them back.
+	dir, err := os.MkdirTemp("", "dcfail-archive-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	arch, err := archive.Open(dir, 500)
+	if err != nil {
+		return err
+	}
+	if err := arch.AppendTrace(collector.Trace()); err != nil {
+		return err
+	}
+	if err := arch.Close(); err != nil {
+		return err
+	}
+	archived, err := arch.Query(time.Time{}, time.Time{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archive holds %d tickets in %d segment(s)\n",
+		archived.Len(), len(arch.Segments()))
+
+	// 6. Analyze the archived trace exactly like a simulated one.
+	breakdown, err := core.ComponentBreakdown(archived)
+	if err != nil {
+		return err
+	}
+	return report.ComponentBreakdown(os.Stdout, breakdown)
+}

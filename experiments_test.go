@@ -1,0 +1,402 @@
+package dcfail
+
+// Paper-scale experiment harness: regenerates the DSN'17 study on the
+// default (paper) profile and checks that each published finding
+// re-emerges. EXPERIMENTS.md records the paper-vs-measured numbers these
+// tests log.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+)
+
+var (
+	paperOnce sync.Once
+	paperRes  *fms.Result
+	paperCen  *core.Census
+	paperErr  error
+)
+
+// paperFixture generates the paper-scale trace once per test binary
+// (~10 s, ≈260k tickets on ≈124k servers).
+func paperFixture(t testing.TB) (*fms.Result, *core.Census) {
+	t.Helper()
+	paperOnce.Do(func() {
+		paperRes, paperErr = fms.Run(fleetgen.PaperProfile(), fms.DefaultConfig(), 42)
+		if paperErr == nil {
+			paperCen = core.CensusFromFleet(paperRes.Fleet)
+		}
+	})
+	if paperErr != nil {
+		t.Fatal(paperErr)
+	}
+	return paperRes, paperCen
+}
+
+func TestPaperTableI(t *testing.T) {
+	res, _ := paperFixture(t)
+	r, err := core.CategoryBreakdown(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[fot.Category]float64{fot.Fixing: 0.703, fot.Error: 0.280, fot.FalseAlarm: 0.017}
+	for _, row := range r.Rows {
+		t.Logf("Table I %v: paper %.1f%% measured %.1f%%",
+			row.Category, 100*want[row.Category], 100*row.Fraction)
+		if diff := row.Fraction - want[row.Category]; diff > 0.06 || diff < -0.06 {
+			t.Errorf("%v share %.3f too far from paper %.3f", row.Category, row.Fraction, want[row.Category])
+		}
+	}
+}
+
+func TestPaperTableII(t *testing.T) {
+	res, _ := paperFixture(t)
+	r, err := core.ComponentBreakdown(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fleetgen.TableIIShares()
+	for _, row := range r.Rows {
+		t.Logf("Table II %v: paper %.2f%% measured %.2f%%",
+			row.Component, 100*want[row.Component], 100*row.Fraction)
+		// Within 25% relative or 0.5pp absolute of the published share.
+		diff := row.Fraction - want[row.Component]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.25*want[row.Component]+0.005 {
+			t.Errorf("%v share %.4f too far from paper %.4f", row.Component, row.Fraction, want[row.Component])
+		}
+	}
+	if r.Rows[0].Component != fot.HDD {
+		t.Error("HDD should dominate Table II")
+	}
+}
+
+func TestPaperHypotheses1And2(t *testing.T) {
+	res, _ := paperFixture(t)
+	// The paper rejects H1 for every class at 0.01 on 290k tickets; at
+	// our half-scale the low-volume classes (raid, ssd, fan...) lack the
+	// counts, so assert the high-volume ones.
+	for _, c := range []fot.Component{0, fot.HDD, fot.Memory, fot.Misc} {
+		dow, err := core.DayOfWeek(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !dow.Test.Reject(0.01) {
+			t.Errorf("H1 not rejected for %v: %v", c, dow.Test)
+		}
+		if !dow.WeekdayTest.Reject(0.02) {
+			t.Errorf("H1 (weekdays) not rejected for %v: %v", c, dow.WeekdayTest)
+		}
+	}
+	for _, c := range []fot.Component{0, fot.HDD, fot.Memory, fot.Misc, fot.Power} {
+		hod, err := core.HourOfDay(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !hod.Test.Reject(0.01) {
+			t.Errorf("H2 not rejected for %v: %v", c, hod.Test)
+		}
+	}
+}
+
+func TestPaperHypotheses3And4(t *testing.T) {
+	res, _ := paperFixture(t)
+	tbf, err := core.TBFAnalysis(res.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 5: paper MTBF 6.8 min, measured %.1f min (median %.2f)",
+		tbf.MTBFMinutes, tbf.MedianMinutes)
+	// Paper: fleet-wide MTBF 6.8 minutes; ours lands in the same decade.
+	if tbf.MTBFMinutes > 30 {
+		t.Errorf("MTBF %.1f min an order of magnitude off the paper's 6.8", tbf.MTBFMinutes)
+	}
+	if !tbf.AllRejected(0.05) {
+		t.Error("H3: some distribution fits the fleet-wide TBF")
+	}
+	// Paper: per-datacenter MTBF between 32 and 390 minutes.
+	for idc, m := range tbf.PerIDCMTBF {
+		if m < 5 || m > 3000 {
+			t.Errorf("per-DC MTBF %s = %.0f min outside plausible band", idc, m)
+		}
+	}
+	for _, c := range []fot.Component{fot.HDD, fot.Misc, fot.Memory} {
+		sub, err := core.TBFAnalysis(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !sub.AllRejected(0.05) {
+			t.Errorf("H4 not rejected for %v", c)
+		}
+	}
+}
+
+func TestPaperFig6Lifecycle(t *testing.T) {
+	res, cen := paperFixture(t)
+	raid, err := core.LifecycleRates(res.Trace, cen, fot.RAIDCard, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := raid.MassBetween(0, 6)
+	t.Logf("Fig 6f: paper 47.4%% of RAID failures in first 6 months, measured %.1f%%", 100*mass)
+	if mass < 0.30 || mass > 0.65 {
+		t.Errorf("RAID infant mass %.3f far from paper's 0.474", mass)
+	}
+
+	flash, err := core.LifecycleRates(res.Trace, cen, fot.FlashCard, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fy := flash.MassBetween(0, 12)
+	t.Logf("Fig 6e: paper 1.4%% of flash failures in year one, measured %.1f%%", 100*fy)
+	if fy > 0.10 {
+		t.Errorf("flash year-one mass %.3f, paper says 0.014", fy)
+	}
+
+	mb, err := core.LifecycleRates(res.Trace, cen, fot.Motherboard, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := mb.MassBetween(36, 72)
+	t.Logf("Fig 6c: paper 72.1%% of motherboard failures after 3 years, measured %.1f%%", 100*late)
+	if late < 0.50 {
+		t.Errorf("motherboard 3y+ mass %.3f, paper says 0.721", late)
+	}
+
+	misc, err := core.LifecycleRates(res.Trace, cen, fot.Misc, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misc.Normalized[0] != 1 {
+		t.Error("Fig 6i: misc deployment-month spike missing")
+	}
+
+	hdd, err := core.LifecycleRates(res.Trace, cen, fot.HDD, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	earlyBump := (hdd.Rates[0] + hdd.Rates[1] + hdd.Rates[2]) /
+		(hdd.Rates[3] + hdd.Rates[4] + hdd.Rates[5] + hdd.Rates[6] + hdd.Rates[7] + hdd.Rates[8]) * 2
+	t.Logf("Fig 6a: paper HDD infant bump +20%%, measured %+.0f%%", 100*(earlyBump-1))
+	if earlyBump < 1.02 {
+		t.Error("Fig 6a: HDD infant mortality missing")
+	}
+}
+
+func TestPaperFig7AndRepeats(t *testing.T) {
+	res, _ := paperFixture(t)
+	sk, err := core.ServerSkew(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proportional := 0.02
+	t.Logf("Fig 7: top 2%% of failed servers hold %.1f%% of failures (paper: >99%%; see EXPERIMENTS.md)",
+		100*sk.TopShare[0.02])
+	if sk.TopShare[0.02] < 2*proportional {
+		t.Errorf("top-2%% share %.3f barely super-proportional", sk.TopShare[0.02])
+	}
+	t.Logf("Fig 7: busiest server has %d tickets (paper's chronic BBU server: >400)", sk.MaxOneServer)
+	if sk.MaxOneServer < 300 {
+		t.Errorf("chronic server max %d, want ≈400", sk.MaxOneServer)
+	}
+
+	rep, err := core.RepeatAnalysis(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("§III-D: never-repeat %.1f%% (paper >85%%), repeat servers %.2f%% (paper ≈4.5%%)",
+		100*rep.NeverRepeatFraction, 100*rep.RepeatServerFraction)
+	if rep.NeverRepeatFraction < 0.85 {
+		t.Errorf("never-repeat %.3f below the paper's 85%%", rep.NeverRepeatFraction)
+	}
+	if rep.RepeatServerFraction <= 0 || rep.RepeatServerFraction > 0.15 {
+		t.Errorf("repeat-server fraction %.4f out of band", rep.RepeatServerFraction)
+	}
+}
+
+func TestPaperTableIVHypothesis5(t *testing.T) {
+	res, cen := paperFixture(t)
+	ra, err := core.RackAnalysis(res.Trace, cen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Table IV: paper 10/4/10 of 24; measured %d/%d/%d of %d",
+		ra.PLow, ra.PMid, ra.PHigh, len(ra.PerDC))
+	if ra.PLow < 6 {
+		t.Errorf("only %d facilities reject at 0.01; paper saw 10", ra.PLow)
+	}
+	if ra.PHigh < 6 {
+		t.Errorf("only %d facilities retain H5; paper saw 10", ra.PHigh)
+	}
+	t.Logf("§IV: paper ~90%% of post-2014 facilities uniform; measured %.0f%%",
+		100*ra.ModernNonRejectFraction)
+	if ra.ModernNonRejectFraction < 0.7 {
+		t.Errorf("modern facilities too uneven: %.2f", ra.ModernNonRejectFraction)
+	}
+	// The hotspot facility's planted anomalies (paper positions 22/35).
+	rp, err := core.RackPositions(res.Trace, cen, "dc01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNear := map[int]bool{rp.Positions - 5: true, rp.Positions/2 + 2: true}
+	found := 0
+	for _, p := range rp.Anomalies {
+		if wantNear[p] {
+			found++
+		}
+	}
+	t.Logf("Fig 8: dc01 anomalies %v (planted at %d and %d)",
+		rp.Anomalies, rp.Positions-5, rp.Positions/2+2)
+	if found == 0 {
+		t.Error("planted hot positions not detected")
+	}
+}
+
+func TestPaperTableVBatchFrequency(t *testing.T) {
+	res, _ := paperFixture(t)
+	bf, err := core.BatchFrequency(res.Trace, []int{100, 200, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdd core.BatchFrequencyRow
+	for _, row := range bf.Rows {
+		if row.Component == fot.HDD {
+			hdd = row
+		}
+		if row.Component == fot.CPU && row.R[100] > 0 {
+			t.Error("Table V: CPU should never batch")
+		}
+	}
+	t.Logf("Table V HDD: paper r100=55.4%% r200=22.5%% r500=2.5%%; measured %.1f%%/%.1f%%/%.1f%%",
+		100*hdd.R[100], 100*hdd.R[200], 100*hdd.R[500])
+	if hdd.R[100] < 0.30 || hdd.R[100] > 0.75 {
+		t.Errorf("HDD r100 = %.3f far from paper's 0.554", hdd.R[100])
+	}
+	if hdd.R[200] < 0.08 || hdd.R[200] > 0.40 {
+		t.Errorf("HDD r200 = %.3f far from paper's 0.225", hdd.R[200])
+	}
+	if hdd.R[500] < 0.005 || hdd.R[500] > 0.10 {
+		t.Errorf("HDD r500 = %.3f far from paper's 0.025", hdd.R[500])
+	}
+	if !(hdd.R[100] > hdd.R[200] && hdd.R[200] > hdd.R[500]) {
+		t.Error("Table V: r must fall with the threshold")
+	}
+}
+
+func TestPaperTableVICorrelatedPairs(t *testing.T) {
+	res, _ := paperFixture(t)
+	cp, err := core.CorrelatedPairs(res.Trace, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Table VI: %d pairs; misc involved in %.1f%% (paper 71.5%%); %.2f%% of failed servers (paper 0.49%%)",
+		cp.TotalPairs, 100*cp.MiscFraction, 100*cp.ServerFraction)
+	if cp.MiscFraction < 0.50 || cp.MiscFraction > 0.90 {
+		t.Errorf("misc fraction %.3f far from paper's 0.715", cp.MiscFraction)
+	}
+	if cp.ServerFraction > 0.05 {
+		t.Errorf("pair prevalence %.4f too high (paper 0.0049)", cp.ServerFraction)
+	}
+	if cp.Pairs[0].A != fot.HDD || cp.Pairs[0].B != fot.Misc {
+		t.Errorf("dominant pair %v×%v, paper's is hdd×misc", cp.Pairs[0].A, cp.Pairs[0].B)
+	}
+	if len(cp.PowerFanExamples) == 0 {
+		t.Error("Table VII: no power→fan examples")
+	}
+}
+
+func TestPaperTableVIIISyncRepeats(t *testing.T) {
+	res, _ := paperFixture(t)
+	groups, err := core.SyncRepeatGroups(res.Trace, 2*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Table VIII: %d synchronized repeat groups mined", len(groups))
+	if len(groups) < 5 {
+		t.Errorf("only %d sync-repeat groups; injector plants 25", len(groups))
+	}
+}
+
+func TestPaperFig9To11ResponseTimes(t *testing.T) {
+	res, _ := paperFixture(t)
+	fixing, err := core.ResponseTimes(res.Trace, fot.Fixing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 9 D_fixing: paper mean 42.2 d / median 6.1 d / 10%%>140 d; measured %.1f / %.1f / %.1f%%",
+		fixing.MeanDays, fixing.MedianDays, 100*fixing.FracOver140)
+	if fixing.MeanDays < 20 || fixing.MeanDays > 90 {
+		t.Errorf("MTTR %.1f d far from paper's 42.2", fixing.MeanDays)
+	}
+	if fixing.MedianDays < 2 || fixing.MedianDays > 15 {
+		t.Errorf("median RT %.1f d far from paper's 6.1", fixing.MedianDays)
+	}
+	if fixing.FracOver140 < 0.02 || fixing.FracOver140 > 0.20 {
+		t.Errorf("tail beyond 140 d %.3f far from paper's 0.10", fixing.FracOver140)
+	}
+
+	alarm, err := core.ResponseTimes(res.Trace, fot.FalseAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 9 false alarms: paper mean 19.1 d / median 4.9 d; measured %.1f / %.1f",
+		alarm.MeanDays, alarm.MedianDays)
+	if !(alarm.MeanDays < fixing.MeanDays) {
+		t.Error("false alarms should resolve faster than repairs on average")
+	}
+
+	byClass, err := core.ResponseTimesByClass(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 10 medians: ssd %.2f d, misc %.2f d, hdd %.1f d, fan %.1f d, memory %.1f d",
+		byClass[fot.SSD].MedianDays, byClass[fot.Misc].MedianDays,
+		byClass[fot.HDD].MedianDays, byClass[fot.Fan].MedianDays,
+		byClass[fot.Memory].MedianDays)
+	if byClass[fot.SSD].MedianDays > 1 || byClass[fot.Misc].MedianDays > 1 {
+		t.Error("Fig 10: SSD/misc should respond within hours")
+	}
+	for _, c := range []fot.Component{fot.HDD, fot.Fan, fot.Memory} {
+		if m := byClass[c].MedianDays; m < 3 || m > 40 {
+			t.Errorf("Fig 10: %v median %.1f d outside the paper's 7–18 d decade", c, m)
+		}
+	}
+
+	plrt, err := core.ProductLineRT(res.Trace, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 11: busiest-1%% pooled median %.1f d (paper 47); line σ %.1f d (paper 30.2); small slow lines %.0f%% (paper 21%%)",
+		plrt.Top1PctMedianDays, plrt.MedianStdDevDays, 100*plrt.SmallLineOver100dFraction)
+	if plrt.Top1PctMedianDays < 10 {
+		t.Errorf("busiest lines median %.1f d, paper's is 47", plrt.Top1PctMedianDays)
+	}
+	if plrt.MedianStdDevDays < 5 {
+		t.Errorf("cross-line σ %.1f d, paper's is 30.2", plrt.MedianStdDevDays)
+	}
+}
+
+// TestPaperFig11AntiCorrelation quantifies §VI-C's "it is just the
+// opposite": the rank correlation between a line's failure volume and its
+// median RT must not be meaningfully positive.
+func TestPaperFig11AntiCorrelation(t *testing.T) {
+	res, _ := paperFixture(t)
+	plrt, err := core.ProductLineRT(res.Trace, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 11: Spearman(volume, median RT) = %+.3f over %d lines",
+		plrt.VolumeRTCorrelation, len(plrt.Points))
+	if plrt.VolumeRTCorrelation > 0.15 {
+		t.Errorf("volume–RT correlation %+.3f is positive; paper says the opposite",
+			plrt.VolumeRTCorrelation)
+	}
+}

@@ -1,0 +1,3 @@
+module dcfail
+
+go 1.22

@@ -1,0 +1,310 @@
+// Package archive implements the FMS ticket archive: the paper's
+// collector turns every closed FOT into an archived log entry (§VII-B).
+// The archive is an append-only store of JSON-lines segment files with a
+// sidecar time index per segment, so four years of tickets can be queried
+// by time range without scanning everything.
+//
+// Layout inside the archive directory:
+//
+//	seg-000001.jsonl       tickets, one JSON object per line
+//	seg-000001.meta.json   {"count":N,"min_time":...,"max_time":...}
+//	seg-000002.jsonl       ...
+//
+// The newest segment may lack a sidecar (crash before rotate); Open
+// rebuilds it by scanning that segment once.
+package archive
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// Archive is a segmented, append-only FOT store. It is safe for
+// concurrent use.
+type Archive struct {
+	dir           string
+	maxPerSegment int
+
+	mu       sync.Mutex
+	segments []segmentMeta
+	current  *os.File
+	writer   *bufio.Writer
+	cur      segmentMeta
+}
+
+// segmentMeta is one segment's sidecar index.
+type segmentMeta struct {
+	Name    string    `json:"name"`
+	Count   int       `json:"count"`
+	MinTime time.Time `json:"min_time"`
+	MaxTime time.Time `json:"max_time"`
+}
+
+// DefaultSegmentSize is the rotation threshold used when Open gets 0.
+const DefaultSegmentSize = 50000
+
+// Open opens (creating if needed) an archive directory. maxPerSegment
+// sets the rotation threshold; 0 means DefaultSegmentSize.
+func Open(dir string, maxPerSegment int) (*Archive, error) {
+	if maxPerSegment <= 0 {
+		maxPerSegment = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: create dir: %w", err)
+	}
+	a := &Archive{dir: dir, maxPerSegment: maxPerSegment}
+	if err := a.loadSegments(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Archive) loadSegments() error {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return fmt.Errorf("archive: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".jsonl") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		meta, err := a.loadOrRebuildMeta(name)
+		if err != nil {
+			return err
+		}
+		a.segments = append(a.segments, meta)
+	}
+	return nil
+}
+
+func (a *Archive) loadOrRebuildMeta(name string) (segmentMeta, error) {
+	metaPath := filepath.Join(a.dir, metaName(name))
+	raw, err := os.ReadFile(metaPath)
+	if err == nil {
+		var meta segmentMeta
+		if jerr := json.Unmarshal(raw, &meta); jerr == nil && meta.Name == name {
+			return meta, nil
+		}
+		// Corrupt sidecar: fall through and rebuild.
+	} else if !os.IsNotExist(err) {
+		return segmentMeta{}, fmt.Errorf("archive: read meta %s: %w", metaPath, err)
+	}
+	tr, err := a.readSegment(name, time.Time{}, time.Time{})
+	if err != nil {
+		return segmentMeta{}, err
+	}
+	meta := segmentMeta{Name: name, Count: tr.Len()}
+	if lo, hi, ok := tr.Span(); ok {
+		meta.MinTime, meta.MaxTime = lo, hi
+	}
+	if err := a.writeMeta(meta); err != nil {
+		return segmentMeta{}, err
+	}
+	return meta, nil
+}
+
+func metaName(segName string) string {
+	return strings.TrimSuffix(segName, ".jsonl") + ".meta.json"
+}
+
+func (a *Archive) writeMeta(meta segmentMeta) error {
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("archive: encode meta: %w", err)
+	}
+	path := filepath.Join(a.dir, metaName(meta.Name))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("archive: write meta: %w", err)
+	}
+	return nil
+}
+
+// Append stores one ticket. Rotation happens automatically.
+func (a *Archive) Append(t fot.Ticket) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("archive: refusing invalid ticket: %w", err)
+	}
+	line, err := fot.MarshalJSONLine(t)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.current == nil || a.cur.Count >= a.maxPerSegment {
+		if err := a.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := a.writer.Write(line); err != nil {
+		return fmt.Errorf("archive: append: %w", err)
+	}
+	if err := a.writer.WriteByte('\n'); err != nil {
+		return fmt.Errorf("archive: append: %w", err)
+	}
+	if a.cur.Count == 0 || t.Time.Before(a.cur.MinTime) {
+		a.cur.MinTime = t.Time
+	}
+	if a.cur.Count == 0 || t.Time.After(a.cur.MaxTime) {
+		a.cur.MaxTime = t.Time
+	}
+	a.cur.Count++
+	return nil
+}
+
+// AppendTrace stores every ticket of a trace.
+func (a *Archive) AppendTrace(tr *fot.Trace) error {
+	for _, t := range tr.Tickets {
+		if err := a.Append(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked finalizes the current segment and opens the next one.
+func (a *Archive) rotateLocked() error {
+	if err := a.closeCurrentLocked(); err != nil {
+		return err
+	}
+	seq := len(a.segments) + 1
+	name := fmt.Sprintf("seg-%06d.jsonl", seq)
+	f, err := os.OpenFile(filepath.Join(a.dir, name), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: create segment: %w", err)
+	}
+	a.current = f
+	a.writer = bufio.NewWriter(f)
+	a.cur = segmentMeta{Name: name}
+	return nil
+}
+
+func (a *Archive) closeCurrentLocked() error {
+	if a.current == nil {
+		return nil
+	}
+	if err := a.writer.Flush(); err != nil {
+		return fmt.Errorf("archive: flush: %w", err)
+	}
+	if err := a.current.Close(); err != nil {
+		return fmt.Errorf("archive: close segment: %w", err)
+	}
+	a.segments = append(a.segments, a.cur)
+	if err := a.writeMeta(a.cur); err != nil {
+		return err
+	}
+	a.current = nil
+	a.writer = nil
+	return nil
+}
+
+// Close flushes and finalizes the open segment.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closeCurrentLocked()
+}
+
+// Count returns the total archived tickets (including unflushed ones).
+func (a *Archive) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.cur.Count
+	for _, s := range a.segments {
+		n += s.Count
+	}
+	return n
+}
+
+// Segments returns the finalized segment names in order.
+func (a *Archive) Segments() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.segments))
+	for _, s := range a.segments {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Query returns all archived tickets with from <= error_time < to,
+// skipping segments whose index proves they cannot match. Zero bounds
+// mean unbounded on that side. The open segment is flushed first so
+// queries see every appended ticket.
+func (a *Archive) Query(from, to time.Time) (*fot.Trace, error) {
+	a.mu.Lock()
+	if a.writer != nil {
+		if err := a.writer.Flush(); err != nil {
+			a.mu.Unlock()
+			return nil, fmt.Errorf("archive: flush for query: %w", err)
+		}
+	}
+	segs := make([]segmentMeta, len(a.segments))
+	copy(segs, a.segments)
+	if a.current != nil {
+		segs = append(segs, a.cur)
+	}
+	a.mu.Unlock()
+
+	var out []fot.Ticket
+	for _, seg := range segs {
+		if seg.Count == 0 || !overlaps(seg, from, to) {
+			continue
+		}
+		tr, err := a.readSegment(seg.Name, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr.Tickets...)
+	}
+	trace := fot.NewTrace(out)
+	trace.SortByTime()
+	return trace, nil
+}
+
+func overlaps(seg segmentMeta, from, to time.Time) bool {
+	if !from.IsZero() && seg.MaxTime.Before(from) {
+		return false
+	}
+	if !to.IsZero() && !seg.MinTime.Before(to) {
+		return false
+	}
+	return true
+}
+
+// readSegment loads one segment, filtering by time bounds (zero = open).
+func (a *Archive) readSegment(name string, from, to time.Time) (*fot.Trace, error) {
+	f, err := os.Open(filepath.Join(a.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("archive: open segment: %w", err)
+	}
+	defer f.Close()
+	tr, err := fot.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("archive: segment %s: %w", name, err)
+	}
+	if from.IsZero() && to.IsZero() {
+		return tr, nil
+	}
+	return tr.Filter(func(t fot.Ticket) bool {
+		if !from.IsZero() && t.Time.Before(from) {
+			return false
+		}
+		if !to.IsZero() && !t.Time.Before(to) {
+			return false
+		}
+		return true
+	}), nil
+}

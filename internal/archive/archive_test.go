@@ -1,0 +1,279 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+var t0 = time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func ticket(id uint64, offset time.Duration) fot.Ticket {
+	return fot.Ticket{
+		ID:       id,
+		HostID:   100 + id,
+		IDC:      "dc01",
+		Position: 3,
+		Device:   fot.HDD,
+		Slot:     "sdb",
+		Type:     "SMARTFail",
+		Time:     t0.Add(offset),
+		Category: fot.Fixing,
+		Action:   fot.ActionRepairOrder,
+	}
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 35 // forces rotation across 4 segments
+	for i := uint64(1); i <= n; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Count(); got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+	// Query everything (open segment included).
+	all, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != n {
+		t.Fatalf("query all = %d, want %d", all.Len(), n)
+	}
+	for i := 1; i < all.Len(); i++ {
+		if all.Tickets[i].Time.Before(all.Tickets[i-1].Time) {
+			t.Fatal("query result not sorted")
+		}
+	}
+	// Bounded query.
+	sub, err := a.Query(t0.Add(10*time.Hour), t0.Add(20*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 10 {
+		t.Errorf("bounded query = %d, want 10", sub.Len())
+	}
+	for _, tk := range sub.Tickets {
+		if tk.Time.Before(t0.Add(10*time.Hour)) || !tk.Time.Before(t0.Add(20*time.Hour)) {
+			t.Fatal("ticket outside bounds")
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Segments()); got != 4 {
+		t.Errorf("segments = %d, want 4", got)
+	}
+}
+
+func TestReopenPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 12; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Count(); got != 12 {
+		t.Fatalf("reopened count = %d, want 12", got)
+	}
+	// Appending continues in new segments without clobbering old ones.
+	if err := b.Append(ticket(13, 13*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := b.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 13 {
+		t.Errorf("after reopen+append: %d, want 13", all.Len())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildMissingMeta(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 7; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one sidecar; Open must rebuild it.
+	if err := os.Remove(filepath.Join(dir, "seg-000001.meta.json")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Count(); got != 7 {
+		t.Errorf("count after meta rebuild = %d, want 7", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-000001.meta.json")); err != nil {
+		t.Errorf("sidecar not rebuilt: %v", err)
+	}
+}
+
+func TestSegmentSkippingByIndex(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two well-separated eras.
+	for i := uint64(1); i <= 5; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(6); i <= 10; i++ {
+		if err := a.Append(ticket(i, 1000*time.Hour+time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	early, err := a.Query(time.Time{}, t0.Add(100*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Len() != 5 {
+		t.Errorf("early era = %d, want 5", early.Len())
+	}
+	late, err := a.Query(t0.Add(900*time.Hour), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Len() != 5 {
+		t.Errorf("late era = %d, want 5", late.Len())
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	a, err := Open(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ticket(1, time.Hour)
+	bad.Type = ""
+	if err := a.Append(bad); err == nil {
+		t.Error("invalid ticket accepted")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendTrace(t *testing.T) {
+	a, err := Open(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]fot.Ticket, 0, 20)
+	for i := uint64(1); i <= 20; i++ {
+		tickets = append(tickets, ticket(i, time.Duration(i)*time.Minute))
+	}
+	if err := a.AppendTrace(fot.NewTrace(tickets)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 20 {
+		t.Errorf("count = %d", a.Count())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseWithoutWrites(t *testing.T) {
+	a, err := Open(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("empty archive returned %d tickets", tr.Len())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	a, err := Open(t.TempDir(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i + 1)
+				if err := a.Append(ticket(id, time.Duration(id)*time.Minute)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != writers*perWriter {
+		t.Fatalf("archived %d, want %d", tr.Len(), writers*perWriter)
+	}
+	seen := map[uint64]bool{}
+	for _, tk := range tr.Tickets {
+		if seen[tk.ID] {
+			t.Fatalf("duplicate ticket %d", tk.ID)
+		}
+		seen[tk.ID] = true
+	}
+}

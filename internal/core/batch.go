@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// BatchFrequencyRow is one Table V row: the batch-failure frequency r_N of
+// a component class for each threshold N.
+type BatchFrequencyRow struct {
+	Component fot.Component
+	// R[N] is the fraction of study days on which at least N failures of
+	// the class occurred (the paper's r_N metric).
+	R map[int]float64
+	// MaxDaily is the largest single-day count observed.
+	MaxDaily int
+}
+
+// BatchFrequencyResult reproduces Table V.
+type BatchFrequencyResult struct {
+	Thresholds []int
+	Days       int
+	Rows       []BatchFrequencyRow
+}
+
+// BatchFrequency computes Table V: r_N per component class for the given
+// thresholds (the paper uses 100, 200 and 500).
+func BatchFrequency(tr *fot.Trace, thresholds []int) (*BatchFrequencyResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if len(thresholds) == 0 {
+		thresholds = []int{100, 200, 500}
+	}
+	lo, hi, _ := failures.Span()
+	days := int(hi.Sub(lo).Hours()/24) + 1
+	if days < 1 {
+		days = 1
+	}
+	// daily[class][dayIndex] = count
+	daily := make(map[fot.Component]map[int]int)
+	for _, tk := range failures.Tickets {
+		d := int(tk.Time.Sub(lo).Hours() / 24)
+		m := daily[tk.Device]
+		if m == nil {
+			m = make(map[int]int)
+			daily[tk.Device] = m
+		}
+		m[d]++
+	}
+	counts := failures.CountByComponent()
+	res := &BatchFrequencyResult{Thresholds: thresholds, Days: days}
+	for _, c := range sortedComponentsByCount(counts) {
+		row := BatchFrequencyRow{Component: c, R: make(map[int]float64, len(thresholds))}
+		for _, n := range daily[c] {
+			if n > row.MaxDaily {
+				row.MaxDaily = n
+			}
+		}
+		for _, th := range thresholds {
+			over := 0
+			for _, n := range daily[c] {
+				if n >= th {
+					over++
+				}
+			}
+			row.R[th] = float64(over) / float64(days)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// BatchEpisode is one mined batch-failure case (§V-A's case studies).
+type BatchEpisode struct {
+	Component fot.Component
+	Type      string
+	Start     time.Time
+	End       time.Time
+	Tickets   int
+	Servers   int
+	// IDCs and Models describe the episode's spread.
+	IDCs   []string
+	Models []string
+	// TopProductLine is the line owning most affected servers, and
+	// LineFraction the share of that line's fleet that failed (paper
+	// case 1: 32% of the product line's servers).
+	TopProductLine string
+	LineFraction   float64
+}
+
+// BatchWindows mines batch episodes from a trace: runs of same-class,
+// same-type failures where consecutive tickets are at most linkGap apart
+// and the run holds at least minSize distinct tickets. Episodes are
+// returned largest-first. The census (optional) enables LineFraction.
+func BatchWindows(tr *fot.Trace, census *Census, linkGap time.Duration, minSize int) ([]BatchEpisode, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if minSize < 2 {
+		minSize = 2
+	}
+	if linkGap <= 0 {
+		linkGap = 30 * time.Minute
+	}
+	lineSizes := make(map[string]int)
+	if census != nil {
+		for i := range census.Servers {
+			lineSizes[census.Servers[i].ProductLine]++
+		}
+	}
+	type groupKey struct {
+		dev fot.Component
+		typ string
+	}
+	groups := make(map[groupKey][]fot.Ticket)
+	for _, tk := range failures.Tickets {
+		k := groupKey{tk.Device, tk.Type}
+		groups[k] = append(groups[k], tk)
+	}
+	var episodes []BatchEpisode
+	for k, tickets := range groups {
+		sort.Slice(tickets, func(i, j int) bool { return tickets[i].Time.Before(tickets[j].Time) })
+		runStart := 0
+		for i := 1; i <= len(tickets); i++ {
+			if i < len(tickets) && tickets[i].Time.Sub(tickets[i-1].Time) <= linkGap {
+				continue
+			}
+			if i-runStart >= minSize {
+				episodes = append(episodes, summarizeEpisode(k.dev, k.typ, tickets[runStart:i], lineSizes))
+			}
+			runStart = i
+		}
+	}
+	sort.Slice(episodes, func(i, j int) bool {
+		if episodes[i].Tickets != episodes[j].Tickets {
+			return episodes[i].Tickets > episodes[j].Tickets
+		}
+		return episodes[i].Start.Before(episodes[j].Start)
+	})
+	return episodes, nil
+}
+
+func summarizeEpisode(dev fot.Component, typ string, run []fot.Ticket, lineSizes map[string]int) BatchEpisode {
+	ep := BatchEpisode{
+		Component: dev,
+		Type:      typ,
+		Start:     run[0].Time,
+		End:       run[len(run)-1].Time,
+		Tickets:   len(run),
+	}
+	servers := make(map[uint64]bool)
+	idcs := make(map[string]bool)
+	models := make(map[string]bool)
+	lineServers := make(map[string]map[uint64]bool)
+	for _, tk := range run {
+		servers[tk.HostID] = true
+		idcs[tk.IDC] = true
+		if tk.Model != "" {
+			models[tk.Model] = true
+		}
+		m := lineServers[tk.ProductLine]
+		if m == nil {
+			m = make(map[uint64]bool)
+			lineServers[tk.ProductLine] = m
+		}
+		m[tk.HostID] = true
+	}
+	ep.Servers = len(servers)
+	ep.IDCs = sortedKeys(idcs)
+	ep.Models = sortedKeys(models)
+	best, bestN := "", 0
+	for line, hosts := range lineServers {
+		if len(hosts) > bestN || (len(hosts) == bestN && line < best) {
+			best, bestN = line, len(hosts)
+		}
+	}
+	ep.TopProductLine = best
+	if size := lineSizes[best]; size > 0 {
+		ep.LineFraction = float64(bestN) / float64(size)
+	}
+	return ep
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func TestBatchFrequencyTableV(t *testing.T) {
+	res, _ := fixture(t)
+	// Absolute Table V thresholds (100/200/500) assume paper scale; the
+	// small profile uses proportionally smaller ones.
+	bf, err := BatchFrequency(res.Trace, []int{10, 20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Days < 1000 {
+		t.Errorf("study days = %d, want ≈1460", bf.Days)
+	}
+	byComp := map[fot.Component]BatchFrequencyRow{}
+	for _, row := range bf.Rows {
+		byComp[row.Component] = row
+		// r is monotone decreasing in the threshold.
+		if !(row.R[10] >= row.R[20] && row.R[20] >= row.R[50]) {
+			t.Errorf("%v: r not monotone: %v", row.Component, row.R)
+		}
+		for _, r := range row.R {
+			if r < 0 || r > 1 {
+				t.Errorf("%v: r out of range: %v", row.Component, row.R)
+			}
+		}
+	}
+	// HDD dominates batch failures (Table V row 1).
+	hdd := byComp[fot.HDD]
+	if hdd.R[10] < 0.10 {
+		t.Errorf("HDD r10 = %.3f, want frequent batch days", hdd.R[10])
+	}
+	for _, c := range []fot.Component{fot.Memory, fot.SSD, fot.CPU} {
+		if byComp[c].R[10] >= hdd.R[10] {
+			t.Errorf("%v batches as often as HDD", c)
+		}
+	}
+	// CPU never batches (Table V: 0 across the board).
+	if byComp[fot.CPU].R[10] > 0.01 {
+		t.Errorf("CPU r10 = %.3f, want ≈0", byComp[fot.CPU].R[10])
+	}
+}
+
+func TestBatchFrequencyDefaultThresholds(t *testing.T) {
+	res, _ := fixture(t)
+	bf, err := BatchFrequency(res.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Thresholds) != 3 || bf.Thresholds[0] != 100 {
+		t.Errorf("default thresholds = %v", bf.Thresholds)
+	}
+}
+
+func TestBatchWindowsFindsEpisodes(t *testing.T) {
+	res, cen := fixture(t)
+	eps, err := BatchWindows(res.Trace, cen, 30*time.Minute, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) == 0 {
+		t.Fatal("no batch episodes found despite injected batches")
+	}
+	// Episodes sorted largest first.
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Tickets > eps[i-1].Tickets {
+			t.Fatal("episodes not sorted by size")
+		}
+	}
+	top := eps[0]
+	if top.Servers < 10 || top.Servers > top.Tickets {
+		t.Errorf("episode servers=%d tickets=%d inconsistent", top.Servers, top.Tickets)
+	}
+	if top.End.Before(top.Start) {
+		t.Error("episode window inverted")
+	}
+	if top.End.Sub(top.Start) > 24*time.Hour {
+		t.Errorf("episode spans %v, want a tight window", top.End.Sub(top.Start))
+	}
+	if top.TopProductLine == "" || top.LineFraction <= 0 || top.LineFraction > 1 {
+		t.Errorf("episode line attribution broken: %q %.3f", top.TopProductLine, top.LineFraction)
+	}
+	if len(top.IDCs) == 0 || len(top.Models) == 0 {
+		t.Error("episode spread metadata missing")
+	}
+	// The HDD epidemics (case 1) must be present, and at least one is a
+	// clean single-model cohort (concurrent same-day epidemics can merge
+	// in the miner, so not every episode is).
+	singleModel := false
+	hddSeen := false
+	for i := range eps {
+		if eps[i].Component != fot.HDD {
+			continue
+		}
+		hddSeen = true
+		if len(eps[i].Models) == 1 {
+			singleModel = true
+			break
+		}
+	}
+	if !hddSeen {
+		t.Fatal("no HDD batch episode found")
+	}
+	if !singleModel {
+		t.Error("no single-model HDD cohort episode found")
+	}
+}
+
+func TestBatchWindowsPowerCase(t *testing.T) {
+	res, cen := fixture(t)
+	eps, err := BatchWindows(res.Trace, cen, time.Hour, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A PDU outage (case 3) must appear: a power episode within one IDC.
+	for _, ep := range eps {
+		if ep.Component == fot.Power {
+			if len(ep.IDCs) != 1 {
+				t.Errorf("power episode spans %d IDCs, want 1 (single PDU)", len(ep.IDCs))
+			}
+			return
+		}
+	}
+	t.Error("no power batch episode found despite PDU injection")
+}
+
+func TestBatchWindowsParameterDefaults(t *testing.T) {
+	res, cen := fixture(t)
+	eps, err := BatchWindows(res.Trace, cen, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) == 0 {
+		t.Error("default parameters found nothing")
+	}
+	// Without census, line fractions are zero but mining still works.
+	eps2, err := BatchWindows(res.Trace, nil, 30*time.Minute, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps2 {
+		if ep.LineFraction != 0 {
+			t.Error("line fraction without census should be 0")
+		}
+	}
+}

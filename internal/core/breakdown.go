@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+
+	"dcfail/internal/fot"
+)
+
+// CategoryShare is one row of Table I.
+type CategoryShare struct {
+	Category fot.Category
+	Decision string // the handling decision column of Table I
+	Count    int
+	Fraction float64
+}
+
+// CategoryBreakdownResult reproduces Table I: the split of tickets into
+// D_fixing, D_error and D_falsealarm.
+type CategoryBreakdownResult struct {
+	Total int
+	Rows  []CategoryShare
+}
+
+// CategoryBreakdown computes Table I over the full ticket set (false
+// alarms included — that is the point of the table).
+func CategoryBreakdown(tr *fot.Trace) (*CategoryBreakdownResult, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, errEmptyTrace()
+	}
+	counts := tr.CountByCategory()
+	total := tr.Len()
+	decisions := map[fot.Category]string{
+		fot.Fixing:     "Issue a repair order (RO)",
+		fot.Error:      "Not repair and set to decommission",
+		fot.FalseAlarm: "Mark as a false alarm",
+	}
+	res := &CategoryBreakdownResult{Total: total}
+	for _, cat := range []fot.Category{fot.Fixing, fot.Error, fot.FalseAlarm} {
+		res.Rows = append(res.Rows, CategoryShare{
+			Category: cat,
+			Decision: decisions[cat],
+			Count:    counts[cat],
+			Fraction: float64(counts[cat]) / float64(total),
+		})
+	}
+	return res, nil
+}
+
+// ComponentShare is one row of Table II.
+type ComponentShare struct {
+	Component fot.Component
+	Count     int
+	Fraction  float64
+}
+
+// ComponentBreakdownResult reproduces Table II: failure share per
+// component class (false alarms excluded, per the paper).
+type ComponentBreakdownResult struct {
+	Total int
+	Rows  []ComponentShare
+}
+
+// ComponentBreakdown computes Table II.
+func ComponentBreakdown(tr *fot.Trace) (*ComponentBreakdownResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	counts := failures.CountByComponent()
+	res := &ComponentBreakdownResult{Total: failures.Len()}
+	for _, c := range sortedComponentsByCount(counts) {
+		res.Rows = append(res.Rows, ComponentShare{
+			Component: c,
+			Count:     counts[c],
+			Fraction:  float64(counts[c]) / float64(failures.Len()),
+		})
+	}
+	return res, nil
+}
+
+// TypeShare is one slice of a Fig. 2 pie.
+type TypeShare struct {
+	Type     string
+	Count    int
+	Fraction float64
+}
+
+// TypeBreakdownResult reproduces one subfigure of Fig. 2: the failure-type
+// mix within a component class.
+type TypeBreakdownResult struct {
+	Component fot.Component
+	Total     int
+	Rows      []TypeShare
+}
+
+// TypeBreakdown computes the Fig. 2 breakdown for one component class.
+func TypeBreakdown(tr *fot.Trace, c fot.Component) (*TypeBreakdownResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	sub := failures.ByComponent(c)
+	if sub.Len() == 0 {
+		return nil, errNoTickets("component", c.String())
+	}
+	counts := sub.CountByType()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	res := &TypeBreakdownResult{Component: c, Total: sub.Len()}
+	for _, name := range names {
+		res.Rows = append(res.Rows, TypeShare{
+			Type:     name,
+			Count:    counts[name],
+			Fraction: float64(counts[name]) / float64(sub.Len()),
+		})
+	}
+	return res, nil
+}

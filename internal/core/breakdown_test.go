@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dcfail/internal/fot"
+)
+
+func TestCategoryBreakdownTableI(t *testing.T) {
+	res, _ := fixture(t)
+	br, err := CategoryBreakdown(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Total != res.Trace.Len() {
+		t.Errorf("total %d != trace %d", br.Total, res.Trace.Len())
+	}
+	if len(br.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(br.Rows))
+	}
+	sum := 0.0
+	byCat := map[fot.Category]CategoryShare{}
+	for _, row := range br.Rows {
+		sum += row.Fraction
+		byCat[row.Category] = row
+		if row.Decision == "" {
+			t.Errorf("%v: missing decision text", row.Category)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+	// Table I ordering: fixing > error > false alarm.
+	if !(byCat[fot.Fixing].Fraction > byCat[fot.Error].Fraction) {
+		t.Error("fixing should dominate error")
+	}
+	if !(byCat[fot.Error].Fraction > byCat[fot.FalseAlarm].Fraction) {
+		t.Error("error should dominate false alarms")
+	}
+	// "The false alarm rate is extremely low."
+	if byCat[fot.FalseAlarm].Fraction > 0.03 {
+		t.Errorf("false alarm fraction %.3f too high", byCat[fot.FalseAlarm].Fraction)
+	}
+	// "Over 1/4 of the failures are in out-of-warranty hardware."
+	if byCat[fot.Error].Fraction < 0.10 {
+		t.Errorf("error fraction %.3f implausibly low", byCat[fot.Error].Fraction)
+	}
+}
+
+func TestComponentBreakdownTableII(t *testing.T) {
+	res, _ := fixture(t)
+	br, err := ComponentBreakdown(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU (0.04% share ⇒ ~3 expected tickets at small scale) may draw a
+	// Poisson zero; all other classes must be present.
+	if len(br.Rows) < len(fot.Components())-1 {
+		t.Fatalf("want >= %d classes, got %d", len(fot.Components())-1, len(br.Rows))
+	}
+	// Rows sorted descending; HDD first and dominant; misc second.
+	if br.Rows[0].Component != fot.HDD {
+		t.Fatalf("top class = %v, want HDD", br.Rows[0].Component)
+	}
+	if br.Rows[0].Fraction < 0.65 || br.Rows[0].Fraction > 0.92 {
+		t.Errorf("HDD share %.3f, want ≈0.82", br.Rows[0].Fraction)
+	}
+	if br.Rows[1].Component != fot.Misc {
+		t.Errorf("second class = %v, want misc", br.Rows[1].Component)
+	}
+	for i := 1; i < len(br.Rows); i++ {
+		if br.Rows[i].Fraction > br.Rows[i-1].Fraction {
+			t.Fatal("rows not sorted by share")
+		}
+	}
+	sum := 0.0
+	for _, row := range br.Rows {
+		sum += row.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+}
+
+func TestComponentBreakdownExcludesFalseAlarms(t *testing.T) {
+	res, _ := fixture(t)
+	br, err := ComponentBreakdown(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Total != res.Trace.Failures().Len() {
+		t.Errorf("total %d should exclude false alarms (%d failures)",
+			br.Total, res.Trace.Failures().Len())
+	}
+}
+
+func TestTypeBreakdownFig2(t *testing.T) {
+	res, _ := fixture(t)
+	for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+		br, err := TypeBreakdown(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		sum := 0.0
+		for i, row := range br.Rows {
+			sum += row.Fraction
+			if _, ok := fot.LookupType(c, row.Type); !ok {
+				t.Errorf("%v: unknown type %s in breakdown", c, row.Type)
+			}
+			if i > 0 && row.Count > br.Rows[i-1].Count {
+				t.Errorf("%v: rows not sorted", c)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: fractions sum to %g", c, sum)
+		}
+	}
+	// HDD's dominant type is SMARTFail (Fig. 2a).
+	br, err := TypeBreakdown(res.Trace, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Rows[0].Type != "SMARTFail" {
+		t.Errorf("HDD top type = %s, want SMARTFail", br.Rows[0].Type)
+	}
+	// Memory splits into DIMMCE/DIMMUE with CE dominating (Fig. 2d).
+	br, err = TypeBreakdown(res.Trace, fot.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Rows[0].Type != "DIMMCE" {
+		t.Errorf("memory top type = %s, want DIMMCE", br.Rows[0].Type)
+	}
+}
+
+func TestTypeBreakdownUnknownComponent(t *testing.T) {
+	res, _ := fixture(t)
+	// CPU failures are the rarest (0.04%) but should still be present at
+	// small scale thanks to the calibration floor; an absent class errors.
+	if _, err := TypeBreakdown(res.Trace.ByComponent(fot.HDD), fot.Memory); err == nil {
+		t.Error("breakdown on filtered-out class should fail")
+	}
+}

@@ -1,0 +1,154 @@
+// Package core implements the paper's contribution: the statistical
+// analyses of DSN'17 "What Can We Learn from Four Years of Data Center
+// Hardware Failures?". Each published table and figure has a
+// corresponding analysis function:
+//
+//	Table I    CategoryBreakdown
+//	Table II   ComponentBreakdown
+//	Fig. 2     TypeBreakdown
+//	Fig. 3     DayOfWeek (Hypothesis 1)
+//	Fig. 4     HourOfDay (Hypothesis 2)
+//	Fig. 5     TBFAnalysis (Hypotheses 3–4)
+//	Fig. 6     LifecycleRates
+//	Fig. 7     ServerSkew
+//	§III-D     RepeatAnalysis
+//	Table IV   RackAnalysis (Hypothesis 5) / Fig. 8 per-DC ratios
+//	Table V    BatchFrequency
+//	§V-A       BatchWindows (case-study mining)
+//	Table VI   CorrelatedPairs
+//	Table VII  (power→fan examples inside CorrelatedPairs)
+//	Table VIII SyncRepeatGroups
+//	Fig. 9     ResponseTimes
+//	Fig. 10    ResponseTimesByClass
+//	Fig. 11    ProductLineRT
+//
+// All analyses consume only ticket data (fot.Trace) plus, where the paper
+// itself needed asset data (population normalization for Fig. 6 and
+// Fig. 8), a Census. Ground-truth generator internals are never used.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Census is the asset-database view the paper joins with tickets: the
+// monitored server population with deploy times, locations and component
+// counts (paper footnote 2), plus facility metadata (§IV).
+type Census struct {
+	Servers     []CensusServer
+	Datacenters []CensusDC
+}
+
+// CensusServer is one monitored host.
+type CensusServer struct {
+	HostID      uint64
+	IDC         string
+	Rack        string
+	Position    int
+	ProductLine string
+	Model       string
+	DeployTime  time.Time
+	// Components counts installed parts per class (the paper knows HDD,
+	// SSD and CPU counts per server and approximates the rest as one per
+	// server; we carry the full inventory).
+	Components map[fot.Component]int
+}
+
+// CensusDC is one facility.
+type CensusDC struct {
+	ID               string
+	BuiltYear        int
+	PositionsPerRack int
+}
+
+// CensusFromFleet adapts the simulator's fleet into the census view.
+// Production users would load this from their CMDB instead.
+func CensusFromFleet(fleet *topo.Fleet) *Census {
+	c := &Census{
+		Servers:     make([]CensusServer, 0, len(fleet.Servers)),
+		Datacenters: make([]CensusDC, 0, len(fleet.Datacenters)),
+	}
+	for i := range fleet.Datacenters {
+		dc := &fleet.Datacenters[i]
+		c.Datacenters = append(c.Datacenters, CensusDC{
+			ID:               dc.ID,
+			BuiltYear:        dc.BuiltYear,
+			PositionsPerRack: dc.PositionsPerRack,
+		})
+	}
+	for i := range fleet.Servers {
+		s := &fleet.Servers[i]
+		inv := make(map[fot.Component]int, len(s.Inventory))
+		for k, v := range s.Inventory {
+			inv[k] = v
+		}
+		c.Servers = append(c.Servers, CensusServer{
+			HostID:      s.HostID,
+			IDC:         s.IDC,
+			Rack:        s.Rack,
+			Position:    s.Position,
+			ProductLine: s.ProductLine,
+			Model:       s.Model,
+			DeployTime:  s.DeployTime,
+			Components:  inv,
+		})
+	}
+	return c
+}
+
+// Validate reports census violations.
+func (c *Census) Validate() error {
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("core: census has no servers")
+	}
+	dcs := make(map[string]bool, len(c.Datacenters))
+	for _, dc := range c.Datacenters {
+		if dc.PositionsPerRack < 1 {
+			return fmt.Errorf("core: census datacenter %s has no rack positions", dc.ID)
+		}
+		dcs[dc.ID] = true
+	}
+	for _, s := range c.Servers {
+		if !dcs[s.IDC] {
+			return fmt.Errorf("core: census server %d references unknown idc %s", s.HostID, s.IDC)
+		}
+		if s.DeployTime.IsZero() {
+			return fmt.Errorf("core: census server %d has zero deploy time", s.HostID)
+		}
+	}
+	return nil
+}
+
+// requireFailures extracts the failure population (D_fixing + D_error) and
+// errors out on an empty trace, the common precondition of all analyses.
+func requireFailures(tr *fot.Trace) (*fot.Trace, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	failures := tr.Failures()
+	if failures.Len() == 0 {
+		return nil, fmt.Errorf("core: trace has no failures (only false alarms)")
+	}
+	return failures, nil
+}
+
+// sortedComponentsByCount returns component classes ordered by descending
+// count (Table II presentation order).
+func sortedComponentsByCount(counts map[fot.Component]int) []fot.Component {
+	comps := make([]fot.Component, 0, len(counts))
+	for c := range counts {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if counts[comps[i]] != counts[comps[j]] {
+			return counts[comps[i]] > counts[comps[j]]
+		}
+		return comps[i] < comps[j]
+	})
+	return comps
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+)
+
+// fixture is the shared small-profile simulation run all core tests use.
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *fms.Result
+	fixtureCen  *Census
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) (*fms.Result, *Census) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 1234)
+		if fixtureErr == nil {
+			fixtureCen = CensusFromFleet(fixtureRes.Fleet)
+			fixtureErr = fixtureCen.Validate()
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRes, fixtureCen
+}
+
+func TestCensusFromFleet(t *testing.T) {
+	res, cen := fixture(t)
+	if len(cen.Servers) != res.Fleet.NumServers() {
+		t.Errorf("census has %d servers, fleet %d", len(cen.Servers), res.Fleet.NumServers())
+	}
+	if len(cen.Datacenters) != len(res.Fleet.Datacenters) {
+		t.Error("census datacenter count mismatch")
+	}
+	// Mutating census inventory must not touch the fleet.
+	cen.Servers[0].Components[fot.HDD] += 100
+	if res.Fleet.Servers[0].Inventory[fot.HDD] == cen.Servers[0].Components[fot.HDD] {
+		t.Error("census aliases fleet inventory")
+	}
+	cen.Servers[0].Components[fot.HDD] -= 100
+}
+
+func TestCensusValidate(t *testing.T) {
+	_, cen := fixture(t)
+	if err := cen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var empty Census
+	if err := empty.Validate(); err == nil {
+		t.Error("empty census accepted")
+	}
+	bad := Census{
+		Servers:     []CensusServer{{HostID: 1, IDC: "nope"}},
+		Datacenters: []CensusDC{{ID: "dc", PositionsPerRack: 10}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown idc accepted")
+	}
+}
+
+func TestAnalysesRejectEmptyTrace(t *testing.T) {
+	empty := fot.NewTrace(nil)
+	if _, err := CategoryBreakdown(empty); err == nil {
+		t.Error("CategoryBreakdown accepted empty trace")
+	}
+	if _, err := ComponentBreakdown(empty); err == nil {
+		t.Error("ComponentBreakdown accepted empty trace")
+	}
+	if _, err := DayOfWeek(empty, 0); err == nil {
+		t.Error("DayOfWeek accepted empty trace")
+	}
+	if _, err := TBFAnalysis(empty, 0); err == nil {
+		t.Error("TBFAnalysis accepted empty trace")
+	}
+	if _, err := ServerSkew(empty); err == nil {
+		t.Error("ServerSkew accepted empty trace")
+	}
+	if _, err := BatchFrequency(empty, nil); err == nil {
+		t.Error("BatchFrequency accepted empty trace")
+	}
+	if _, err := CorrelatedPairs(empty, 0); err == nil {
+		t.Error("CorrelatedPairs accepted empty trace")
+	}
+	if _, err := ResponseTimes(empty, fot.Fixing); err == nil {
+		t.Error("ResponseTimes accepted empty trace")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// synthTrace builds a hand-crafted trace for edge-case analysis tests.
+func synthTrace(n int, gap time.Duration) *fot.Trace {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	tickets := make([]fot.Ticket, 0, n)
+	for i := 0; i < n; i++ {
+		tickets = append(tickets, fot.Ticket{
+			ID:       uint64(i + 1),
+			HostID:   uint64(i%17 + 1),
+			IDC:      "dc01",
+			Position: i%10 + 1,
+			Device:   fot.HDD,
+			Slot:     "sdb",
+			Type:     "SMARTFail",
+			Time:     base.Add(time.Duration(i) * gap),
+			Category: fot.Fixing,
+			Action:   fot.ActionRepairOrder,
+		})
+	}
+	return fot.NewTrace(tickets)
+}
+
+// TestTBFZeroGapsFloored: a trace of same-timestamp batches must still fit
+// (the floor replaces zero gaps) rather than erroring out of the MLE.
+func TestTBFZeroGapsFloored(t *testing.T) {
+	tr := synthTrace(64, 0) // every ticket at the same instant
+	res, err := TBFAnalysis(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 63 {
+		t.Errorf("gaps = %d", res.N)
+	}
+	// Every gap became the one-second floor.
+	if res.MTBFMinutes > 0.02 {
+		t.Errorf("MTBF = %g min, want ≈1/60", res.MTBFMinutes)
+	}
+	for _, f := range res.Fits {
+		if f.Err == nil && f.Dist.Name() == "exponential" {
+			return // at least the exponential fit ran on floored data
+		}
+	}
+	t.Error("no exponential fit on floored gaps")
+}
+
+// TestRackAnomaliesSaturated: when every server has failed, the binomial
+// anomaly detector has nothing to flag and must return nil, not divide by
+// zero.
+func TestRackAnomaliesSaturated(t *testing.T) {
+	failed := []int{0, 5, 5, 5}
+	occ := []int{0, 5, 5, 5}
+	if got := rateAnomalies(failed, occ, []int{1, 2, 3}, 15, 15); got != nil {
+		t.Errorf("saturated anomalies = %v, want nil", got)
+	}
+	// Zero failures likewise.
+	if got := rateAnomalies([]int{0, 0, 0, 0}, occ, []int{1, 2, 3}, 0, 15); got != nil {
+		t.Errorf("zero-failure anomalies = %v, want nil", got)
+	}
+}
+
+// TestBatchWindowsSingleRun: a single continuous run forms exactly one
+// episode with the full ticket count.
+func TestBatchWindowsSingleRun(t *testing.T) {
+	tr := synthTrace(40, time.Minute)
+	eps, err := BatchWindows(tr, nil, 30*time.Minute, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(eps))
+	}
+	if eps[0].Tickets != 40 || eps[0].Servers != 17 {
+		t.Errorf("episode = %+v", eps[0])
+	}
+}
+
+// TestBatchWindowsRespectsGap: a gap larger than linkGap splits episodes.
+func TestBatchWindowsRespectsGap(t *testing.T) {
+	a := synthTrace(20, time.Minute).Tickets
+	b := synthTrace(20, time.Minute).Tickets
+	for i := range b {
+		b[i].ID += 100
+		b[i].Time = b[i].Time.Add(48 * time.Hour)
+	}
+	tr := fot.NewTrace(append(a, b...))
+	eps, err := BatchWindows(tr, nil, 30*time.Minute, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+}
+
+// TestCorrelatedPairsNoPairs: a single-component trace yields an empty
+// matrix without error.
+func TestCorrelatedPairsNoPairs(t *testing.T) {
+	tr := synthTrace(30, time.Hour)
+	cp, err := CorrelatedPairs(tr, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TotalPairs != 0 || len(cp.Pairs) != 0 {
+		t.Errorf("pairs from single-component trace: %+v", cp)
+	}
+}
+
+// TestSyncRepeatGroupsNoTwins: without synchronized instants across hosts
+// there are no groups.
+func TestSyncRepeatGroupsNoTwins(t *testing.T) {
+	tr := synthTrace(30, time.Hour) // one ticket per hour, hosts rotate
+	groups, err := SyncRepeatGroups(tr, 2*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Errorf("groups = %d, want 0", len(groups))
+	}
+}
+
+// TestServerSkewUniform: with one failure per host the CDF is the
+// diagonal and the top-2% share is proportional.
+func TestServerSkewUniform(t *testing.T) {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	tickets := make([]fot.Ticket, 0, 100)
+	for i := 0; i < 100; i++ {
+		tickets = append(tickets, fot.Ticket{
+			ID: uint64(i + 1), HostID: uint64(i + 1), IDC: "dc01",
+			Device: fot.HDD, Slot: "sda", Type: "SMARTFail",
+			Time: base.Add(time.Duration(i) * time.Hour), Category: fot.Fixing,
+		})
+	}
+	sk, err := ServerSkew(fot.NewTrace(tickets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.FailedServers != 100 || sk.MaxOneServer != 1 {
+		t.Errorf("skew = %+v", sk)
+	}
+	if got := sk.TopShare[0.10]; got < 0.09 || got > 0.11 {
+		t.Errorf("uniform top-10%% share = %g, want 0.10", got)
+	}
+}

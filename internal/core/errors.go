@@ -1,0 +1,11 @@
+package core
+
+import "fmt"
+
+func errEmptyTrace() error {
+	return fmt.Errorf("core: empty trace")
+}
+
+func errNoTickets(dim, value string) error {
+	return fmt.Errorf("core: no tickets for %s %s", dim, value)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// HypothesisVerdict is one tested hypothesis with its outcome.
+type HypothesisVerdict struct {
+	// ID is the paper's hypothesis number (1–5).
+	ID int
+	// Statement paraphrases the null hypothesis.
+	Statement string
+	// Scope describes what the verdict covers.
+	Scope string
+	// Alpha is the significance level the paper tested at.
+	Alpha float64
+	// Rejected is the verdict.
+	Rejected bool
+	// Test carries the strongest single test behind the verdict (for
+	// H3/H4, the Weibull fit — the family previous studies endorsed;
+	// for H5 the per-facility summary is in Detail instead).
+	Test stats.ChiSquareResult
+	// Detail holds auxiliary numbers (e.g. the Table IV bucket counts).
+	Detail string
+}
+
+// HypothesesResult bundles the paper's five hypotheses, tested on one
+// trace — the one-call summary of the study's statistical core.
+type HypothesesResult struct {
+	Verdicts []HypothesisVerdict
+}
+
+// AllMatchPaper reports whether every verdict matches the paper's
+// published outcome: H1–H4 rejected; H5 rejected in some facilities and
+// retained in others (mixed — represented by Rejected=true with the
+// Table IV split in Detail).
+func (r *HypothesesResult) AllMatchPaper() bool {
+	for _, v := range r.Verdicts {
+		if !v.Rejected {
+			return false
+		}
+	}
+	return len(r.Verdicts) == 5
+}
+
+// Hypotheses evaluates the paper's five hypotheses on a trace. The census
+// is needed for Hypothesis 5 (rack positions); pass nil to skip it.
+func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
+	res := &HypothesesResult{}
+
+	dow, err := DayOfWeek(tr, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Verdicts = append(res.Verdicts, HypothesisVerdict{
+		ID:        1,
+		Statement: "failures are uniform over days of the week",
+		Scope:     "all components",
+		Alpha:     0.01,
+		Rejected:  dow.Test.Reject(0.01),
+		Test:      dow.Test,
+		Detail:    "weekday-only: " + dow.WeekdayTest.String(),
+	})
+
+	hod, err := HourOfDay(tr, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Verdicts = append(res.Verdicts, HypothesisVerdict{
+		ID:        2,
+		Statement: "failures are uniform over hours of the day",
+		Scope:     "all components",
+		Alpha:     0.01,
+		Rejected:  hod.Test.Reject(0.01),
+		Test:      hod.Test,
+	})
+
+	tbf, err := TBFAnalysis(tr, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Verdicts = append(res.Verdicts, HypothesisVerdict{
+		ID:        3,
+		Statement: "fleet-wide TBF follows an exponential distribution",
+		Scope:     "all components",
+		Alpha:     0.05,
+		Rejected:  tbf.AllRejected(0.05),
+		Test:      fitTestOf(tbf, "exponential"),
+		Detail:    "every family (exp/weibull/gamma/lognormal) tested; least-bad: " + tbf.BestFamily,
+	})
+
+	// H4: per-class TBF. Use the dominant class as the headline scope.
+	hddTBF, err := TBFAnalysis(tr, fot.HDD)
+	if err != nil {
+		return nil, err
+	}
+	res.Verdicts = append(res.Verdicts, HypothesisVerdict{
+		ID:        4,
+		Statement: "per-class TBF follows an exponential distribution",
+		Scope:     "hdd (dominant class)",
+		Alpha:     0.05,
+		Rejected:  hddTBF.AllRejected(0.05),
+		Test:      fitTestOf(hddTBF, "exponential"),
+	})
+
+	if census != nil {
+		ra, err := RackAnalysis(tr, census)
+		if err != nil {
+			return nil, err
+		}
+		res.Verdicts = append(res.Verdicts, HypothesisVerdict{
+			ID:        5,
+			Statement: "failure rate is independent of rack position",
+			Scope:     "per facility (mixed verdict, as in Table IV)",
+			Alpha:     0.05,
+			Rejected:  ra.PLow+ra.PMid > 0,
+			Detail:    sprintfTableIV(ra),
+		})
+	}
+	return res, nil
+}
+
+func fitTestOf(r *TBFResult, family string) stats.ChiSquareResult {
+	for _, f := range r.Fits {
+		if f.Dist.Name() == family && f.Err == nil {
+			return f.Test
+		}
+	}
+	return stats.ChiSquareResult{}
+}
+
+func sprintfTableIV(ra *RackAnalysisResult) string {
+	return fmt.Sprintf("p<0.01: %d, 0.01–0.05: %d, p>=0.05: %d of %d facilities",
+		ra.PLow, ra.PMid, ra.PHigh, len(ra.PerDC))
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHypothesesSummary(t *testing.T) {
+	res, cen := fixture(t)
+	h, err := Hypotheses(res.Trace, cen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Verdicts) != 5 {
+		t.Fatalf("got %d verdicts, want 5", len(h.Verdicts))
+	}
+	for i, v := range h.Verdicts {
+		if v.ID != i+1 {
+			t.Errorf("verdict %d has id %d", i, v.ID)
+		}
+		if v.Statement == "" || v.Scope == "" {
+			t.Errorf("verdict %d incomplete: %+v", i, v)
+		}
+		if !v.Rejected {
+			t.Errorf("H%d not rejected: %+v", v.ID, v)
+		}
+	}
+	if !h.AllMatchPaper() {
+		t.Error("verdicts do not match the paper's outcomes")
+	}
+	// H5 carries the Table IV split.
+	if !strings.Contains(h.Verdicts[4].Detail, "facilities") {
+		t.Errorf("H5 detail missing Table IV split: %q", h.Verdicts[4].Detail)
+	}
+	// H3 names the least-bad family.
+	if !strings.Contains(h.Verdicts[2].Detail, "least-bad") {
+		t.Errorf("H3 detail missing AIC ranking: %q", h.Verdicts[2].Detail)
+	}
+}
+
+func TestHypothesesWithoutCensus(t *testing.T) {
+	res, _ := fixture(t)
+	h, err := Hypotheses(res.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Verdicts) != 4 {
+		t.Fatalf("without census: %d verdicts, want 4", len(h.Verdicts))
+	}
+	if h.AllMatchPaper() {
+		t.Error("AllMatchPaper should require all five hypotheses")
+	}
+}
+
+func TestTBFBestFamilySet(t *testing.T) {
+	res, _ := fixture(t)
+	tbf, err := TBFAnalysis(res.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch tbf.BestFamily {
+	case "weibull", "gamma", "lognormal", "exponential":
+	default:
+		t.Errorf("best family = %q", tbf.BestFamily)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// hoursPerMonth is the mean Gregorian month used to bucket service age.
+const hoursPerMonth = 24 * 30.44
+
+// LifecycleResult reproduces one subfigure of Fig. 6: the monthly failure
+// rate of a component class across its service life.
+type LifecycleResult struct {
+	Component fot.Component
+	// Counts[m] is the number of failures detected in service month m.
+	Counts []int
+	// Exposure[m] is the component-months of exposure at age m (how many
+	// installed components of the class were m months old during the
+	// study, weighted by partial coverage).
+	Exposure []float64
+	// Rates[m] = Counts[m] / Exposure[m]; zero-exposure months are zero.
+	Rates []float64
+	// Normalized is Rates scaled so the maximum is 1 — the same
+	// confidentiality normalization the paper applies.
+	Normalized []float64
+}
+
+// MassBetween returns the fraction of failures whose service age fell in
+// [fromMonth, toMonth). It backs statements like "47.4% of RAID failures
+// happen in the first six months".
+func (r *LifecycleResult) MassBetween(fromMonth, toMonth int) float64 {
+	total, window := 0, 0
+	for m, n := range r.Counts {
+		total += n
+		if m >= fromMonth && m < toMonth {
+			window += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(window) / float64(total)
+}
+
+// LifecycleRates computes Fig. 6 for one component class over the first
+// `horizon` months of service life. The census provides the population
+// (how many components of the class were at each age), mirroring the
+// paper's footnote 2 normalization. Repeating failures are filtered first
+// so a single flapping component (the chronic BBU server) counts once,
+// not hundreds of times, in its age bucket.
+func LifecycleRates(tr *fot.Trace, census *Census, c fot.Component, horizon int) (*LifecycleResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	failures = dedupeRepeats(failures)
+	if census == nil {
+		return nil, errNoTickets("census for", c.String())
+	}
+	if horizon < 1 {
+		horizon = 48
+	}
+	lo, hi, ok := failures.Span()
+	if !ok {
+		return nil, errEmptyTrace()
+	}
+	res := &LifecycleResult{
+		Component:  c,
+		Counts:     make([]int, horizon),
+		Exposure:   make([]float64, horizon),
+		Rates:      make([]float64, horizon),
+		Normalized: make([]float64, horizon),
+	}
+	for _, tk := range failures.ByComponent(c).Tickets {
+		age, known := tk.AgeAtFailure()
+		if !known {
+			continue
+		}
+		m := int(age.Hours() / hoursPerMonth)
+		if m >= 0 && m < horizon {
+			res.Counts[m]++
+		}
+	}
+	for i := range census.Servers {
+		s := &census.Servers[i]
+		n := s.Components[c]
+		if n == 0 {
+			continue
+		}
+		addExposure(res.Exposure, s.DeployTime, lo, hi, float64(n))
+	}
+	maxRate := 0.0
+	for m := range res.Rates {
+		if res.Exposure[m] > 0 {
+			res.Rates[m] = float64(res.Counts[m]) / res.Exposure[m]
+		}
+		if res.Rates[m] > maxRate {
+			maxRate = res.Rates[m]
+		}
+	}
+	if maxRate > 0 {
+		for m := range res.Normalized {
+			res.Normalized[m] = res.Rates[m] / maxRate
+		}
+	}
+	return res, nil
+}
+
+// addExposure accumulates, for one server deployed at deploy, the overlap
+// (in months) between each service-age month and the study window
+// [lo, hi), scaled by weight (component count).
+func addExposure(exposure []float64, deploy time.Time, lo, hi time.Time, weight float64) {
+	if !hi.After(deploy) {
+		return
+	}
+	monthHours := hoursPerMonth
+	for m := range exposure {
+		mLo := deploy.Add(time.Duration(float64(m) * monthHours * float64(time.Hour)))
+		mHi := deploy.Add(time.Duration(float64(m+1) * monthHours * float64(time.Hour)))
+		if !mLo.Before(hi) {
+			return
+		}
+		wLo, wHi := mLo, mHi
+		if wLo.Before(lo) {
+			wLo = lo
+		}
+		if wHi.After(hi) {
+			wHi = hi
+		}
+		if wHi.After(wLo) {
+			exposure[m] += weight * wHi.Sub(wLo).Hours() / monthHours
+		}
+	}
+}

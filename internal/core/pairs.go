@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// PairCount is one cell of Table VI.
+type PairCount struct {
+	A, B  fot.Component // canonical order: A < B by component value
+	Count int
+}
+
+// PairExample is one Table VII row pair: two correlated tickets on the
+// same server.
+type PairExample struct {
+	HostID uint64
+	First  fot.Ticket
+	Second fot.Ticket
+}
+
+// CorrelatedPairsResult reproduces Table VI (and carries the Table VII
+// power→fan examples).
+type CorrelatedPairsResult struct {
+	Window time.Duration
+	// Pairs holds the co-failure matrix cells, largest first.
+	Pairs      []PairCount
+	TotalPairs int
+	// MiscFraction is the share of pairs that involve a miscellaneous
+	// ticket (paper: 71.5%).
+	MiscFraction float64
+	// ServersWithPairs / FailedServers give the prevalence (paper:
+	// 0.49% of servers that ever failed).
+	ServersWithPairs int
+	FailedServers    int
+	ServerFraction   float64
+	// PowerFanExamples are Table VII-style instances.
+	PowerFanExamples []PairExample
+}
+
+// CorrelatedPairs computes Table VI: failures of two different components
+// on the same server within `window` (the paper uses a single day).
+// Repeating failures are filtered first, exactly as in the spatial
+// analysis — otherwise a single flapping server (the chronic BBU case)
+// would flood the matrix.
+func CorrelatedPairs(tr *fot.Trace, window time.Duration) (*CorrelatedPairsResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	failures = dedupeRepeats(failures)
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	res := &CorrelatedPairsResult{Window: window}
+	counts := make(map[[2]fot.Component]int)
+	serversWith := make(map[uint64]bool)
+
+	byHost := failures.GroupByHost()
+	res.FailedServers = len(byHost)
+	for host, tickets := range byHost {
+		sort.Slice(tickets, func(i, j int) bool { return tickets[i].Time.Before(tickets[j].Time) })
+		for i := 0; i < len(tickets)-1; i++ {
+			a := tickets[i]
+			b := tickets[i+1]
+			if b.Time.Sub(a.Time) > window || a.Device == b.Device {
+				continue
+			}
+			key := canonicalPair(a.Device, b.Device)
+			counts[key]++
+			res.TotalPairs++
+			serversWith[host] = true
+			if key == canonicalPair(fot.Power, fot.Fan) && len(res.PowerFanExamples) < 8 {
+				first, second := a, b
+				if first.Device != fot.Power {
+					first, second = b, a
+				}
+				res.PowerFanExamples = append(res.PowerFanExamples, PairExample{
+					HostID: host, First: first, Second: second,
+				})
+			}
+			if a.Device == fot.Misc || b.Device == fot.Misc {
+				res.MiscFraction++ // numerator; normalized below
+			}
+			i++ // consume both tickets of the pair
+		}
+	}
+	if res.TotalPairs > 0 {
+		res.MiscFraction /= float64(res.TotalPairs)
+	}
+	res.ServersWithPairs = len(serversWith)
+	if res.FailedServers > 0 {
+		res.ServerFraction = float64(res.ServersWithPairs) / float64(res.FailedServers)
+	}
+	for key, n := range counts {
+		res.Pairs = append(res.Pairs, PairCount{A: key[0], B: key[1], Count: n})
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].Count != res.Pairs[j].Count {
+			return res.Pairs[i].Count > res.Pairs[j].Count
+		}
+		if res.Pairs[i].A != res.Pairs[j].A {
+			return res.Pairs[i].A < res.Pairs[j].A
+		}
+		return res.Pairs[i].B < res.Pairs[j].B
+	})
+	return res, nil
+}
+
+func canonicalPair(a, b fot.Component) [2]fot.Component {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]fot.Component{a, b}
+}
+
+// SyncRepeatGroup is one Table VIII finding: two servers whose identical
+// failures recur nearly simultaneously, repeatedly.
+type SyncRepeatGroup struct {
+	HostA, HostB uint64
+	// Occurrences counts synchronized failure instants.
+	Occurrences int
+	// Times lists the first few synchronized instants.
+	Times []time.Time
+	// Component/Type of the synchronized failures.
+	Component fot.Component
+	Type      string
+}
+
+// SyncRepeatGroups mines Table VIII: pairs of servers with at least
+// minOccurrences failure instants of the same (component, type) within
+// maxSkew of each other. Buckets holding many hosts are skipped — those
+// are batch failures (§V-A), not repeat twins.
+func SyncRepeatGroups(tr *fot.Trace, maxSkew time.Duration, minOccurrences int) ([]SyncRepeatGroup, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if maxSkew <= 0 {
+		maxSkew = 2 * time.Minute
+	}
+	if minOccurrences < 2 {
+		minOccurrences = 2
+	}
+	const maxBucketHosts = 8
+
+	type bucketKey struct {
+		dev    fot.Component
+		typ    string
+		bucket int64
+	}
+	buckets := make(map[bucketKey]map[uint64]time.Time)
+	skew := int64(maxSkew / time.Second)
+	for _, tk := range failures.Tickets {
+		// Two buckets (floor and shifted) so near-boundary instants meet.
+		sec := tk.Time.Unix()
+		for _, b := range []int64{sec / skew, (sec + skew/2) / skew} {
+			k := bucketKey{tk.Device, tk.Type, b}
+			m := buckets[k]
+			if m == nil {
+				m = make(map[uint64]time.Time)
+				buckets[k] = m
+			}
+			if _, ok := m[tk.HostID]; !ok {
+				m[tk.HostID] = tk.Time
+			}
+		}
+	}
+
+	type pairKey struct {
+		a, b uint64
+		dev  fot.Component
+		typ  string
+	}
+	type pairAgg struct {
+		instants map[int64]time.Time
+	}
+	pairs := make(map[pairKey]*pairAgg)
+	for k, hosts := range buckets {
+		if len(hosts) < 2 || len(hosts) > maxBucketHosts {
+			continue
+		}
+		ids := make([]uint64, 0, len(hosts))
+		for h := range hosts {
+			ids = append(ids, h)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				pk := pairKey{ids[i], ids[j], k.dev, k.typ}
+				agg := pairs[pk]
+				if agg == nil {
+					agg = &pairAgg{instants: make(map[int64]time.Time)}
+					pairs[pk] = agg
+				}
+				// Deduplicate the double-bucketing by the instant's
+				// skew-grain timestamp.
+				t := hosts[ids[i]]
+				agg.instants[t.Unix()/skew] = t
+			}
+		}
+	}
+
+	var out []SyncRepeatGroup
+	for pk, agg := range pairs {
+		if len(agg.instants) < minOccurrences {
+			continue
+		}
+		g := SyncRepeatGroup{
+			HostA: pk.a, HostB: pk.b,
+			Occurrences: len(agg.instants),
+			Component:   pk.dev,
+			Type:        pk.typ,
+		}
+		for _, t := range agg.instants {
+			g.Times = append(g.Times, t)
+		}
+		sort.Slice(g.Times, func(i, j int) bool { return g.Times[i].Before(g.Times[j]) })
+		if len(g.Times) > 8 {
+			g.Times = g.Times[:8]
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences > out[j].Occurrences
+		}
+		if out[i].HostA != out[j].HostA {
+			return out[i].HostA < out[j].HostA
+		}
+		return out[i].HostB < out[j].HostB
+	})
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func TestCorrelatedPairsTableVI(t *testing.T) {
+	res, _ := fixture(t)
+	cp, err := CorrelatedPairs(res.Trace, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TotalPairs == 0 {
+		t.Fatal("no correlated pairs found despite injection")
+	}
+	// Matrix cells are canonical (A < B) and sorted by count.
+	sum := 0
+	for i, pc := range cp.Pairs {
+		if pc.A >= pc.B {
+			t.Fatalf("non-canonical pair %v/%v", pc.A, pc.B)
+		}
+		if i > 0 && pc.Count > cp.Pairs[i-1].Count {
+			t.Fatal("pairs not sorted")
+		}
+		sum += pc.Count
+	}
+	if sum != cp.TotalPairs {
+		t.Errorf("cells sum to %d, total %d", sum, cp.TotalPairs)
+	}
+	// Paper: misc reports accompany 71.5% of two-component failures.
+	if cp.MiscFraction < 0.45 || cp.MiscFraction > 0.90 {
+		t.Errorf("misc fraction = %.3f, want ≈0.715", cp.MiscFraction)
+	}
+	// Paper: experienced by 0.49% of servers that ever failed — rare.
+	if cp.ServerFraction <= 0 || cp.ServerFraction > 0.10 {
+		t.Errorf("server fraction = %.4f, want small", cp.ServerFraction)
+	}
+	// Misc×HDD is the dominant cell (349 in Table VI).
+	top := cp.Pairs[0]
+	if !(top.A == fot.HDD && top.B == fot.Misc) {
+		t.Errorf("top pair = %v/%v, want hdd/misc", top.A, top.B)
+	}
+}
+
+func TestPowerFanExamplesTableVII(t *testing.T) {
+	res, _ := fixture(t)
+	cp, err := CorrelatedPairs(res.Trace, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.PowerFanExamples) == 0 {
+		t.Fatal("no power→fan examples despite PDU fan-follow injection")
+	}
+	for _, ex := range cp.PowerFanExamples {
+		if ex.First.Device != fot.Power || ex.Second.Device != fot.Fan {
+			t.Errorf("example devices %v→%v, want power→fan", ex.First.Device, ex.Second.Device)
+		}
+		if ex.First.HostID != ex.Second.HostID || ex.HostID != ex.First.HostID {
+			t.Error("example spans hosts")
+		}
+		gap := ex.Second.Time.Sub(ex.First.Time)
+		if gap < -24*time.Hour || gap > 24*time.Hour {
+			t.Errorf("example gap %v outside window", gap)
+		}
+	}
+}
+
+func TestCorrelatedPairsDefaultWindow(t *testing.T) {
+	res, _ := fixture(t)
+	cp, err := CorrelatedPairs(res.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Window != 24*time.Hour {
+		t.Errorf("default window = %v", cp.Window)
+	}
+}
+
+func TestSyncRepeatGroupsTableVIII(t *testing.T) {
+	res, _ := fixture(t)
+	groups, err := SyncRepeatGroups(res.Trace, 2*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no synchronized repeat groups despite injection")
+	}
+	for i, g := range groups {
+		if g.HostA >= g.HostB {
+			t.Fatalf("group %d hosts not canonical", i)
+		}
+		if g.Occurrences < 3 {
+			t.Fatalf("group %d below threshold", i)
+		}
+		if len(g.Times) == 0 {
+			t.Fatalf("group %d has no instants", i)
+		}
+		for j := 1; j < len(g.Times); j++ {
+			if g.Times[j].Before(g.Times[j-1]) {
+				t.Fatalf("group %d instants unsorted", i)
+			}
+		}
+		if i > 0 && g.Occurrences > groups[i-1].Occurrences {
+			t.Fatal("groups not sorted by occurrences")
+		}
+	}
+	// The injected twins are same-model, same-line, same-IDC HDD pairs;
+	// verify the top group's hosts are real twins via the census.
+	_, cen := fixture(t)
+	byHost := map[uint64]*CensusServer{}
+	for i := range cen.Servers {
+		byHost[cen.Servers[i].HostID] = &cen.Servers[i]
+	}
+	top := groups[0]
+	a, b := byHost[top.HostA], byHost[top.HostB]
+	if a == nil || b == nil {
+		t.Fatal("group hosts missing from census")
+	}
+	if a.Model != b.Model || a.ProductLine != b.ProductLine {
+		t.Errorf("top sync-repeat pair is not a twin: %+v vs %+v", a, b)
+	}
+}
+
+func TestSyncRepeatGroupsSkipsBatches(t *testing.T) {
+	res, _ := fixture(t)
+	// With a huge skew window every batch would alias into "sync" pairs;
+	// the bucket cap must keep the group count sane instead of quadratic.
+	groups, err := SyncRepeatGroups(res.Trace, 2*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) > 500 {
+		t.Errorf("%d sync groups — batch aliasing not suppressed", len(groups))
+	}
+}
+
+func TestSyncRepeatGroupsDefaults(t *testing.T) {
+	res, _ := fixture(t)
+	if _, err := SyncRepeatGroups(res.Trace, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"dcfail/internal/fot"
+)
+
+func TestResponseTimesFig9(t *testing.T) {
+	res, _ := fixture(t)
+	fixing, err := ResponseTimes(res.Trace, fot.Fixing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, err := ResponseTimes(res.Trace, fot.FalseAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 9: MTTR ≫ median (42.2 vs 6.1 days for D_fixing); very
+	// long tails (10% > 140 days).
+	if !(fixing.MeanDays > 2*fixing.MedianDays) {
+		t.Errorf("fixing mean %.1f not ≫ median %.1f", fixing.MeanDays, fixing.MedianDays)
+	}
+	if fixing.MedianDays < 0.5 || fixing.MedianDays > 30 {
+		t.Errorf("fixing median %.1f days implausible", fixing.MedianDays)
+	}
+	if fixing.FracOver140 <= 0 {
+		t.Error("no responses beyond 140 days — the paper's long tail is missing")
+	}
+	if !(fixing.FracOver140 >= fixing.FracOver200) {
+		t.Error("tail fractions inconsistent")
+	}
+	// False alarms respond like fixing tickets but are fewer.
+	if alarm.N >= fixing.N {
+		t.Errorf("false alarms (%d) outnumber fixing (%d)", alarm.N, fixing.N)
+	}
+	// CDF well-formed.
+	for i := 1; i < len(fixing.CDF); i++ {
+		if fixing.CDF[i].Y < fixing.CDF[i-1].Y {
+			t.Fatal("RT CDF not monotone")
+		}
+	}
+}
+
+func TestResponseTimesErrorCategoryEmpty(t *testing.T) {
+	res, _ := fixture(t)
+	// D_error tickets are never responded to (paper: out-of-warranty
+	// tickets are closed without an operator action).
+	if _, err := ResponseTimes(res.Trace, fot.Error); err == nil {
+		t.Error("D_error should have no response times")
+	}
+}
+
+func TestResponseTimesByClassFig10(t *testing.T) {
+	res, _ := fixture(t)
+	byClass, err := ResponseTimesByClass(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdd, ok1 := byClass[fot.HDD]
+	ssd, ok2 := byClass[fot.SSD]
+	misc, ok3 := byClass[fot.Misc]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing classes in Fig. 10 result: %v %v %v", ok1, ok2, ok3)
+	}
+	// Paper: SSD and misc medians are hours; HDD 7–18 days.
+	if !(ssd.MedianDays < 2) {
+		t.Errorf("SSD median %.2f days, want hours", ssd.MedianDays)
+	}
+	if !(misc.MedianDays < 2) {
+		t.Errorf("misc median %.2f days, want hours", misc.MedianDays)
+	}
+	if !(hdd.MedianDays > 2*ssd.MedianDays) {
+		t.Errorf("HDD median %.2f not ≫ SSD %.2f", hdd.MedianDays, ssd.MedianDays)
+	}
+}
+
+func TestProductLineRTFig11(t *testing.T) {
+	res, _ := fixture(t)
+	pl, err := ProductLineRT(res.Trace, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Points) < 3 {
+		t.Fatalf("only %d product lines", len(pl.Points))
+	}
+	// Sorted by failure count, descending.
+	for i := 1; i < len(pl.Points); i++ {
+		if pl.Points[i].Failures > pl.Points[i-1].Failures {
+			t.Fatal("points not sorted by failures")
+		}
+	}
+	if pl.Top1PctMedianDays <= 0 {
+		t.Error("missing top-1% median")
+	}
+	// §VI-C's anti-correlation (busiest lines respond slower) is asserted
+	// at paper scale in experiments_test.go — with only a dozen lines in
+	// the small profile a single diligence draw can flip it. Here, check
+	// the structural outputs only.
+	if pl.MedianStdDevDays <= 0 {
+		t.Error("no cross-line variation")
+	}
+}
+
+func TestProductLineRTAllComponents(t *testing.T) {
+	res, _ := fixture(t)
+	pl, err := ProductLineRT(res.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Points) == 0 {
+		t.Fatal("no lines")
+	}
+}

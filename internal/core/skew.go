@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// ServerSkewResult reproduces Fig. 7: how unevenly failures concentrate on
+// individual servers.
+type ServerSkewResult struct {
+	FailedServers int
+	TotalFailures int
+	// CDF plots, for x = fraction of ever-failed servers (taken in
+	// decreasing failure-count order), the cumulative share y of all
+	// failures those servers hold.
+	CDF []stats.Point
+	// TopShare[p] is the share of failures held by the top fraction p of
+	// failed servers (the paper highlights p = 0.02).
+	TopShare map[float64]float64
+	// MaxOneServer is the largest per-server ticket count (the chronic
+	// BBU server holds >400 in the paper).
+	MaxOneServer int
+	MaxServer    uint64
+}
+
+// ServerSkew computes Fig. 7.
+func ServerSkew(tr *fot.Trace) (*ServerSkewResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	perServer := make(map[uint64]int)
+	for _, tk := range failures.Tickets {
+		perServer[tk.HostID]++
+	}
+	counts := make([]int, 0, len(perServer))
+	var maxCount int
+	var maxHost uint64
+	for host, n := range perServer {
+		counts = append(counts, n)
+		if n > maxCount || (n == maxCount && host < maxHost) {
+			maxCount, maxHost = n, host
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+
+	res := &ServerSkewResult{
+		FailedServers: len(counts),
+		TotalFailures: failures.Len(),
+		TopShare:      make(map[float64]float64),
+		MaxOneServer:  maxCount,
+		MaxServer:     maxHost,
+	}
+	cum := 0
+	cdf := make([]stats.Point, 0, 257)
+	step := len(counts)/256 + 1
+	for i, n := range counts {
+		cum += n
+		if i%step == 0 || i == len(counts)-1 {
+			cdf = append(cdf, stats.Point{
+				X: float64(i+1) / float64(len(counts)),
+				Y: float64(cum) / float64(res.TotalFailures),
+			})
+		}
+	}
+	res.CDF = cdf
+	for _, p := range []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50} {
+		k := int(p * float64(len(counts)))
+		if k < 1 {
+			k = 1
+		}
+		sum := 0
+		for _, n := range counts[:k] {
+			sum += n
+		}
+		res.TopShare[p] = float64(sum) / float64(res.TotalFailures)
+	}
+	return res, nil
+}
+
+// RepeatResult reproduces §III-D: repeating failures and the
+// effectiveness of repairs.
+type RepeatResult struct {
+	// FixedGroups counts (host, device, type) groups that received at
+	// least one repair (a D_fixing ticket).
+	FixedGroups int
+	// RepeatedGroups counts fixed groups where the same failure recurred
+	// after a ticket was closed as solved.
+	RepeatedGroups int
+	// NeverRepeatFraction is 1 − RepeatedGroups/FixedGroups (paper: over
+	// 85% of fixed components never repeat).
+	NeverRepeatFraction float64
+	// FailedServers / ServersWithRepeats give the per-server view
+	// (paper: ~4.5% of ever-failed servers suffered repeats).
+	FailedServers        int
+	ServersWithRepeats   int
+	RepeatServerFraction float64
+}
+
+// RepeatAnalysis computes §III-D's repeat statistics. A repeat is a later
+// ticket with the same (host, device, slot, type) after an earlier ticket
+// of that group was marked solved (paper definition: the same problem
+// reappearing on the same component instance).
+func RepeatAnalysis(tr *fot.Trace) (*RepeatResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	type groupKey struct {
+		host uint64
+		dev  fot.Component
+		slot string
+		typ  string
+	}
+	ordered := failures.Clone()
+	ordered.SortByTime()
+	type groupState struct {
+		fixed    bool // saw a D_fixing ticket
+		repeated bool // saw a ticket after a fixing ticket
+	}
+	groups := make(map[groupKey]*groupState)
+	serversWithRepeat := make(map[uint64]bool)
+	servers := make(map[uint64]bool)
+	for _, tk := range ordered.Tickets {
+		servers[tk.HostID] = true
+		k := groupKey{tk.HostID, tk.Device, tk.Slot, tk.Type}
+		g := groups[k]
+		if g == nil {
+			g = &groupState{}
+			groups[k] = g
+		}
+		if g.fixed {
+			// Same failure after a "solved" ticket: a repeat.
+			g.repeated = true
+			serversWithRepeat[tk.HostID] = true
+		}
+		if tk.Category == fot.Fixing {
+			g.fixed = true
+		}
+	}
+	res := &RepeatResult{FailedServers: len(servers)}
+	for _, g := range groups {
+		if !g.fixed {
+			continue
+		}
+		res.FixedGroups++
+		if g.repeated {
+			res.RepeatedGroups++
+		}
+	}
+	if res.FixedGroups > 0 {
+		res.NeverRepeatFraction = 1 - float64(res.RepeatedGroups)/float64(res.FixedGroups)
+	}
+	res.ServersWithRepeats = len(serversWithRepeat)
+	if res.FailedServers > 0 {
+		res.RepeatServerFraction = float64(res.ServersWithRepeats) / float64(res.FailedServers)
+	}
+	return res, nil
+}

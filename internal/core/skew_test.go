@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestServerSkewFig7(t *testing.T) {
+	res, _ := fixture(t)
+	sk, err := ServerSkew(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.FailedServers == 0 || sk.TotalFailures == 0 {
+		t.Fatal("empty skew result")
+	}
+	// CDF must be monotone and end at (1, 1).
+	for i := 1; i < len(sk.CDF); i++ {
+		if sk.CDF[i].X < sk.CDF[i-1].X || sk.CDF[i].Y < sk.CDF[i-1].Y-1e-12 {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	last := sk.CDF[len(sk.CDF)-1]
+	if last.X != 1 || last.Y < 1-1e-9 {
+		t.Errorf("CDF endpoint = %+v, want (1,1)", last)
+	}
+	// Extreme concentration (paper: top 2% ≫ everyone else). At small
+	// scale the chronic server plus frailty tail must already give the
+	// top 2% several times their proportional share.
+	top2 := sk.TopShare[0.02]
+	if top2 < 0.05 {
+		t.Errorf("top-2%% share = %.3f, want heavily super-proportional", top2)
+	}
+	if !(sk.TopShare[0.10] > sk.TopShare[0.02]) {
+		t.Error("TopShare not monotone in p")
+	}
+	// The chronic BBU server dominates per-server counts.
+	if sk.MaxOneServer < 100 {
+		t.Errorf("max per-server tickets = %d, want the chronic server's hundreds", sk.MaxOneServer)
+	}
+}
+
+func TestRepeatAnalysisSecIIID(t *testing.T) {
+	res, _ := fixture(t)
+	rep, err := RepeatAnalysis(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FixedGroups == 0 {
+		t.Fatal("no fixed groups")
+	}
+	// Paper: over 85% of fixed components never repeat.
+	if rep.NeverRepeatFraction < 0.80 || rep.NeverRepeatFraction > 0.995 {
+		t.Errorf("never-repeat fraction = %.3f, want ≈0.85+", rep.NeverRepeatFraction)
+	}
+	// Paper: ~4.5% of failed servers suffered repeats.
+	if rep.RepeatServerFraction <= 0 || rep.RepeatServerFraction > 0.25 {
+		t.Errorf("repeat-server fraction = %.4f, want small but positive", rep.RepeatServerFraction)
+	}
+	if rep.ServersWithRepeats == 0 {
+		t.Error("no servers with repeats despite injected chains")
+	}
+	if rep.RepeatedGroups == 0 {
+		t.Error("no repeated groups despite organic repeats")
+	}
+}

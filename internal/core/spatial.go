@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// RackPositionResult reproduces one Fig. 8 subplot: the failure ratio at
+// each rack position of one datacenter, with the Hypothesis 5 test.
+type RackPositionResult struct {
+	IDC       string
+	BuiltYear int
+	Positions int
+	// Failures[p] counts failed servers at rack position p (index 0
+	// unused): repeating failures are filtered out first, and a server
+	// counts once when any of its components fail (paper §IV). Counting
+	// servers rather than tickets keeps per-server luck (frailty, batch
+	// membership) from masquerading as a position effect.
+	Failures []int
+	// Occupancy[p] is the number of monitored servers at position p.
+	Occupancy []int
+	// Ratio[p] is Failures[p]/Occupancy[p], the per-server failure ratio.
+	Ratio []float64
+	// Test is the occupancy-weighted chi-square uniformity test
+	// (Hypothesis 5: failure rate independent of rack position).
+	Test stats.ChiSquareResult
+	// Anomalies lists positions whose ratio lies outside μ±2σ — the
+	// paper's spot-anomaly detection that flags positions 22 and 35 in
+	// its datacenter A even though the overall test cannot reject.
+	Anomalies []int
+}
+
+// RackAnalysisResult reproduces Table IV across datacenters.
+type RackAnalysisResult struct {
+	PerDC []RackPositionResult
+	// Table IV buckets.
+	PLow  int // p < 0.01
+	PMid  int // 0.01 <= p < 0.05
+	PHigh int // p >= 0.05
+	// ModernNonRejectFraction is the share of post-2014 facilities where
+	// Hypothesis 5 cannot be rejected at 0.02 (paper: ~90%).
+	ModernNonRejectFraction float64
+}
+
+// RackAnalysis computes Fig. 8 / Table IV over every datacenter in the
+// census.
+func RackAnalysis(tr *fot.Trace, census *Census) (*RackAnalysisResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if census == nil || len(census.Datacenters) == 0 {
+		return nil, errNoTickets("census for", "rack analysis")
+	}
+	deduped := dedupeRepeats(failures)
+
+	res := &RackAnalysisResult{}
+	modern, modernOK := 0, 0
+	for _, dc := range census.Datacenters {
+		one, err := rackPositions(deduped, census, dc)
+		if err != nil {
+			continue // facility with too little data
+		}
+		res.PerDC = append(res.PerDC, *one)
+		switch {
+		case one.Test.P < 0.01:
+			res.PLow++
+		case one.Test.P < 0.05:
+			res.PMid++
+		default:
+			res.PHigh++
+		}
+		if dc.BuiltYear >= 2014 {
+			modern++
+			if !one.Test.Reject(0.02) {
+				modernOK++
+			}
+		}
+	}
+	if len(res.PerDC) == 0 {
+		return nil, errNoTickets("datacenters with", "rack data")
+	}
+	if modern > 0 {
+		res.ModernNonRejectFraction = float64(modernOK) / float64(modern)
+	}
+	return res, nil
+}
+
+// RackPositions computes the Fig. 8 subplot for one datacenter id.
+func RackPositions(tr *fot.Trace, census *Census, idc string) (*RackPositionResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	for _, dc := range census.Datacenters {
+		if dc.ID == idc {
+			return rackPositions(dedupeRepeats(failures), census, dc)
+		}
+	}
+	return nil, errNoTickets("datacenter", idc)
+}
+
+func rackPositions(failures *fot.Trace, census *Census, dc CensusDC) (*RackPositionResult, error) {
+	res := &RackPositionResult{
+		IDC:       dc.ID,
+		BuiltYear: dc.BuiltYear,
+		Positions: dc.PositionsPerRack,
+		Failures:  make([]int, dc.PositionsPerRack+1),
+		Occupancy: make([]int, dc.PositionsPerRack+1),
+		Ratio:     make([]float64, dc.PositionsPerRack+1),
+	}
+	for i := range census.Servers {
+		s := &census.Servers[i]
+		if s.IDC == dc.ID && s.Position >= 1 && s.Position <= dc.PositionsPerRack {
+			res.Occupancy[s.Position]++
+		}
+	}
+	failedHosts := make(map[uint64]int) // host -> position
+	for _, tk := range failures.ByIDC(dc.ID).Tickets {
+		if tk.Position >= 1 && tk.Position <= dc.PositionsPerRack {
+			failedHosts[tk.HostID] = tk.Position
+		}
+	}
+	for _, pos := range failedHosts {
+		res.Failures[pos]++
+	}
+	// Only positions that actually host servers enter the test.
+	var positions []int
+	totalFailed, totalOcc := 0, 0
+	for p := 1; p <= dc.PositionsPerRack; p++ {
+		if res.Occupancy[p] == 0 {
+			continue
+		}
+		res.Ratio[p] = float64(res.Failures[p]) / float64(res.Occupancy[p])
+		positions = append(positions, p)
+		totalFailed += res.Failures[p]
+		totalOcc += res.Occupancy[p]
+	}
+	if len(positions) < 3 || totalFailed == 0 {
+		return nil, errNoTickets("occupied positions in", dc.ID)
+	}
+	res.Test = contingencyTest(res.Failures, res.Occupancy, positions, totalFailed, totalOcc)
+	res.Anomalies = rateAnomalies(res.Failures, res.Occupancy, positions, totalFailed, totalOcc)
+	return res, nil
+}
+
+// contingencyTest runs the positions × {failed, alive} chi-square test of
+// independence. Binary per-server outcomes make this the correct form:
+// a plain Poisson-cell test would be badly underdispersed once most
+// servers have failed at least once.
+func contingencyTest(failed, occupancy []int, positions []int, totalFailed, totalOcc int) stats.ChiSquareResult {
+	pBar := float64(totalFailed) / float64(totalOcc)
+	statistic := 0.0
+	cells := 0
+	for _, p := range positions {
+		occ := float64(occupancy[p])
+		expFail := occ * pBar
+		expAlive := occ * (1 - pBar)
+		if expFail < 1e-9 || expAlive < 1e-9 {
+			continue
+		}
+		dFail := float64(failed[p]) - expFail
+		dAlive := (occ - float64(failed[p])) - expAlive
+		statistic += dFail*dFail/expFail + dAlive*dAlive/expAlive
+		cells++
+	}
+	df := cells - 1
+	if df < 1 {
+		df = 1
+	}
+	return stats.ChiSquareResult{
+		Stat: statistic,
+		DF:   df,
+		P:    stats.ChiSquarePValue(statistic, df),
+	}
+}
+
+// rateAnomalies flags positions whose per-server failure ratio lies
+// outside μ ± 2σ, with σ the position's binomial standard error around
+// the facility-wide rate — the paper's §IV CLT argument.
+func rateAnomalies(failed, occupancy []int, positions []int, totalFailed, totalOcc int) []int {
+	mu := float64(totalFailed) / float64(totalOcc)
+	if mu <= 0 || mu >= 1 {
+		return nil
+	}
+	var out []int
+	for _, p := range positions {
+		sigma := math.Sqrt(mu * (1 - mu) / float64(occupancy[p]))
+		ratio := float64(failed[p]) / float64(occupancy[p])
+		if math.Abs(ratio-mu) > 2*sigma {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dedupeRepeats keeps only the first occurrence of each (host, device,
+// slot, type) group — the paper's "filter out repeating failures" step.
+// The slot keeps a second drive failing on the same server distinct from
+// the same drive failing twice.
+func dedupeRepeats(failures *fot.Trace) *fot.Trace {
+	type key struct {
+		host uint64
+		dev  fot.Component
+		slot string
+		typ  string
+	}
+	ordered := failures.Clone()
+	ordered.SortByTime()
+	seen := make(map[key]bool, ordered.Len())
+	return ordered.Filter(func(tk fot.Ticket) bool {
+		k := key{tk.HostID, tk.Device, tk.Slot, tk.Type}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	})
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRackAnalysisTableIV(t *testing.T) {
+	res, cen := fixture(t)
+	ra, err := RackAnalysis(res.Trace, cen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.PerDC) != len(cen.Datacenters) {
+		t.Fatalf("analyzed %d of %d datacenters", len(ra.PerDC), len(cen.Datacenters))
+	}
+	if ra.PLow+ra.PMid+ra.PHigh != len(ra.PerDC) {
+		t.Error("Table IV buckets don't partition the facilities")
+	}
+	// The small profile has 2 uneven (pre-2014) facilities out of 4:
+	// at least one rejection and at least one non-rejection expected.
+	if ra.PLow == 0 {
+		t.Error("no facility rejects Hypothesis 5 despite uneven cooling")
+	}
+	if ra.PHigh == 0 {
+		t.Error("every facility rejects Hypothesis 5 — modern DCs should not")
+	}
+	// Paper: ~90% of post-2014 facilities cannot be rejected at 0.02.
+	if ra.ModernNonRejectFraction < 0.5 {
+		t.Errorf("modern non-reject fraction = %.2f, want high", ra.ModernNonRejectFraction)
+	}
+}
+
+func TestRackPositionsGradientDC(t *testing.T) {
+	res, cen := fixture(t)
+	// dc02 is the "datacenter B" profile: broad cooling gradient.
+	rp, err := RackPositions(res.Trace, cen, "dc02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Test.Reject(0.05) {
+		t.Errorf("gradient facility not rejected: %v", rp.Test)
+	}
+	if rp.BuiltYear >= 2014 {
+		t.Errorf("dc02 built %d, expected pre-2014", rp.BuiltYear)
+	}
+	// Per-server ratio should rise towards the top of the rack.
+	low := avgRange(rp.Ratio, 2, 8)
+	high := avgRange(rp.Ratio, rp.Positions-8, rp.Positions-2)
+	if !(high > low) {
+		t.Errorf("gradient DC: top ratio %.3f not above bottom %.3f", high, low)
+	}
+}
+
+func TestRackPositionsHotspotDC(t *testing.T) {
+	res, cen := fixture(t)
+	// dc01 is the "datacenter A" profile: two singular hot positions.
+	rp, err := RackPositions(res.Trace, cen, "dc01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Anomalies) == 0 {
+		t.Error("no μ±2σ anomalies found in the hotspot facility")
+	}
+	// The planted hot spots are near position P-5 and P/2+2.
+	wantNear := map[int]bool{rp.Positions - 5: true, rp.Positions/2 + 2: true}
+	found := false
+	for _, p := range rp.Anomalies {
+		if wantNear[p] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("anomalies %v do not include a planted hot position", rp.Anomalies)
+	}
+}
+
+func TestRackPositionsConsistency(t *testing.T) {
+	res, cen := fixture(t)
+	for _, dc := range cen.Datacenters {
+		rp, err := RackPositions(res.Trace, cen, dc.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", dc.ID, err)
+		}
+		for p := 1; p <= rp.Positions; p++ {
+			if rp.Occupancy[p] == 0 && rp.Failures[p] > 0 {
+				t.Errorf("%s: failures at unoccupied position %d", dc.ID, p)
+			}
+			if rp.Occupancy[p] > 0 && rp.Ratio[p] != float64(rp.Failures[p])/float64(rp.Occupancy[p]) {
+				t.Errorf("%s: ratio mismatch at %d", dc.ID, p)
+			}
+		}
+	}
+}
+
+func TestRackPositionsUnknownIDC(t *testing.T) {
+	res, cen := fixture(t)
+	if _, err := RackPositions(res.Trace, cen, "dc99"); err == nil {
+		t.Error("unknown datacenter accepted")
+	}
+}
+
+func TestRackAnalysisNeedsCensus(t *testing.T) {
+	res, _ := fixture(t)
+	if _, err := RackAnalysis(res.Trace, nil); err == nil {
+		t.Error("nil census accepted")
+	}
+}
+
+func TestDedupeRepeats(t *testing.T) {
+	res, _ := fixture(t)
+	failures := res.Trace.Failures()
+	deduped := dedupeRepeats(failures)
+	if deduped.Len() >= failures.Len() {
+		t.Errorf("dedupe removed nothing: %d vs %d", deduped.Len(), failures.Len())
+	}
+	type key struct {
+		host uint64
+		dev  interface{}
+		slot string
+		typ  string
+	}
+	seen := map[key]bool{}
+	for _, tk := range deduped.Tickets {
+		k := key{tk.HostID, tk.Device, tk.Slot, tk.Type}
+		if seen[k] {
+			t.Fatal("duplicate (host, device, slot, type) after dedupe")
+		}
+		seen[k] = true
+	}
+}

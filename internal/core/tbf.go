@@ -1,0 +1,136 @@
+package core
+
+import (
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// tbfFloorMinutes replaces zero gaps (same-timestamp batch tickets) before
+// parametric fitting: the fitted families have positive support. One
+// second keeps the batch signature (a huge spike of tiny TBFs) visible to
+// the tests without breaking the MLE.
+const tbfFloorMinutes = 1.0 / 60
+
+// TBFResult reproduces Fig. 5 for one scope (all components, one class,
+// or one product line) and carries the Hypothesis 3/4 verdicts.
+type TBFResult struct {
+	Scope string
+	N     int // number of gaps
+	// MTBFMinutes is the mean time between failures (paper: 6.8 minutes
+	// fleet-wide at full scale).
+	MTBFMinutes   float64
+	MedianMinutes float64
+	// Fits holds the MLE fit + chi-square verdict for exponential,
+	// Weibull, gamma and lognormal (paper §II-B procedure). Hypotheses
+	// 3/4 are rejected when every family's test rejects.
+	Fits []stats.FitReport
+	// BestFamily names the least-bad family by AIC — even when every
+	// family is rejected (as in Fig. 5), one curve hugs the data closest.
+	BestFamily string
+	// CDF is the empirical distribution, subsampled for plotting
+	// (Fig. 5's data series).
+	CDF []stats.Point
+	// PerIDCMTBF is the per-datacenter MTBF in minutes (paper: 32–390
+	// minutes across facilities).
+	PerIDCMTBF map[string]float64
+}
+
+// AllRejected reports whether every successful fit is rejected at the
+// significance level — the paper's "none of the distributions fits" claim.
+func (r *TBFResult) AllRejected(alpha float64) bool {
+	fitted := 0
+	for _, f := range r.Fits {
+		if f.Err != nil {
+			continue
+		}
+		fitted++
+		if !f.Test.Reject(alpha) {
+			return false
+		}
+	}
+	return fitted > 0
+}
+
+// TBFAnalysis computes the Fig. 5 analysis. Pass component 0 for the
+// all-components scope (Hypothesis 3); a specific class gives the
+// Hypothesis 4 per-class variant.
+func TBFAnalysis(tr *fot.Trace, c fot.Component) (*TBFResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	scope := "all"
+	if c != 0 {
+		failures = failures.ByComponent(c)
+		scope = c.String()
+		if failures.Len() < 16 {
+			return nil, errNoTickets("component", c.String())
+		}
+	}
+	gaps := failures.TBF()
+	if len(gaps) < 16 {
+		return nil, errNoTickets("scope", scope)
+	}
+	for i, g := range gaps {
+		if g < tbfFloorMinutes {
+			gaps[i] = tbfFloorMinutes
+		}
+	}
+	res := &TBFResult{
+		Scope:         scope,
+		N:             len(gaps),
+		MTBFMinutes:   stats.Mean(gaps),
+		MedianMinutes: stats.Median(gaps),
+		Fits:          stats.FitAll(gaps, 30),
+		CDF:           stats.NewECDF(gaps).Points(256),
+		PerIDCMTBF:    make(map[string]float64),
+	}
+	if ranked := stats.RankFitsByAIC(gaps, res.Fits); len(ranked) > 0 && ranked[0].Err == nil {
+		res.BestFamily = ranked[0].Dist.Name()
+	}
+	for _, idc := range failures.IDCs() {
+		sub := failures.ByIDC(idc)
+		g := sub.TBF()
+		if len(g) < 2 {
+			continue
+		}
+		res.PerIDCMTBF[idc] = stats.Mean(g)
+	}
+	return res, nil
+}
+
+// TBFByProductLine runs the Hypothesis 4 product-line breakdown: the TBF
+// analysis for each line with at least minTickets failures.
+func TBFByProductLine(tr *fot.Trace, minTickets int) (map[string]*TBFResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*TBFResult)
+	for _, line := range failures.ProductLines() {
+		sub := failures.ByProductLine(line)
+		if sub.Len() < minTickets {
+			continue
+		}
+		gaps := sub.TBF()
+		if len(gaps) < 16 {
+			continue
+		}
+		for i, g := range gaps {
+			if g < tbfFloorMinutes {
+				gaps[i] = tbfFloorMinutes
+			}
+		}
+		out[line] = &TBFResult{
+			Scope:         "line:" + line,
+			N:             len(gaps),
+			MTBFMinutes:   stats.Mean(gaps),
+			MedianMinutes: stats.Median(gaps),
+			Fits:          stats.FitAll(gaps, 20),
+		}
+	}
+	if len(out) == 0 {
+		return nil, errNoTickets("product lines with", "enough tickets")
+	}
+	return out, nil
+}

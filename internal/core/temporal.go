@@ -1,0 +1,97 @@
+package core
+
+import (
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// DayOfWeekResult reproduces Fig. 3 and tests Hypothesis 1 ("the average
+// number of component failures is uniformly random over different days of
+// the week") for one component class.
+type DayOfWeekResult struct {
+	Component fot.Component
+	// Counts indexes by time.Weekday (0 = Sunday).
+	Counts [7]int
+	// Fractions is Counts normalized by the total (the published view).
+	Fractions [7]float64
+	// Test is the chi-square uniformity test over all seven days.
+	Test stats.ChiSquareResult
+	// WeekdayTest excludes weekends (the paper's second, stronger check:
+	// rejected at 0.02 even without weekends).
+	WeekdayTest stats.ChiSquareResult
+}
+
+// DayOfWeek computes Fig. 3 for one component class. Pass component 0 to
+// aggregate all classes.
+func DayOfWeek(tr *fot.Trace, c fot.Component) (*DayOfWeekResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if c != 0 {
+		failures = failures.ByComponent(c)
+		if failures.Len() == 0 {
+			return nil, errNoTickets("component", c.String())
+		}
+	}
+	res := &DayOfWeekResult{Component: c}
+	for _, tk := range failures.Tickets {
+		res.Counts[int(tk.Time.Weekday())]++
+	}
+	total := failures.Len()
+	for d := range res.Counts {
+		res.Fractions[d] = float64(res.Counts[d]) / float64(total)
+	}
+	res.Test, err = stats.ChiSquareUniform(res.Counts[:])
+	if err != nil {
+		return nil, err
+	}
+	weekdays := []int{
+		res.Counts[time.Monday], res.Counts[time.Tuesday], res.Counts[time.Wednesday],
+		res.Counts[time.Thursday], res.Counts[time.Friday],
+	}
+	res.WeekdayTest, err = stats.ChiSquareUniform(weekdays)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// HourOfDayResult reproduces Fig. 4 and tests Hypothesis 2 for one
+// component class.
+type HourOfDayResult struct {
+	Component fot.Component
+	Counts    [24]int
+	Fractions [24]float64
+	Test      stats.ChiSquareResult
+}
+
+// HourOfDay computes Fig. 4 for one component class. Pass component 0 to
+// aggregate all classes.
+func HourOfDay(tr *fot.Trace, c fot.Component) (*HourOfDayResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	if c != 0 {
+		failures = failures.ByComponent(c)
+		if failures.Len() == 0 {
+			return nil, errNoTickets("component", c.String())
+		}
+	}
+	res := &HourOfDayResult{Component: c}
+	for _, tk := range failures.Tickets {
+		res.Counts[tk.Time.Hour()]++
+	}
+	total := failures.Len()
+	for h := range res.Counts {
+		res.Fractions[h] = float64(res.Counts[h]) / float64(total)
+	}
+	res.Test, err = stats.ChiSquareUniform(res.Counts[:])
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func TestHypothesis1DayOfWeek(t *testing.T) {
+	res, _ := fixture(t)
+	dow, err := DayOfWeek(res.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	fracSum := 0.0
+	for d := range dow.Counts {
+		total += dow.Counts[d]
+		fracSum += dow.Fractions[d]
+	}
+	if total != res.Trace.Failures().Len() {
+		t.Errorf("counts sum %d != failures %d", total, res.Trace.Failures().Len())
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", fracSum)
+	}
+	// Paper: rejected at 0.01 for all classes; 0.02 excluding weekends.
+	if !dow.Test.Reject(0.01) {
+		t.Errorf("Hypothesis 1 not rejected: %v", dow.Test)
+	}
+	if !dow.WeekdayTest.Reject(0.05) {
+		t.Errorf("weekday-only test not rejected: %v", dow.WeekdayTest)
+	}
+}
+
+func TestHypothesis1PerClass(t *testing.T) {
+	res, _ := fixture(t)
+	// The most numerous classes must individually reject uniformity.
+	for _, c := range []fot.Component{fot.HDD, fot.Misc} {
+		dow, err := DayOfWeek(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !dow.Test.Reject(0.01) {
+			t.Errorf("%v: Hypothesis 1 not rejected: %v", c, dow.Test)
+		}
+	}
+	// Misc (human-filed) should show the strongest weekend dip: Sunday
+	// below the weekday average.
+	dow, err := DayOfWeek(res.Trace, fot.Misc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekdayAvg := 0.0
+	for _, d := range []time.Weekday{time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday} {
+		weekdayAvg += dow.Fractions[d]
+	}
+	weekdayAvg /= 5
+	if !(dow.Fractions[time.Sunday] < weekdayAvg/2) {
+		t.Errorf("misc Sunday %.4f not far below weekday average %.4f",
+			dow.Fractions[time.Sunday], weekdayAvg)
+	}
+}
+
+func TestHypothesis2HourOfDay(t *testing.T) {
+	res, _ := fixture(t)
+	for _, c := range []fot.Component{0, fot.HDD, fot.Misc} {
+		hod, err := HourOfDay(res.Trace, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !hod.Test.Reject(0.01) {
+			t.Errorf("%v: Hypothesis 2 not rejected: %v", c, hod.Test)
+		}
+		sum := 0.0
+		for h := range hod.Fractions {
+			sum += hod.Fractions[h]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: fractions sum to %g", c, sum)
+		}
+	}
+}
+
+func TestMiscHourShapeIsHuman(t *testing.T) {
+	res, _ := fixture(t)
+	hod, err := HourOfDay(res.Trace, fot.Misc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Office hours dominate the small hours (Fig. 4h).
+	office := hod.Fractions[10] + hod.Fractions[11] + hod.Fractions[15] + hod.Fractions[16]
+	night := hod.Fractions[1] + hod.Fractions[2] + hod.Fractions[3] + hod.Fractions[4]
+	if !(office > 4*night) {
+		t.Errorf("misc office-hours mass %.4f not ≫ night mass %.4f", office, night)
+	}
+}
+
+func TestDayOfWeekUnknownComponent(t *testing.T) {
+	res, _ := fixture(t)
+	onlyHDD := res.Trace.ByComponent(fot.HDD)
+	if _, err := DayOfWeek(onlyHDD, fot.Memory); err == nil {
+		t.Error("missing class should error")
+	}
+	if _, err := HourOfDay(onlyHDD, fot.Memory); err == nil {
+		t.Error("missing class should error")
+	}
+}

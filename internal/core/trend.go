@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// YearStats is one calendar year of the trace.
+type YearStats struct {
+	Year     int
+	Tickets  int
+	Failures int
+	// MTBFMinutes is the fleet-wide mean time between failures within
+	// the year.
+	MTBFMinutes float64
+	// FailedServers counts distinct servers with a failure in the year.
+	FailedServers int
+	// ErrorShare is the D_error fraction — it grows as the fleet ages
+	// out of warranty.
+	ErrorShare float64
+	// MedianRTDays is the median operator response among the year's
+	// D_fixing tickets.
+	MedianRTDays float64
+}
+
+// TrendResult is the year-over-year evolution of the trace — the view
+// behind the paper's §VIII remark that monitoring coverage, fleet size and
+// failure behavior all drifted across the four years.
+type TrendResult struct {
+	Years []YearStats
+}
+
+// Trend computes per-calendar-year statistics of the trace.
+func Trend(tr *fot.Trace) (*TrendResult, error) {
+	failures, err := requireFailures(tr)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, _ := failures.Span()
+	res := &TrendResult{}
+	for year := lo.Year(); year <= hi.Year(); year++ {
+		from := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+		to := from.AddDate(1, 0, 0)
+		all := tr.Between(from, to)
+		fail := all.Failures()
+		if fail.Len() == 0 {
+			continue
+		}
+		ys := YearStats{
+			Year:     year,
+			Tickets:  all.Len(),
+			Failures: fail.Len(),
+		}
+		if gaps := fail.TBF(); len(gaps) > 0 {
+			ys.MTBFMinutes = stats.Mean(gaps)
+		}
+		hosts := make(map[uint64]bool)
+		errs := 0
+		var rt []float64
+		for _, tk := range fail.Tickets {
+			hosts[tk.HostID] = true
+			if tk.Category == fot.Error {
+				errs++
+			}
+			if tk.Category == fot.Fixing {
+				if d, ok := tk.ResponseTime(); ok {
+					rt = append(rt, d.Hours()/24)
+				}
+			}
+		}
+		ys.FailedServers = len(hosts)
+		ys.ErrorShare = float64(errs) / float64(fail.Len())
+		if len(rt) > 0 {
+			ys.MedianRTDays = stats.Median(rt)
+		}
+		res.Years = append(res.Years, ys)
+	}
+	sort.Slice(res.Years, func(i, j int) bool { return res.Years[i].Year < res.Years[j].Year })
+	if len(res.Years) == 0 {
+		return nil, errNoTickets("years with", "failures")
+	}
+	return res, nil
+}
+
+// FleetGrowth reports whether yearly failure volume grew monotonically —
+// the deployment-ramp signature of a growing fleet.
+func (r *TrendResult) FleetGrowth() bool {
+	for i := 1; i < len(r.Years); i++ {
+		if r.Years[i].Failures < r.Years[i-1].Failures {
+			return false
+		}
+	}
+	return len(r.Years) > 1
+}

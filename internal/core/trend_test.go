@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"dcfail/internal/fot"
+)
+
+func TestTrendYearOverYear(t *testing.T) {
+	res, _ := fixture(t)
+	tr, err := Trend(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Years) != 4 {
+		t.Fatalf("got %d years, want 4 (2013–2016)", len(tr.Years))
+	}
+	for i, ys := range tr.Years {
+		if ys.Year != 2013+i {
+			t.Errorf("year %d = %d", i, ys.Year)
+		}
+		if ys.Failures == 0 || ys.FailedServers == 0 {
+			t.Errorf("%d: empty year stats %+v", ys.Year, ys)
+		}
+		if ys.MTBFMinutes <= 0 {
+			t.Errorf("%d: MTBF %g", ys.Year, ys.MTBFMinutes)
+		}
+		if ys.ErrorShare < 0 || ys.ErrorShare > 1 {
+			t.Errorf("%d: error share %g", ys.Year, ys.ErrorShare)
+		}
+		if ys.Tickets < ys.Failures {
+			t.Errorf("%d: tickets %d < failures %d", ys.Year, ys.Tickets, ys.Failures)
+		}
+	}
+	// The fleet deploys incrementally across the window, so failure
+	// volume grows and the fleet-wide MTBF shrinks year over year.
+	if !tr.FleetGrowth() {
+		t.Errorf("failure volume not growing: %+v", tr.Years)
+	}
+	first, last := tr.Years[0], tr.Years[len(tr.Years)-1]
+	if !(last.MTBFMinutes < first.MTBFMinutes) {
+		t.Errorf("MTBF did not shrink: %.1f -> %.1f", first.MTBFMinutes, last.MTBFMinutes)
+	}
+	// Warranty expiry: the out-of-warranty share grows over the window.
+	if !(last.ErrorShare > first.ErrorShare) {
+		t.Errorf("D_error share did not grow: %.3f -> %.3f", first.ErrorShare, last.ErrorShare)
+	}
+}
+
+func TestTrendEmptyTrace(t *testing.T) {
+	if _, err := Trend(fot.NewTrace(nil)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package event defines the raw component-failure event that flows from
+// the generators (internal/fleetgen, internal/inject) into the FMS
+// (internal/fms), which turns events into tickets. Events carry a
+// ground-truth Cause tag that the FMS never copies into tickets — analyses
+// must rediscover correlation structure from ticket data alone, exactly as
+// the paper had to.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Cause is the generating mechanism of an event (ground truth only).
+type Cause int
+
+const (
+	// CauseBaseline is an independent hazard-driven failure.
+	CauseBaseline Cause = iota + 1
+	// CauseBatch is part of an injected batch event (firmware epidemic,
+	// PDU outage, operator mistake, SAS-card cohort...).
+	CauseBatch
+	// CauseCorrelated is one half of a correlated multi-component
+	// failure on a single server (paper §V-B).
+	CauseCorrelated
+	// CauseRepeat is a recurrence of an earlier, ineffectively repaired
+	// failure (paper §III-D, §V-C).
+	CauseRepeat
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseBaseline:
+		return "baseline"
+	case CauseBatch:
+		return "batch"
+	case CauseCorrelated:
+		return "correlated"
+	case CauseRepeat:
+		return "repeat"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Event is one raw component failure, before FMS processing.
+type Event struct {
+	Server    *topo.Server
+	Component fot.Component
+	// Slot identifies the failing component instance (e.g. "sdc"); it is
+	// what distinguishes a repeating failure from a sibling part failing.
+	Slot string
+	// Type is the failure-type name (from the fot catalogue).
+	Type string
+	// Time is the detection-basis timestamp. Generators already place it
+	// according to the workload/detection model; the FMS only layers a
+	// small agent latency on top.
+	Time  time.Time
+	Cause Cause
+	// BatchID groups events of one injected batch (0 otherwise).
+	BatchID uint64
+}
+
+// Validate reports structural problems with the event.
+func (e Event) Validate() error {
+	switch {
+	case e.Server == nil:
+		return fmt.Errorf("event: nil server")
+	case e.Type == "":
+		return fmt.Errorf("event: empty failure type")
+	case e.Time.IsZero():
+		return fmt.Errorf("event: zero time")
+	case e.Cause < CauseBaseline || e.Cause > CauseRepeat:
+		return fmt.Errorf("event: invalid cause %d", int(e.Cause))
+	}
+	if _, ok := fot.LookupType(e.Component, e.Type); !ok {
+		return fmt.Errorf("event: type %q not in %v catalogue", e.Type, e.Component)
+	}
+	return nil
+}
+
+// SortByTime orders events chronologically in place.
+func SortByTime(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		return events[i].Time.Before(events[j].Time)
+	})
+}

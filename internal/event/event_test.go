@@ -1,0 +1,84 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+func testServer() *topo.Server {
+	return &topo.Server{
+		HostID:     1,
+		IDC:        "dc01",
+		DeployTime: time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC),
+		Inventory:  map[fot.Component]int{fot.HDD: 12},
+		Frailty:    1,
+	}
+}
+
+func validEvent() Event {
+	return Event{
+		Server:    testServer(),
+		Component: fot.HDD,
+		Slot:      "sdb",
+		Type:      "SMARTFail",
+		Time:      time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Cause:     CauseBaseline,
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	if err := validEvent().Validate(); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+	bad := []func(*Event){
+		func(e *Event) { e.Server = nil },
+		func(e *Event) { e.Type = "" },
+		func(e *Event) { e.Time = time.Time{} },
+		func(e *Event) { e.Cause = 0 },
+		func(e *Event) { e.Cause = Cause(99) },
+		func(e *Event) { e.Type = "NotARealType" },
+		func(e *Event) { e.Component = fot.Memory }, // SMARTFail is not a memory type
+	}
+	for i, mutate := range bad {
+		e := validEvent()
+		mutate(&e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	for c, want := range map[Cause]string{
+		CauseBaseline:   "baseline",
+		CauseBatch:      "batch",
+		CauseCorrelated: "correlated",
+		CauseRepeat:     "repeat",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Cause(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if Cause(42).String() == "" {
+		t.Error("unknown cause should render its value")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]Event, 0, 10)
+	for i := 9; i >= 0; i-- {
+		e := validEvent()
+		e.Time = base.Add(time.Duration(i) * time.Hour)
+		events = append(events, e)
+	}
+	SortByTime(events)
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatal("not sorted")
+		}
+	}
+}

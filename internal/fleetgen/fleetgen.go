@@ -1,0 +1,344 @@
+// Package fleetgen orchestrates trace generation: it builds the fleet,
+// runs the correlated-failure injectors, calibrates the baseline hazard
+// model so the class mix lands on Table II, and samples the baseline
+// (independent) failures through the workload-gated detection model.
+//
+// Output is a raw event stream; internal/fms turns it into tickets.
+package fleetgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/hazard"
+	"dcfail/internal/inject"
+	"dcfail/internal/stats"
+	"dcfail/internal/topo"
+	"dcfail/internal/workload"
+)
+
+// TableIIShares returns the paper's component failure mix (Table II),
+// normalized to sum to one.
+func TableIIShares() map[fot.Component]float64 {
+	return map[fot.Component]float64{
+		fot.HDD:          0.8184,
+		fot.Misc:         0.1020,
+		fot.Memory:       0.0306,
+		fot.Power:        0.0174,
+		fot.RAIDCard:     0.0123,
+		fot.FlashCard:    0.0067,
+		fot.Motherboard:  0.0057,
+		fot.SSD:          0.0031,
+		fot.Fan:          0.0019,
+		fot.HDDBackboard: 0.0014,
+		fot.CPU:          0.0004,
+	}
+}
+
+// Report summarizes one generation run: how many events each mechanism
+// contributed per class. It is ground truth for ablations and EXPERIMENTS.md
+// and is never visible to the analyses.
+type Report struct {
+	Baseline map[fot.Component]int
+	Injected map[fot.Component]int
+	// CalibrationFactor is the per-class multiplier applied to the
+	// hazard model's base AFRs to hit the Table II budget.
+	CalibrationFactor map[fot.Component]float64
+}
+
+// Total returns the total number of generated events.
+func (r *Report) Total() int {
+	n := 0
+	for _, v := range r.Baseline {
+		n += v
+	}
+	for _, v := range r.Injected {
+		n += v
+	}
+	return n
+}
+
+// Generator produces raw failure events for a fleet.
+type Generator struct {
+	Fleet  *topo.Fleet
+	Hazard *hazard.Model
+	// Start and End bound the study window (FMS coverage window).
+	Start, End time.Time
+	// Injectors contribute the correlated failures; may be empty (the
+	// "no batch" ablation).
+	Injectors []inject.Injector
+	// TargetTickets is the calibration budget: expected failures
+	// (baseline + injected) across all classes. Zero disables
+	// calibration and uses the hazard model's rates as-is.
+	TargetTickets int
+	// Shares is the per-class target mix; nil means TableIIShares.
+	Shares map[fot.Component]float64
+	// WorkloadGate applies the per-line diurnal detection profiles.
+	// Disabling it is the Hypothesis 1/2 ablation: detections place
+	// uniformly in time.
+	WorkloadGate bool
+}
+
+// Generate runs injection, calibration and baseline sampling. The same
+// seed yields the same events.
+func (g *Generator) Generate(seed int64) ([]event.Event, *Report, error) {
+	if err := g.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	report := &Report{
+		Baseline:          make(map[fot.Component]int),
+		Injected:          make(map[fot.Component]int),
+		CalibrationFactor: make(map[fot.Component]float64),
+	}
+
+	var batchSeq uint64
+	ctx := &inject.Context{
+		Fleet: g.Fleet,
+		Start: g.Start,
+		End:   g.End,
+		NextBatchID: func() uint64 {
+			batchSeq++
+			return batchSeq
+		},
+	}
+	var events []event.Event
+	for _, inj := range g.Injectors {
+		injected, err := inj.Inject(rng, ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleetgen: injector %s: %w", inj.Name(), err)
+		}
+		for _, e := range injected {
+			report.Injected[e.Component]++
+		}
+		events = append(events, injected...)
+	}
+
+	if g.TargetTickets > 0 {
+		g.calibrate(report)
+	}
+
+	baseline := g.sampleBaseline(seed, report)
+	events = append(events, baseline...)
+	event.SortByTime(events)
+	return events, report, nil
+}
+
+func (g *Generator) validate() error {
+	switch {
+	case g.Fleet == nil || g.Fleet.NumServers() == 0:
+		return fmt.Errorf("fleetgen: empty fleet")
+	case g.Hazard == nil:
+		return fmt.Errorf("fleetgen: nil hazard model")
+	case !g.End.After(g.Start):
+		return fmt.Errorf("fleetgen: empty study window")
+	case g.TargetTickets < 0:
+		return fmt.Errorf("fleetgen: negative ticket target")
+	}
+	return g.Hazard.Validate()
+}
+
+// calibrate rescales the hazard model's base AFRs so that the expected
+// baseline count per class equals the class's Table II budget minus what
+// the injectors already produced (empirically, from this run). A small
+// floor keeps every class alive even when injection overshoots its budget.
+func (g *Generator) calibrate(report *Report) {
+	shares := g.Shares
+	if shares == nil {
+		shares = TableIIShares()
+	}
+	expected := g.expectedBaseline()
+	total := float64(g.TargetTickets)
+	for _, c := range fot.Components() {
+		budget := total*shares[c] - float64(report.Injected[c])
+		floor := 0.02 * total * shares[c]
+		if budget < floor {
+			budget = floor
+		}
+		if expected[c] <= 0 {
+			report.CalibrationFactor[c] = 1
+			continue
+		}
+		factor := budget / expected[c]
+		report.CalibrationFactor[c] = factor
+		g.Hazard.SetBaseAFR(c, g.Hazard.BaseAFR(c)*factor)
+	}
+}
+
+// expectedBaseline integrates the hazard model over the fleet's exposure:
+// the expected number of baseline failures per class with the current
+// rates.
+func (g *Generator) expectedBaseline() map[fot.Component]float64 {
+	out := make(map[fot.Component]float64, len(fot.Components()))
+	for i := range g.Fleet.Servers {
+		s := &g.Fleet.Servers[i]
+		dc := g.datacenterOf(s.IDC)
+		cooling := 1.0
+		if dc != nil {
+			cooling = dc.CoolingAt(s.Position)
+		}
+		forEachExposureMonth(s, g.Start, g.End, func(ageMonths int, frac float64) {
+			for _, c := range fot.Components() {
+				n := s.Inventory[c]
+				if n == 0 {
+					continue
+				}
+				mult := s.Frailty * float64(n) * frac
+				if c != fot.Misc {
+					mult *= cooling
+				}
+				out[c] += g.Hazard.MonthlyRate(c, ageMonths) * mult
+			}
+		})
+	}
+	return out
+}
+
+// baselineShardSize is the number of servers one goroutine samples. Each
+// shard derives its own RNG from (seed, shard index), so results are
+// deterministic regardless of GOMAXPROCS or scheduling.
+const baselineShardSize = 4096
+
+// sampleBaseline draws the independent failures: per server, per class,
+// per month-in-service, a Poisson count placed in time by the detection
+// profile. Shards run in parallel.
+func (g *Generator) sampleBaseline(seed int64, report *Report) []event.Event {
+	lineWorkload := make(map[string]workload.Profile, len(g.Fleet.Lines))
+	for _, pl := range g.Fleet.Lines {
+		name := pl.Workload
+		if !g.WorkloadGate {
+			name = workload.Flat
+		}
+		lineWorkload[pl.Name] = workload.ByName(name)
+	}
+	human := workload.ByName(workload.Human)
+	if !g.WorkloadGate {
+		human = workload.ByName(workload.Flat)
+	}
+
+	servers := g.Fleet.Servers
+	shards := (len(servers) + baselineShardSize - 1) / baselineShardSize
+	results := make([][]event.Event, shards)
+	var wg sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			// Golden-ratio mixing keeps shard streams well separated.
+			const mix = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+			rng := rand.New(rand.NewSource(seed + int64(shard+1)*mix))
+			lo := shard * baselineShardSize
+			hi := lo + baselineShardSize
+			if hi > len(servers) {
+				hi = len(servers)
+			}
+			results[shard] = g.sampleServers(rng, servers[lo:hi], lineWorkload, &human)
+		}(shard)
+	}
+	wg.Wait()
+
+	var out []event.Event
+	for _, evs := range results {
+		for _, e := range evs {
+			report.Baseline[e.Component]++
+		}
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// sampleServers draws the baseline failures of one server shard.
+func (g *Generator) sampleServers(
+	rng *rand.Rand,
+	servers []topo.Server,
+	lineWorkload map[string]workload.Profile,
+	human *workload.Profile,
+) []event.Event {
+	var out []event.Event
+	for i := range servers {
+		s := &servers[i]
+		dc := g.datacenterOf(s.IDC)
+		cooling := 1.0
+		if dc != nil {
+			cooling = dc.CoolingAt(s.Position)
+		}
+		prof := lineWorkload[s.ProductLine]
+		forEachExposureWindow(s, g.Start, g.End, func(ageMonths int, lo, hi time.Time, frac float64) {
+			for _, c := range fot.Components() {
+				n := s.Inventory[c]
+				if n == 0 {
+					continue
+				}
+				mult := s.Frailty * float64(n) * frac
+				if c != fot.Misc {
+					mult *= cooling
+				}
+				mean := g.Hazard.MonthlyRate(c, ageMonths) * mult
+				k := stats.PoissonRand(rng, mean)
+				for j := 0; j < k; j++ {
+					p := &prof
+					if c == fot.Misc {
+						p = human
+					}
+					out = append(out, event.Event{
+						Server:    s,
+						Component: c,
+						Slot:      fot.SampleSlot(rng, c, n),
+						Type:      fot.SampleType(rng, c),
+						Time:      p.SampleTime(rng, lo, hi),
+						Cause:     event.CauseBaseline,
+					})
+				}
+			}
+		})
+	}
+	return out
+}
+
+func (g *Generator) datacenterOf(idc string) *topo.Datacenter {
+	for i := range g.Fleet.Datacenters {
+		if g.Fleet.Datacenters[i].ID == idc {
+			return &g.Fleet.Datacenters[i]
+		}
+	}
+	return nil
+}
+
+// forEachExposureMonth visits every month-in-service of the server that
+// overlaps the study window, with the fraction of that month inside it.
+func forEachExposureMonth(s *topo.Server, start, end time.Time, fn func(ageMonths int, frac float64)) {
+	forEachExposureWindow(s, start, end, func(ageMonths int, _, _ time.Time, frac float64) {
+		fn(ageMonths, frac)
+	})
+}
+
+// forEachExposureWindow is forEachExposureMonth plus the clipped window
+// bounds, for samplers that need to place timestamps.
+func forEachExposureWindow(s *topo.Server, start, end time.Time, fn func(ageMonths int, lo, hi time.Time, frac float64)) {
+	if !end.After(s.DeployTime) {
+		return
+	}
+	for age := 0; ; age++ {
+		mLo := s.DeployTime.AddDate(0, age, 0)
+		mHi := s.DeployTime.AddDate(0, age+1, 0)
+		if !mLo.Before(end) {
+			return
+		}
+		lo, hi := mLo, mHi
+		if lo.Before(start) {
+			lo = start
+		}
+		if hi.After(end) {
+			hi = end
+		}
+		if !hi.After(lo) {
+			continue
+		}
+		frac := hi.Sub(lo).Hours() / mHi.Sub(mLo).Hours()
+		fn(age, lo, hi, frac)
+	}
+}

@@ -1,0 +1,267 @@
+package fleetgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+)
+
+func generateSmall(t *testing.T, seed int64) ([]event.Event, *Report) {
+	t.Helper()
+	_, gen, err := SmallProfile().Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, report, err := gen.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, report
+}
+
+func TestGenerateBasics(t *testing.T) {
+	events, report := generateSmall(t, 1)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if report.Total() != len(events) {
+		t.Errorf("report total %d != %d events", report.Total(), len(events))
+	}
+	start, end := SmallProfile().Window()
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e.Time.Before(start) || e.Time.After(end) {
+			t.Fatalf("event %d at %v outside window", i, e.Time)
+		}
+		if i > 0 && events[i].Time.Before(events[i-1].Time) {
+			t.Fatal("events not sorted by time")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := generateSmall(t, 5)
+	b, _ := generateSmall(t, 5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].Server.HostID != b[i].Server.HostID ||
+			a[i].Component != b[i].Component || a[i].Type != b[i].Type {
+			t.Fatalf("event %d differs across equal-seed runs", i)
+		}
+	}
+	c, _ := generateSmall(t, 6)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if !a[i].Time.Equal(c[i].Time) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds gave identical streams")
+		}
+	}
+}
+
+func TestCalibrationHitsTableII(t *testing.T) {
+	events, report := generateSmall(t, 2)
+	shares := TableIIShares()
+	counts := make(map[fot.Component]int)
+	for _, e := range events {
+		counts[e.Component]++
+	}
+	total := float64(len(events))
+	// The dominant classes must land near their Table II shares. Injected
+	// overshoot (floored classes like power at small scale) gets slack.
+	for _, c := range []fot.Component{fot.HDD, fot.Misc, fot.Memory} {
+		got := float64(counts[c]) / total
+		want := shares[c]
+		if math.Abs(got-want) > 0.35*want+0.01 {
+			t.Errorf("%v share = %.4f, want ≈%.4f", c, got, want)
+		}
+	}
+	// Every class must be present — except CPU, whose 0.04% share means
+	// only ~3 expected tickets at small scale (a Poisson zero is fair).
+	for _, c := range fot.Components() {
+		if counts[c] == 0 && c != fot.CPU {
+			t.Errorf("class %v absent from trace", c)
+		}
+	}
+	// Calibration factors must be recorded and positive.
+	for _, c := range fot.Components() {
+		if f := report.CalibrationFactor[c]; f <= 0 {
+			t.Errorf("calibration factor for %v = %g", c, f)
+		}
+	}
+}
+
+func TestTargetTicketsApproximatelyMet(t *testing.T) {
+	p := SmallProfile()
+	events, _ := generateSmall(t, 3)
+	got := float64(len(events))
+	want := float64(p.TargetTickets)
+	if got < 0.6*want || got > 1.6*want {
+		t.Errorf("generated %d events for a %d budget", len(events), p.TargetTickets)
+	}
+}
+
+func TestInjectedAndBaselineBothPresent(t *testing.T) {
+	events, report := generateSmall(t, 4)
+	causes := map[event.Cause]int{}
+	for _, e := range events {
+		causes[e.Cause]++
+	}
+	if causes[event.CauseBaseline] == 0 || causes[event.CauseBatch] == 0 ||
+		causes[event.CauseCorrelated] == 0 || causes[event.CauseRepeat] == 0 {
+		t.Errorf("missing cause classes: %v", causes)
+	}
+	if len(report.Injected) == 0 || len(report.Baseline) == 0 {
+		t.Error("report should track both mechanisms")
+	}
+}
+
+func TestWorkloadGateAblation(t *testing.T) {
+	p := SmallProfile()
+	p.WorkloadGate = false
+	_, gen, err := p.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := gen.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline detections should spread uniformly over hours. Use only
+	// baseline events (injected batches have their own windows).
+	counts := make([]float64, 24)
+	n := 0
+	for _, e := range events {
+		if e.Cause == event.CauseBaseline {
+			counts[e.Time.Hour()]++
+			n++
+		}
+	}
+	mean := float64(n) / 24
+	for h, c := range counts {
+		if math.Abs(c-mean) > 5*math.Sqrt(mean) {
+			t.Errorf("hour %d count %g deviates from flat mean %g", h, c, mean)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	fleet, gen, err := SmallProfile().Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Generator){
+		func(g *Generator) { g.Fleet = nil },
+		func(g *Generator) { g.Hazard = nil },
+		func(g *Generator) { g.End = g.Start },
+		func(g *Generator) { g.TargetTickets = -1 },
+	}
+	for i, mutate := range cases {
+		bad := *gen
+		bad.Fleet = fleet
+		mutate(&bad)
+		if _, _, err := bad.Generate(1); err == nil {
+			t.Errorf("bad generator %d accepted", i)
+		}
+	}
+}
+
+func TestProfileRequiresInjectorFactory(t *testing.T) {
+	p := SmallProfile()
+	p.NewInjectors = nil
+	if _, _, err := p.Build(1); err == nil {
+		t.Error("nil injector factory accepted")
+	}
+}
+
+func TestNoInjectorsStillWorks(t *testing.T) {
+	// The "no batch" ablation: baseline only.
+	p := SmallProfile()
+	_, gen, err := p.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Injectors = nil
+	events, report, err := gen.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Cause != event.CauseBaseline {
+			t.Fatal("non-baseline event without injectors")
+		}
+	}
+	if len(report.Injected) != 0 {
+		t.Error("injected report should be empty")
+	}
+	// Calibration should now assign the full class budget to baseline.
+	got := float64(len(events))
+	want := float64(p.TargetTickets)
+	if got < 0.7*want || got > 1.3*want {
+		t.Errorf("baseline-only run: %d events for %d budget", len(events), p.TargetTickets)
+	}
+}
+
+func TestExposureWindows(t *testing.T) {
+	_, gen, err := SmallProfile().Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &gen.Fleet.Servers[0]
+	var total float64
+	var windows int
+	forEachExposureWindow(s, gen.Start, gen.End, func(age int, lo, hi time.Time, frac float64) {
+		windows++
+		if lo.Before(gen.Start) || hi.After(gen.End) || !hi.After(lo) {
+			t.Fatalf("bad window [%v, %v)", lo, hi)
+		}
+		if frac <= 0 || frac > 1+1e-9 {
+			t.Fatalf("bad frac %g", frac)
+		}
+		if age < 0 {
+			t.Fatalf("negative age %d", age)
+		}
+		total += frac
+	})
+	if windows == 0 {
+		t.Fatal("no exposure windows")
+	}
+	// Total exposure (in months) should be close to the overlap between
+	// [deploy, end) and [start, end) in months.
+	lo := s.DeployTime
+	if gen.Start.After(lo) {
+		lo = gen.Start
+	}
+	overlapMonths := gen.End.Sub(lo).Hours() / (24 * 30.44)
+	if math.Abs(total-overlapMonths) > 1.5 {
+		t.Errorf("total exposure %.1f months, want ≈%.1f", total, overlapMonths)
+	}
+}
+
+func TestExposureSkipsUndeployed(t *testing.T) {
+	_, gen, err := SmallProfile().Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := *(&gen.Fleet.Servers[0])
+	s.DeployTime = gen.End.AddDate(1, 0, 0)
+	called := false
+	forEachExposureWindow(&s, gen.Start, gen.End, func(int, time.Time, time.Time, float64) {
+		called = true
+	})
+	if called {
+		t.Error("server deployed after the window should have no exposure")
+	}
+}

@@ -1,0 +1,114 @@
+package fleetgen
+
+import (
+	"fmt"
+	"time"
+
+	"dcfail/internal/hazard"
+	"dcfail/internal/inject"
+	"dcfail/internal/topo"
+)
+
+// Profile bundles everything that defines a generation scenario: fleet
+// shape, ticket budget, injector roster and the workload-gate switch.
+// Profiles are value types; ablations copy one and flip a field.
+type Profile struct {
+	Name          string
+	FleetSpec     topo.Spec
+	TargetTickets int
+	WorkloadGate  bool
+	// NewInjectors returns fresh injector instances (injectors are
+	// stateless but configs must not be shared across concurrent runs).
+	NewInjectors func() []inject.Injector
+}
+
+// PaperProfile is the default, paper-scale scenario: 24 datacenters,
+// ≈130k servers, a four-year window and a ≈250k-ticket budget split per
+// Table II — the scale at which Table V's absolute batch thresholds
+// (100/200/500 per day) are meaningful, and at which the
+// tickets-per-server ratio (≈2) approaches the paper's fleet.
+func PaperProfile() Profile {
+	sp := topo.DefaultSpec()
+	sp.RacksPerDC = 160
+	sp.ProductLines = 800 // hundreds of lines, most with <100 failures
+	return Profile{
+		Name:          "paper",
+		FleetSpec:     sp,
+		TargetTickets: 250000,
+		WorkloadGate:  true,
+		NewInjectors: func() []inject.Injector {
+			return []inject.Injector{
+				inject.DefaultHDDBatch(),
+				inject.DefaultSASBatch(),
+				inject.DefaultPDUOutage(),
+				inject.DefaultOperatorMistake(),
+				inject.DefaultCorrelatedPairs(),
+				inject.DefaultSyncRepeat(),
+			}
+		},
+	}
+}
+
+// SmallProfile is a scaled-down scenario for tests and examples: ≈3k
+// servers and a ≈9k-ticket budget, keeping the tickets-per-server ratio
+// near the paper's so per-server statistics (repeats, pairs, skew) stay
+// meaningful. Batch sizes and injector rates shrink with the fleet so the
+// joint structure survives at small scale (absolute Table V thresholds do
+// not — use PaperProfile for those).
+func SmallProfile() Profile {
+	sp := topo.DefaultSpec()
+	sp.Datacenters = 6
+	sp.RacksPerDC = 30
+	sp.PositionsPerRack = 24
+	sp.ProductLines = 12
+	sp.PreModernDCs = 3
+	return Profile{
+		Name:          "small",
+		FleetSpec:     sp,
+		TargetTickets: 8000,
+		WorkloadGate:  true,
+		NewInjectors: func() []inject.Injector {
+			return []inject.Injector{
+				&inject.HDDBatch{
+					MeanLog: 1.2, SigmaLog: 1.0, MinSize: 6, MaxCohortFrac: 0.6,
+					AgeWeight: inject.DefaultHDDAgeWeight,
+				},
+				&inject.SASBatch{RatePerYear: 1.5, MeanSize: 12},
+				&inject.PDUOutage{RatePerYear: 3, ServersPerPDU: 30, FanFollowProb: 0.07},
+				&inject.OperatorMistake{
+					When:    time.Date(2016, 8, 12, 9, 30, 0, 0, time.UTC),
+					Servers: 120,
+				},
+				&inject.CorrelatedPairs{RatePer10kServerYears: 85, Weights: inject.TableVIWeights()},
+				&inject.SyncRepeat{Groups: 8, MinRepeats: 4, MaxRepeats: 8, ChronicBBUTickets: 150},
+			}
+		},
+	}
+}
+
+// Window returns the profile's study window.
+func (p Profile) Window() (time.Time, time.Time) {
+	return p.FleetSpec.StudyStart, p.FleetSpec.StudyEnd
+}
+
+// Build constructs the fleet and a ready-to-run Generator. The hazard
+// model is freshly instantiated (calibration mutates it).
+func (p Profile) Build(seed int64) (*topo.Fleet, *Generator, error) {
+	if p.NewInjectors == nil {
+		return nil, nil, fmt.Errorf("fleetgen: profile %q has no injector factory", p.Name)
+	}
+	fleet, err := topo.Build(p.FleetSpec, seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleetgen: profile %q: %w", p.Name, err)
+	}
+	gen := &Generator{
+		Fleet:         fleet,
+		Hazard:        hazard.Default(),
+		Start:         p.FleetSpec.StudyStart,
+		End:           p.FleetSpec.StudyEnd,
+		Injectors:     p.NewInjectors(),
+		TargetTickets: p.TargetTickets,
+		WorkloadGate:  p.WorkloadGate,
+	}
+	return fleet, gen, nil
+}

@@ -1,0 +1,77 @@
+package fleetgen
+
+import (
+	"testing"
+
+	"dcfail/internal/fot"
+)
+
+func TestProfileShapes(t *testing.T) {
+	paper := PaperProfile()
+	small := SmallProfile()
+	if paper.Name != "paper" || small.Name != "small" {
+		t.Errorf("profile names: %q, %q", paper.Name, small.Name)
+	}
+	if paper.TargetTickets <= small.TargetTickets {
+		t.Error("paper profile should dwarf the small one")
+	}
+	if !paper.WorkloadGate || !small.WorkloadGate {
+		t.Error("profiles gate detection by default")
+	}
+	for _, p := range []Profile{paper, small} {
+		lo, hi := p.Window()
+		if !hi.After(lo) {
+			t.Errorf("%s: empty window", p.Name)
+		}
+		if got := hi.Sub(lo).Hours() / (24 * 365.25); got < 3.5 || got > 4.5 {
+			t.Errorf("%s: window %.1f years, want ≈4", p.Name, got)
+		}
+		injs := p.NewInjectors()
+		if len(injs) != 6 {
+			t.Errorf("%s: %d injectors, want the full roster of 6", p.Name, len(injs))
+		}
+		// Fresh instances each call (no shared mutable config).
+		again := p.NewInjectors()
+		for i := range injs {
+			if injs[i] == again[i] {
+				t.Errorf("%s: injector %d shared between calls", p.Name, i)
+			}
+		}
+	}
+	// The paper profile models hundreds of product lines so Fig. 11's
+	// small-line population exists.
+	if paper.FleetSpec.ProductLines < 200 {
+		t.Errorf("paper profile has only %d product lines", paper.FleetSpec.ProductLines)
+	}
+}
+
+func TestTableIISharesNormalized(t *testing.T) {
+	shares := TableIIShares()
+	sum := 0.0
+	for _, c := range fot.Components() {
+		s, ok := shares[c]
+		if !ok {
+			t.Errorf("missing share for %v", c)
+		}
+		if s <= 0 {
+			t.Errorf("non-positive share for %v", c)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %g", sum)
+	}
+	if shares[fot.HDD] != 0.8184 {
+		t.Errorf("HDD share = %g, want the paper's 0.8184", shares[fot.HDD])
+	}
+}
+
+func TestReportTotal(t *testing.T) {
+	r := &Report{
+		Baseline: map[fot.Component]int{fot.HDD: 3, fot.Memory: 2},
+		Injected: map[fot.Component]int{fot.HDD: 5},
+	}
+	if got := r.Total(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+}

@@ -1,0 +1,384 @@
+// Package fms models the paper's Failure Management System (Fig. 1): raw
+// component-failure events become failure operation tickets (FOTs). The
+// FMS layers on top of the event stream everything the paper attributes
+// to the management plane:
+//
+//   - agent detection latency (syslog listeners / periodic pollers)
+//   - categorization: in-warranty failures get repair orders (D_fixing),
+//     out-of-warranty hardware is decommissioned or left degraded
+//     (D_error), and a small rate of false alarms (D_falsealarm)
+//   - the operator response-time model of §VI: heavy-tailed per-class
+//     response, slower for fault-tolerant product lines, with periodic
+//     review batching
+//   - imperfect repair: a fraction of "solved" tickets recur (§III-D)
+package fms
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Config parameterizes the FMS.
+type Config struct {
+	// MaxAgentLatency bounds the uniform detection delay added to
+	// non-manual events (pollers run every few minutes).
+	MaxAgentLatency time.Duration
+	// FalseAlarmRate is the fraction of all tickets that are false
+	// alarms (paper Table I: 1.7%).
+	FalseAlarmRate float64
+	// RepeatProb is the chance that a repaired (D_fixing) ticket's fix
+	// was ineffective and the same failure recurs (paper §III-D: >85% of
+	// fixed components never repeat; ~4.5% of failed servers do).
+	RepeatProb float64
+	// EscalateProb is the chance a predictive warning (SMARTFail,
+	// DIMMCE, ...) precedes a fatal failure of the same component
+	// instance days later — the signal behind the paper's §VII-A remark
+	// that the company "designed a tool to predict component failures a
+	// couple of days early".
+	EscalateProb float64
+	// RepeatContinue is the chance each recurrence is followed by yet
+	// another one (geometric chain).
+	RepeatContinue float64
+	// MaxRepeats caps a single organic repeat chain.
+	MaxRepeats int
+	// Operators is the size of the operator pool.
+	Operators int
+	// Response is the operator response-time model.
+	Response ResponseModel
+	// CoverageStart/CoverageEnd model the FMS rollout the paper lists as
+	// a study limitation (§VIII: "people incrementally rolled out FMS
+	// during the four years"): the fraction of hosts monitored grows
+	// linearly from CoverageStart to CoverageEnd across the window, and
+	// failures on unmonitored hosts produce no ticket. Both zero means
+	// full coverage (the default, keeping calibrated profiles exact).
+	CoverageStart, CoverageEnd float64
+}
+
+// DefaultConfig returns the paper-profile FMS configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxAgentLatency: 10 * time.Minute,
+		FalseAlarmRate:  0.017,
+		RepeatProb:      0.02,
+		EscalateProb:    0.12,
+		RepeatContinue:  0.45,
+		MaxRepeats:      6,
+		Operators:       40,
+		Response:        DefaultResponseModel(),
+	}
+}
+
+// Validate reports config violations.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxAgentLatency < 0:
+		return fmt.Errorf("fms: negative agent latency")
+	case c.FalseAlarmRate < 0 || c.FalseAlarmRate >= 1:
+		return fmt.Errorf("fms: false alarm rate %g outside [0, 1)", c.FalseAlarmRate)
+	case c.RepeatProb < 0 || c.RepeatProb > 1:
+		return fmt.Errorf("fms: repeat probability %g outside [0, 1]", c.RepeatProb)
+	case c.EscalateProb < 0 || c.EscalateProb > 1:
+		return fmt.Errorf("fms: escalation probability %g outside [0, 1]", c.EscalateProb)
+	case c.RepeatContinue < 0 || c.RepeatContinue >= 1:
+		return fmt.Errorf("fms: repeat continuation %g outside [0, 1)", c.RepeatContinue)
+	case c.MaxRepeats < 0:
+		return fmt.Errorf("fms: negative repeat cap")
+	case c.Operators < 1:
+		return fmt.Errorf("fms: need at least one operator")
+	case c.CoverageStart < 0 || c.CoverageStart > 1 ||
+		c.CoverageEnd < 0 || c.CoverageEnd > 1:
+		return fmt.Errorf("fms: coverage fractions outside [0, 1]")
+	case c.CoverageEnd < c.CoverageStart:
+		return fmt.Errorf("fms: coverage cannot shrink over the window")
+	}
+	return c.Response.Validate()
+}
+
+// monitored reports whether a host is covered by FMS at ts. Coverage
+// rolls out host-by-host: a host becomes monitored once the ramp passes
+// its (stable, id-derived) onboarding percentile, so early-window events
+// on late-onboarded hosts are invisible — exactly the paper's limitation.
+func (c Config) monitored(hostID uint64, ts time.Time, start, end time.Time) bool {
+	if c.CoverageStart == 0 && c.CoverageEnd == 0 {
+		return true
+	}
+	frac := float64(ts.Sub(start)) / float64(end.Sub(start))
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	coverage := c.CoverageStart + (c.CoverageEnd-c.CoverageStart)*frac
+	// Stable per-host percentile in [0, 1) from a cheap integer hash.
+	h := hostID * 0x9E3779B97F4A7C15 >> 11
+	percentile := float64(h%100000) / 100000
+	return percentile < coverage
+}
+
+// Stats is ground-truth bookkeeping about one FMS run.
+type Stats struct {
+	Tickets       int
+	FalseAlarms   int
+	OrganicRepeat int // tickets added by the imperfect-repair model
+	Escalations   int // fatal failures preceded by a predictive warning
+	// UnmonitoredDropped counts failures that produced no ticket because
+	// the host was not yet covered by the FMS rollout.
+	UnmonitoredDropped int
+	ByCategory         map[fot.Category]int
+}
+
+// Build converts raw events into the final ticket trace. The fleet
+// supplies product-line metadata for the response model; the window
+// [start, end) bounds repeat recurrences and false-alarm placement.
+func Build(events []event.Event, fleet *topo.Fleet, cfg Config, start, end time.Time, rng *rand.Rand) (*fot.Trace, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !end.After(start) {
+		return nil, nil, fmt.Errorf("fms: empty window")
+	}
+	if fleet == nil {
+		return nil, nil, fmt.Errorf("fms: nil fleet")
+	}
+	st := &Stats{ByCategory: make(map[fot.Category]int, 3)}
+	sampler := newResponseSampler(cfg.Response, rng)
+	// A line is "small" when it owns under 0.04% of the fleet (≈50
+	// servers at paper scale, i.e. fewer than ~100 failures over four
+	// years) — too small for a dedicated operator rotation (§VI-C).
+	smallCut := fleet.NumServers() / 2500
+	info := make(map[string]LineInfo, len(fleet.Lines))
+	for _, pl := range fleet.Lines {
+		info[pl.Name] = LineInfo{
+			Tier:  pl.Tolerance.String(),
+			Small: len(fleet.ServersByLine(pl.Name)) <= smallCut,
+		}
+	}
+	sampler.SetLineInfo(func(line string) LineInfo {
+		if li, ok := info[line]; ok {
+			return li
+		}
+		return LineInfo{Tier: "medium"}
+	})
+
+	all := make([]event.Event, 0, len(events)+len(events)/4)
+	dropped := 0
+	for _, e := range events {
+		if !cfg.monitored(e.Server.HostID, e.Time, start, end) {
+			dropped++
+			continue
+		}
+		all = append(all, e)
+	}
+	st.UnmonitoredDropped = dropped
+	kept := len(all)
+	all = append(all, organicRepeats(all, cfg, end, rng)...)
+	st.OrganicRepeat = len(all) - kept
+	all = append(all, escalations(all, cfg, end, rng)...)
+	st.Escalations = len(all) - kept - st.OrganicRepeat
+	all = append(all, falseAlarmEvents(all, cfg, start, end, rng)...)
+	event.SortByTime(all)
+
+	tickets := make([]fot.Ticket, 0, len(all))
+	for _, e := range all {
+		t := makeTicket(e, cfg, sampler, end, rng)
+		tickets = append(tickets, t)
+		st.ByCategory[t.Category]++
+	}
+	// Agent latency jitters detection times, so re-sort on the final
+	// timestamps before assigning sequential ticket ids.
+	sort.SliceStable(tickets, func(i, j int) bool {
+		return tickets[i].Time.Before(tickets[j].Time)
+	})
+	for i := range tickets {
+		tickets[i].ID = uint64(i + 1)
+	}
+	st.Tickets = len(tickets)
+	st.FalseAlarms = st.ByCategory[fot.FalseAlarm]
+	tr := fot.NewTrace(tickets)
+	if err := tr.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fms: produced invalid trace: %w", err)
+	}
+	return tr, st, nil
+}
+
+// falseAlarmMarker tags pseudo-events that must become D_falsealarm
+// tickets. It abuses the BatchID sign-free space deliberately: real batch
+// ids are sequential and never reach this sentinel.
+const falseAlarmMarker = ^uint64(0)
+
+func makeTicket(e event.Event, cfg Config, sampler *responseSampler, end time.Time, rng *rand.Rand) fot.Ticket {
+	s := e.Server
+	detect := e.Time
+	// Misc tickets are manual and carry no agent latency. Syslog-detected
+	// classes surface within seconds (which preserves the second-level
+	// synchronization of Table VIII twins); polled classes wait up to a
+	// poll interval.
+	switch {
+	case e.Component == fot.Misc:
+	case fot.IsSyslogDetected(e.Component):
+		detect = detect.Add(time.Duration(rng.Int63n(int64(30 * time.Second))))
+	case cfg.MaxAgentLatency > 0:
+		detect = detect.Add(time.Duration(rng.Int63n(int64(cfg.MaxAgentLatency))))
+	}
+	if detect.After(end) {
+		detect = end
+	}
+	t := fot.Ticket{
+		HostID:      s.HostID,
+		Hostname:    s.Hostname,
+		IDC:         s.IDC,
+		Rack:        s.Rack,
+		Position:    s.Position,
+		Device:      e.Component,
+		Slot:        e.Slot,
+		Type:        e.Type,
+		Time:        detect,
+		ProductLine: s.ProductLine,
+		DeployTime:  s.DeployTime,
+		Model:       s.Model,
+	}
+	if ft, ok := fot.LookupType(e.Component, e.Type); ok {
+		t.Detail = ft.Explanation
+	}
+
+	switch {
+	case e.BatchID == falseAlarmMarker:
+		t.Category = fot.FalseAlarm
+		t.Action = fot.ActionMarkFalseAlarm
+		t.Operator = operatorID(rng, cfg.Operators)
+		t.OpTime = detect.Add(sampler.sample(e.Component, s.ProductLine, falseAlarmClass))
+	case !s.InWarranty(detect):
+		// Out of warranty: no repair (Table I's D_error, 28%).
+		t.Category = fot.Error
+		if fot.IsFatalType(e.Component, e.Type) {
+			t.Action = fot.ActionDecommission
+		} else {
+			t.Action = fot.ActionIgnore
+		}
+	default:
+		t.Category = fot.Fixing
+		t.Action = fot.ActionRepairOrder
+		t.Operator = operatorID(rng, cfg.Operators)
+		t.OpTime = detect.Add(sampler.sample(e.Component, s.ProductLine, fixingClass))
+	}
+	return t
+}
+
+// organicRepeats models ineffective repairs: some D_fixing-bound events
+// spawn recurrence chains of the same failure on the same server.
+// Injected repeat groups (CauseRepeat) already are chains and are skipped.
+func organicRepeats(events []event.Event, cfg Config, end time.Time, rng *rand.Rand) []event.Event {
+	if cfg.RepeatProb == 0 {
+		return nil
+	}
+	var out []event.Event
+	for _, e := range events {
+		if e.Cause == event.CauseRepeat {
+			continue
+		}
+		// Only repaired components can repeat "after being solved";
+		// out-of-warranty boxes are decommissioned or left as-is.
+		if !e.Server.InWarranty(e.Time) {
+			continue
+		}
+		if rng.Float64() >= cfg.RepeatProb {
+			continue
+		}
+		ts := e.Time
+		for r := 0; r < cfg.MaxRepeats; r++ {
+			gapHours := math.Exp(math.Log(6*24) + 1.0*rng.NormFloat64())
+			ts = ts.Add(time.Duration(gapHours * float64(time.Hour)))
+			if ts.After(end) {
+				break
+			}
+			repeat := e
+			repeat.Time = ts
+			repeat.Cause = event.CauseRepeat
+			repeat.BatchID = 0
+			out = append(out, repeat)
+			if rng.Float64() >= cfg.RepeatContinue {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// escalations models warnings coming true: a predictive failure type
+// (SMARTFail, DIMMCE, ...) escalates to a fatal failure of the same
+// component instance a few days later. This is the signal the §VII-B
+// warning-based failure predictor (internal/mine) evaluates against.
+func escalations(events []event.Event, cfg Config, end time.Time, rng *rand.Rand) []event.Event {
+	if cfg.EscalateProb == 0 {
+		return nil
+	}
+	var out []event.Event
+	for _, e := range events {
+		if fot.IsFatalType(e.Component, e.Type) || e.Component == fot.Misc {
+			continue
+		}
+		if rng.Float64() >= cfg.EscalateProb {
+			continue
+		}
+		fatalType, ok := fot.SampleFatalType(rng, e.Component)
+		if !ok {
+			continue
+		}
+		// "A couple of days early": lognormal lead time, median ≈3 days.
+		gapHours := math.Exp(math.Log(3*24) + 0.6*rng.NormFloat64())
+		ts := e.Time.Add(time.Duration(gapHours * float64(time.Hour)))
+		if ts.After(end) {
+			continue
+		}
+		fatal := e
+		fatal.Type = fatalType
+		fatal.Time = ts
+		fatal.Cause = event.CauseBaseline
+		fatal.BatchID = 0
+		out = append(out, fatal)
+	}
+	return out
+}
+
+// falseAlarmEvents fabricates detector mistakes: copies of real events'
+// (server, class) with fresh timestamps, tagged with falseAlarmMarker.
+func falseAlarmEvents(events []event.Event, cfg Config, start, end time.Time, rng *rand.Rand) []event.Event {
+	if cfg.FalseAlarmRate == 0 || len(events) == 0 {
+		return nil
+	}
+	// rate = alarms / (alarms + failures)  =>  alarms = failures*r/(1-r).
+	n := int(math.Round(float64(len(events)) * cfg.FalseAlarmRate / (1 - cfg.FalseAlarmRate)))
+	out := make([]event.Event, 0, n)
+	span := end.Sub(start)
+	for i := 0; i < n; i++ {
+		src := events[rng.Intn(len(events))]
+		ts := start.Add(time.Duration(rng.Int63n(int64(span))))
+		if ts.Before(src.Server.DeployTime) {
+			ts = src.Server.DeployTime.Add(time.Duration(rng.Intn(86400)) * time.Second)
+		}
+		if ts.After(end) {
+			continue
+		}
+		out = append(out, event.Event{
+			Server:    src.Server,
+			Component: src.Component,
+			Type:      src.Type,
+			Time:      ts,
+			Cause:     src.Cause,
+			BatchID:   falseAlarmMarker,
+		})
+	}
+	return out
+}
+
+func operatorID(rng *rand.Rand, pool int) string {
+	return fmt.Sprintf("op-%02d", rng.Intn(pool)+1)
+}

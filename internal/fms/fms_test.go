@@ -1,0 +1,367 @@
+package fms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fot"
+)
+
+// runSmall is the shared small-profile pipeline for FMS tests.
+func runSmall(t *testing.T, seed int64) *Result {
+	t.Helper()
+	res, err := Run(fleetgen.SmallProfile(), DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunProducesValidTrace(t *testing.T) {
+	res := runSmall(t, 1)
+	if res.Trace.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// IDs sequential in time order.
+	for i, tk := range res.Trace.Tickets {
+		if tk.ID != uint64(i+1) {
+			t.Fatalf("ticket %d has id %d", i, tk.ID)
+		}
+		if i > 0 && tk.Time.Before(res.Trace.Tickets[i-1].Time) {
+			t.Fatal("trace not time-sorted")
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runSmall(t, 9)
+	b := runSmall(t, 9)
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Trace.Len(), b.Trace.Len())
+	}
+	for i := range a.Trace.Tickets {
+		x, y := a.Trace.Tickets[i], b.Trace.Tickets[i]
+		if !x.Time.Equal(y.Time) || x.HostID != y.HostID || x.Type != y.Type ||
+			!x.OpTime.Equal(y.OpTime) || x.Category != y.Category {
+			t.Fatalf("ticket %d differs across equal-seed runs", i)
+		}
+	}
+}
+
+func TestCategoryMix(t *testing.T) {
+	res := runSmall(t, 2)
+	counts := res.Trace.CountByCategory()
+	total := float64(res.Trace.Len())
+	fixing := float64(counts[fot.Fixing]) / total
+	errs := float64(counts[fot.Error]) / total
+	alarms := float64(counts[fot.FalseAlarm]) / total
+	// Paper Table I: 70.3 / 28.0 / 1.7. The warranty-driven D_error share
+	// depends on fleet age mix; allow generous bands but require the
+	// ordering and rough magnitudes.
+	if fixing < 0.50 || fixing > 0.85 {
+		t.Errorf("fixing share = %.3f, want ≈0.70", fixing)
+	}
+	if errs < 0.12 || errs > 0.45 {
+		t.Errorf("error share = %.3f, want ≈0.28", errs)
+	}
+	if alarms < 0.008 || alarms > 0.03 {
+		t.Errorf("false alarm share = %.4f, want ≈0.017", alarms)
+	}
+}
+
+func TestCategorySemantics(t *testing.T) {
+	res := runSmall(t, 3)
+	for _, tk := range res.Trace.Tickets {
+		switch tk.Category {
+		case fot.Fixing:
+			if tk.Action != fot.ActionRepairOrder {
+				t.Fatalf("fixing ticket with action %v", tk.Action)
+			}
+			if tk.OpTime.IsZero() || tk.Operator == "" {
+				t.Fatal("fixing ticket missing operator response")
+			}
+		case fot.Error:
+			if !tk.OpTime.IsZero() {
+				t.Fatal("out-of-warranty ticket should have no op time")
+			}
+			if tk.Action != fot.ActionDecommission && tk.Action != fot.ActionIgnore {
+				t.Fatalf("error ticket with action %v", tk.Action)
+			}
+			// Must actually be out of warranty.
+			warrantyEnd := tk.DeployTime.AddDate(3, 0, 0)
+			if tk.Time.Before(warrantyEnd) {
+				t.Fatal("in-warranty ticket categorized as D_error")
+			}
+		case fot.FalseAlarm:
+			if tk.Action != fot.ActionMarkFalseAlarm || tk.OpTime.IsZero() {
+				t.Fatal("false alarm missing closure")
+			}
+		}
+	}
+}
+
+func TestFatalErrorsDecommission(t *testing.T) {
+	res := runSmall(t, 4)
+	decommissions, ignores := 0, 0
+	for _, tk := range res.Trace.ByCategory(fot.Error).Tickets {
+		fatal := fot.IsFatalType(tk.Device, tk.Type)
+		switch tk.Action {
+		case fot.ActionDecommission:
+			decommissions++
+			if !fatal {
+				t.Fatalf("non-fatal %s decommissioned", tk.Type)
+			}
+		case fot.ActionIgnore:
+			ignores++
+			if fatal {
+				t.Fatalf("fatal %s ignored", tk.Type)
+			}
+		}
+	}
+	if decommissions == 0 || ignores == 0 {
+		t.Errorf("want both decommissions (%d) and ignores (%d)", decommissions, ignores)
+	}
+}
+
+func TestOrganicRepeats(t *testing.T) {
+	res := runSmall(t, 5)
+	if res.FMS.OrganicRepeat == 0 {
+		t.Fatal("no organic repeats generated")
+	}
+	// Repeats are same host+component+type, later in time: mine the trace
+	// the way the paper defines repeats and require a detectable cohort.
+	type key struct {
+		host uint64
+		dev  fot.Component
+		slot string
+		typ  string
+	}
+	counts := map[key]int{}
+	for _, tk := range res.Trace.Failures().Tickets {
+		counts[key{tk.HostID, tk.Device, tk.Slot, tk.Type}]++
+	}
+	repeated := 0
+	for _, n := range counts {
+		if n > 1 {
+			repeated++
+		}
+	}
+	if repeated < 20 {
+		t.Errorf("only %d repeated (host, device, type) groups", repeated)
+	}
+}
+
+func TestResponseTimeShape(t *testing.T) {
+	res := runSmall(t, 6)
+	var rtDaysAll []float64
+	rtByClass := map[fot.Component][]float64{}
+	for _, tk := range res.Trace.ByCategory(fot.Fixing).Tickets {
+		rt, ok := tk.ResponseTime()
+		if !ok {
+			t.Fatal("fixing ticket without RT")
+		}
+		days := rt.Hours() / 24
+		rtDaysAll = append(rtDaysAll, days)
+		rtByClass[tk.Device] = append(rtByClass[tk.Device], days)
+	}
+	med := median(rtDaysAll)
+	if med < 1 || med > 25 {
+		t.Errorf("overall median RT = %.1f days, want single-digit-to-teens", med)
+	}
+	mean := 0.0
+	for _, d := range rtDaysAll {
+		mean += d
+	}
+	mean /= float64(len(rtDaysAll))
+	if mean < 2*med {
+		t.Errorf("mean RT %.1f not heavy-tailed vs median %.1f", mean, med)
+	}
+	// Fig. 10 ordering: SSD and misc respond in hours, HDD in days.
+	if ssd := median(rtByClass[fot.SSD]); ssd > 3 {
+		t.Errorf("SSD median RT = %.2f days, want hours", ssd)
+	}
+	if msc := median(rtByClass[fot.Misc]); msc > 3 {
+		t.Errorf("misc median RT = %.2f days, want hours", msc)
+	}
+	if hdd := median(rtByClass[fot.HDD]); hdd < 2 {
+		t.Errorf("HDD median RT = %.2f days, want days-to-weeks", hdd)
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MaxAgentLatency = -time.Minute },
+		func(c *Config) { c.FalseAlarmRate = -0.1 },
+		func(c *Config) { c.FalseAlarmRate = 1 },
+		func(c *Config) { c.RepeatProb = 1.5 },
+		func(c *Config) { c.RepeatContinue = 1 },
+		func(c *Config) { c.MaxRepeats = -1 },
+		func(c *Config) { c.Operators = 0 },
+		func(c *Config) { c.Response.Sigma = 0 },
+		func(c *Config) { c.Response.MedianDays = nil },
+		func(c *Config) { c.Response.FalseAlarmFactor = 0 },
+		func(c *Config) { c.Response.ReviewProb = 2 },
+		func(c *Config) { c.Response.ToleranceFactor = map[string]float64{"high": -1} },
+	}
+	for i, mutate := range cases(bad) {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// cases is an identity helper that keeps gofmt from aligning the huge
+// literal above awkwardly.
+func cases(fs []func(*Config)) []func(*Config) { return fs }
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	res := runSmall(t, 7)
+	rng := rand.New(rand.NewSource(1))
+	start, end := fleetgen.SmallProfile().Window()
+	if _, _, err := Build(nil, nil, DefaultConfig(), start, end, rng); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	if _, _, err := Build(nil, res.Fleet, DefaultConfig(), end, start, rng); err == nil {
+		t.Error("inverted window accepted")
+	}
+	bad := DefaultConfig()
+	bad.Operators = 0
+	if _, _, err := Build(nil, res.Fleet, bad, start, end, rng); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestNoRepeatsNoFalseAlarmsConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RepeatProb = 0
+	cfg.FalseAlarmRate = 0
+	res, err := Run(fleetgen.SmallProfile(), cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FMS.OrganicRepeat != 0 {
+		t.Error("repeats despite RepeatProb=0")
+	}
+	if res.FMS.FalseAlarms != 0 {
+		t.Error("false alarms despite rate 0")
+	}
+	if got := res.Trace.ByCategory(fot.FalseAlarm).Len(); got != 0 {
+		t.Errorf("%d false-alarm tickets", got)
+	}
+}
+
+func TestHighToleranceLinesRespondSlower(t *testing.T) {
+	res := runSmall(t, 10)
+	tierOf := map[string]string{}
+	for _, pl := range res.Fleet.Lines {
+		tierOf[pl.Name] = pl.Tolerance.String()
+	}
+	var high, low []float64
+	for _, tk := range res.Trace.ByCategory(fot.Fixing).ByComponent(fot.HDD).Tickets {
+		rt, ok := tk.ResponseTime()
+		if !ok {
+			continue
+		}
+		switch tierOf[tk.ProductLine] {
+		case "high":
+			high = append(high, rt.Hours())
+		case "low":
+			low = append(low, rt.Hours())
+		}
+	}
+	if len(high) < 10 || len(low) < 10 {
+		t.Skipf("not enough tickets to compare tiers: %d vs %d", len(high), len(low))
+	}
+	if !(median(high) > 2*median(low)) {
+		t.Errorf("high-tolerance median %.1fh not ≫ low-tolerance %.1fh",
+			median(high), median(low))
+	}
+}
+
+func TestDetectionLatencySmall(t *testing.T) {
+	// Agent latency must not push detection outside the study window.
+	res := runSmall(t, 11)
+	_, end := fleetgen.SmallProfile().Window()
+	for _, tk := range res.Trace.Tickets {
+		if tk.Time.After(end) {
+			t.Fatalf("ticket %d detected after window end", tk.ID)
+		}
+	}
+}
+
+func TestCoverageRamp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoverageStart = 0.5
+	cfg.CoverageEnd = 1.0
+	partial, err := Run(fleetgen.SmallProfile(), cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(fleetgen.SmallProfile(), DefaultConfig(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.FMS.UnmonitoredDropped == 0 {
+		t.Fatal("ramp dropped nothing")
+	}
+	if partial.Trace.Len() >= full.Trace.Len() {
+		t.Errorf("partial coverage trace (%d) not smaller than full (%d)",
+			partial.Trace.Len(), full.Trace.Len())
+	}
+	// The rollout starves the early window hardest: the first year's
+	// share of tickets must shrink relative to full coverage.
+	firstYearShare := func(r *Result) float64 {
+		lo, hi, _ := r.Trace.Span()
+		_ = hi
+		early := r.Trace.Between(lo, lo.AddDate(1, 0, 0)).Len()
+		return float64(early) / float64(r.Trace.Len())
+	}
+	if !(firstYearShare(partial) < firstYearShare(full)) {
+		t.Errorf("first-year share did not shrink: %.3f vs %.3f",
+			firstYearShare(partial), firstYearShare(full))
+	}
+}
+
+func TestCoverageValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoverageStart = 0.8
+	cfg.CoverageEnd = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("shrinking coverage accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CoverageStart = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative coverage accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CoverageEnd = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("coverage >1 accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package fms
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// rtClass distinguishes the two ticket populations with recorded operator
+// responses (paper Fig. 9 plots them separately).
+type rtClass int
+
+const (
+	fixingClass rtClass = iota
+	falseAlarmClass
+)
+
+// ResponseModel is the §VI operator response-time model. Response time is
+// lognormal per component class, scaled by the product line's software
+// fault-tolerance tier (resilient lines respond slower), by a per-line
+// "diligence" factor (some small lines let tickets sit for months), and
+// optionally quantized to periodic review days for batch-processing lines.
+type ResponseModel struct {
+	// MedianDays is the per-class RT median for D_fixing tickets
+	// (Fig. 10: SSD and misc in hours; HDD, fan, memory 7–18 days).
+	MedianDays map[fot.Component]float64
+	// Sigma is the lognormal shape, shared across classes; ≈1.9 puts
+	// ~10% of responses beyond 140 days as Fig. 9 reports.
+	Sigma float64
+	// ToleranceFactor scales RT by the line's fault-tolerance tier.
+	ToleranceFactor map[string]float64
+	// LineSigma is the dispersion of the per-line diligence lognormal
+	// (std-dev across lines of ~30 days per §VI-C).
+	LineSigma float64
+	// DiligenceCap bounds a single line's diligence multiplier so one
+	// unlucky huge line cannot dominate the fleet-wide MTTR.
+	DiligenceCap float64
+	// SmallLineFactor, SmallLineSigma and SmallLineCap replace the
+	// diligence model for lines too small to staff an operator rotation
+	// — the §VI-C finding that 21% of lines with <100 failures have
+	// median RT over 100 days.
+	SmallLineFactor float64
+	SmallLineSigma  float64
+	SmallLineCap    float64
+	// FalseAlarmFactor scales medians for D_falsealarm responses.
+	FalseAlarmFactor float64
+	// ReviewEvery batches responses for high-tolerance lines: the
+	// operator only looks at the pool periodically (§VI: "operators only
+	// periodically review the failure records ... and process them in
+	// batches"). Zero disables batching.
+	ReviewEvery time.Duration
+	// ReviewProb is the chance a high-tolerance ticket waits for review.
+	ReviewProb float64
+}
+
+// DefaultResponseModel returns the paper-calibrated model.
+func DefaultResponseModel() ResponseModel {
+	return ResponseModel{
+		MedianDays: map[fot.Component]float64{
+			fot.HDD:          7.5,
+			fot.Fan:          14.0,
+			fot.Memory:       10.0,
+			fot.Motherboard:  7.0,
+			fot.HDDBackboard: 7.0,
+			fot.Power:        6.0,
+			fot.RAIDCard:     5.0,
+			fot.CPU:          5.0,
+			fot.FlashCard:    4.0,
+			fot.SSD:          0.25,
+			fot.Misc:         0.17,
+		},
+		Sigma: 1.7,
+		ToleranceFactor: map[string]float64{
+			"low":    0.25,
+			"medium": 1.0,
+			"high":   2.5,
+		},
+		LineSigma:        0.9,
+		DiligenceCap:     3,
+		SmallLineFactor:  2.0,
+		SmallLineSigma:   2.0,
+		SmallLineCap:     25,
+		FalseAlarmFactor: 0.45,
+		ReviewEvery:      14 * 24 * time.Hour,
+		ReviewProb:       0.5,
+	}
+}
+
+// Validate reports model violations.
+func (m ResponseModel) Validate() error {
+	for _, c := range fot.Components() {
+		if m.MedianDays[c] <= 0 {
+			return fmt.Errorf("fms: response median for %v missing or non-positive", c)
+		}
+	}
+	switch {
+	case m.Sigma <= 0:
+		return fmt.Errorf("fms: response sigma must be positive")
+	case m.LineSigma < 0 || m.SmallLineSigma < 0:
+		return fmt.Errorf("fms: line sigma must be non-negative")
+	case m.DiligenceCap <= 0:
+		return fmt.Errorf("fms: diligence cap must be positive")
+	case m.SmallLineFactor <= 0:
+		return fmt.Errorf("fms: small-line factor must be positive")
+	case m.FalseAlarmFactor <= 0:
+		return fmt.Errorf("fms: false-alarm factor must be positive")
+	case m.ReviewEvery < 0:
+		return fmt.Errorf("fms: negative review period")
+	case m.ReviewProb < 0 || m.ReviewProb > 1:
+		return fmt.Errorf("fms: review probability outside [0, 1]")
+	}
+	for tier, f := range m.ToleranceFactor {
+		if f <= 0 {
+			return fmt.Errorf("fms: tolerance factor for %q must be positive", tier)
+		}
+	}
+	return nil
+}
+
+// LineInfo describes the product-line attributes the response model uses.
+type LineInfo struct {
+	// Tier is the software fault-tolerance tier name ("low"/"medium"/
+	// "high").
+	Tier string
+	// Small marks lines too small to staff an operator rotation.
+	Small bool
+}
+
+// responseSampler draws RTs, memoizing per-line diligence factors.
+type responseSampler struct {
+	model ResponseModel
+	rng   *rand.Rand
+	// line factors: tolerance tier × diligence, resolved lazily.
+	lineFactor map[string]float64
+	lineInfo   func(line string) LineInfo
+}
+
+func newResponseSampler(model ResponseModel, rng *rand.Rand) *responseSampler {
+	return &responseSampler{
+		model:      model,
+		rng:        rng,
+		lineFactor: make(map[string]float64),
+	}
+}
+
+// SetLineInfo installs a product-line attribute resolver. Without one,
+// every line is a non-small "medium".
+func (s *responseSampler) SetLineInfo(fn func(line string) LineInfo) { s.lineInfo = fn }
+
+func (s *responseSampler) factorFor(line string) float64 {
+	if f, ok := s.lineFactor[line]; ok {
+		return f
+	}
+	info := LineInfo{Tier: "medium"}
+	if s.lineInfo != nil {
+		info = s.lineInfo(line)
+	}
+	tf, ok := s.model.ToleranceFactor[info.Tier]
+	if !ok {
+		tf = 1
+	}
+	sigma := s.model.LineSigma
+	base := 1.0
+	cap := s.model.DiligenceCap
+	if info.Small {
+		sigma = s.model.SmallLineSigma
+		base = s.model.SmallLineFactor
+		cap = s.model.SmallLineCap
+	}
+	diligence := base * math.Exp(sigma*s.rng.NormFloat64())
+	if cap > 0 && diligence > cap {
+		diligence = cap
+	}
+	f := tf * diligence
+	s.lineFactor[line] = f
+	return f
+}
+
+// sample draws one response time.
+func (s *responseSampler) sample(c fot.Component, line string, class rtClass) time.Duration {
+	median := s.model.MedianDays[c]
+	if median <= 0 {
+		median = 5
+	}
+	if class == falseAlarmClass {
+		median *= s.model.FalseAlarmFactor
+	}
+	hours := math.Exp(math.Log(median*24)+s.model.Sigma*s.rng.NormFloat64()) * s.factorFor(line)
+	rt := time.Duration(hours * float64(time.Hour))
+	if rt < time.Minute {
+		rt = time.Minute
+	}
+	// Review batching: slow lines let tickets wait for the next sweep.
+	if class == fixingClass && s.model.ReviewEvery > 0 &&
+		s.factorFor(line) > 2 && s.rng.Float64() < s.model.ReviewProb {
+		period := s.model.ReviewEvery
+		rt = rt.Truncate(period) + period
+	}
+	return rt
+}

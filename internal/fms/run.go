@@ -1,0 +1,37 @@
+package fms
+
+import (
+	"math/rand"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Result bundles everything one simulation run produces.
+type Result struct {
+	Fleet *topo.Fleet
+	Trace *fot.Trace
+	Gen   *fleetgen.Report
+	FMS   *Stats
+}
+
+// Run is the one-call pipeline: build the fleet from the profile, generate
+// raw events (injection + calibrated baseline), and push them through the
+// FMS. The same (profile, cfg, seed) triple always yields the same trace.
+func Run(profile fleetgen.Profile, cfg Config, seed int64) (*Result, error) {
+	fleet, gen, err := profile.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	events, genReport, err := gen.Generate(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	trace, stats, err := Build(events, fleet, cfg, gen.Start, gen.End, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Fleet: fleet, Trace: trace, Gen: genReport, FMS: stats}, nil
+}

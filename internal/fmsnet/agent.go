@@ -1,0 +1,111 @@
+package fmsnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// AgentConfig tunes the host agent's delivery behavior.
+type AgentConfig struct {
+	// MaxAttempts bounds delivery attempts per report (connection
+	// establishment included). Minimum 1.
+	MaxAttempts int
+	// RetryBase is the initial backoff; it doubles per retry up to
+	// RetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// DefaultAgentConfig returns sensible retry settings for a host agent.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		MaxAttempts: 5,
+		RetryBase:   20 * time.Millisecond,
+		RetryMax:    2 * time.Second,
+	}
+}
+
+// AgentStats summarizes one agent run.
+type AgentStats struct {
+	Sent    int
+	Retries int
+}
+
+// RunAgent drains reports and delivers each to the collector at addr,
+// reconnecting with exponential backoff on failure. It returns when the
+// channel is closed (success) or when a report exhausts its attempts.
+// It mirrors the paper's host agent: detections must reach the central
+// FMS even across collector restarts.
+func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats, error) {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 20 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = cfg.RetryBase
+	}
+	stats := &AgentStats{}
+	var client *Client
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+	for rep := range reports {
+		backoff := cfg.RetryBase
+		delivered := false
+		var lastErr error
+		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+			if attempt > 0 {
+				stats.Retries++
+				time.Sleep(backoff)
+				backoff *= 2
+				if backoff > cfg.RetryMax {
+					backoff = cfg.RetryMax
+				}
+			}
+			if client == nil {
+				c, err := Dial(addr)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				client = c
+			}
+			if _, err := client.Report(rep); err != nil {
+				lastErr = err
+				// A collector-side validation error is permanent; a
+				// transport error warrants a reconnect.
+				if isProtocolError(err) {
+					return stats, fmt.Errorf("fmsnet: report rejected: %w", err)
+				}
+				client.Close()
+				client = nil
+				continue
+			}
+			stats.Sent++
+			delivered = true
+			break
+		}
+		if !delivered {
+			return stats, fmt.Errorf("fmsnet: giving up after %d attempts: %w",
+				cfg.MaxAttempts, lastErr)
+		}
+	}
+	return stats, nil
+}
+
+// isProtocolError distinguishes collector rejections (the collector
+// answered with KindError) from transport failures.
+func isProtocolError(err error) bool {
+	// Collector rejections are wrapped with the "collector:" prefix by
+	// roundTrip; transport errors are not.
+	return err != nil && containsCollectorPrefix(err.Error())
+}
+
+func containsCollectorPrefix(s string) bool {
+	const prefix = "fmsnet: collector:"
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

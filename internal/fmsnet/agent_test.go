@@ -1,0 +1,196 @@
+package fmsnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunAgentDeliversAll(t *testing.T) {
+	col := startCollector(t)
+	reports := make(chan *Report, 64)
+	for i := uint64(1); i <= 50; i++ {
+		reports <- sampleReport(i, true)
+	}
+	close(reports)
+	stats, err := RunAgent(col.Addr(), reports, DefaultAgentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent != 50 {
+		t.Errorf("sent = %d, want 50", stats.Sent)
+	}
+	if col.Trace().Len() != 50 {
+		t.Errorf("collector has %d tickets", col.Trace().Len())
+	}
+}
+
+func TestRunAgentSurvivesCollectorRestart(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+
+	reports := make(chan *Report)
+	done := make(chan struct{})
+	var stats *AgentStats
+	var agentErr error
+	go func() {
+		defer close(done)
+		cfg := DefaultAgentConfig()
+		cfg.MaxAttempts = 40
+		cfg.RetryMax = 300 * time.Millisecond
+		stats, agentErr = RunAgent(addr, reports, cfg)
+	}()
+	send := func(r *Report) {
+		t.Helper()
+		select {
+		case reports <- r:
+		case <-done:
+			t.Fatalf("agent exited early: %v", agentErr)
+		case <-time.After(30 * time.Second):
+			t.Fatal("send blocked — agent stalled")
+		}
+	}
+
+	send(sampleReport(1, true))
+	// Kill the collector mid-stream, then bring a new one up on the same
+	// address while the agent is retrying.
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		col2, err := NewCollector(addr)
+		if err != nil {
+			t.Logf("rebind failed: %v", err)
+			return
+		}
+		t.Cleanup(func() { col2.Close() })
+	}()
+	send(sampleReport(2, true))
+	send(sampleReport(3, true))
+	close(reports)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not finish")
+	}
+
+	if agentErr != nil {
+		t.Skipf("collector rebind raced with the OS: %v", agentErr)
+	}
+	if stats.Sent != 3 {
+		t.Errorf("sent = %d, want 3", stats.Sent)
+	}
+	if stats.Retries == 0 {
+		t.Error("expected retries across the restart")
+	}
+}
+
+func TestRunAgentPermanentRejection(t *testing.T) {
+	col := startCollector(t)
+	reports := make(chan *Report, 1)
+	bad := sampleReport(1, true)
+	bad.Device = "gpu" // collector rejects: permanent
+	reports <- bad
+	close(reports)
+	cfg := DefaultAgentConfig()
+	start := time.Now()
+	_, err := RunAgent(col.Addr(), reports, cfg)
+	if err == nil {
+		t.Fatal("permanent rejection not surfaced")
+	}
+	// Must fail fast (no retry storm on a permanent error).
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("permanent rejection retried for %v", elapsed)
+	}
+}
+
+func TestRunAgentGivesUpOnDeadCollector(t *testing.T) {
+	reports := make(chan *Report, 1)
+	reports <- sampleReport(1, true)
+	close(reports)
+	cfg := AgentConfig{MaxAttempts: 3, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond}
+	stats, err := RunAgent("127.0.0.1:1", reports, cfg)
+	if err == nil {
+		t.Fatal("dead collector not surfaced")
+	}
+	if stats.Sent != 0 || stats.Retries != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRunAgentEmptyChannel(t *testing.T) {
+	reports := make(chan *Report)
+	close(reports)
+	stats, err := RunAgent("127.0.0.1:1", reports, DefaultAgentConfig())
+	if err != nil || stats.Sent != 0 {
+		t.Errorf("empty channel: %+v, %v", stats, err)
+	}
+}
+
+func TestRunOperatorDrainsPool(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	for i := uint64(1); i <= 30; i++ {
+		if _, err := cl.Report(sampleReport(i, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var closed int
+	var opErr error
+	go func() {
+		defer close(done)
+		cfg := DefaultOperatorConfig()
+		cfg.Interval = 20 * time.Millisecond
+		cfg.BatchSize = 7
+		closed, opErr = RunOperator(col.Addr(), cfg, stop)
+	}()
+	// Let a few review sweeps run, then add stragglers and stop.
+	deadline := time.After(5 * time.Second)
+	for {
+		open, err := cl.List(true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(open) == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pool not drained: %d still open", len(open))
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for i := uint64(31); i <= 35; i++ {
+		if _, err := cl.Report(sampleReport(i, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
+	if closed != 35 {
+		t.Errorf("operator closed %d tickets, want 35", closed)
+	}
+	// Every ticket carries the operator id.
+	for _, tk := range col.Trace().Tickets {
+		if tk.Operator != "op-auto" {
+			t.Fatalf("ticket %d operator %q", tk.ID, tk.Operator)
+		}
+	}
+}
+
+func TestRunOperatorDialFailure(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if _, err := RunOperator("127.0.0.1:1", DefaultOperatorConfig(), stop); err == nil {
+		t.Error("dead collector accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package fmsnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Client is a synchronous FMS connection used by both host agents (to
+// report failures) and operators (to review and close tickets).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a collector.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("fmsnet: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	line, err := encode(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(line); err != nil {
+		return nil, fmt.Errorf("fmsnet: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("fmsnet: flush: %w", err)
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return nil, fmt.Errorf("fmsnet: receive: %w", err)
+		}
+		return nil, fmt.Errorf("fmsnet: connection closed by collector")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("fmsnet: decode response: %w", err)
+	}
+	if resp.Kind == KindError {
+		return nil, fmt.Errorf("fmsnet: collector: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Report submits one failure report and returns the assigned ticket id.
+func (c *Client) Report(r *Report) (uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindReport, Report: r})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TicketID, nil
+}
+
+// List fetches tickets from the pool.
+func (c *Client) List(onlyOpen bool, limit int) ([]PoolTicket, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindList, OnlyOpen: onlyOpen, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tickets, nil
+}
+
+// CloseTicket records an operator decision on an open ticket.
+func (c *Client) CloseTicket(id uint64, action fot.Action, operator string) error {
+	_, err := c.roundTrip(&Request{
+		Kind: KindClose, TicketID: id, Action: action.String(), Operator: operator,
+	})
+	return err
+}
+
+// Stats fetches pool statistics.
+func (c *Client) Stats() (*PoolStats, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("fmsnet: stats response without body")
+	}
+	return resp.Stats, nil
+}
+
+// ReportTicket converts an already-materialized ticket (e.g. from a
+// simulated trace) into an agent report and submits it — the bridge used
+// to replay simulator output through the real pipeline.
+func (c *Client) ReportTicket(t fot.Ticket, server *topo.Server) (uint64, error) {
+	rep := &Report{
+		HostID:      t.HostID,
+		Hostname:    t.Hostname,
+		IDC:         t.IDC,
+		Rack:        t.Rack,
+		Position:    t.Position,
+		Device:      t.Device.String(),
+		Slot:        t.Slot,
+		Type:        t.Type,
+		Time:        t.Time,
+		Detail:      t.Detail,
+		ProductLine: t.ProductLine,
+		DeployTime:  t.DeployTime,
+		Model:       t.Model,
+		InWarranty:  t.Category != fot.Error,
+	}
+	if server != nil {
+		rep.InWarranty = server.InWarranty(t.Time)
+	}
+	return c.Report(rep)
+}

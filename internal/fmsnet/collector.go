@@ -1,0 +1,297 @@
+package fmsnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+// Collector is the centralized FMS server: it accepts agent reports and
+// operator commands over TCP and keeps the failure pool in memory.
+type Collector struct {
+	listener net.Listener
+
+	mu      sync.Mutex
+	nextID  uint64
+	tickets []fot.Ticket
+	open    map[uint64]int // ticket id -> index into tickets
+	conns   map[net.Conn]struct{}
+
+	detector *mine.BatchDetector
+	onAlert  func(mine.BatchAlert)
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// NewCollector starts a collector listening on addr (use "127.0.0.1:0"
+// for an ephemeral test port). Callers must Close it.
+func NewCollector(addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fmsnet: listen: %w", err)
+	}
+	c := &Collector{
+		listener: ln,
+		open:     make(map[uint64]int),
+		conns:    make(map[net.Conn]struct{}),
+		closing:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Collector) Addr() string { return c.listener.Addr().String() }
+
+// EnableBatchAlerts attaches a live batch detector (internal/mine): every
+// accepted report flows through it, and onAlert runs (on the reporting
+// connection's goroutine) when a failure kind bursts. Call before agents
+// connect.
+func (c *Collector) EnableBatchAlerts(d *mine.BatchDetector, onAlert func(mine.BatchAlert)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.detector = d
+	c.onAlert = onAlert
+}
+
+// Close stops accepting, severs active connections (idle agents would
+// otherwise hold the collector open forever), and waits for the handler
+// goroutines to drain.
+func (c *Collector) Close() error {
+	close(c.closing)
+	err := c.listener.Close()
+	c.mu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// Trace exports the pool as an analysis-ready trace (a copy).
+func (c *Collector) Trace() *fot.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := make([]fot.Ticket, len(c.tickets))
+	copy(cp, c.tickets)
+	return fot.NewTrace(cp)
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			select {
+			case <-c.closing:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	c.mu.Lock()
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{Kind: KindAck}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Kind: KindError, Error: err.Error()}
+		} else if r, err := c.handle(&req); err != nil {
+			resp = Response{Kind: KindError, Error: err.Error()}
+		} else {
+			resp = *r
+		}
+		out, err := encode(resp)
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (c *Collector) handle(req *Request) (*Response, error) {
+	switch req.Kind {
+	case KindReport:
+		return c.handleReport(req.Report)
+	case KindList:
+		return c.handleList(req)
+	case KindClose:
+		return c.handleClose(req)
+	case KindStats:
+		return c.handleStats()
+	default:
+		return nil, fmt.Errorf("fmsnet: unknown request kind %q", req.Kind)
+	}
+}
+
+func (c *Collector) handleReport(r *Report) (*Response, error) {
+	if err := validateReport(r); err != nil {
+		return nil, err
+	}
+	device, err := fot.ParseComponent(r.Device)
+	if err != nil {
+		return nil, err
+	}
+	t := fot.Ticket{
+		HostID:      r.HostID,
+		Hostname:    r.Hostname,
+		IDC:         r.IDC,
+		Rack:        r.Rack,
+		Position:    r.Position,
+		Device:      device,
+		Slot:        r.Slot,
+		Type:        r.Type,
+		Time:        r.Time.UTC(),
+		Detail:      r.Detail,
+		ProductLine: r.ProductLine,
+		DeployTime:  r.DeployTime,
+		Model:       r.Model,
+	}
+	var fire *mine.BatchAlert
+	var onAlert func(mine.BatchAlert)
+	c.mu.Lock()
+	c.nextID++
+	t.ID = c.nextID
+	if r.InWarranty {
+		// Awaits an operator decision; until then it sits open in the
+		// pool as D_fixing-to-be.
+		t.Category = fot.Fixing
+		t.Action = fot.ActionNone
+		c.open[t.ID] = len(c.tickets)
+	} else {
+		// Out of warranty: closed immediately, not repaired (Table I).
+		t.Category = fot.Error
+		if fot.IsFatalType(device, r.Type) {
+			t.Action = fot.ActionDecommission
+		} else {
+			t.Action = fot.ActionIgnore
+		}
+	}
+	c.tickets = append(c.tickets, t)
+	if c.detector != nil {
+		fire = c.detector.Observe(t)
+		onAlert = c.onAlert
+	}
+	c.mu.Unlock()
+	// The alert callback runs outside the pool lock so it may dial back
+	// into the collector if it wants to.
+	if fire != nil && onAlert != nil {
+		onAlert(*fire)
+	}
+	return &Response{Kind: KindAck, TicketID: t.ID}, nil
+}
+
+func (c *Collector) handleList(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	limit := req.Limit
+	if limit <= 0 {
+		limit = len(c.tickets)
+	}
+	resp := &Response{Kind: KindAck}
+	for i := range c.tickets {
+		t := &c.tickets[i]
+		_, isOpen := c.open[t.ID]
+		if req.OnlyOpen && !isOpen {
+			continue
+		}
+		resp.Tickets = append(resp.Tickets, PoolTicket{
+			ID:       t.ID,
+			HostID:   t.HostID,
+			IDC:      t.IDC,
+			Device:   t.Device.String(),
+			Slot:     t.Slot,
+			Type:     t.Type,
+			Time:     t.Time,
+			Category: t.Category.String(),
+			Open:     isOpen,
+		})
+		if len(resp.Tickets) >= limit {
+			break
+		}
+	}
+	return resp, nil
+}
+
+func (c *Collector) handleClose(req *Request) (*Response, error) {
+	action, err := fot.ParseAction(req.Action)
+	if err != nil {
+		return nil, err
+	}
+	if action == fot.ActionNone {
+		return nil, fmt.Errorf("fmsnet: close requires a real action")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.open[req.TicketID]
+	if !ok {
+		return nil, fmt.Errorf("fmsnet: ticket %d is not open", req.TicketID)
+	}
+	t := &c.tickets[idx]
+	t.Action = action
+	t.Operator = req.Operator
+	t.OpTime = time.Now().UTC()
+	if t.OpTime.Before(t.Time) {
+		// Simulated traces may carry future detection timestamps; keep
+		// the ticket schema-valid.
+		t.OpTime = t.Time
+	}
+	if action == fot.ActionMarkFalseAlarm {
+		t.Category = fot.FalseAlarm
+	}
+	delete(c.open, req.TicketID)
+	return &Response{Kind: KindAck, TicketID: req.TicketID}, nil
+}
+
+func (c *Collector) handleStats() (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stats := &PoolStats{
+		Total:      len(c.tickets),
+		Open:       len(c.open),
+		ByCategory: make(map[string]int, 3),
+	}
+	for i := range c.tickets {
+		stats.ByCategory[c.tickets[i].Category.String()]++
+	}
+	return &Response{Kind: KindAck, Stats: stats}, nil
+}

@@ -1,0 +1,287 @@
+package fmsnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+func startCollector(t *testing.T) *Collector {
+	t.Helper()
+	c, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("collector close: %v", err)
+		}
+	})
+	return c
+}
+
+func dial(t *testing.T, c *Collector) *Client {
+	t.Helper()
+	cl, err := Dial(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func sampleReport(host uint64, inWarranty bool) *Report {
+	return &Report{
+		HostID:     host,
+		Hostname:   fmt.Sprintf("host-%d", host),
+		IDC:        "dc01",
+		Rack:       "r01",
+		Position:   int(host%40) + 1,
+		Device:     "hdd",
+		Slot:       "sdb",
+		Type:       "SMARTFail",
+		Time:       time.Date(2015, 3, 1, 10, 0, 0, 0, time.UTC),
+		InWarranty: inWarranty,
+	}
+}
+
+func TestReportListCloseRoundTrip(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+
+	id, err := cl.Report(sampleReport(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero ticket id")
+	}
+	open, err := cl.List(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 1 || open[0].ID != id || !open[0].Open {
+		t.Fatalf("open list = %+v", open)
+	}
+	if err := cl.CloseTicket(id, fot.ActionRepairOrder, "op-7"); err != nil {
+		t.Fatal(err)
+	}
+	open, err = cl.List(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 0 {
+		t.Fatalf("still open after close: %+v", open)
+	}
+	// Closing twice fails.
+	if err := cl.CloseTicket(id, fot.ActionRepairOrder, "op-7"); err == nil {
+		t.Error("double close accepted")
+	}
+
+	tr := col.Trace()
+	if tr.Len() != 1 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+	tk := tr.Tickets[0]
+	if tk.Category != fot.Fixing || tk.Operator != "op-7" || tk.OpTime.IsZero() {
+		t.Errorf("exported ticket wrong: %+v", tk)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfWarrantyAutoCategorized(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	// Non-fatal out-of-warranty: D_error / ignore, closed immediately.
+	if _, err := cl.Report(sampleReport(2, false)); err != nil {
+		t.Fatal(err)
+	}
+	// Fatal out-of-warranty: decommission.
+	fatal := sampleReport(3, false)
+	fatal.Type = "NotReady"
+	if _, err := cl.Report(fatal); err != nil {
+		t.Fatal(err)
+	}
+	open, err := cl.List(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 0 {
+		t.Fatalf("out-of-warranty tickets left open: %+v", open)
+	}
+	tr := col.Trace()
+	actions := map[fot.Action]int{}
+	for _, tk := range tr.Tickets {
+		if tk.Category != fot.Error {
+			t.Errorf("category = %v, want D_error", tk.Category)
+		}
+		actions[tk.Action]++
+	}
+	if actions[fot.ActionIgnore] != 1 || actions[fot.ActionDecommission] != 1 {
+		t.Errorf("actions = %v", actions)
+	}
+}
+
+func TestFalseAlarmClose(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	id, err := cl.Report(sampleReport(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CloseTicket(id, fot.ActionMarkFalseAlarm, "op-1"); err != nil {
+		t.Fatal(err)
+	}
+	tr := col.Trace()
+	if tr.Tickets[0].Category != fot.FalseAlarm {
+		t.Errorf("category = %v, want false alarm", tr.Tickets[0].Category)
+	}
+}
+
+func TestStats(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := cl.Report(sampleReport(i, i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 5 || st.Open != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByCategory["D_error"] != 3 {
+		t.Errorf("by category = %v", st.ByCategory)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	bad := []*Report{
+		nil,
+		{HostID: 0, Device: "hdd", Type: "T", Time: time.Now()},
+		{HostID: 1, Device: "gpu", Type: "T", Time: time.Now()},
+		{HostID: 1, Device: "hdd", Type: "", Time: time.Now()},
+		{HostID: 1, Device: "hdd", Type: "T"},
+	}
+	for i, r := range bad {
+		if _, err := cl.Report(r); err == nil {
+			t.Errorf("bad report %d accepted", i)
+		}
+	}
+	if err := cl.CloseTicket(999, fot.ActionRepairOrder, "op"); err == nil {
+		t.Error("close of unknown ticket accepted")
+	}
+	if err := cl.CloseTicket(1, fot.ActionNone, "op"); err == nil {
+		t.Error("close with none action accepted")
+	}
+	// Connection survives errors: a good report still works.
+	if _, err := cl.Report(sampleReport(6, true)); err != nil {
+		t.Errorf("connection broken after errors: %v", err)
+	}
+}
+
+func TestConcurrentAgents(t *testing.T) {
+	col := startCollector(t)
+	const agents = 8
+	const perAgent = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, agents)
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			cl, err := Dial(col.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perAgent; i++ {
+				host := uint64(a*perAgent + i + 1)
+				if _, err := cl.Report(sampleReport(host, true)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	tr := col.Trace()
+	if tr.Len() != agents*perAgent {
+		t.Fatalf("trace len = %d, want %d", tr.Len(), agents*perAgent)
+	}
+	// Ticket ids are unique and dense.
+	seen := map[uint64]bool{}
+	for _, tk := range tr.Tickets {
+		if seen[tk.ID] {
+			t.Fatalf("duplicate ticket id %d", tk.ID)
+		}
+		seen[tk.ID] = true
+	}
+}
+
+func TestListLimit(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	for i := uint64(1); i <= 10; i++ {
+		if _, err := cl.Report(sampleReport(i, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.List(false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("limit ignored: %d tickets", len(got))
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestCollectorBatchAlerts(t *testing.T) {
+	col := startCollector(t)
+	var mu sync.Mutex
+	var alerts []mine.BatchAlert
+	col.EnableBatchAlerts(mine.NewBatchDetector(time.Hour, 5), func(a mine.BatchAlert) {
+		mu.Lock()
+		alerts = append(alerts, a)
+		mu.Unlock()
+	})
+	cl := dial(t, col)
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		rep := sampleReport(uint64(300+i), true)
+		rep.Time = base.Add(time.Duration(i) * time.Minute)
+		if _, err := cl.Report(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1", len(alerts))
+	}
+	if alerts[0].Count != 5 || alerts[0].Device != fot.HDD {
+		t.Errorf("alert = %+v", alerts[0])
+	}
+}

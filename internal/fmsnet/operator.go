@@ -1,0 +1,78 @@
+package fmsnet
+
+import (
+	"fmt"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// OperatorConfig tunes the automated operator loop.
+type OperatorConfig struct {
+	// Operator is the user id recorded on closed tickets.
+	Operator string
+	// Interval is the review period (§VI: operators "periodically review
+	// the failure records in the failure pool").
+	Interval time.Duration
+	// BatchSize bounds how many tickets one review sweep closes
+	// ("process them in batches to save time"). Zero means all open.
+	BatchSize int
+}
+
+// DefaultOperatorConfig returns a fast-reviewing operator for demos.
+func DefaultOperatorConfig() OperatorConfig {
+	return OperatorConfig{
+		Operator:  "op-auto",
+		Interval:  time.Second,
+		BatchSize: 0,
+	}
+}
+
+// RunOperator reviews the collector's open pool on a fixed period,
+// issuing repair orders in batches, until stop closes. It performs one
+// final sweep on shutdown and returns the number of tickets it closed.
+func RunOperator(addr string, cfg OperatorConfig, stop <-chan struct{}) (int, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Operator == "" {
+		cfg.Operator = "op-auto"
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+
+	closed := 0
+	sweep := func() error {
+		open, err := client.List(true, cfg.BatchSize)
+		if err != nil {
+			return err
+		}
+		for _, t := range open {
+			if err := client.CloseTicket(t.ID, fot.ActionRepairOrder, cfg.Operator); err != nil {
+				return fmt.Errorf("fmsnet: operator close %d: %w", t.ID, err)
+			}
+			closed++
+		}
+		return nil
+	}
+
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			// Final sweep so nothing stays open across shutdown.
+			if err := sweep(); err != nil {
+				return closed, err
+			}
+			return closed, nil
+		case <-ticker.C:
+			if err := sweep(); err != nil {
+				return closed, err
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package fmsnet implements the paper's Fig. 1 failure management system
+// as a real networked service: host agents detect component failures and
+// report them over TCP to a (logically) centralized collector; tickets
+// accumulate in the failure pool; operator clients review the pool and
+// close tickets with their handling decision. The wire protocol is
+// newline-delimited JSON, one message per line.
+package fmsnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// Message kinds.
+const (
+	// KindReport is an agent-to-collector failure report.
+	KindReport = "report"
+	// KindList asks the collector for open tickets.
+	KindList = "list"
+	// KindClose records an operator's handling decision.
+	KindClose = "close"
+	// KindStats asks the collector for pool statistics.
+	KindStats = "stats"
+	// KindAck is the collector's success response.
+	KindAck = "ack"
+	// KindError is the collector's failure response.
+	KindError = "error"
+)
+
+// Request is the client-to-collector envelope.
+type Request struct {
+	Kind string `json:"kind"`
+	// Report fields (KindReport).
+	Report *Report `json:"report,omitempty"`
+	// Close fields (KindClose).
+	TicketID uint64 `json:"ticket_id,omitempty"`
+	Action   string `json:"action,omitempty"`
+	Operator string `json:"operator,omitempty"`
+	// List fields (KindList).
+	OnlyOpen bool `json:"only_open,omitempty"`
+	Limit    int  `json:"limit,omitempty"`
+}
+
+// Report is one agent detection, the subset of ticket fields a host agent
+// knows.
+type Report struct {
+	HostID   uint64    `json:"host_id"`
+	Hostname string    `json:"hostname,omitempty"`
+	IDC      string    `json:"host_idc"`
+	Rack     string    `json:"rack,omitempty"`
+	Position int       `json:"position"`
+	Device   string    `json:"error_device"`
+	Slot     string    `json:"error_slot,omitempty"`
+	Type     string    `json:"error_type"`
+	Time     time.Time `json:"error_time"`
+	Detail   string    `json:"error_detail,omitempty"`
+
+	// Asset enrichment the agent reads from the host's provisioning
+	// metadata.
+	ProductLine string    `json:"product_line,omitempty"`
+	DeployTime  time.Time `json:"deploy_time,omitempty"`
+	Model       string    `json:"model,omitempty"`
+	// InWarranty lets the collector categorize without an asset DB.
+	InWarranty bool `json:"in_warranty"`
+}
+
+// Response is the collector-to-client envelope.
+type Response struct {
+	Kind     string       `json:"kind"`
+	Error    string       `json:"error,omitempty"`
+	TicketID uint64       `json:"ticket_id,omitempty"`
+	Tickets  []PoolTicket `json:"tickets,omitempty"`
+	Stats    *PoolStats   `json:"stats,omitempty"`
+}
+
+// PoolTicket is the collector's view of one ticket.
+type PoolTicket struct {
+	ID       uint64    `json:"id"`
+	HostID   uint64    `json:"host_id"`
+	IDC      string    `json:"host_idc"`
+	Device   string    `json:"error_device"`
+	Slot     string    `json:"error_slot,omitempty"`
+	Type     string    `json:"error_type"`
+	Time     time.Time `json:"error_time"`
+	Category string    `json:"category"`
+	Open     bool      `json:"open"`
+}
+
+// PoolStats summarizes the pool.
+type PoolStats struct {
+	Total      int            `json:"total"`
+	Open       int            `json:"open"`
+	ByCategory map[string]int `json:"by_category"`
+}
+
+// encode writes a JSON line.
+func encode(v interface{}) ([]byte, error) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("fmsnet: encode: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// validateReport checks the agent-supplied fields.
+func validateReport(r *Report) error {
+	if r == nil {
+		return fmt.Errorf("fmsnet: missing report body")
+	}
+	if r.HostID == 0 {
+		return fmt.Errorf("fmsnet: report without host id")
+	}
+	if _, err := fot.ParseComponent(r.Device); err != nil {
+		return err
+	}
+	if r.Type == "" {
+		return fmt.Errorf("fmsnet: report without error type")
+	}
+	if r.Time.IsZero() {
+		return fmt.Errorf("fmsnet: report without error time")
+	}
+	return nil
+}

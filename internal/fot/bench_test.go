@@ -1,0 +1,86 @@
+package fot
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchTrace(n int) *Trace {
+	tickets := make([]Ticket, 0, n)
+	for i := 1; i <= n; i++ {
+		tickets = append(tickets, mkTicket(uint64(i)))
+	}
+	return NewTrace(tickets)
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	tr := benchTrace(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	tr := benchTrace(10000)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	tr := benchTrace(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadJSONL(b *testing.B) {
+	tr := benchTrace(10000)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadJSONL(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceTBF(b *testing.B) {
+	tr := benchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tr.TBF(); len(got) == 0 {
+			b.Fatal("no gaps")
+		}
+	}
+}
+
+func BenchmarkGroupByHost(b *testing.B) {
+	tr := benchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tr.GroupByHost(); len(got) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}

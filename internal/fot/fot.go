@@ -1,0 +1,227 @@
+// Package fot defines the Failure Operation Ticket (FOT) data model used
+// throughout dcfail: the ticket schema, component-class and category
+// enumerations, the failure-type catalogue, and the Trace container with
+// filtering and indexing helpers.
+//
+// The schema mirrors DSN'17 §II: each FOT carries id, host id, hostname,
+// host idc, error device, error type, error time, error position and
+// error detail; tickets in D_fixing and D_falsealarm additionally carry
+// the operator action, the operator id, and op_time. Product line, deploy
+// time and server model are enrichment fields the paper's analyses join
+// in from the asset database (needed for Figs. 6 and 11).
+package fot
+
+import (
+	"fmt"
+	"time"
+)
+
+// Category classifies how a ticket was ultimately handled (paper Table I).
+type Category int
+
+const (
+	// Fixing tickets received a repair order (70.3% in the paper).
+	Fixing Category = iota + 1
+	// Error tickets were left unrepaired, typically out-of-warranty
+	// servers that are decommissioned or left degraded (28.0%).
+	Error
+	// FalseAlarm tickets were detector mistakes (1.7%).
+	FalseAlarm
+)
+
+var categoryNames = map[Category]string{
+	Fixing:     "D_fixing",
+	Error:      "D_error",
+	FalseAlarm: "D_falsealarm",
+}
+
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// ParseCategory converts the wire name (e.g. "D_fixing") back to a Category.
+func ParseCategory(s string) (Category, error) {
+	for c, name := range categoryNames {
+		if name == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fot: unknown category %q", s)
+}
+
+// IsFailure reports whether the category counts as a real failure for the
+// paper's analyses (D_fixing and D_error; false alarms are excluded).
+func (c Category) IsFailure() bool {
+	return c == Fixing || c == Error
+}
+
+// Component is a hardware component class (paper Table II).
+type Component int
+
+const (
+	HDD Component = iota + 1
+	Misc
+	Memory
+	Power
+	RAIDCard
+	FlashCard
+	Motherboard
+	SSD
+	Fan
+	HDDBackboard
+	CPU
+
+	numComponents = int(CPU)
+)
+
+var componentNames = [...]string{
+	HDD:          "hdd",
+	Misc:         "misc",
+	Memory:       "memory",
+	Power:        "power",
+	RAIDCard:     "raid_card",
+	FlashCard:    "flash_card",
+	Motherboard:  "motherboard",
+	SSD:          "ssd",
+	Fan:          "fan",
+	HDDBackboard: "hdd_backboard",
+	CPU:          "cpu",
+}
+
+func (c Component) String() string {
+	if c >= 1 && int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// ParseComponent converts a wire name (e.g. "hdd") back to a Component.
+func ParseComponent(s string) (Component, error) {
+	for i := 1; i < len(componentNames); i++ {
+		if componentNames[i] == s {
+			return Component(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fot: unknown component %q", s)
+}
+
+// Components returns every component class in Table II order.
+func Components() []Component {
+	out := make([]Component, 0, numComponents)
+	for i := 1; i <= numComponents; i++ {
+		out = append(out, Component(i))
+	}
+	return out
+}
+
+// Action is the operator's response that closes a ticket.
+type Action int
+
+const (
+	// ActionNone means the ticket has not been closed (no op_time).
+	ActionNone Action = iota
+	// ActionRepairOrder is the typical D_fixing response: issue an RO.
+	ActionRepairOrder
+	// ActionDecommission retires a broken out-of-warranty server.
+	ActionDecommission
+	// ActionIgnore leaves a partially failed out-of-warranty server in
+	// production.
+	ActionIgnore
+	// ActionMarkFalseAlarm closes a detector mistake.
+	ActionMarkFalseAlarm
+)
+
+var actionNames = [...]string{
+	ActionNone:           "none",
+	ActionRepairOrder:    "repair_order",
+	ActionDecommission:   "decommission",
+	ActionIgnore:         "ignore",
+	ActionMarkFalseAlarm: "false_alarm",
+}
+
+func (a Action) String() string {
+	if a >= 0 && int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// ParseAction converts a wire name back to an Action.
+func ParseAction(s string) (Action, error) {
+	for i := range actionNames {
+		if actionNames[i] == s {
+			return Action(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fot: unknown action %q", s)
+}
+
+// Ticket is one failure operation ticket.
+type Ticket struct {
+	ID       uint64    `json:"id"`
+	HostID   uint64    `json:"host_id"`
+	Hostname string    `json:"hostname"`
+	IDC      string    `json:"host_idc"` // datacenter identifier
+	Rack     string    `json:"rack"`
+	Position int       `json:"position"` // slot number within the rack
+	Device   Component `json:"error_device"`
+	// Slot identifies the failing component instance within the server
+	// (the paper's error_position, e.g. "sdh8" or "dimm3") — the key for
+	// telling a repeating failure from a second instance failing.
+	Slot   string    `json:"error_slot,omitempty"`
+	Type   string    `json:"error_type"`
+	Time   time.Time `json:"error_time"` // detection timestamp
+	Detail string    `json:"error_detail,omitempty"`
+
+	Category Category  `json:"category"`
+	Action   Action    `json:"action"`
+	Operator string    `json:"operator,omitempty"`
+	OpTime   time.Time `json:"op_time,omitempty"` // zero if never closed
+
+	// Enrichment fields joined from the asset database.
+	ProductLine string    `json:"product_line"`
+	DeployTime  time.Time `json:"deploy_time"`
+	Model       string    `json:"model,omitempty"`
+}
+
+// ResponseTime returns op_time − error_time and whether the ticket has a
+// recorded operator response (paper §VI's RT metric).
+func (t Ticket) ResponseTime() (time.Duration, bool) {
+	if t.OpTime.IsZero() || t.OpTime.Before(t.Time) {
+		return 0, false
+	}
+	return t.OpTime.Sub(t.Time), true
+}
+
+// AgeAtFailure returns the component's time in production at failure,
+// and whether deploy time is known.
+func (t Ticket) AgeAtFailure() (time.Duration, bool) {
+	if t.DeployTime.IsZero() || t.Time.Before(t.DeployTime) {
+		return 0, false
+	}
+	return t.Time.Sub(t.DeployTime), true
+}
+
+// Validate reports schema violations in the ticket.
+func (t Ticket) Validate() error {
+	switch {
+	case t.ID == 0:
+		return fmt.Errorf("fot: ticket has zero id")
+	case t.HostID == 0:
+		return fmt.Errorf("fot: ticket %d has zero host id", t.ID)
+	case t.Device < 1 || int(t.Device) > numComponents:
+		return fmt.Errorf("fot: ticket %d has invalid device %d", t.ID, int(t.Device))
+	case t.Type == "":
+		return fmt.Errorf("fot: ticket %d has empty error type", t.ID)
+	case t.Time.IsZero():
+		return fmt.Errorf("fot: ticket %d has zero error time", t.ID)
+	case t.Category < Fixing || t.Category > FalseAlarm:
+		return fmt.Errorf("fot: ticket %d has invalid category %d", t.ID, int(t.Category))
+	case !t.OpTime.IsZero() && t.OpTime.Before(t.Time):
+		return fmt.Errorf("fot: ticket %d closed before it was detected", t.ID)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package fot
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkTicket(id uint64, mutate ...func(*Ticket)) Ticket {
+	t := Ticket{
+		ID:          id,
+		HostID:      100 + id%50,
+		Hostname:    "host",
+		IDC:         "dc-01",
+		Rack:        "r01",
+		Position:    int(id%40) + 1,
+		Device:      HDD,
+		Type:        "SMARTFail",
+		Time:        t0.Add(time.Duration(id) * time.Hour),
+		Category:    Fixing,
+		Action:      ActionRepairOrder,
+		Operator:    "op-1",
+		OpTime:      t0.Add(time.Duration(id)*time.Hour + 48*time.Hour),
+		ProductLine: "pl-web",
+		DeployTime:  t0.AddDate(-1, 0, 0),
+		Model:       "gen3",
+	}
+	for _, m := range mutate {
+		m(&t)
+	}
+	return t
+}
+
+func TestCategoryRoundTrip(t *testing.T) {
+	for _, c := range []Category{Fixing, Error, FalseAlarm} {
+		got, err := ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseCategory("bogus"); err == nil {
+		t.Error("bogus category should fail")
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Error("unknown category String should embed the value")
+	}
+}
+
+func TestCategoryIsFailure(t *testing.T) {
+	if !Fixing.IsFailure() || !Error.IsFailure() {
+		t.Error("Fixing and Error are failures")
+	}
+	if FalseAlarm.IsFailure() {
+		t.Error("FalseAlarm is not a failure")
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	comps := Components()
+	if len(comps) != 11 {
+		t.Fatalf("got %d components, want 11", len(comps))
+	}
+	for _, c := range comps {
+		got, err := ParseComponent(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseComponent("gpu"); err == nil {
+		t.Error("unknown component should fail")
+	}
+}
+
+func TestActionRoundTrip(t *testing.T) {
+	for a := ActionNone; a <= ActionMarkFalseAlarm; a++ {
+		got, err := ParseAction(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v: got %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseAction("bogus"); err == nil {
+		t.Error("bogus action should fail")
+	}
+}
+
+func TestResponseTime(t *testing.T) {
+	tk := mkTicket(1)
+	rt, ok := tk.ResponseTime()
+	if !ok || rt != 48*time.Hour {
+		t.Errorf("rt = %v, %v", rt, ok)
+	}
+	tk.OpTime = time.Time{}
+	if _, ok := tk.ResponseTime(); ok {
+		t.Error("zero op time should report no response")
+	}
+	tk.OpTime = tk.Time.Add(-time.Hour)
+	if _, ok := tk.ResponseTime(); ok {
+		t.Error("op before detection should report no response")
+	}
+}
+
+func TestAgeAtFailure(t *testing.T) {
+	tk := mkTicket(1)
+	age, ok := tk.AgeAtFailure()
+	if !ok || age <= 0 {
+		t.Errorf("age = %v, %v", age, ok)
+	}
+	tk.DeployTime = time.Time{}
+	if _, ok := tk.AgeAtFailure(); ok {
+		t.Error("zero deploy time should report unknown age")
+	}
+}
+
+func TestTicketValidate(t *testing.T) {
+	if err := mkTicket(1).Validate(); err != nil {
+		t.Fatalf("valid ticket rejected: %v", err)
+	}
+	bad := []func(*Ticket){
+		func(t *Ticket) { t.ID = 0 },
+		func(t *Ticket) { t.HostID = 0 },
+		func(t *Ticket) { t.Device = 0 },
+		func(t *Ticket) { t.Device = Component(99) },
+		func(t *Ticket) { t.Type = "" },
+		func(t *Ticket) { t.Time = time.Time{} },
+		func(t *Ticket) { t.Category = 0 },
+		func(t *Ticket) { t.OpTime = t.Time.Add(-time.Minute) },
+	}
+	for i, m := range bad {
+		if err := mkTicket(1, m).Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate ticket", i)
+		}
+	}
+}
+
+func TestTypeCatalogue(t *testing.T) {
+	for _, c := range Components() {
+		types := TypesOf(c)
+		if len(types) == 0 {
+			t.Errorf("%v has no failure types", c)
+			continue
+		}
+		sum := 0.0
+		seen := map[string]bool{}
+		for _, ft := range types {
+			if ft.Name == "" || ft.Explanation == "" {
+				t.Errorf("%v: incomplete type %+v", c, ft)
+			}
+			if ft.Weight <= 0 {
+				t.Errorf("%v/%s: non-positive weight", c, ft.Name)
+			}
+			if seen[ft.Name] {
+				t.Errorf("%v: duplicate type %s", c, ft.Name)
+			}
+			seen[ft.Name] = true
+			sum += ft.Weight
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%v: weights sum to %g, want 1", c, sum)
+		}
+	}
+}
+
+func TestLookupType(t *testing.T) {
+	ft, ok := LookupType(HDD, "SMARTFail")
+	if !ok || ft.Fatal {
+		t.Errorf("SMARTFail lookup: %+v, %v", ft, ok)
+	}
+	if !IsFatalType(Memory, "DIMMUE") {
+		t.Error("DIMMUE should be fatal")
+	}
+	if IsFatalType(Memory, "DIMMCE") {
+		t.Error("DIMMCE should not be fatal")
+	}
+	if IsFatalType(HDD, "nope") {
+		t.Error("unknown type should not be fatal")
+	}
+	// The paper's Misc breakdown: 44% no description.
+	misc, ok := LookupType(Misc, "MiscNoDescription")
+	if !ok || misc.Weight != 0.44 {
+		t.Errorf("Misc no-description weight = %+v", misc)
+	}
+}

@@ -1,0 +1,86 @@
+package fot
+
+// Fuzz targets for the trace codecs. Under plain `go test` the seed
+// corpus runs as regression cases; `go test -fuzz=FuzzReadJSONL` explores
+// further.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzUnmarshalJSONLine(f *testing.F) {
+	tr := buildTrace(3)
+	for _, tk := range tr.Tickets {
+		line, err := MarshalJSONLine(tk)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(line))
+	}
+	f.Add(`{}`)
+	f.Add(`{"error_device":"hdd"`)
+	f.Add(`{"error_device":"hdd","error_time":"2013-01-01T00:00:00Z","category":"D_fixing","action":"none"}`)
+	f.Fuzz(func(t *testing.T, line string) {
+		tk, err := UnmarshalJSONLine([]byte(line))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		// Round-trip stability for accepted inputs.
+		out, err := MarshalJSONLine(tk)
+		if err != nil {
+			t.Fatalf("re-marshal failed for accepted ticket: %v", err)
+		}
+		tk2, err := UnmarshalJSONLine(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if tk2.Device != tk.Device || tk2.Type != tk.Type || !tk2.Time.Equal(tk.Time) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	tr := buildTrace(3)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(strings.Join(csvHeader, ",") + "\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces must re-serialize.
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadJSONL(f *testing.F) {
+	tr := buildTrace(3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteJSONL(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+	})
+}

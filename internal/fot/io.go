@@ -1,0 +1,254 @@
+package fot
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the canonical CSV column layout for FOT traces.
+var csvHeader = []string{
+	"id", "host_id", "hostname", "host_idc", "rack", "position",
+	"error_device", "error_slot", "error_type", "error_time", "error_detail",
+	"category", "action", "operator", "op_time",
+	"product_line", "deploy_time", "model",
+}
+
+const timeLayout = time.RFC3339
+
+// WriteCSV writes the trace as CSV with a header row.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("fot: write csv header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, t := range tr.Tickets {
+		rec[0] = strconv.FormatUint(t.ID, 10)
+		rec[1] = strconv.FormatUint(t.HostID, 10)
+		rec[2] = t.Hostname
+		rec[3] = t.IDC
+		rec[4] = t.Rack
+		rec[5] = strconv.Itoa(t.Position)
+		rec[6] = t.Device.String()
+		rec[7] = t.Slot
+		rec[8] = t.Type
+		rec[9] = t.Time.UTC().Format(timeLayout)
+		rec[10] = t.Detail
+		rec[11] = t.Category.String()
+		rec[12] = t.Action.String()
+		rec[13] = t.Operator
+		rec[14] = formatOptTime(t.OpTime)
+		rec[15] = t.ProductLine
+		rec[16] = formatOptTime(t.DeployTime)
+		rec[17] = t.Model
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("fot: write csv ticket %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("fot: read csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("fot: csv header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var tickets []Ticket
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fot: read csv line %d: %w", line, err)
+		}
+		t, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("fot: csv line %d: %w", line, err)
+		}
+		tickets = append(tickets, t)
+	}
+	return NewTrace(tickets), nil
+}
+
+func parseCSVRecord(rec []string) (Ticket, error) {
+	var t Ticket
+	var err error
+	if t.ID, err = strconv.ParseUint(rec[0], 10, 64); err != nil {
+		return t, fmt.Errorf("id: %w", err)
+	}
+	if t.HostID, err = strconv.ParseUint(rec[1], 10, 64); err != nil {
+		return t, fmt.Errorf("host_id: %w", err)
+	}
+	t.Hostname = rec[2]
+	t.IDC = rec[3]
+	t.Rack = rec[4]
+	if t.Position, err = strconv.Atoi(rec[5]); err != nil {
+		return t, fmt.Errorf("position: %w", err)
+	}
+	if t.Device, err = ParseComponent(rec[6]); err != nil {
+		return t, err
+	}
+	t.Slot = rec[7]
+	t.Type = rec[8]
+	if t.Time, err = time.Parse(timeLayout, rec[9]); err != nil {
+		return t, fmt.Errorf("error_time: %w", err)
+	}
+	t.Detail = rec[10]
+	if t.Category, err = ParseCategory(rec[11]); err != nil {
+		return t, err
+	}
+	if t.Action, err = ParseAction(rec[12]); err != nil {
+		return t, err
+	}
+	t.Operator = rec[13]
+	if t.OpTime, err = parseOptTime(rec[14]); err != nil {
+		return t, fmt.Errorf("op_time: %w", err)
+	}
+	t.ProductLine = rec[15]
+	if t.DeployTime, err = parseOptTime(rec[16]); err != nil {
+		return t, fmt.Errorf("deploy_time: %w", err)
+	}
+	t.Model = rec[17]
+	return t, nil
+}
+
+func formatOptTime(ts time.Time) string {
+	if ts.IsZero() {
+		return ""
+	}
+	return ts.UTC().Format(timeLayout)
+}
+
+func parseOptTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(timeLayout, s)
+}
+
+// jsonTicket is the JSONL wire form; times are RFC3339 strings with empty
+// string for unset optional times.
+type jsonTicket struct {
+	ID          uint64 `json:"id"`
+	HostID      uint64 `json:"host_id"`
+	Hostname    string `json:"hostname,omitempty"`
+	IDC         string `json:"host_idc"`
+	Rack        string `json:"rack,omitempty"`
+	Position    int    `json:"position"`
+	Device      string `json:"error_device"`
+	Slot        string `json:"error_slot,omitempty"`
+	Type        string `json:"error_type"`
+	Time        string `json:"error_time"`
+	Detail      string `json:"error_detail,omitempty"`
+	Category    string `json:"category"`
+	Action      string `json:"action"`
+	Operator    string `json:"operator,omitempty"`
+	OpTime      string `json:"op_time,omitempty"`
+	ProductLine string `json:"product_line,omitempty"`
+	DeployTime  string `json:"deploy_time,omitempty"`
+	Model       string `json:"model,omitempty"`
+}
+
+// MarshalJSONLine encodes a single ticket as one JSON object.
+func MarshalJSONLine(t Ticket) ([]byte, error) {
+	return json.Marshal(jsonTicket{
+		ID: t.ID, HostID: t.HostID, Hostname: t.Hostname, IDC: t.IDC,
+		Rack: t.Rack, Position: t.Position,
+		Device: t.Device.String(), Slot: t.Slot, Type: t.Type,
+		Time: t.Time.UTC().Format(timeLayout), Detail: t.Detail,
+		Category: t.Category.String(), Action: t.Action.String(),
+		Operator: t.Operator, OpTime: formatOptTime(t.OpTime),
+		ProductLine: t.ProductLine, DeployTime: formatOptTime(t.DeployTime),
+		Model: t.Model,
+	})
+}
+
+// UnmarshalJSONLine decodes one ticket from a JSON object.
+func UnmarshalJSONLine(data []byte) (Ticket, error) {
+	var j jsonTicket
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Ticket{}, fmt.Errorf("fot: decode json ticket: %w", err)
+	}
+	var t Ticket
+	var err error
+	t.ID, t.HostID, t.Hostname, t.IDC = j.ID, j.HostID, j.Hostname, j.IDC
+	t.Rack, t.Position, t.Slot = j.Rack, j.Position, j.Slot
+	t.Type, t.Detail = j.Type, j.Detail
+	t.Operator, t.ProductLine, t.Model = j.Operator, j.ProductLine, j.Model
+	if t.Device, err = ParseComponent(j.Device); err != nil {
+		return t, err
+	}
+	if t.Time, err = time.Parse(timeLayout, j.Time); err != nil {
+		return t, fmt.Errorf("fot: error_time: %w", err)
+	}
+	if t.Category, err = ParseCategory(j.Category); err != nil {
+		return t, err
+	}
+	if t.Action, err = ParseAction(j.Action); err != nil {
+		return t, err
+	}
+	if t.OpTime, err = parseOptTime(j.OpTime); err != nil {
+		return t, fmt.Errorf("fot: op_time: %w", err)
+	}
+	if t.DeployTime, err = parseOptTime(j.DeployTime); err != nil {
+		return t, fmt.Errorf("fot: deploy_time: %w", err)
+	}
+	return t, nil
+}
+
+// WriteJSONL writes the trace as JSON lines (one ticket per line).
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range tr.Tickets {
+		line, err := MarshalJSONLine(t)
+		if err != nil {
+			return fmt.Errorf("fot: encode ticket %d: %w", t.ID, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL. Blank lines are skipped.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var tickets []Ticket
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		t, err := UnmarshalJSONLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fot: jsonl line %d: %w", line, err)
+		}
+		tickets = append(tickets, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fot: read jsonl: %w", err)
+	}
+	return NewTrace(tickets), nil
+}

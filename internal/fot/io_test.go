@@ -1,0 +1,137 @@
+package fot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := buildTrace(50)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Tickets {
+		if !ticketsEqual(tr.Tickets[i], got.Tickets[i]) {
+			t.Fatalf("ticket %d round trip mismatch:\n%+v\n%+v", i, tr.Tickets[i], got.Tickets[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := buildTrace(50)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Tickets {
+		if !ticketsEqual(tr.Tickets[i], got.Tickets[i]) {
+			t.Fatalf("ticket %d round trip mismatch:\n%+v\n%+v", i, tr.Tickets[i], got.Tickets[i])
+		}
+	}
+}
+
+// ticketsEqual compares tickets up to time normalization (IO normalizes
+// all times to UTC).
+func ticketsEqual(a, b Ticket) bool {
+	timesEq := a.Time.Equal(b.Time) && a.OpTime.Equal(b.OpTime) && a.DeployTime.Equal(b.DeployTime)
+	a.Time, b.Time = time.Time{}, time.Time{}
+	a.OpTime, b.OpTime = time.Time{}, time.Time{}
+	a.DeployTime, b.DeployTime = time.Time{}, time.Time{}
+	return timesEq && reflect.DeepEqual(a, b)
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	tr := NewTrace([]Ticket{mkTicket(1)})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in := "\n" + buf.String() + "\n\n"
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("len = %d", got.Len())
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",           // no header
+		"id,wrong\n", // bad header
+		strings.Join(csvHeader, ",") + "\nnot-a-number,1,h,d,r,1,hdd,T,2013-01-01T00:00:00Z,,D_fixing,repair_order,op,,pl,,m\n",
+		strings.Join(csvHeader, ",") + "\n1,1,h,d,r,1,gpu,T,2013-01-01T00:00:00Z,,D_fixing,repair_order,op,,pl,,m\n",
+		strings.Join(csvHeader, ",") + "\n1,1,h,d,r,1,hdd,T,when,,D_fixing,repair_order,op,,pl,,m\n",
+		strings.Join(csvHeader, ",") + "\n1,1,h,d,r,1,hdd,T,2013-01-01T00:00:00Z,,D_bogus,repair_order,op,,pl,,m\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalJSONLineRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"{",
+		`{"error_device":"gpu"}`,
+		`{"error_device":"hdd","error_time":"bogus","category":"D_fixing","action":"none"}`,
+		`{"error_device":"hdd","error_time":"2013-01-01T00:00:00Z","category":"nope","action":"none"}`,
+		`{"error_device":"hdd","error_time":"2013-01-01T00:00:00Z","category":"D_fixing","action":"nope"}`,
+	}
+	for i, in := range cases {
+		if _, err := UnmarshalJSONLine([]byte(in)); err == nil {
+			t.Errorf("case %d: bad JSON accepted", i)
+		}
+	}
+}
+
+// TestTicketJSONPropertyRoundTrip drives random (but schema-valid) tickets
+// through the JSONL codec.
+func TestTicketJSONPropertyRoundTrip(t *testing.T) {
+	f := func(id, host uint64, comp uint8, cat uint8, hours uint16, pos int16) bool {
+		tk := Ticket{
+			ID:       id%1e6 + 1,
+			HostID:   host%1e6 + 1,
+			IDC:      "dc-xyz",
+			Position: int(pos),
+			Device:   Component(int(comp)%numComponents + 1),
+			Type:     "T",
+			Time:     t0.Add(time.Duration(hours) * time.Hour),
+			Category: Category(int(cat)%3 + 1),
+			Action:   ActionRepairOrder,
+		}
+		line, err := MarshalJSONLine(tk)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalJSONLine(line)
+		if err != nil {
+			return false
+		}
+		return ticketsEqual(tk, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package fot
+
+// Property-based tests (testing/quick) on the Trace container invariants.
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// arbTrace builds a schema-valid trace from raw fuzz input.
+func arbTrace(raw []uint16) *Trace {
+	tickets := make([]Ticket, 0, len(raw))
+	for i, r := range raw {
+		tickets = append(tickets, Ticket{
+			ID:       uint64(i + 1),
+			HostID:   uint64(r%97 + 1),
+			IDC:      []string{"dc01", "dc02", "dc03"}[int(r)%3],
+			Position: int(r%40) + 1,
+			Device:   Component(int(r)%numComponents + 1),
+			Type:     "T",
+			Time:     t0.Add(time.Duration(r) * time.Minute),
+			Category: Category(int(r)%3 + 1),
+		})
+	}
+	return NewTrace(tickets)
+}
+
+// TestFilterPartitionProperty: any predicate splits a trace into two
+// disjoint parts whose sizes sum to the whole.
+func TestFilterPartitionProperty(t *testing.T) {
+	f := func(raw []uint16, pivot uint16) bool {
+		tr := arbTrace(raw)
+		keep := func(tk Ticket) bool { return tk.HostID%uint64(pivot%7+2) == 0 }
+		yes := tr.Filter(keep)
+		no := tr.Filter(func(tk Ticket) bool { return !keep(tk) })
+		return yes.Len()+no.Len() == tr.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCategoryPartitionProperty: the three category filters partition the
+// trace exactly.
+func TestCategoryPartitionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		total := 0
+		for _, c := range []Category{Fixing, Error, FalseAlarm} {
+			total += tr.ByCategory(c).Len()
+		}
+		if total != tr.Len() {
+			return false
+		}
+		return tr.Failures().Len() == tr.ByCategory(Fixing).Len()+tr.ByCategory(Error).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentCountsProperty: CountByComponent sums to the trace size and
+// matches ByComponent filters.
+func TestComponentCountsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		counts := tr.CountByComponent()
+		total := 0
+		for c, n := range counts {
+			if tr.ByComponent(c).Len() != n {
+				return false
+			}
+			total += n
+		}
+		return total == tr.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTBFNonNegativeProperty: the TBF series has len-1 entries, all >= 0.
+func TestTBFNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		gaps := tr.TBF()
+		if tr.Len() < 2 {
+			return gaps == nil
+		}
+		if len(gaps) != tr.Len()-1 {
+			return false
+		}
+		for _, g := range gaps {
+			if g < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupByHostPartitionProperty: host groups cover the trace exactly.
+func TestGroupByHostPartitionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		total := 0
+		for host, g := range tr.GroupByHost() {
+			for _, tk := range g {
+				if tk.HostID != host {
+					return false
+				}
+			}
+			total += len(g)
+		}
+		return total == tr.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortByTimeIsPermutationProperty: sorting preserves the multiset of
+// ticket ids and orders times.
+func TestSortByTimeIsPermutationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		before := map[uint64]int{}
+		for _, tk := range tr.Tickets {
+			before[tk.ID]++
+		}
+		tr.SortByTime()
+		after := map[uint64]int{}
+		for i, tk := range tr.Tickets {
+			after[tk.ID]++
+			if i > 0 && tk.Time.Before(tr.Tickets[i-1].Time) {
+				return false
+			}
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for id, n := range before {
+			if after[id] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCSVRoundTripProperty: arbitrary valid traces survive the CSV codec.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := arbTrace(raw)
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Tickets {
+			a, b := tr.Tickets[i], got.Tickets[i]
+			if a.ID != b.ID || a.HostID != b.HostID || a.Device != b.Device ||
+				!a.Time.Equal(b.Time) || a.Category != b.Category {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25} // IO-heavy; fewer iterations
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

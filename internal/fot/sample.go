@@ -1,0 +1,108 @@
+package fot
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// SampleType draws a failure-type name for a component class according to
+// the catalogue weights. It panics only if the class has an empty
+// catalogue, which Validate-time checks rule out for all known classes.
+func SampleType(rng *rand.Rand, c Component) string {
+	types := typeCatalogue[c]
+	if len(types) == 0 {
+		panic("fot: SampleType on class without catalogue: " + c.String())
+	}
+	x := rng.Float64()
+	acc := 0.0
+	for _, ft := range types {
+		acc += ft.Weight
+		if x < acc {
+			return ft.Name
+		}
+	}
+	return types[len(types)-1].Name
+}
+
+// slotPrefixes names component instances the way host tooling does.
+var slotPrefixes = map[Component]string{
+	HDD:          "sd",
+	SSD:          "nvme",
+	Memory:       "dimm",
+	Fan:          "fan_",
+	Power:        "psu_",
+	CPU:          "cpu",
+	RAIDCard:     "raid",
+	FlashCard:    "flash",
+	Motherboard:  "mb",
+	HDDBackboard: "bb",
+	Misc:         "",
+}
+
+// SlotName renders the instance identifier for the idx-th component of a
+// class (0-based), e.g. SlotName(HDD, 3) == "sdd". Misc tickets have no
+// slot and return "".
+func SlotName(c Component, idx int) string {
+	if idx < 0 {
+		idx = 0
+	}
+	prefix, ok := slotPrefixes[c]
+	if !ok {
+		return strconv.Itoa(idx)
+	}
+	if prefix == "" {
+		return ""
+	}
+	if c == HDD {
+		// Drive letters: sda..sdz, then sdaa...
+		name := ""
+		for {
+			name = string(rune('a'+idx%26)) + name
+			idx = idx/26 - 1
+			if idx < 0 {
+				break
+			}
+		}
+		return prefix + name
+	}
+	return prefix + strconv.Itoa(idx)
+}
+
+// SampleSlot draws a uniform instance slot for a class with n installed
+// components.
+func SampleSlot(rng *rand.Rand, c Component, n int) string {
+	if n <= 1 {
+		return SlotName(c, 0)
+	}
+	return SlotName(c, rng.Intn(n))
+}
+
+// SampleFatalType draws a fatal failure type for a class, weighted within
+// the fatal subset. It reports false when the class has no fatal types.
+func SampleFatalType(rng *rand.Rand, c Component) (string, bool) {
+	total := 0.0
+	for _, ft := range typeCatalogue[c] {
+		if ft.Fatal {
+			total += ft.Weight
+		}
+	}
+	if total == 0 {
+		return "", false
+	}
+	x := rng.Float64() * total
+	for _, ft := range typeCatalogue[c] {
+		if !ft.Fatal {
+			continue
+		}
+		x -= ft.Weight
+		if x < 0 {
+			return ft.Name, true
+		}
+	}
+	for i := len(typeCatalogue[c]) - 1; i >= 0; i-- {
+		if typeCatalogue[c][i].Fatal {
+			return typeCatalogue[c][i].Name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,108 @@
+package fot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSlotName(t *testing.T) {
+	cases := []struct {
+		c    Component
+		idx  int
+		want string
+	}{
+		{HDD, 0, "sda"},
+		{HDD, 3, "sdd"},
+		{HDD, 25, "sdz"},
+		{HDD, 26, "sdaa"},
+		{HDD, 27, "sdab"},
+		{HDD, -1, "sda"},
+		{Memory, 7, "dimm7"},
+		{SSD, 1, "nvme1"},
+		{Fan, 2, "fan_2"},
+		{Power, 0, "psu_0"},
+		{RAIDCard, 0, "raid0"},
+		{Motherboard, 0, "mb0"},
+		{Misc, 0, ""},
+	}
+	for _, cs := range cases {
+		if got := SlotName(cs.c, cs.idx); got != cs.want {
+			t.Errorf("SlotName(%v, %d) = %q, want %q", cs.c, cs.idx, got, cs.want)
+		}
+	}
+	// Unknown components degrade to the bare index.
+	if got := SlotName(Component(99), 4); got != "4" {
+		t.Errorf("unknown component slot = %q", got)
+	}
+}
+
+func TestSampleSlotBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s := SampleSlot(rng, HDD, 12)
+		seen[s] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("sampling 12 slots hit only %d distinct", len(seen))
+	}
+	for s := range seen {
+		if len(s) < 3 || s[:2] != "sd" {
+			t.Errorf("bad slot %q", s)
+		}
+	}
+	if got := SampleSlot(rng, RAIDCard, 1); got != "raid0" {
+		t.Errorf("single-instance slot = %q", got)
+	}
+	if got := SampleSlot(rng, RAIDCard, 0); got != "raid0" {
+		t.Errorf("zero-count slot = %q", got)
+	}
+}
+
+func TestSampleTypeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[SampleType(rng, HDD)]++
+	}
+	// SMARTFail carries weight 0.44; expect its share within a few points.
+	share := float64(counts["SMARTFail"]) / n
+	if share < 0.40 || share > 0.48 {
+		t.Errorf("SMARTFail share = %.3f, want ≈0.44", share)
+	}
+	for name := range counts {
+		if _, ok := LookupType(HDD, name); !ok {
+			t.Errorf("sampled unknown type %q", name)
+		}
+	}
+}
+
+func TestSampleFatalType(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		name, ok := SampleFatalType(rng, HDD)
+		if !ok {
+			t.Fatal("HDD has fatal types")
+		}
+		if !IsFatalType(HDD, name) {
+			t.Fatalf("sampled non-fatal %q", name)
+		}
+	}
+	// A class with no fatal types reports !ok. Build one synthetically by
+	// checking a class whose catalogue is all-fatal vs warnings: all
+	// catalogue classes have fatal entries except... misc has one fatal
+	// (MiscServerCrash), backboard all fatal. Verify via the catalogue.
+	for _, c := range Components() {
+		hasFatal := false
+		for _, ft := range TypesOf(c) {
+			if ft.Fatal {
+				hasFatal = true
+			}
+		}
+		_, ok := SampleFatalType(rng, c)
+		if ok != hasFatal {
+			t.Errorf("%v: SampleFatalType ok=%v, catalogue hasFatal=%v", c, ok, hasFatal)
+		}
+	}
+}

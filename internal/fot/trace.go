@@ -1,0 +1,199 @@
+package fot
+
+import (
+	"sort"
+	"time"
+)
+
+// Trace is an ordered collection of tickets — the unit every dcfail
+// analysis consumes. Analyses assume nothing about ordering unless they
+// sort explicitly.
+type Trace struct {
+	Tickets []Ticket
+}
+
+// NewTrace wraps tickets in a Trace. The slice is owned by the Trace
+// afterwards; callers who need the original unchanged should pass a copy.
+func NewTrace(tickets []Ticket) *Trace {
+	return &Trace{Tickets: tickets}
+}
+
+// Len returns the number of tickets.
+func (tr *Trace) Len() int { return len(tr.Tickets) }
+
+// Clone returns a deep-enough copy (tickets are value types).
+func (tr *Trace) Clone() *Trace {
+	cp := make([]Ticket, len(tr.Tickets))
+	copy(cp, tr.Tickets)
+	return &Trace{Tickets: cp}
+}
+
+// SortByTime orders tickets by detection time (ties by ID) in place.
+func (tr *Trace) SortByTime() {
+	sort.Slice(tr.Tickets, func(i, j int) bool {
+		a, b := tr.Tickets[i], tr.Tickets[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Filter returns a new Trace containing tickets for which keep is true.
+func (tr *Trace) Filter(keep func(Ticket) bool) *Trace {
+	out := make([]Ticket, 0, len(tr.Tickets)/2)
+	for _, t := range tr.Tickets {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return &Trace{Tickets: out}
+}
+
+// Failures returns tickets in D_fixing or D_error — the paper's definition
+// of a failure (§II, excluding false alarms).
+func (tr *Trace) Failures() *Trace {
+	return tr.Filter(func(t Ticket) bool { return t.Category.IsFailure() })
+}
+
+// ByCategory returns tickets of one category.
+func (tr *Trace) ByCategory(c Category) *Trace {
+	return tr.Filter(func(t Ticket) bool { return t.Category == c })
+}
+
+// ByComponent returns tickets of one component class.
+func (tr *Trace) ByComponent(c Component) *Trace {
+	return tr.Filter(func(t Ticket) bool { return t.Device == c })
+}
+
+// ByIDC returns tickets from one datacenter.
+func (tr *Trace) ByIDC(idc string) *Trace {
+	return tr.Filter(func(t Ticket) bool { return t.IDC == idc })
+}
+
+// ByProductLine returns tickets from one product line.
+func (tr *Trace) ByProductLine(pl string) *Trace {
+	return tr.Filter(func(t Ticket) bool { return t.ProductLine == pl })
+}
+
+// Between returns tickets with lo <= error_time < hi.
+func (tr *Trace) Between(lo, hi time.Time) *Trace {
+	return tr.Filter(func(t Ticket) bool {
+		return !t.Time.Before(lo) && t.Time.Before(hi)
+	})
+}
+
+// Times returns all detection timestamps in ticket order.
+func (tr *Trace) Times() []time.Time {
+	out := make([]time.Time, len(tr.Tickets))
+	for i, t := range tr.Tickets {
+		out[i] = t.Time
+	}
+	return out
+}
+
+// CountByComponent tallies tickets per component class.
+func (tr *Trace) CountByComponent() map[Component]int {
+	out := make(map[Component]int, numComponents)
+	for _, t := range tr.Tickets {
+		out[t.Device]++
+	}
+	return out
+}
+
+// CountByCategory tallies tickets per category.
+func (tr *Trace) CountByCategory() map[Category]int {
+	out := make(map[Category]int, 3)
+	for _, t := range tr.Tickets {
+		out[t.Category]++
+	}
+	return out
+}
+
+// CountByType tallies tickets per failure type name.
+func (tr *Trace) CountByType() map[string]int {
+	out := make(map[string]int)
+	for _, t := range tr.Tickets {
+		out[t.Type]++
+	}
+	return out
+}
+
+// IDCs returns the sorted set of datacenters present in the trace.
+func (tr *Trace) IDCs() []string {
+	return tr.distinctString(func(t Ticket) string { return t.IDC })
+}
+
+// ProductLines returns the sorted set of product lines present.
+func (tr *Trace) ProductLines() []string {
+	return tr.distinctString(func(t Ticket) string { return t.ProductLine })
+}
+
+func (tr *Trace) distinctString(key func(Ticket) string) []string {
+	set := make(map[string]struct{})
+	for _, t := range tr.Tickets {
+		if k := key(t); k != "" {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupByHost indexes tickets by host id. Each group preserves trace order.
+func (tr *Trace) GroupByHost() map[uint64][]Ticket {
+	out := make(map[uint64][]Ticket)
+	for _, t := range tr.Tickets {
+		out[t.HostID] = append(out[t.HostID], t)
+	}
+	return out
+}
+
+// TBF returns the time-between-failures series of the trace in minutes:
+// the consecutive differences of the time-sorted detection timestamps.
+// Zero gaps (same-timestamp batches) are preserved — they are the paper's
+// batch-failure signature. A trace with fewer than two tickets yields nil.
+func (tr *Trace) TBF() []float64 {
+	if len(tr.Tickets) < 2 {
+		return nil
+	}
+	times := tr.Times()
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	out := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out = append(out, times[i].Sub(times[i-1]).Minutes())
+	}
+	return out
+}
+
+// Validate checks every ticket and returns the first violation found.
+func (tr *Trace) Validate() error {
+	for _, t := range tr.Tickets {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span returns the earliest and latest detection times, and false when the
+// trace is empty.
+func (tr *Trace) Span() (lo, hi time.Time, ok bool) {
+	if len(tr.Tickets) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	lo, hi = tr.Tickets[0].Time, tr.Tickets[0].Time
+	for _, t := range tr.Tickets[1:] {
+		if t.Time.Before(lo) {
+			lo = t.Time
+		}
+		if t.Time.After(hi) {
+			hi = t.Time
+		}
+	}
+	return lo, hi, true
+}

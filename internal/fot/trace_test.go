@@ -1,0 +1,168 @@
+package fot
+
+import (
+	"testing"
+	"time"
+)
+
+func buildTrace(n int) *Trace {
+	tickets := make([]Ticket, 0, n)
+	for i := 1; i <= n; i++ {
+		tk := mkTicket(uint64(i))
+		switch i % 4 {
+		case 0:
+			tk.Category = Error
+			tk.Action = ActionIgnore
+			tk.OpTime = time.Time{}
+		case 1:
+			tk.Device = Memory
+			tk.Type = "DIMMCE"
+		case 2:
+			tk.IDC = "dc-02"
+			tk.ProductLine = "pl-hadoop"
+		}
+		tickets = append(tickets, tk)
+	}
+	return NewTrace(tickets)
+}
+
+func TestTraceFilters(t *testing.T) {
+	tr := buildTrace(100)
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := tr.ByCategory(Error).Len(); got != 25 {
+		t.Errorf("error tickets = %d, want 25", got)
+	}
+	if got := tr.Failures().Len(); got != 100 {
+		t.Errorf("failures = %d, want 100 (no false alarms)", got)
+	}
+	if got := tr.ByComponent(Memory).Len(); got != 25 {
+		t.Errorf("memory = %d, want 25", got)
+	}
+	if got := tr.ByIDC("dc-02").Len(); got != 25 {
+		t.Errorf("dc-02 = %d, want 25", got)
+	}
+	if got := tr.ByProductLine("pl-hadoop").Len(); got != 25 {
+		t.Errorf("pl-hadoop = %d, want 25", got)
+	}
+}
+
+func TestTraceBetween(t *testing.T) {
+	tr := buildTrace(48)
+	lo := t0.Add(10 * time.Hour)
+	hi := t0.Add(20 * time.Hour)
+	sub := tr.Between(lo, hi)
+	if sub.Len() != 10 {
+		t.Errorf("between = %d, want 10", sub.Len())
+	}
+	for _, tk := range sub.Tickets {
+		if tk.Time.Before(lo) || !tk.Time.Before(hi) {
+			t.Errorf("ticket %d outside window", tk.ID)
+		}
+	}
+}
+
+func TestTraceSortAndClone(t *testing.T) {
+	tr := buildTrace(10)
+	// Reverse, then sort.
+	for i, j := 0, len(tr.Tickets)-1; i < j; i, j = i+1, j-1 {
+		tr.Tickets[i], tr.Tickets[j] = tr.Tickets[j], tr.Tickets[i]
+	}
+	clone := tr.Clone()
+	tr.SortByTime()
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Tickets[i].Time.Before(tr.Tickets[i-1].Time) {
+			t.Fatal("not sorted")
+		}
+	}
+	// Clone must be unaffected by the sort.
+	if clone.Tickets[0].ID == tr.Tickets[0].ID {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestTraceCounts(t *testing.T) {
+	tr := buildTrace(100)
+	byComp := tr.CountByComponent()
+	if byComp[HDD]+byComp[Memory] != 100 {
+		t.Errorf("component counts: %v", byComp)
+	}
+	byCat := tr.CountByCategory()
+	if byCat[Fixing] != 75 || byCat[Error] != 25 {
+		t.Errorf("category counts: %v", byCat)
+	}
+	byType := tr.CountByType()
+	if byType["DIMMCE"] != 25 {
+		t.Errorf("type counts: %v", byType)
+	}
+}
+
+func TestTraceDistinct(t *testing.T) {
+	tr := buildTrace(10)
+	idcs := tr.IDCs()
+	if len(idcs) != 2 || idcs[0] != "dc-01" || idcs[1] != "dc-02" {
+		t.Errorf("idcs = %v", idcs)
+	}
+	pls := tr.ProductLines()
+	if len(pls) != 2 {
+		t.Errorf("product lines = %v", pls)
+	}
+}
+
+func TestTraceGroupByHost(t *testing.T) {
+	tr := buildTrace(100)
+	groups := tr.GroupByHost()
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 100 {
+		t.Errorf("grouped total = %d", total)
+	}
+}
+
+func TestTraceTBF(t *testing.T) {
+	tickets := []Ticket{
+		mkTicket(1, func(t *Ticket) { t.Time = t0 }),
+		mkTicket(2, func(t *Ticket) { t.Time = t0.Add(30 * time.Minute) }),
+		mkTicket(3, func(t *Ticket) { t.Time = t0.Add(30 * time.Minute) }), // batch: zero gap
+		mkTicket(4, func(t *Ticket) { t.Time = t0.Add(90 * time.Minute) }),
+	}
+	tr := NewTrace(tickets)
+	tbf := tr.TBF()
+	want := []float64{30, 0, 60}
+	if len(tbf) != len(want) {
+		t.Fatalf("tbf = %v", tbf)
+	}
+	for i := range want {
+		if tbf[i] != want[i] {
+			t.Errorf("tbf[%d] = %g, want %g", i, tbf[i], want[i])
+		}
+	}
+	if got := NewTrace(tickets[:1]).TBF(); got != nil {
+		t.Error("single-ticket TBF should be nil")
+	}
+}
+
+func TestTraceSpan(t *testing.T) {
+	tr := buildTrace(10)
+	lo, hi, ok := tr.Span()
+	if !ok || !lo.Equal(t0.Add(time.Hour)) || !hi.Equal(t0.Add(10*time.Hour)) {
+		t.Errorf("span = %v..%v, %v", lo, hi, ok)
+	}
+	if _, _, ok := NewTrace(nil).Span(); ok {
+		t.Error("empty span should be !ok")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := buildTrace(10)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	tr.Tickets[3].Type = ""
+	if err := tr.Validate(); err == nil {
+		t.Error("invalid ticket not caught")
+	}
+}

@@ -1,0 +1,263 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// HDDBatch emits the recurring hard-drive batch failures that dominate
+// Table V. Each day draws a lognormal batch size; sizes below MinSize are
+// treated as "no batch today". The affected cohort is one hardware model
+// within one datacenter (shared firmware / shared environment); when the
+// drawn size exceeds what that cohort can supply, the epidemic is treated
+// as model-wide and spreads across datacenters, which is how the rare
+// 500+ days (paper: 35 of 1,411 days) arise.
+type HDDBatch struct {
+	// MeanLog and SigmaLog parameterize the daily batch-size lognormal.
+	MeanLog, SigmaLog float64
+	// MinSize is the smallest ticket burst considered a batch day.
+	MinSize int
+	// MaxCohortFrac caps how much of a cohort one epidemic may take out
+	// (paper case 1 hit 32% of a product line's servers).
+	MaxCohortFrac float64
+	// AgeWeight biases victim selection by the server's months in
+	// service: the drives that trip a SMART-threshold epidemic first are
+	// the ones already marginal, so the fleet's lifecycle shape (Fig. 6a)
+	// survives the batch channel. Nil means age-agnostic selection.
+	AgeWeight func(ageMonths int) float64
+}
+
+// DefaultHDDBatch returns the paper-profile configuration, calibrated so
+// the Table V row for HDD (r100 = 55.4%, r200 = 22.5%, r500 = 2.5%)
+// emerges at the default fleet scale.
+func DefaultHDDBatch() *HDDBatch {
+	return &HDDBatch{
+		MeanLog: 3.85, SigmaLog: 1.40, MinSize: 15, MaxCohortFrac: 0.6,
+		AgeWeight: DefaultHDDAgeWeight,
+	}
+}
+
+// DefaultHDDAgeWeight mirrors the Fig. 6a drive lifecycle: a mild infant
+// bump, a flat floor, then a wear ramp.
+func DefaultHDDAgeWeight(ageMonths int) float64 {
+	switch {
+	case ageMonths < 3:
+		return 1.2
+	case ageMonths < 6:
+		return 1.0
+	default:
+		return 1.0 + 0.042*float64(ageMonths-5)
+	}
+}
+
+// Name implements Injector.
+func (h *HDDBatch) Name() string { return "hdd-batch" }
+
+// ExpectedPerClass implements Injector.
+func (h *HDDBatch) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	// Lognormal mean, times the fraction of days that clear MinSize.
+	mean := math.Exp(h.MeanLog + h.SigmaLog*h.SigmaLog/2)
+	z := (math.Log(float64(h.MinSize)) - h.MeanLog) / h.SigmaLog
+	pBatch := 0.5 * math.Erfc(z/math.Sqrt2)
+	return map[fot.Component]float64{
+		fot.HDD: mean * pBatch * float64(ctx.Days()),
+	}
+}
+
+// Inject implements Injector.
+func (h *HDDBatch) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	var out []event.Event
+	idcs := make([]string, 0, len(ctx.Fleet.Datacenters))
+	for i := range ctx.Fleet.Datacenters {
+		idcs = append(idcs, ctx.Fleet.Datacenters[i].ID)
+	}
+	fleetWide := serversByModel(ctx.Fleet, "")
+	cooling := coolingLookup(ctx.Fleet)
+	days := ctx.Days()
+	for d := 0; d < days; d++ {
+		size := int(math.Exp(h.MeanLog + h.SigmaLog*rng.NormFloat64()))
+		if size < h.MinSize {
+			continue
+		}
+		day := ctx.Start.AddDate(0, 0, d)
+		idc := idcs[rng.Intn(len(idcs))]
+		byModel := serversByModel(ctx.Fleet, idc)
+		model := pickModel(rng, byModel)
+		cohort := byModel[model]
+		if float64(size) > h.MaxCohortFrac*float64(len(cohort)) {
+			// Model-wide firmware epidemic: spread across datacenters.
+			cohort = fleetWide[model]
+		}
+		cap := int(h.MaxCohortFrac * float64(len(cohort)))
+		if size > cap {
+			size = cap
+		}
+		if size < h.MinSize {
+			continue
+		}
+		// Tight detection window (case 1: 99% of the batch within six
+		// hours, starting in the evening processing window).
+		startHour := 16 + rng.Intn(8)
+		windowLo := day.Add(time.Duration(startHour) * time.Hour)
+		windowHi := windowLo.Add(time.Duration(2+rng.Intn(6)) * time.Hour)
+		if windowHi.After(ctx.End) {
+			continue
+		}
+		failureType := "SMARTFail"
+		if rng.Float64() < 0.2 {
+			failureType = "RaidPdPreErr"
+		}
+		// Environmental stress trips thermally loaded and worn servers
+		// first.
+		victimWeight := func(s *topo.Server) float64 {
+			c := cooling(s)
+			w := c * c
+			if h.AgeWeight != nil {
+				ageMonths := int(windowLo.Sub(s.DeployTime).Hours() / (24 * 30.44))
+				w *= h.AgeWeight(ageMonths)
+			}
+			return w
+		}
+		batchID := ctx.NextBatchID()
+		for _, s := range sampleWeighted(rng, cohort, size, victimWeight) {
+			ts := uniformTime(rng, windowLo, windowHi)
+			if !eligible(s, fot.HDD, ts) {
+				continue
+			}
+			out = append(out, event.Event{
+				Server: s, Component: fot.HDD,
+				Slot: fot.SampleSlot(rng, fot.HDD, s.Inventory[fot.HDD]),
+				Type: failureType,
+				Time: ts, Cause: event.CauseBatch, BatchID: batchID,
+			})
+		}
+	}
+	return out, nil
+}
+
+func pickModel(rng *rand.Rand, byModel map[string][]*topo.Server) string {
+	// Weight models by cohort size so epidemics hit populated cohorts.
+	total := 0
+	for _, ss := range byModel {
+		total += len(ss)
+	}
+	if total == 0 {
+		return ""
+	}
+	x := rng.Intn(total)
+	// Map iteration order is random; make selection deterministic given
+	// the rng by walking models in sorted order.
+	for _, m := range sortedModelKeys(byModel) {
+		x -= len(byModel[m])
+		if x < 0 {
+			return m
+		}
+	}
+	return ""
+}
+
+func sortedModelKeys(byModel map[string][]*topo.Server) []string {
+	keys := make([]string, 0, len(byModel))
+	for k := range byModel {
+		keys = append(keys, k)
+	}
+	// Insertion sort: the model set is tiny (5 generations).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// SASBatch reproduces batch case 2: cohorts of motherboards of one model
+// failing through a shared faulty SAS card design, in one or two tight
+// one-hour windows.
+type SASBatch struct {
+	// RatePerYear is the expected number of SAS cohort events per year.
+	RatePerYear float64
+	// MeanSize is the expected number of motherboards per event (~50).
+	MeanSize int
+}
+
+// DefaultSASBatch returns the paper-profile configuration.
+func DefaultSASBatch() *SASBatch {
+	return &SASBatch{RatePerYear: 2, MeanSize: 50}
+}
+
+// Name implements Injector.
+func (b *SASBatch) Name() string { return "sas-batch" }
+
+// ExpectedPerClass implements Injector.
+func (b *SASBatch) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	return map[fot.Component]float64{
+		fot.Motherboard: b.RatePerYear * ctx.Years() * float64(b.MeanSize),
+	}
+}
+
+// Inject implements Injector.
+func (b *SASBatch) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	var out []event.Event
+	n := poisson(rng, b.RatePerYear*ctx.Years())
+	for i := 0; i < n; i++ {
+		when := uniformTime(rng, ctx.Start, ctx.End.Add(-24*time.Hour))
+		day := when.Truncate(24 * time.Hour)
+		idc := ctx.Fleet.Datacenters[rng.Intn(len(ctx.Fleet.Datacenters))].ID
+		byModel := serversByModel(ctx.Fleet, idc)
+		cohort := byModel[pickModel(rng, byModel)]
+		size := b.MeanSize/2 + rng.Intn(b.MeanSize+1)
+		if size > len(cohort) {
+			size = len(cohort)
+		}
+		// Two one-hour windows (e.g. 5:00–6:00 and 16:00–17:00 in the
+		// paper's case 2).
+		w1 := day.Add(time.Duration(3+rng.Intn(6)) * time.Hour)
+		w2 := day.Add(time.Duration(14+rng.Intn(6)) * time.Hour)
+		batchID := ctx.NextBatchID()
+		for j, idx := range sampleDistinct(rng, len(cohort), size) {
+			s := cohort[idx]
+			lo := w1
+			if j%2 == 1 {
+				lo = w2
+			}
+			ts := uniformTime(rng, lo, lo.Add(time.Hour))
+			if !eligible(s, fot.Motherboard, ts) || ts.After(ctx.End) {
+				continue
+			}
+			out = append(out, event.Event{
+				Server: s, Component: fot.Motherboard,
+				Slot: fot.SlotName(fot.Motherboard, 0),
+				Type: "MBSASFault",
+				Time: ts, Cause: event.CauseBatch, BatchID: batchID,
+			})
+		}
+	}
+	return out, nil
+}
+
+// poisson draws a small-mean Poisson count (injector event counts).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,171 @@
+// Package inject provides the correlated-failure generators of the dcfail
+// simulator. Independent hazard-driven failures (internal/fleetgen) cannot
+// reproduce the paper's headline findings — batch failures (§V-A),
+// correlated component failures (§V-B), and synchronously repeating
+// failures (§V-C) — so each mechanism the paper identifies is modeled as
+// an explicit injector:
+//
+//   - HDDBatch:       recurring same-model hard-drive epidemics (case 1,
+//     Table V's dominant driver)
+//   - SASBatch:       motherboard cohorts killed by faulty SAS cards (case 2)
+//   - PDUOutage:      hidden single-point power failures (case 3), with
+//     power→fan causality (Table VII)
+//   - OperatorMistake: the August-2016 electricity-provider misoperation
+//   - CorrelatedPairs: same-server two-component failures (Table VI)
+//   - SyncRepeat:     synchronized repeating failures on near-identical
+//     servers (Table VIII) plus the chronic BBU server (§III-D)
+package inject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// Context carries the shared state injectors need.
+type Context struct {
+	Fleet *topo.Fleet
+	// Start and End bound the study window; injectors only emit inside it.
+	Start, End time.Time
+	// NextBatchID allocates ground-truth batch identifiers.
+	NextBatchID func() uint64
+}
+
+// Years returns the window length in years.
+func (c *Context) Years() float64 {
+	return c.End.Sub(c.Start).Hours() / (24 * 365.25)
+}
+
+// Days returns the window length in whole days.
+func (c *Context) Days() int {
+	return int(c.End.Sub(c.Start).Hours() / 24)
+}
+
+// Injector generates correlated failure events.
+type Injector interface {
+	// Name identifies the injector in logs and reports.
+	Name() string
+	// Inject emits the injector's events for the context window.
+	Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error)
+	// ExpectedPerClass estimates the expected number of emitted events
+	// per component class, used by the calibration step to apportion the
+	// Table II budget between baseline and injected failures.
+	ExpectedPerClass(ctx *Context) map[fot.Component]float64
+}
+
+// validateContext checks the pieces every injector relies on.
+func validateContext(ctx *Context) error {
+	switch {
+	case ctx == nil:
+		return fmt.Errorf("inject: nil context")
+	case ctx.Fleet == nil || ctx.Fleet.NumServers() == 0:
+		return fmt.Errorf("inject: empty fleet")
+	case !ctx.End.After(ctx.Start):
+		return fmt.Errorf("inject: empty window")
+	case ctx.NextBatchID == nil:
+		return fmt.Errorf("inject: missing batch id allocator")
+	}
+	return nil
+}
+
+// eligible reports whether a server can emit a failure of class c at ts:
+// it must be deployed and actually contain such a component.
+func eligible(s *topo.Server, c fot.Component, ts time.Time) bool {
+	return !ts.Before(s.DeployTime) && s.Inventory[c] > 0
+}
+
+// coolingLookup builds a per-server thermal-multiplier function for a
+// fleet. Environmental batch injectors weight victim selection by it: the
+// same shared-stress mechanisms that cause epidemics trip hot servers
+// first, which is what couples the paper's batch failures to its spatial
+// findings (§IV).
+func coolingLookup(fleet *topo.Fleet) func(*topo.Server) float64 {
+	dcs := make(map[string]*topo.Datacenter, len(fleet.Datacenters))
+	for i := range fleet.Datacenters {
+		dcs[fleet.Datacenters[i].ID] = &fleet.Datacenters[i]
+	}
+	return func(s *topo.Server) float64 {
+		if dc, ok := dcs[s.IDC]; ok {
+			return dc.CoolingAt(s.Position)
+		}
+		return 1
+	}
+}
+
+// sampleWeighted picks up to k distinct servers from cohort with
+// probability proportional to weight(s), via the Efraimidis–Spirakis
+// reservoir keys (u^(1/w), take the k largest).
+func sampleWeighted(rng *rand.Rand, cohort []*topo.Server, k int, weight func(*topo.Server) float64) []*topo.Server {
+	if k >= len(cohort) {
+		out := make([]*topo.Server, len(cohort))
+		copy(out, cohort)
+		return out
+	}
+	type keyed struct {
+		s   *topo.Server
+		key float64
+	}
+	keys := make([]keyed, len(cohort))
+	for i, s := range cohort {
+		w := weight(s)
+		if w <= 0 {
+			w = 1e-9
+		}
+		keys[i] = keyed{s: s, key: math.Pow(rng.Float64(), 1/w)}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	out := make([]*topo.Server, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].s
+	}
+	return out
+}
+
+// sampleDistinct picks up to k distinct indexes from [0, n) using a
+// partial Fisher–Yates shuffle.
+func sampleDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// uniformTime draws a uniform timestamp in [lo, hi).
+func uniformTime(rng *rand.Rand, lo, hi time.Time) time.Time {
+	span := hi.Sub(lo)
+	if span <= 0 {
+		return lo
+	}
+	return lo.Add(time.Duration(rng.Int63n(int64(span))))
+}
+
+// serversByModel groups a fleet's servers per model, optionally within one
+// datacenter ("" means fleet-wide).
+func serversByModel(fleet *topo.Fleet, idc string) map[string][]*topo.Server {
+	out := make(map[string][]*topo.Server)
+	add := func(s *topo.Server) { out[s.Model] = append(out[s.Model], s) }
+	if idc == "" {
+		for i := range fleet.Servers {
+			add(&fleet.Servers[i])
+		}
+		return out
+	}
+	for _, s := range fleet.ServersByIDC(idc) {
+		add(s)
+	}
+	return out
+}

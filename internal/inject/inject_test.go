@@ -1,0 +1,481 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+func testContext(t *testing.T, seed int64) *Context {
+	t.Helper()
+	sp := topo.DefaultSpec()
+	sp.Datacenters = 4
+	sp.RacksPerDC = 8
+	sp.PositionsPerRack = 20
+	sp.ProductLines = 10
+	sp.PreModernDCs = 2
+	fleet, err := topo.Build(sp, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	return &Context{
+		Fleet: fleet,
+		Start: sp.StudyStart,
+		End:   sp.StudyEnd,
+		NextBatchID: func() uint64 {
+			next++
+			return next
+		},
+	}
+}
+
+func checkEvents(t *testing.T, ctx *Context, events []event.Event) {
+	t.Helper()
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e.Time.Before(ctx.Start) || e.Time.After(ctx.End) {
+			t.Fatalf("event %d at %v outside window", i, e.Time)
+		}
+		if e.Time.Before(e.Server.DeployTime) {
+			t.Fatalf("event %d predates deployment", i)
+		}
+		if e.Server.Inventory[e.Component] == 0 {
+			t.Fatalf("event %d on component the server lacks", i)
+		}
+	}
+}
+
+func allInjectors() []Injector {
+	return []Injector{
+		DefaultHDDBatch(),
+		DefaultSASBatch(),
+		DefaultPDUOutage(),
+		DefaultOperatorMistake(),
+		DefaultCorrelatedPairs(),
+		DefaultSyncRepeat(),
+	}
+}
+
+func TestInjectorsEmitValidEvents(t *testing.T) {
+	ctx := testContext(t, 1)
+	for _, inj := range allInjectors() {
+		rng := rand.New(rand.NewSource(7))
+		events, err := inj.Inject(rng, ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", inj.Name(), err)
+		}
+		if len(events) == 0 {
+			t.Errorf("%s emitted nothing", inj.Name())
+		}
+		checkEvents(t, ctx, events)
+	}
+}
+
+func TestInjectorsDeterministic(t *testing.T) {
+	for _, inj := range allInjectors() {
+		ctxA, ctxB := testContext(t, 2), testContext(t, 2)
+		a, err := inj.Inject(rand.New(rand.NewSource(3)), ctxA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := inj.Inject(rand.New(rand.NewSource(3)), ctxB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ %d vs %d", inj.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Time.Equal(b[i].Time) || a[i].Server.HostID != b[i].Server.HostID {
+				t.Fatalf("%s: event %d differs across equal-seed runs", inj.Name(), i)
+			}
+		}
+	}
+}
+
+func TestInjectorsRejectBadContext(t *testing.T) {
+	good := testContext(t, 1)
+	bad := []*Context{
+		nil,
+		{Fleet: nil, Start: good.Start, End: good.End, NextBatchID: good.NextBatchID},
+		{Fleet: good.Fleet, Start: good.End, End: good.Start, NextBatchID: good.NextBatchID},
+		{Fleet: good.Fleet, Start: good.Start, End: good.End, NextBatchID: nil},
+	}
+	for _, inj := range allInjectors() {
+		for i, ctx := range bad {
+			if _, err := inj.Inject(rand.New(rand.NewSource(1)), ctx); err == nil {
+				t.Errorf("%s: bad context %d accepted", inj.Name(), i)
+			}
+		}
+	}
+}
+
+func TestHDDBatchShape(t *testing.T) {
+	ctx := testContext(t, 4)
+	inj := DefaultHDDBatch()
+	events, err := inj.Inject(rand.New(rand.NewSource(11)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All HDD, all batch cause, grouped in tight windows.
+	byBatch := map[uint64][]event.Event{}
+	for _, e := range events {
+		if e.Component != fot.HDD {
+			t.Fatalf("non-HDD event from HDD batch: %v", e.Component)
+		}
+		if e.Cause != event.CauseBatch || e.BatchID == 0 {
+			t.Fatal("HDD batch events must carry batch cause and id")
+		}
+		byBatch[e.BatchID] = append(byBatch[e.BatchID], e)
+	}
+	if len(byBatch) < 50 {
+		t.Fatalf("only %d batches over 4 years, want many", len(byBatch))
+	}
+	for id, batch := range byBatch {
+		lo, hi := batch[0].Time, batch[0].Time
+		model := batch[0].Server.Model
+		typ := batch[0].Type
+		for _, e := range batch[1:] {
+			if e.Time.Before(lo) {
+				lo = e.Time
+			}
+			if e.Time.After(hi) {
+				hi = e.Time
+			}
+			if e.Server.Model != model {
+				t.Fatalf("batch %d spans models", id)
+			}
+			if e.Type != typ {
+				t.Fatalf("batch %d mixes failure types", id)
+			}
+		}
+		if hi.Sub(lo) > 9*time.Hour {
+			t.Errorf("batch %d window %v too wide", id, hi.Sub(lo))
+		}
+	}
+}
+
+func TestHDDBatchDistinctServersWithinBatch(t *testing.T) {
+	ctx := testContext(t, 5)
+	events, err := DefaultHDDBatch().Inject(rand.New(rand.NewSource(5)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]map[uint64]bool{}
+	for _, e := range events {
+		m := seen[e.BatchID]
+		if m == nil {
+			m = map[uint64]bool{}
+			seen[e.BatchID] = m
+		}
+		if m[e.Server.HostID] {
+			t.Fatalf("server %d appears twice in batch %d", e.Server.HostID, e.BatchID)
+		}
+		m[e.Server.HostID] = true
+	}
+}
+
+func TestPDUOutageContiguity(t *testing.T) {
+	ctx := testContext(t, 6)
+	inj := DefaultPDUOutage()
+	events, err := inj.Inject(rand.New(rand.NewSource(6)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBatch := map[uint64][]event.Event{}
+	for _, e := range events {
+		byBatch[e.BatchID] = append(byBatch[e.BatchID], e)
+	}
+	if len(byBatch) == 0 {
+		t.Fatal("no PDU outages in 4 years")
+	}
+	sawFan := false
+	for id, batch := range byBatch {
+		idc := batch[0].Server.IDC
+		racks := map[string]bool{}
+		for _, e := range batch {
+			if e.Server.IDC != idc {
+				t.Fatalf("outage %d spans datacenters", id)
+			}
+			racks[e.Server.Rack] = true
+			if e.Component == fot.Fan {
+				sawFan = true
+				if e.Cause != event.CauseCorrelated {
+					t.Error("fan-follow event should be CauseCorrelated")
+				}
+			}
+		}
+		// ~100 servers over ~14-server racks: a handful of racks.
+		if len(racks) > 12 {
+			t.Errorf("outage %d touches %d racks, want a contiguous few", id, len(racks))
+		}
+	}
+	if !sawFan {
+		t.Error("no power→fan correlated events across all outages")
+	}
+}
+
+func TestOperatorMistakeWindowGating(t *testing.T) {
+	ctx := testContext(t, 7)
+	inj := DefaultOperatorMistake()
+	events, err := inj.Inject(rand.New(rand.NewSource(7)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 100 {
+		t.Errorf("operator mistake felled only %d servers", len(events))
+	}
+	// Outside the window: no events, no error.
+	out := *inj
+	out.When = ctx.End.AddDate(1, 0, 0)
+	events, err = out.Inject(rand.New(rand.NewSource(7)), ctx)
+	if err != nil || len(events) != 0 {
+		t.Errorf("out-of-window incident: %d events, %v", len(events), err)
+	}
+	if out.ExpectedPerClass(ctx) != nil {
+		t.Error("out-of-window expectation should be nil")
+	}
+}
+
+func TestCorrelatedPairsStructure(t *testing.T) {
+	ctx := testContext(t, 8)
+	// The default rate targets fleet scale; crank it so the small test
+	// fleet yields enough pairs to measure the misc share.
+	inj := &CorrelatedPairs{RatePer10kServerYears: 400, Weights: TableVIWeights()}
+	events, err := inj.Inject(rand.New(rand.NewSource(8)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events)%2 != 0 {
+		t.Fatalf("pair events should come in twos, got %d", len(events))
+	}
+	miscPairs, total := 0, 0
+	for i := 0; i < len(events); i += 2 {
+		a, b := events[i], events[i+1]
+		if a.BatchID != b.BatchID {
+			t.Fatal("pair halves have different batch ids")
+		}
+		if a.Server.HostID != b.Server.HostID {
+			t.Fatal("pair halves on different servers")
+		}
+		gap := b.Time.Sub(a.Time)
+		if gap < 0 || gap > 24*time.Hour {
+			t.Fatalf("pair gap %v outside same-day window", gap)
+		}
+		total++
+		if a.Component == fot.Misc || b.Component == fot.Misc {
+			miscPairs++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d pairs", total)
+	}
+	frac := float64(miscPairs) / float64(total)
+	if frac < 0.55 || frac > 0.85 {
+		t.Errorf("misc-involving share = %.2f, want ≈0.715", frac)
+	}
+}
+
+func TestSyncRepeatStructure(t *testing.T) {
+	ctx := testContext(t, 9)
+	inj := DefaultSyncRepeat()
+	events, err := inj.Inject(rand.New(rand.NewSource(9)), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBatch := map[uint64][]event.Event{}
+	for _, e := range events {
+		if e.Cause != event.CauseRepeat {
+			t.Fatal("sync repeat must use CauseRepeat")
+		}
+		byBatch[e.BatchID] = append(byBatch[e.BatchID], e)
+	}
+	// The chronic server is the single biggest group.
+	var chronic []event.Event
+	for _, g := range byBatch {
+		if len(g) > len(chronic) {
+			chronic = g
+		}
+	}
+	if len(chronic) < 300 {
+		t.Fatalf("chronic BBU server has only %d tickets, want ≈400", len(chronic))
+	}
+	host := chronic[0].Server.HostID
+	raid, hdd := 0, 0
+	for _, e := range chronic {
+		if e.Server.HostID != host {
+			t.Fatal("chronic group spans servers")
+		}
+		switch e.Component {
+		case fot.RAIDCard:
+			raid++
+		case fot.HDD:
+			hdd++
+		}
+	}
+	if raid == 0 || hdd == 0 {
+		t.Error("chronic server should alternate RAID and HDD tickets")
+	}
+	// Twin groups: exactly two hosts, same model and line, synchronized.
+	twinGroups := 0
+	for _, g := range byBatch {
+		if len(g) == len(chronic) {
+			continue
+		}
+		hosts := map[uint64]*topo.Server{}
+		for _, e := range g {
+			hosts[e.Server.HostID] = e.Server
+		}
+		if len(hosts) != 2 {
+			continue
+		}
+		twinGroups++
+		var pair []*topo.Server
+		for _, s := range hosts {
+			pair = append(pair, s)
+		}
+		if pair[0].Model != pair[1].Model || pair[0].ProductLine != pair[1].ProductLine {
+			t.Error("twins must share model and product line")
+		}
+	}
+	if twinGroups < 10 {
+		t.Errorf("only %d twin groups", twinGroups)
+	}
+}
+
+func TestExpectedPerClassPositive(t *testing.T) {
+	ctx := testContext(t, 10)
+	for _, inj := range allInjectors() {
+		exp := inj.ExpectedPerClass(ctx)
+		if len(exp) == 0 {
+			t.Errorf("%s: empty expectation", inj.Name())
+		}
+		for c, v := range exp {
+			if v <= 0 {
+				t.Errorf("%s: expected[%v] = %g", inj.Name(), c, v)
+			}
+		}
+	}
+}
+
+func TestHDDBatchExpectationMatchesRealization(t *testing.T) {
+	ctx := testContext(t, 11)
+	inj := DefaultHDDBatch()
+	exp := inj.ExpectedPerClass(ctx)[fot.HDD]
+	got := 0
+	const trials = 3
+	for s := int64(0); s < trials; s++ {
+		events, err := inj.Inject(rand.New(rand.NewSource(100+s)), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(events)
+	}
+	avg := float64(got) / trials
+	// Cohort caps cut the heavy tail: the realization can fall well below
+	// the uncapped expectation, but must be the same order of magnitude.
+	if avg < exp/6 || avg > exp*1.5 {
+		t.Errorf("realized %.0f vs expected %.0f HDD batch events", avg, exp)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	got := sampleDistinct(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[i] = true
+	}
+	if got := sampleDistinct(rng, 3, 99); len(got) != 3 {
+		t.Errorf("oversample len = %d, want 3", len(got))
+	}
+}
+
+func TestSampleWeightedRespectsWeights(t *testing.T) {
+	ctx := testContext(t, 13)
+	servers := ctx.Fleet.ServersByIDC(ctx.Fleet.Datacenters[0].ID)
+	if len(servers) < 50 {
+		t.Skip("fleet too small")
+	}
+	// Weight one server overwhelmingly: it must almost always be picked.
+	favored := servers[7]
+	weight := func(s *topo.Server) float64 {
+		if s.HostID == favored.HostID {
+			return 1e6
+		}
+		return 1
+	}
+	rng := rand.New(rand.NewSource(77))
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		picked := sampleWeighted(rng, servers, 5, weight)
+		if len(picked) != 5 {
+			t.Fatalf("picked %d servers, want 5", len(picked))
+		}
+		seen := map[uint64]bool{}
+		for _, s := range picked {
+			if seen[s.HostID] {
+				t.Fatal("duplicate server in weighted sample")
+			}
+			seen[s.HostID] = true
+		}
+		if seen[favored.HostID] {
+			hits++
+		}
+	}
+	if hits < trials*95/100 {
+		t.Errorf("favored server picked only %d/%d times", hits, trials)
+	}
+	// k >= n returns everyone.
+	if got := sampleWeighted(rng, servers[:3], 99, weight); len(got) != 3 {
+		t.Errorf("oversample = %d, want 3", len(got))
+	}
+}
+
+func TestCoolingLookup(t *testing.T) {
+	ctx := testContext(t, 14)
+	lookup := coolingLookup(ctx.Fleet)
+	for i := range ctx.Fleet.Servers[:50] {
+		s := &ctx.Fleet.Servers[i]
+		want := 1.0
+		for d := range ctx.Fleet.Datacenters {
+			if ctx.Fleet.Datacenters[d].ID == s.IDC {
+				want = ctx.Fleet.Datacenters[d].CoolingAt(s.Position)
+			}
+		}
+		if got := lookup(s); got != want {
+			t.Fatalf("cooling for %d = %g, want %g", s.HostID, got, want)
+		}
+	}
+	// Unknown datacenter falls back to 1.
+	ghost := topo.Server{IDC: "nope", Position: 3}
+	if got := lookup(&ghost); got != 1 {
+		t.Errorf("ghost cooling = %g, want 1", got)
+	}
+}
+
+func TestDefaultHDDAgeWeightShape(t *testing.T) {
+	if !(DefaultHDDAgeWeight(0) > DefaultHDDAgeWeight(4)) {
+		t.Error("infant bump missing")
+	}
+	if !(DefaultHDDAgeWeight(36) > DefaultHDDAgeWeight(12)) {
+		t.Error("wear ramp missing")
+	}
+	if DefaultHDDAgeWeight(-3) != DefaultHDDAgeWeight(0) {
+		t.Error("negative ages should clamp to the infant band")
+	}
+}

@@ -1,0 +1,177 @@
+package inject
+
+import (
+	"math/rand"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// PairWeight is one cell of the Table VI correlated-pair matrix.
+type PairWeight struct {
+	A, B   fot.Component
+	Weight float64
+}
+
+// TableVIWeights returns the paper's correlated-pair frequency matrix
+// (Table VI): miscellaneous reports accompany 71.5% of two-component
+// failures, and hard drives appear in nearly all the rest.
+func TableVIWeights() []PairWeight {
+	return []PairWeight{
+		{fot.Misc, fot.HDD, 349},
+		{fot.Misc, fot.Memory, 18},
+		{fot.Misc, fot.Power, 6},
+		{fot.Misc, fot.Motherboard, 6},
+		{fot.Misc, fot.RAIDCard, 4},
+		{fot.Misc, fot.SSD, 2},
+		{fot.Misc, fot.FlashCard, 2},
+		{fot.Motherboard, fot.HDD, 17},
+		{fot.Motherboard, fot.Memory, 2},
+		{fot.Motherboard, fot.SSD, 1},
+		{fot.Motherboard, fot.Power, 1},
+		{fot.Fan, fot.HDD, 3},
+		{fot.Power, fot.HDD, 46},
+		{fot.Power, fot.Fan, 7},
+		{fot.RAIDCard, fot.HDD, 22},
+		{fot.FlashCard, fot.HDD, 40},
+		{fot.Memory, fot.HDD, 15},
+		{fot.SSD, fot.HDD, 2},
+	}
+}
+
+// CorrelatedPairs emits same-server two-component failures within a single
+// day (the paper's §V-B definition). The first component's failure causes
+// the second's report: for power→fan the gap is minutes (Table VII), and
+// for misc-involving pairs the misc ticket is the operator noticing and
+// immediately reporting what the FMS already detected.
+type CorrelatedPairs struct {
+	// RatePer10kServerYears scales the number of pairs with fleet size.
+	RatePer10kServerYears float64
+	// Weights is the pair-frequency matrix (defaults to Table VI).
+	Weights []PairWeight
+}
+
+// DefaultCorrelatedPairs returns the paper-profile configuration.
+func DefaultCorrelatedPairs() *CorrelatedPairs {
+	return &CorrelatedPairs{RatePer10kServerYears: 30, Weights: TableVIWeights()}
+}
+
+// Name implements Injector.
+func (cp *CorrelatedPairs) Name() string { return "correlated-pairs" }
+
+func (cp *CorrelatedPairs) expectedPairs(ctx *Context) float64 {
+	serverYears := float64(ctx.Fleet.NumServers()) * ctx.Years()
+	return cp.RatePer10kServerYears * serverYears / 10000
+}
+
+// ExpectedPerClass implements Injector.
+func (cp *CorrelatedPairs) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	total := cp.expectedPairs(ctx)
+	wsum := 0.0
+	for _, w := range cp.Weights {
+		wsum += w.Weight
+	}
+	out := make(map[fot.Component]float64)
+	if wsum == 0 {
+		return out
+	}
+	for _, w := range cp.Weights {
+		share := total * w.Weight / wsum
+		out[w.A] += share
+		out[w.B] += share
+	}
+	return out
+}
+
+// Inject implements Injector.
+func (cp *CorrelatedPairs) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	weights := cp.Weights
+	if len(weights) == 0 {
+		weights = TableVIWeights()
+	}
+	wsum := 0.0
+	for _, w := range weights {
+		wsum += w.Weight
+	}
+	n := poisson(rng, cp.expectedPairs(ctx))
+	var out []event.Event
+	for i := 0; i < n; i++ {
+		pw := pickPair(rng, weights, wsum)
+		s := findServerWith(rng, ctx.Fleet, pw.A, pw.B)
+		if s == nil {
+			continue
+		}
+		first := uniformTime(rng, ctx.Start, ctx.End.Add(-24*time.Hour))
+		if first.Before(s.DeployTime) {
+			first = s.DeployTime.Add(time.Duration(rng.Intn(86400)) * time.Second)
+		}
+		// Correlated multi-component failures concentrate on aged
+		// hardware — the cascade mechanisms (§V-B) need worn parts — so
+		// avoid placing them inside a server's first year when the
+		// window allows it.
+		if minAge := s.DeployTime.AddDate(1, 0, 0); first.Before(minAge) {
+			if hi := ctx.End.Add(-24 * time.Hour); minAge.Before(hi) {
+				first = uniformTime(rng, minAge, hi)
+			}
+		}
+		gap := pairGap(rng, pw)
+		second := first.Add(gap)
+		if second.After(ctx.End) {
+			continue
+		}
+		batchID := ctx.NextBatchID()
+		out = append(out,
+			event.Event{
+				Server: s, Component: pw.A,
+				Slot: fot.SampleSlot(rng, pw.A, s.Inventory[pw.A]),
+				Type: fot.SampleType(rng, pw.A),
+				Time: first, Cause: event.CauseCorrelated, BatchID: batchID,
+			},
+			event.Event{
+				Server: s, Component: pw.B,
+				Slot: fot.SampleSlot(rng, pw.B, s.Inventory[pw.B]),
+				Type: fot.SampleType(rng, pw.B),
+				Time: second, Cause: event.CauseCorrelated, BatchID: batchID,
+			},
+		)
+	}
+	return out, nil
+}
+
+// pairGap returns the delay between the two component reports: minutes for
+// power→fan causality, up to a few hours otherwise — always within the
+// same-day window the paper's detector uses.
+func pairGap(rng *rand.Rand, pw PairWeight) time.Duration {
+	if pw.A == fot.Power && pw.B == fot.Fan {
+		return time.Duration(30+rng.Intn(150)) * time.Second
+	}
+	return time.Duration(5+rng.Intn(6*60)) * time.Minute
+}
+
+func pickPair(rng *rand.Rand, weights []PairWeight, wsum float64) PairWeight {
+	x := rng.Float64() * wsum
+	for _, w := range weights {
+		x -= w.Weight
+		if x < 0 {
+			return w
+		}
+	}
+	return weights[len(weights)-1]
+}
+
+// findServerWith samples servers until one carries both component classes
+// (a bounded number of attempts keeps pathological fleets from hanging).
+func findServerWith(rng *rand.Rand, fleet *topo.Fleet, a, b fot.Component) *topo.Server {
+	for i := 0; i < 256; i++ {
+		s := &fleet.Servers[rng.Intn(fleet.NumServers())]
+		if s.Inventory[a] > 0 && s.Inventory[b] > 0 {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package inject
+
+import (
+	"math/rand"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// PDUOutage reproduces batch case 3: a hidden single point of failure in
+// the power-distribution tree takes out every server fed by one PDU
+// within a few hours. A fraction of affected servers also report a fan
+// failure minutes after the power event — the power→fan causality of
+// Table VII.
+type PDUOutage struct {
+	// RatePerYear is the expected number of PDU incidents per year.
+	RatePerYear float64
+	// ServersPerPDU is the approximate blast radius (paper: ~100).
+	ServersPerPDU int
+	// FanFollowProb is the chance a power failure drags a fan ticket
+	// along on the same server.
+	FanFollowProb float64
+}
+
+// DefaultPDUOutage returns the paper-profile configuration.
+func DefaultPDUOutage() *PDUOutage {
+	return &PDUOutage{RatePerYear: 5, ServersPerPDU: 100, FanFollowProb: 0.07}
+}
+
+// Name implements Injector.
+func (p *PDUOutage) Name() string { return "pdu-outage" }
+
+// ExpectedPerClass implements Injector.
+func (p *PDUOutage) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	events := p.RatePerYear * ctx.Years() * float64(p.ServersPerPDU)
+	return map[fot.Component]float64{
+		fot.Power: events,
+		fot.Fan:   events * p.FanFollowProb,
+	}
+}
+
+// Inject implements Injector.
+func (p *PDUOutage) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	var out []event.Event
+	n := poisson(rng, p.RatePerYear*ctx.Years())
+	for i := 0; i < n; i++ {
+		when := uniformTime(rng, ctx.Start, ctx.End.Add(-24*time.Hour))
+		out = append(out, p.oneOutage(rng, ctx, when, p.ServersPerPDU)...)
+	}
+	return out, nil
+}
+
+// oneOutage emits a single PDU incident of roughly `radius` servers
+// starting at `when`. Shared by PDUOutage and OperatorMistake.
+func (p *PDUOutage) oneOutage(rng *rand.Rand, ctx *Context, when time.Time, radius int) []event.Event {
+	idc := ctx.Fleet.Datacenters[rng.Intn(len(ctx.Fleet.Datacenters))].ID
+	cohort := pduCohort(ctx.Fleet, idc, rng, radius)
+	if len(cohort) == 0 {
+		return nil
+	}
+	// Case 3's window: failures detected between one and ~12 hours.
+	windowHi := when.Add(time.Duration(1+rng.Intn(12)) * time.Hour)
+	if windowHi.After(ctx.End) {
+		windowHi = ctx.End
+	}
+	batchID := ctx.NextBatchID()
+	var out []event.Event
+	for _, s := range cohort {
+		ts := uniformTime(rng, when, windowHi)
+		if !eligible(s, fot.Power, ts) {
+			continue
+		}
+		out = append(out, event.Event{
+			Server: s, Component: fot.Power,
+			Slot: fot.SampleSlot(rng, fot.Power, s.Inventory[fot.Power]),
+			Type: "PSUFail",
+			Time: ts, Cause: event.CauseBatch, BatchID: batchID,
+		})
+		if rng.Float64() < p.FanFollowProb && eligible(s, fot.Fan, ts) {
+			out = append(out, event.Event{
+				Server: s, Component: fot.Fan,
+				Slot:  fot.SampleSlot(rng, fot.Fan, s.Inventory[fot.Fan]),
+				Type:  fot.SampleType(rng, fot.Fan),
+				Time:  ts.Add(time.Duration(30+rng.Intn(150)) * time.Second),
+				Cause: event.CauseCorrelated, BatchID: batchID,
+			})
+		}
+	}
+	return out
+}
+
+// pduCohort gathers servers from contiguous racks of one datacenter until
+// the blast radius is reached — a PDU feeds neighbouring racks.
+func pduCohort(fleet *topo.Fleet, idc string, rng *rand.Rand, radius int) []*topo.Server {
+	servers := fleet.ServersByIDC(idc)
+	if len(servers) == 0 {
+		return nil
+	}
+	byRack := make(map[string][]*topo.Server)
+	var racks []string
+	for _, s := range servers {
+		if _, ok := byRack[s.Rack]; !ok {
+			racks = append(racks, s.Rack)
+		}
+		byRack[s.Rack] = append(byRack[s.Rack], s)
+	}
+	// Racks were appended in fleet order, which is physical order; wrap
+	// around the row end so the blast radius is reached regardless of the
+	// starting rack.
+	start := rng.Intn(len(racks))
+	var cohort []*topo.Server
+	for i := 0; i < len(racks) && len(cohort) < radius; i++ {
+		cohort = append(cohort, byRack[racks[(start+i)%len(racks)]]...)
+	}
+	if len(cohort) > radius {
+		cohort = cohort[:radius]
+	}
+	return cohort
+}
+
+// OperatorMistake reproduces the one-off incident the paper dates to
+// August 2016: an electricity-provider misoperation cut power to a PDU
+// and felled hundreds of servers.
+type OperatorMistake struct {
+	// When is the incident time; the injector is a no-op if it falls
+	// outside the study window.
+	When time.Time
+	// Servers is the blast radius (paper: "hundreds").
+	Servers int
+}
+
+// DefaultOperatorMistake returns the paper-profile incident.
+func DefaultOperatorMistake() *OperatorMistake {
+	return &OperatorMistake{
+		When:    time.Date(2016, 8, 12, 9, 30, 0, 0, time.UTC),
+		Servers: 300,
+	}
+}
+
+// Name implements Injector.
+func (o *OperatorMistake) Name() string { return "operator-mistake" }
+
+// ExpectedPerClass implements Injector.
+func (o *OperatorMistake) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	if o.When.Before(ctx.Start) || o.When.After(ctx.End) {
+		return nil
+	}
+	return map[fot.Component]float64{fot.Power: float64(o.Servers)}
+}
+
+// Inject implements Injector.
+func (o *OperatorMistake) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	if o.When.Before(ctx.Start) || o.When.After(ctx.End) {
+		return nil, nil
+	}
+	helper := &PDUOutage{FanFollowProb: 0.05}
+	return helper.oneOutage(rng, ctx, o.When, o.Servers), nil
+}

@@ -1,0 +1,191 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dcfail/internal/event"
+	"dcfail/internal/fot"
+	"dcfail/internal/topo"
+)
+
+// SyncRepeat reproduces §V-C / Table VIII: small groups of near-identical
+// servers (same product line, same model, adjacent racks, same distributed
+// storage system) whose ineffectively repaired disk faults recur almost
+// synchronously, many times. It also plants the paper's §III-D extreme
+// case: a single server whose failing BBU flaps the RAID card and drives
+// for ~a year, producing hundreds of tickets that an automatic reboot
+// keeps marking "solved".
+type SyncRepeat struct {
+	// Groups is the number of synchronized repeat groups to plant.
+	Groups int
+	// MinRepeats/MaxRepeats bound the recurrences per group.
+	MinRepeats, MaxRepeats int
+	// ChronicBBUTickets is the ticket count of the chronic server
+	// (paper: "over 400 failures ... for almost a year").
+	ChronicBBUTickets int
+}
+
+// DefaultSyncRepeat returns the paper-profile configuration.
+func DefaultSyncRepeat() *SyncRepeat {
+	return &SyncRepeat{Groups: 25, MinRepeats: 4, MaxRepeats: 8, ChronicBBUTickets: 420}
+}
+
+// Name implements Injector.
+func (sr *SyncRepeat) Name() string { return "sync-repeat" }
+
+// ExpectedPerClass implements Injector.
+func (sr *SyncRepeat) ExpectedPerClass(ctx *Context) map[fot.Component]float64 {
+	perGroup := float64(sr.MinRepeats+sr.MaxRepeats) / 2 * 2 // two servers
+	return map[fot.Component]float64{
+		fot.HDD:      float64(sr.Groups)*perGroup + float64(sr.ChronicBBUTickets)/2,
+		fot.RAIDCard: float64(sr.ChronicBBUTickets) / 2,
+	}
+}
+
+// Inject implements Injector.
+func (sr *SyncRepeat) Inject(rng *rand.Rand, ctx *Context) ([]event.Event, error) {
+	if err := validateContext(ctx); err != nil {
+		return nil, err
+	}
+	var out []event.Event
+	for g := 0; g < sr.Groups; g++ {
+		pair := findTwinServers(rng, ctx.Fleet)
+		if pair == nil {
+			continue
+		}
+		out = append(out, sr.oneGroup(rng, ctx, *pair)...)
+	}
+	out = append(out, sr.chronicBBU(rng, ctx)...)
+	return out, nil
+}
+
+// oneGroup emits the synchronized repeating failures of one twin pair.
+func (sr *SyncRepeat) oneGroup(rng *rand.Rand, ctx *Context, pair [2]*topo.Server) []event.Event {
+	repeats := sr.MinRepeats
+	if sr.MaxRepeats > sr.MinRepeats {
+		repeats += rng.Intn(sr.MaxRepeats - sr.MinRepeats + 1)
+	}
+	deploy := pair[0].DeployTime
+	if pair[1].DeployTime.After(deploy) {
+		deploy = pair[1].DeployTime
+	}
+	lo := ctx.Start
+	if deploy.After(lo) {
+		lo = deploy
+	}
+	// Leave room for the repeat chain.
+	margin := time.Duration(repeats) * 21 * 24 * time.Hour
+	hi := ctx.End.Add(-margin)
+	if !hi.After(lo) {
+		return nil
+	}
+	ts := uniformTime(rng, lo, hi)
+	batchID := ctx.NextBatchID()
+	var out []event.Event
+	failureType := "SMARTFail"
+	// Table VIII shape: each twin starts with its own flaky drive
+	// (sdh8 / sdd4), then the shared root cause resurfaces on the system
+	// drive of both under the recurrent-fault label.
+	initialSlot := [2]string{
+		fot.SampleSlot(rng, fot.HDD, pair[0].Inventory[fot.HDD]),
+		fot.SampleSlot(rng, fot.HDD, pair[1].Inventory[fot.HDD]),
+	}
+	recurrentSlot := fot.SlotName(fot.HDD, 0)
+	for r := 0; r <= repeats; r++ {
+		if r >= 2 {
+			// After the first "fixes" the same underlying fault
+			// resurfaces under the recurrent-fault label (Table VIII's
+			// SixthFixing entries).
+			failureType = "SixthFixing"
+		}
+		for i, s := range pair {
+			// Near-synchronous: the two servers report seconds apart.
+			skew := time.Duration(rng.Intn(30)) * time.Second
+			t := ts.Add(skew)
+			if !eligible(s, fot.HDD, t) || t.After(ctx.End) {
+				continue
+			}
+			slot := initialSlot[i]
+			if r >= 2 {
+				slot = recurrentSlot
+			}
+			out = append(out, event.Event{
+				Server: s, Component: fot.HDD, Slot: slot, Type: failureType,
+				Time: t, Cause: event.CauseRepeat, BatchID: batchID,
+			})
+		}
+		// Next recurrence days later (lognormal gap: most within a week,
+		// occasionally a long lull — compare Table VIII's timestamps).
+		gapHours := math.Exp(math.Log(4*24) + 0.7*rng.NormFloat64())
+		ts = ts.Add(time.Duration(gapHours * float64(time.Hour)))
+		if ts.After(ctx.End) {
+			break
+		}
+	}
+	return out
+}
+
+// chronicBBU plants the 400-ticket BBU-flap server: alternating RAID-card
+// cache errors and drive-offline reports every few hours to days, for
+// about a year.
+func (sr *SyncRepeat) chronicBBU(rng *rand.Rand, ctx *Context) []event.Event {
+	if sr.ChronicBBUTickets <= 0 {
+		return nil
+	}
+	s := findServerWith(rng, ctx.Fleet, fot.RAIDCard, fot.HDD)
+	if s == nil {
+		return nil
+	}
+	lo := ctx.Start
+	if s.DeployTime.After(lo) {
+		lo = s.DeployTime
+	}
+	yearEnd := ctx.End.AddDate(-1, 0, 0)
+	if yearEnd.After(lo) {
+		lo = uniformTime(rng, lo, yearEnd)
+	}
+	ts := lo
+	batchID := ctx.NextBatchID()
+	var out []event.Event
+	for i := 0; i < sr.ChronicBBUTickets && ts.Before(ctx.End); i++ {
+		comp, typ := fot.RAIDCard, "RaidVdNoBBU-CacheErr"
+		slot := fot.SlotName(fot.RAIDCard, 0)
+		if i%2 == 1 {
+			comp, typ = fot.HDD, "NotReady"
+			slot = fot.SlotName(fot.HDD, 0)
+		}
+		if eligible(s, comp, ts) {
+			out = append(out, event.Event{
+				Server: s, Component: comp, Slot: slot, Type: typ,
+				Time: ts, Cause: event.CauseRepeat, BatchID: batchID,
+			})
+		}
+		// Reboot "fixes" it; it flaps again within hours to ~2 days.
+		gapHours := math.Exp(math.Log(20) + 0.8*rng.NormFloat64())
+		ts = ts.Add(time.Duration(gapHours * float64(time.Hour)))
+	}
+	return out
+}
+
+// findTwinServers looks for two servers of the same model and product line
+// in the same datacenter at nearby rack positions — the paper's "almost
+// identical" twins.
+func findTwinServers(rng *rand.Rand, fleet *topo.Fleet) *[2]*topo.Server {
+	for attempt := 0; attempt < 128; attempt++ {
+		a := &fleet.Servers[rng.Intn(fleet.NumServers())]
+		if a.Inventory[fot.HDD] == 0 {
+			continue
+		}
+		for _, b := range fleet.ServersByIDC(a.IDC) {
+			if b.HostID != a.HostID &&
+				b.Model == a.Model &&
+				b.ProductLine == a.ProductLine &&
+				b.Inventory[fot.HDD] > 0 {
+				return &[2]*topo.Server{a, b}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package mine
+
+import (
+	"fmt"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// BatchAlert fires when a failure kind crosses its burst threshold — the
+// live counterpart of the offline core.BatchWindows miner, usable inside
+// a collector so operators see "this is a batch" while it is happening
+// rather than in next morning's review.
+type BatchAlert struct {
+	Device    fot.Component
+	Type      string
+	At        time.Time
+	WindowLen time.Duration
+	// Count is the number of distinct servers in the window when the
+	// alert fired.
+	Count int
+}
+
+func (a BatchAlert) String() string {
+	return fmt.Sprintf("batch alert: %d servers with %s/%s within %v (at %s)",
+		a.Count, a.Device, a.Type, a.WindowLen,
+		a.At.Format("2006-01-02 15:04:05"))
+}
+
+// BatchDetector watches a ticket stream and raises one alert per episode
+// when a (device, type) kind accumulates at least Threshold distinct
+// servers within Window. Tickets must arrive in non-decreasing time order
+// (the collector's natural order). The zero value is unusable; use
+// NewBatchDetector.
+type BatchDetector struct {
+	window    time.Duration
+	threshold int
+	kinds     map[[2]string]*kindWindow
+}
+
+// kindWindow is one failure kind's sliding window.
+type kindWindow struct {
+	events []streamEvent // time-ordered
+	hosts  map[uint64]int
+	// alerted marks that the current episode already fired; it resets
+	// once the window drains below half the threshold.
+	alerted bool
+}
+
+type streamEvent struct {
+	at   time.Time
+	host uint64
+}
+
+// NewBatchDetector builds a detector. Window defaults to 3h and
+// threshold to 20 when zero — roughly the signature of the paper's
+// case-study batches at fleet scale.
+func NewBatchDetector(window time.Duration, threshold int) *BatchDetector {
+	if window <= 0 {
+		window = 3 * time.Hour
+	}
+	if threshold < 2 {
+		threshold = 20
+	}
+	return &BatchDetector{
+		window:    window,
+		threshold: threshold,
+		kinds:     make(map[[2]string]*kindWindow),
+	}
+}
+
+// Observe feeds one ticket and returns an alert when an episode crosses
+// the threshold (nil otherwise). False alarms are ignored.
+func (d *BatchDetector) Observe(t fot.Ticket) *BatchAlert {
+	if !t.Category.IsFailure() {
+		return nil
+	}
+	key := [2]string{t.Device.String(), t.Type}
+	kw := d.kinds[key]
+	if kw == nil {
+		kw = &kindWindow{hosts: make(map[uint64]int)}
+		d.kinds[key] = kw
+	}
+	// Evict events that fell out of the window.
+	cutoff := t.Time.Add(-d.window)
+	drop := 0
+	for drop < len(kw.events) && kw.events[drop].at.Before(cutoff) {
+		h := kw.events[drop].host
+		if kw.hosts[h]--; kw.hosts[h] == 0 {
+			delete(kw.hosts, h)
+		}
+		drop++
+	}
+	kw.events = kw.events[drop:]
+	kw.events = append(kw.events, streamEvent{at: t.Time, host: t.HostID})
+	kw.hosts[t.HostID]++
+
+	if len(kw.hosts) < d.threshold/2 {
+		kw.alerted = false // episode over; re-arm
+	}
+	if kw.alerted || len(kw.hosts) < d.threshold {
+		return nil
+	}
+	kw.alerted = true
+	return &BatchAlert{
+		Device:    t.Device,
+		Type:      t.Type,
+		At:        t.Time,
+		WindowLen: d.window,
+		Count:     len(kw.hosts),
+	}
+}
+
+// Replay runs the detector over a whole (time-sorted) trace and returns
+// every alert — the offline evaluation mode.
+func (d *BatchDetector) Replay(tr *fot.Trace) []BatchAlert {
+	ordered := tr.Clone()
+	ordered.SortByTime()
+	var alerts []BatchAlert
+	for _, t := range ordered.Tickets {
+		if a := d.Observe(t); a != nil {
+			alerts = append(alerts, *a)
+		}
+	}
+	return alerts
+}

@@ -1,0 +1,118 @@
+package mine
+
+import (
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func streamTicket(id, host uint64, typ string, at time.Time) fot.Ticket {
+	return fot.Ticket{
+		ID: id, HostID: host, Device: fot.HDD, Slot: "sda", Type: typ,
+		Time: at, Category: fot.Fixing,
+	}
+}
+
+func TestBatchDetectorFiresOncePerEpisode(t *testing.T) {
+	d := NewBatchDetector(time.Hour, 5)
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	var alerts []BatchAlert
+	id := uint64(1)
+	// 8 distinct servers in 10 minutes: one alert at the 5th.
+	for i := 0; i < 8; i++ {
+		tk := streamTicket(id, uint64(100+i), "SMARTFail", base.Add(time.Duration(i)*time.Minute))
+		id++
+		if a := d.Observe(tk); a != nil {
+			alerts = append(alerts, *a)
+		}
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1", len(alerts))
+	}
+	if alerts[0].Count != 5 {
+		t.Errorf("alert at count %d, want 5", alerts[0].Count)
+	}
+	// Quiet period drains the window; a second burst re-fires.
+	base = base.Add(3 * time.Hour)
+	for i := 0; i < 6; i++ {
+		tk := streamTicket(id, uint64(200+i), "SMARTFail", base.Add(time.Duration(i)*time.Minute))
+		id++
+		if a := d.Observe(tk); a != nil {
+			alerts = append(alerts, *a)
+		}
+	}
+	if len(alerts) != 2 {
+		t.Fatalf("second episode not re-armed: %d alerts", len(alerts))
+	}
+}
+
+func TestBatchDetectorDistinctServers(t *testing.T) {
+	d := NewBatchDetector(time.Hour, 5)
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	// One flapping server never triggers a batch alert.
+	for i := 0; i < 50; i++ {
+		tk := streamTicket(uint64(i+1), 7, "SMARTFail", base.Add(time.Duration(i)*time.Minute))
+		if a := d.Observe(tk); a != nil {
+			t.Fatalf("single-server flapping raised a batch alert: %v", a)
+		}
+	}
+}
+
+func TestBatchDetectorKindIsolation(t *testing.T) {
+	d := NewBatchDetector(time.Hour, 5)
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	// Four servers each of two types: neither crosses the threshold.
+	for i := 0; i < 4; i++ {
+		at := base.Add(time.Duration(i) * time.Minute)
+		if a := d.Observe(streamTicket(uint64(i*2+1), uint64(100+i), "SMARTFail", at)); a != nil {
+			t.Fatal("premature alert")
+		}
+		if a := d.Observe(streamTicket(uint64(i*2+2), uint64(200+i), "NotReady", at)); a != nil {
+			t.Fatal("premature alert")
+		}
+	}
+}
+
+func TestBatchDetectorIgnoresFalseAlarms(t *testing.T) {
+	d := NewBatchDetector(time.Hour, 2)
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		tk := streamTicket(uint64(i+1), uint64(100+i), "SMARTFail", base)
+		tk.Category = fot.FalseAlarm
+		if a := d.Observe(tk); a != nil {
+			t.Fatal("false alarms should not count towards batches")
+		}
+	}
+}
+
+func TestBatchDetectorReplayOnTrace(t *testing.T) {
+	r := fixture(t)
+	alerts := NewBatchDetector(3*time.Hour, 15).Replay(r.Trace)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts on a trace full of injected batches")
+	}
+	hddAlerts := 0
+	for _, a := range alerts {
+		if a.Device == fot.HDD {
+			hddAlerts++
+		}
+		if a.Count < 15 {
+			t.Fatalf("alert below threshold: %+v", a)
+		}
+	}
+	if hddAlerts == 0 {
+		t.Error("no HDD batch alerts despite the epidemic injector")
+	}
+	t.Logf("replay raised %d alerts (%d HDD)", len(alerts), hddAlerts)
+	if s := alerts[0].String(); s == "" {
+		t.Error("empty alert string")
+	}
+}
+
+func TestBatchDetectorDefaults(t *testing.T) {
+	d := NewBatchDetector(0, 0)
+	if d.window != 3*time.Hour || d.threshold != 20 {
+		t.Errorf("defaults = %v/%d", d.window, d.threshold)
+	}
+}

@@ -1,0 +1,265 @@
+// Package mine implements the FOT correlation-mining tool the paper calls
+// for in §VII-B: the production FMS is "stateless" — every ticket stands
+// alone, so operators rediscover the same chronic faults for a year (the
+// BBU case) and treat batch members as 290k independent incidents. The
+// paper proposes a data-mining layer that, for any ticket, surfaces the
+// history of the component, the server and its cohort, plus fleet-wide
+// correlation rules; and §VII-A mentions an early-warning predictor the
+// operators ignored. This package builds all three:
+//
+//   - Index / Contextualize: per-ticket related-information report
+//     (server history, slot repeat chain, batch membership, twins)
+//   - MineRules: association rules between failure types that co-occur on
+//     the same server within a time window (Table VI generalized)
+//   - EvaluateWarningPredictor: how well predictive warning types
+//     (SMARTFail, DIMMCE, ...) anticipate fatal failures of the same
+//     component instance, with precision / recall / lead time
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// slotKey identifies one component instance.
+type slotKey struct {
+	host uint64
+	dev  fot.Component
+	slot string
+}
+
+// Index holds the per-host and per-slot orderings Contextualize needs.
+// Build once per trace; safe for concurrent reads afterwards.
+type Index struct {
+	trace  *fot.Trace
+	byID   map[uint64]int
+	byHost map[uint64][]int // ticket indexes, time-ordered
+	bySlot map[slotKey][]int
+	// byTypeTime: per (device, type), time-ordered ticket indexes for
+	// batch-peer and twin lookups.
+	byTypeTime map[[2]string][]int
+}
+
+// NewIndex builds the mining index over a trace. The trace must not be
+// mutated afterwards.
+func NewIndex(tr *fot.Trace) (*Index, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	ix := &Index{
+		trace:      tr,
+		byID:       make(map[uint64]int, tr.Len()),
+		byHost:     make(map[uint64][]int),
+		bySlot:     make(map[slotKey][]int),
+		byTypeTime: make(map[[2]string][]int),
+	}
+	order := make([]int, tr.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return tr.Tickets[order[a]].Time.Before(tr.Tickets[order[b]].Time)
+	})
+	for _, i := range order {
+		t := &tr.Tickets[i]
+		if _, dup := ix.byID[t.ID]; dup {
+			return nil, fmt.Errorf("mine: duplicate ticket id %d", t.ID)
+		}
+		ix.byID[t.ID] = i
+		ix.byHost[t.HostID] = append(ix.byHost[t.HostID], i)
+		sk := slotKey{t.HostID, t.Device, t.Slot}
+		ix.bySlot[sk] = append(ix.bySlot[sk], i)
+		tk := [2]string{t.Device.String(), t.Type}
+		ix.byTypeTime[tk] = append(ix.byTypeTime[tk], i)
+	}
+	return ix, nil
+}
+
+// Context is the related-information report for one ticket — what the
+// paper says operators need to stop treating each FOT independently.
+type Context struct {
+	Ticket fot.Ticket
+	// ServerHistory is the host's earlier tickets, most recent first
+	// (capped at 16).
+	ServerHistory []fot.Ticket
+	// SlotRepeats counts earlier tickets on the same component instance
+	// with the same failure type — a chronic / ineffective-repair alarm
+	// when large.
+	SlotRepeats int
+	// LastSameFailure is the most recent earlier ticket of the same
+	// (slot, type), if any.
+	LastSameFailure *fot.Ticket
+	// BatchPeers counts same-(device, type) tickets on other servers
+	// within ±BatchWindow — large values mean this FOT is one of a batch
+	// and should be handled as a cohort, not an incident.
+	BatchPeers  int
+	BatchWindow time.Duration
+	// TwinHosts lists other hosts whose identical failure occurred
+	// within ±2 minutes — the §V-C synchronized-repeat signature.
+	TwinHosts []uint64
+}
+
+// IsChronicSuspect reports whether the ticket looks like the paper's BBU
+// case: the same instance failing over and over.
+func (c *Context) IsChronicSuspect() bool { return c.SlotRepeats >= 5 }
+
+// IsBatchSuspect reports whether the ticket is likely part of a batch
+// failure.
+func (c *Context) IsBatchSuspect() bool { return c.BatchPeers >= 10 }
+
+// Contextualize assembles the Context for a ticket id.
+func (ix *Index) Contextualize(id uint64) (*Context, error) {
+	idx, ok := ix.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("mine: unknown ticket id %d", id)
+	}
+	t := ix.trace.Tickets[idx]
+	const batchWindow = 3 * time.Hour
+	const twinSkew = 2 * time.Minute
+	ctx := &Context{Ticket: t, BatchWindow: batchWindow}
+
+	// Server history: earlier tickets on the host, most recent first.
+	hostTickets := ix.byHost[t.HostID]
+	for i := len(hostTickets) - 1; i >= 0; i-- {
+		ht := ix.trace.Tickets[hostTickets[i]]
+		if !ht.Time.Before(t.Time) || ht.ID == t.ID {
+			continue
+		}
+		ctx.ServerHistory = append(ctx.ServerHistory, ht)
+		if len(ctx.ServerHistory) >= 16 {
+			break
+		}
+	}
+	// Slot repeat chain.
+	for _, si := range ix.bySlot[slotKey{t.HostID, t.Device, t.Slot}] {
+		st := ix.trace.Tickets[si]
+		if st.ID == t.ID || !st.Time.Before(t.Time) || st.Type != t.Type {
+			continue
+		}
+		ctx.SlotRepeats++
+		cp := st
+		ctx.LastSameFailure = &cp
+	}
+	// Batch peers and twins.
+	peers := ix.byTypeTime[[2]string{t.Device.String(), t.Type}]
+	lo := sort.Search(len(peers), func(i int) bool {
+		return !ix.trace.Tickets[peers[i]].Time.Before(t.Time.Add(-batchWindow))
+	})
+	for i := lo; i < len(peers); i++ {
+		pt := ix.trace.Tickets[peers[i]]
+		if pt.Time.After(t.Time.Add(batchWindow)) {
+			break
+		}
+		if pt.HostID == t.HostID {
+			continue
+		}
+		ctx.BatchPeers++
+		skew := pt.Time.Sub(t.Time)
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew <= twinSkew && len(ctx.TwinHosts) < 8 {
+			ctx.TwinHosts = appendUniqueHost(ctx.TwinHosts, pt.HostID)
+		}
+	}
+	return ctx, nil
+}
+
+func appendUniqueHost(hosts []uint64, h uint64) []uint64 {
+	for _, x := range hosts {
+		if x == h {
+			return hosts
+		}
+	}
+	return append(hosts, h)
+}
+
+// ChronicServer summarizes one repeat-heavy server — the report operators
+// need to spot the year-long BBU-style flappers (§III-D).
+type ChronicServer struct {
+	HostID uint64
+	// Tickets is the server's total failure count.
+	Tickets int
+	// WorstSlotRepeats is the largest same-(device, slot) ticket count
+	// on the server — the flap counter.
+	WorstSlotRepeats int
+	// WorstSlot labels that component instance, e.g. "raid_card/raid0".
+	WorstSlot string
+	// Span is the time between the server's first and last ticket.
+	Span time.Duration
+}
+
+// ChronicServers ranks servers by their worst same-instance repeat count
+// and returns the top n (fewer if the trace has fewer repeat-heavy
+// servers; only servers with at least minRepeats qualify).
+func ChronicServers(tr *fot.Trace, n, minRepeats int) ([]ChronicServer, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	if n < 1 {
+		n = 10
+	}
+	if minRepeats < 2 {
+		minRepeats = 2
+	}
+	type hostAgg struct {
+		tickets  int
+		lo, hi   time.Time
+		bySlot   map[slotKey]int
+		slotType map[slotKey]string
+	}
+	hosts := make(map[uint64]*hostAgg)
+	for _, t := range tr.Failures().Tickets {
+		agg := hosts[t.HostID]
+		if agg == nil {
+			agg = &hostAgg{
+				lo: t.Time, hi: t.Time,
+				bySlot:   make(map[slotKey]int),
+				slotType: make(map[slotKey]string),
+			}
+			hosts[t.HostID] = agg
+		}
+		agg.tickets++
+		if t.Time.Before(agg.lo) {
+			agg.lo = t.Time
+		}
+		if t.Time.After(agg.hi) {
+			agg.hi = t.Time
+		}
+		sk := slotKey{t.HostID, t.Device, t.Slot}
+		agg.bySlot[sk]++
+		agg.slotType[sk] = t.Device.String() + "/" + t.Slot
+	}
+	var out []ChronicServer
+	for host, agg := range hosts {
+		worst, label := 0, ""
+		for sk, c := range agg.bySlot {
+			if c > worst {
+				worst, label = c, agg.slotType[sk]
+			}
+		}
+		if worst < minRepeats {
+			continue
+		}
+		out = append(out, ChronicServer{
+			HostID:           host,
+			Tickets:          agg.tickets,
+			WorstSlotRepeats: worst,
+			WorstSlot:        label,
+			Span:             agg.hi.Sub(agg.lo),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WorstSlotRepeats != out[j].WorstSlotRepeats {
+			return out[i].WorstSlotRepeats > out[j].WorstSlotRepeats
+		}
+		return out[i].HostID < out[j].HostID
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

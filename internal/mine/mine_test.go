@@ -1,0 +1,290 @@
+package mine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+)
+
+var (
+	once sync.Once
+	res  *fms.Result
+	gerr error
+)
+
+func fixture(t *testing.T) *fms.Result {
+	t.Helper()
+	once.Do(func() {
+		res, gerr = fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 555)
+	})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	return res
+}
+
+func TestNewIndexRejectsEmpty(t *testing.T) {
+	if _, err := NewIndex(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewIndex(fot.NewTrace(nil)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestContextualizeChronicServer(t *testing.T) {
+	r := fixture(t)
+	ix, err := NewIndex(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the chronic BBU server: the host with the most tickets.
+	counts := map[uint64]int{}
+	var chronicHost uint64
+	for _, tk := range r.Trace.Tickets {
+		counts[tk.HostID]++
+		if counts[tk.HostID] > counts[chronicHost] {
+			chronicHost = tk.HostID
+		}
+	}
+	// Take its last RAID ticket and contextualize it.
+	var last fot.Ticket
+	for _, tk := range r.Trace.Tickets {
+		if tk.HostID == chronicHost && tk.Device == fot.RAIDCard {
+			last = tk
+		}
+	}
+	if last.ID == 0 {
+		t.Fatal("chronic server has no RAID ticket")
+	}
+	ctx, err := ix.Contextualize(last.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.IsChronicSuspect() {
+		t.Errorf("chronic server not flagged: %d slot repeats", ctx.SlotRepeats)
+	}
+	if ctx.LastSameFailure == nil {
+		t.Error("missing last-same-failure pointer")
+	} else if !ctx.LastSameFailure.Time.Before(last.Time) {
+		t.Error("last same failure is not earlier")
+	}
+	if len(ctx.ServerHistory) == 0 {
+		t.Error("missing server history")
+	}
+	for i := 1; i < len(ctx.ServerHistory); i++ {
+		if ctx.ServerHistory[i].Time.After(ctx.ServerHistory[i-1].Time) {
+			t.Fatal("server history not most-recent-first")
+		}
+	}
+}
+
+func TestContextualizeBatchMember(t *testing.T) {
+	r := fixture(t)
+	ix, err := NewIndex(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the busiest same-type HDD hour — a batch member.
+	var batchTicket fot.Ticket
+	hourCounts := map[int64]int{}
+	for _, tk := range r.Trace.Tickets {
+		if tk.Device == fot.HDD && tk.Type == "SMARTFail" {
+			hourCounts[tk.Time.Unix()/3600]++
+		}
+	}
+	var bestHour int64
+	for h, n := range hourCounts {
+		if n > hourCounts[bestHour] {
+			bestHour = h
+		}
+	}
+	for _, tk := range r.Trace.Tickets {
+		if tk.Device == fot.HDD && tk.Type == "SMARTFail" && tk.Time.Unix()/3600 == bestHour {
+			batchTicket = tk
+			break
+		}
+	}
+	if batchTicket.ID == 0 {
+		t.Fatal("no batch ticket found")
+	}
+	ctx, err := ix.Contextualize(batchTicket.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.IsBatchSuspect() {
+		t.Errorf("batch member not flagged: %d peers", ctx.BatchPeers)
+	}
+}
+
+func TestContextualizeTwin(t *testing.T) {
+	r := fixture(t)
+	ix, err := NewIndex(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SixthFixing tickets come from the planted twin groups.
+	found := false
+	for _, tk := range r.Trace.Tickets {
+		if tk.Type != "SixthFixing" {
+			continue
+		}
+		ctx, err := ix.Contextualize(tk.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ctx.TwinHosts) > 0 {
+			found = true
+			for _, h := range ctx.TwinHosts {
+				if h == tk.HostID {
+					t.Error("twin list contains the ticket's own host")
+				}
+			}
+			break
+		}
+	}
+	if !found {
+		t.Error("no twin detected on any SixthFixing ticket")
+	}
+}
+
+func TestContextualizeUnknownID(t *testing.T) {
+	r := fixture(t)
+	ix, err := NewIndex(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Contextualize(99999999); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestMineRulesFindsPairStructure(t *testing.T) {
+	r := fixture(t)
+	rules, err := MineRules(r.Trace, 24*time.Hour, 3, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	for i, rule := range rules {
+		if rule.Support < 3 || rule.Lift < 3.0 {
+			t.Fatalf("rule %d below thresholds: %+v", i, rule)
+		}
+		if rule.Expected <= 0 {
+			t.Fatalf("rule %d expected %g", i, rule.Expected)
+		}
+		if i > 0 && rule.Support > rules[i-1].Support {
+			t.Fatal("rules not sorted by support")
+		}
+	}
+	// The injected misc×hdd correlation must surface as a rule.
+	foundMiscHDD := false
+	for _, rule := range rules {
+		devs := map[fot.Component]bool{rule.A.Device: true, rule.B.Device: true}
+		if devs[fot.Misc] && devs[fot.HDD] {
+			foundMiscHDD = true
+			break
+		}
+	}
+	if !foundMiscHDD {
+		t.Error("misc×hdd correlation not mined")
+	}
+}
+
+func TestMineRulesValidation(t *testing.T) {
+	if _, err := MineRules(nil, 0, 0, 0); err == nil {
+		t.Error("nil trace accepted")
+	}
+	onlyAlarms := fot.NewTrace([]fot.Ticket{{
+		ID: 1, HostID: 1, Device: fot.HDD, Type: "SMARTFail",
+		Time: time.Now(), Category: fot.FalseAlarm,
+	}})
+	if _, err := MineRules(onlyAlarms, 0, 0, 0); err == nil {
+		t.Error("alarm-only trace accepted")
+	}
+}
+
+func TestWarningPredictor(t *testing.T) {
+	r := fixture(t)
+	eval, err := EvaluateWarningPredictor(r.Trace, 10*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Warnings == 0 || eval.Fatals == 0 {
+		t.Fatalf("degenerate populations: %+v", eval)
+	}
+	// The FMS escalation model plants warning→fatal chains with median
+	// 3-day lead: the predictor must clearly beat coincidence.
+	if eval.Recall < 0.05 {
+		t.Errorf("recall %.3f too low — escalation signal not recovered", eval.Recall)
+	}
+	if eval.Precision <= 0 || eval.Precision > 1 {
+		t.Errorf("precision %.3f out of range", eval.Precision)
+	}
+	if eval.MedianLeadHours < 12 || eval.MedianLeadHours > 24*15 {
+		t.Errorf("median lead %.0f h not 'a couple of days'", eval.MedianLeadHours)
+	}
+	t.Logf("predictor: precision %.3f recall %.3f lead %.1f h (n=%d warnings, %d fatals)",
+		eval.Precision, eval.Recall, eval.MedianLeadHours, eval.Warnings, eval.Fatals)
+}
+
+func TestWarningPredictorNoSignalWithoutEscalation(t *testing.T) {
+	cfg := fms.DefaultConfig()
+	cfg.EscalateProb = 0
+	noEsc, err := fms.Run(fleetgen.SmallProfile(), cfg, 556)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalNo, err := EvaluateWarningPredictor(noEsc.Trace, 10*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fixture(t)
+	evalYes, err := EvaluateWarningPredictor(r.Trace, 10*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recall with escalation %.3f, without %.3f", evalYes.Recall, evalNo.Recall)
+	if !(evalYes.Recall > 2*evalNo.Recall) {
+		t.Error("escalation mechanism should drive predictor recall")
+	}
+}
+
+func TestWarningPredictorValidation(t *testing.T) {
+	if _, err := EvaluateWarningPredictor(nil, 0); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestChronicServers(t *testing.T) {
+	r := fixture(t)
+	top, err := ChronicServers(r.Trace, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 {
+		t.Fatal("no chronic servers found despite the BBU injection")
+	}
+	// Ranked by worst repeat count; the top one is the BBU server with
+	// ~75 same-instance RAID repeats.
+	for i := 1; i < len(top); i++ {
+		if top[i].WorstSlotRepeats > top[i-1].WorstSlotRepeats {
+			t.Fatal("not ranked")
+		}
+	}
+	if top[0].WorstSlotRepeats < 50 {
+		t.Errorf("top chronic server has only %d repeats", top[0].WorstSlotRepeats)
+	}
+	if top[0].WorstSlot == "" || top[0].Span <= 0 {
+		t.Errorf("incomplete summary: %+v", top[0])
+	}
+	if _, err := ChronicServers(nil, 5, 3); err == nil {
+		t.Error("nil trace accepted")
+	}
+}

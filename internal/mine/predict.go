@@ -1,0 +1,110 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// PredictorEval measures the warning-based failure predictor of paper
+// §VII-A ("a tool to predict component failures a couple of days early"):
+// a predictive warning ticket (SMARTFail, DIMMCE, ...) on a component
+// instance predicts a fatal failure of that same instance within the
+// horizon.
+type PredictorEval struct {
+	Horizon time.Duration
+	// Warnings and Fatals are the populations considered.
+	Warnings int
+	Fatals   int
+	// PredictedFatals is the number of fatal failures preceded by a
+	// warning on the same (host, device, slot) within the horizon.
+	PredictedFatals int
+	// UsefulWarnings is the number of warnings followed by such a fatal
+	// failure.
+	UsefulWarnings int
+	// Recall = PredictedFatals / Fatals; Precision = UsefulWarnings /
+	// Warnings.
+	Recall    float64
+	Precision float64
+	// MedianLeadHours is the median warning→fatal lead time among
+	// predicted fatals (paper: "a couple of days").
+	MedianLeadHours float64
+}
+
+// EvaluateWarningPredictor replays the trace and scores the predictor.
+// False alarms are excluded; both D_fixing and D_error tickets count
+// (a prediction is useful either way).
+func EvaluateWarningPredictor(tr *fot.Trace, horizon time.Duration) (*PredictorEval, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	if horizon <= 0 {
+		horizon = 10 * 24 * time.Hour
+	}
+	failures := tr.Failures()
+
+	// Per component instance, the time-ordered warning and fatal lists.
+	type lists struct {
+		warnings []time.Time
+		fatals   []time.Time
+	}
+	perSlot := make(map[slotKey]*lists)
+	eval := &PredictorEval{Horizon: horizon}
+	for _, t := range failures.Tickets {
+		if t.Device == fot.Misc {
+			continue // manual reports are not detector output
+		}
+		sk := slotKey{t.HostID, t.Device, t.Slot}
+		l := perSlot[sk]
+		if l == nil {
+			l = &lists{}
+			perSlot[sk] = l
+		}
+		if fot.IsFatalType(t.Device, t.Type) {
+			l.fatals = append(l.fatals, t.Time)
+			eval.Fatals++
+		} else {
+			l.warnings = append(l.warnings, t.Time)
+			eval.Warnings++
+		}
+	}
+	if eval.Fatals == 0 || eval.Warnings == 0 {
+		return nil, fmt.Errorf("mine: trace has no %s to evaluate",
+			map[bool]string{true: "warnings", false: "fatal failures"}[eval.Fatals > 0])
+	}
+
+	var leads []float64
+	for _, l := range perSlot {
+		sort.Slice(l.warnings, func(i, j int) bool { return l.warnings[i].Before(l.warnings[j]) })
+		sort.Slice(l.fatals, func(i, j int) bool { return l.fatals[i].Before(l.fatals[j]) })
+		// Recall side: each fatal, was there a warning in [f-h, f)?
+		for _, f := range l.fatals {
+			i := sort.Search(len(l.warnings), func(i int) bool {
+				return !l.warnings[i].Before(f.Add(-horizon))
+			})
+			if i < len(l.warnings) && l.warnings[i].Before(f) {
+				eval.PredictedFatals++
+				// Lead time from the earliest in-horizon warning.
+				leads = append(leads, f.Sub(l.warnings[i]).Hours())
+			}
+		}
+		// Precision side: each warning, does a fatal follow in (w, w+h]?
+		for _, w := range l.warnings {
+			i := sort.Search(len(l.fatals), func(i int) bool {
+				return l.fatals[i].After(w)
+			})
+			if i < len(l.fatals) && !l.fatals[i].After(w.Add(horizon)) {
+				eval.UsefulWarnings++
+			}
+		}
+	}
+	eval.Recall = float64(eval.PredictedFatals) / float64(eval.Fatals)
+	eval.Precision = float64(eval.UsefulWarnings) / float64(eval.Warnings)
+	if len(leads) > 0 {
+		eval.MedianLeadHours = stats.Median(leads)
+	}
+	return eval, nil
+}

@@ -1,0 +1,164 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// Item is one side of an association rule: a (device, type) failure kind.
+type Item struct {
+	Device fot.Component
+	Type   string
+}
+
+func (it Item) String() string {
+	return fmt.Sprintf("%s/%s", it.Device, it.Type)
+}
+
+// Rule is one mined association: servers that see A tend to see B within
+// the window, more often than time-coincidence explains.
+type Rule struct {
+	A, B Item
+	// Support is the number of servers where A and B co-occurred within
+	// the window.
+	Support int
+	// Expected is the number of servers where the co-occurrence would
+	// land inside the window by pure chance, given how often each side
+	// fires on the host over the whole study.
+	Expected float64
+	// Lift is Support / Expected; well above 1 means A and B attract
+	// each other in time, not just on the same hardware.
+	Lift float64
+}
+
+// MineRules finds failure kinds that co-occur on the same server within
+// `window`, keeping rules with at least minSupport supporting servers and
+// lift above minLift. Rules come back sorted by support, then lift.
+//
+// Lift uses a temporal baseline: for a host with nA tickets of kind A and
+// nB of kind B across a study of duration D, the chance some A and some B
+// land within ±window of each other is ≈ min(1, nA·nB·2w/D). Summing that
+// over hosts gives the expected support under independence — so chronic
+// hosts that simply see everything do not masquerade as correlations.
+func MineRules(tr *fot.Trace, window time.Duration, minSupport int, minLift float64) ([]Rule, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+
+	failures := tr.Failures()
+	lo, hi, ok := failures.Span()
+	if !ok || !hi.After(lo) {
+		return nil, fmt.Errorf("mine: no failed servers")
+	}
+	chancePerPair := 2 * window.Hours() / hi.Sub(lo).Hours()
+	byHost := failures.GroupByHost()
+	pairs := make(map[[2]Item]*pairAgg)
+	for host, tickets := range byHost {
+		sort.Slice(tickets, func(i, j int) bool {
+			return tickets[i].Time.Before(tickets[j].Time)
+		})
+		// Per-host item counts for the chance baseline.
+		itemCounts := make(map[Item]int)
+		for _, t := range tickets {
+			itemCounts[Item{t.Device, t.Type}]++
+		}
+		// Expected co-occurrence for every item pair this host carries.
+		items := make([]Item, 0, len(itemCounts))
+		for it := range itemCounts {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Device != items[j].Device {
+				return items[i].Device < items[j].Device
+			}
+			return items[i].Type < items[j].Type
+		})
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				p := chancePerPair * float64(itemCounts[items[i]]*itemCounts[items[j]])
+				if p > 1 {
+					p = 1
+				}
+				agg := pairAggFor(pairs, [2]Item{items[i], items[j]})
+				agg.expected += p
+			}
+		}
+		// Observed co-occurrence within the window.
+		for i, t := range tickets {
+			a := Item{t.Device, t.Type}
+			for j := i + 1; j < len(tickets); j++ {
+				u := tickets[j]
+				if u.Time.Sub(t.Time) > window {
+					break
+				}
+				b := Item{u.Device, u.Type}
+				if a == b {
+					continue
+				}
+				agg := pairAggFor(pairs, canonicalItems(a, b))
+				agg.hosts[host] = true
+			}
+		}
+	}
+
+	var rules []Rule
+	for key, agg := range pairs {
+		support := len(agg.hosts)
+		if support < minSupport {
+			continue
+		}
+		expected := agg.expected
+		if expected < 1e-9 {
+			expected = 1e-9
+		}
+		lift := float64(support) / expected
+		if lift < minLift {
+			continue
+		}
+		rules = append(rules, Rule{
+			A: key[0], B: key[1],
+			Support: support, Expected: agg.expected, Lift: lift,
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		if rules[i].Lift != rules[j].Lift {
+			return rules[i].Lift > rules[j].Lift
+		}
+		return rules[i].A.String()+rules[i].B.String() < rules[j].A.String()+rules[j].B.String()
+	})
+	return rules, nil
+}
+
+// pairAgg accumulates one item pair's observed hosts and chance baseline.
+type pairAgg struct {
+	hosts    map[uint64]bool
+	expected float64
+}
+
+func pairAggFor(m map[[2]Item]*pairAgg, key [2]Item) *pairAgg {
+	agg := m[key]
+	if agg == nil {
+		agg = &pairAgg{hosts: make(map[uint64]bool)}
+		m[key] = agg
+	}
+	return agg
+}
+
+func canonicalItems(a, b Item) [2]Item {
+	if a.Device > b.Device || (a.Device == b.Device && a.Type > b.Type) {
+		a, b = b, a
+	}
+	return [2]Item{a, b}
+}

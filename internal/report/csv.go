@@ -1,0 +1,279 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// The CSV emitters write each figure's data series in a plot-ready form
+// (one row per point), so the paper's plots can be regenerated with any
+// charting tool. Each emitter mirrors one text renderer.
+
+// writeCSV writes a header and rows, converting cells with strconv.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// ComponentBreakdownCSV emits Table II as CSV.
+func ComponentBreakdownCSV(w io.Writer, r *core.ComponentBreakdownResult) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Component.String(), itoa(row.Count), ftoa(row.Fraction)})
+	}
+	return writeCSV(w, []string{"device", "count", "fraction"}, rows)
+}
+
+// DayOfWeekCSV emits a Fig. 3 series as CSV.
+func DayOfWeekCSV(w io.Writer, r *core.DayOfWeekResult) error {
+	rows := make([][]string, 0, 7)
+	for d := 0; d < 7; d++ {
+		rows = append(rows, []string{dayNames[d], itoa(r.Counts[d]), ftoa(r.Fractions[d])})
+	}
+	return writeCSV(w, []string{"day", "count", "fraction"}, rows)
+}
+
+// HourOfDayCSV emits a Fig. 4 series as CSV.
+func HourOfDayCSV(w io.Writer, r *core.HourOfDayResult) error {
+	rows := make([][]string, 0, 24)
+	for h := 0; h < 24; h++ {
+		rows = append(rows, []string{itoa(h), itoa(r.Counts[h]), ftoa(r.Fractions[h])})
+	}
+	return writeCSV(w, []string{"hour", "count", "fraction"}, rows)
+}
+
+// TBFCDFCSV emits the Fig. 5 empirical CDF, with each fitted family's CDF
+// evaluated at the same abscissae for overlay plotting.
+func TBFCDFCSV(w io.Writer, r *core.TBFResult) error {
+	header := []string{"tbf_minutes", "empirical_cdf"}
+	var dists []stats.Dist
+	for _, f := range r.Fits {
+		if f.Err == nil {
+			header = append(header, f.Dist.Name()+"_cdf")
+			dists = append(dists, f.Dist)
+		}
+	}
+	rows := make([][]string, 0, len(r.CDF))
+	for _, pt := range r.CDF {
+		row := []string{ftoa(pt.X), ftoa(pt.Y)}
+		for _, d := range dists {
+			row = append(row, ftoa(d.CDF(pt.X)))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// LifecycleCSV emits a Fig. 6 series as CSV.
+func LifecycleCSV(w io.Writer, r *core.LifecycleResult) error {
+	rows := make([][]string, 0, len(r.Rates))
+	for m := range r.Rates {
+		rows = append(rows, []string{
+			itoa(m), itoa(r.Counts[m]), ftoa(r.Exposure[m]),
+			ftoa(r.Rates[m]), ftoa(r.Normalized[m]),
+		})
+	}
+	return writeCSV(w, []string{"month_in_service", "failures", "component_months", "rate", "normalized"}, rows)
+}
+
+// ServerSkewCSV emits the Fig. 7 CDF as CSV.
+func ServerSkewCSV(w io.Writer, r *core.ServerSkewResult) error {
+	rows := make([][]string, 0, len(r.CDF))
+	for _, pt := range r.CDF {
+		rows = append(rows, []string{ftoa(pt.X), ftoa(pt.Y)})
+	}
+	return writeCSV(w, []string{"failed_server_fraction", "failure_share"}, rows)
+}
+
+// RackPositionsCSV emits a Fig. 8 series as CSV.
+func RackPositionsCSV(w io.Writer, r *core.RackPositionResult) error {
+	anomalous := make(map[int]bool, len(r.Anomalies))
+	for _, p := range r.Anomalies {
+		anomalous[p] = true
+	}
+	rows := make([][]string, 0, r.Positions)
+	for p := 1; p <= r.Positions; p++ {
+		if r.Occupancy[p] == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			itoa(p), itoa(r.Failures[p]), itoa(r.Occupancy[p]),
+			ftoa(r.Ratio[p]), strconv.FormatBool(anomalous[p]),
+		})
+	}
+	return writeCSV(w, []string{"position", "failed_servers", "servers", "ratio", "anomaly"}, rows)
+}
+
+// ResponseCDFCSV emits a Fig. 9 RT CDF as CSV.
+func ResponseCDFCSV(w io.Writer, r *core.ResponseTimesResult) error {
+	rows := make([][]string, 0, len(r.CDF))
+	for _, pt := range r.CDF {
+		rows = append(rows, []string{ftoa(pt.X), ftoa(pt.Y)})
+	}
+	return writeCSV(w, []string{"response_days", "cdf"}, rows)
+}
+
+// ProductLineRTCSV emits the Fig. 11 scatter as CSV.
+func ProductLineRTCSV(w io.Writer, r *core.ProductLineRTResult) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, pt := range r.Points {
+		rows = append(rows, []string{pt.Line, itoa(pt.Failures), ftoa(pt.MedianRTDays)})
+	}
+	return writeCSV(w, []string{"product_line", "failures", "median_rt_days"}, rows)
+}
+
+// BatchFrequencyCSV emits Table V as CSV.
+func BatchFrequencyCSV(w io.Writer, r *core.BatchFrequencyResult) error {
+	header := []string{"device"}
+	for _, th := range r.Thresholds {
+		header = append(header, "r"+itoa(th))
+	}
+	header = append(header, "max_daily")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Component.String()}
+		for _, th := range r.Thresholds {
+			cells = append(cells, ftoa(row.R[th]))
+		}
+		cells = append(cells, itoa(row.MaxDaily))
+		rows = append(rows, cells)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// typeBreakdownCSVHeader keeps Fig. 2 export uniform across classes.
+var typeBreakdownCSVHeader = []string{"device", "type", "count", "fraction"}
+
+// TypeBreakdownCSV emits a Fig. 2 subfigure as CSV.
+func TypeBreakdownCSV(w io.Writer, r *core.TypeBreakdownResult) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			r.Component.String(), row.Type, itoa(row.Count), ftoa(row.Fraction),
+		})
+	}
+	return writeCSV(w, typeBreakdownCSVHeader, rows)
+}
+
+// FigureCSVs writes every figure's data series into a map of
+// filename → CSV bytes rendered through the given trace analyses. It is
+// the bulk-export entry point used by `fotreport -csvdir`.
+func FigureCSVs(trace *fot.Trace, census *core.Census, write func(name string, render func(io.Writer) error) error) error {
+	table2, err := core.ComponentBreakdown(trace)
+	if err != nil {
+		return err
+	}
+	if err := write("table2_components.csv", func(w io.Writer) error {
+		return ComponentBreakdownCSV(w, table2)
+	}); err != nil {
+		return err
+	}
+
+	for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+		tb, err := core.TypeBreakdown(trace, c)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig2_types_%s.csv", c)
+		if err := write(name, func(w io.Writer) error { return TypeBreakdownCSV(w, tb) }); err != nil {
+			return err
+		}
+	}
+
+	dow, err := core.DayOfWeek(trace, 0)
+	if err != nil {
+		return err
+	}
+	if err := write("fig3_weekday.csv", func(w io.Writer) error { return DayOfWeekCSV(w, dow) }); err != nil {
+		return err
+	}
+
+	hod, err := core.HourOfDay(trace, 0)
+	if err != nil {
+		return err
+	}
+	if err := write("fig4_hourly.csv", func(w io.Writer) error { return HourOfDayCSV(w, hod) }); err != nil {
+		return err
+	}
+
+	tbf, err := core.TBFAnalysis(trace, 0)
+	if err != nil {
+		return err
+	}
+	if err := write("fig5_tbf_cdf.csv", func(w io.Writer) error { return TBFCDFCSV(w, tbf) }); err != nil {
+		return err
+	}
+
+	for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
+		lc, err := core.LifecycleRates(trace, census, c, 48)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig6_lifecycle_%s.csv", c)
+		if err := write(name, func(w io.Writer) error { return LifecycleCSV(w, lc) }); err != nil {
+			return err
+		}
+	}
+
+	skew, err := core.ServerSkew(trace)
+	if err != nil {
+		return err
+	}
+	if err := write("fig7_skew_cdf.csv", func(w io.Writer) error { return ServerSkewCSV(w, skew) }); err != nil {
+		return err
+	}
+
+	for _, idc := range []string{"dc01", "dc02"} {
+		rp, err := core.RackPositions(trace, census, idc)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig8_rack_%s.csv", idc)
+		if err := write(name, func(w io.Writer) error { return RackPositionsCSV(w, rp) }); err != nil {
+			return err
+		}
+	}
+
+	bf, err := core.BatchFrequency(trace, nil)
+	if err != nil {
+		return err
+	}
+	if err := write("table5_batch_frequency.csv", func(w io.Writer) error { return BatchFrequencyCSV(w, bf) }); err != nil {
+		return err
+	}
+
+	for _, cat := range []fot.Category{fot.Fixing, fot.FalseAlarm} {
+		rt, err := core.ResponseTimes(trace, cat)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig9_rt_cdf_%s.csv", cat)
+		if err := write(name, func(w io.Writer) error { return ResponseCDFCSV(w, rt) }); err != nil {
+			return err
+		}
+	}
+
+	plrt, err := core.ProductLineRT(trace, fot.HDD)
+	if err != nil {
+		return err
+	}
+	return write("fig11_line_rt.csv", func(w io.Writer) error { return ProductLineRTCSV(w, plrt) })
+}

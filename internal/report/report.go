@@ -1,0 +1,510 @@
+// Package report renders dcfail analysis results as plain-text tables and
+// series, one renderer per paper table/figure. The cmd tools, examples and
+// the bench harness all print through it so their output stays uniform.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/stats"
+)
+
+// Table I -------------------------------------------------------------
+
+// CategoryBreakdown renders paper Table I.
+func CategoryBreakdown(w io.Writer, r *core.CategoryBreakdownResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Table I — FOT categories (total %d)\n", r.Total)
+	ew.printf("  %-14s %-38s %8s %8s\n", "trace", "handling decision", "count", "share")
+	for _, row := range r.Rows {
+		ew.printf("  %-14s %-38s %8d %7.1f%%\n",
+			row.Category, row.Decision, row.Count, 100*row.Fraction)
+	}
+	return ew.err
+}
+
+// Table II ------------------------------------------------------------
+
+// ComponentBreakdown renders paper Table II.
+func ComponentBreakdown(w io.Writer, r *core.ComponentBreakdownResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Table II — failure breakdown by component (total %d)\n", r.Total)
+	ew.printf("  %-14s %8s %8s\n", "device", "count", "share")
+	for _, row := range r.Rows {
+		ew.printf("  %-14s %8d %7.2f%%\n", row.Component, row.Count, 100*row.Fraction)
+	}
+	return ew.err
+}
+
+// Fig. 2 --------------------------------------------------------------
+
+// TypeBreakdown renders one Fig. 2 subfigure.
+func TypeBreakdown(w io.Writer, r *core.TypeBreakdownResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 2 — failure types of %s (total %d)\n", r.Component, r.Total)
+	for _, row := range r.Rows {
+		ew.printf("  %-22s %8d %7.2f%%\n", row.Type, row.Count, 100*row.Fraction)
+	}
+	return ew.err
+}
+
+// Fig. 3 / Fig. 4 -----------------------------------------------------
+
+var dayNames = [7]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+
+// DayOfWeek renders a Fig. 3 series with its Hypothesis 1 verdict.
+func DayOfWeek(w io.Writer, r *core.DayOfWeekResult) error {
+	ew := &errWriter{w: w}
+	scope := "all components"
+	if r.Component != 0 {
+		scope = r.Component.String()
+	}
+	ew.printf("Fig. 3 — failures per weekday (%s)\n", scope)
+	for d, name := range dayNames {
+		ew.printf("  %s %6.2f%% %s\n", name, 100*r.Fractions[d], bar(r.Fractions[d], 0.25))
+	}
+	ew.printf("  H1 uniform-over-days: %s => %s\n", r.Test, verdict(r.Test, 0.01))
+	ew.printf("  H1 weekdays only:     %s => %s\n", r.WeekdayTest, verdict(r.WeekdayTest, 0.02))
+	return ew.err
+}
+
+// HourOfDay renders a Fig. 4 series with its Hypothesis 2 verdict.
+func HourOfDay(w io.Writer, r *core.HourOfDayResult) error {
+	ew := &errWriter{w: w}
+	scope := "all components"
+	if r.Component != 0 {
+		scope = r.Component.String()
+	}
+	ew.printf("Fig. 4 — failures per hour of day (%s)\n", scope)
+	for h := 0; h < 24; h++ {
+		ew.printf("  %02d %6.2f%% %s\n", h, 100*r.Fractions[h], bar(r.Fractions[h], 0.10))
+	}
+	ew.printf("  H2 uniform-over-hours: %s => %s\n", r.Test, verdict(r.Test, 0.01))
+	return ew.err
+}
+
+// Fig. 5 --------------------------------------------------------------
+
+// TBF renders the Fig. 5 analysis with the Hypothesis 3/4 verdicts.
+func TBF(w io.Writer, r *core.TBFResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 5 — time between failures (%s, %d gaps)\n", r.Scope, r.N)
+	ew.printf("  MTBF %.1f min, median %.1f min\n", r.MTBFMinutes, r.MedianMinutes)
+	for _, f := range r.Fits {
+		if f.Err != nil {
+			ew.printf("  %-12s fit failed: %v\n", f.Dist.Name(), f.Err)
+			continue
+		}
+		ew.printf("  %-12s %s KS=%.4f => %s\n", f.Dist.Name(), f.Test, f.KS, verdict(f.Test, 0.05))
+	}
+	if r.BestFamily != "" {
+		ew.printf("  least-bad family by AIC: %s\n", r.BestFamily)
+	}
+	if len(r.PerIDCMTBF) > 0 {
+		lo, hi := minMax(r.PerIDCMTBF)
+		ew.printf("  per-datacenter MTBF: %.0f–%.0f min across %d facilities\n",
+			lo, hi, len(r.PerIDCMTBF))
+	}
+	return ew.err
+}
+
+// Fig. 6 --------------------------------------------------------------
+
+// Lifecycle renders one Fig. 6 subfigure as a normalized monthly series.
+func Lifecycle(w io.Writer, r *core.LifecycleResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 6 — normalized monthly failure rate of %s by months in service\n", r.Component)
+	for m := 0; m < len(r.Normalized); m += 3 {
+		end := m + 3
+		if end > len(r.Normalized) {
+			end = len(r.Normalized)
+		}
+		ew.printf("  m%02d-%02d", m, end-1)
+		for i := m; i < end; i++ {
+			ew.printf(" %5.2f", r.Normalized[i])
+		}
+		ew.printf("  %s\n", bar(avg(r.Normalized[m:end]), 1))
+	}
+	return ew.err
+}
+
+// Fig. 7 --------------------------------------------------------------
+
+// ServerSkew renders Fig. 7's concentration numbers.
+func ServerSkew(w io.Writer, r *core.ServerSkewResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 7 — failure concentration across %d ever-failed servers (%d failures)\n",
+		r.FailedServers, r.TotalFailures)
+	ps := make([]float64, 0, len(r.TopShare))
+	for p := range r.TopShare {
+		ps = append(ps, p)
+	}
+	sort.Float64s(ps)
+	for _, p := range ps {
+		ew.printf("  top %4.1f%% of failed servers hold %5.1f%% of failures\n",
+			100*p, 100*r.TopShare[p])
+	}
+	ew.printf("  busiest server: %d tickets (host %d)\n", r.MaxOneServer, r.MaxServer)
+	return ew.err
+}
+
+// §III-D --------------------------------------------------------------
+
+// Repeats renders the §III-D repeat statistics.
+func Repeats(w io.Writer, r *core.RepeatResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("§III-D — repeating failures\n")
+	ew.printf("  fixed (host,component,slot,type) groups: %d\n", r.FixedGroups)
+	ew.printf("  groups that repeated after a fix:        %d (never-repeat %.1f%%)\n",
+		r.RepeatedGroups, 100*r.NeverRepeatFraction)
+	ew.printf("  servers with repeats: %d of %d ever-failed (%.2f%%)\n",
+		r.ServersWithRepeats, r.FailedServers, 100*r.RepeatServerFraction)
+	return ew.err
+}
+
+// Table IV / Fig. 8 ---------------------------------------------------
+
+// RackAnalysis renders Table IV plus one Fig. 8-style line per facility.
+func RackAnalysis(w io.Writer, r *core.RackAnalysisResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Table IV — Hypothesis 5 (failure rate independent of rack position)\n")
+	ew.printf("  p < 0.01        : %d of %d\n", r.PLow, len(r.PerDC))
+	ew.printf("  0.01 <= p < 0.05: %d of %d\n", r.PMid, len(r.PerDC))
+	ew.printf("  p >= 0.05       : %d of %d\n", r.PHigh, len(r.PerDC))
+	ew.printf("  post-2014 facilities not rejected at 0.02: %.0f%%\n", 100*r.ModernNonRejectFraction)
+	for i := range r.PerDC {
+		dc := &r.PerDC[i]
+		ew.printf("  %s (built %d): %s anomalies=%v\n", dc.IDC, dc.BuiltYear, dc.Test, dc.Anomalies)
+	}
+	return ew.err
+}
+
+// RackPositions renders one Fig. 8 subplot.
+func RackPositions(w io.Writer, r *core.RackPositionResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 8 — failure ratio by rack position in %s (built %d)\n", r.IDC, r.BuiltYear)
+	for p := 1; p <= r.Positions; p++ {
+		if r.Occupancy[p] == 0 {
+			continue
+		}
+		mark := ""
+		for _, a := range r.Anomalies {
+			if a == p {
+				mark = "  <= μ±2σ outlier"
+			}
+		}
+		ew.printf("  pos %2d: %5.3f %s%s\n", p, r.Ratio[p], bar(r.Ratio[p], 1), mark)
+	}
+	ew.printf("  H5: %s => %s\n", r.Test, verdict(r.Test, 0.05))
+	return ew.err
+}
+
+// Table V -------------------------------------------------------------
+
+// BatchFrequency renders Table V.
+func BatchFrequency(w io.Writer, r *core.BatchFrequencyResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Table V — batch failure frequency over %d days\n", r.Days)
+	ew.printf("  %-14s", "device")
+	for _, th := range r.Thresholds {
+		ew.printf(" %8s", fmt.Sprintf("r%d", th))
+	}
+	ew.printf(" %8s\n", "max/day")
+	for _, row := range r.Rows {
+		ew.printf("  %-14s", row.Component)
+		for _, th := range r.Thresholds {
+			ew.printf(" %7.2f%%", 100*row.R[th])
+		}
+		ew.printf(" %8d\n", row.MaxDaily)
+	}
+	return ew.err
+}
+
+// §V-A ----------------------------------------------------------------
+
+// BatchEpisodes renders the top mined batch cases.
+func BatchEpisodes(w io.Writer, eps []core.BatchEpisode, n int) error {
+	ew := &errWriter{w: w}
+	if n > len(eps) {
+		n = len(eps)
+	}
+	ew.printf("§V-A — largest %d batch episodes (of %d mined)\n", n, len(eps))
+	for _, ep := range eps[:n] {
+		ew.printf("  %s %s: %d tickets on %d servers in %s (idcs=%v models=%v line=%s %.0f%% of line)\n",
+			ep.Component, ep.Type, ep.Tickets, ep.Servers,
+			ep.End.Sub(ep.Start).Round(1e9), ep.IDCs, ep.Models,
+			ep.TopProductLine, 100*ep.LineFraction)
+	}
+	return ew.err
+}
+
+// Table VI/VII --------------------------------------------------------
+
+// CorrelatedPairs renders Table VI and the Table VII examples.
+func CorrelatedPairs(w io.Writer, r *core.CorrelatedPairsResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Table VI — correlated component failures (window %v)\n", r.Window)
+	ew.printf("  %d pairs on %d of %d ever-failed servers (%.2f%%); %.1f%% involve misc\n",
+		r.TotalPairs, r.ServersWithPairs, r.FailedServers,
+		100*r.ServerFraction, 100*r.MiscFraction)
+	for _, pc := range r.Pairs {
+		ew.printf("  %-14s × %-14s %6d\n", pc.A, pc.B, pc.Count)
+	}
+	if len(r.PowerFanExamples) > 0 {
+		ew.printf("Table VII — power→fan examples\n")
+		for _, ex := range r.PowerFanExamples {
+			ew.printf("  host %d: %s %s %s  ->  %s %s %s\n", ex.HostID,
+				ex.First.Type, ex.First.Slot, ex.First.Time.Format("2006-01-02 15:04:05"),
+				ex.Second.Type, ex.Second.Slot, ex.Second.Time.Format("2006-01-02 15:04:05"))
+		}
+	}
+	return ew.err
+}
+
+// Table VIII ----------------------------------------------------------
+
+// SyncRepeatGroups renders the mined Table VIII twins.
+func SyncRepeatGroups(w io.Writer, groups []core.SyncRepeatGroup, n int) error {
+	ew := &errWriter{w: w}
+	if n > len(groups) {
+		n = len(groups)
+	}
+	ew.printf("Table VIII — synchronously repeating failures (%d groups, top %d)\n", len(groups), n)
+	for _, g := range groups[:n] {
+		ew.printf("  hosts %d & %d: %s %s × %d instants, first %s\n",
+			g.HostA, g.HostB, g.Component, g.Type, g.Occurrences,
+			g.Times[0].Format("2006-01-02 15:04:05"))
+	}
+	return ew.err
+}
+
+// Fig. 9/10/11 --------------------------------------------------------
+
+// ResponseTimes renders a Fig. 9 row.
+func ResponseTimes(w io.Writer, label string, r *core.ResponseTimesResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 9 — operator response times (%s, n=%d)\n", label, r.N)
+	ew.printf("  mean %.1f d, median %.1f d, p90 %.1f d, p99 %.1f d\n",
+		r.MeanDays, r.MedianDays, r.P90Days, r.P99Days)
+	ew.printf("  beyond 140 d: %.1f%%; beyond 200 d: %.1f%%\n",
+		100*r.FracOver140, 100*r.FracOver200)
+	return ew.err
+}
+
+// ResponseTimesByClass renders Fig. 10 as a sorted table.
+func ResponseTimesByClass(w io.Writer, byClass map[fot.Component]*core.ResponseTimesResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Fig. 10 — response time by component class\n")
+	comps := make([]fot.Component, 0, len(byClass))
+	for c := range byClass {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		return byClass[comps[i]].MedianDays < byClass[comps[j]].MedianDays
+	})
+	ew.printf("  %-14s %8s %10s %10s\n", "device", "n", "median(d)", "mean(d)")
+	for _, c := range comps {
+		r := byClass[c]
+		ew.printf("  %-14s %8d %10.2f %10.1f\n", c, r.N, r.MedianDays, r.MeanDays)
+	}
+	return ew.err
+}
+
+// ProductLineRT renders Fig. 11 and the §VI-C summary.
+func ProductLineRT(w io.Writer, r *core.ProductLineRTResult, maxPoints int) error {
+	ew := &errWriter{w: w}
+	scope := "all components"
+	if r.Component != 0 {
+		scope = r.Component.String()
+	}
+	ew.printf("Fig. 11 — median RT vs #failures per product line (%s)\n", scope)
+	if maxPoints > len(r.Points) || maxPoints <= 0 {
+		maxPoints = len(r.Points)
+	}
+	for _, pt := range r.Points[:maxPoints] {
+		ew.printf("  %-10s %6d failures, median RT %7.1f d\n", pt.Line, pt.Failures, pt.MedianRTDays)
+	}
+	ew.printf("  busiest 1%% of lines: pooled median RT %.1f d\n", r.Top1PctMedianDays)
+	ew.printf("  lines with <100 failures and median RT >100 d: %.0f%%\n",
+		100*r.SmallLineOver100dFraction)
+	ew.printf("  std dev of per-line median RT: %.1f d\n", r.MedianStdDevDays)
+	ew.printf("  Spearman(volume, median RT) = %+.2f — median RT does not grow with volume\n",
+		r.VolumeRTCorrelation)
+	return ew.err
+}
+
+// helpers -------------------------------------------------------------
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...interface{}) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func verdict(t stats.ChiSquareResult, alpha float64) string {
+	if t.Reject(alpha) {
+		return fmt.Sprintf("REJECTED at %.2g", alpha)
+	}
+	return fmt.Sprintf("not rejected at %.2g", alpha)
+}
+
+// bar renders a value as a proportional ASCII bar (scale = value per 20
+// characters).
+func bar(v, scale float64) string {
+	n := int(v / scale * 20)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}
+
+func minMax(m map[string]float64) (lo, hi float64) {
+	first := true
+	for _, v := range m {
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// §VII-B mining extension ----------------------------------------------
+
+// MiningRules renders the mined temporal association rules.
+func MiningRules(w io.Writer, rules []mine.Rule, n int) error {
+	ew := &errWriter{w: w}
+	if n > len(rules) || n <= 0 {
+		n = len(rules)
+	}
+	ew.printf("§VII-B — temporal association rules (%d mined, top %d)\n", len(rules), n)
+	ew.printf("  %-28s %-28s %8s %10s %8s\n", "A", "B", "servers", "expected", "lift")
+	for _, r := range rules[:n] {
+		ew.printf("  %-28s %-28s %8d %10.2f %8.1f\n",
+			r.A.String(), r.B.String(), r.Support, r.Expected, r.Lift)
+	}
+	return ew.err
+}
+
+// PredictorEval renders the warning-based failure predictor scorecard.
+func PredictorEval(w io.Writer, e *mine.PredictorEval) error {
+	ew := &errWriter{w: w}
+	ew.printf("§VII-A — warning-based failure predictor (horizon %v)\n", e.Horizon)
+	ew.printf("  warnings %d, fatal failures %d\n", e.Warnings, e.Fatals)
+	ew.printf("  recall    %.1f%% of fatal failures had a prior warning on the same part\n", 100*e.Recall)
+	ew.printf("  precision %.1f%% of warnings were followed by a fatal failure\n", 100*e.Precision)
+	ew.printf("  median lead time %.1f hours\n", e.MedianLeadHours)
+	return ew.err
+}
+
+// TicketContext renders one ticket's related-information report.
+func TicketContext(w io.Writer, c *mine.Context) error {
+	ew := &errWriter{w: w}
+	t := c.Ticket
+	ew.printf("ticket %d: %s/%s %s on host %d (%s, line %s) at %s\n",
+		t.ID, t.Device, t.Slot, t.Type, t.HostID, t.IDC, t.ProductLine,
+		t.Time.Format("2006-01-02 15:04:05"))
+	ew.printf("  slot repeats: %d", c.SlotRepeats)
+	if c.IsChronicSuspect() {
+		ew.printf("  << CHRONIC SUSPECT — check for an upstream cause (e.g. BBU)")
+	}
+	ew.printf("\n")
+	if c.LastSameFailure != nil {
+		ew.printf("  last same failure: ticket %d at %s\n",
+			c.LastSameFailure.ID, c.LastSameFailure.Time.Format("2006-01-02 15:04:05"))
+	}
+	ew.printf("  batch peers within ±%v: %d", c.BatchWindow, c.BatchPeers)
+	if c.IsBatchSuspect() {
+		ew.printf("  << BATCH SUSPECT — handle as a cohort")
+	}
+	ew.printf("\n")
+	if len(c.TwinHosts) > 0 {
+		ew.printf("  synchronized twins: hosts %v\n", c.TwinHosts)
+	}
+	ew.printf("  server history: %d earlier tickets\n", len(c.ServerHistory))
+	return ew.err
+}
+
+// Hypotheses renders the five-hypothesis summary.
+func Hypotheses(w io.Writer, r *core.HypothesesResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Hypotheses — the paper's five null hypotheses on this trace\n")
+	for _, v := range r.Verdicts {
+		status := "not rejected"
+		if v.Rejected {
+			status = "REJECTED"
+		}
+		ew.printf("  H%d (%s): %s at %.2g\n", v.ID, v.Scope, status, v.Alpha)
+		ew.printf("      null: %s\n", v.Statement)
+		if v.Test.DF > 0 {
+			ew.printf("      test: %s\n", v.Test)
+		}
+		if v.Detail != "" {
+			ew.printf("      %s\n", v.Detail)
+		}
+	}
+	return ew.err
+}
+
+// Trend renders the year-over-year evolution.
+func Trend(w io.Writer, r *core.TrendResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("Trend — year-over-year evolution of the trace\n")
+	ew.printf("  %-6s %9s %9s %12s %10s %10s %12s\n",
+		"year", "tickets", "failures", "MTBF(min)", "servers", "D_error", "medRT(d)")
+	for _, ys := range r.Years {
+		ew.printf("  %-6d %9d %9d %12.1f %10d %9.1f%% %12.1f\n",
+			ys.Year, ys.Tickets, ys.Failures, ys.MTBFMinutes,
+			ys.FailedServers, 100*ys.ErrorShare, ys.MedianRTDays)
+	}
+	if r.FleetGrowth() {
+		ew.printf("  failure volume grows with the incrementally deployed fleet\n")
+	}
+	return ew.err
+}
+
+// ChronicServers renders the repeat-heavy server ranking.
+func ChronicServers(w io.Writer, servers []mine.ChronicServer) error {
+	ew := &errWriter{w: w}
+	ew.printf("§III-D — chronic servers (worst same-instance flappers)\n")
+	ew.printf("  %-10s %9s %9s %-24s %10s\n", "host", "tickets", "repeats", "worst instance", "span(d)")
+	for _, s := range servers {
+		ew.printf("  %-10d %9d %9d %-24s %10.0f\n",
+			s.HostID, s.Tickets, s.WorstSlotRepeats, s.WorstSlot,
+			s.Span.Hours()/24)
+	}
+	return ew.err
+}

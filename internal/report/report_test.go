@@ -1,0 +1,370 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+var (
+	once sync.Once
+	res  *fms.Result
+	cen  *core.Census
+	gerr error
+)
+
+func fixture(t *testing.T) (*fms.Result, *core.Census) {
+	t.Helper()
+	once.Do(func() {
+		res, gerr = fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 777)
+		if gerr == nil {
+			cen = core.CensusFromFleet(res.Fleet)
+		}
+	})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	return res, cen
+}
+
+// render runs fn against a buffer and returns the output, failing on error.
+func render(t *testing.T, fn func(buf *bytes.Buffer) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+	return out
+}
+
+func TestRenderAllTables(t *testing.T) {
+	r, census := fixture(t)
+	tr := r.Trace
+
+	cb, err := core.CategoryBreakdown(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, func(b *bytes.Buffer) error { return CategoryBreakdown(b, cb) })
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "D_fixing") {
+		t.Errorf("Table I output malformed:\n%s", out)
+	}
+
+	comp, err := core.ComponentBreakdown(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return ComponentBreakdown(b, comp) })
+	if !strings.Contains(out, "hdd") {
+		t.Errorf("Table II missing hdd:\n%s", out)
+	}
+
+	tb, err := core.TypeBreakdown(tr, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return TypeBreakdown(b, tb) })
+	if !strings.Contains(out, "SMARTFail") {
+		t.Errorf("Fig 2 missing SMARTFail:\n%s", out)
+	}
+
+	dow, err := core.DayOfWeek(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return DayOfWeek(b, dow) })
+	if !strings.Contains(out, "Mon") || !strings.Contains(out, "REJECTED") {
+		t.Errorf("Fig 3 output malformed:\n%s", out)
+	}
+
+	hod, err := core.HourOfDay(tr, fot.Misc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return HourOfDay(b, hod) })
+	if !strings.Contains(out, "H2") {
+		t.Errorf("Fig 4 output malformed:\n%s", out)
+	}
+
+	tbf, err := core.TBFAnalysis(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return TBF(b, tbf) })
+	if !strings.Contains(out, "MTBF") || !strings.Contains(out, "weibull") {
+		t.Errorf("Fig 5 output malformed:\n%s", out)
+	}
+
+	lc, err := core.LifecycleRates(tr, census, fot.HDD, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return Lifecycle(b, lc) })
+	if !strings.Contains(out, "m00-02") {
+		t.Errorf("Fig 6 output malformed:\n%s", out)
+	}
+
+	sk, err := core.ServerSkew(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return ServerSkew(b, sk) })
+	if !strings.Contains(out, "top") {
+		t.Errorf("Fig 7 output malformed:\n%s", out)
+	}
+
+	rep, err := core.RepeatAnalysis(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return Repeats(b, rep) })
+	if !strings.Contains(out, "never-repeat") {
+		t.Errorf("repeat output malformed:\n%s", out)
+	}
+
+	ra, err := core.RackAnalysis(tr, census)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return RackAnalysis(b, ra) })
+	if !strings.Contains(out, "Table IV") {
+		t.Errorf("Table IV output malformed:\n%s", out)
+	}
+
+	rp, err := core.RackPositions(tr, census, "dc02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return RackPositions(b, rp) })
+	if !strings.Contains(out, "pos ") {
+		t.Errorf("Fig 8 output malformed:\n%s", out)
+	}
+
+	bf, err := core.BatchFrequency(tr, []int{10, 20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return BatchFrequency(b, bf) })
+	if !strings.Contains(out, "r10") {
+		t.Errorf("Table V output malformed:\n%s", out)
+	}
+
+	eps, err := core.BatchWindows(tr, census, 30*time.Minute, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return BatchEpisodes(b, eps, 5) })
+	if !strings.Contains(out, "episodes") {
+		t.Errorf("episodes output malformed:\n%s", out)
+	}
+
+	cp, err := core.CorrelatedPairs(tr, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return CorrelatedPairs(b, cp) })
+	if !strings.Contains(out, "Table VI") || !strings.Contains(out, "Table VII") {
+		t.Errorf("Table VI/VII output malformed:\n%s", out)
+	}
+
+	groups, err := core.SyncRepeatGroups(tr, 2*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return SyncRepeatGroups(b, groups, 5) })
+	if !strings.Contains(out, "Table VIII") {
+		t.Errorf("Table VIII output malformed:\n%s", out)
+	}
+
+	rt, err := core.ResponseTimes(tr, fot.Fixing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return ResponseTimes(b, "D_fixing", rt) })
+	if !strings.Contains(out, "median") {
+		t.Errorf("Fig 9 output malformed:\n%s", out)
+	}
+
+	byClass, err := core.ResponseTimesByClass(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return ResponseTimesByClass(b, byClass) })
+	if !strings.Contains(out, "Fig. 10") {
+		t.Errorf("Fig 10 output malformed:\n%s", out)
+	}
+
+	plrt, err := core.ProductLineRT(tr, fot.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return ProductLineRT(b, plrt, 10) })
+	if !strings.Contains(out, "busiest 1%") {
+		t.Errorf("Fig 11 output malformed:\n%s", out)
+	}
+}
+
+// failingWriter errors after n bytes to exercise error propagation.
+type failingWriter struct{ left int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errFailing
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errFailing
+	}
+	return n, nil
+}
+
+var errFailing = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "writer full" }
+
+func TestWriterErrorsPropagate(t *testing.T) {
+	r, _ := fixture(t)
+	cb, err := core.CategoryBreakdown(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CategoryBreakdown(&failingWriter{left: 10}, cb); err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(-1, 1) != "" {
+		t.Error("negative bar should be empty")
+	}
+	if got := bar(1, 1); len(got) != 20 {
+		t.Errorf("unit bar len = %d, want 20", len(got))
+	}
+	if got := bar(100, 1); len(got) != 60 {
+		t.Errorf("clamped bar len = %d, want 60", len(got))
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	r, census := fixture(t)
+
+	h, err := core.Hypotheses(r.Trace, census)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, func(b *bytes.Buffer) error { return Hypotheses(b, h) })
+	if !strings.Contains(out, "H1") || !strings.Contains(out, "H5") {
+		t.Errorf("hypotheses output malformed:\n%s", out)
+	}
+
+	trend, err := core.Trend(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return Trend(b, trend) })
+	if !strings.Contains(out, "2013") || !strings.Contains(out, "MTBF") {
+		t.Errorf("trend output malformed:\n%s", out)
+	}
+
+	rules, err := mine.MineRules(r.Trace, 24*time.Hour, 3, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return MiningRules(b, rules, 5) })
+	if !strings.Contains(out, "lift") {
+		t.Errorf("rules output malformed:\n%s", out)
+	}
+
+	eval, err := mine.EvaluateWarningPredictor(r.Trace, 10*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return PredictorEval(b, eval) })
+	if !strings.Contains(out, "recall") {
+		t.Errorf("predictor output malformed:\n%s", out)
+	}
+
+	ix, err := mine.NewIndex(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ix.Contextualize(r.Trace.Tickets[len(r.Trace.Tickets)/2].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(b *bytes.Buffer) error { return TicketContext(b, ctx) })
+	if !strings.Contains(out, "slot repeats") {
+		t.Errorf("context output malformed:\n%s", out)
+	}
+}
+
+func TestFigureCSVs(t *testing.T) {
+	r, census := fixture(t)
+	files := map[string]string{}
+	err := FigureCSVs(r.Trace, census, func(name string, render func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return err
+		}
+		files[name] = buf.String()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table2_components.csv", "fig2_types_hdd.csv", "fig3_weekday.csv",
+		"fig4_hourly.csv", "fig5_tbf_cdf.csv", "fig6_lifecycle_hdd.csv",
+		"fig7_skew_cdf.csv", "fig8_rack_dc01.csv", "table5_batch_frequency.csv",
+		"fig9_rt_cdf_D_fixing.csv", "fig11_line_rt.csv",
+	}
+	for _, name := range want {
+		body, ok := files[name]
+		if !ok {
+			t.Errorf("missing %s (have %d files)", name, len(files))
+			continue
+		}
+		lines := strings.Split(strings.TrimSpace(body), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has no data rows", name)
+			continue
+		}
+		// All rows must have the header's column count.
+		cols := strings.Count(lines[0], ",")
+		for i, ln := range lines {
+			if strings.Count(ln, ",") != cols {
+				t.Errorf("%s: row %d has wrong arity", name, i)
+				break
+			}
+		}
+	}
+	// Fig. 5 export overlays the fitted CDFs.
+	if !strings.Contains(files["fig5_tbf_cdf.csv"], "weibull_cdf") {
+		t.Error("fig5 export missing fitted families")
+	}
+	// Re-parse one export with the CSV reader to prove well-formedness.
+	rd := csv.NewReader(strings.NewReader(files["table2_components.csv"]))
+	if _, err := rd.ReadAll(); err != nil {
+		t.Errorf("table2 csv unparsable: %v", err)
+	}
+}

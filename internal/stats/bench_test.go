@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	d := Weibull{K: 0.9, Lambda: 3}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+	}
+	return xs
+}
+
+func BenchmarkFitExponential(b *testing.B) {
+	xs := benchSample(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitExponential(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitWeibull(b *testing.B) {
+	xs := benchSample(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitWeibull(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitGamma(b *testing.B) {
+	xs := benchSample(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGamma(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLogNormal(b *testing.B) {
+	xs := benchSample(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLogNormal(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGoodnessOfFit(b *testing.B) {
+	xs := benchSample(100000)
+	d, err := FitWeibull(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GoodnessOfFit(xs, d, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChiSquareUniform(b *testing.B) {
+	counts := make([]int, 24)
+	for i := range counts {
+		counts[i] = 1000 + i*7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChiSquareUniform(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGammaRegP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GammaRegP(11.5, float64(i%50))
+	}
+}
+
+func BenchmarkECDFKSDistance(b *testing.B) {
+	xs := benchSample(100000)
+	e := NewECDF(xs)
+	d := Exponential{Lambda: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.KSDistance(d)
+	}
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareResult is the outcome of a Pearson chi-squared test.
+type ChiSquareResult struct {
+	Stat float64 // the X² statistic
+	DF   int     // degrees of freedom
+	P    float64 // p-value: P(X²_DF >= Stat)
+}
+
+// Reject reports whether the null hypothesis is rejected at the given
+// significance level alpha (e.g. 0.05, or the paper's 0.01 / 0.02).
+func (r ChiSquareResult) Reject(alpha float64) bool {
+	return r.P < alpha
+}
+
+func (r ChiSquareResult) String() string {
+	return fmt.Sprintf("X²=%.3f df=%d p=%.4g", r.Stat, r.DF, r.P)
+}
+
+// ChiSquarePValue returns P(X²_df >= stat) via the regularized upper
+// incomplete gamma function.
+func ChiSquarePValue(stat float64, df int) float64 {
+	if df <= 0 || stat < 0 || math.IsNaN(stat) {
+		return math.NaN()
+	}
+	return GammaRegQ(float64(df)/2, stat/2)
+}
+
+// ChiSquareTest runs a Pearson chi-squared test of observed counts against
+// expected counts. extraConstraints is the number of parameters estimated
+// from the data (reducing degrees of freedom below bins−1). Cells with
+// expected count below minExpected (conventionally 5) are pooled with their
+// right neighbour before testing.
+func ChiSquareTest(observed []int, expected []float64, extraConstraints int) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf(
+			"stats: ChiSquareTest: observed (%d) and expected (%d) lengths differ",
+			len(observed), len(expected))
+	}
+	obs, exp := poolSparseCells(observed, expected, 5)
+	if len(obs) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareTest: only %d usable cells after pooling", len(obs))
+	}
+	stat := 0.0
+	for i := range obs {
+		if exp[i] <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareTest: expected[%d] = %g <= 0", i, exp[i])
+		}
+		d := float64(obs[i]) - exp[i]
+		stat += d * d / exp[i]
+	}
+	df := len(obs) - 1 - extraConstraints
+	if df < 1 {
+		df = 1
+	}
+	return ChiSquareResult{Stat: stat, DF: df, P: ChiSquarePValue(stat, df)}, nil
+}
+
+// poolSparseCells merges adjacent cells until every expected count reaches
+// minExp, preserving totals. This is the standard remedy for the chi-squared
+// approximation breaking down in sparse cells.
+func poolSparseCells(observed []int, expected []float64, minExp float64) ([]int, []float64) {
+	obs := make([]int, 0, len(observed))
+	exp := make([]float64, 0, len(expected))
+	accO, accE := 0, 0.0
+	for i := range observed {
+		accO += observed[i]
+		accE += expected[i]
+		if accE >= minExp {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+			accO, accE = 0, 0.0
+		}
+	}
+	if accE > 0 || accO > 0 {
+		if len(exp) > 0 {
+			obs[len(obs)-1] += accO
+			exp[len(exp)-1] += accE
+		} else {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+		}
+	}
+	return obs, exp
+}
+
+// ChiSquareUniform tests the null hypothesis that counts are draws from a
+// discrete uniform distribution over their cells — the test behind the
+// paper's Hypotheses 1, 2 and 5.
+func ChiSquareUniform(counts []int) (ChiSquareResult, error) {
+	return ChiSquareUniformWeighted(counts, nil)
+}
+
+// ChiSquareUniformWeighted tests counts against expectations proportional
+// to weights (e.g. servers per rack position, so positions with more
+// servers are expected to see proportionally more failures). A nil or
+// empty weights slice means equal weights.
+func ChiSquareUniformWeighted(counts []int, weights []float64) (ChiSquareResult, error) {
+	if len(counts) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniform: need >= 2 cells, got %d", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniform: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniform: all counts are zero")
+	}
+	expected := make([]float64, len(counts))
+	if len(weights) == 0 {
+		for i := range expected {
+			expected[i] = float64(total) / float64(len(counts))
+		}
+	} else {
+		if len(weights) != len(counts) {
+			return ChiSquareResult{}, fmt.Errorf(
+				"stats: ChiSquareUniform: weights (%d) and counts (%d) lengths differ",
+				len(weights), len(counts))
+		}
+		wsum := Sum(weights)
+		if wsum <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniform: non-positive weight sum")
+		}
+		for i, w := range weights {
+			if w < 0 {
+				return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniform: negative weight %g", w)
+			}
+			expected[i] = float64(total) * w / wsum
+		}
+	}
+	return ChiSquareTest(counts, expected, 0)
+}
+
+// GoodnessOfFit tests the null hypothesis that sample xs was drawn from
+// dist, using nBins equiprobable bins (per the fitted distribution's
+// quantiles) and charging dist.NumParams() degrees of freedom for the
+// fitted parameters — the paper's Hypothesis 3/4 machinery.
+func GoodnessOfFit(xs []float64, dist Dist, nBins int) (ChiSquareResult, error) {
+	if len(xs) < 2*nBins {
+		return ChiSquareResult{}, fmt.Errorf(
+			"stats: GoodnessOfFit: sample of %d too small for %d bins", len(xs), nBins)
+	}
+	if nBins < 3 {
+		return ChiSquareResult{}, fmt.Errorf("stats: GoodnessOfFit: need >= 3 bins, got %d", nBins)
+	}
+	// Equiprobable bin edges under the hypothesized distribution.
+	edges := make([]float64, nBins+1)
+	edges[0] = math.Inf(-1)
+	edges[nBins] = math.Inf(1)
+	for i := 1; i < nBins; i++ {
+		edges[i] = dist.Quantile(float64(i) / float64(nBins))
+	}
+	// Guard against degenerate quantiles (e.g. heavy ties at zero).
+	for i := 1; i < nBins; i++ {
+		if !(edges[i] > edges[i-1]) {
+			return ChiSquareResult{}, fmt.Errorf("stats: GoodnessOfFit: degenerate quantile edges from %s", dist.Name())
+		}
+	}
+	observed := make([]int, nBins)
+	for _, x := range xs {
+		idx := searchEdges(edges, x)
+		observed[idx]++
+	}
+	expected := make([]float64, nBins)
+	per := float64(len(xs)) / float64(nBins)
+	for i := range expected {
+		expected[i] = per
+	}
+	return ChiSquareTest(observed, expected, dist.NumParams())
+}
+
+// searchEdges returns the bin index for x given edges of length nBins+1
+// where edges[0] = -Inf and edges[nBins] = +Inf.
+func searchEdges(edges []float64, x float64) int {
+	lo, hi := 0, len(edges)-1 // invariant: edges[lo] <= x < edges[hi]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if x >= edges[mid] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FitReport is the outcome of fitting one distribution family to a sample
+// and testing the fit.
+type FitReport struct {
+	Dist Dist
+	Test ChiSquareResult
+	KS   float64
+	Err  error // non-nil if fitting or testing failed
+}
+
+// FitAll fits exponential, Weibull, gamma and lognormal distributions to
+// xs by MLE and chi-square-tests each — the paper's §II-B procedure.
+// Fit failures are reported per-family in FitReport.Err rather than
+// aborting the whole comparison.
+func FitAll(xs []float64, nBins int) []FitReport {
+	ecdf := NewECDF(xs)
+	reports := make([]FitReport, 0, 4)
+	add := func(d Dist, err error) {
+		r := FitReport{Dist: d, Err: err}
+		if err == nil {
+			r.Test, r.Err = GoodnessOfFit(xs, d, nBins)
+			r.KS = ecdf.KSDistance(d)
+		}
+		reports = append(reports, r)
+	}
+	e, err := FitExponential(xs)
+	add(e, err)
+	w, err := FitWeibull(xs)
+	add(w, err)
+	g, err := FitGamma(xs)
+	add(g, err)
+	l, err := FitLogNormal(xs)
+	add(l, err)
+	return reports
+}

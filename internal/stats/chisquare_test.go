@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquarePValueKnown(t *testing.T) {
+	// Classic critical values: P(X²_1 >= 3.841) ≈ 0.05, P(X²_10 >= 18.307) ≈ 0.05.
+	cases := []struct {
+		stat float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{18.307, 10, 0.05},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		got := ChiSquarePValue(c.stat, c.df)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("p(%g, %d) = %g, want %g", c.stat, c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(ChiSquarePValue(1, 0)) {
+		t.Error("df=0 should give NaN")
+	}
+	if !math.IsNaN(ChiSquarePValue(-1, 3)) {
+		t.Error("negative stat should give NaN")
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 24)
+	for i := 0; i < 24000; i++ {
+		counts[rng.Intn(24)]++
+	}
+	res, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.001) {
+		t.Errorf("uniform counts rejected: %v", res)
+	}
+	if res.DF != 23 {
+		t.Errorf("df = %d, want 23", res.DF)
+	}
+}
+
+func TestChiSquareUniformRejectsSkewed(t *testing.T) {
+	// Strong diurnal pattern: hours 9-18 get 3x the load.
+	counts := make([]int, 24)
+	for h := range counts {
+		counts[h] = 100
+		if h >= 9 && h <= 18 {
+			counts[h] = 300
+		}
+	}
+	res, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("skewed counts not rejected: %v", res)
+	}
+}
+
+func TestChiSquareUniformWeighted(t *testing.T) {
+	// Counts exactly proportional to weights: perfect fit, p = 1.
+	counts := []int{10, 20, 30, 40}
+	weights := []float64{1, 2, 3, 4}
+	res, err := ChiSquareUniformWeighted(counts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stat != 0 || !almostEqual(res.P, 1, 1e-12) {
+		t.Errorf("perfect weighted fit: %v", res)
+	}
+	// Same counts against equal weights must be rejected.
+	res2, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Reject(0.05) {
+		t.Errorf("unequal counts vs equal weights not rejected: %v", res2)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single cell should fail")
+	}
+	if _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("all-zero should fail")
+	}
+	if _, err := ChiSquareUniform([]int{1, -1}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := ChiSquareUniformWeighted([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := ChiSquareUniformWeighted([]int{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero weights should fail")
+	}
+	if _, err := ChiSquareUniformWeighted([]int{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := ChiSquareTest([]int{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("observed/expected mismatch should fail")
+	}
+}
+
+func TestPoolSparseCells(t *testing.T) {
+	obs := []int{1, 1, 1, 50, 2}
+	exp := []float64{1, 1, 1, 50, 2}
+	po, pe := poolSparseCells(obs, exp, 5)
+	if len(po) != len(pe) {
+		t.Fatal("pooled lengths differ")
+	}
+	sumO, sumE := 0, 0.0
+	for i := range po {
+		if pe[i] < 5 && i < len(pe)-1 {
+			t.Errorf("cell %d still sparse: %g", i, pe[i])
+		}
+		sumO += po[i]
+		sumE += pe[i]
+	}
+	if sumO != 55 || !almostEqual(sumE, 55, 1e-12) {
+		t.Errorf("pooling lost mass: %d, %g", sumO, sumE)
+	}
+}
+
+func TestPoolPreservesTotalsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		obs := make([]int, len(raw))
+		exp := make([]float64, len(raw))
+		sumO := 0
+		for i, r := range raw {
+			obs[i] = int(r)
+			exp[i] = float64(r) + 0.5
+			sumO += int(r)
+		}
+		po, pe := poolSparseCells(obs, exp, 5)
+		gotO := 0
+		gotE := 0.0
+		for i := range po {
+			gotO += po[i]
+			gotE += pe[i]
+		}
+		wantE := 0.0
+		for _, e := range exp {
+			wantE += e
+		}
+		return gotO == sumO && almostEqual(gotE, wantE, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoodnessOfFitAcceptsTruth(t *testing.T) {
+	for _, truth := range []Dist{
+		Exponential{Lambda: 0.4},
+		Weibull{K: 1.7, Lambda: 2},
+		LogNormal{Mu: 0, Sigma: 1},
+	} {
+		xs := sample(truth, 20000, 21)
+		res, err := GoodnessOfFit(xs, truth, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", truth.Name(), err)
+		}
+		if res.Reject(0.001) {
+			t.Errorf("%s: true distribution rejected: %v", truth.Name(), res)
+		}
+	}
+}
+
+func TestGoodnessOfFitRejectsWrongFamily(t *testing.T) {
+	// Heavy-tailed lognormal data vs a fitted exponential: must reject.
+	truth := LogNormal{Mu: 0, Sigma: 1.8}
+	xs := sample(truth, 20000, 22)
+	expFit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GoodnessOfFit(xs, expFit, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("exponential not rejected on lognormal data: %v", res)
+	}
+}
+
+func TestGoodnessOfFitErrors(t *testing.T) {
+	xs := sample(Exponential{Lambda: 1}, 30, 23)
+	if _, err := GoodnessOfFit(xs, Exponential{Lambda: 1}, 20); err == nil {
+		t.Error("too-small sample should fail")
+	}
+	if _, err := GoodnessOfFit(xs, Exponential{Lambda: 1}, 2); err == nil {
+		t.Error("too-few bins should fail")
+	}
+}
+
+func TestSearchEdges(t *testing.T) {
+	edges := []float64{math.Inf(-1), 1, 2, 3, math.Inf(1)}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0.99, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.99, 2}, {3, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := searchEdges(edges, c.x); got != c.want {
+			t.Errorf("searchEdges(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PearsonR returns the Pearson product-moment correlation of two equal
+// length samples, in [-1, 1].
+func PearsonR(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: PearsonR: lengths differ (%d vs %d)", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("stats: PearsonR: need >= 3 pairs, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: PearsonR: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanRho returns the Spearman rank correlation of two equal-length
+// samples — the Fig. 11 quantity: does a product line's failure volume
+// predict its response time? Ties receive average ranks.
+func SpearmanRho(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: SpearmanRho: lengths differ (%d vs %d)", len(xs), len(ys))
+	}
+	return PearsonR(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

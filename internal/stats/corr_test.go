@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonRPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := PearsonR(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("r = %g, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = PearsonR(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonRIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	r, err := PearsonR(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.05 {
+		t.Errorf("independent samples r = %g", r)
+	}
+}
+
+func TestPearsonRErrors(t *testing.T) {
+	if _, err := PearsonR([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PearsonR([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too-small sample accepted")
+	}
+	if _, err := PearsonR([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform gives rho = 1, even when Pearson would not.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x) // wildly nonlinear but monotone
+	}
+	rho, err := SpearmanRho(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, 1, 1e-12) {
+		t.Errorf("rho = %g, want 1", rho)
+	}
+}
+
+func TestSpearmanAntiCorrelated(t *testing.T) {
+	xs := []float64{5, 3, 9, 1, 7}
+	ys := []float64{-5, -3, -9, -1, -7}
+	rho, err := SpearmanRho(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, -1, 1e-12) {
+		t.Errorf("rho = %g, want -1", rho)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance singleton should be NaN")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+	if got := Median([]float64{42}); got != 42 {
+		t.Errorf("Median singleton = %g", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	_ = Quantile(xs, 0.9)
+	want := []float64{5, 1, 4, 2, 3}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("Quantile mutated input at %d", i)
+		}
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("Q(0) = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 30 {
+		t.Errorf("Q(1) = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 20 {
+		t.Errorf("Q(0.5) = %g", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("out-of-range p should give NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	f := func(pa, pb float64) bool {
+		a := math.Mod(math.Abs(pa), 1)
+		b := math.Mod(math.Abs(pb), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("Summary basics wrong: %+v", s)
+	}
+	if s.Median != 50 || s.P25 != 25 || s.P75 != 75 || s.P90 != 90 || s.P99 != 99 {
+		t.Errorf("Summary quantiles wrong: %+v", s)
+	}
+	if s.Mean != 50 {
+		t.Errorf("Summary mean = %g", s.Mean)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("Summarize(nil) should have N=0")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, r)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P25 && s.P25 <= s.Median &&
+			s.Median <= s.P75 && s.P75 <= s.P90 &&
+			s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,422 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a univariate probability distribution. All dcfail distributions
+// implement it, which lets fitting, testing, and plotting code stay
+// agnostic of the concrete family.
+type Dist interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the inverse CDF at p in (0, 1).
+	Quantile(p float64) float64
+	// Mean returns the distribution mean (may be +Inf).
+	Mean() float64
+	// Rand draws one variate using rng.
+	Rand(rng *rand.Rand) float64
+	// NumParams returns the number of fitted parameters, used to set the
+	// degrees of freedom in goodness-of-fit tests.
+	NumParams() int
+	// Name returns the family name, e.g. "weibull".
+	Name() string
+}
+
+// --- Uniform ---
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+func (u Uniform) Name() string   { return "uniform" }
+func (u Uniform) NumParams() int { return 2 }
+func (u Uniform) Mean() float64  { return (u.A + u.B) / 2 }
+
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B || u.B <= u.A {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+func (u Uniform) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+func (u Uniform) Rand(rng *rand.Rand) float64 {
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// --- Exponential ---
+
+// Exponential is the exponential distribution with rate Lambda > 0.
+type Exponential struct {
+	Lambda float64
+}
+
+func (e Exponential) Name() string   { return "exponential" }
+func (e Exponential) NumParams() int { return 1 }
+func (e Exponential) Mean() float64  { return 1 / e.Lambda }
+
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*x)
+}
+
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+func (e Exponential) Quantile(p float64) float64 {
+	if p < 0 || p >= 1 {
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+func (e Exponential) Rand(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Lambda
+}
+
+// --- Weibull ---
+
+// Weibull is the Weibull distribution with shape K > 0 and scale Lambda > 0.
+// K < 1 gives a decreasing hazard (infant mortality), K > 1 an increasing
+// hazard (wear-out) — the two regimes of the bathtub curve.
+type Weibull struct {
+	K, Lambda float64
+}
+
+func (w Weibull) Name() string   { return "weibull" }
+func (w Weibull) NumParams() int { return 2 }
+
+func (w Weibull) Mean() float64 {
+	lg, _ := math.Lgamma(1 + 1/w.K)
+	return w.Lambda * math.Exp(lg)
+}
+
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.K == 1 {
+			return 1 / w.Lambda
+		}
+		if w.K < 1 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := x / w.Lambda
+	return (w.K / w.Lambda) * math.Pow(z, w.K-1) * math.Exp(-math.Pow(z, w.K))
+}
+
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Lambda, w.K))
+}
+
+func (w Weibull) Quantile(p float64) float64 {
+	if p < 0 || p >= 1 {
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	return w.Lambda * math.Pow(-math.Log1p(-p), 1/w.K)
+}
+
+func (w Weibull) Rand(rng *rand.Rand) float64 {
+	return w.Lambda * math.Pow(rng.ExpFloat64(), 1/w.K)
+}
+
+// Hazard returns the Weibull hazard rate at x >= 0.
+func (w Weibull) Hazard(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		x = math.SmallestNonzeroFloat64
+	}
+	return (w.K / w.Lambda) * math.Pow(x/w.Lambda, w.K-1)
+}
+
+// --- Gamma ---
+
+// Gamma is the gamma distribution with shape K > 0 and scale Theta > 0.
+type Gamma struct {
+	K, Theta float64
+}
+
+func (g Gamma) Name() string   { return "gamma" }
+func (g Gamma) NumParams() int { return 2 }
+func (g Gamma) Mean() float64  { return g.K * g.Theta }
+
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if g.K == 1 {
+			return 1 / g.Theta
+		}
+		if g.K < 1 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(g.K)
+	return math.Exp((g.K-1)*math.Log(x) - x/g.Theta - lg - g.K*math.Log(g.Theta))
+}
+
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaRegP(g.K, x/g.Theta)
+}
+
+// Quantile inverts the CDF by Newton iteration from a Wilson–Hilferty
+// starting point, falling back to bisection when Newton leaves (0, ∞).
+func (g Gamma) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		switch p {
+		case 0:
+			return 0
+		case 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Wilson–Hilferty approximation for the initial guess.
+	z := NormQuantile(p)
+	c := 1 - 1/(9*g.K) + z/(3*math.Sqrt(g.K))
+	x := g.K * c * c * c
+	if x <= 0 {
+		x = g.K * math.Exp(z/math.Sqrt(g.K))
+	}
+	x *= g.Theta
+	for i := 0; i < 60; i++ {
+		f := g.CDF(x) - p
+		d := g.PDF(x)
+		if d <= 0 {
+			break
+		}
+		step := f / d
+		nx := x - step
+		if nx <= 0 {
+			nx = x / 2
+		}
+		if math.Abs(nx-x) <= 1e-12*math.Max(1, x) {
+			return nx
+		}
+		x = nx
+	}
+	return x
+}
+
+// Rand draws a gamma variate using the Marsaglia–Tsang method.
+func (g Gamma) Rand(rng *rand.Rand) float64 {
+	k := g.K
+	boost := 1.0
+	if k < 1 {
+		// Boost: draw Gamma(k+1) and scale by U^{1/k}.
+		boost = math.Pow(rng.Float64(), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v * g.Theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v * g.Theta
+		}
+	}
+}
+
+// --- LogNormal ---
+
+// LogNormal is the lognormal distribution: ln X ~ Normal(Mu, Sigma²).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+func (l LogNormal) Name() string   { return "lognormal" }
+func (l LogNormal) NumParams() int { return 2 }
+func (l LogNormal) Mean() float64  { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / (l.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+func (l LogNormal) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		switch p {
+		case 0:
+			return 0
+		case 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	return math.Exp(l.Mu + l.Sigma*NormQuantile(p))
+}
+
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// --- Normal ---
+
+// Normal is the normal distribution with mean Mu and stddev Sigma > 0.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+func (n Normal) Name() string   { return "normal" }
+func (n Normal) NumParams() int { return 2 }
+func (n Normal) Mean() float64  { return n.Mu }
+
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-z*z/2) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+func (n Normal) CDF(x float64) float64 {
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*NormQuantile(p)
+}
+
+func (n Normal) Rand(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// --- Pareto ---
+
+// Pareto is the Pareto (type I) distribution with scale Xm > 0 and shape
+// Alpha > 0. Used for heavy-tailed server frailty (Fig. 7 skew).
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+func (p Pareto) Name() string   { return "pareto" }
+func (p Pareto) NumParams() int { return 2 }
+
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+func (p Pareto) Quantile(q float64) float64 {
+	if q < 0 || q >= 1 {
+		if q == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+func (p Pareto) Rand(rng *rand.Rand) float64 {
+	return p.Xm * math.Pow(rng.Float64(), -1/p.Alpha)
+}
+
+// PoissonRand draws a Poisson(mean) variate. For small means it uses
+// Knuth's product method; for large means a normal approximation with
+// continuity correction, which is ample for simulation workloads.
+func PoissonRand(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

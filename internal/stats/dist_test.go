@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allDists returns a representative instance of every distribution family.
+func allDists() []Dist {
+	return []Dist{
+		Uniform{A: -2, B: 5},
+		Exponential{Lambda: 0.7},
+		Weibull{K: 0.8, Lambda: 3},
+		Weibull{K: 2.5, Lambda: 1.5},
+		Gamma{K: 0.5, Theta: 2},
+		Gamma{K: 4, Theta: 0.5},
+		LogNormal{Mu: 1, Sigma: 0.8},
+		Normal{Mu: -1, Sigma: 2},
+		Pareto{Xm: 1, Alpha: 2.5},
+	}
+}
+
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	for _, d := range allDists() {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if !almostEqual(got, p, 1e-6) {
+				t.Errorf("%s: CDF(Quantile(%g)) = %g", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range allDists() {
+		prev := -0.1
+		for i := -50; i <= 200; i++ {
+			x := float64(i) / 10
+			c := d.CDF(x)
+			if c < -1e-12 || c > 1+1e-12 {
+				t.Fatalf("%s: CDF(%g) = %g out of [0,1]", d.Name(), x, c)
+			}
+			if c < prev-1e-12 {
+				t.Fatalf("%s: CDF not monotone at %g", d.Name(), x)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestPDFNonNegative(t *testing.T) {
+	for _, d := range allDists() {
+		for i := -50; i <= 200; i++ {
+			x := float64(i) / 10
+			if p := d.PDF(x); p < 0 || math.IsNaN(p) {
+				t.Fatalf("%s: PDF(%g) = %g", d.Name(), x, p)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid-integrate the PDF and compare against the CDF difference.
+	for _, d := range allDists() {
+		lo, hi := d.Quantile(0.05), d.Quantile(0.95)
+		const n = 4000
+		h := (hi - lo) / n
+		integral := 0.0
+		for i := 0; i <= n; i++ {
+			w := 1.0
+			if i == 0 || i == n {
+				w = 0.5
+			}
+			integral += w * d.PDF(lo+float64(i)*h)
+		}
+		integral *= h
+		want := d.CDF(hi) - d.CDF(lo)
+		if !almostEqual(integral, want, 1e-3) {
+			t.Errorf("%s: ∫pdf = %g, CDF diff = %g", d.Name(), integral, want)
+		}
+	}
+}
+
+func TestRandMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range allDists() {
+		if math.IsInf(d.Mean(), 1) {
+			continue
+		}
+		const n = 60000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d.Rand(rng)
+		}
+		got := sum / n
+		want := d.Mean()
+		scale := math.Max(1, math.Abs(want))
+		if math.Abs(got-want) > 0.05*scale {
+			t.Errorf("%s: sample mean %g, want %g", d.Name(), got, want)
+		}
+	}
+}
+
+func TestRandMatchesCDF(t *testing.T) {
+	// Sampling and the analytic CDF must agree: the empirical CDF at the
+	// distribution's quartiles should be near 0.25/0.5/0.75.
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range allDists() {
+		const n = 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Rand(rng)
+		}
+		e := NewECDF(xs)
+		for _, p := range []float64{0.25, 0.5, 0.75} {
+			got := e.At(d.Quantile(p))
+			if math.Abs(got-p) > 0.02 {
+				t.Errorf("%s: ECDF at Q(%g) = %g", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestExponentialMemoryless(t *testing.T) {
+	e := Exponential{Lambda: 1.3}
+	// P(X > s+t | X > s) = P(X > t).
+	f := func(rs, rt float64) bool {
+		s := math.Mod(math.Abs(rs), 3)
+		u := math.Mod(math.Abs(rt), 3)
+		lhs := (1 - e.CDF(s+u)) / (1 - e.CDF(s))
+		rhs := 1 - e.CDF(u)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeibullReducesToExponential(t *testing.T) {
+	w := Weibull{K: 1, Lambda: 2}
+	e := Exponential{Lambda: 0.5}
+	for x := 0.1; x < 10; x += 0.3 {
+		if !almostEqual(w.CDF(x), e.CDF(x), 1e-12) {
+			t.Fatalf("Weibull(k=1) != Exponential at %g", x)
+		}
+	}
+}
+
+func TestWeibullHazardShape(t *testing.T) {
+	infant := Weibull{K: 0.5, Lambda: 1}
+	wearout := Weibull{K: 3, Lambda: 1}
+	if !(infant.Hazard(0.1) > infant.Hazard(1)) {
+		t.Error("k<1 hazard should decrease (infant mortality)")
+	}
+	if !(wearout.Hazard(1) > wearout.Hazard(0.1)) {
+		t.Error("k>1 hazard should increase (wear-out)")
+	}
+}
+
+func TestGammaReducesToExponential(t *testing.T) {
+	g := Gamma{K: 1, Theta: 2}
+	e := Exponential{Lambda: 0.5}
+	for x := 0.1; x < 10; x += 0.3 {
+		if !almostEqual(g.CDF(x), e.CDF(x), 1e-9) {
+			t.Fatalf("Gamma(k=1) != Exponential at %g", x)
+		}
+	}
+}
+
+func TestParetoTailHeavierThanExponential(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 1.5}
+	e := Exponential{Lambda: 1 / p.Mean()}
+	// Far in the tail, the Pareto survival dominates.
+	x := 50.0
+	if !(1-p.CDF(x) > 10*(1-e.CDF(x))) {
+		t.Error("Pareto tail not heavier than exponential with same mean")
+	}
+}
+
+func TestPoissonRand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, mean := range []float64{0, 0.5, 3, 25, 80, 400} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			k := PoissonRand(rng, mean)
+			if k < 0 {
+				t.Fatalf("PoissonRand(%g) returned negative %d", mean, k)
+			}
+			sum += float64(k)
+		}
+		got := sum / n
+		tol := 0.05*mean + 0.05
+		if math.Abs(got-mean) > tol {
+			t.Errorf("PoissonRand mean %g: got %g", mean, got)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	for _, d := range allDists() {
+		if !math.IsNaN(d.Quantile(-0.5)) {
+			t.Errorf("%s: Quantile(-0.5) should be NaN", d.Name())
+		}
+	}
+	if q := (Exponential{Lambda: 1}).Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("Exponential Quantile(1) = %g, want +Inf", q)
+	}
+	if q := (Gamma{K: 2, Theta: 1}).Quantile(0); q != 0 {
+		t.Errorf("Gamma Quantile(0) = %g, want 0", q)
+	}
+}

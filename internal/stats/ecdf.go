@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// The zero value is not usable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied and may be
+// reused by the caller. An empty sample yields an ECDF whose At always
+// returns NaN.
+func NewECDF(xs []float64) *ECDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	idx := sort.SearchFloat64s(e.sorted, x)
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile of the sample (type-7 interpolation).
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return quantileSorted(e.sorted, p)
+}
+
+// Points returns up to n (x, F(x)) pairs sampled evenly across the sorted
+// sample, suitable for plotting a CDF curve. If the sample has fewer than
+// n points, every point is returned.
+func (e *ECDF) Points(n int) []Point {
+	m := len(e.sorted)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+	if n > m {
+		n = m
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (m - 1) / max(n-1, 1)
+		pts = append(pts, Point{
+			X: e.sorted[idx],
+			Y: float64(idx+1) / float64(m),
+		})
+	}
+	return pts
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic
+// sup_x |F_n(x) − F(x)| between the empirical CDF and the CDF of dist.
+// Useful as a scale-free measure of fit quality alongside chi-squared.
+func (e *ECDF) KSDistance(dist Dist) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	d := 0.0
+	for i, x := range e.sorted {
+		f := dist.CDF(x)
+		lo := math.Abs(f - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// Point is an (X, Y) pair of a plotted series.
+type Point struct {
+	X, Y float64
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) || !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty ECDF should return NaN")
+	}
+	if pts := e.Points(10); pts != nil {
+		t.Error("empty ECDF Points should be nil")
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDF(xs)
+	xs[0] = -100
+	if got := e.At(0); got != 0 {
+		t.Error("ECDF aliased caller's slice")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2, 2, 7}
+	e := NewECDF(xs)
+	f := func(ra, rb float64) bool {
+		a := math.Mod(ra, 20)
+		b := math.Mod(rb, 20)
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	pts := e100Points(xs, 10)
+	if len(pts) != 10 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 99 {
+		t.Errorf("endpoints wrong: %v %v", pts[0], pts[len(pts)-1])
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("final Y = %g, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatalf("points not monotone at %d", i)
+		}
+	}
+	// Request more points than the sample has.
+	small := NewECDF([]float64{1, 2})
+	if got := small.Points(10); len(got) != 2 {
+		t.Errorf("oversampled points = %d, want 2", len(got))
+	}
+}
+
+func e100Points(xs []float64, n int) []Point {
+	return NewECDF(xs).Points(n)
+}
+
+func TestKSDistanceZeroForPerfectFit(t *testing.T) {
+	// ECDF of a large sample from the distribution should have small KS.
+	truth := Weibull{K: 2, Lambda: 1}
+	xs := sample(truth, 20000, 31)
+	d := NewECDF(xs).KSDistance(truth)
+	if d > 0.02 {
+		t.Errorf("KS = %g, want small", d)
+	}
+	// And a clearly wrong distribution should have a large distance.
+	wrong := Exponential{Lambda: 5}
+	if dw := NewECDF(xs).KSDistance(wrong); dw < 0.2 {
+		t.Errorf("wrong-dist KS = %g, want large", dw)
+	}
+}
+
+func TestQuantileEdgesCollapseTies(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 1, 2, 3, 4, 5, 6}
+	edges := QuantileEdges(xs, 10)
+	if edges == nil {
+		t.Fatal("nil edges")
+	}
+	if !sort.Float64sAreSorted(edges) {
+		t.Error("edges not sorted")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] == edges[i-1] {
+			t.Error("duplicate edges not collapsed")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitExponential returns the MLE exponential distribution for xs
+// (lambda = 1/mean). All observations must be positive.
+func FitExponential(xs []float64) (Exponential, error) {
+	if err := requirePositive(xs, "FitExponential"); err != nil {
+		return Exponential{}, err
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return Exponential{}, fmt.Errorf("stats: FitExponential: non-positive mean %g", m)
+	}
+	return Exponential{Lambda: 1 / m}, nil
+}
+
+// FitLogNormal returns the MLE lognormal distribution for xs:
+// mu and sigma are the mean and (biased MLE) stddev of ln(x).
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if err := requirePositive(xs, "FitLogNormal"); err != nil {
+		return LogNormal{}, err
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		logs[i] = math.Log(x)
+	}
+	mu := Mean(logs)
+	ss := 0.0
+	for _, l := range logs {
+		d := l - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(logs)))
+	if sigma == 0 {
+		sigma = math.SmallestNonzeroFloat64
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// FitNormal returns the MLE normal distribution for xs.
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) < 2 {
+		return Normal{}, fmt.Errorf("stats: FitNormal: need >= 2 observations, got %d", len(xs))
+	}
+	mu := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(xs)))
+	if sigma == 0 {
+		sigma = math.SmallestNonzeroFloat64
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// FitUniform returns the MLE uniform distribution for xs ([min, max]).
+func FitUniform(xs []float64) (Uniform, error) {
+	if len(xs) == 0 {
+		return Uniform{}, fmt.Errorf("stats: FitUniform: empty sample")
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi <= lo {
+		hi = lo + math.SmallestNonzeroFloat64
+	}
+	return Uniform{A: lo, B: hi}, nil
+}
+
+// FitWeibull returns the MLE Weibull distribution for xs. The shape k is
+// found by Newton iteration on the profile-likelihood score equation
+//
+//	Σ x^k ln x / Σ x^k − 1/k − mean(ln x) = 0
+//
+// with a bisection fallback; the scale then follows in closed form.
+func FitWeibull(xs []float64) (Weibull, error) {
+	if err := requirePositive(xs, "FitWeibull"); err != nil {
+		return Weibull{}, err
+	}
+	n := float64(len(xs))
+	logs := make([]float64, len(xs))
+	meanLog := 0.0
+	for i, x := range xs {
+		logs[i] = math.Log(x)
+		meanLog += logs[i]
+	}
+	meanLog /= n
+
+	// x^k = exp(k·ln x) with cached logs: the score is evaluated dozens
+	// of times on potentially hundreds of thousands of points.
+	score := func(k float64) float64 {
+		var swl, sw float64
+		for _, l := range logs {
+			w := math.Exp(k * l)
+			sw += w
+			swl += w * l
+		}
+		return swl/sw - 1/k - meanLog
+	}
+
+	// Initial guess from the method of moments on ln(x):
+	// Var(ln X) = π²/(6k²).
+	varLog := 0.0
+	for _, l := range logs {
+		d := l - meanLog
+		varLog += d * d
+	}
+	varLog /= n
+	k := 1.0
+	if varLog > 0 {
+		k = math.Pi / math.Sqrt(6*varLog)
+	}
+	k = clamp(k, 1e-3, 1e3)
+
+	// The score is increasing in k: −1/k dominates as k→0⁺ (score→−∞) and
+	// the weighted-log term tends to max ln x > mean ln x as k→∞. Bracket
+	// the unique root, then bisect.
+	lo, hi := k, k
+	for i := 0; i < 80 && score(lo) > 0; i++ {
+		lo /= 2
+		if lo < 1e-8 {
+			break
+		}
+	}
+	for i := 0; i < 80 && score(hi) < 0; i++ {
+		hi *= 2
+		if hi > 1e8 {
+			break
+		}
+	}
+	if score(lo) > 0 || score(hi) < 0 {
+		return Weibull{}, fmt.Errorf("stats: FitWeibull: %w (score not bracketed)", ErrConverge)
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		fm := score(mid)
+		if fm == 0 || (hi-lo)/mid < 1e-10 {
+			k = mid
+			break
+		}
+		if fm < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		k = mid
+	}
+
+	sw := 0.0
+	for _, l := range logs {
+		sw += math.Exp(k * l)
+	}
+	lambda := math.Pow(sw/n, 1/k)
+	return Weibull{K: k, Lambda: lambda}, nil
+}
+
+// FitGamma returns the MLE gamma distribution for xs. The shape k starts
+// from the Minka closed-form approximation and is refined by Newton steps
+// on the score equation ln k − ψ(k) = s, where s = ln(mean) − mean(ln x);
+// the scale then follows in closed form.
+func FitGamma(xs []float64) (Gamma, error) {
+	if err := requirePositive(xs, "FitGamma"); err != nil {
+		return Gamma{}, err
+	}
+	m := Mean(xs)
+	meanLog := 0.0
+	for _, x := range xs {
+		meanLog += math.Log(x)
+	}
+	meanLog /= float64(len(xs))
+	s := math.Log(m) - meanLog
+	if s <= 0 {
+		// Degenerate (all observations equal): huge shape, tiny scale.
+		return Gamma{K: 1e6, Theta: m / 1e6}, nil
+	}
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	k = clamp(k, 1e-6, 1e8)
+	for i := 0; i < 100; i++ {
+		f := math.Log(k) - Digamma(k) - s
+		d := 1/k - Trigamma(k)
+		if d == 0 {
+			break
+		}
+		nk := k - f/d
+		if nk <= 0 {
+			nk = k / 2
+		}
+		if math.Abs(nk-k) < 1e-12*k {
+			k = nk
+			break
+		}
+		k = nk
+	}
+	return Gamma{K: k, Theta: m / k}, nil
+}
+
+func requirePositive(xs []float64, fn string) error {
+	if len(xs) < 2 {
+		return fmt.Errorf("stats: %s: need >= 2 observations, got %d", fn, len(xs))
+	}
+	for i, x := range xs {
+		if !(x > 0) || math.IsInf(x, 1) {
+			return fmt.Errorf("stats: %s: observation %d = %g is not positive finite", fn, i, x)
+		}
+	}
+	return nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sample(d Dist, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+	}
+	return xs
+}
+
+func TestFitExponentialRecovers(t *testing.T) {
+	truth := Exponential{Lambda: 2.5}
+	got, err := FitExponential(sample(truth, 50000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Lambda, truth.Lambda, 0.03) {
+		t.Errorf("lambda = %g, want %g", got.Lambda, truth.Lambda)
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	for _, truth := range []Weibull{
+		{K: 0.6, Lambda: 2},
+		{K: 1.0, Lambda: 5},
+		{K: 2.8, Lambda: 0.7},
+	} {
+		got, err := FitWeibull(sample(truth, 40000, 2))
+		if err != nil {
+			t.Fatalf("k=%g: %v", truth.K, err)
+		}
+		if math.Abs(got.K-truth.K) > 0.05*truth.K {
+			t.Errorf("k = %g, want %g", got.K, truth.K)
+		}
+		if math.Abs(got.Lambda-truth.Lambda) > 0.05*truth.Lambda {
+			t.Errorf("lambda = %g, want %g", got.Lambda, truth.Lambda)
+		}
+	}
+}
+
+func TestFitGammaRecovers(t *testing.T) {
+	for _, truth := range []Gamma{
+		{K: 0.5, Theta: 3},
+		{K: 2, Theta: 1},
+		{K: 9, Theta: 0.25},
+	} {
+		got, err := FitGamma(sample(truth, 40000, 3))
+		if err != nil {
+			t.Fatalf("k=%g: %v", truth.K, err)
+		}
+		if math.Abs(got.K-truth.K) > 0.06*truth.K {
+			t.Errorf("k = %g, want %g", got.K, truth.K)
+		}
+		if math.Abs(got.Theta-truth.Theta) > 0.08*truth.Theta {
+			t.Errorf("theta = %g, want %g", got.Theta, truth.Theta)
+		}
+	}
+}
+
+func TestFitLogNormalRecovers(t *testing.T) {
+	truth := LogNormal{Mu: 1.2, Sigma: 0.9}
+	got, err := FitLogNormal(sample(truth, 50000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.03 || math.Abs(got.Sigma-truth.Sigma) > 0.03 {
+		t.Errorf("got (%g, %g), want (%g, %g)", got.Mu, got.Sigma, truth.Mu, truth.Sigma)
+	}
+}
+
+func TestFitNormalRecovers(t *testing.T) {
+	truth := Normal{Mu: -3, Sigma: 4}
+	got, err := FitNormal(sample(truth, 50000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.1 || math.Abs(got.Sigma-truth.Sigma) > 0.1 {
+		t.Errorf("got %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitUniform(t *testing.T) {
+	got, err := FitUniform([]float64{3, 1, 2, 5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 1 || got.B != 5 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{1},
+		{1, -2, 3},
+		{1, 0, 3},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	}
+	for _, xs := range bad {
+		if _, err := FitExponential(xs); err == nil {
+			t.Errorf("FitExponential(%v) should fail", xs)
+		}
+		if _, err := FitWeibull(xs); err == nil {
+			t.Errorf("FitWeibull(%v) should fail", xs)
+		}
+		if _, err := FitGamma(xs); err == nil {
+			t.Errorf("FitGamma(%v) should fail", xs)
+		}
+		if _, err := FitLogNormal(xs); err == nil {
+			t.Errorf("FitLogNormal(%v) should fail", xs)
+		}
+	}
+	if _, err := FitUniform(nil); err == nil {
+		t.Error("FitUniform(nil) should fail")
+	}
+	if _, err := FitNormal([]float64{1}); err == nil {
+		t.Error("FitNormal singleton should fail")
+	}
+}
+
+func TestFitGammaDegenerateSample(t *testing.T) {
+	// All-equal observations: s = 0 path.
+	g, err := FitGamma([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g.Mean(), 2, 1e-6) {
+		t.Errorf("degenerate gamma mean = %g, want 2", g.Mean())
+	}
+}
+
+func TestFitAllOnExponentialData(t *testing.T) {
+	truth := Exponential{Lambda: 1}
+	xs := sample(truth, 20000, 6)
+	reports := FitAll(xs, 20)
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	byName := map[string]FitReport{}
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Dist.Name(), r.Err)
+		}
+		byName[r.Dist.Name()] = r
+	}
+	// Exponential data: the exponential hypothesis should NOT be rejected
+	// at 0.01, and its KS distance should be small.
+	if byName["exponential"].Test.Reject(0.001) {
+		t.Errorf("exponential fit rejected on exponential data: %v", byName["exponential"].Test)
+	}
+	if byName["exponential"].KS > 0.02 {
+		t.Errorf("exponential KS = %g too large", byName["exponential"].KS)
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram bins observations into contiguous intervals.
+// Bin i covers [Edges[i], Edges[i+1]); the final bin is closed on the right.
+type Histogram struct {
+	Edges  []float64 // len = number of bins + 1, strictly increasing
+	Counts []int     // len = number of bins
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bin edges.
+// Edges must be strictly increasing and contain at least two values.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs >= 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("stats: histogram edges not strictly increasing at %d", i)
+		}
+	}
+	cp := make([]float64, len(edges))
+	copy(cp, edges)
+	return &Histogram{Edges: cp, Counts: make([]int, len(edges)-1)}, nil
+}
+
+// UniformEdges returns n+1 equally spaced edges spanning [lo, hi].
+func UniformEdges(lo, hi float64, n int) []float64 {
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	edges[n] = hi
+	return edges
+}
+
+// QuantileEdges returns edges at evenly spaced quantiles of xs so each bin
+// receives roughly the same number of observations — the recommended
+// binning for chi-squared goodness-of-fit tests. Duplicate edges caused by
+// ties are collapsed; the result may therefore have fewer than n bins.
+func QuantileEdges(xs []float64, n int) []float64 {
+	if len(xs) == 0 || n < 1 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		e := quantileSorted(sorted, float64(i)/float64(n))
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) < 2 {
+		return nil
+	}
+	return edges
+}
+
+// Add bins a single observation. Values outside [Edges[0], Edges[last]]
+// are clamped into the first or last bin so totals are preserved.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	n := len(h.Counts)
+	if x < h.Edges[0] {
+		h.Counts[0]++
+		return
+	}
+	if x >= h.Edges[n] {
+		h.Counts[n-1]++
+		return
+	}
+	// First edge > x, minus one, is the bin.
+	idx := sort.SearchFloat64s(h.Edges, x)
+	if idx < len(h.Edges) && h.Edges[idx] == x {
+		// x sits exactly on an edge: belongs to the bin starting at x.
+		h.Counts[minInt(idx, n-1)]++
+		return
+	}
+	h.Counts[idx-1]++
+}
+
+// AddAll bins every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations binned so far.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bin's share of the total (zeros if empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Expected returns the expected count per bin under dist, scaled to the
+// histogram's total. Mass outside the edge span is folded into the
+// boundary bins, mirroring Add's clamping.
+func (h *Histogram) Expected(dist Dist) []float64 {
+	n := len(h.Counts)
+	out := make([]float64, n)
+	total := float64(h.total)
+	for i := 0; i < n; i++ {
+		lo, hi := h.Edges[i], h.Edges[i+1]
+		p := dist.CDF(hi) - dist.CDF(lo)
+		if i == 0 {
+			p += dist.CDF(lo) // mass below the first edge
+		}
+		if i == n-1 {
+			p += 1 - dist.CDF(hi) // mass above the last edge
+		}
+		out[i] = math.Max(p, 0) * total
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

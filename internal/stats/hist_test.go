@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-1, 0, 0.5, 1, 1.5, 2.9, 3, 99})
+	want := []int{3, 2, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	if !almostEqual(fr[0]+fr[1]+fr[2], 1, 1e-12) {
+		t.Errorf("fractions don't sum to 1: %v", fr)
+	}
+}
+
+func TestHistogramEdgeValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("single edge should fail")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("equal edges should fail")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("decreasing edges should fail")
+	}
+}
+
+func TestHistogramCopiesEdges(t *testing.T) {
+	edges := []float64{0, 1, 2}
+	h, err := NewHistogram(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges[0] = -100
+	if h.Edges[0] != 0 {
+		t.Error("histogram aliased caller's edges")
+	}
+}
+
+func TestUniformEdges(t *testing.T) {
+	e := UniformEdges(0, 10, 5)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	if len(e) != len(want) {
+		t.Fatalf("len = %d", len(e))
+	}
+	for i := range want {
+		if !almostEqual(e[i], want[i], 1e-12) {
+			t.Errorf("edge %d = %g, want %g", i, e[i], want[i])
+		}
+	}
+}
+
+func TestHistogramConservesMassProperty(t *testing.T) {
+	h, err := NewHistogram(UniformEdges(-5, 5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xs []float64) bool {
+		before := h.Total()
+		n := 0
+		for _, x := range xs {
+			if x == x { // skip NaN
+				h.Add(x)
+				n++
+			}
+		}
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return h.Total() == before+n && sum == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramExpected(t *testing.T) {
+	h, err := NewHistogram(UniformEdges(0, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%4) + 0.5)
+	}
+	exp := h.Expected(Uniform{A: 0, B: 4})
+	sum := 0.0
+	for _, e := range exp {
+		sum += e
+		if !almostEqual(e, 250, 1e-9) {
+			t.Errorf("expected bin = %g, want 250", e)
+		}
+	}
+	if !almostEqual(sum, 1000, 1e-9) {
+		t.Errorf("expected total = %g", sum)
+	}
+	// Tail mass folds into boundary bins.
+	exp2 := h.Expected(Normal{Mu: 2, Sigma: 10})
+	sum2 := 0.0
+	for _, e := range exp2 {
+		sum2 += e
+	}
+	if !almostEqual(sum2, 1000, 1e-6) {
+		t.Errorf("tail-folded total = %g", sum2)
+	}
+}

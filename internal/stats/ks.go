@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a one-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic sup|F_n − F|.
+	D float64
+	// N is the sample size.
+	N int
+	// P is the asymptotic p-value P(D_n >= D) under the null.
+	P float64
+}
+
+// Reject reports whether the null is rejected at level alpha.
+func (r KSResult) Reject(alpha float64) bool { return r.P < alpha }
+
+func (r KSResult) String() string {
+	return fmt.Sprintf("D=%.4f n=%d p=%.4g", r.D, r.N, r.P)
+}
+
+// KSTest runs the one-sample Kolmogorov–Smirnov test of xs against dist.
+// The p-value uses the asymptotic Kolmogorov distribution with the
+// Stephens small-sample correction; like the paper's chi-squared usage it
+// treats dist as fully specified (parameters estimated from the same data
+// make the test conservative — rejections remain valid).
+func KSTest(xs []float64, dist Dist) (KSResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return KSResult{}, fmt.Errorf("stats: KSTest: need >= 8 observations, got %d", n)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := dist.CDF(x)
+		if lo := math.Abs(f - float64(i)/float64(n)); lo > d {
+			d = lo
+		}
+		if hi := math.Abs(float64(i+1)/float64(n) - f); hi > d {
+			d = hi
+		}
+	}
+	sqrtN := math.Sqrt(float64(n))
+	// Stephens' correction maps the finite-n statistic onto the
+	// asymptotic distribution.
+	t := d * (sqrtN + 0.12 + 0.11/sqrtN)
+	return KSResult{D: d, N: n, P: kolmogorovQ(t)}, nil
+}
+
+// kolmogorovQ returns Q(t) = 2 Σ_{k>=1} (−1)^{k−1} exp(−2 k² t²), the
+// complementary CDF of the Kolmogorov distribution.
+func kolmogorovQ(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t > 7 {
+		return 0
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * t * t)
+		sum += sign * term
+		if term < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	switch {
+	case q < 0:
+		return 0
+	case q > 1:
+		return 1
+	default:
+		return q
+	}
+}
+
+// LogLikelihood returns the total log-density of xs under dist
+// (−Inf if any observation has zero density).
+func LogLikelihood(xs []float64, dist Dist) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		p := dist.PDF(x)
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}
+
+// AIC returns the Akaike information criterion of dist on xs:
+// 2k − 2 ln L. Lower is better; it ranks which family is *least bad* even
+// when every family is rejected outright — exactly the situation the
+// paper's Fig. 5 plots.
+func AIC(xs []float64, dist Dist) float64 {
+	return 2*float64(dist.NumParams()) - 2*LogLikelihood(xs, dist)
+}
+
+// RankFitsByAIC orders fit reports by ascending AIC on the sample.
+// Reports with failed fits sort last.
+func RankFitsByAIC(xs []float64, reports []FitReport) []FitReport {
+	type scored struct {
+		r   FitReport
+		aic float64
+	}
+	ss := make([]scored, 0, len(reports))
+	for _, r := range reports {
+		s := scored{r: r, aic: math.Inf(1)}
+		if r.Err == nil {
+			s.aic = AIC(xs, r.Dist)
+		}
+		ss = append(ss, s)
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].aic < ss[j].aic })
+	out := make([]FitReport, len(ss))
+	for i, s := range ss {
+		out[i] = s.r
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSTestAcceptsTruth(t *testing.T) {
+	for _, truth := range []Dist{
+		Exponential{Lambda: 0.5},
+		Weibull{K: 1.5, Lambda: 2},
+		LogNormal{Mu: 0, Sigma: 1},
+		Normal{Mu: 3, Sigma: 2},
+	} {
+		xs := sample(truth, 5000, 41)
+		res, err := KSTest(xs, truth)
+		if err != nil {
+			t.Fatalf("%s: %v", truth.Name(), err)
+		}
+		if res.Reject(0.001) {
+			t.Errorf("%s: true distribution rejected: %v", truth.Name(), res)
+		}
+		if res.N != 5000 {
+			t.Errorf("%s: n = %d", truth.Name(), res.N)
+		}
+	}
+}
+
+func TestKSTestRejectsWrongFamily(t *testing.T) {
+	xs := sample(LogNormal{Mu: 0, Sigma: 1.8}, 5000, 42)
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KSTest(xs, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("exponential not rejected on heavy lognormal data: %v", res)
+	}
+}
+
+func TestKSTestSmallSample(t *testing.T) {
+	if _, err := KSTest([]float64{1, 2, 3}, Exponential{Lambda: 1}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+}
+
+func TestKolmogorovQKnownValues(t *testing.T) {
+	// Q(1.3581) ≈ 0.05, Q(1.6276) ≈ 0.01 (classic critical values).
+	if got := kolmogorovQ(1.3581); math.Abs(got-0.05) > 0.002 {
+		t.Errorf("Q(1.3581) = %g, want ≈0.05", got)
+	}
+	if got := kolmogorovQ(1.6276); math.Abs(got-0.01) > 0.001 {
+		t.Errorf("Q(1.6276) = %g, want ≈0.01", got)
+	}
+	if kolmogorovQ(0) != 1 || kolmogorovQ(-1) != 1 {
+		t.Error("Q at t<=0 should be 1")
+	}
+	if kolmogorovQ(10) != 0 {
+		t.Error("Q far in the tail should be 0")
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for x := 0.1; x < 3; x += 0.1 {
+		q := kolmogorovQ(x)
+		if q > prev+1e-12 {
+			t.Fatalf("Q not monotone at %g", x)
+		}
+		prev = q
+	}
+}
+
+func TestLogLikelihoodAndAIC(t *testing.T) {
+	truth := Exponential{Lambda: 1}
+	xs := sample(truth, 2000, 43)
+	llTrue := LogLikelihood(xs, truth)
+	llWrong := LogLikelihood(xs, Exponential{Lambda: 10})
+	if !(llTrue > llWrong) {
+		t.Errorf("true lambda should have higher likelihood: %g vs %g", llTrue, llWrong)
+	}
+	if !math.IsInf(LogLikelihood([]float64{-1}, truth), -1) {
+		t.Error("zero-density observation should give -Inf")
+	}
+	if aic := AIC(xs, truth); aic != 2-2*llTrue {
+		t.Errorf("AIC = %g, want %g", aic, 2-2*llTrue)
+	}
+}
+
+func TestRankFitsByAIC(t *testing.T) {
+	// Weibull(k=0.7) data: the Weibull family must out-rank exponential.
+	truth := Weibull{K: 0.7, Lambda: 2}
+	xs := sample(truth, 5000, 44)
+	reports := FitAll(xs, 20)
+	ranked := RankFitsByAIC(xs, reports)
+	if len(ranked) != len(reports) {
+		t.Fatalf("rank changed count: %d vs %d", len(ranked), len(reports))
+	}
+	posOf := func(name string) int {
+		for i, r := range ranked {
+			if r.Dist.Name() == name {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(posOf("weibull") < posOf("exponential")) {
+		t.Errorf("weibull should beat exponential on its own data: order %v",
+			[]string{ranked[0].Dist.Name(), ranked[1].Dist.Name(), ranked[2].Dist.Name(), ranked[3].Dist.Name()})
+	}
+	// A failed fit must sort last.
+	broken := append([]FitReport{}, reports...)
+	broken[0].Err = ErrConverge
+	ranked = RankFitsByAIC(xs, broken)
+	if ranked[len(ranked)-1].Err == nil {
+		t.Error("failed fit not sorted last")
+	}
+}

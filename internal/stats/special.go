@@ -1,0 +1,202 @@
+// Package stats provides the statistical machinery used throughout dcfail:
+// descriptive statistics, empirical distributions, parametric probability
+// distributions with maximum-likelihood fitting, and Pearson chi-squared
+// hypothesis tests. It is self-contained (stdlib only) and deterministic
+// when driven by a seeded *rand.Rand.
+//
+// The package exists because the paper's methodology section (DSN'17 §II-B)
+// relies on exactly these tools: MLE parameter estimation followed by
+// chi-squared goodness-of-fit tests against uniform, exponential, Weibull,
+// gamma and lognormal hypotheses.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrConverge is returned by iterative routines (MLE fitters, quantile
+// inversions) that fail to converge within their iteration budget.
+var ErrConverge = errors.New("stats: iteration did not converge")
+
+const (
+	epsRel   = 1e-12
+	maxIters = 300
+)
+
+// GammaRegP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0.
+//
+// P is the CDF of the gamma distribution with shape a and scale 1, and
+// P(k/2, x/2) is the CDF of the chi-squared distribution with k degrees
+// of freedom — the quantity behind every p-value in this package.
+func GammaRegP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinuedFraction(a, x)
+	}
+}
+
+// GammaRegQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaRegQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinuedFraction(a, x)
+	}
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, accurate for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIters; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*epsRel {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by Lentz's continued fraction,
+// accurate for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIters; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsRel {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Digamma returns the digamma function ψ(x) = d/dx ln Γ(x) for x > 0.
+// It is used by the gamma MLE fitter.
+func Digamma(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	// Recurrence to push x into the asymptotic regime.
+	result := 0.0
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// Trigamma returns ψ'(x), the derivative of the digamma function, for x > 0.
+// It is used by Newton steps in the gamma MLE fitter.
+func Trigamma(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	result := 0.0
+	for x < 6 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += inv * (1 + 0.5*inv + inv2*(1.0/6-inv2*(1.0/30-inv2*(1.0/42-inv2/30))))
+	return result
+}
+
+// NormQuantile returns the quantile (inverse CDF) of the standard normal
+// distribution at probability p in (0, 1). It uses Acklam's rational
+// approximation refined by one Halley step, giving near machine precision.
+func NormQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	x := acklam(p)
+	// One Halley refinement using the exact CDF via erf.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// acklam is Peter Acklam's rational approximation to the standard normal
+// quantile, with relative error below 1.15e-9 over (0,1).
+func acklam(p float64) float64 {
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestGammaRegPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}; P(0.5, x) = erf(sqrt(x)).
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 0, 0},
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 5, 1 - math.Exp(-5)},
+		{0.5, 0.25, math.Erf(0.5)},
+		{0.5, 4, math.Erf(2)},
+		{3, 2.5, 0.45618688}, // reference value
+		{10, 10, 0.54207029}, // reference value
+	}
+	for _, c := range cases {
+		got := GammaRegP(c.a, c.x)
+		if !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("GammaRegP(%g, %g) = %.8f, want %.8f", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaRegComplement(t *testing.T) {
+	f := func(a, x float64) bool {
+		a = 0.1 + math.Mod(math.Abs(a), 50)
+		x = math.Mod(math.Abs(x), 100)
+		p := GammaRegP(a, x)
+		q := GammaRegQ(a, x)
+		return almostEqual(p+q, 1, 1e-9) && p >= 0 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaRegPMonotone(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.7, 15} {
+		prev := -1.0
+		for x := 0.0; x < 60; x += 0.5 {
+			p := GammaRegP(a, x)
+			if p < prev-1e-12 {
+				t.Fatalf("GammaRegP(%g, ·) not monotone at x=%g: %g < %g", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestGammaRegPInvalid(t *testing.T) {
+	if !math.IsNaN(GammaRegP(-1, 2)) {
+		t.Error("GammaRegP(-1, 2) should be NaN")
+	}
+	if !math.IsNaN(GammaRegQ(0, 2)) {
+		t.Error("GammaRegQ(0, 2) should be NaN")
+	}
+	if got := GammaRegP(2, -5); got != 0 {
+		t.Errorf("GammaRegP(2, -5) = %g, want 0", got)
+	}
+	if got := GammaRegQ(2, -5); got != 1 {
+		t.Errorf("GammaRegQ(2, -5) = %g, want 1", got)
+	}
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gammaEuler = 0.57721566490153286
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -gammaEuler},
+		{2, 1 - gammaEuler},
+		{3, 1.5 - gammaEuler},
+		{0.5, -gammaEuler - 2*math.Ln2},
+		{10, 2.25175258906672111},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Digamma(%g) = %.12f, want %.12f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x for all x > 0.
+	f := func(raw float64) bool {
+		x := 0.05 + math.Mod(math.Abs(raw), 30)
+		return almostEqual(Digamma(x+1), Digamma(x)+1/x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		if got := Trigamma(c.x); !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("Trigamma(%g) = %.12f, want %.12f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.84134474606854293, 1}, // Phi(1)
+		{0.99, 2.3263478740408408},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("NormQuantile(%g) = %.10f, want %.10f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.998) + 0.001
+		return almostEqual(n.CDF(NormQuantile(p)), p, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormQuantile(0), -1) {
+		t.Error("NormQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormQuantile(1), 1) {
+		t.Error("NormQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormQuantile(-0.1)) || !math.IsNaN(NormQuantile(1.1)) {
+		t.Error("NormQuantile outside [0,1] should be NaN")
+	}
+}

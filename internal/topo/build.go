@@ -1,0 +1,342 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// CoolingKind selects a datacenter's thermal evenness (§IV: newer
+// facilities have better cooling design and a flatter spatial failure
+// distribution).
+type CoolingKind int
+
+const (
+	// CoolingUniform is a modern (post-2014) even facility.
+	CoolingUniform CoolingKind = iota + 1
+	// CoolingHotspots is mostly even with a few singular hot positions
+	// (the paper's datacenter A: positions 22 and 35 are μ+2σ outliers
+	// while the chi-square test overall cannot reject uniformity).
+	CoolingHotspots
+	// CoolingGradient has a broad under-floor-cooling gradient: the
+	// higher the slot, the warmer — plus hot positions (datacenter B,
+	// rejected at 0.01).
+	CoolingGradient
+)
+
+// Spec configures fleet construction. The zero value is not usable; start
+// from DefaultSpec.
+type Spec struct {
+	Datacenters      int
+	RacksPerDC       int
+	PositionsPerRack int
+	Occupancy        float64 // fraction of rack positions holding a server
+	ProductLines     int
+	WarrantyYears    int
+	StudyStart       time.Time // servers deploy from up to ~3y before this
+	StudyEnd         time.Time
+	// FrailtyAlpha is the Pareto shape of the per-server hazard
+	// multiplier; smaller is heavier-tailed (drives Fig. 7).
+	FrailtyAlpha float64
+	// PreModernDCs is the number of datacenters "built before 2014" that
+	// get uneven cooling (§IV: ~90% of post-2014 facilities are uniform).
+	PreModernDCs int
+}
+
+// DefaultSpec returns the paper-profile fleet shape: 24 datacenters
+// (Table IV studies 24 facilities), ~40-slot racks with the top and bottom
+// slots often left empty, and a four-year study window.
+func DefaultSpec() Spec {
+	return Spec{
+		Datacenters:      24,
+		RacksPerDC:       25,
+		PositionsPerRack: 40,
+		Occupancy:        0.85,
+		ProductLines:     60,
+		WarrantyYears:    3,
+		StudyStart:       time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+		StudyEnd:         time.Date(2016, 12, 31, 0, 0, 0, 0, time.UTC),
+		FrailtyAlpha:     1.6,
+		PreModernDCs:     14,
+	}
+}
+
+// Validate reports spec violations.
+func (sp Spec) Validate() error {
+	switch {
+	case sp.Datacenters < 1:
+		return fmt.Errorf("topo: spec needs >= 1 datacenter")
+	case sp.RacksPerDC < 1 || sp.PositionsPerRack < 4:
+		return fmt.Errorf("topo: spec rack shape invalid")
+	case sp.Occupancy <= 0 || sp.Occupancy > 1:
+		return fmt.Errorf("topo: occupancy %g outside (0, 1]", sp.Occupancy)
+	case sp.ProductLines < 1:
+		return fmt.Errorf("topo: spec needs >= 1 product line")
+	case !sp.StudyEnd.After(sp.StudyStart):
+		return fmt.Errorf("topo: study window is empty")
+	case sp.FrailtyAlpha <= 1.05:
+		return fmt.Errorf("topo: frailty alpha must exceed 1.05 (finite mean)")
+	case sp.PreModernDCs < 0 || sp.PreModernDCs > sp.Datacenters:
+		return fmt.Errorf("topo: pre-modern datacenter count out of range")
+	}
+	return nil
+}
+
+// generations are the five server hardware generations the example product
+// line in §V-A describes ("incrementally deployed ... five different
+// generations"). YearsBeforeEnd controls the deployment window.
+type generation struct {
+	model     string
+	inventory map[fot.Component]int
+	ssdExtra  map[fot.Component]int // added for SSD-using product lines
+	// deployFrom/deployTo are offsets in years relative to StudyStart
+	// (negative = before the study window opened).
+	deployFrom, deployTo float64
+}
+
+func generations() []generation {
+	base := func(hdds, dimms int) map[fot.Component]int {
+		return map[fot.Component]int{
+			fot.HDD: hdds, fot.Memory: dimms, fot.Power: 2, fot.Fan: 4,
+			fot.RAIDCard: 1, fot.Motherboard: 1, fot.CPU: 2,
+			fot.HDDBackboard: 1, fot.Misc: 1,
+		}
+	}
+	ssd := map[fot.Component]int{fot.SSD: 2, fot.FlashCard: 1}
+	return []generation{
+		{"gen1", base(8, 8), nil, -3.0, -1.5},
+		{"gen2", base(12, 8), ssd, -2.0, 0.0},
+		{"gen3", base(12, 16), ssd, -0.5, 1.5},
+		{"gen4", base(16, 16), ssd, 1.0, 2.5},
+		{"gen5", base(16, 24), ssd, 2.0, 3.6},
+	}
+}
+
+// Build constructs a deterministic fleet from the spec and seed.
+func Build(sp Spec, seed int64) (*Fleet, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fleet := &Fleet{
+		Datacenters: buildDatacenters(sp, rng),
+		Lines:       buildProductLines(sp, rng),
+	}
+	gens := generations()
+	lineChooser := newWeightedChooser(fleet.Lines)
+	// Mean-normalized heavy-tailed frailty: the tail drives Fig. 7's
+	// per-server skew while the fleet-average hazard stays calibrated.
+	// The raw Pareto draw is capped — an uncapped α<2 tail has infinite
+	// variance, which would swamp every per-position statistic with
+	// server-luck noise. E[min(X, c)] = (α − c^(1−α))/(α − 1).
+	const frailtyCap = 25.0
+	frailty := stats.Pareto{Xm: 1, Alpha: sp.FrailtyAlpha}
+	a := sp.FrailtyAlpha
+	frailtyMean := (a - math.Pow(frailtyCap, 1-a)) / (a - 1)
+
+	var hostID uint64
+	for d := range fleet.Datacenters {
+		dc := &fleet.Datacenters[d]
+		for r := 1; r <= dc.Racks; r++ {
+			for p := 1; p <= dc.PositionsPerRack; p++ {
+				// Operators often leave the very top and bottom slots
+				// empty (§IV) — model that with reduced occupancy there.
+				occ := sp.Occupancy
+				if p == 1 || p >= dc.PositionsPerRack-1 {
+					occ *= 0.3
+				}
+				if rng.Float64() >= occ {
+					continue
+				}
+				hostID++
+				line := &fleet.Lines[lineChooser.pick(rng)]
+				gen := &gens[pickGeneration(gens, rng)]
+				deploy := deployTime(sp, gen, rng)
+				inv := make(map[fot.Component]int, len(gen.inventory)+2)
+				for c, n := range gen.inventory {
+					inv[c] = n
+				}
+				if line.UsesSSD {
+					for c, n := range gen.ssdExtra {
+						inv[c] = n
+					}
+				}
+				fleet.Servers = append(fleet.Servers, Server{
+					HostID:        hostID,
+					Hostname:      fmt.Sprintf("%s-r%03d-p%02d", dc.ID, r, p),
+					IDC:           dc.ID,
+					Rack:          fmt.Sprintf("%s-r%03d", dc.ID, r),
+					Position:      p,
+					Model:         gen.model,
+					ProductLine:   line.Name,
+					DeployTime:    deploy,
+					WarrantyYears: sp.WarrantyYears,
+					Inventory:     inv,
+					Frailty:       math.Min(frailty.Rand(rng), frailtyCap) / frailtyMean,
+				})
+			}
+		}
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: built an invalid fleet: %w", err)
+	}
+	return fleet, nil
+}
+
+func buildDatacenters(sp Spec, rng *rand.Rand) []Datacenter {
+	dcs := make([]Datacenter, sp.Datacenters)
+	for i := range dcs {
+		id := fmt.Sprintf("dc%02d", i+1)
+		builtYear := 2014 + i%3 // modern by default
+		kind := CoolingUniform
+		if i < sp.PreModernDCs {
+			builtYear = 2010 + i%4
+			// Alternate the two uneven designs; dc01 is the paper's
+			// "datacenter A" (spot anomalies), dc02 its "datacenter B"
+			// (broad gradient).
+			if i%2 == 0 {
+				kind = CoolingHotspots
+			} else {
+				kind = CoolingGradient
+			}
+		}
+		dcs[i] = Datacenter{
+			ID:               id,
+			BuiltYear:        builtYear,
+			Racks:            sp.RacksPerDC,
+			PositionsPerRack: sp.PositionsPerRack,
+			Cooling:          coolingProfile(kind, sp.PositionsPerRack, rng),
+		}
+	}
+	return dcs
+}
+
+// coolingProfile builds a per-position thermal hazard multiplier.
+func coolingProfile(kind CoolingKind, positions int, rng *rand.Rand) []float64 {
+	prof := make([]float64, positions+1)
+	for p := 1; p <= positions; p++ {
+		prof[p] = 1
+	}
+	switch kind {
+	case CoolingUniform:
+		for p := 1; p <= positions; p++ {
+			prof[p] = 1 + 0.02*rng.NormFloat64() // minor facility noise
+			if prof[p] < 0.9 {
+				prof[p] = 0.9
+			}
+		}
+	case CoolingHotspots:
+		// Two singular hot spots: near the rack top (under-floor cooling
+		// reaches it last) and beside the rack-level power module.
+		top := positions - 5
+		power := positions/2 + 2
+		prof[top] = 2.8
+		prof[power] = 2.3
+	case CoolingGradient:
+		// Warm air accumulates towards the top third of the rack.
+		for p := 1; p <= positions; p++ {
+			frac := float64(p) / float64(positions)
+			prof[p] = 0.55 + 1.9*frac*frac
+		}
+		prof[positions-5] += 1.1
+	}
+	return prof
+}
+
+func buildProductLines(sp Spec, rng *rand.Rand) []ProductLine {
+	lines := make([]ProductLine, sp.ProductLines)
+	// The largest lines are the Hadoop-style batch clusters (§VI-C: "RT
+	// is often large for most product lines operating large-scale Hadoop
+	// clusters") — so fault tolerance follows size.
+	bigCut := sp.ProductLines / 25
+	if bigCut < 1 {
+		bigCut = 1
+	}
+	for i := range lines {
+		name := fmt.Sprintf("pl-%03d", i+1)
+		// Softened Zipf fleet share: a handful of large lines, a long
+		// tail of small ones (Fig. 11 spans lines with <100 failures up
+		// to the busiest 1%).
+		weight := 1 / float64(i+10)
+		var tol FaultTolerance
+		var workload string
+		usesSSD := false
+		switch {
+		case i < bigCut: // big Hadoop-style batch lines
+			tol = FTHigh
+			workload = "batch"
+		case i%3 == 1: // online user-facing services
+			tol = FTLow
+			workload = "online"
+			usesSSD = true
+		default:
+			tol = FTMedium
+			workload = "mixed"
+			usesSSD = rng.Float64() < 0.3
+		}
+		lines[i] = ProductLine{
+			Name: name, Tolerance: tol, Workload: workload,
+			UsesSSD: usesSSD, Weight: weight,
+		}
+	}
+	return lines
+}
+
+// weightedChooser picks product-line indexes proportionally to Weight.
+type weightedChooser struct {
+	cum []float64
+}
+
+func newWeightedChooser(lines []ProductLine) *weightedChooser {
+	cum := make([]float64, len(lines))
+	sum := 0.0
+	for i, pl := range lines {
+		sum += pl.Weight
+		cum[i] = sum
+	}
+	return &weightedChooser{cum: cum}
+}
+
+func (w *weightedChooser) pick(rng *rand.Rand) int {
+	x := rng.Float64() * w.cum[len(w.cum)-1]
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pickGeneration(gens []generation, rng *rand.Rand) int {
+	// Later generations are more numerous (fleet growth).
+	weights := []float64{0.10, 0.20, 0.25, 0.25, 0.20}
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(gens) - 1
+}
+
+func deployTime(sp Spec, gen *generation, rng *rand.Rand) time.Time {
+	span := gen.deployTo - gen.deployFrom
+	years := gen.deployFrom + rng.Float64()*span
+	secs := years * 365.25 * 24 * 3600
+	dt := sp.StudyStart.Add(time.Duration(secs * float64(time.Second)))
+	// Never deploy after the study window closes.
+	if dt.After(sp.StudyEnd) {
+		dt = sp.StudyEnd.Add(-24 * time.Hour)
+	}
+	return dt
+}

@@ -1,0 +1,243 @@
+// Package topo models the physical and organizational structure of the
+// simulated fleet: datacenters with racks and rack positions, servers of
+// several hardware generations, and the product lines that own them.
+//
+// The model captures exactly the structure the paper's analyses depend on:
+// rack position and per-position occupancy (Fig. 8 / Hypothesis 5),
+// datacenter build year and cooling design (§IV), server deploy time and
+// warranty (Fig. 6, Table I), per-server component inventory (footnote 2:
+// HDD/SSD/CPU counts are known per server), and product-line ownership
+// with fault-tolerance tiers (§VI-C, Fig. 11).
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// Server is one physical host.
+type Server struct {
+	HostID   uint64
+	Hostname string
+	IDC      string // datacenter id
+	Rack     string
+	Position int // slot within the rack, 1-based
+
+	Model       string // hardware generation, e.g. "gen3"
+	ProductLine string
+	DeployTime  time.Time
+	// WarrantyYears is the vendor warranty; failures after expiry land in
+	// D_error (paper Table I: operators do not repair out-of-warranty
+	// hardware).
+	WarrantyYears int
+
+	// Inventory is the number of components of each class installed.
+	Inventory map[fot.Component]int
+
+	// Frailty is a per-server hazard multiplier; a heavy-tailed frailty
+	// produces the extreme per-server failure-count skew of Fig. 7.
+	Frailty float64
+}
+
+// InWarranty reports whether the server is still under warranty at ts.
+func (s *Server) InWarranty(ts time.Time) bool {
+	return ts.Before(s.DeployTime.AddDate(s.WarrantyYears, 0, 0))
+}
+
+// Age returns the server's time in service at ts (zero if before deploy).
+func (s *Server) Age(ts time.Time) time.Duration {
+	if ts.Before(s.DeployTime) {
+		return 0
+	}
+	return ts.Sub(s.DeployTime)
+}
+
+// Datacenter is one facility.
+type Datacenter struct {
+	ID        string
+	BuiltYear int
+	Racks     int
+	// PositionsPerRack is the number of rack slots (classic 40U-ish).
+	PositionsPerRack int
+	// Cooling maps rack position (1-based index 0 unused) to a thermal
+	// hazard multiplier; 1.0 everywhere means a perfectly even facility.
+	Cooling []float64
+}
+
+// CoolingAt returns the thermal hazard multiplier at a rack position.
+func (d *Datacenter) CoolingAt(pos int) float64 {
+	if pos < 1 || pos >= len(d.Cooling) {
+		return 1
+	}
+	return d.Cooling[pos]
+}
+
+// FaultTolerance is a product line's software fault-tolerance tier.
+// Higher tiers tolerate hardware failures better, which — per §VI —
+// makes their operators respond more slowly.
+type FaultTolerance int
+
+const (
+	// FTLow marks lines with little redundancy (e.g. SSD-backed
+	// user-facing services with strict operation guidelines).
+	FTLow FaultTolerance = iota + 1
+	// FTMedium marks typical online services.
+	FTMedium
+	// FTHigh marks large batch-processing lines (Hadoop-style) that
+	// restore redundancy automatically.
+	FTHigh
+)
+
+func (f FaultTolerance) String() string {
+	switch f {
+	case FTLow:
+		return "low"
+	case FTMedium:
+		return "medium"
+	case FTHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("FaultTolerance(%d)", int(f))
+	}
+}
+
+// ProductLine is one service owning a partition of the fleet.
+type ProductLine struct {
+	Name string
+	// Tolerance drives the operator response-time model (§VI-C).
+	Tolerance FaultTolerance
+	// Workload names the diurnal utilization profile ("batch", "online",
+	// "mixed") used by the detection-gating model.
+	Workload string
+	// UsesSSD marks lines whose servers carry SSDs and flash cards.
+	UsesSSD bool
+	// Weight is the relative share of the fleet the line owns.
+	Weight float64
+}
+
+// Fleet is the full simulated estate.
+type Fleet struct {
+	Datacenters []Datacenter
+	Lines       []ProductLine
+	Servers     []Server
+
+	byIDC  map[string][]*Server
+	byLine map[string][]*Server
+}
+
+// NumServers returns the fleet size.
+func (f *Fleet) NumServers() int { return len(f.Servers) }
+
+// ServersByIDC returns the servers in one datacenter (shared slice; do not
+// modify).
+func (f *Fleet) ServersByIDC(idc string) []*Server {
+	f.ensureIndexes()
+	return f.byIDC[idc]
+}
+
+// ServersByLine returns the servers of one product line (shared slice; do
+// not modify).
+func (f *Fleet) ServersByLine(line string) []*Server {
+	f.ensureIndexes()
+	return f.byLine[line]
+}
+
+// PositionOccupancy returns, for a datacenter, the number of servers at
+// each rack position (index 0 unused). Empty top/bottom slots show up as
+// zero — Hypothesis 5's analysis must normalize by this.
+func (f *Fleet) PositionOccupancy(idc string) []int {
+	var dc *Datacenter
+	for i := range f.Datacenters {
+		if f.Datacenters[i].ID == idc {
+			dc = &f.Datacenters[i]
+			break
+		}
+	}
+	if dc == nil {
+		return nil
+	}
+	occ := make([]int, dc.PositionsPerRack+1)
+	for _, s := range f.ServersByIDC(idc) {
+		if s.Position >= 1 && s.Position <= dc.PositionsPerRack {
+			occ[s.Position]++
+		}
+	}
+	return occ
+}
+
+// ComponentCount returns the total number of installed components of class
+// c across the fleet, used to normalize per-component failure rates
+// (paper footnote 2).
+func (f *Fleet) ComponentCount(c fot.Component) int {
+	total := 0
+	for i := range f.Servers {
+		total += f.Servers[i].Inventory[c]
+	}
+	return total
+}
+
+func (f *Fleet) ensureIndexes() {
+	if f.byIDC != nil {
+		return
+	}
+	f.byIDC = make(map[string][]*Server, len(f.Datacenters))
+	f.byLine = make(map[string][]*Server, len(f.Lines))
+	for i := range f.Servers {
+		s := &f.Servers[i]
+		f.byIDC[s.IDC] = append(f.byIDC[s.IDC], s)
+		f.byLine[s.ProductLine] = append(f.byLine[s.ProductLine], s)
+	}
+}
+
+// Validate checks structural invariants of the fleet.
+func (f *Fleet) Validate() error {
+	if len(f.Servers) == 0 {
+		return fmt.Errorf("topo: fleet has no servers")
+	}
+	dcs := make(map[string]*Datacenter, len(f.Datacenters))
+	for i := range f.Datacenters {
+		dc := &f.Datacenters[i]
+		if dc.Racks < 1 || dc.PositionsPerRack < 1 {
+			return fmt.Errorf("topo: datacenter %s has invalid shape", dc.ID)
+		}
+		if len(dc.Cooling) != dc.PositionsPerRack+1 {
+			return fmt.Errorf("topo: datacenter %s cooling profile has %d entries, want %d",
+				dc.ID, len(dc.Cooling), dc.PositionsPerRack+1)
+		}
+		dcs[dc.ID] = dc
+	}
+	lines := make(map[string]bool, len(f.Lines))
+	for _, pl := range f.Lines {
+		lines[pl.Name] = true
+	}
+	seen := make(map[uint64]bool, len(f.Servers))
+	for i := range f.Servers {
+		s := &f.Servers[i]
+		if seen[s.HostID] {
+			return fmt.Errorf("topo: duplicate host id %d", s.HostID)
+		}
+		seen[s.HostID] = true
+		dc, ok := dcs[s.IDC]
+		if !ok {
+			return fmt.Errorf("topo: server %d references unknown idc %s", s.HostID, s.IDC)
+		}
+		if s.Position < 1 || s.Position > dc.PositionsPerRack {
+			return fmt.Errorf("topo: server %d at invalid position %d", s.HostID, s.Position)
+		}
+		if !lines[s.ProductLine] {
+			return fmt.Errorf("topo: server %d references unknown product line %s", s.HostID, s.ProductLine)
+		}
+		if s.DeployTime.IsZero() {
+			return fmt.Errorf("topo: server %d has zero deploy time", s.HostID)
+		}
+		if s.Frailty <= 0 {
+			return fmt.Errorf("topo: server %d has non-positive frailty", s.HostID)
+		}
+		if len(s.Inventory) == 0 {
+			return fmt.Errorf("topo: server %d has empty inventory", s.HostID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func smallSpec() Spec {
+	sp := DefaultSpec()
+	sp.Datacenters = 4
+	sp.RacksPerDC = 5
+	sp.PositionsPerRack = 20
+	sp.ProductLines = 8
+	sp.PreModernDCs = 2
+	return sp
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumServers() != b.NumServers() {
+		t.Fatalf("sizes differ: %d vs %d", a.NumServers(), b.NumServers())
+	}
+	for i := range a.Servers {
+		if a.Servers[i].Hostname != b.Servers[i].Hostname ||
+			a.Servers[i].Frailty != b.Servers[i].Frailty ||
+			!a.Servers[i].DeployTime.Equal(b.Servers[i].DeployTime) {
+			t.Fatalf("server %d differs between equal-seed builds", i)
+		}
+	}
+	c, err := Build(smallSpec(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumServers() == a.NumServers() && c.Servers[0].Frailty == a.Servers[0].Frailty {
+		t.Error("different seeds produced identical fleets")
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	f, err := Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumServers() < 100 {
+		t.Errorf("suspiciously small fleet: %d", f.NumServers())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Datacenters = 0 },
+		func(s *Spec) { s.RacksPerDC = 0 },
+		func(s *Spec) { s.PositionsPerRack = 2 },
+		func(s *Spec) { s.Occupancy = 0 },
+		func(s *Spec) { s.Occupancy = 1.5 },
+		func(s *Spec) { s.ProductLines = 0 },
+		func(s *Spec) { s.StudyEnd = s.StudyStart },
+		func(s *Spec) { s.FrailtyAlpha = 0 },
+		func(s *Spec) { s.PreModernDCs = -1 },
+		func(s *Spec) { s.PreModernDCs = s.Datacenters + 1 },
+	}
+	for i, m := range bad {
+		sp := DefaultSpec()
+		m(&sp)
+		if _, err := Build(sp, 1); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestIndexesAndOccupancy(t *testing.T) {
+	f, err := Build(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, dc := range f.Datacenters {
+		servers := f.ServersByIDC(dc.ID)
+		total += len(servers)
+		occ := f.PositionOccupancy(dc.ID)
+		if len(occ) != dc.PositionsPerRack+1 {
+			t.Fatalf("occupancy len = %d", len(occ))
+		}
+		sum := 0
+		for _, n := range occ {
+			sum += n
+		}
+		if sum != len(servers) {
+			t.Errorf("%s: occupancy sums to %d, want %d", dc.ID, sum, len(servers))
+		}
+		// Top/bottom slots should be sparser than the middle.
+		mid := occ[10]
+		if occ[1] >= mid && occ[dc.PositionsPerRack] >= mid && mid > 3 {
+			t.Errorf("%s: expected sparse boundary slots: %v", dc.ID, occ)
+		}
+	}
+	if total != f.NumServers() {
+		t.Errorf("IDC index covers %d of %d servers", total, f.NumServers())
+	}
+	if f.PositionOccupancy("nope") != nil {
+		t.Error("unknown IDC occupancy should be nil")
+	}
+
+	lineTotal := 0
+	for _, pl := range f.Lines {
+		lineTotal += len(f.ServersByLine(pl.Name))
+	}
+	if lineTotal != f.NumServers() {
+		t.Errorf("line index covers %d of %d servers", lineTotal, f.NumServers())
+	}
+}
+
+func TestCoolingProfiles(t *testing.T) {
+	f, err := Build(smallSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dc01 = hotspots, dc02 = gradient, dc03/dc04 = uniform.
+	hot := f.Datacenters[0]
+	spikes := 0
+	for p := 1; p <= hot.PositionsPerRack; p++ {
+		if hot.CoolingAt(p) > 1.4 {
+			spikes++
+		}
+	}
+	if spikes != 2 {
+		t.Errorf("hotspot DC has %d spikes, want 2", spikes)
+	}
+	grad := f.Datacenters[1]
+	if !(grad.CoolingAt(grad.PositionsPerRack) > grad.CoolingAt(2)) {
+		t.Error("gradient DC should be warmer at the top")
+	}
+	uni := f.Datacenters[2]
+	if uni.BuiltYear < 2014 {
+		t.Errorf("dc03 built %d, want modern", uni.BuiltYear)
+	}
+	for p := 1; p <= uni.PositionsPerRack; p++ {
+		if c := uni.CoolingAt(p); c < 0.85 || c > 1.15 {
+			t.Errorf("uniform DC cooling at %d = %g", p, c)
+		}
+	}
+	if hot.CoolingAt(0) != 1 || hot.CoolingAt(999) != 1 {
+		t.Error("out-of-range cooling should be 1")
+	}
+}
+
+func TestServerWarrantyAndAge(t *testing.T) {
+	s := Server{
+		DeployTime:    time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC),
+		WarrantyYears: 3,
+	}
+	if !s.InWarranty(time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("should be in warranty")
+	}
+	if s.InWarranty(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("should be out of warranty")
+	}
+	if got := s.Age(s.DeployTime.Add(-time.Hour)); got != 0 {
+		t.Errorf("pre-deploy age = %v", got)
+	}
+	if got := s.Age(s.DeployTime.Add(48 * time.Hour)); got != 48*time.Hour {
+		t.Errorf("age = %v", got)
+	}
+}
+
+func TestInventoryAndComponentCount(t *testing.T) {
+	f, err := Build(smallSpec(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ComponentCount(fot.HDD) <= f.NumServers() {
+		t.Error("HDD count should exceed server count (many drives per server)")
+	}
+	if f.ComponentCount(fot.Motherboard) != f.NumServers() {
+		t.Error("every server has exactly one motherboard")
+	}
+	// SSD-using lines exist, so some SSDs must be present; lines without
+	// SSD must have none.
+	ssdLines := map[string]bool{}
+	for _, pl := range f.Lines {
+		ssdLines[pl.Name] = pl.UsesSSD
+	}
+	sawSSD := false
+	for i := range f.Servers {
+		s := &f.Servers[i]
+		n := s.Inventory[fot.SSD]
+		if n > 0 {
+			sawSSD = true
+			if !ssdLines[s.ProductLine] {
+				t.Errorf("server %d has SSDs but line %s does not use them", s.HostID, s.ProductLine)
+			}
+		}
+	}
+	if !sawSSD {
+		t.Error("no SSDs anywhere in the fleet")
+	}
+}
+
+func TestProductLineShapes(t *testing.T) {
+	f, err := Build(smallSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf weights: the first line should own the largest share.
+	first := len(f.ServersByLine(f.Lines[0].Name))
+	last := len(f.ServersByLine(f.Lines[len(f.Lines)-1].Name))
+	if first <= last {
+		t.Errorf("line sizes not skewed: first=%d last=%d", first, last)
+	}
+	tiers := map[FaultTolerance]bool{}
+	for _, pl := range f.Lines {
+		tiers[pl.Tolerance] = true
+	}
+	for _, ft := range []FaultTolerance{FTLow, FTMedium, FTHigh} {
+		if !tiers[ft] {
+			t.Errorf("missing tolerance tier %v", ft)
+		}
+	}
+	if FTHigh.String() != "high" || FaultTolerance(9).String() == "" {
+		t.Error("FaultTolerance String broken")
+	}
+}
+
+func TestWeightedChooserDistribution(t *testing.T) {
+	lines := []ProductLine{
+		{Name: "a", Weight: 3},
+		{Name: "b", Weight: 1},
+	}
+	ch := newWeightedChooser(lines)
+	f, err := Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	rngCounts := [2]int{}
+	rng := newTestRand()
+	for i := 0; i < 40000; i++ {
+		rngCounts[ch.pick(rng)]++
+	}
+	ratio := float64(rngCounts[0]) / float64(rngCounts[1])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weighted pick ratio = %g, want ~3", ratio)
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

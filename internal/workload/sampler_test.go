@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSampleTimePathologicalProfile exercises the rejection-sampler
+// fallback: a profile that is zero almost everywhere still terminates and
+// returns an in-window timestamp.
+func TestSampleTimePathologicalProfile(t *testing.T) {
+	var p Profile
+	p.Name = "needle"
+	// One nonzero hour on one weekday: acceptance probability within a
+	// random week ≈ 1/168; the sampler's retry budget handles it.
+	p.Hour[3] = 24
+	p.Day[2] = 7
+	rng := rand.New(rand.NewSource(4))
+	lo := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	hi := lo.AddDate(0, 0, 28)
+	for i := 0; i < 50; i++ {
+		ts := p.SampleTime(rng, lo, hi)
+		if ts.Before(lo) || !ts.Before(hi) {
+			t.Fatalf("sample %v escaped the window", ts)
+		}
+	}
+	// The absolute pathological case: all-zero weights fall back to
+	// uniform rather than spinning forever.
+	var zero Profile
+	ts := zero.SampleTime(rng, lo, hi)
+	if ts.Before(lo) || !ts.Before(hi) {
+		t.Fatalf("zero-profile sample %v escaped the window", ts)
+	}
+}
+
+func TestWeightConsistentWithSampling(t *testing.T) {
+	// The ratio of samples landing in two hours approximates the ratio of
+	// their weights.
+	p := ByName(Online)
+	rng := rand.New(rand.NewSource(5))
+	lo := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	hi := lo.AddDate(0, 0, 28)
+	var peak, trough int
+	for i := 0; i < 40000; i++ {
+		switch p.SampleTime(rng, lo, hi).Hour() {
+		case 14:
+			peak++
+		case 4:
+			trough++
+		}
+	}
+	if trough == 0 {
+		t.Fatal("no trough samples")
+	}
+	gotRatio := float64(peak) / float64(trough)
+	wantRatio := p.Hour[14] / p.Hour[4]
+	if gotRatio < wantRatio*0.7 || gotRatio > wantRatio*1.3 {
+		t.Errorf("peak/trough ratio = %.2f, weights say %.2f", gotRatio, wantRatio)
+	}
+}
+
+func TestNamesCatalogue(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("catalogue has %d profiles", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate profile %q", n)
+		}
+		seen[n] = true
+		if ByName(n).Name != n {
+			t.Errorf("profile %q not retrievable", n)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package workload models when failures get *detected*. The paper's key
+// temporal observation (Hypotheses 1–2) is that failure counts are not
+// uniform across hours of the day or days of the week, and its explanation
+// is that log-based detectors only notice a fault once the workload
+// exercises the component, while manually filed tickets need a human at a
+// desk. This package provides per-product-line utilization profiles and a
+// sampler that places detection timestamps according to them.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Profile is a weekly/diurnal detection-weight profile. Weights are
+// relative: both the hourly and the daily arrays are normalized to mean 1,
+// so a flat profile is all ones. The weight at an instant is the product
+// of its day-of-week and hour-of-day weights.
+type Profile struct {
+	Name string
+	// Hour holds hour-of-day weights, index 0 = midnight–1am local study
+	// time (the trace uses a single timezone, as one operator region).
+	Hour [24]float64
+	// Day holds day-of-week weights, index 0 = Sunday (time.Weekday).
+	Day [7]float64
+}
+
+// Weight returns the detection weight at time t (product of day and hour
+// weights; mean over a full week is 1).
+func (p *Profile) Weight(t time.Time) float64 {
+	return p.Day[int(t.Weekday())] * p.Hour[t.Hour()]
+}
+
+// MaxWeight returns the largest instantaneous weight, the rejection bound
+// used by SampleTime.
+func (p *Profile) MaxWeight() float64 {
+	maxH, maxD := 0.0, 0.0
+	for _, w := range p.Hour {
+		if w > maxH {
+			maxH = w
+		}
+	}
+	for _, w := range p.Day {
+		if w > maxD {
+			maxD = w
+		}
+	}
+	return maxH * maxD
+}
+
+// SampleTime draws a timestamp in [lo, hi) with density proportional to
+// the profile weight, by rejection sampling against a uniform proposal.
+func (p *Profile) SampleTime(rng *rand.Rand, lo, hi time.Time) time.Time {
+	span := hi.Sub(lo)
+	if span <= 0 {
+		return lo
+	}
+	bound := p.MaxWeight()
+	if bound <= 0 {
+		return lo.Add(time.Duration(rng.Int63n(int64(span))))
+	}
+	for i := 0; i < 4096; i++ {
+		t := lo.Add(time.Duration(rng.Int63n(int64(span))))
+		if rng.Float64()*bound <= p.Weight(t) {
+			return t
+		}
+	}
+	// Pathological profile (nearly all-zero): fall back to uniform.
+	return lo.Add(time.Duration(rng.Int63n(int64(span))))
+}
+
+// Validate reports profile violations.
+func (p *Profile) Validate() error {
+	sumH, sumD := 0.0, 0.0
+	for _, w := range p.Hour {
+		if w < 0 {
+			return fmt.Errorf("workload: %s has negative hour weight", p.Name)
+		}
+		sumH += w
+	}
+	for _, w := range p.Day {
+		if w < 0 {
+			return fmt.Errorf("workload: %s has negative day weight", p.Name)
+		}
+		sumD += w
+	}
+	if sumH == 0 || sumD == 0 {
+		return fmt.Errorf("workload: %s has all-zero weights", p.Name)
+	}
+	return nil
+}
+
+// Named profiles.
+const (
+	// Online is a user-facing service: strong daytime peak, busier
+	// weekdays.
+	Online = "online"
+	// Batch is a Hadoop-style line: jobs run around the clock with an
+	// overnight bias.
+	Batch = "batch"
+	// Mixed blends the two.
+	Mixed = "mixed"
+	// Human is manual detection: office hours, working days — drives the
+	// miscellaneous class (Fig. 4h).
+	Human = "human"
+	// Flat is the uniform profile used by the no-workload-gate ablation.
+	Flat = "flat"
+)
+
+// ByName returns a copy of the named profile. Unknown names return the
+// flat profile, so ablations can safely pass arbitrary strings.
+func ByName(name string) Profile {
+	if p, ok := profiles[name]; ok {
+		return p
+	}
+	return profiles[Flat]
+}
+
+// Names returns the catalogue of profile names.
+func Names() []string {
+	return []string{Online, Batch, Mixed, Human, Flat}
+}
+
+var profiles = buildProfiles()
+
+func buildProfiles() map[string]Profile {
+	out := make(map[string]Profile, 5)
+
+	online := Profile{Name: Online}
+	for h := 0; h < 24; h++ {
+		switch {
+		case h >= 2 && h < 7:
+			online.Hour[h] = 0.40
+		case h >= 7 && h < 10:
+			online.Hour[h] = 1.00
+		case h >= 10 && h < 23:
+			online.Hour[h] = 1.45
+		default:
+			online.Hour[h] = 0.75
+		}
+	}
+	// Weekdays are not flat either: Monday carries the weekend backlog
+	// and activity tapers towards Friday — the reason the paper's
+	// Hypothesis 1 is rejected even with weekends excluded.
+	online.Day = [7]float64{0.76, 1.20, 1.13, 1.10, 1.06, 0.99, 0.72}
+
+	batch := Profile{Name: Batch}
+	for h := 0; h < 24; h++ {
+		switch {
+		case h >= 22 || h < 6: // overnight job window
+			batch.Hour[h] = 1.35
+		case h >= 9 && h < 18:
+			batch.Hour[h] = 0.85
+		default:
+			batch.Hour[h] = 1.00
+		}
+	}
+	batch.Day = [7]float64{0.92, 1.12, 1.06, 1.03, 1.00, 0.96, 0.91}
+
+	mixed := Profile{Name: Mixed}
+	for h := 0; h < 24; h++ {
+		mixed.Hour[h] = (online.Hour[h] + batch.Hour[h]) / 2
+	}
+	for d := 0; d < 7; d++ {
+		mixed.Day[d] = (online.Day[d] + batch.Day[d]) / 2
+	}
+
+	human := Profile{Name: Human}
+	for h := 0; h < 24; h++ {
+		switch {
+		case h >= 9 && h < 12:
+			human.Hour[h] = 3.4
+		case h >= 14 && h < 19:
+			human.Hour[h] = 3.0
+		case h >= 12 && h < 14:
+			human.Hour[h] = 1.6
+		case h >= 19 && h < 22:
+			human.Hour[h] = 0.9
+		default:
+			human.Hour[h] = 0.12
+		}
+	}
+	human.Day = [7]float64{0.22, 1.66, 1.48, 1.38, 1.28, 1.05, 0.33}
+
+	flat := Profile{Name: Flat}
+	for h := 0; h < 24; h++ {
+		flat.Hour[h] = 1
+	}
+	for d := 0; d < 7; d++ {
+		flat.Day[d] = 1
+	}
+
+	for _, p := range []*Profile{&online, &batch, &mixed, &human, &flat} {
+		normalize(p)
+		out[p.Name] = *p
+	}
+	return out
+}
+
+// normalize scales hour and day weights to mean 1 each.
+func normalize(p *Profile) {
+	sumH := 0.0
+	for _, w := range p.Hour {
+		sumH += w
+	}
+	for h := range p.Hour {
+		p.Hour[h] *= 24 / sumH
+	}
+	sumD := 0.0
+	for _, w := range p.Day {
+		sumD += w
+	}
+	for d := range p.Day {
+		p.Day[d] *= 7 / sumD
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcfail/internal/stats"
+)
+
+func TestProfilesNormalized(t *testing.T) {
+	for _, name := range Names() {
+		p := ByName(name)
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		sumH, sumD := 0.0, 0.0
+		for _, w := range p.Hour {
+			sumH += w
+		}
+		for _, w := range p.Day {
+			sumD += w
+		}
+		if math.Abs(sumH-24) > 1e-9 {
+			t.Errorf("%s: hour weights sum %g, want 24", name, sumH)
+		}
+		if math.Abs(sumD-7) > 1e-9 {
+			t.Errorf("%s: day weights sum %g, want 7", name, sumD)
+		}
+	}
+}
+
+func TestByNameUnknownIsFlat(t *testing.T) {
+	p := ByName("whatever")
+	for _, w := range p.Hour {
+		if w != 1 {
+			t.Fatal("unknown profile should be flat")
+		}
+	}
+}
+
+func TestWeightShapes(t *testing.T) {
+	online := ByName(Online)
+	// Tuesday 2pm should outweigh Tuesday 4am.
+	tue14 := time.Date(2015, 3, 10, 14, 0, 0, 0, time.UTC)
+	tue04 := time.Date(2015, 3, 10, 4, 0, 0, 0, time.UTC)
+	if !(online.Weight(tue14) > 2*online.Weight(tue04)) {
+		t.Error("online: daytime should dominate")
+	}
+	human := ByName(Human)
+	sun := time.Date(2015, 3, 8, 10, 0, 0, 0, time.UTC)
+	if !(human.Weight(tue14) > 4*human.Weight(sun)) {
+		t.Error("human: weekday office hours should dominate Sunday")
+	}
+	batch := ByName(Batch)
+	tue23 := time.Date(2015, 3, 10, 23, 0, 0, 0, time.UTC)
+	if !(batch.Weight(tue23) > batch.Weight(tue14)) {
+		t.Error("batch: overnight should outweigh afternoon")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	var p Profile
+	if err := p.Validate(); err == nil {
+		t.Error("zero profile should fail validation")
+	}
+	p = ByName(Flat)
+	p.Hour[3] = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative hour weight should fail")
+	}
+	p = ByName(Flat)
+	p.Day[0] = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative day weight should fail")
+	}
+}
+
+func TestSampleTimeInWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ByName(Online)
+	lo := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	hi := lo.AddDate(0, 1, 0)
+	for i := 0; i < 2000; i++ {
+		ts := p.SampleTime(rng, lo, hi)
+		if ts.Before(lo) || !ts.Before(hi) {
+			t.Fatalf("sample %v outside [%v, %v)", ts, lo, hi)
+		}
+	}
+	// Degenerate window returns lo.
+	if got := p.SampleTime(rng, lo, lo); !got.Equal(lo) {
+		t.Error("empty window should return lo")
+	}
+}
+
+// TestSampleTimeFollowsProfile verifies the sampler reproduces the hourly
+// shape: sampled hours from the online profile must be non-uniform (the
+// chi-square machinery must reject), while the flat profile must pass.
+func TestSampleTimeFollowsProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lo := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC) // Monday
+	hi := lo.AddDate(0, 0, 28)                        // exactly 4 weeks: no day imbalance artifacts
+
+	run := func(name string) []int {
+		p := ByName(name)
+		counts := make([]int, 24)
+		for i := 0; i < 20000; i++ {
+			counts[p.SampleTime(rng, lo, hi).Hour()]++
+		}
+		return counts
+	}
+
+	onlineRes, err := stats.ChiSquareUniform(run(Online))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onlineRes.Reject(0.01) {
+		t.Errorf("online hours look uniform: %v", onlineRes)
+	}
+	flatRes, err := stats.ChiSquareUniform(run(Flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flatRes.Reject(0.001) {
+		t.Errorf("flat hours rejected: %v", flatRes)
+	}
+}
+
+func TestSampleTimeDayShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := ByName(Human)
+	lo := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	hi := lo.AddDate(0, 0, 28)
+	counts := make([]int, 7)
+	for i := 0; i < 20000; i++ {
+		counts[int(p.SampleTime(rng, lo, hi).Weekday())]++
+	}
+	// Sunday (0) must be far below Wednesday (3).
+	if !(counts[3] > 3*counts[0]) {
+		t.Errorf("human weekday shape wrong: %v", counts)
+	}
+}
+
+func TestMaxWeightBounds(t *testing.T) {
+	for _, name := range Names() {
+		p := ByName(name)
+		bound := p.MaxWeight()
+		ts := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 24*7; i++ {
+			if w := p.Weight(ts); w > bound+1e-12 {
+				t.Errorf("%s: weight %g exceeds bound %g at %v", name, w, bound, ts)
+			}
+			ts = ts.Add(time.Hour)
+		}
+	}
+}
