@@ -1,0 +1,31 @@
+# dcfail build/test entry points.
+#
+# Tier 1 (the seed gate): build everything and run the unit tests.
+# Tier 2 (concurrency gate): vet plus the full suite under the race
+# detector — the fmsnet/wal/faultnet crash-safety surface is heavily
+# concurrent and must stay race-clean.
+
+GO ?= go
+
+.PHONY: all build test race vet tier1 tier2 bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+tier1: build test
+
+tier2: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

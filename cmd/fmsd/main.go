@@ -5,6 +5,13 @@
 //
 //	fmsd -listen 127.0.0.1:7070 -archive /var/lib/fms
 //
+// With -wal, the collector is crash-safe: every accepted report and
+// close is appended to a write-ahead log before it is acked, and a
+// restart on the same -wal directory replays the log to rebuild the
+// pool — no acked ticket is ever lost.
+//
+//	fmsd -listen 127.0.0.1:7070 -wal /var/lib/fms-wal
+//
 // With -selftest, fmsd also generates a small synthetic trace, replays it
 // through an agent connection, runs the automated operator loop until the
 // pool drains, prints pool statistics (and any batch alerts raised on the
@@ -41,15 +48,25 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "selftest generation seed")
 	limit := fs.Int("limit", 2000, "selftest: number of tickets to replay")
 	archiveDir := fs.String("archive", "", "archive collected tickets into this directory on shutdown")
+	walDir := fs.String("wal", "", "write-ahead log directory: append before ack, replay on start (crash safety)")
 	alertWindow := fs.Duration("alert-window", 3*time.Hour, "batch alert sliding window")
 	alertThreshold := fs.Int("alert-threshold", 20, "batch alert distinct-server threshold")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	collector, err := fmsnet.NewCollector(*listen)
+	collector, err := fmsnet.NewCollectorWith(*listen, fmsnet.CollectorOptions{WALDir: *walDir})
 	if err != nil {
 		return err
+	}
+	if *walDir != "" {
+		rec := collector.Recovered()
+		fmt.Printf("fmsd: wal %s: recovered %d reports, %d closes (%d open)",
+			*walDir, rec.Reports, rec.Closes, rec.Open)
+		if rec.TornBytes > 0 {
+			fmt.Printf(", discarded %d torn bytes", rec.TornBytes)
+		}
+		fmt.Println()
 	}
 	collector.EnableBatchAlerts(
 		mine.NewBatchDetector(*alertWindow, *alertThreshold),
@@ -117,8 +134,14 @@ func runSelftest(collector *fmsnet.Collector, seed int64, limit int) error {
 	agentDone := make(chan error, 1)
 	var stats *fmsnet.AgentStats
 	go func() {
+		cfg := fmsnet.DefaultAgentConfig()
+		// At-least-once delivery with dedup. The id must be unique per
+		// agent incarnation: a recovered WAL remembers every (AgentID,
+		// Seq) pair ever acked, and this agent restarts its sequence at
+		// 1 on every run.
+		cfg.AgentID = fmt.Sprintf("selftest-agent-%d", time.Now().UnixNano())
 		var err error
-		stats, err = fmsnet.RunAgent(collector.Addr(), reports, fmsnet.DefaultAgentConfig())
+		stats, err = fmsnet.RunAgent(collector.Addr(), reports, cfg)
 		agentDone <- err
 	}()
 	n := 0

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dcfail/internal/archive"
+	"dcfail/internal/fmsnet"
 )
 
 func TestSelftest(t *testing.T) {
@@ -20,6 +21,35 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestSelftestWithWAL(t *testing.T) {
+	dir := t.TempDir() + "/wal"
+	err := run([]string{"-listen", "127.0.0.1:0", "-selftest", "-limit", "120", "-seed", "4", "-wal", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh collector on the same WAL replays the whole selftest: all
+	// tickets present, everything closed.
+	col, err := fmsnet.NewCollectorWith("127.0.0.1:0", fmsnet.CollectorOptions{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	rec := col.Recovered()
+	if rec.Reports != 120 {
+		t.Errorf("recovered %d reports, want 120", rec.Reports)
+	}
+	if rec.Open != 0 {
+		t.Errorf("%d tickets reopened after a drained selftest", rec.Open)
+	}
+	tr := col.Trace()
+	if tr.Len() != 120 {
+		t.Errorf("recovered trace has %d tickets, want 120", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("recovered trace invalid: %v", err)
 	}
 }
 

@@ -12,9 +12,13 @@
 //     (batch epidemics, PDU outages, repeat twins, the chronic BBU
 //     server) and Table II-calibrated baseline generation
 //   - internal/fms, internal/fmsnet, internal/archive — the failure
-//     management system: ticket-lifecycle engine, a real TCP collector
-//     with agents / operator loops / live batch alerts, and the on-disk
-//     ticket archive
+//     management system: ticket-lifecycle engine, a crash-safe TCP
+//     collector (write-ahead log, at-least-once agent delivery with
+//     dedup) with agents / operator loops / live batch alerts, and the
+//     on-disk ticket archive
+//   - internal/wal, internal/faultnet — the durability substrate: a
+//     segmented CRC-framed group-commit write-ahead log, and a chaos
+//     TCP proxy driving the crash/fault integration tests
 //   - internal/stats — distributions, MLE fitting, chi-squared and KS
 //     testing, AIC ranking
 //   - internal/core — the paper's analyses, one per table and figure,

@@ -1,9 +1,12 @@
 // Netpipeline runs the paper's Fig. 1 architecture end to end over real
-// TCP: a collector comes up, host agents replay a simulated month of
-// failures as wire reports, an operator client reviews and closes the
-// pool, the tickets land in an on-disk archive, and the archived trace is
-// analyzed — proving the analysis pipeline is agnostic to where tickets
-// come from.
+// TCP: a crash-safe collector comes up on a write-ahead log, host agents
+// replay a simulated month of failures as wire reports (stamped with
+// at-least-once dedup keys), the collector is then killed and a
+// replacement recovers the full pool from the WAL, an operator client
+// reviews and closes the recovered pool, the tickets land in an on-disk
+// archive, and the archived trace is analyzed — proving the analysis
+// pipeline is agnostic to where tickets come from and that a collector
+// crash loses nothing that was acked.
 package main
 
 import (
@@ -40,15 +43,23 @@ func run() error {
 	)
 	fmt.Printf("replaying %d tickets through the wire pipeline\n", month.Len())
 
-	// 2. Collector on an ephemeral port.
-	collector, err := fmsnet.NewCollector("127.0.0.1:0")
+	// 2. Crash-safe collector on an ephemeral port: every accepted
+	// report is WAL-appended before the ack.
+	walDir, err := os.MkdirTemp("", "dcfail-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	collector, err := fmsnet.NewCollectorWith("127.0.0.1:0", fmsnet.CollectorOptions{WALDir: walDir})
 	if err != nil {
 		return err
 	}
 	defer collector.Close()
-	fmt.Printf("collector listening on %s\n", collector.Addr())
+	fmt.Printf("collector listening on %s (wal in %s)\n", collector.Addr(), walDir)
 
-	// 3. Four concurrent agents partition the tickets by host id.
+	// 3. Four concurrent agents partition the tickets by host id; each
+	// stamps its reports with an (AgentID, Seq) dedup key so retries
+	// after a lost ack can never double-insert.
 	const agents = 4
 	channels := make([]chan *fmsnet.Report, agents)
 	for i := range channels {
@@ -61,7 +72,9 @@ func run() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			stats, err := fmsnet.RunAgent(collector.Addr(), channels[i], fmsnet.DefaultAgentConfig())
+			cfg := fmsnet.DefaultAgentConfig()
+			cfg.AgentID = fmt.Sprintf("net-agent-%d", i)
+			stats, err := fmsnet.RunAgent(collector.Addr(), channels[i], cfg)
 			agentErrs[i] = err
 			if stats != nil {
 				sent[i] = stats.Sent
@@ -92,7 +105,21 @@ func run() error {
 	}
 	fmt.Printf("agents delivered %d reports\n", total)
 
-	// 4. An operator drains the open pool.
+	// 4. Crash the collector and recover a replacement from the WAL:
+	// the pool comes back exactly as acked.
+	if err := collector.Close(); err != nil {
+		return err
+	}
+	collector, err = fmsnet.NewCollectorWith("127.0.0.1:0", fmsnet.CollectorOptions{WALDir: walDir})
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+	rec := collector.Recovered()
+	fmt.Printf("collector restarted on %s: recovered %d reports (%d open) from the wal\n",
+		collector.Addr(), rec.Reports, rec.Open)
+
+	// 5. An operator drains the recovered pool.
 	operator, err := fmsnet.Dial(collector.Addr())
 	if err != nil {
 		return err
@@ -113,7 +140,7 @@ func run() error {
 	}
 	fmt.Printf("operator closed %d tickets; pool now %+v\n", len(open), *stats)
 
-	// 5. Archive the collected tickets on disk, query them back.
+	// 6. Archive the collected tickets on disk, query them back.
 	dir, err := os.MkdirTemp("", "dcfail-archive-*")
 	if err != nil {
 		return err
@@ -136,7 +163,7 @@ func run() error {
 	fmt.Printf("archive holds %d tickets in %d segment(s)\n",
 		archived.Len(), len(arch.Segments()))
 
-	// 6. Analyze the archived trace exactly like a simulated one.
+	// 7. Analyze the archived trace exactly like a simulated one.
 	breakdown, err := core.ComponentBreakdown(archived)
 	if err != nil {
 		return err

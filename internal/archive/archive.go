@@ -198,6 +198,11 @@ func (a *Archive) closeCurrentLocked() error {
 	if err := a.writer.Flush(); err != nil {
 		return fmt.Errorf("archive: flush: %w", err)
 	}
+	// fsync before the sidecar is written: a sidecar must never claim
+	// tickets the segment could lose in a crash.
+	if err := a.current.Sync(); err != nil {
+		return fmt.Errorf("archive: fsync segment: %w", err)
+	}
 	if err := a.current.Close(); err != nil {
 		return fmt.Errorf("archive: close segment: %w", err)
 	}

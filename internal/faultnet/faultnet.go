@@ -1,0 +1,219 @@
+// Package faultnet is a chaos TCP proxy for integration-testing the
+// networked FMS: agents and operators dial the proxy instead of the
+// collector, and tests inject the paper's failure scenarios on the wire —
+// added latency, network partitions, connections severed mid-frame, and
+// one-way stalls that deliver a request but black-hole the ack (the case
+// that forces at-least-once retry plus collector-side dedup).
+//
+// All fault controls are safe to flip at runtime from the test goroutine
+// while traffic flows.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy forwards TCP connections to an upstream address, applying the
+// currently configured faults to every live and future connection.
+type Proxy struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	upstream string
+	links    map[*link]struct{}
+
+	partition atomic.Bool  // refuse new conns, sever existing
+	stallUp   atomic.Bool  // black-hole upstream->client bytes (lost acks)
+	delay     atomic.Int64 // per-chunk latency, nanoseconds
+	truncate  atomic.Int64 // sever a conn after forwarding this many client bytes (0 = off)
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// link is one proxied connection pair.
+type link struct {
+	client, server net.Conn
+	sentUp         atomic.Int64 // client->upstream bytes forwarded
+	once           sync.Once
+}
+
+func (l *link) sever() {
+	l.once.Do(func() {
+		l.client.Close()
+		l.server.Close()
+	})
+}
+
+// New starts a proxy listening on listenAddr (use "127.0.0.1:0") that
+// forwards to upstream. Callers must Close it.
+func New(listenAddr, upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{
+		ln:       ln,
+		upstream: upstream,
+		links:    make(map[*link]struct{}),
+		closing:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address — what agents dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetUpstream repoints future connections at a new collector address —
+// how tests "restart" a collector without racing to rebind the old port.
+func (p *Proxy) SetUpstream(addr string) {
+	p.mu.Lock()
+	p.upstream = addr
+	p.mu.Unlock()
+}
+
+// SetDelay adds per-chunk forwarding latency in both directions.
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// SetTruncateAfter severs each connection once it has forwarded n client
+// bytes upstream — cutting a JSON frame mid-line. 0 disables.
+func (p *Proxy) SetTruncateAfter(n int64) { p.truncate.Store(n) }
+
+// StallUpstream black-holes upstream->client traffic when on: requests
+// still reach the collector, but acks never come back.
+func (p *Proxy) StallUpstream(on bool) { p.stallUp.Store(on) }
+
+// Partition severs every live connection and refuses new ones while on.
+func (p *Proxy) Partition(on bool) {
+	p.partition.Store(on)
+	if on {
+		p.SeverAll()
+	}
+}
+
+// SeverAll drops every live connection (future ones proceed normally).
+func (p *Proxy) SeverAll() {
+	p.mu.Lock()
+	for l := range p.links {
+		l.sever()
+	}
+	p.mu.Unlock()
+}
+
+// ActiveConns reports the number of live proxied connections.
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links)
+}
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() error {
+	close(p.closing)
+	err := p.ln.Close()
+	p.SeverAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closing:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if p.partition.Load() {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		upstream := p.upstream
+		p.mu.Unlock()
+		server, err := net.DialTimeout("tcp", upstream, 2*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		l := &link{client: conn, server: server}
+		p.mu.Lock()
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(l, conn, server, true)
+		go p.pump(l, server, conn, false)
+	}
+}
+
+// pump copies src→dst applying the live fault controls. clientToServer
+// marks the request direction (budgeted by SetTruncateAfter); the reverse
+// direction is the one StallUpstream black-holes.
+func (p *Proxy) pump(l *link, src, dst net.Conn, clientToServer bool) {
+	defer p.wg.Done()
+	defer func() {
+		l.sever()
+		p.mu.Lock()
+		delete(p.links, l)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := time.Duration(p.delay.Load()); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-p.closing:
+					return
+				}
+			}
+			if p.partition.Load() {
+				return
+			}
+			chunk := buf[:n]
+			if clientToServer {
+				if limit := p.truncate.Load(); limit > 0 {
+					already := l.sentUp.Load()
+					if already+int64(n) > limit {
+						// Forward a prefix so the frame is cut mid-line,
+						// then sever.
+						if keep := limit - already; keep > 0 {
+							dst.Write(chunk[:keep])
+						}
+						return
+					}
+				}
+				l.sentUp.Add(int64(n))
+			} else if p.stallUp.Load() {
+				// Black-hole the ack but keep draining so the collector
+				// never blocks on its send buffer.
+				continue
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}

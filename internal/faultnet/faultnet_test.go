@@ -1,0 +1,236 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer is a line-echo upstream for exercising the proxy.
+type echoServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	received []string
+}
+
+func startEcho(t *testing.T) *echoServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					line := sc.Text()
+					s.mu.Lock()
+					s.received = append(s.received, line)
+					s.mu.Unlock()
+					fmt.Fprintf(conn, "echo:%s\n", line)
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); s.wg.Wait() })
+	return s
+}
+
+func (s *echoServer) addr() string { return s.ln.Addr().String() }
+
+func (s *echoServer) got() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.received...)
+}
+
+func startProxy(t *testing.T, upstream string) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:0", upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func roundTrip(t *testing.T, conn net.Conn, line string) (string, error) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("connection closed")
+	}
+	return sc.Text(), nil
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := roundTrip(t, conn, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "echo:hello" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	p.SetDelay(60 * time.Millisecond)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, conn, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Two directions, ≥60ms each.
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("round trip took %v, want ≥ ~120ms", elapsed)
+	}
+}
+
+func TestPartitionRefusesAndSevers(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition(true)
+	if _, err := roundTrip(t, conn, "during"); err == nil {
+		t.Error("severed connection still round-tripped")
+	}
+	// New connections die immediately (accept-then-close) or fail.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if _, rerr := roundTrip(t, c2, "during2"); rerr == nil {
+			t.Error("partitioned proxy still forwards")
+		}
+		c2.Close()
+	}
+	p.Partition(false)
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, err := roundTrip(t, c3, "post"); err != nil {
+		t.Errorf("healed partition still failing: %v", err)
+	}
+}
+
+func TestTruncateMidFrame(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	p.SetTruncateAfter(10)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 30-byte line: the proxy forwards 10 bytes then severs, so the
+	// upstream never sees a complete frame.
+	if _, err := roundTrip(t, conn, strings.Repeat("x", 30)); err == nil {
+		t.Fatal("truncated connection returned a response")
+	}
+	deadline := time.Now().Add(time.Second)
+	for p.ActiveConns() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, line := range echo.got() {
+		if strings.Contains(line, "xxxxxxxxxxx") {
+			t.Errorf("upstream received full frame %q despite truncation", line)
+		}
+	}
+}
+
+func TestStallUpstreamLosesAcks(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	p.StallUpstream(true)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The request goes through; the response never arrives.
+	if _, err := roundTrip(t, conn, "lost-ack"); err == nil {
+		t.Fatal("stalled direction delivered a response")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(echo.got()) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := echo.got()
+	if len(got) != 1 || got[0] != "lost-ack" {
+		t.Fatalf("upstream received %q, want the stalled request", got)
+	}
+}
+
+func TestSetUpstreamRedirectsNewConns(t *testing.T) {
+	echo1 := startEcho(t)
+	echo2 := startEcho(t)
+	p := startProxy(t, echo1.addr())
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := roundTrip(t, c1, "first"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetUpstream(echo2.addr())
+	p.SeverAll()
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := roundTrip(t, c2, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if got := echo2.got(); len(got) != 1 || got[0] != "second" {
+		t.Errorf("new upstream received %q", got)
+	}
+}

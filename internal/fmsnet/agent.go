@@ -1,19 +1,45 @@
 package fmsnet
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
 // AgentConfig tunes the host agent's delivery behavior.
 type AgentConfig struct {
+	// AgentID identifies this agent for at-least-once dedup: every
+	// report is stamped with (AgentID, delivery sequence) so retries
+	// after a lost ack cannot double-insert at the collector. Empty
+	// disables dedup stamping (legacy fire-once delivery).
+	//
+	// RunAgent numbers deliveries from 1, so the id must be unique per
+	// agent *incarnation* (e.g. host plus boot epoch): a WAL-backed
+	// collector remembers every (AgentID, Seq) pair it ever acked, and
+	// a restarted agent reusing both would see its fresh reports
+	// deduplicated against a previous life's.
+	AgentID string
 	// MaxAttempts bounds delivery attempts per report (connection
-	// establishment included). Minimum 1.
+	// establishment included). Minimum 1. Ignored when RetryForever.
 	MaxAttempts int
+	// RetryForever keeps retrying each report until it is delivered or
+	// permanently rejected — the paper's invariant that detections
+	// "must reach the central FMS" across arbitrarily long collector
+	// outages.
+	RetryForever bool
 	// RetryBase is the initial backoff; it doubles per retry up to
-	// RetryMax.
+	// RetryMax, and each sleep is jittered uniformly within
+	// [RetryBase, current cap] so a restarted collector is not hit by a
+	// thundering herd of synchronized agents.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// SpoolSize bounds the in-memory report spool between the detector
+	// (the reports channel) and the sender. During a collector outage
+	// up to SpoolSize detections queue locally instead of blocking the
+	// detector; once full, sends into the channel block (backpressure).
+	// 0 means no spool: the sender consumes the channel directly.
+	SpoolSize int
 }
 
 // DefaultAgentConfig returns sensible retry settings for a host agent.
@@ -22,6 +48,7 @@ func DefaultAgentConfig() AgentConfig {
 		MaxAttempts: 5,
 		RetryBase:   20 * time.Millisecond,
 		RetryMax:    2 * time.Second,
+		SpoolSize:   256,
 	}
 }
 
@@ -29,13 +56,34 @@ func DefaultAgentConfig() AgentConfig {
 type AgentStats struct {
 	Sent    int
 	Retries int
+	// Duplicates counts acks where the collector had already accepted
+	// the report under the same (AgentID, Seq) — retries whose original
+	// attempt landed but whose ack was lost.
+	Duplicates int
+}
+
+// retryDelay returns the jittered backoff before retry number attempt
+// (attempt ≥ 1): the exponential cap base<<(attempt-1) clamped to max,
+// then drawn uniformly from [base, cap] using r ∈ [0, 1).
+func retryDelay(base, max time.Duration, attempt int, r float64) time.Duration {
+	ceil := base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	return base + time.Duration(r*float64(ceil-base))
 }
 
 // RunAgent drains reports and delivers each to the collector at addr,
-// reconnecting with exponential backoff on failure. It returns when the
-// channel is closed (success) or when a report exhausts its attempts.
-// It mirrors the paper's host agent: detections must reach the central
-// FMS even across collector restarts.
+// reconnecting with jittered exponential backoff on failure. It returns
+// when the channel is closed and the spool has drained (success), when a
+// report exhausts its attempts (unless RetryForever), or when the
+// collector permanently rejects a report. It mirrors the paper's host
+// agent: detections must reach the central FMS even across collector
+// restarts, and with an AgentID set, delivery is exactly-once at the
+// collector (at-least-once on the wire plus dedup).
 func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats, error) {
 	if cfg.MaxAttempts < 1 {
 		cfg.MaxAttempts = 1
@@ -46,6 +94,28 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 	if cfg.RetryMax < cfg.RetryBase {
 		cfg.RetryMax = cfg.RetryBase
 	}
+	// The spool decouples detection from delivery: a buffered stage the
+	// detector can fill while the sender rides out a collector outage.
+	// quit stops the pump if delivery aborts, so an early return does
+	// not keep draining the caller's channel.
+	spool := reports
+	if cfg.SpoolSize > 0 {
+		buf := make(chan *Report, cfg.SpoolSize)
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			defer close(buf)
+			for rep := range reports {
+				select {
+				case buf <- rep:
+				case <-quit:
+					return
+				}
+			}
+		}()
+		spool = buf
+	}
+
 	stats := &AgentStats{}
 	var client *Client
 	defer func() {
@@ -53,18 +123,15 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 			client.Close()
 		}
 	}()
-	for rep := range reports {
-		backoff := cfg.RetryBase
+	var seq uint64
+	for rep := range spool {
+		seq++
 		delivered := false
 		var lastErr error
-		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		for attempt := 0; cfg.RetryForever || attempt < cfg.MaxAttempts; attempt++ {
 			if attempt > 0 {
 				stats.Retries++
-				time.Sleep(backoff)
-				backoff *= 2
-				if backoff > cfg.RetryMax {
-					backoff = cfg.RetryMax
-				}
+				time.Sleep(retryDelay(cfg.RetryBase, cfg.RetryMax, attempt, rand.Float64()))
 			}
 			if client == nil {
 				c, err := Dial(addr)
@@ -74,11 +141,21 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 				}
 				client = c
 			}
-			if _, err := client.Report(rep); err != nil {
+			var dup bool
+			var err error
+			if cfg.AgentID != "" {
+				_, dup, err = client.ReportFrom(rep, cfg.AgentID, seq)
+			} else {
+				_, err = client.Report(rep)
+			}
+			if err != nil {
 				lastErr = err
-				// A collector-side validation error is permanent; a
-				// transport error warrants a reconnect.
-				if isProtocolError(err) {
+				// A collector rejection is permanent (retrying the same
+				// report cannot succeed) unless the collector flagged it
+				// as an internal fault; a transport error warrants a
+				// reconnect and retry.
+				var pe *ProtocolError
+				if errors.As(err, &pe) && pe.Permanent() {
 					return stats, fmt.Errorf("fmsnet: report rejected: %w", err)
 				}
 				client.Close()
@@ -86,6 +163,9 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 				continue
 			}
 			stats.Sent++
+			if dup {
+				stats.Duplicates++
+			}
 			delivered = true
 			break
 		}
@@ -95,17 +175,4 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 		}
 	}
 	return stats, nil
-}
-
-// isProtocolError distinguishes collector rejections (the collector
-// answered with KindError) from transport failures.
-func isProtocolError(err error) bool {
-	// Collector rejections are wrapped with the "collector:" prefix by
-	// roundTrip; transport errors are not.
-	return err != nil && containsCollectorPrefix(err.Error())
-}
-
-func containsCollectorPrefix(s string) bool {
-	const prefix = "fmsnet: collector:"
-	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
 }

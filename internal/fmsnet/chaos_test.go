@@ -1,0 +1,234 @@
+package fmsnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/faultnet"
+	"dcfail/internal/fot"
+)
+
+// TestChaosCollectorCrashMidStream is the end-to-end crash-safety
+// acceptance test: agents in retry-forever mode deliver through a
+// faultnet proxy while the test stalls acks, truncates frames mid-line,
+// partitions the network, and hard-stops the collector mid-stream. The
+// replacement collector recovers from the WAL, the proxy is repointed at
+// it, and the final trace must contain every acked report exactly once —
+// zero loss, zero duplicates.
+func TestChaosCollectorCrashMidStream(t *testing.T) {
+	walDir := t.TempDir()
+	col1, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := faultnet.New("127.0.0.1:0", col1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const agents = 2
+	const perAgent = 60
+	channels := make([]chan *Report, agents)
+	for i := range channels {
+		channels[i] = make(chan *Report, 16)
+	}
+	var wg sync.WaitGroup
+	agentStats := make([]*AgentStats, agents)
+	agentErrs := make([]error, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultAgentConfig()
+			cfg.AgentID = fmt.Sprintf("chaos-agent-%d", i)
+			cfg.RetryForever = true
+			cfg.RetryBase = 5 * time.Millisecond
+			cfg.RetryMax = 80 * time.Millisecond
+			cfg.SpoolSize = 32
+			agentStats[i], agentErrs[i] = RunAgent(proxy.Addr(), channels[i], cfg)
+		}(i)
+	}
+	// Feed reports in the background; unique host ids make loss and
+	// duplication directly countable in the final trace.
+	go func() {
+		for n := 0; n < perAgent; n++ {
+			for i := 0; i < agents; i++ {
+				channels[i] <- sampleReport(uint64(i*perAgent+n+1), n%3 == 0)
+			}
+			// Pace detections so every chaos phase lands mid-stream
+			// rather than after the backlog has already drained.
+			time.Sleep(4 * time.Millisecond)
+		}
+		for i := range channels {
+			close(channels[i])
+		}
+	}()
+
+	// Chaos phase 1: lose acks. Requests reach the collector but the
+	// responses are black-holed, so agents must retry and the collector
+	// must dedup on (AgentID, Seq).
+	time.Sleep(50 * time.Millisecond)
+	proxy.StallUpstream(true)
+	time.Sleep(100 * time.Millisecond)
+	proxy.StallUpstream(false)
+	proxy.SeverAll() // unstick agents blocked on the stalled reads
+
+	// Chaos phase 2: truncate frames mid-line, then heal.
+	time.Sleep(50 * time.Millisecond)
+	proxy.SetTruncateAfter(200)
+	time.Sleep(100 * time.Millisecond)
+	proxy.SetTruncateAfter(0)
+	proxy.SeverAll()
+
+	// Chaos phase 3: hard-stop the collector mid-stream behind a
+	// partition, then bring a replacement up from the WAL and repoint
+	// the proxy — the agents never learn the address changed.
+	time.Sleep(50 * time.Millisecond)
+	proxy.Partition(true)
+	if err := col1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	col2, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+	rec := col2.Recovered()
+	t.Logf("recovered %d reports / %d closes (%d open) after crash", rec.Reports, rec.Closes, rec.Open)
+	proxy.SetUpstream(col2.Addr())
+	proxy.Partition(false)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("agents did not drain after the collector came back")
+	}
+	for i, err := range agentErrs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+		if agentStats[i].Sent != perAgent {
+			t.Errorf("agent %d sent %d, want %d", i, agentStats[i].Sent, perAgent)
+		}
+	}
+	t.Logf("agent stats: %+v %+v", *agentStats[0], *agentStats[1])
+
+	// Zero acked-ticket loss, zero duplicates: every (agent, host)
+	// appears exactly once.
+	tr := col2.Trace()
+	if tr.Len() != agents*perAgent {
+		t.Fatalf("final trace has %d tickets, want %d", tr.Len(), agents*perAgent)
+	}
+	seen := map[uint64]bool{}
+	for _, tk := range tr.Tickets {
+		if seen[tk.HostID] {
+			t.Fatalf("host %d reported twice — duplicate insert", tk.HostID)
+		}
+		seen[tk.HostID] = true
+	}
+
+	// Operator drains the recovered pool; the closes are WAL-durable
+	// too.
+	cl, err := Dial(col2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	open, err := cl.List(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range open {
+		if err := cl.CloseTicket(tk.ID, fot.ActionRepairOrder, "op-chaos"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third incarnation replays everything — the archive-of-record
+	// property: the trace survives any number of crashes bit-for-bit.
+	col3, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col3.Close()
+	final := col3.Trace()
+	if final.Len() != tr.Len() {
+		t.Fatalf("third recovery has %d tickets, want %d", final.Len(), tr.Len())
+	}
+	if got := col3.Recovered().Open; got != 0 {
+		t.Errorf("%d tickets reopened after operator drain", got)
+	}
+	if err := final.Validate(); err != nil {
+		t.Errorf("recovered trace invalid: %v", err)
+	}
+}
+
+// TestChaosPartitionOnlyDelaysDelivery exercises a pure network fault
+// with a healthy collector: a partition opens mid-stream and heals; no
+// restart is involved, and still nothing is lost or duplicated.
+func TestChaosPartitionOnlyDelaysDelivery(t *testing.T) {
+	col := startCollector(t)
+	proxy, err := faultnet.New("127.0.0.1:0", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.SetDelay(time.Millisecond)
+
+	reports := make(chan *Report, 8)
+	cfg := DefaultAgentConfig()
+	cfg.AgentID = "partition-agent"
+	cfg.RetryForever = true
+	cfg.RetryBase = 5 * time.Millisecond
+	cfg.RetryMax = 50 * time.Millisecond
+	done := make(chan struct{})
+	var stats *AgentStats
+	var agentErr error
+	go func() {
+		defer close(done)
+		stats, agentErr = RunAgent(proxy.Addr(), reports, cfg)
+	}()
+
+	const total = 40
+	go func() {
+		for i := uint64(1); i <= total; i++ {
+			reports <- sampleReport(i, true)
+			if i == total/2 {
+				proxy.Partition(true)
+				time.Sleep(150 * time.Millisecond)
+				proxy.Partition(false)
+			}
+		}
+		close(reports)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not finish after partition healed")
+	}
+	if agentErr != nil {
+		t.Fatal(agentErr)
+	}
+	if stats.Sent != total {
+		t.Errorf("sent = %d, want %d", stats.Sent, total)
+	}
+	tr := col.Trace()
+	if tr.Len() != total {
+		t.Fatalf("trace has %d tickets, want %d", tr.Len(), total)
+	}
+	hosts := map[uint64]bool{}
+	for _, tk := range tr.Tickets {
+		if hosts[tk.HostID] {
+			t.Fatalf("duplicate report for host %d", tk.HostID)
+		}
+		hosts[tk.HostID] = true
+	}
+}

@@ -56,7 +56,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("fmsnet: decode response: %w", err)
 	}
 	if resp.Kind == KindError {
-		return nil, fmt.Errorf("fmsnet: collector: %s", resp.Error)
+		return nil, &ProtocolError{Code: resp.Code, Msg: resp.Error}
 	}
 	return &resp, nil
 }
@@ -68,6 +68,19 @@ func (c *Client) Report(r *Report) (uint64, error) {
 		return 0, err
 	}
 	return resp.TicketID, nil
+}
+
+// ReportFrom submits one report stamped with the agent's (AgentID, Seq)
+// dedup key, enabling at-least-once delivery: resending after a lost ack
+// is safe because the collector re-acks the original ticket instead of
+// inserting a duplicate. It returns the ticket id and whether the
+// collector recognized the report as a duplicate.
+func (c *Client) ReportFrom(r *Report, agentID string, seq uint64) (uint64, bool, error) {
+	resp, err := c.roundTrip(&Request{Kind: KindReport, AgentID: agentID, Seq: seq, Report: r})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.TicketID, resp.Duplicate, nil
 }
 
 // List fetches tickets from the pool.

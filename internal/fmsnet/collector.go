@@ -11,39 +11,109 @@ import (
 
 	"dcfail/internal/fot"
 	"dcfail/internal/mine"
+	"dcfail/internal/wal"
 )
 
+// CollectorOptions tunes a collector beyond its listen address.
+type CollectorOptions struct {
+	// WALDir enables crash safety: every accepted report and close is
+	// appended (CRC-framed, fsync-batched) to a write-ahead log in this
+	// directory before the collector acks, and a collector opened on an
+	// existing WAL replays it to rebuild the pool. Empty disables
+	// durability (the seed's in-memory behavior).
+	WALDir string
+	// WAL tunes the log when WALDir is set.
+	WAL wal.Options
+	// Now supplies close timestamps (nil means time.Now) so lifecycle
+	// tests are deterministic and replayed closes carry their original
+	// OpTime.
+	Now func() time.Time
+}
+
+// RecoveryStats reports what a WAL replay rebuilt.
+type RecoveryStats struct {
+	Reports   int   // report records replayed (tickets rebuilt)
+	Closes    int   // close records replayed
+	Open      int   // tickets left open after replay
+	TornBytes int64 // torn tail discarded from the newest WAL segment
+}
+
+// sourceKey is the at-least-once dedup key: one agent's delivery
+// sequence number.
+type sourceKey struct {
+	agent string
+	seq   uint64
+}
+
 // Collector is the centralized FMS server: it accepts agent reports and
-// operator commands over TCP and keeps the failure pool in memory.
+// operator commands over TCP and keeps the failure pool in memory,
+// optionally backed by a write-ahead log so a crash loses nothing that
+// was acked.
 type Collector struct {
 	listener net.Listener
+	log      *wal.WAL
+	now      func() time.Time
 
-	mu      sync.Mutex
-	nextID  uint64
-	tickets []fot.Ticket
-	open    map[uint64]int // ticket id -> index into tickets
-	conns   map[net.Conn]struct{}
+	mu        sync.Mutex
+	nextID    uint64
+	tickets   []fot.Ticket
+	open      map[uint64]int       // ticket id -> index into tickets
+	seen      map[sourceKey]uint64 // (agent, seq) -> ticket id
+	conns     map[net.Conn]struct{}
+	recovered RecoveryStats
 
 	detector *mine.BatchDetector
 	onAlert  func(mine.BatchAlert)
 
-	wg      sync.WaitGroup
-	closing chan struct{}
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewCollector starts a collector listening on addr (use "127.0.0.1:0"
-// for an ephemeral test port). Callers must Close it.
+// NewCollector starts an in-memory collector listening on addr (use
+// "127.0.0.1:0" for an ephemeral test port). Callers must Close it.
 func NewCollector(addr string) (*Collector, error) {
+	return NewCollectorWith(addr, CollectorOptions{})
+}
+
+// NewCollectorWith starts a collector with explicit options. With a WAL
+// directory set, the log is replayed first: tickets, the open pool, the
+// id counter, and the dedup index all come back exactly as acked before
+// the crash.
+func NewCollectorWith(addr string, opts CollectorOptions) (*Collector, error) {
+	c := &Collector{
+		open:    make(map[uint64]int),
+		seen:    make(map[sourceKey]uint64),
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+		now:     opts.Now,
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if opts.WALDir != "" {
+		w, err := wal.Open(opts.WALDir, opts.WAL)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := wal.Replay(opts.WALDir, c.applyReplayed)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("fmsnet: wal replay: %w", err)
+		}
+		c.recovered.Open = len(c.open)
+		c.recovered.TornBytes = stats.TornBytes + w.TornBytes()
+		c.log = w
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if c.log != nil {
+			c.log.Close()
+		}
 		return nil, fmt.Errorf("fmsnet: listen: %w", err)
 	}
-	c := &Collector{
-		listener: ln,
-		open:     make(map[uint64]int),
-		conns:    make(map[net.Conn]struct{}),
-		closing:  make(chan struct{}),
-	}
+	c.listener = ln
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -51,6 +121,14 @@ func NewCollector(addr string) (*Collector, error) {
 
 // Addr returns the listening address.
 func (c *Collector) Addr() string { return c.listener.Addr().String() }
+
+// Recovered reports what the WAL replay rebuilt at startup (zero values
+// without a WAL or on a fresh directory).
+func (c *Collector) Recovered() RecoveryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovered
+}
 
 // EnableBatchAlerts attaches a live batch detector (internal/mine): every
 // accepted report flows through it, and onAlert runs (on the reporting
@@ -64,18 +142,26 @@ func (c *Collector) EnableBatchAlerts(d *mine.BatchDetector, onAlert func(mine.B
 }
 
 // Close stops accepting, severs active connections (idle agents would
-// otherwise hold the collector open forever), and waits for the handler
-// goroutines to drain.
+// otherwise hold the collector open forever), waits for the handler
+// goroutines to drain, and finalizes the WAL. It is idempotent.
 func (c *Collector) Close() error {
-	close(c.closing)
-	err := c.listener.Close()
-	c.mu.Lock()
-	for conn := range c.conns {
-		conn.Close()
-	}
-	c.mu.Unlock()
-	c.wg.Wait()
-	return err
+	c.closeOnce.Do(func() {
+		close(c.closing)
+		err := c.listener.Close()
+		c.mu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
+		c.wg.Wait()
+		if c.log != nil {
+			if werr := c.log.Close(); err == nil {
+				err = werr
+			}
+		}
+		c.closeErr = err
+	})
+	return c.closeErr
 }
 
 // Trace exports the pool as an analysis-ready trace (a copy).
@@ -85,6 +171,91 @@ func (c *Collector) Trace() *fot.Trace {
 	cp := make([]fot.Ticket, len(c.tickets))
 	copy(cp, c.tickets)
 	return fot.NewTrace(cp)
+}
+
+// WAL record operations.
+const (
+	walOpReport = "report"
+	walOpClose  = "close"
+)
+
+// walRecord is one durable state transition. Report records carry the
+// fully materialized ticket (id, category, action already assigned) plus
+// the dedup key; close records carry the operator decision including the
+// original OpTime so replay is bit-identical.
+type walRecord struct {
+	Op       string      `json:"op"`
+	Ticket   *fot.Ticket `json:"ticket,omitempty"`
+	AgentID  string      `json:"agent_id,omitempty"`
+	Seq      uint64      `json:"seq,omitempty"`
+	TicketID uint64      `json:"ticket_id,omitempty"`
+	Action   string      `json:"action,omitempty"`
+	Operator string      `json:"operator,omitempty"`
+	OpTime   time.Time   `json:"op_time,omitempty"`
+}
+
+// appendWAL makes one record durable; a nil log is a no-op. Called
+// outside c.mu so concurrent handlers share group-commit fsyncs.
+func (c *Collector) appendWAL(rec *walRecord) error {
+	if c.log == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return codedErrorf(CodeInternal, "fmsnet: wal encode: %v", err)
+	}
+	if err := c.log.Append(payload); err != nil {
+		return codedErrorf(CodeInternal, "fmsnet: wal append: %v", err)
+	}
+	return nil
+}
+
+// applyReplayed rebuilds in-memory state from one WAL record. It runs
+// before the listener starts, so no locking is needed.
+func (c *Collector) applyReplayed(payload []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("decode record: %w", err)
+	}
+	switch rec.Op {
+	case walOpReport:
+		if rec.Ticket == nil {
+			return fmt.Errorf("report record without ticket")
+		}
+		t := *rec.Ticket
+		if t.ID > c.nextID {
+			c.nextID = t.ID
+		}
+		if t.Category == fot.Fixing && t.Action == fot.ActionNone {
+			c.open[t.ID] = len(c.tickets)
+		}
+		c.tickets = append(c.tickets, t)
+		if rec.AgentID != "" {
+			c.seen[sourceKey{rec.AgentID, rec.Seq}] = t.ID
+		}
+		c.recovered.Reports++
+	case walOpClose:
+		idx, ok := c.open[rec.TicketID]
+		if !ok {
+			return fmt.Errorf("close record for ticket %d which is not open", rec.TicketID)
+		}
+		action, err := fot.ParseAction(rec.Action)
+		if err != nil {
+			return fmt.Errorf("close record: %w", err)
+		}
+		t := &c.tickets[idx]
+		t.Action = action
+		t.Operator = rec.Operator
+		t.OpTime = rec.OpTime
+		if action == fot.ActionMarkFalseAlarm {
+			t.Category = fot.FalseAlarm
+		}
+		delete(c.open, rec.TicketID)
+		c.recovered.Closes++
+	default:
+		return fmt.Errorf("unknown record op %q", rec.Op)
+	}
+	return nil
 }
 
 func (c *Collector) acceptLoop() {
@@ -119,39 +290,56 @@ func (c *Collector) serve(conn net.Conn) {
 		c.mu.Unlock()
 	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
 	w := bufio.NewWriter(conn)
+	writeResp := func(resp Response) bool {
+		out, err := encode(resp)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(out); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
-		resp := Response{Kind: KindAck}
+		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{Kind: KindError, Error: err.Error()}
+			resp = Response{Kind: KindError, Error: err.Error(), Code: CodeBadRequest}
 		} else if r, err := c.handle(&req); err != nil {
-			resp = Response{Kind: KindError, Error: err.Error()}
+			resp = Response{Kind: KindError, Error: err.Error(), Code: CodeBadRequest}
+			var ce *codedError
+			if errors.As(err, &ce) {
+				resp.Code = ce.code
+			}
 		} else {
 			resp = *r
 		}
-		out, err := encode(resp)
-		if err != nil {
+		if !writeResp(resp) {
 			return
 		}
-		if _, err := w.Write(out); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
+	}
+	if errors.Is(sc.Err(), bufio.ErrTooLong) {
+		// The sender overran the frame limit. We cannot resynchronize a
+		// line-delimited stream mid-frame, but tell the sender why
+		// before severing instead of dropping the connection wordlessly.
+		writeResp(Response{
+			Kind:  KindError,
+			Code:  CodeOversizedFrame,
+			Error: fmt.Sprintf("fmsnet: frame exceeds %d bytes; closing connection", MaxFrameBytes),
+		})
 	}
 }
 
 func (c *Collector) handle(req *Request) (*Response, error) {
 	switch req.Kind {
 	case KindReport:
-		return c.handleReport(req.Report)
+		return c.handleReport(req)
 	case KindList:
 		return c.handleList(req)
 	case KindClose:
@@ -163,7 +351,8 @@ func (c *Collector) handle(req *Request) (*Response, error) {
 	}
 }
 
-func (c *Collector) handleReport(r *Report) (*Response, error) {
+func (c *Collector) handleReport(req *Request) (*Response, error) {
+	r := req.Report
 	if err := validateReport(r); err != nil {
 		return nil, err
 	}
@@ -186,9 +375,25 @@ func (c *Collector) handleReport(r *Report) (*Response, error) {
 		DeployTime:  r.DeployTime,
 		Model:       r.Model,
 	}
+	key := sourceKey{req.AgentID, req.Seq}
 	var fire *mine.BatchAlert
 	var onAlert func(mine.BatchAlert)
 	c.mu.Lock()
+	if req.AgentID != "" {
+		if id, dup := c.seen[key]; dup {
+			c.mu.Unlock()
+			// At-least-once retry whose original ack was lost. The
+			// original handler appended its WAL record synchronously
+			// before any retry could arrive, so a sync barrier is enough
+			// to guarantee it is durable before we re-ack.
+			if c.log != nil {
+				if err := c.log.Sync(); err != nil {
+					return nil, codedErrorf(CodeInternal, "fmsnet: wal sync: %v", err)
+				}
+			}
+			return &Response{Kind: KindAck, TicketID: id, Duplicate: true}, nil
+		}
+	}
 	c.nextID++
 	t.ID = c.nextID
 	if r.InWarranty {
@@ -207,11 +412,20 @@ func (c *Collector) handleReport(r *Report) (*Response, error) {
 		}
 	}
 	c.tickets = append(c.tickets, t)
+	if req.AgentID != "" {
+		c.seen[key] = t.ID
+	}
 	if c.detector != nil {
 		fire = c.detector.Observe(t)
 		onAlert = c.onAlert
 	}
 	c.mu.Unlock()
+	// Durability before the ack: the record is appended (and fsynced,
+	// batched across connections) outside the pool lock.
+	rec := walRecord{Op: walOpReport, Ticket: &t, AgentID: req.AgentID, Seq: req.Seq}
+	if err := c.appendWAL(&rec); err != nil {
+		return nil, err
+	}
 	// The alert callback runs outside the pool lock so it may dial back
 	// into the collector if it wants to.
 	if fire != nil && onAlert != nil {
@@ -261,15 +475,15 @@ func (c *Collector) handleClose(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("fmsnet: close requires a real action")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	idx, ok := c.open[req.TicketID]
 	if !ok {
-		return nil, fmt.Errorf("fmsnet: ticket %d is not open", req.TicketID)
+		c.mu.Unlock()
+		return nil, codedErrorf(CodeNotOpen, "fmsnet: ticket %d is not open", req.TicketID)
 	}
 	t := &c.tickets[idx]
 	t.Action = action
 	t.Operator = req.Operator
-	t.OpTime = time.Now().UTC()
+	t.OpTime = c.now().UTC()
 	if t.OpTime.Before(t.Time) {
 		// Simulated traces may carry future detection timestamps; keep
 		// the ticket schema-valid.
@@ -279,6 +493,17 @@ func (c *Collector) handleClose(req *Request) (*Response, error) {
 		t.Category = fot.FalseAlarm
 	}
 	delete(c.open, req.TicketID)
+	rec := walRecord{
+		Op:       walOpClose,
+		TicketID: req.TicketID,
+		Action:   action.String(),
+		Operator: req.Operator,
+		OpTime:   t.OpTime,
+	}
+	c.mu.Unlock()
+	if err := c.appendWAL(&rec); err != nil {
+		return nil, err
+	}
 	return &Response{Kind: KindAck, TicketID: req.TicketID}, nil
 }
 

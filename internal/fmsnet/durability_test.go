@@ -1,0 +1,391 @@
+package fmsnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func startWALCollector(t *testing.T, dir string, now func() time.Time) *Collector {
+	t.Helper()
+	col, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: dir, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestWALRecoveryRebuildsPool(t *testing.T) {
+	dir := t.TempDir()
+	col := startWALCollector(t, dir, nil)
+	cl, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three open tickets, one closed, one out-of-warranty (auto-closed).
+	var ids []uint64
+	for i := uint64(1); i <= 3; i++ {
+		id, err := cl.Report(sampleReport(i, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := cl.Report(sampleReport(4, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CloseTicket(ids[0], fot.ActionRepairOrder, "op-9"); err != nil {
+		t.Fatal(err)
+	}
+	before := col.Trace()
+	cl.Close()
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the WAL: the pool must come back exactly.
+	col2 := startWALCollector(t, dir, nil)
+	defer col2.Close()
+	rec := col2.Recovered()
+	if rec.Reports != 4 || rec.Closes != 1 || rec.Open != 2 {
+		t.Errorf("recovery stats = %+v", rec)
+	}
+	after := col2.Trace()
+	if after.Len() != before.Len() {
+		t.Fatalf("recovered %d tickets, want %d", after.Len(), before.Len())
+	}
+	for i := range before.Tickets {
+		if before.Tickets[i] != after.Tickets[i] {
+			t.Errorf("ticket %d differs:\n before %+v\n after  %+v",
+				i, before.Tickets[i], after.Tickets[i])
+		}
+	}
+	cl2, err := Dial(col2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	open, err := cl2.List(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 2 {
+		t.Fatalf("open after recovery = %+v", open)
+	}
+	// The id counter continues past the replayed maximum.
+	id, err := cl2.Report(sampleReport(9, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Errorf("next id after recovery = %d, want 5", id)
+	}
+	// Closing a recovered ticket works.
+	if err := cl2.CloseTicket(ids[1], fot.ActionRepairOrder, "op-9"); err != nil {
+		t.Errorf("close of recovered ticket: %v", err)
+	}
+}
+
+func TestReportDedupSuppressesRetries(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	id, dup, err := cl.ReportFrom(sampleReport(1, true), "agent-a", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup {
+		t.Error("first delivery flagged duplicate")
+	}
+	// The retry (same agent, same seq) must re-ack the original ticket.
+	id2, dup2, err := cl.ReportFrom(sampleReport(1, true), "agent-a", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup2 || id2 != id {
+		t.Errorf("retry: id=%d dup=%v, want id=%d dup=true", id2, dup2, id)
+	}
+	// A different agent reusing the seq is not a duplicate.
+	if _, dup3, err := cl.ReportFrom(sampleReport(2, true), "agent-b", 7); err != nil || dup3 {
+		t.Errorf("cross-agent seq collision: dup=%v err=%v", dup3, err)
+	}
+	if n := col.Trace().Len(); n != 2 {
+		t.Errorf("pool has %d tickets, want 2", n)
+	}
+}
+
+func TestDedupSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	col := startWALCollector(t, dir, nil)
+	cl, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := cl.ReportFrom(sampleReport(1, true), "agent-a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	col2 := startWALCollector(t, dir, nil)
+	defer col2.Close()
+	cl2, err := Dial(col2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	// A retry that straddles the crash must still be recognized.
+	id2, dup, err := cl2.ReportFrom(sampleReport(1, true), "agent-a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup || id2 != id {
+		t.Errorf("post-restart retry: id=%d dup=%v, want id=%d dup=true", id2, dup, id)
+	}
+	if n := col2.Trace().Len(); n != 1 {
+		t.Errorf("pool has %d tickets, want 1", n)
+	}
+}
+
+func TestInjectedClockMakesCloseDeterministic(t *testing.T) {
+	fixed := time.Date(2015, 7, 4, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	col := startWALCollector(t, dir, func() time.Time { return fixed })
+	cl, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Report(sampleReport(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CloseTicket(id, fot.ActionRepairOrder, "op-c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Trace().Tickets[0].OpTime; !got.Equal(fixed) {
+		t.Errorf("OpTime = %v, want injected %v", got, fixed)
+	}
+	cl.Close()
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay reproduces the identical OpTime even under a different
+	// clock.
+	col2 := startWALCollector(t, dir, func() time.Time { return fixed.Add(48 * time.Hour) })
+	defer col2.Close()
+	if got := col2.Trace().Tickets[0].OpTime; !got.Equal(fixed) {
+		t.Errorf("replayed OpTime = %v, want original %v", got, fixed)
+	}
+}
+
+func TestOversizedFrameGetsErrorResponse(t *testing.T) {
+	col := startCollector(t)
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame past the 1 MiB scanner limit used to sever the stream
+	// wordlessly; now the collector must answer with a coded error.
+	huge := fmt.Sprintf(`{"kind":"report","report":{"error_detail":%q}}`,
+		strings.Repeat("x", MaxFrameBytes+1024))
+	if _, err := fmt.Fprintf(conn, "%s\n", huge); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxFrameBytes)
+	if !sc.Scan() {
+		t.Fatalf("no response to oversized frame: %v", sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindError || resp.Code != CodeOversizedFrame {
+		t.Errorf("response = %+v, want %s error", resp, CodeOversizedFrame)
+	}
+	// The stream is severed after the error (cannot resync mid-frame).
+	if sc.Scan() {
+		t.Error("collector kept the stream open after an oversized frame")
+	}
+}
+
+func TestProtocolErrorTypedClassification(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+	bad := sampleReport(1, true)
+	bad.Device = "gpu"
+	_, err := cl.Report(bad)
+	if err == nil {
+		t.Fatal("bad report accepted")
+	}
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("rejection is %T, want *ProtocolError", err)
+	}
+	if !pe.Permanent() {
+		t.Error("validation rejection not flagged permanent")
+	}
+	// Wrapping must not break classification (the old string-prefix
+	// check did).
+	wrapped := fmt.Errorf("delivery attempt 3: %w", err)
+	var pe2 *ProtocolError
+	if !errors.As(wrapped, &pe2) {
+		t.Error("wrapped rejection lost its type")
+	}
+	if err := cl.CloseTicket(999, fot.ActionRepairOrder, "op"); err != nil {
+		var pe3 *ProtocolError
+		if !errors.As(err, &pe3) || pe3.Code != CodeNotOpen {
+			t.Errorf("close of unknown ticket: err=%v code=%q, want %s", err, pe3.Code, CodeNotOpen)
+		}
+	} else {
+		t.Error("close of unknown ticket accepted")
+	}
+}
+
+func TestConcurrentCloseRacesInFlightHandlers(t *testing.T) {
+	// Close() must cope with handleReport/handleClose still running:
+	// no panics, no deadlocks, and whatever was acked is in the trace.
+	col, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	var acked sync.Map
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(col.Addr())
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				host := uint64(g*100 + i + 1)
+				id, err := cl.Report(sampleReport(host, i%2 == 0))
+				if err != nil {
+					return // collector shut down mid-stream: fine
+				}
+				acked.Store(id, struct{}{})
+				if i%2 == 0 {
+					cl.CloseTicket(id, fot.ActionRepairOrder, "op-race")
+				}
+			}
+		}(g)
+	}
+	// Let the workers get going, then yank the collector out from under
+	// them.
+	time.Sleep(20 * time.Millisecond)
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	got := map[uint64]bool{}
+	for _, tk := range col.Trace().Tickets {
+		got[tk.ID] = true
+	}
+	acked.Range(func(k, _ interface{}) bool {
+		if !got[k.(uint64)] {
+			t.Errorf("acked ticket %d missing from trace", k.(uint64))
+		}
+		return true
+	})
+}
+
+func TestRetryDelayJitterBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 160 * time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		lo := retryDelay(base, max, attempt, 0)
+		hi := retryDelay(base, max, attempt, 0.999999)
+		if lo != base {
+			t.Errorf("attempt %d: r=0 delay = %v, want base %v", attempt, lo, base)
+		}
+		if hi > max {
+			t.Errorf("attempt %d: r→1 delay = %v exceeds max %v", attempt, hi, max)
+		}
+		ceil := base << (attempt - 1)
+		if ceil > max {
+			ceil = max
+		}
+		if hi < time.Duration(float64(ceil)*0.99)-base {
+			t.Errorf("attempt %d: r→1 delay = %v, far below cap %v", attempt, hi, ceil)
+		}
+		// Spacing is genuinely randomized across the band, not constant
+		// (no thundering herd of synchronized agents).
+		if attempt >= 2 {
+			mid := retryDelay(base, max, attempt, 0.5)
+			if mid == lo || mid == hi {
+				t.Errorf("attempt %d: jitter not spreading: lo=%v mid=%v hi=%v", attempt, lo, mid, hi)
+			}
+			if mid < base || mid > max {
+				t.Errorf("attempt %d: mid delay %v outside [%v, %v]", attempt, mid, base, max)
+			}
+		}
+	}
+}
+
+func TestAgentRetryForeverAcrossLongOutage(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+	reports := make(chan *Report, 8)
+	for i := uint64(1); i <= 5; i++ {
+		reports <- sampleReport(i, true)
+	}
+	close(reports)
+	cfg := DefaultAgentConfig()
+	cfg.AgentID = "agent-forever"
+	cfg.RetryForever = true
+	cfg.RetryBase = 5 * time.Millisecond
+	cfg.RetryMax = 50 * time.Millisecond
+	done := make(chan struct{})
+	var stats *AgentStats
+	var agentErr error
+	go func() {
+		defer close(done)
+		stats, agentErr = RunAgent(addr, reports, cfg)
+	}()
+	// Kill the collector; the agent must keep retrying far past the
+	// default MaxAttempts until a replacement appears.
+	time.Sleep(30 * time.Millisecond)
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	col2, err := NewCollector(addr)
+	if err != nil {
+		t.Skipf("rebind raced with the OS: %v", err)
+	}
+	defer col2.Close()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("retry-forever agent did not finish after collector came back")
+	}
+	if agentErr != nil {
+		t.Fatal(agentErr)
+	}
+	if stats.Sent != 5 {
+		t.Errorf("sent = %d, want 5", stats.Sent)
+	}
+	total := col.Trace().Len() + col2.Trace().Len()
+	if total != 5 {
+		t.Errorf("collectors hold %d tickets, want 5", total)
+	}
+}

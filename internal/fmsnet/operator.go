@@ -1,6 +1,7 @@
 package fmsnet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -52,6 +53,13 @@ func RunOperator(addr string, cfg OperatorConfig, stop <-chan struct{}) (int, er
 		}
 		for _, t := range open {
 			if err := client.CloseTicket(t.ID, fot.ActionRepairOrder, cfg.Operator); err != nil {
+				// A concurrent sweep (or a close whose ack was lost
+				// before a collector restart) may have beaten us to the
+				// ticket; closing closed work is not a failure.
+				var pe *ProtocolError
+				if errors.As(err, &pe) && pe.Code == CodeNotOpen {
+					continue
+				}
 				return fmt.Errorf("fmsnet: operator close %d: %w", t.ID, err)
 			}
 			closed++

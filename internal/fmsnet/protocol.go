@@ -30,9 +30,55 @@ const (
 	KindError = "error"
 )
 
+// Error codes carried on KindError responses so clients can classify
+// rejections without string matching.
+const (
+	// CodeBadRequest marks a validation rejection: retrying the same
+	// request can never succeed.
+	CodeBadRequest = "bad_request"
+	// CodeNotOpen marks a close of a ticket that is not open — usually a
+	// lost race with another operator sweep or a replayed close.
+	CodeNotOpen = "not_open"
+	// CodeOversizedFrame marks a request line that exceeded MaxFrameBytes;
+	// the collector answers once and then severs the stream (it cannot
+	// resynchronize mid-frame).
+	CodeOversizedFrame = "oversized_frame"
+	// CodeInternal marks a collector-side failure (e.g. the WAL append
+	// failed); the request may be retried.
+	CodeInternal = "internal"
+)
+
+// MaxFrameBytes bounds one request or response line on the wire.
+const MaxFrameBytes = 1 << 20
+
+// ProtocolError is a collector rejection: the collector answered with
+// KindError rather than the transport failing. Clients unwrap it with
+// errors.As to distinguish permanent rejections from transient transport
+// faults.
+type ProtocolError struct {
+	// Code is one of the Code* constants ("" from older collectors).
+	Code string
+	Msg  string
+}
+
+func (e *ProtocolError) Error() string {
+	return "fmsnet: collector: " + e.Msg
+}
+
+// Permanent reports whether retrying the identical request is pointless.
+func (e *ProtocolError) Permanent() bool {
+	return e.Code != CodeInternal
+}
+
 // Request is the client-to-collector envelope.
 type Request struct {
 	Kind string `json:"kind"`
+	// Source identifies the sending agent for at-least-once dedup
+	// (KindReport): the collector drops a report whose (AgentID, Seq)
+	// pair it has already accepted and re-acks the original ticket.
+	// Empty AgentID disables dedup (legacy senders).
+	AgentID string `json:"agent_id,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
 	// Report fields (KindReport).
 	Report *Report `json:"report,omitempty"`
 	// Close fields (KindClose).
@@ -71,9 +117,14 @@ type Report struct {
 type Response struct {
 	Kind     string       `json:"kind"`
 	Error    string       `json:"error,omitempty"`
+	Code     string       `json:"code,omitempty"` // Code* constant on KindError
 	TicketID uint64       `json:"ticket_id,omitempty"`
-	Tickets  []PoolTicket `json:"tickets,omitempty"`
-	Stats    *PoolStats   `json:"stats,omitempty"`
+	// Duplicate marks an ack for a report the collector had already
+	// accepted under the same (AgentID, Seq): TicketID is the original
+	// ticket, and no new ticket was created.
+	Duplicate bool         `json:"duplicate,omitempty"`
+	Tickets   []PoolTicket `json:"tickets,omitempty"`
+	Stats     *PoolStats   `json:"stats,omitempty"`
 }
 
 // PoolTicket is the collector's view of one ticket.
@@ -94,6 +145,20 @@ type PoolStats struct {
 	Total      int            `json:"total"`
 	Open       int            `json:"open"`
 	ByCategory map[string]int `json:"by_category"`
+}
+
+// codedError is a collector-side rejection carrying a protocol code; the
+// serve loop turns it into a KindError response with that code. Handler
+// errors without a code default to CodeBadRequest.
+type codedError struct {
+	code string
+	msg  string
+}
+
+func (e *codedError) Error() string { return e.msg }
+
+func codedErrorf(code, format string, args ...interface{}) error {
+	return &codedError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 // encode writes a JSON line.

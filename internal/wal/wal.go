@@ -1,0 +1,440 @@
+// Package wal implements the collector's write-ahead log: a segmented,
+// append-only record log with CRC-framed JSON-line records and batched
+// fsync (group commit). The networked FMS appends a record for every
+// state transition (report accepted, ticket closed) before acking, so a
+// collector crash loses nothing that was acknowledged: on restart the
+// log is replayed to rebuild the in-memory failure pool.
+//
+// Layout inside the WAL directory:
+//
+//	wal-000001.log    one record per line: "crc32c<space>payload\n"
+//	wal-000002.log    ...
+//
+// Records are opaque byte payloads (the caller's JSON); the only framing
+// constraint is that a payload may not contain '\n'. Each line carries a
+// CRC-32C of its payload, so a torn write (crash or truncated copy
+// mid-frame) is detected and discarded rather than replayed as garbage.
+// Open truncates a torn tail on the newest segment and always starts a
+// fresh segment for new appends; a torn frame anywhere else is reported
+// as corruption.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Options tunes a WAL.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a segment is finalized
+	// once it grows past this size. 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips fsync on append (throughput over durability — e.g.
+	// unit tests). Sync and Close still flush the OS buffers.
+	NoSync bool
+}
+
+// DefaultSegmentBytes is the rotation threshold used when Options leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 4 << 20
+
+// MaxRecordBytes bounds one payload (matches the fmsnet frame limit).
+const MaxRecordBytes = 1 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a CRC mismatch or malformed frame before the tail
+// of the newest segment — data loss that replay cannot repair silently.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// WAL is an append-only record log. It is safe for concurrent use;
+// concurrent Appends share fsyncs (group commit): each call returns only
+// once its record is durable, but one fsync covers every record written
+// while the previous fsync was in flight.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	bw      *bufio.Writer
+	size    int64
+	seq     int    // current segment number
+	appended uint64 // records written into the buffer
+	synced   uint64 // records known durable
+	syncing  bool   // a leader is flushing+fsyncing
+	err     error  // sticky failure
+	closed  bool
+
+	tornBytes int64 // discarded from a torn tail at Open
+}
+
+// Open opens (creating if needed) a WAL directory for appending. A torn
+// tail on the newest segment is truncated; new records always go to a
+// fresh segment so finalized segments stay immutable.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts}
+	w.cond = sync.NewCond(&w.mu)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(segs); n > 0 {
+		w.seq = segSeq(segs[n-1])
+		torn, err := truncateTorn(filepath.Join(dir, segs[n-1]))
+		if err != nil {
+			return nil, err
+		}
+		w.tornBytes = torn
+	}
+	if err := w.openNextSegment(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// TornBytes reports how many bytes of torn tail Open discarded (0 means
+// the log was clean).
+func (w *WAL) TornBytes() int64 { return w.tornBytes }
+
+// Dir returns the WAL directory.
+func (w *WAL) Dir() string { return w.dir }
+
+func segName(seq int) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+func segSeq(name string) int {
+	n, _ := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+	return n
+}
+
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// truncateTorn validates the segment's framing and cuts off a torn tail,
+// returning how many bytes were discarded.
+func truncateTorn(path string) (int64, error) {
+	valid, torn, err := scanSegment(path, nil)
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		return 0, err
+	}
+	// A corrupt frame at the tail is indistinguishable from a torn
+	// write; anything before the last frame would also surface here,
+	// and truncating is the only way to make the log appendable again.
+	if torn == 0 {
+		return 0, nil
+	}
+	if terr := os.Truncate(path, valid); terr != nil {
+		return 0, fmt.Errorf("wal: truncate torn tail: %w", terr)
+	}
+	return torn, nil
+}
+
+func (w *WAL) openNextSegment() error {
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	w.size = 0
+	return nil
+}
+
+// frame builds "crc32c payload\n".
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, fmt.Sprintf("%08x ", crc32.Checksum(payload, crcTable))...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// parseFrame validates one line (without its trailing '\n') and returns
+// the payload.
+func parseFrame(line []byte) ([]byte, error) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, ErrCorrupt
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != uint32(want) {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// Append stores one record. It returns once the record is durable
+// (unless Options.NoSync), sharing fsyncs with concurrent appenders.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return fmt.Errorf("wal: record contains a newline")
+	}
+	rec := frame(payload)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: append to closed log")
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.size > 0 && w.size+int64(len(rec)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			w.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := w.bw.Write(rec); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		err = w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.size += int64(len(rec))
+	w.appended++
+	my := w.appended
+	if w.opts.NoSync {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.waitDurableLocked(my)
+	w.mu.Unlock()
+	return err
+}
+
+// waitDurableLocked blocks (releasing w.mu while fsyncing) until record
+// number target is durable. Exactly one waiter acts as the group-commit
+// leader; the rest wait on the condition variable.
+func (w *WAL) waitDurableLocked(target uint64) error {
+	for w.synced < target && w.err == nil {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		covered := w.appended
+		flushErr := w.bw.Flush()
+		f := w.f
+		w.mu.Unlock()
+		var syncErr error
+		if flushErr == nil {
+			syncErr = f.Sync()
+		}
+		w.mu.Lock()
+		w.syncing = false
+		switch {
+		case flushErr != nil:
+			if w.err == nil {
+				w.err = fmt.Errorf("wal: flush: %w", flushErr)
+			}
+		case syncErr != nil:
+			if w.err == nil {
+				w.err = fmt.Errorf("wal: fsync: %w", syncErr)
+			}
+		default:
+			if covered > w.synced {
+				w.synced = covered
+			}
+		}
+		w.cond.Broadcast()
+	}
+	return w.err
+}
+
+// Sync forces everything appended so far onto stable storage (even with
+// Options.NoSync set) — the barrier the collector uses before re-acking
+// a duplicate.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: sync on closed log")
+	}
+	return w.waitDurableLocked(w.appended)
+}
+
+// rotateLocked finalizes the current segment and opens the next. The
+// caller holds w.mu; any in-flight fsync must finish first so we never
+// fsync a closed file.
+func (w *WAL) rotateLocked() error {
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	w.synced = w.appended
+	return w.openNextSegment()
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	for w.syncing {
+		w.cond.Wait()
+	}
+	w.closed = true
+	if w.f == nil {
+		return w.err
+	}
+	err := w.bw.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if err != nil && w.err == nil {
+		w.err = fmt.Errorf("wal: close: %w", err)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	Records   int
+	Segments  int
+	TornBytes int64 // torn tail discarded on the newest segment
+}
+
+// Replay reads every record in dir in append order, calling fn for each
+// payload. A torn tail on the newest segment is skipped (and reported in
+// the stats); torn or corrupt frames anywhere else return ErrCorrupt.
+// Replay is a read-only pass — it may run before Open, or on a live
+// directory between appends (but not concurrently with one).
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for i, name := range segs {
+		last := i == len(segs)-1
+		_, torn, err := scanSegment(filepath.Join(dir, name), func(payload []byte) error {
+			stats.Records++
+			return fn(payload)
+		})
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) && last {
+				stats.TornBytes = torn
+				stats.Segments++
+				return stats, nil
+			}
+			return stats, fmt.Errorf("wal: segment %s: %w", name, err)
+		}
+		if torn > 0 {
+			if !last {
+				return stats, fmt.Errorf("wal: segment %s: %w (torn frame before newest segment)", name, ErrCorrupt)
+			}
+			stats.TornBytes = torn
+		}
+		stats.Segments++
+	}
+	return stats, nil
+}
+
+// scanSegment streams one segment, calling fn per valid payload. It
+// returns the byte offset of the end of the last valid frame and how
+// many trailing bytes are torn (unparseable or missing the newline).
+// A CRC/framing failure also surfaces as err == ErrCorrupt; fn errors
+// abort the scan unchanged.
+func scanSegment(path string, fn func(payload []byte) error) (valid, torn int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64*1024)
+	var off int64
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			if rerr == io.EOF {
+				if len(line) > 0 {
+					// No trailing newline: torn write.
+					return off, int64(len(line)), ErrCorrupt
+				}
+				return off, 0, nil
+			}
+			return off, 0, fmt.Errorf("wal: read segment: %w", rerr)
+		}
+		payload, perr := parseFrame(line[:len(line)-1])
+		if perr != nil {
+			rest := int64(len(line))
+			for {
+				b := make([]byte, 32*1024)
+				n, e := r.Read(b)
+				rest += int64(n)
+				if e != nil {
+					break
+				}
+			}
+			return off, rest, ErrCorrupt
+		}
+		if fn != nil {
+			if ferr := fn(payload); ferr != nil {
+				return off, 0, ferr
+			}
+		}
+		off += int64(len(line))
+	}
+}

@@ -1,0 +1,268 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func appendAll(t *testing.T, w *WAL, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	stats, err := Replay(dir, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, `{"op":"report","id":1}`, `{"op":"close","id":1}`, `{"op":"report","id":2}`)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, dir)
+	if len(got) != 3 || got[0] != `{"op":"report","id":1}` || got[2] != `{"op":"report","id":2}` {
+		t.Fatalf("replay = %q", got)
+	}
+	if stats.Records != 3 || stats.TornBytes != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	got, stats := replayAll(t, t.TempDir())
+	if len(got) != 0 || stats.Records != 0 {
+		t.Errorf("empty dir replay = %q, %+v", got, stats)
+	}
+	if _, err := Replay(filepath.Join(t.TempDir(), "nope"), func([]byte) error { return nil }); err != nil {
+		t.Errorf("missing dir should replay empty: %v", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf(`{"n":%d,"pad":"xxxxxxxxxxxxxxxx"}`, i)
+		want = append(want, p)
+	}
+	appendAll(t, w, want...)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Errorf("expected rotation, got %d segment(s)", len(segs))
+	}
+	got, stats := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if stats.Segments != len(segs) {
+		t.Errorf("stats.Segments = %d, want %d", stats.Segments, len(segs))
+	}
+}
+
+func TestTornTailDiscardedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, `{"id":1}`, `{"id":2}`)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-frame: append half a record to the newest
+	// segment.
+	segs, _ := listSegments(dir)
+	last := filepath.Join(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"id":3`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, stats := replayAll(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("replay after torn tail = %q", got)
+	}
+	if stats.TornBytes == 0 {
+		t.Error("torn bytes not reported")
+	}
+}
+
+func TestOpenTruncatesTornTailAndContinues(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, `{"id":1}`)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	last := filepath.Join(dir, segs[len(segs)-1])
+	f, _ := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("00000000 torn-with-bad-crc\n")
+	f.Close()
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.TornBytes() == 0 {
+		t.Error("reopen did not report torn tail")
+	}
+	appendAll(t, w2, `{"id":2}`)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 2 || got[0] != `{"id":1}` || got[1] != `{"id":2}` {
+		t.Fatalf("replay after recovery = %q", got)
+	}
+}
+
+func TestCorruptionBeforeNewestSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 32, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, `{"id":1,"pad":"aaaaaaaa"}`, `{"id":2,"pad":"bbbbbbbb"}`, `{"id":3,"pad":"cccccccc"}`)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	// Flip a byte in the first (non-newest) segment's payload.
+	first := filepath.Join(dir, segs[0])
+	raw, _ := os.ReadFile(first)
+	raw[12] ^= 0xff
+	os.WriteFile(first, raw, 0o644)
+
+	_, err = Replay(dir, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corruption in old segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendRejectsBadPayloads(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("line1\nline2")); err == nil {
+		t.Error("payload with newline accepted")
+	}
+	if err := w.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := w.Append([]byte(fmt.Sprintf(`{"w":%d,"i":%d}`, g, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*perWriter)
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate record %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSyncBarrierWithNoSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, `{"id":1}`)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The record must be visible on disk before Close.
+	got, _ := replayAll(t, dir)
+	if len(got) != 1 {
+		t.Fatalf("after Sync, replay sees %d records", len(got))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); err == nil {
+		t.Error("append after close accepted")
+	}
+}
