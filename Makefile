@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet tier1 tier2 bench
+.PHONY: all build test race vet tier1 tier2 bench benchall
 
 all: tier1
 
@@ -27,5 +27,11 @@ tier1: build test
 
 tier2: vet race
 
+# bench: the headline serial-vs-parallel full-report comparison at paper
+# scale; writes BENCH_report.json in the repo root.
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkFullReport -benchtime 2x -v .
+
+# benchall: the full per-table/per-figure benchmark sweep.
+benchall:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

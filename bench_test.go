@@ -7,6 +7,10 @@ package dcfail
 // cmd/fotreport and the paper-vs-measured record in EXPERIMENTS.md.
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -15,6 +19,7 @@ import (
 	"dcfail/internal/fms"
 	"dcfail/internal/fot"
 	"dcfail/internal/inject"
+	"dcfail/internal/report"
 )
 
 // BenchmarkGenerateSmall measures the full pipeline (fleet build,
@@ -272,4 +277,79 @@ func BenchmarkAblationPerfectRepair(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFullReport compares the two full-report pipelines at paper
+// scale: the serial reference (every analysis refiltering the trace
+// through the one-shot entry points) against the core.Runner fan-out
+// over one shared fot.TraceIndex. Both render the complete 21-section
+// report; the outputs must be byte-identical. When both sub-benchmarks
+// run, the best-iteration wall times are written to BENCH_report.json.
+func BenchmarkFullReport(b *testing.B) {
+	res, cen := paperFixture(b)
+	var serialNS, parallelNS int64
+	var serialOut, parallelOut []byte
+
+	b.Run("serial", func(b *testing.B) {
+		runtime.GC() // level the heap so sub-benchmark order doesn't skew timings
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			start := time.Now()
+			if err := report.SerialReference(&buf, res.Trace, cen, nil); err != nil {
+				b.Fatal(err)
+			}
+			if d := int64(time.Since(start)); serialNS == 0 || d < serialNS {
+				serialNS = d
+			}
+			serialOut = buf.Bytes()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		runtime.GC() // level the heap so sub-benchmark order doesn't skew timings
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			start := time.Now()
+			// Fresh index each iteration: lazy view construction is part
+			// of the measured pipeline, exactly as in cmd/fotreport.
+			if err := report.Full(&buf, fot.BorrowTraceIndex(res.Trace), cen, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+			if d := int64(time.Since(start)); parallelNS == 0 || d < parallelNS {
+				parallelNS = d
+			}
+			parallelOut = buf.Bytes()
+		}
+	})
+
+	if serialNS == 0 || parallelNS == 0 {
+		return // -bench filter ran only one side; nothing to compare
+	}
+	identical := bytes.Equal(serialOut, parallelOut)
+	if !identical {
+		b.Errorf("parallel report diverges from serial (%d vs %d bytes)",
+			len(parallelOut), len(serialOut))
+	}
+	doc := map[string]interface{}{
+		"benchmark":      "BenchmarkFullReport",
+		"profile":        "paper",
+		"tickets":        res.Trace.Len(),
+		"sections":       len(report.SectionIDs()),
+		"cores":          runtime.NumCPU(),
+		"workers":        runtime.NumCPU(),
+		"serial_ns":      serialNS,
+		"parallel_ns":    parallelNS,
+		"speedup":        float64(serialNS) / float64(parallelNS),
+		"byte_identical": identical,
+		"go":             runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_report.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("full report: serial %.2fs, parallel %.2fs, speedup %.2fx on %d cores, identical=%v",
+		float64(serialNS)/1e9, float64(parallelNS)/1e9,
+		float64(serialNS)/float64(parallelNS), runtime.NumCPU(), identical)
 }

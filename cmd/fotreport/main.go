@@ -29,7 +29,6 @@ import (
 	"dcfail/internal/fleetgen"
 	"dcfail/internal/fms"
 	"dcfail/internal/fot"
-	"dcfail/internal/mine"
 	"dcfail/internal/report"
 	"dcfail/internal/topo"
 )
@@ -49,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	archiveDir := fs.String("archive", "", "read the trace from a fotgen -archive directory")
 	csvDir := fs.String("csvdir", "", "also export every figure's data series as CSV files into this directory")
 	only := fs.String("only", "", "comma-separated subset of: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,repeats,table4,fig8,table5,batches,table6,table8,fig9,fig10,fig11,mine,trend,verdicts")
+	workers := fs.Int("workers", 0, "parallel section workers; 0 = one per CPU, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,7 +110,9 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(os.Stderr, "fotreport: figure CSVs written to %s\n", *csvDir)
 	}
-	return printAll(w, trace, census, sel)
+	// Borrow rather than snapshot: the trace is ours and nothing mutates
+	// it while the runner fans the sections out.
+	return report.Full(w, fot.BorrowTraceIndex(trace), census, *workers, sel)
 }
 
 // exportCSVs writes each figure's data series into dir.
@@ -128,239 +130,6 @@ func exportCSVs(trace *fot.Trace, census *core.Census, dir string) error {
 			return err
 		}
 		return f.Close()
-	})
-}
-
-func printAll(w io.Writer, trace *fot.Trace, census *core.Census, sel func(string) bool) error {
-	section := func(id string, fn func() error) error {
-		if !sel(id) {
-			return nil
-		}
-		if err := fn(); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		_, err := fmt.Fprintln(w)
-		return err
-	}
-
-	if err := section("verdicts", func() error {
-		r, err := core.Hypotheses(trace, census)
-		if err != nil {
-			return err
-		}
-		return report.Hypotheses(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("table1", func() error {
-		r, err := core.CategoryBreakdown(trace)
-		if err != nil {
-			return err
-		}
-		return report.CategoryBreakdown(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("table2", func() error {
-		r, err := core.ComponentBreakdown(trace)
-		if err != nil {
-			return err
-		}
-		return report.ComponentBreakdown(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig2", func() error {
-		for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
-			r, err := core.TypeBreakdown(trace, c)
-			if err != nil {
-				return err
-			}
-			if err := report.TypeBreakdown(w, r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := section("fig3", func() error {
-		r, err := core.DayOfWeek(trace, 0)
-		if err != nil {
-			return err
-		}
-		return report.DayOfWeek(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig4", func() error {
-		for _, c := range []fot.Component{fot.HDD, fot.Misc} {
-			r, err := core.HourOfDay(trace, c)
-			if err != nil {
-				return err
-			}
-			if err := report.HourOfDay(w, r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := section("fig5", func() error {
-		r, err := core.TBFAnalysis(trace, 0)
-		if err != nil {
-			return err
-		}
-		return report.TBF(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig6", func() error {
-		for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
-			r, err := core.LifecycleRates(trace, census, c, 48)
-			if err != nil {
-				return err
-			}
-			if err := report.Lifecycle(w, r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := section("fig7", func() error {
-		r, err := core.ServerSkew(trace)
-		if err != nil {
-			return err
-		}
-		return report.ServerSkew(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("repeats", func() error {
-		r, err := core.RepeatAnalysis(trace)
-		if err != nil {
-			return err
-		}
-		return report.Repeats(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("table4", func() error {
-		r, err := core.RackAnalysis(trace, census)
-		if err != nil {
-			return err
-		}
-		return report.RackAnalysis(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig8", func() error {
-		for _, idc := range []string{"dc01", "dc02"} {
-			r, err := core.RackPositions(trace, census, idc)
-			if err != nil {
-				return err
-			}
-			if err := report.RackPositions(w, r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := section("table5", func() error {
-		r, err := core.BatchFrequency(trace, nil)
-		if err != nil {
-			return err
-		}
-		return report.BatchFrequency(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("batches", func() error {
-		eps, err := core.BatchWindows(trace, census, 30*time.Minute, 20)
-		if err != nil {
-			return err
-		}
-		return report.BatchEpisodes(w, eps, 10)
-	}); err != nil {
-		return err
-	}
-	if err := section("table6", func() error {
-		r, err := core.CorrelatedPairs(trace, 24*time.Hour)
-		if err != nil {
-			return err
-		}
-		return report.CorrelatedPairs(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("table8", func() error {
-		groups, err := core.SyncRepeatGroups(trace, 2*time.Minute, 3)
-		if err != nil {
-			return err
-		}
-		return report.SyncRepeatGroups(w, groups, 10)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig9", func() error {
-		for _, cat := range []fot.Category{fot.Fixing, fot.FalseAlarm} {
-			r, err := core.ResponseTimes(trace, cat)
-			if err != nil {
-				return err
-			}
-			if err := report.ResponseTimes(w, cat.String(), r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := section("fig10", func() error {
-		r, err := core.ResponseTimesByClass(trace)
-		if err != nil {
-			return err
-		}
-		return report.ResponseTimesByClass(w, r)
-	}); err != nil {
-		return err
-	}
-	if err := section("fig11", func() error {
-		r, err := core.ProductLineRT(trace, fot.HDD)
-		if err != nil {
-			return err
-		}
-		return report.ProductLineRT(w, r, 15)
-	}); err != nil {
-		return err
-	}
-	if err := section("trend", func() error {
-		r, err := core.Trend(trace)
-		if err != nil {
-			return err
-		}
-		return report.Trend(w, r)
-	}); err != nil {
-		return err
-	}
-	return section("mine", func() error {
-		rules, err := mine.MineRules(trace, 24*time.Hour, 3, 3.0)
-		if err != nil {
-			return err
-		}
-		if err := report.MiningRules(w, rules, 12); err != nil {
-			return err
-		}
-		eval, err := mine.EvaluateWarningPredictor(trace, 10*24*time.Hour)
-		if err != nil {
-			return err
-		}
-		return report.PredictorEval(w, eval)
 	})
 }
 

@@ -28,30 +28,25 @@ type BatchFrequencyResult struct {
 // BatchFrequency computes Table V: r_N per component class for the given
 // thresholds (the paper uses 100, 200 and 500).
 func BatchFrequency(tr *fot.Trace, thresholds []int) (*BatchFrequencyResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return BatchFrequencyIndexed(fot.BorrowTraceIndex(tr), thresholds)
+}
+
+// BatchFrequencyIndexed is BatchFrequency over a shared TraceIndex. Days
+// are UTC calendar dates, not rolling 24-hour offsets from the first
+// ticket: r_N must not depend on the trace's start time-of-day, and a
+// failure cluster straddling midnight belongs to two study days.
+func BatchFrequencyIndexed(ix *fot.TraceIndex, thresholds []int) (*BatchFrequencyResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
 	if len(thresholds) == 0 {
 		thresholds = []int{100, 200, 500}
 	}
-	lo, hi, _ := failures.Span()
-	days := int(hi.Sub(lo).Hours()/24) + 1
+	daily, days := ix.FailureDayBuckets()
 	if days < 1 {
 		days = 1
 	}
-	// daily[class][dayIndex] = count
-	daily := make(map[fot.Component]map[int]int)
-	for _, tk := range failures.Tickets {
-		d := int(tk.Time.Sub(lo).Hours() / 24)
-		m := daily[tk.Device]
-		if m == nil {
-			m = make(map[int]int)
-			daily[tk.Device] = m
-		}
-		m[d]++
-	}
-	counts := failures.CountByComponent()
+	counts := ix.FailureCountByComponent()
 	res := &BatchFrequencyResult{Thresholds: thresholds, Days: days}
 	for _, c := range sortedComponentsByCount(counts) {
 		row := BatchFrequencyRow{Component: c, R: make(map[int]float64, len(thresholds))}
@@ -97,7 +92,12 @@ type BatchEpisode struct {
 // and the run holds at least minSize distinct tickets. Episodes are
 // returned largest-first. The census (optional) enables LineFraction.
 func BatchWindows(tr *fot.Trace, census *Census, linkGap time.Duration, minSize int) ([]BatchEpisode, error) {
-	failures, err := requireFailures(tr)
+	return BatchWindowsIndexed(fot.BorrowTraceIndex(tr), census, linkGap, minSize)
+}
+
+// BatchWindowsIndexed is BatchWindows over a shared TraceIndex.
+func BatchWindowsIndexed(ix *fot.TraceIndex, census *Census, linkGap time.Duration, minSize int) ([]BatchEpisode, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,13 @@ func BatchWindows(tr *fot.Trace, census *Census, linkGap time.Duration, minSize 
 		if episodes[i].Tickets != episodes[j].Tickets {
 			return episodes[i].Tickets > episodes[j].Tickets
 		}
-		return episodes[i].Start.Before(episodes[j].Start)
+		if !episodes[i].Start.Equal(episodes[j].Start) {
+			return episodes[i].Start.Before(episodes[j].Start)
+		}
+		if episodes[i].Component != episodes[j].Component {
+			return episodes[i].Component < episodes[j].Component
+		}
+		return episodes[i].Type < episodes[j].Type
 	})
 	return episodes, nil
 }

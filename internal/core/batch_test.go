@@ -150,3 +150,39 @@ func TestBatchWindowsParameterDefaults(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchFrequencyCalendarDays is the regression test for the Table V
+// day-bucketing bug: the old code bucketed by rolling 24-hour offsets
+// from the first ticket, so a trace starting at 23:00 folded a
+// midnight-straddling cluster into one "day". Calendar-date bucketing
+// must see two study days with two failures each.
+func TestBatchFrequencyCalendarDays(t *testing.T) {
+	day := time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC)
+	mk := func(id uint64, at time.Time) fot.Ticket {
+		return fot.Ticket{
+			ID: id, HostID: id, IDC: "dc01", Position: 1,
+			Device: fot.HDD, Slot: "sdb", Type: "SMARTFail",
+			Time: at, Category: fot.Fixing, Action: fot.ActionRepairOrder,
+		}
+	}
+	tr := fot.NewTrace([]fot.Ticket{
+		mk(1, day.Add(23*time.Hour)),
+		mk(2, day.Add(23*time.Hour+30*time.Minute)),
+		mk(3, day.Add(24*time.Hour+15*time.Minute)),
+		mk(4, day.Add(24*time.Hour+30*time.Minute)),
+	})
+	bf, err := BatchFrequency(tr, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Days != 2 {
+		t.Fatalf("Days = %d, want 2 (cluster straddles midnight UTC)", bf.Days)
+	}
+	row := bf.Rows[0]
+	if row.MaxDaily != 2 {
+		t.Errorf("MaxDaily = %d, want 2 per calendar day", row.MaxDaily)
+	}
+	if row.R[2] != 1.0 {
+		t.Errorf("r_2 = %v, want 1.0 (both days have >= 2 failures)", row.R[2])
+	}
+}

@@ -24,11 +24,16 @@ type CategoryBreakdownResult struct {
 // CategoryBreakdown computes Table I over the full ticket set (false
 // alarms included — that is the point of the table).
 func CategoryBreakdown(tr *fot.Trace) (*CategoryBreakdownResult, error) {
-	if tr == nil || tr.Len() == 0 {
+	return CategoryBreakdownIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// CategoryBreakdownIndexed is CategoryBreakdown over a shared TraceIndex.
+func CategoryBreakdownIndexed(ix *fot.TraceIndex) (*CategoryBreakdownResult, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	counts := tr.CountByCategory()
-	total := tr.Len()
+	counts := ix.All().CountByCategory()
+	total := ix.Len()
 	decisions := map[fot.Category]string{
 		fot.Fixing:     "Issue a repair order (RO)",
 		fot.Error:      "Not repair and set to decommission",
@@ -62,11 +67,16 @@ type ComponentBreakdownResult struct {
 
 // ComponentBreakdown computes Table II.
 func ComponentBreakdown(tr *fot.Trace) (*ComponentBreakdownResult, error) {
-	failures, err := requireFailures(tr)
+	return ComponentBreakdownIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// ComponentBreakdownIndexed is ComponentBreakdown over a shared TraceIndex.
+func ComponentBreakdownIndexed(ix *fot.TraceIndex) (*ComponentBreakdownResult, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
-	counts := failures.CountByComponent()
+	counts := ix.FailureCountByComponent()
 	res := &ComponentBreakdownResult{Total: failures.Len()}
 	for _, c := range sortedComponentsByCount(counts) {
 		res.Rows = append(res.Rows, ComponentShare{
@@ -95,11 +105,15 @@ type TypeBreakdownResult struct {
 
 // TypeBreakdown computes the Fig. 2 breakdown for one component class.
 func TypeBreakdown(tr *fot.Trace, c fot.Component) (*TypeBreakdownResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return TypeBreakdownIndexed(fot.BorrowTraceIndex(tr), c)
+}
+
+// TypeBreakdownIndexed is TypeBreakdown over a shared TraceIndex.
+func TypeBreakdownIndexed(ix *fot.TraceIndex, c fot.Component) (*TypeBreakdownResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
-	sub := failures.ByComponent(c)
+	sub := ix.FailuresByComponent(c)
 	if sub.Len() == 0 {
 		return nil, errNoTickets("component", c.String())
 	}

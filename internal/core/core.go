@@ -126,11 +126,11 @@ func (c *Census) Validate() error {
 
 // requireFailures extracts the failure population (D_fixing + D_error) and
 // errors out on an empty trace, the common precondition of all analyses.
-func requireFailures(tr *fot.Trace) (*fot.Trace, error) {
-	if tr == nil || tr.Len() == 0 {
+func requireFailures(ix *fot.TraceIndex) (*fot.Trace, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
-	failures := tr.Failures()
+	failures := ix.Failures()
 	if failures.Len() == 0 {
 		return nil, fmt.Errorf("core: trace has no failures (only false alarms)")
 	}

@@ -49,9 +49,15 @@ func (r *HypothesesResult) AllMatchPaper() bool {
 // Hypotheses evaluates the paper's five hypotheses on a trace. The census
 // is needed for Hypothesis 5 (rack positions); pass nil to skip it.
 func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
+	return HypothesesIndexed(fot.BorrowTraceIndex(tr), census)
+}
+
+// HypothesesIndexed is Hypotheses over a shared TraceIndex: the five
+// underlying analyses reuse the index's cached failure and TBF views.
+func HypothesesIndexed(ix *fot.TraceIndex, census *Census) (*HypothesesResult, error) {
 	res := &HypothesesResult{}
 
-	dow, err := DayOfWeek(tr, 0)
+	dow, err := DayOfWeekIndexed(ix, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +71,7 @@ func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
 		Detail:    "weekday-only: " + dow.WeekdayTest.String(),
 	})
 
-	hod, err := HourOfDay(tr, 0)
+	hod, err := HourOfDayIndexed(ix, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +84,7 @@ func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
 		Test:      hod.Test,
 	})
 
-	tbf, err := TBFAnalysis(tr, 0)
+	tbf, err := TBFAnalysisIndexed(ix, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +99,7 @@ func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
 	})
 
 	// H4: per-class TBF. Use the dominant class as the headline scope.
-	hddTBF, err := TBFAnalysis(tr, fot.HDD)
+	hddTBF, err := TBFAnalysisIndexed(ix, fot.HDD)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +113,7 @@ func Hypotheses(tr *fot.Trace, census *Census) (*HypothesesResult, error) {
 	})
 
 	if census != nil {
-		ra, err := RackAnalysis(tr, census)
+		ra, err := RackAnalysisIndexed(ix, census)
 		if err != nil {
 			return nil, err
 		}

@@ -50,11 +50,15 @@ func (r *LifecycleResult) MassBetween(fromMonth, toMonth int) float64 {
 // so a single flapping component (the chronic BBU server) counts once,
 // not hundreds of times, in its age bucket.
 func LifecycleRates(tr *fot.Trace, census *Census, c fot.Component, horizon int) (*LifecycleResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return LifecycleRatesIndexed(fot.BorrowTraceIndex(tr), census, c, horizon)
+}
+
+// LifecycleRatesIndexed is LifecycleRates over a shared TraceIndex.
+func LifecycleRatesIndexed(ix *fot.TraceIndex, census *Census, c fot.Component, horizon int) (*LifecycleResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
-	failures = dedupeRepeats(failures)
+	failures := ix.FailuresFirstPerInstance()
 	if census == nil {
 		return nil, errNoTickets("census for", c.String())
 	}

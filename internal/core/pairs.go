@@ -46,11 +46,15 @@ type CorrelatedPairsResult struct {
 // analysis — otherwise a single flapping server (the chronic BBU case)
 // would flood the matrix.
 func CorrelatedPairs(tr *fot.Trace, window time.Duration) (*CorrelatedPairsResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return CorrelatedPairsIndexed(fot.BorrowTraceIndex(tr), window)
+}
+
+// CorrelatedPairsIndexed is CorrelatedPairs over a shared TraceIndex.
+func CorrelatedPairsIndexed(ix *fot.TraceIndex, window time.Duration) (*CorrelatedPairsResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
-	failures = dedupeRepeats(failures)
+	failures := ix.FailuresFirstPerInstance()
 	if window <= 0 {
 		window = 24 * time.Hour
 	}
@@ -60,7 +64,15 @@ func CorrelatedPairs(tr *fot.Trace, window time.Duration) (*CorrelatedPairsResul
 
 	byHost := failures.GroupByHost()
 	res.FailedServers = len(byHost)
-	for host, tickets := range byHost {
+	// Walk hosts in sorted order: the Table VII example list is capped, so
+	// map-order iteration would pick different examples every run.
+	hosts := make([]uint64, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, host := range hosts {
+		tickets := byHost[host]
 		sort.Slice(tickets, func(i, j int) bool { return tickets[i].Time.Before(tickets[j].Time) })
 		for i := 0; i < len(tickets)-1; i++ {
 			a := tickets[i]
@@ -134,7 +146,12 @@ type SyncRepeatGroup struct {
 // maxSkew of each other. Buckets holding many hosts are skipped — those
 // are batch failures (§V-A), not repeat twins.
 func SyncRepeatGroups(tr *fot.Trace, maxSkew time.Duration, minOccurrences int) ([]SyncRepeatGroup, error) {
-	failures, err := requireFailures(tr)
+	return SyncRepeatGroupsIndexed(fot.BorrowTraceIndex(tr), maxSkew, minOccurrences)
+}
+
+// SyncRepeatGroupsIndexed is SyncRepeatGroups over a shared TraceIndex.
+func SyncRepeatGroupsIndexed(ix *fot.TraceIndex, maxSkew time.Duration, minOccurrences int) ([]SyncRepeatGroup, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +247,13 @@ func SyncRepeatGroups(tr *fot.Trace, maxSkew time.Duration, minOccurrences int) 
 		if out[i].HostA != out[j].HostA {
 			return out[i].HostA < out[j].HostA
 		}
-		return out[i].HostB < out[j].HostB
+		if out[i].HostB != out[j].HostB {
+			return out[i].HostB < out[j].HostB
+		}
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Type < out[j].Type
 	})
 	return out, nil
 }

@@ -30,10 +30,15 @@ type ResponseTimesResult struct {
 // ResponseTimes computes Fig. 9 for one category (Fixing or FalseAlarm;
 // D_error tickets carry no response by definition).
 func ResponseTimes(tr *fot.Trace, cat fot.Category) (*ResponseTimesResult, error) {
-	if tr == nil || tr.Len() == 0 {
+	return ResponseTimesIndexed(fot.BorrowTraceIndex(tr), cat)
+}
+
+// ResponseTimesIndexed is ResponseTimes over a shared TraceIndex.
+func ResponseTimesIndexed(ix *fot.TraceIndex, cat fot.Category) (*ResponseTimesResult, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	days := rtDays(tr.ByCategory(cat))
+	days := rtDays(ix.ByCategory(cat))
 	if len(days) == 0 {
 		return nil, errNoTickets("category", cat.String())
 	}
@@ -43,12 +48,18 @@ func ResponseTimes(tr *fot.Trace, cat fot.Category) (*ResponseTimesResult, error
 // ResponseTimesByClass computes Fig. 10: the RT distribution per component
 // class over all tickets with a recorded response.
 func ResponseTimesByClass(tr *fot.Trace) (map[fot.Component]*ResponseTimesResult, error) {
-	if tr == nil || tr.Len() == 0 {
+	return ResponseTimesByClassIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// ResponseTimesByClassIndexed is ResponseTimesByClass over a shared
+// TraceIndex.
+func ResponseTimesByClassIndexed(ix *fot.TraceIndex) (map[fot.Component]*ResponseTimesResult, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
 	out := make(map[fot.Component]*ResponseTimesResult)
 	for _, c := range fot.Components() {
-		days := rtDays(tr.ByComponent(c))
+		days := rtDays(ix.AllByComponent(c))
 		if len(days) < 8 {
 			continue
 		}
@@ -124,12 +135,17 @@ type ProductLineRTResult struct {
 // ProductLineRT computes Fig. 11 for one component class (the paper plots
 // hard-drive tickets). Lines without any responded ticket are skipped.
 func ProductLineRT(tr *fot.Trace, c fot.Component) (*ProductLineRTResult, error) {
-	if tr == nil || tr.Len() == 0 {
+	return ProductLineRTIndexed(fot.BorrowTraceIndex(tr), c)
+}
+
+// ProductLineRTIndexed is ProductLineRT over a shared TraceIndex.
+func ProductLineRTIndexed(ix *fot.TraceIndex, c fot.Component) (*ProductLineRTResult, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	scope := tr
+	scope := ix.All()
 	if c != 0 {
-		scope = tr.ByComponent(c)
+		scope = ix.AllByComponent(c)
 	}
 	res := &ProductLineRTResult{Component: c}
 	var medians []float64

@@ -27,7 +27,12 @@ type ServerSkewResult struct {
 
 // ServerSkew computes Fig. 7.
 func ServerSkew(tr *fot.Trace) (*ServerSkewResult, error) {
-	failures, err := requireFailures(tr)
+	return ServerSkewIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// ServerSkewIndexed is ServerSkew over a shared TraceIndex.
+func ServerSkewIndexed(ix *fot.TraceIndex) (*ServerSkewResult, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +109,12 @@ type RepeatResult struct {
 // of that group was marked solved (paper definition: the same problem
 // reappearing on the same component instance).
 func RepeatAnalysis(tr *fot.Trace) (*RepeatResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return RepeatAnalysisIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// RepeatAnalysisIndexed is RepeatAnalysis over a shared TraceIndex.
+func RepeatAnalysisIndexed(ix *fot.TraceIndex) (*RepeatResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
 	type groupKey struct {
@@ -114,8 +123,7 @@ func RepeatAnalysis(tr *fot.Trace) (*RepeatResult, error) {
 		slot string
 		typ  string
 	}
-	ordered := failures.Clone()
-	ordered.SortByTime()
+	ordered := ix.FailuresByTime()
 	type groupState struct {
 		fixed    bool // saw a D_fixing ticket
 		repeated bool // saw a ticket after a fixing ticket

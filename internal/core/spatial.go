@@ -48,14 +48,18 @@ type RackAnalysisResult struct {
 // RackAnalysis computes Fig. 8 / Table IV over every datacenter in the
 // census.
 func RackAnalysis(tr *fot.Trace, census *Census) (*RackAnalysisResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return RackAnalysisIndexed(fot.BorrowTraceIndex(tr), census)
+}
+
+// RackAnalysisIndexed is RackAnalysis over a shared TraceIndex.
+func RackAnalysisIndexed(ix *fot.TraceIndex, census *Census) (*RackAnalysisResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
 	if census == nil || len(census.Datacenters) == 0 {
 		return nil, errNoTickets("census for", "rack analysis")
 	}
-	deduped := dedupeRepeats(failures)
+	deduped := ix.FailuresFirstPerInstance()
 
 	res := &RackAnalysisResult{}
 	modern, modernOK := 0, 0
@@ -91,13 +95,17 @@ func RackAnalysis(tr *fot.Trace, census *Census) (*RackAnalysisResult, error) {
 
 // RackPositions computes the Fig. 8 subplot for one datacenter id.
 func RackPositions(tr *fot.Trace, census *Census, idc string) (*RackPositionResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return RackPositionsIndexed(fot.BorrowTraceIndex(tr), census, idc)
+}
+
+// RackPositionsIndexed is RackPositions over a shared TraceIndex.
+func RackPositionsIndexed(ix *fot.TraceIndex, census *Census, idc string) (*RackPositionResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
 	for _, dc := range census.Datacenters {
 		if dc.ID == idc {
-			return rackPositions(dedupeRepeats(failures), census, dc)
+			return rackPositions(ix.FailuresFirstPerInstance(), census, dc)
 		}
 	}
 	return nil, errNoTickets("datacenter", idc)
@@ -196,28 +204,4 @@ func rateAnomalies(failed, occupancy []int, positions []int, totalFailed, totalO
 	}
 	sort.Ints(out)
 	return out
-}
-
-// dedupeRepeats keeps only the first occurrence of each (host, device,
-// slot, type) group — the paper's "filter out repeating failures" step.
-// The slot keeps a second drive failing on the same server distinct from
-// the same drive failing twice.
-func dedupeRepeats(failures *fot.Trace) *fot.Trace {
-	type key struct {
-		host uint64
-		dev  fot.Component
-		slot string
-		typ  string
-	}
-	ordered := failures.Clone()
-	ordered.SortByTime()
-	seen := make(map[key]bool, ordered.Len())
-	return ordered.Filter(func(tk fot.Ticket) bool {
-		k := key{tk.HostID, tk.Device, tk.Slot, tk.Type}
-		if seen[k] {
-			return false
-		}
-		seen[k] = true
-		return true
-	})
 }

@@ -109,7 +109,7 @@ func TestRackAnalysisNeedsCensus(t *testing.T) {
 func TestDedupeRepeats(t *testing.T) {
 	res, _ := fixture(t)
 	failures := res.Trace.Failures()
-	deduped := dedupeRepeats(failures)
+	deduped := failures.FirstPerInstance()
 	if deduped.Len() >= failures.Len() {
 		t.Errorf("dedupe removed nothing: %d vs %d", deduped.Len(), failures.Len())
 	}

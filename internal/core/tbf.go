@@ -11,6 +11,11 @@ import (
 // the tests without breaking the MLE.
 const tbfFloorMinutes = 1.0 / 60
 
+const (
+	tbfFitBinsScope = 30
+	tbfFitBinsLine  = 20
+)
+
 // TBFResult reproduces Fig. 5 for one scope (all components, one class,
 // or one product line) and carries the Hypothesis 3/4 verdicts.
 type TBFResult struct {
@@ -51,46 +56,64 @@ func (r *TBFResult) AllRejected(alpha float64) bool {
 	return fitted > 0
 }
 
-// TBFAnalysis computes the Fig. 5 analysis. Pass component 0 for the
-// all-components scope (Hypothesis 3); a specific class gives the
-// Hypothesis 4 per-class variant.
-func TBFAnalysis(tr *fot.Trace, c fot.Component) (*TBFResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
-		return nil, err
-	}
-	scope := "all"
-	if c != 0 {
-		failures = failures.ByComponent(c)
-		scope = c.String()
-		if failures.Len() < 16 {
-			return nil, errNoTickets("component", c.String())
-		}
-	}
-	gaps := failures.TBF()
-	if len(gaps) < 16 {
-		return nil, errNoTickets("scope", scope)
-	}
+// floorAndFit runs the shared TBF pipeline for one scope: floor zero
+// gaps, then summarize and fit every family. It mutates gaps in place —
+// callers handing over a cached slice must copy first.
+func floorAndFit(scope string, gaps []float64, bins int) *TBFResult {
 	for i, g := range gaps {
 		if g < tbfFloorMinutes {
 			gaps[i] = tbfFloorMinutes
 		}
 	}
-	res := &TBFResult{
+	return &TBFResult{
 		Scope:         scope,
 		N:             len(gaps),
 		MTBFMinutes:   stats.Mean(gaps),
 		MedianMinutes: stats.Median(gaps),
-		Fits:          stats.FitAll(gaps, 30),
-		CDF:           stats.NewECDF(gaps).Points(256),
-		PerIDCMTBF:    make(map[string]float64),
+		Fits:          stats.FitAll(gaps, bins),
 	}
+}
+
+// TBFAnalysis computes the Fig. 5 analysis. Pass component 0 for the
+// all-components scope (Hypothesis 3); a specific class gives the
+// Hypothesis 4 per-class variant.
+func TBFAnalysis(tr *fot.Trace, c fot.Component) (*TBFResult, error) {
+	return TBFAnalysisIndexed(fot.BorrowTraceIndex(tr), c)
+}
+
+// TBFAnalysisIndexed is TBFAnalysis over a shared TraceIndex.
+func TBFAnalysisIndexed(ix *fot.TraceIndex, c fot.Component) (*TBFResult, error) {
+	failures, err := requireFailures(ix)
+	if err != nil {
+		return nil, err
+	}
+	scope := "all"
+	var gaps []float64
+	if c != 0 {
+		failures = ix.FailuresByComponent(c)
+		scope = c.String()
+		if failures.Len() < 16 {
+			return nil, errNoTickets("component", c.String())
+		}
+		gaps = failures.TBF()
+	} else {
+		gaps = append([]float64(nil), ix.FailureTBF()...)
+	}
+	if len(gaps) < 16 {
+		return nil, errNoTickets("scope", scope)
+	}
+	res := floorAndFit(scope, gaps, tbfFitBinsScope)
+	res.CDF = stats.NewECDF(gaps).Points(256)
+	res.PerIDCMTBF = make(map[string]float64)
 	if ranked := stats.RankFitsByAIC(gaps, res.Fits); len(ranked) > 0 && ranked[0].Err == nil {
 		res.BestFamily = ranked[0].Dist.Name()
 	}
-	for _, idc := range failures.IDCs() {
-		sub := failures.ByIDC(idc)
-		g := sub.TBF()
+	idcs, byIDC := ix.FailureIDCs(), ix.FailuresByIDC
+	if c != 0 {
+		idcs, byIDC = failures.IDCs(), failures.ByIDC
+	}
+	for _, idc := range idcs {
+		g := byIDC(idc).TBF()
 		if len(g) < 2 {
 			continue
 		}
@@ -102,13 +125,17 @@ func TBFAnalysis(tr *fot.Trace, c fot.Component) (*TBFResult, error) {
 // TBFByProductLine runs the Hypothesis 4 product-line breakdown: the TBF
 // analysis for each line with at least minTickets failures.
 func TBFByProductLine(tr *fot.Trace, minTickets int) (map[string]*TBFResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return TBFByProductLineIndexed(fot.BorrowTraceIndex(tr), minTickets)
+}
+
+// TBFByProductLineIndexed is TBFByProductLine over a shared TraceIndex.
+func TBFByProductLineIndexed(ix *fot.TraceIndex, minTickets int) (map[string]*TBFResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
 	out := make(map[string]*TBFResult)
-	for _, line := range failures.ProductLines() {
-		sub := failures.ByProductLine(line)
+	for _, line := range ix.FailureProductLines() {
+		sub := ix.FailuresByProductLine(line)
 		if sub.Len() < minTickets {
 			continue
 		}
@@ -116,18 +143,7 @@ func TBFByProductLine(tr *fot.Trace, minTickets int) (map[string]*TBFResult, err
 		if len(gaps) < 16 {
 			continue
 		}
-		for i, g := range gaps {
-			if g < tbfFloorMinutes {
-				gaps[i] = tbfFloorMinutes
-			}
-		}
-		out[line] = &TBFResult{
-			Scope:         "line:" + line,
-			N:             len(gaps),
-			MTBFMinutes:   stats.Mean(gaps),
-			MedianMinutes: stats.Median(gaps),
-			Fits:          stats.FitAll(gaps, 20),
-		}
+		out[line] = floorAndFit("line:"+line, gaps, tbfFitBinsLine)
 	}
 	if len(out) == 0 {
 		return nil, errNoTickets("product lines with", "enough tickets")

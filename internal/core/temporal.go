@@ -26,12 +26,17 @@ type DayOfWeekResult struct {
 // DayOfWeek computes Fig. 3 for one component class. Pass component 0 to
 // aggregate all classes.
 func DayOfWeek(tr *fot.Trace, c fot.Component) (*DayOfWeekResult, error) {
-	failures, err := requireFailures(tr)
+	return DayOfWeekIndexed(fot.BorrowTraceIndex(tr), c)
+}
+
+// DayOfWeekIndexed is DayOfWeek over a shared TraceIndex.
+func DayOfWeekIndexed(ix *fot.TraceIndex, c fot.Component) (*DayOfWeekResult, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
 	if c != 0 {
-		failures = failures.ByComponent(c)
+		failures = ix.FailuresByComponent(c)
 		if failures.Len() == 0 {
 			return nil, errNoTickets("component", c.String())
 		}
@@ -71,12 +76,17 @@ type HourOfDayResult struct {
 // HourOfDay computes Fig. 4 for one component class. Pass component 0 to
 // aggregate all classes.
 func HourOfDay(tr *fot.Trace, c fot.Component) (*HourOfDayResult, error) {
-	failures, err := requireFailures(tr)
+	return HourOfDayIndexed(fot.BorrowTraceIndex(tr), c)
+}
+
+// HourOfDayIndexed is HourOfDay over a shared TraceIndex.
+func HourOfDayIndexed(ix *fot.TraceIndex, c fot.Component) (*HourOfDayResult, error) {
+	failures, err := requireFailures(ix)
 	if err != nil {
 		return nil, err
 	}
 	if c != 0 {
-		failures = failures.ByComponent(c)
+		failures = ix.FailuresByComponent(c)
 		if failures.Len() == 0 {
 			return nil, errNoTickets("component", c.String())
 		}

@@ -35,16 +35,20 @@ type TrendResult struct {
 
 // Trend computes per-calendar-year statistics of the trace.
 func Trend(tr *fot.Trace) (*TrendResult, error) {
-	failures, err := requireFailures(tr)
-	if err != nil {
+	return TrendIndexed(fot.BorrowTraceIndex(tr))
+}
+
+// TrendIndexed is Trend over a shared TraceIndex.
+func TrendIndexed(ix *fot.TraceIndex) (*TrendResult, error) {
+	if _, err := requireFailures(ix); err != nil {
 		return nil, err
 	}
-	lo, hi, _ := failures.Span()
+	lo, hi, _ := ix.FailureSpan()
 	res := &TrendResult{}
 	for year := lo.Year(); year <= hi.Year(); year++ {
 		from := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
 		to := from.AddDate(1, 0, 0)
-		all := tr.Between(from, to)
+		all := ix.All().Between(from, to)
 		fail := all.Failures()
 		if fail.Len() == 0 {
 			continue

@@ -1,0 +1,295 @@
+package fot
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceIndex is a set of precomputed, shareable views over one trace: the
+// failure subset, per-component / per-IDC / per-product-line groupings, a
+// time-sorted copy, the sorted TBF gap series, the repeat-deduplicated
+// view, the failure span and UTC calendar-day buckets. It exists so that
+// the ~20 analyses of a full report — which each used to re-filter and
+// re-sort the whole trace — can share one pass over the data, and so that
+// a parallel report runner can hand every analysis the same immutable
+// snapshot.
+//
+// Immutability contract: NewTraceIndex deep-copies the source tickets, so
+// mutating the source trace afterwards (SortByTime, editing tickets)
+// never changes what the index serves. In exchange, everything an index
+// method returns — traces, slices, maps — is shared and must be treated
+// as read-only by callers. Views are built lazily on first use and cached
+// under sync.Once, so a TraceIndex is safe for concurrent use by any
+// number of goroutines.
+type TraceIndex struct {
+	all *Trace
+
+	failuresOnce sync.Once
+	failures     *Trace
+
+	byTimeOnce sync.Once
+	byTime     *Trace
+
+	firstOnce sync.Once
+	first     *Trace
+
+	categoryOnce sync.Once
+	byCategory   map[Category]*Trace
+
+	failCompOnce sync.Once
+	failByComp   map[Component]*Trace
+
+	allCompOnce sync.Once
+	allByComp   map[Component]*Trace
+
+	failIDCOnce sync.Once
+	failByIDC   map[string]*Trace
+	failIDCs    []string
+
+	failLineOnce sync.Once
+	failByLine   map[string]*Trace
+	failLines    []string
+
+	countOnce   sync.Once
+	failByClass map[Component]int
+
+	spanOnce       sync.Once
+	spanLo, spanHi time.Time
+	spanOK         bool
+
+	tbfOnce sync.Once
+	tbf     []float64
+
+	dayOnce    sync.Once
+	dayBuckets map[Component]map[int]int
+	dayCount   int
+}
+
+// NewTraceIndex builds an index over a private snapshot of tr. The source
+// trace may be mutated freely afterwards without affecting the index.
+func NewTraceIndex(tr *Trace) *TraceIndex {
+	if tr == nil {
+		return &TraceIndex{all: &Trace{}}
+	}
+	return &TraceIndex{all: tr.Clone()}
+}
+
+// BorrowTraceIndex indexes tr without copying it. The caller must not
+// mutate tr (or the tickets reachable from it) while the index is in use;
+// NewTraceIndex is the safe choice for long-lived or shared indexes. It
+// backs the one-shot *Trace analysis entry points, where snapshotting
+// every call would cost a full ticket copy for nothing.
+func BorrowTraceIndex(tr *Trace) *TraceIndex {
+	if tr == nil {
+		return &TraceIndex{all: &Trace{}}
+	}
+	return &TraceIndex{all: tr}
+}
+
+// Len returns the number of tickets in the indexed snapshot.
+func (ix *TraceIndex) Len() int { return ix.all.Len() }
+
+// All returns the indexed snapshot in original trace order.
+func (ix *TraceIndex) All() *Trace { return ix.all }
+
+// Failures returns the D_fixing + D_error subset in trace order.
+func (ix *TraceIndex) Failures() *Trace {
+	ix.failuresOnce.Do(func() { ix.failures = ix.all.Failures() })
+	return ix.failures
+}
+
+// FailuresByTime returns the failure subset sorted by detection time
+// (ties by ID).
+func (ix *TraceIndex) FailuresByTime() *Trace {
+	ix.byTimeOnce.Do(func() {
+		ordered := ix.Failures().Clone()
+		ordered.SortByTime()
+		ix.byTime = ordered
+	})
+	return ix.byTime
+}
+
+// FailuresFirstPerInstance returns the repeat-deduplicated failure view:
+// the first ticket of each (host, device, slot, type) group in time
+// order, as used by the spatial, lifecycle and correlated-pair analyses.
+func (ix *TraceIndex) FailuresFirstPerInstance() *Trace {
+	ix.firstOnce.Do(func() { ix.first = firstPerInstance(ix.FailuresByTime().Tickets) })
+	return ix.first
+}
+
+// ByCategory returns the tickets of one category, in trace order.
+func (ix *TraceIndex) ByCategory(c Category) *Trace {
+	ix.categoryOnce.Do(func() {
+		ix.byCategory = make(map[Category]*Trace, 3)
+		for _, tk := range ix.all.Tickets {
+			sub := ix.byCategory[tk.Category]
+			if sub == nil {
+				sub = &Trace{}
+				ix.byCategory[tk.Category] = sub
+			}
+			sub.Tickets = append(sub.Tickets, tk)
+		}
+	})
+	if sub := ix.byCategory[c]; sub != nil {
+		return sub
+	}
+	return &Trace{}
+}
+
+// FailuresByComponent returns the failures of one component class, in
+// trace order.
+func (ix *TraceIndex) FailuresByComponent(c Component) *Trace {
+	ix.failCompOnce.Do(func() {
+		ix.failByComp = groupByComponent(ix.Failures())
+	})
+	if sub := ix.failByComp[c]; sub != nil {
+		return sub
+	}
+	return &Trace{}
+}
+
+// AllByComponent returns every ticket (false alarms included) of one
+// component class, in trace order.
+func (ix *TraceIndex) AllByComponent(c Component) *Trace {
+	ix.allCompOnce.Do(func() {
+		ix.allByComp = groupByComponent(ix.all)
+	})
+	if sub := ix.allByComp[c]; sub != nil {
+		return sub
+	}
+	return &Trace{}
+}
+
+func groupByComponent(tr *Trace) map[Component]*Trace {
+	out := make(map[Component]*Trace, numComponents)
+	for _, tk := range tr.Tickets {
+		sub := out[tk.Device]
+		if sub == nil {
+			sub = &Trace{}
+			out[tk.Device] = sub
+		}
+		sub.Tickets = append(sub.Tickets, tk)
+	}
+	return out
+}
+
+// FailureIDCs returns the sorted set of datacenters present among the
+// failures.
+func (ix *TraceIndex) FailureIDCs() []string {
+	ix.buildIDCViews()
+	return ix.failIDCs
+}
+
+// FailuresByIDC returns the failures of one datacenter, in trace order.
+func (ix *TraceIndex) FailuresByIDC(idc string) *Trace {
+	ix.buildIDCViews()
+	if sub := ix.failByIDC[idc]; sub != nil {
+		return sub
+	}
+	return &Trace{}
+}
+
+func (ix *TraceIndex) buildIDCViews() {
+	ix.failIDCOnce.Do(func() {
+		ix.failByIDC = make(map[string]*Trace)
+		for _, tk := range ix.Failures().Tickets {
+			sub := ix.failByIDC[tk.IDC]
+			if sub == nil {
+				sub = &Trace{}
+				ix.failByIDC[tk.IDC] = sub
+			}
+			sub.Tickets = append(sub.Tickets, tk)
+		}
+		ix.failIDCs = ix.Failures().IDCs()
+	})
+}
+
+// FailureProductLines returns the sorted set of product lines present
+// among the failures.
+func (ix *TraceIndex) FailureProductLines() []string {
+	ix.buildLineViews()
+	return ix.failLines
+}
+
+// FailuresByProductLine returns the failures of one product line, in
+// trace order.
+func (ix *TraceIndex) FailuresByProductLine(pl string) *Trace {
+	ix.buildLineViews()
+	if sub := ix.failByLine[pl]; sub != nil {
+		return sub
+	}
+	return &Trace{}
+}
+
+func (ix *TraceIndex) buildLineViews() {
+	ix.failLineOnce.Do(func() {
+		ix.failByLine = make(map[string]*Trace)
+		for _, tk := range ix.Failures().Tickets {
+			sub := ix.failByLine[tk.ProductLine]
+			if sub == nil {
+				sub = &Trace{}
+				ix.failByLine[tk.ProductLine] = sub
+			}
+			sub.Tickets = append(sub.Tickets, tk)
+		}
+		ix.failLines = ix.Failures().ProductLines()
+	})
+}
+
+// FailureCountByComponent tallies failures per component class.
+func (ix *TraceIndex) FailureCountByComponent() map[Component]int {
+	ix.countOnce.Do(func() { ix.failByClass = ix.Failures().CountByComponent() })
+	return ix.failByClass
+}
+
+// FailureSpan returns the earliest and latest failure detection times,
+// and false when there are no failures.
+func (ix *TraceIndex) FailureSpan() (lo, hi time.Time, ok bool) {
+	ix.spanOnce.Do(func() { ix.spanLo, ix.spanHi, ix.spanOK = ix.Failures().Span() })
+	return ix.spanLo, ix.spanHi, ix.spanOK
+}
+
+// FailureTBF returns the time-between-failures series of the failure
+// subset in minutes. The slice is cached and shared: callers that modify
+// gaps (e.g. zero-gap flooring before a fit) must copy it first.
+func (ix *TraceIndex) FailureTBF() []float64 {
+	ix.tbfOnce.Do(func() { ix.tbf = ix.Failures().TBF() })
+	return ix.tbf
+}
+
+// utcDayIndex buckets a timestamp into its UTC calendar date, counted in
+// days. Midnight UTC has a Unix time divisible by 86400 for every date,
+// so the division is exact and two instants share an index iff they fall
+// on the same calendar day.
+func utcDayIndex(t time.Time) int {
+	u := t.UTC()
+	return int(time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC).Unix() / 86400)
+}
+
+// FailureDayBuckets returns, per component class, the number of failures
+// on each UTC calendar day (keyed by day index relative to the first
+// failure's date), together with the total number of calendar days the
+// failure span touches. Calendar-date bucketing keeps the Table V r_N
+// values independent of the trace's start time-of-day — a cluster
+// straddling midnight counts on two days, exactly as the paper's
+// "study days" denominator implies.
+func (ix *TraceIndex) FailureDayBuckets() (map[Component]map[int]int, int) {
+	ix.dayOnce.Do(func() {
+		ix.dayBuckets = make(map[Component]map[int]int)
+		lo, hi, ok := ix.FailureSpan()
+		if !ok {
+			return
+		}
+		first := utcDayIndex(lo)
+		ix.dayCount = utcDayIndex(hi) - first + 1
+		for _, tk := range ix.Failures().Tickets {
+			m := ix.dayBuckets[tk.Device]
+			if m == nil {
+				m = make(map[int]int)
+				ix.dayBuckets[tk.Device] = m
+			}
+			m[utcDayIndex(tk.Time)-first]++
+		}
+	})
+	return ix.dayBuckets, ix.dayCount
+}

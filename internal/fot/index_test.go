@@ -1,0 +1,187 @@
+package fot
+
+import (
+	"testing"
+	"time"
+)
+
+func indexTrace() *Trace {
+	tickets := make([]Ticket, 0, 40)
+	for i := 1; i <= 40; i++ {
+		tk := mkTicket(uint64(i))
+		switch {
+		case i%7 == 0:
+			tk.Category = FalseAlarm
+		case i%5 == 0:
+			tk.Category = Error
+		}
+		if i%3 == 0 {
+			tk.Device = Memory
+		}
+		if i%4 == 0 {
+			tk.IDC = "dc-02"
+			tk.ProductLine = "pl-storage"
+		}
+		// Shuffle detection order so sorting is observable.
+		tk.Time = t0.Add(time.Duration((i*17)%40) * time.Hour)
+		tickets = append(tickets, tk)
+	}
+	return NewTrace(tickets)
+}
+
+func TestTraceIndexMatchesTraceViews(t *testing.T) {
+	tr := indexTrace()
+	ix := NewTraceIndex(tr)
+
+	sameTickets := func(name string, got, want *Trace) {
+		t.Helper()
+		if len(got.Tickets) != len(want.Tickets) {
+			t.Fatalf("%s: got %d tickets, want %d", name, len(got.Tickets), len(want.Tickets))
+		}
+		for i := range got.Tickets {
+			if got.Tickets[i].ID != want.Tickets[i].ID {
+				t.Fatalf("%s: ticket %d is id %d, want %d", name, i, got.Tickets[i].ID, want.Tickets[i].ID)
+			}
+		}
+	}
+
+	sameTickets("All", ix.All(), tr)
+	sameTickets("Failures", ix.Failures(), tr.Failures())
+	sameTickets("ByCategory", ix.ByCategory(FalseAlarm), tr.ByCategory(FalseAlarm))
+	sameTickets("FailuresByComponent", ix.FailuresByComponent(Memory), tr.Failures().ByComponent(Memory))
+	sameTickets("AllByComponent", ix.AllByComponent(HDD), tr.ByComponent(HDD))
+	sameTickets("FailuresByIDC", ix.FailuresByIDC("dc-02"), tr.Failures().ByIDC("dc-02"))
+	sameTickets("FailuresByProductLine", ix.FailuresByProductLine("pl-storage"), tr.Failures().ByProductLine("pl-storage"))
+	sameTickets("FirstPerInstance", ix.FailuresFirstPerInstance(), tr.Failures().FirstPerInstance())
+
+	ordered := tr.Failures()
+	ordered.SortByTime()
+	sameTickets("FailuresByTime", ix.FailuresByTime(), ordered)
+
+	if got, want := ix.FailureIDCs(), tr.Failures().IDCs(); len(got) != len(want) {
+		t.Fatalf("FailureIDCs: got %v, want %v", got, want)
+	}
+	if got, want := ix.FailureProductLines(), tr.Failures().ProductLines(); len(got) != len(want) {
+		t.Fatalf("FailureProductLines: got %v, want %v", got, want)
+	}
+	wantCounts := tr.Failures().CountByComponent()
+	for c, n := range ix.FailureCountByComponent() {
+		if wantCounts[c] != n {
+			t.Fatalf("FailureCountByComponent[%v] = %d, want %d", c, n, wantCounts[c])
+		}
+	}
+	wantTBF := tr.Failures().TBF()
+	gotTBF := ix.FailureTBF()
+	if len(gotTBF) != len(wantTBF) {
+		t.Fatalf("FailureTBF: %d gaps, want %d", len(gotTBF), len(wantTBF))
+	}
+	for i := range gotTBF {
+		if gotTBF[i] != wantTBF[i] {
+			t.Fatalf("FailureTBF[%d] = %v, want %v", i, gotTBF[i], wantTBF[i])
+		}
+	}
+	lo, hi, ok := ix.FailureSpan()
+	wlo, whi, wok := tr.Failures().Span()
+	if ok != wok || !lo.Equal(wlo) || !hi.Equal(whi) {
+		t.Fatalf("FailureSpan: got (%v, %v, %v), want (%v, %v, %v)", lo, hi, ok, wlo, whi, wok)
+	}
+
+	if ix.ByCategory(Category(99)).Len() != 0 {
+		t.Error("unknown category should yield an empty trace")
+	}
+	if ix.FailuresByIDC("nope").Len() != 0 {
+		t.Error("unknown IDC should yield an empty trace")
+	}
+}
+
+// TestTraceIndexImmutableAfterSourceMutation enforces the snapshot
+// contract: once NewTraceIndex has run, reordering or editing the source
+// trace must not change any view the index serves.
+func TestTraceIndexImmutableAfterSourceMutation(t *testing.T) {
+	tr := indexTrace()
+	wantFailures := tr.Failures()
+	ix := NewTraceIndex(tr)
+
+	// Touch one view before mutation, leave the rest lazy: both paths
+	// must survive the mutation below.
+	if ix.Failures().Len() != wantFailures.Len() {
+		t.Fatal("failures view wrong before mutation")
+	}
+
+	tr.SortByTime()
+	for i := range tr.Tickets {
+		tr.Tickets[i].Category = FalseAlarm
+		tr.Tickets[i].IDC = "poisoned"
+		tr.Tickets[i].Time = tr.Tickets[i].Time.Add(1000 * time.Hour)
+	}
+
+	if got := ix.Failures().Len(); got != wantFailures.Len() {
+		t.Errorf("Failures after source mutation: %d tickets, want %d", got, wantFailures.Len())
+	}
+	for i, tk := range ix.All().Tickets {
+		if tk.IDC == "poisoned" {
+			t.Fatalf("ticket %d leaked source mutation", i)
+		}
+	}
+	for _, idc := range ix.FailureIDCs() {
+		if idc == "poisoned" {
+			t.Fatal("FailureIDCs leaked source mutation")
+		}
+	}
+	lo, _, _ := ix.FailureSpan()
+	wlo, _, _ := wantFailures.Span()
+	if !lo.Equal(wlo) {
+		t.Errorf("FailureSpan lo moved after source mutation: %v, want %v", lo, wlo)
+	}
+}
+
+func TestTraceIndexNilAndEmpty(t *testing.T) {
+	for _, ix := range []*TraceIndex{NewTraceIndex(nil), BorrowTraceIndex(nil), NewTraceIndex(&Trace{})} {
+		if ix.Len() != 0 || ix.Failures().Len() != 0 || len(ix.FailureTBF()) != 0 {
+			t.Fatal("empty index should serve empty views")
+		}
+		if _, _, ok := ix.FailureSpan(); ok {
+			t.Fatal("empty index should have no span")
+		}
+		buckets, days := ix.FailureDayBuckets()
+		if len(buckets) != 0 || days != 0 {
+			t.Fatal("empty index should have no day buckets")
+		}
+	}
+}
+
+func TestUTCDayIndex(t *testing.T) {
+	d1 := time.Date(2013, 6, 1, 23, 59, 0, 0, time.UTC)
+	d2 := time.Date(2013, 6, 2, 0, 1, 0, 0, time.UTC)
+	if utcDayIndex(d1) == utcDayIndex(d2) {
+		t.Error("instants across midnight must land in different buckets")
+	}
+	if utcDayIndex(d2)-utcDayIndex(d1) != 1 {
+		t.Error("consecutive days must have consecutive indexes")
+	}
+	d3 := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	if utcDayIndex(d1) != utcDayIndex(d3) {
+		t.Error("same calendar day must share a bucket")
+	}
+}
+
+func TestFailureDayBuckets(t *testing.T) {
+	mk := func(id uint64, at time.Time) Ticket {
+		return mkTicket(id, func(tk *Ticket) { tk.Time = at })
+	}
+	day := time.Date(2013, 3, 10, 0, 0, 0, 0, time.UTC)
+	tr := NewTrace([]Ticket{
+		mk(1, day.Add(23*time.Hour)),
+		mk(2, day.Add(23*time.Hour+30*time.Minute)),
+		mk(3, day.Add(24*time.Hour+15*time.Minute)),
+		mk(4, day.Add(24*time.Hour+30*time.Minute)),
+	})
+	buckets, days := NewTraceIndex(tr).FailureDayBuckets()
+	if days != 2 {
+		t.Fatalf("span touches 2 calendar days, got %d", days)
+	}
+	hdd := buckets[HDD]
+	if hdd[0] != 2 || hdd[1] != 2 {
+		t.Fatalf("want 2 failures on each day, got %v", hdd)
+	}
+}

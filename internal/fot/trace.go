@@ -40,11 +40,20 @@ func (tr *Trace) SortByTime() {
 }
 
 // Filter returns a new Trace containing tickets for which keep is true.
+// The predicate must be pure: it is called twice per ticket (a counting
+// pass sizes the result exactly, so high-selectivity filters such as
+// Failures never re-grow the output slice).
 func (tr *Trace) Filter(keep func(Ticket) bool) *Trace {
-	out := make([]Ticket, 0, len(tr.Tickets)/2)
-	for _, t := range tr.Tickets {
-		if keep(t) {
-			out = append(out, t)
+	n := 0
+	for i := range tr.Tickets {
+		if keep(tr.Tickets[i]) {
+			n++
+		}
+	}
+	out := make([]Ticket, 0, n)
+	for i := range tr.Tickets {
+		if keep(tr.Tickets[i]) {
+			out = append(out, tr.Tickets[i])
 		}
 	}
 	return &Trace{Tickets: out}
@@ -142,6 +151,38 @@ func (tr *Trace) distinctString(key func(Ticket) string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FirstPerInstance returns the first ticket, in detection-time order, of
+// each (host, device, slot, type) group — the paper's "filter out
+// repeating failures" step. The slot keeps a second drive failing on the
+// same server distinct from the same drive failing twice.
+func (tr *Trace) FirstPerInstance() *Trace {
+	ordered := tr.Clone()
+	ordered.SortByTime()
+	return firstPerInstance(ordered.Tickets)
+}
+
+type instanceKey struct {
+	host uint64
+	dev  Component
+	slot string
+	typ  string
+}
+
+// firstPerInstance assumes tickets are already time-ordered.
+func firstPerInstance(tickets []Ticket) *Trace {
+	seen := make(map[instanceKey]bool, len(tickets))
+	out := make([]Ticket, 0, len(tickets))
+	for _, tk := range tickets {
+		k := instanceKey{tk.HostID, tk.Device, tk.Slot, tk.Type}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, tk)
+	}
+	return &Trace{Tickets: out}
 }
 
 // GroupByHost indexes tickets by host id. Each group preserves trace order.

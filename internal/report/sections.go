@@ -1,0 +1,480 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+// SectionIDs lists every full-report section id in print order — the
+// values accepted by fotreport's -only flag.
+func SectionIDs() []string {
+	out := make([]string, 0, len(standardSections(nil)))
+	for _, s := range standardSections(nil) {
+		out = append(out, s.ID)
+	}
+	return out
+}
+
+// StandardSections returns the full paper report as independent sections
+// in print order: hypothesis verdicts, Tables I–VIII, Figs. 2–11, the
+// trend summary and the mining extension. Each section consumes only the
+// shared TraceIndex (plus the census), so a core.Runner may render them
+// in any order or in parallel.
+func StandardSections(census *core.Census) []core.Section {
+	return standardSections(census)
+}
+
+func standardSections(census *core.Census) []core.Section {
+	return []core.Section{
+		{ID: "verdicts", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.HypothesesIndexed(ix, census)
+			if err != nil {
+				return err
+			}
+			return Hypotheses(w, r)
+		}},
+		{ID: "table1", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.CategoryBreakdownIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return CategoryBreakdown(w, r)
+		}},
+		{ID: "table2", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.ComponentBreakdownIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return ComponentBreakdown(w, r)
+		}},
+		{ID: "fig2", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+				r, err := core.TypeBreakdownIndexed(ix, c)
+				if err != nil {
+					return err
+				}
+				if err := TypeBreakdown(w, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{ID: "fig3", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.DayOfWeekIndexed(ix, 0)
+			if err != nil {
+				return err
+			}
+			return DayOfWeek(w, r)
+		}},
+		{ID: "fig4", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			for _, c := range []fot.Component{fot.HDD, fot.Misc} {
+				r, err := core.HourOfDayIndexed(ix, c)
+				if err != nil {
+					return err
+				}
+				if err := HourOfDay(w, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{ID: "fig5", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.TBFAnalysisIndexed(ix, 0)
+			if err != nil {
+				return err
+			}
+			return TBF(w, r)
+		}},
+		{ID: "fig6", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
+				r, err := core.LifecycleRatesIndexed(ix, census, c, 48)
+				if err != nil {
+					return err
+				}
+				if err := Lifecycle(w, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{ID: "fig7", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.ServerSkewIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return ServerSkew(w, r)
+		}},
+		{ID: "repeats", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.RepeatAnalysisIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return Repeats(w, r)
+		}},
+		{ID: "table4", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.RackAnalysisIndexed(ix, census)
+			if err != nil {
+				return err
+			}
+			return RackAnalysis(w, r)
+		}},
+		{ID: "fig8", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			for _, idc := range []string{"dc01", "dc02"} {
+				r, err := core.RackPositionsIndexed(ix, census, idc)
+				if err != nil {
+					return err
+				}
+				if err := RackPositions(w, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{ID: "table5", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.BatchFrequencyIndexed(ix, nil)
+			if err != nil {
+				return err
+			}
+			return BatchFrequency(w, r)
+		}},
+		{ID: "batches", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			eps, err := core.BatchWindowsIndexed(ix, census, 30*time.Minute, 20)
+			if err != nil {
+				return err
+			}
+			return BatchEpisodes(w, eps, 10)
+		}},
+		{ID: "table6", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.CorrelatedPairsIndexed(ix, 24*time.Hour)
+			if err != nil {
+				return err
+			}
+			return CorrelatedPairs(w, r)
+		}},
+		{ID: "table8", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			groups, err := core.SyncRepeatGroupsIndexed(ix, 2*time.Minute, 3)
+			if err != nil {
+				return err
+			}
+			return SyncRepeatGroups(w, groups, 10)
+		}},
+		{ID: "fig9", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			for _, cat := range []fot.Category{fot.Fixing, fot.FalseAlarm} {
+				r, err := core.ResponseTimesIndexed(ix, cat)
+				if err != nil {
+					return err
+				}
+				if err := ResponseTimes(w, cat.String(), r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{ID: "fig10", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.ResponseTimesByClassIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return ResponseTimesByClass(w, r)
+		}},
+		{ID: "fig11", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.ProductLineRTIndexed(ix, fot.HDD)
+			if err != nil {
+				return err
+			}
+			return ProductLineRT(w, r, 15)
+		}},
+		{ID: "trend", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			r, err := core.TrendIndexed(ix)
+			if err != nil {
+				return err
+			}
+			return Trend(w, r)
+		}},
+		{ID: "mine", Render: func(ix *fot.TraceIndex, w io.Writer) error {
+			rules, err := mine.MineRules(ix.All(), 24*time.Hour, 3, 3.0)
+			if err != nil {
+				return err
+			}
+			if err := MiningRules(w, rules, 12); err != nil {
+				return err
+			}
+			eval, err := mine.EvaluateWarningPredictor(ix.All(), 10*24*time.Hour)
+			if err != nil {
+				return err
+			}
+			return PredictorEval(w, eval)
+		}},
+	}
+}
+
+// selectSections filters the standard sections by sel (nil keeps all).
+func selectSections(census *core.Census, sel func(string) bool) []core.Section {
+	all := standardSections(census)
+	if sel == nil {
+		return all
+	}
+	out := make([]core.Section, 0, len(all))
+	for _, s := range all {
+		if sel(s.ID) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Full renders the complete paper report through the parallel runner:
+// sections fan out across `workers` goroutines (<= 0 means one per CPU)
+// over the shared index, and the collected bundle is streamed to w in
+// print order — byte-identical to SerialReference on the same trace.
+func Full(w io.Writer, ix *fot.TraceIndex, census *core.Census, workers int, sel func(string) bool) error {
+	bundle := core.Runner{Workers: workers}.RunAll(ix, selectSections(census, sel))
+	_, err := bundle.WriteTo(w)
+	return err
+}
+
+// SerialReference renders the complete paper report strictly serially
+// through the one-shot *fot.Trace analysis entry points — no shared
+// index, every section refiltering the trace from scratch. It is the
+// pre-runner pipeline, kept as the golden reference (Full must match it
+// byte for byte) and as the baseline side of BenchmarkFullReport.
+func SerialReference(w io.Writer, trace *fot.Trace, census *core.Census, sel func(string) bool) error {
+	if sel == nil {
+		sel = func(string) bool { return true }
+	}
+	section := func(id string, fn func() error) error {
+		if !sel(id) {
+			return nil
+		}
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	if err := section("verdicts", func() error {
+		r, err := core.Hypotheses(trace, census)
+		if err != nil {
+			return err
+		}
+		return Hypotheses(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table1", func() error {
+		r, err := core.CategoryBreakdown(trace)
+		if err != nil {
+			return err
+		}
+		return CategoryBreakdown(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table2", func() error {
+		r, err := core.ComponentBreakdown(trace)
+		if err != nil {
+			return err
+		}
+		return ComponentBreakdown(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig2", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.RAIDCard, fot.FlashCard, fot.Memory} {
+			r, err := core.TypeBreakdown(trace, c)
+			if err != nil {
+				return err
+			}
+			if err := TypeBreakdown(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig3", func() error {
+		r, err := core.DayOfWeek(trace, 0)
+		if err != nil {
+			return err
+		}
+		return DayOfWeek(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig4", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.Misc} {
+			r, err := core.HourOfDay(trace, c)
+			if err != nil {
+				return err
+			}
+			if err := HourOfDay(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig5", func() error {
+		r, err := core.TBFAnalysis(trace, 0)
+		if err != nil {
+			return err
+		}
+		return TBF(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig6", func() error {
+		for _, c := range []fot.Component{fot.HDD, fot.Memory, fot.RAIDCard, fot.FlashCard, fot.Misc} {
+			r, err := core.LifecycleRates(trace, census, c, 48)
+			if err != nil {
+				return err
+			}
+			if err := Lifecycle(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig7", func() error {
+		r, err := core.ServerSkew(trace)
+		if err != nil {
+			return err
+		}
+		return ServerSkew(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("repeats", func() error {
+		r, err := core.RepeatAnalysis(trace)
+		if err != nil {
+			return err
+		}
+		return Repeats(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table4", func() error {
+		r, err := core.RackAnalysis(trace, census)
+		if err != nil {
+			return err
+		}
+		return RackAnalysis(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig8", func() error {
+		for _, idc := range []string{"dc01", "dc02"} {
+			r, err := core.RackPositions(trace, census, idc)
+			if err != nil {
+				return err
+			}
+			if err := RackPositions(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("table5", func() error {
+		r, err := core.BatchFrequency(trace, nil)
+		if err != nil {
+			return err
+		}
+		return BatchFrequency(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("batches", func() error {
+		eps, err := core.BatchWindows(trace, census, 30*time.Minute, 20)
+		if err != nil {
+			return err
+		}
+		return BatchEpisodes(w, eps, 10)
+	}); err != nil {
+		return err
+	}
+	if err := section("table6", func() error {
+		r, err := core.CorrelatedPairs(trace, 24*time.Hour)
+		if err != nil {
+			return err
+		}
+		return CorrelatedPairs(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("table8", func() error {
+		groups, err := core.SyncRepeatGroups(trace, 2*time.Minute, 3)
+		if err != nil {
+			return err
+		}
+		return SyncRepeatGroups(w, groups, 10)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig9", func() error {
+		for _, cat := range []fot.Category{fot.Fixing, fot.FalseAlarm} {
+			r, err := core.ResponseTimes(trace, cat)
+			if err != nil {
+				return err
+			}
+			if err := ResponseTimes(w, cat.String(), r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := section("fig10", func() error {
+		r, err := core.ResponseTimesByClass(trace)
+		if err != nil {
+			return err
+		}
+		return ResponseTimesByClass(w, r)
+	}); err != nil {
+		return err
+	}
+	if err := section("fig11", func() error {
+		r, err := core.ProductLineRT(trace, fot.HDD)
+		if err != nil {
+			return err
+		}
+		return ProductLineRT(w, r, 15)
+	}); err != nil {
+		return err
+	}
+	if err := section("trend", func() error {
+		r, err := core.Trend(trace)
+		if err != nil {
+			return err
+		}
+		return Trend(w, r)
+	}); err != nil {
+		return err
+	}
+	return section("mine", func() error {
+		rules, err := mine.MineRules(trace, 24*time.Hour, 3, 3.0)
+		if err != nil {
+			return err
+		}
+		if err := MiningRules(w, rules, 12); err != nil {
+			return err
+		}
+		eval, err := mine.EvaluateWarningPredictor(trace, 10*24*time.Hour)
+		if err != nil {
+			return err
+		}
+		return PredictorEval(w, eval)
+	})
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+)
+
+// TestFullMatchesSerialReference is the golden equivalence test of the
+// parallel runner: on the same fixed-seed trace, the fan-out/collect
+// pipeline must produce output byte-identical to the strictly serial
+// per-analysis rendering. `make tier2` runs this under -race, which also
+// exercises the shared-TraceIndex concurrency contract.
+func TestFullMatchesSerialReference(t *testing.T) {
+	res, cen := fixture(t)
+
+	var serial bytes.Buffer
+	if err := SerialReference(&serial, res.Trace, cen, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4, 32} {
+		var parallel bytes.Buffer
+		if err := Full(&parallel, fot.NewTraceIndex(res.Trace), cen, workers, nil); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Fatalf("workers=%d: parallel output diverges from serial (%d vs %d bytes)",
+				workers, parallel.Len(), serial.Len())
+		}
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFullHonorsSelection(t *testing.T) {
+	res, cen := fixture(t)
+	sel := func(id string) bool { return id == "table1" || id == "table5" }
+
+	var got, want bytes.Buffer
+	if err := Full(&got, fot.NewTraceIndex(res.Trace), cen, 0, sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := SerialReference(&want, res.Trace, cen, sel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("selected subset diverges from serial")
+	}
+	if !strings.Contains(got.String(), "Table I") || !strings.Contains(got.String(), "Table V") {
+		t.Fatal("selected sections missing from output")
+	}
+	if strings.Contains(got.String(), "Fig. 5") {
+		t.Fatal("unselected section leaked into output")
+	}
+}
+
+// TestRunnerErrorSemantics checks that a failing section replays exactly
+// like the serial pipeline: prior sections and the failer's partial text
+// are written, the error is wrapped with the section id, and nothing
+// after the failure appears.
+func TestRunnerErrorSemantics(t *testing.T) {
+	boom := errors.New("boom")
+	sections := []core.Section{
+		{ID: "ok", Render: func(_ *fot.TraceIndex, w io.Writer) error {
+			_, err := fmt.Fprintln(w, "first")
+			return err
+		}},
+		{ID: "bad", Render: func(_ *fot.TraceIndex, w io.Writer) error {
+			fmt.Fprint(w, "partial")
+			return boom
+		}},
+		{ID: "after", Render: func(_ *fot.TraceIndex, w io.Writer) error {
+			_, err := fmt.Fprintln(w, "never shown")
+			return err
+		}},
+	}
+	bundle := core.Runner{Workers: 2}.RunAll(fot.NewTraceIndex(&fot.Trace{}), sections)
+
+	var buf bytes.Buffer
+	_, err := bundle.WriteTo(&buf)
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteTo error = %v, want wrapped boom", err)
+	}
+	if got, want := err.Error(), "bad: boom"; got != want {
+		t.Fatalf("error = %q, want %q", got, want)
+	}
+	if got, want := buf.String(), "first\n\npartial"; got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+	if !errors.Is(bundle.Err(), boom) {
+		t.Fatal("bundle.Err should surface the section error")
+	}
+}
+
+func TestSectionIDsStable(t *testing.T) {
+	ids := SectionIDs()
+	if len(ids) != 21 {
+		t.Fatalf("%d sections, want 21", len(ids))
+	}
+	if ids[0] != "verdicts" || ids[len(ids)-1] != "mine" {
+		t.Fatalf("unexpected order: first=%s last=%s", ids[0], ids[len(ids)-1])
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate section id %s", id)
+		}
+		seen[id] = true
+	}
+}
