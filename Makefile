@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet tier1 tier2 bench benchall
+.PHONY: all build test race vet tier1 tier2 serve-smoke bench benchall
 
 all: tier1
 
@@ -25,7 +25,13 @@ race:
 
 tier1: build test
 
-tier2: vet race
+tier2: vet race serve-smoke
+
+# serve-smoke: fotqueryd generates a trace, serves it on a loopback
+# port, queries its own HTTP API end to end, and exits non-zero on any
+# mismatch — the hermetic live-service gate.
+serve-smoke:
+	$(GO) run ./cmd/fotqueryd -smoke
 
 # bench: the headline serial-vs-parallel full-report comparison at paper
 # scale; writes BENCH_report.json in the repo root.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -82,6 +83,10 @@ func run(args []string, w io.Writer) error {
 		trace = res.Trace
 	}
 
+	// Render every requested report into memory first: if a later
+	// analysis fails, nothing reaches stdout — the command exits
+	// non-zero with the error alone, never a truncated report.
+	var buf bytes.Buffer
 	if *ticketID != 0 {
 		ix, err := mine.NewIndex(trace)
 		if err != nil {
@@ -91,7 +96,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := report.TicketContext(w, ctx); err != nil {
+		if err := report.TicketContext(&buf, ctx); err != nil {
 			return err
 		}
 	}
@@ -100,7 +105,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := report.MiningRules(w, mined, 20); err != nil {
+		if err := report.MiningRules(&buf, mined, 20); err != nil {
 			return err
 		}
 	}
@@ -109,7 +114,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := report.PredictorEval(w, eval); err != nil {
+		if err := report.PredictorEval(&buf, eval); err != nil {
 			return err
 		}
 	}
@@ -118,9 +123,10 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := report.ChronicServers(w, top); err != nil {
+		if err := report.ChronicServers(&buf, top); err != nil {
 			return err
 		}
 	}
-	return nil
+	_, err := buf.WriteTo(w)
+	return err
 }

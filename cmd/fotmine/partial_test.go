@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// falseAlarmCSV parses cleanly but has no failures: the -ticket context
+// renders, then -rules fails with "no failed servers".
+const falseAlarmCSV = `id,host_id,hostname,host_idc,rack,position,error_device,error_slot,error_type,error_time,error_detail,category,action,operator,op_time,product_line,deploy_time,model
+1,101,h1,idc1,r1,1,hdd,s0,disk_error,2013-01-01T00:00:00Z,,D_falsealarm,none,op,,pl,,m1
+2,102,h2,idc1,r2,1,hdd,s0,disk_error,2013-01-02T00:00:00Z,,D_falsealarm,none,op,,pl,,m1
+`
+
+func runBinary(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run: %v\n%s", err, stderr.String())
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestLateAnalysisErrorLeavesNoPartialOutput is the regression test for
+// the truncated-output bug: when -ticket succeeded and a later -rules
+// failed, the context used to reach stdout anyway with exit 1. Now a
+// failing run must print nothing to stdout.
+func TestLateAnalysisErrorLeavesNoPartialOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "falsealarm.csv")
+	if err := os.WriteFile(path, []byte(falseAlarmCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runBinary(t, "-trace", path, "-ticket", "1", "-rules")
+	if code == 0 {
+		t.Fatal("want non-zero exit when -rules fails")
+	}
+	if stdout != "" {
+		t.Fatalf("stdout must be empty on failure, got %d bytes:\n%s", len(stdout), stdout)
+	}
+	if !strings.HasPrefix(stderr, "fotmine: ") {
+		t.Fatalf("stderr should lead with the one-line error:\n%s", stderr)
+	}
+
+	// The same trace queried for something it can answer still renders.
+	code, stdout, _ = runBinary(t, "-trace", path, "-ticket", "1")
+	if code != 0 || !strings.Contains(stdout, "ticket 1:") {
+		t.Fatalf("healthy query failed: exit %d, stdout:\n%s", code, stdout)
+	}
+}
+
+// TestCorruptInputFailsCleanly pins the unreadable/corrupt-input
+// contract: non-zero exit, empty stdout, leading one-line stderr.
+func TestCorruptInputFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.csv")
+	if err := os.WriteFile(path, []byte("garbage\nnot,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runBinary(t, "-trace", path, "-rules")
+	if code == 0 {
+		t.Fatal("want non-zero exit for corrupt input")
+	}
+	if stdout != "" {
+		t.Fatalf("stdout must be empty, got:\n%s", stdout)
+	}
+	if !strings.HasPrefix(stderr, "fotmine: ") {
+		t.Fatalf("stderr should lead with the error line:\n%s", stderr)
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -111,8 +112,15 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(os.Stderr, "fotreport: figure CSVs written to %s\n", *csvDir)
 	}
 	// Borrow rather than snapshot: the trace is ours and nothing mutates
-	// it while the runner fans the sections out.
-	return report.Full(w, fot.BorrowTraceIndex(trace), census, *workers, sel)
+	// it while the runner fans the sections out. Render into memory
+	// first — a section that fails must not leave a truncated report on
+	// stdout; the command exits non-zero with the error alone.
+	var buf bytes.Buffer
+	if err := report.Full(&buf, fot.BorrowTraceIndex(trace), census, *workers, sel); err != nil {
+		return err
+	}
+	_, err = buf.WriteTo(w)
+	return err
 }
 
 // exportCSVs writes each figure's data series into dir.

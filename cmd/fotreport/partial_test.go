@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// falseAlarmCSV parses cleanly but makes every failure-based section
+// error: Table I renders, Fig. 5 (time between failures) cannot.
+const falseAlarmCSV = `id,host_id,hostname,host_idc,rack,position,error_device,error_slot,error_type,error_time,error_detail,category,action,operator,op_time,product_line,deploy_time,model
+1,101,h1,idc1,r1,1,hdd,s0,disk_error,2013-01-01T00:00:00Z,,D_falsealarm,none,op,,pl,,m1
+2,102,h2,idc1,r2,1,hdd,s0,disk_error,2013-01-02T00:00:00Z,,D_falsealarm,none,op,,pl,,m1
+3,103,h3,idc1,r3,1,hdd,s0,disk_error,2013-01-03T00:00:00Z,,D_falsealarm,none,op,,pl,,m1
+`
+
+// runBinary go-runs this package against args, returning exit code,
+// stdout and stderr separately.
+func runBinary(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run: %v\n%s", err, stderr.String())
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestSectionErrorLeavesNoPartialOutput is the regression test for the
+// truncated-report bug: a section failing after earlier sections have
+// rendered used to leave a partial report on stdout with exit 1. Now
+// stdout must stay empty and stderr must carry exactly one error line.
+func TestSectionErrorLeavesNoPartialOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "falsealarm.csv")
+	if err := os.WriteFile(path, []byte(falseAlarmCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runBinary(t, "-trace", path, "-only", "table1,fig5")
+	if code == 0 {
+		t.Fatal("want non-zero exit for failing section")
+	}
+	if stdout != "" {
+		t.Fatalf("stdout must be empty on failure, got %d bytes:\n%s", len(stdout), stdout)
+	}
+	if lines := strings.Count(strings.TrimSpace(firstOwnLine(stderr)), "\n"); lines != 0 {
+		t.Fatalf("want a one-line error on stderr, got:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "fotreport:") || !strings.Contains(stderr, "fig5") {
+		t.Fatalf("stderr should name the tool and the failing section:\n%s", stderr)
+	}
+
+	// The same trace with only renderable sections still works.
+	code, stdout, _ = runBinary(t, "-trace", path, "-only", "table1")
+	if code != 0 || !strings.Contains(stdout, "Table I") {
+		t.Fatalf("healthy subset failed: exit %d, stdout:\n%s", code, stdout)
+	}
+}
+
+// TestCorruptInputFailsCleanly pins the unreadable/corrupt-input
+// contract: non-zero exit, empty stdout, one-line stderr.
+func TestCorruptInputFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.csv")
+	if err := os.WriteFile(corrupt, []byte("id,host\nnot,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, path string }{
+		{"corrupt", corrupt},
+		{"missing", filepath.Join(dir, "nope.csv")},
+	} {
+		code, stdout, stderr := runBinary(t, "-trace", tc.path)
+		if code == 0 {
+			t.Errorf("%s: want non-zero exit", tc.name)
+		}
+		if stdout != "" {
+			t.Errorf("%s: stdout must be empty, got:\n%s", tc.name, stdout)
+		}
+		if !strings.HasPrefix(stderr, "fotreport: ") {
+			t.Errorf("%s: stderr should lead with the error line:\n%s", tc.name, stderr)
+		}
+	}
+}
+
+// firstOwnLine strips go run's trailing "exit status N" noise, leaving
+// only the lines the binary itself printed.
+func firstOwnLine(stderr string) string {
+	var own []string
+	for _, line := range strings.Split(strings.TrimSpace(stderr), "\n") {
+		if strings.HasPrefix(line, "exit status ") {
+			continue
+		}
+		own = append(own, line)
+	}
+	return strings.Join(own, "\n")
+}

@@ -1,0 +1,140 @@
+package archive
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dcfail/internal/fot"
+)
+
+// Position records how far a Follower has consumed an archive: the name
+// of the segment it is inside and the number of tickets already read from
+// it. Segments are consumed strictly in name order, so (segment, offset)
+// is a total resume point. The zero value means "start of the archive".
+type Position struct {
+	Segment string `json:"segment"`
+	Offset  int    `json:"offset"` // tickets consumed from Segment
+}
+
+// Follower is a tail/follow reader over an archive directory written by
+// another process (e.g. fmsd archiving on rotation). Each Poll returns
+// every ticket appended since the previous Poll, in archive order,
+// resuming across segment rolls: a segment that was partially read last
+// time is re-opened and the already-consumed prefix skipped, and newly
+// appeared segments are picked up in name order. A Follower never holds
+// files open between polls, so the writer may rotate freely.
+//
+// A Follower is not safe for concurrent use; wrap it in the caller's own
+// synchronization if multiple goroutines poll.
+type Follower struct {
+	dir string
+	pos Position
+}
+
+// Follow creates a tail reader over dir, resuming from pos (use the zero
+// Position to start at the beginning). The directory does not need to
+// exist yet — a missing directory polls as empty until the writer
+// creates it.
+func Follow(dir string, pos Position) *Follower {
+	return &Follower{dir: dir, pos: pos}
+}
+
+// Pos returns the current resume point. Persist it and hand it back to
+// Follow to survive a restart without re-reading the archive.
+func (f *Follower) Pos() Position { return f.pos }
+
+// Poll returns the tickets appended since the last Poll (nil when there
+// is nothing new). The final, possibly still-growing segment is read too:
+// tickets are returned as soon as their full line is on disk, and the
+// next Poll continues after them whether or not the segment has been
+// finalized with a sidecar since.
+func (f *Follower) Poll() ([]fot.Ticket, error) {
+	names, err := f.segmentNames()
+	if err != nil {
+		return nil, err
+	}
+	var out []fot.Ticket
+	for _, name := range names {
+		if name < f.pos.Segment {
+			continue // fully consumed in an earlier poll
+		}
+		skip := 0
+		if name == f.pos.Segment {
+			skip = f.pos.Offset
+		}
+		tickets, err := readSegmentLines(filepath.Join(f.dir, name), skip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tickets...)
+		f.pos = Position{Segment: name, Offset: skip + len(tickets)}
+	}
+	return out, nil
+}
+
+// segmentNames lists the archive's segment files in consumption order.
+func (f *Follower) segmentNames() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("archive: follow read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".jsonl") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// readSegmentLines reads a segment, skipping the first skip tickets. A
+// trailing line without a newline is left for the next poll: the writer
+// may still be in the middle of it.
+func readSegmentLines(path string, skip int) ([]fot.Ticket, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // rotated away between ReadDir and here
+		}
+		return nil, fmt.Errorf("archive: follow open segment: %w", err)
+	}
+	// Drop a torn tail (no terminating newline yet) — it will be complete
+	// on a later poll.
+	i := bytes.LastIndexByte(raw, '\n')
+	if i < 0 {
+		return nil, nil
+	}
+	raw = raw[:i+1]
+	var out []fot.Ticket
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		line++
+		if line <= skip {
+			continue
+		}
+		t, err := fot.UnmarshalJSONLine(b)
+		if err != nil {
+			return nil, fmt.Errorf("archive: follow %s line %d: %w", filepath.Base(path), line, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("archive: follow %s: %w", filepath.Base(path), err)
+	}
+	return out, nil
+}

@@ -64,6 +64,7 @@ type Collector struct {
 
 	detector *mine.BatchDetector
 	onAlert  func(mine.BatchAlert)
+	subs     subscribers
 
 	wg        sync.WaitGroup
 	closing   chan struct{}
@@ -419,6 +420,9 @@ func (c *Collector) handleReport(req *Request) (*Response, error) {
 		fire = c.detector.Observe(t)
 		onAlert = c.onAlert
 	}
+	// Publish to live subscriptions while still ordered by the pool
+	// lock; the sends inside are non-blocking.
+	c.subs.publish(t)
 	c.mu.Unlock()
 	// Durability before the ack: the record is appended (and fsynced,
 	// batched across connections) outside the pool lock.

@@ -1,0 +1,98 @@
+package fmsnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dcfail/internal/fot"
+)
+
+// TicketSub is a live, in-process feed of tickets the collector accepts:
+// every report that enters the pool is offered to the subscription in
+// pool (ticket-id) order. Delivery is non-blocking — if the subscriber
+// falls behind its bounded buffer, tickets are dropped and counted
+// rather than ever stalling an agent ack; a consumer that needs the
+// dropped tickets can backfill them from the archive or a pool List.
+//
+// The feed carries the ticket as materialized at accept time:
+// out-of-warranty reports arrive already closed (D_error), in-warranty
+// ones arrive open (D_fixing, no operator fields). Later operator closes
+// mutate the pool, not the feed.
+type TicketSub struct {
+	reg     *subscribers
+	ch      chan fot.Ticket
+	dropped atomic.Uint64
+	closed  bool // guarded by reg.mu
+}
+
+// C returns the receive side of the subscription. The channel is closed
+// by Close (never by the collector), so ranging over it ends only when
+// the subscriber cancels.
+func (s *TicketSub) C() <-chan fot.Ticket { return s.ch }
+
+// Dropped returns how many tickets were discarded because the buffer was
+// full when they arrived.
+func (s *TicketSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from its collector and closes the
+// channel. Idempotent; the collector stops publishing to the feed before
+// Close returns, so no send can race the channel close.
+func (s *TicketSub) Close() {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// subscribers is the collector-side registry. Publishing happens under
+// the collector's pool lock so subscribers observe tickets in exactly
+// pool order; the send itself is a non-blocking select, so a slow or
+// abandoned subscriber costs one failed channel send, never a stall.
+type subscribers struct {
+	mu   sync.Mutex
+	subs []*TicketSub
+}
+
+func (p *subscribers) add(s *TicketSub) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs = append(p.subs, s)
+}
+
+// publish offers t to every live subscription and prunes closed ones.
+func (p *subscribers) publish(t fot.Ticket) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := p.subs[:0]
+	for _, s := range p.subs {
+		if s.closed {
+			continue
+		}
+		select {
+		case s.ch <- t:
+		default:
+			s.dropped.Add(1)
+		}
+		live = append(live, s)
+	}
+	// Zero the tail so detached subscriptions are collectable.
+	for i := len(live); i < len(p.subs); i++ {
+		p.subs[i] = nil
+	}
+	p.subs = live
+}
+
+// SubscribeTickets attaches a live ticket feed with the given buffer
+// capacity (minimum 1). Tickets accepted after the call are offered to
+// the feed in pool order; the subscriber must drain s.C() promptly or
+// accept drops (visible via s.Dropped()). Call s.Close() when done.
+func (c *Collector) SubscribeTickets(buffer int) *TicketSub {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &TicketSub{reg: &c.subs, ch: make(chan fot.Ticket, buffer)}
+	c.subs.add(s)
+	return s
+}

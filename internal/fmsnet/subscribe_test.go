@@ -1,0 +1,123 @@
+package fmsnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubscribeDeliversInPoolOrder drains a generously buffered
+// subscription while several clients report concurrently and checks the
+// feed is exactly pool order (strictly increasing ticket ids, no gaps up
+// to the drained count).
+func TestSubscribeDeliversInPoolOrder(t *testing.T) {
+	col := startCollector(t)
+	sub := col.SubscribeTickets(1024)
+	defer sub.Close()
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(col.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				if _, err := cl.Report(sampleReport(uint64(c*1000+i+1), true)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := sub.Dropped(); got != 0 {
+		t.Fatalf("buffered subscription dropped %d tickets", got)
+	}
+	total := clients * perClient
+	var last uint64
+	for i := 0; i < total; i++ {
+		select {
+		case tk := <-sub.C():
+			if tk.ID != last+1 {
+				t.Fatalf("ticket %d arrived after %d; want strict pool order", tk.ID, last)
+			}
+			last = tk.ID
+		case <-time.After(5 * time.Second):
+			t.Fatalf("subscription delivered only %d of %d tickets", i, total)
+		}
+	}
+}
+
+// TestSlowSubscriberNeverStallsAcks attaches a subscription with a tiny
+// buffer that nobody drains and checks that reports still get acked
+// promptly — overflow must be counted as drops, not backpressure on the
+// reporting path.
+func TestSlowSubscriberNeverStallsAcks(t *testing.T) {
+	col := startCollector(t)
+	sub := col.SubscribeTickets(2) // never drained during the burst
+	defer sub.Close()
+
+	cl := dial(t, col)
+	const n = 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= n; i++ {
+			if _, err := cl.Report(sampleReport(i, true)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reports stalled behind an undrained subscription")
+	}
+
+	if got := sub.Dropped(); got != n-2 {
+		t.Fatalf("dropped = %d, want %d (buffer keeps 2 of %d)", got, n-2, n)
+	}
+	// The two buffered tickets are the earliest ones, in order.
+	for want := uint64(1); want <= 2; want++ {
+		select {
+		case tk := <-sub.C():
+			if tk.ID != want {
+				t.Fatalf("buffered ticket id = %d, want %d", tk.ID, want)
+			}
+		default:
+			t.Fatalf("expected buffered ticket %d", want)
+		}
+	}
+}
+
+// TestSubscribeCloseDetaches verifies Close is idempotent, ends a range
+// over the channel, and that reports after Close don't panic the
+// publisher.
+func TestSubscribeCloseDetaches(t *testing.T) {
+	col := startCollector(t)
+	sub := col.SubscribeTickets(4)
+	cl := dial(t, col)
+	if _, err := cl.Report(sampleReport(1, true)); err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if _, err := cl.Report(sampleReport(2, true)); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range sub.C() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("drained %d tickets from closed subscription, want the 1 pre-close ticket", n)
+	}
+}

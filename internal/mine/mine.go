@@ -78,6 +78,21 @@ func NewIndex(tr *fot.Trace) (*Index, error) {
 	return ix, nil
 }
 
+// HostTickets returns one host's tickets in detection-time order (nil
+// for a host with no tickets). The returned slice is freshly allocated;
+// the tickets themselves are shared with the index's trace.
+func (ix *Index) HostTickets(host uint64) []fot.Ticket {
+	idxs := ix.byHost[host]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]fot.Ticket, len(idxs))
+	for i, ti := range idxs {
+		out[i] = ix.trace.Tickets[ti]
+	}
+	return out
+}
+
 // Context is the related-information report for one ticket — what the
 // paper says operators need to stop treating each FOT independently.
 type Context struct {

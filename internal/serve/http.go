@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcfail/internal/core"
+)
+
+// Handler returns the daemon's HTTP handler: the API mux wrapped in the
+// bounded-concurrency gate and the per-request timeout. Useful for
+// embedding the daemon in an existing server or an httptest.Server.
+func (d *Daemon) Handler() http.Handler { return d.handler }
+
+func (d *Daemon) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.HandleFunc("GET /report", d.handleReport)
+	mux.HandleFunc("GET /report/{section}", d.handleSection)
+	mux.HandleFunc("GET /hosts/{id}", d.handleHost)
+	mux.HandleFunc("GET /alerts", d.handleAlerts)
+	limited := d.limitConcurrency(mux)
+	return http.TimeoutHandler(limited, d.opts.RequestTimeout, "request timed out\n")
+}
+
+// limitConcurrency admits at most MaxConcurrent requests at once;
+// excess requests wait for a slot until the client gives up.
+func (d *Daemon) limitConcurrency(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case d.sem <- struct{}{}:
+			defer func() { <-d.sem }()
+			next.ServeHTTP(w, r)
+		case <-r.Context().Done():
+			http.Error(w, "server saturated", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// StatsReply is the /stats JSON body.
+type StatsReply struct {
+	Epoch    uint64 `json:"epoch"`
+	Tickets  int    `json:"tickets"`
+	Ingested uint64 `json:"ingested"`
+	Pending  int64  `json:"pending"`
+	Drained  bool   `json:"drained"`
+	// LastFold is when the current epoch was published (zero before the
+	// first fold); IngestLagMS is how long the oldest pending (not yet
+	// folded) state has been waiting — 0 when nothing is pending.
+	LastFold    time.Time `json:"last_fold"`
+	IngestLagMS int64     `json:"ingest_lag_ms"`
+	CacheHits   uint64    `json:"cache_hits"`
+	CacheMisses uint64    `json:"cache_misses"`
+	CacheRate   float64   `json:"cache_hit_rate"`
+	Alerts      uint64    `json:"alerts"`
+	SourceDrops uint64    `json:"source_drops"`
+	IngestError string    `json:"ingest_error,omitempty"`
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := d.state.Current()
+	hits, misses := d.state.CacheStats()
+	_, alertN := d.Alerts()
+	reply := StatsReply{
+		Epoch:       snap.Epoch(),
+		Tickets:     snap.Tickets(),
+		Ingested:    d.ingested.Load(),
+		Pending:     d.pending.Load(),
+		Drained:     d.drained.Load(),
+		LastFold:    snap.FoldedAt(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Alerts:      alertN,
+	}
+	if total := hits + misses; total > 0 {
+		reply.CacheRate = float64(hits) / float64(total)
+	}
+	if reply.Pending > 0 && !snap.FoldedAt().IsZero() {
+		reply.IngestLagMS = time.Since(snap.FoldedAt()).Milliseconds()
+	}
+	if d.opts.SourceDrops != nil {
+		reply.SourceDrops = d.opts.SourceDrops()
+	}
+	if msg := d.ingestErr.Load(); msg != nil {
+		reply.IngestError = *msg
+	}
+	writeJSON(w, reply)
+}
+
+// handleReport serves the full paper report, or a comma-separated subset
+// via ?sections=table1,fig5. The body is byte-identical to what
+// report.SerialReference prints for the same tickets: every section is
+// rendered from the single snapshot grabbed at entry, so a response
+// during active ingestion is still one self-consistent epoch (headers
+// X-Epoch and X-Tickets say which).
+func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
+	ids := d.state.SectionIDs()
+	if raw := r.URL.Query().Get("sections"); raw != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(raw, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				want[strings.ToLower(id)] = true
+			}
+		}
+		var sel []string
+		for _, id := range ids {
+			if want[id] {
+				sel = append(sel, id)
+				delete(want, id)
+			}
+		}
+		for id := range want {
+			http.Error(w, fmt.Sprintf("unknown section %q", id), http.StatusBadRequest)
+			return
+		}
+		ids = sel
+	}
+	snap := d.state.Current()
+	results, err := d.state.RenderSections(snap, ids)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	bundle := &core.ReportBundle{Sections: results}
+	if err := bundle.Err(); err != nil {
+		// No partial reports over the wire: one-line error instead.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeSnapshotHeaders(w, snap)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bundle.WriteTo(w)
+}
+
+// handleSection serves one section's body alone (no trailing separator).
+func (d *Daemon) handleSection(w http.ResponseWriter, r *http.Request) {
+	id := strings.ToLower(r.PathValue("section"))
+	snap := d.state.Current()
+	results, err := d.state.RenderSections(snap, []string{id})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if results[0].Err != nil {
+		http.Error(w, fmt.Sprintf("%s: %v", id, results[0].Err), http.StatusInternalServerError)
+		return
+	}
+	writeSnapshotHeaders(w, snap)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(results[0].Text)
+}
+
+// HostTicket is the JSON view of one ticket in a /hosts reply.
+type HostTicket struct {
+	ID       uint64    `json:"id"`
+	Device   string    `json:"error_device"`
+	Slot     string    `json:"error_slot,omitempty"`
+	Type     string    `json:"error_type"`
+	Time     time.Time `json:"error_time"`
+	Category string    `json:"category"`
+	Action   string    `json:"action"`
+}
+
+// HostReply is the /hosts/{id} JSON body: the server's ticket history
+// plus the §VII-B context of its most recent ticket — what the paper
+// says operators need so each FOT stops being handled in isolation.
+type HostReply struct {
+	HostID  uint64       `json:"host_id"`
+	Epoch   uint64       `json:"epoch"`
+	Tickets []HostTicket `json:"tickets"`
+	// Context of the newest ticket.
+	SlotRepeats    int      `json:"slot_repeats"`
+	ChronicSuspect bool     `json:"chronic_suspect"`
+	BatchPeers     int      `json:"batch_peers"`
+	BatchSuspect   bool     `json:"batch_suspect"`
+	TwinHosts      []uint64 `json:"twin_hosts,omitempty"`
+}
+
+func (d *Daemon) handleHost(w http.ResponseWriter, r *http.Request) {
+	host, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad host id", http.StatusBadRequest)
+		return
+	}
+	snap := d.state.Current()
+	mix, err := snap.MineIndex()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	tickets := mix.HostTickets(host)
+	if len(tickets) == 0 {
+		http.Error(w, fmt.Sprintf("host %d has no tickets", host), http.StatusNotFound)
+		return
+	}
+	reply := HostReply{HostID: host, Epoch: snap.Epoch()}
+	for _, t := range tickets {
+		reply.Tickets = append(reply.Tickets, HostTicket{
+			ID:       t.ID,
+			Device:   t.Device.String(),
+			Slot:     t.Slot,
+			Type:     t.Type,
+			Time:     t.Time,
+			Category: t.Category.String(),
+			Action:   t.Action.String(),
+		})
+	}
+	if ctx, err := mix.Contextualize(tickets[len(tickets)-1].ID); err == nil {
+		reply.SlotRepeats = ctx.SlotRepeats
+		reply.ChronicSuspect = ctx.IsChronicSuspect()
+		reply.BatchPeers = ctx.BatchPeers
+		reply.BatchSuspect = ctx.IsBatchSuspect()
+		reply.TwinHosts = ctx.TwinHosts
+	}
+	writeSnapshotHeaders(w, snap)
+	writeJSON(w, reply)
+}
+
+// AlertReply is one /alerts entry.
+type AlertReply struct {
+	Device  string        `json:"error_device"`
+	Type    string        `json:"error_type"`
+	At      time.Time     `json:"at"`
+	Window  time.Duration `json:"window_ns"`
+	Servers int           `json:"servers"`
+}
+
+func (d *Daemon) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	alerts, total := d.Alerts()
+	reply := struct {
+		Total  uint64       `json:"total"`
+		Recent []AlertReply `json:"recent"`
+	}{Total: total, Recent: []AlertReply{}}
+	for _, a := range alerts {
+		reply.Recent = append(reply.Recent, AlertReply{
+			Device:  a.Device.String(),
+			Type:    a.Type,
+			At:      a.At,
+			Window:  a.WindowLen,
+			Servers: a.Count,
+		})
+	}
+	writeJSON(w, reply)
+}
+
+func writeSnapshotHeaders(w http.ResponseWriter, snap *Snapshot) {
+	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch(), 10))
+	w.Header().Set("X-Tickets", strconv.Itoa(snap.Tickets()))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,273 @@
+// Package serve is the live analytics service behind cmd/fotqueryd: it
+// tails a ticket source (an fmsd archive directory, a collector
+// subscription, or a frozen trace) and keeps the paper's full statistics
+// warm and queryable over HTTP while tickets stream in.
+//
+// Three pieces:
+//
+//   - State: an epoch-based copy-on-append snapshot model over
+//     fot.TraceIndex — one ingest goroutine folds ticket batches into
+//     the next epoch; readers always see an immutable, self-consistent
+//     index (every section of one response is computed from the same
+//     ticket prefix).
+//   - A per-epoch result cache keyed by section id: repeated queries for
+//     Tables I–VIII / Figs. 2–11 / hypotheses / trend are served from
+//     memory; an epoch advance abandons the cache wholesale, and stale
+//     sections are recomputed in parallel through core.Runner over
+//     report.StandardSections.
+//   - An HTTP (JSON + text) API: /report, /report/{section},
+//     /hosts/{id}, /alerts, /healthz and /stats, with per-request
+//     timeouts, bounded concurrency and graceful drain.
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+// Options configures a Daemon. The zero value of every field has a
+// usable default except Census, which the report sections need.
+type Options struct {
+	// Census is the asset view the population-normalized sections
+	// (Fig. 6, Table IV, Fig. 8, verdicts) join against.
+	Census *core.Census
+	// Workers caps parallel section recomputation; <= 0 means one per
+	// CPU.
+	Workers int
+	// FoldInterval is how often buffered tickets are folded into a new
+	// epoch (default 200ms). Folding is cheap; the interval exists so a
+	// steady trickle of tickets does not invalidate the section cache
+	// on every single ticket.
+	FoldInterval time.Duration
+	// FoldBatch folds early once this many tickets are pending
+	// (default 8192).
+	FoldBatch int
+	// MaxConcurrent bounds in-flight HTTP requests (default 64).
+	MaxConcurrent int
+	// RequestTimeout bounds one request end to end (default 30s).
+	RequestTimeout time.Duration
+	// AlertWindow / AlertThreshold tune the streaming batch detector
+	// feeding /alerts (defaults: mine.NewBatchDetector's 3h / 20).
+	AlertWindow    time.Duration
+	AlertThreshold int
+	// SourceDrops, when set, is surfaced in /stats as the ingest
+	// source's drop counter (e.g. fmsnet.TicketSub.Dropped).
+	SourceDrops func() uint64
+}
+
+// maxAlerts caps the /alerts ring buffer.
+const maxAlerts = 256
+
+// Daemon is the live query service: ingest loop + HTTP handlers around
+// one State.
+type Daemon struct {
+	opts  Options
+	state *State
+
+	detMu    sync.Mutex
+	detector *mine.BatchDetector
+	alerts   []mine.BatchAlert
+	alertN   uint64 // lifetime count (ring may have evicted)
+
+	pending   atomic.Int64
+	ingested  atomic.Uint64
+	drained   atomic.Bool
+	ingestErr atomic.Pointer[string]
+
+	ingestCancel context.CancelFunc
+	ingestDone   chan struct{}
+
+	sem     chan struct{}
+	handler http.Handler
+	srv     *http.Server
+}
+
+// New builds a daemon over an empty epoch-0 state. Start ingestion with
+// StartIngest, then serve HTTP via Serve/ListenAndServe or wire
+// Handler() into a server of your own.
+func New(opts Options) *Daemon {
+	if opts.FoldInterval <= 0 {
+		opts.FoldInterval = 200 * time.Millisecond
+	}
+	if opts.FoldBatch <= 0 {
+		opts.FoldBatch = 8192
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 64
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	d := &Daemon{
+		opts:     opts,
+		state:    NewState(opts.Census, opts.Workers),
+		detector: mine.NewBatchDetector(opts.AlertWindow, opts.AlertThreshold),
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+	}
+	d.handler = d.buildHandler()
+	return d
+}
+
+// State exposes the underlying snapshot state (tests, embedders).
+func (d *Daemon) State() *State { return d.state }
+
+// Drained reports whether a finite ingest source has been fully folded.
+func (d *Daemon) Drained() bool { return d.drained.Load() }
+
+// StartIngest launches the ingest goroutine: it pulls batches from src,
+// feeds the streaming batch detector, and folds pending tickets into a
+// new epoch every FoldInterval (or sooner at FoldBatch). Call once;
+// Shutdown stops it.
+func (d *Daemon) StartIngest(src TicketSource) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d.ingestCancel = cancel
+	d.ingestDone = make(chan struct{})
+	go d.ingest(ctx, src)
+}
+
+// pollResult is one pump delivery: a batch and/or a terminal error.
+type pollResult struct {
+	batch []fot.Ticket
+	err   error
+}
+
+func (d *Daemon) ingest(ctx context.Context, src TicketSource) {
+	defer close(d.ingestDone)
+
+	// The pump turns the blocking Poll into a channel the fold loop can
+	// select against alongside its ticker.
+	pump := make(chan pollResult)
+	go func() {
+		defer close(pump)
+		for {
+			batch, err := src.Poll(ctx)
+			select {
+			case pump <- pollResult{batch: batch, err: err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var pending []fot.Ticket
+	fold := func() {
+		if len(pending) == 0 {
+			return
+		}
+		d.state.Fold(pending, time.Now())
+		d.ingested.Add(uint64(len(pending)))
+		pending = nil
+		d.pending.Store(0)
+	}
+	observe := func(batch []fot.Ticket) {
+		d.detMu.Lock()
+		defer d.detMu.Unlock()
+		for _, t := range batch {
+			if a := d.detector.Observe(t); a != nil {
+				d.alertN++
+				d.alerts = append(d.alerts, *a)
+				if len(d.alerts) > maxAlerts {
+					d.alerts = d.alerts[len(d.alerts)-maxAlerts:]
+				}
+			}
+		}
+	}
+
+	ticker := time.NewTicker(d.opts.FoldInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case res, ok := <-pump:
+			if !ok {
+				fold()
+				return
+			}
+			if len(res.batch) > 0 {
+				observe(res.batch)
+				pending = append(pending, res.batch...)
+				d.pending.Store(int64(len(pending)))
+			}
+			if res.err != nil {
+				fold()
+				switch {
+				case errors.Is(res.err, io.EOF):
+					d.drained.Store(true)
+				case errors.Is(res.err, context.Canceled):
+					// Shutdown path, not a source failure.
+				default:
+					msg := res.err.Error()
+					d.ingestErr.Store(&msg)
+				}
+				return
+			}
+			if len(pending) >= d.opts.FoldBatch {
+				fold()
+			}
+		case <-ticker.C:
+			fold()
+		case <-ctx.Done():
+			fold()
+			return
+		}
+	}
+}
+
+// Alerts returns the recent batch alerts (newest last) and the lifetime
+// alert count.
+func (d *Daemon) Alerts() ([]mine.BatchAlert, uint64) {
+	d.detMu.Lock()
+	defer d.detMu.Unlock()
+	out := make([]mine.BatchAlert, len(d.alerts))
+	copy(out, d.alerts)
+	return out, d.alertN
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (d *Daemon) Serve(ln net.Listener) error {
+	d.srv = &http.Server{
+		Handler:           d.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return d.srv.Serve(ln)
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (d *Daemon) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return d.Serve(ln)
+}
+
+// Shutdown stops ingestion (folding whatever is pending), then drains
+// the HTTP server gracefully: in-flight requests finish, new ones are
+// refused.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	if d.ingestCancel != nil {
+		d.ingestCancel()
+		select {
+		case <-d.ingestDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if d.srv != nil {
+		return d.srv.Shutdown(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/fot"
+)
+
+// TicketSource is where the daemon's ingest loop pulls tickets from.
+// Poll blocks until at least one ticket is available, the context is
+// done (ctx.Err), or the source is permanently drained — a drained
+// source returns io.EOF, optionally alongside its final batch.
+type TicketSource interface {
+	Poll(ctx context.Context) ([]fot.Ticket, error)
+}
+
+// traceSource replays a frozen, already-loaded trace in fixed batches —
+// the one-shot mode used for frozen-trace serving and tests.
+type traceSource struct {
+	tickets []fot.Ticket
+	batch   int
+}
+
+// FromTrace returns a source that serves the trace's tickets in order,
+// batch tickets per Poll (<= 0 means all at once), then reports EOF.
+func FromTrace(tr *fot.Trace, batch int) TicketSource {
+	if batch <= 0 {
+		batch = tr.Len()
+	}
+	return &traceSource{tickets: tr.Tickets, batch: batch}
+}
+
+func (s *traceSource) Poll(ctx context.Context) ([]fot.Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.tickets) == 0 {
+		return nil, io.EOF
+	}
+	n := s.batch
+	if n > len(s.tickets) {
+		n = len(s.tickets)
+	}
+	out := s.tickets[:n]
+	s.tickets = s.tickets[n:]
+	if len(s.tickets) == 0 {
+		return out, io.EOF
+	}
+	return out, nil
+}
+
+// archiveSource tails an archive directory through archive.Follow,
+// sleeping between empty polls.
+type archiveSource struct {
+	f        *archive.Follower
+	interval time.Duration
+}
+
+// TailArchive returns a source that follows an archive directory written
+// by another process (e.g. fmsd), resuming from pos and re-polling every
+// interval (default 500ms) while idle. The source never reports EOF: an
+// archive can always grow.
+func TailArchive(dir string, pos archive.Position, interval time.Duration) TicketSource {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &archiveSource{f: archive.Follow(dir, pos), interval: interval}
+}
+
+func (s *archiveSource) Poll(ctx context.Context) ([]fot.Ticket, error) {
+	for {
+		tickets, err := s.f.Poll()
+		if err != nil || len(tickets) > 0 {
+			return tickets, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.interval):
+		}
+	}
+}
+
+// channelSource adapts a ticket channel — typically a collector
+// subscription's C() — into a TicketSource. Poll blocks for the first
+// ticket, then opportunistically drains whatever else is already
+// buffered (up to 1024) so a burst folds as one batch.
+type channelSource struct {
+	ch <-chan fot.Ticket
+}
+
+// FromChannel wraps a ticket channel (e.g. fmsnet.TicketSub.C()). The
+// source reports EOF when the channel is closed.
+func FromChannel(ch <-chan fot.Ticket) TicketSource {
+	return &channelSource{ch: ch}
+}
+
+func (s *channelSource) Poll(ctx context.Context) ([]fot.Ticket, error) {
+	var out []fot.Ticket
+	select {
+	case t, ok := <-s.ch:
+		if !ok {
+			return nil, io.EOF
+		}
+		out = append(out, t)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for len(out) < 1024 {
+		select {
+		case t, ok := <-s.ch:
+			if !ok {
+				return out, io.EOF
+			}
+			out = append(out, t)
+		default:
+			return out, nil
+		}
+	}
+	return out, nil
+}

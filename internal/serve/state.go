@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/report"
+)
+
+// Snapshot is one immutable epoch of the live analytics state: a
+// consistent TraceIndex over every ticket folded so far, plus the
+// per-epoch section cache and a lazily built mining index. Readers that
+// grab a Snapshot keep exactly this view no matter how many folds happen
+// afterwards — all sections they render come from the same ticket
+// prefix, which is what makes a mid-ingestion report self-consistent.
+type Snapshot struct {
+	epoch    uint64
+	index    *fot.TraceIndex
+	tickets  int
+	foldedAt time.Time
+
+	cache sectionCache
+
+	mineOnce sync.Once
+	mineIx   *mine.Index
+	mineErr  error
+}
+
+// Epoch returns the snapshot's fold generation (0 = empty, pre-ingest).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Tickets returns how many tickets this epoch contains.
+func (s *Snapshot) Tickets() int { return s.tickets }
+
+// Index returns the epoch's shared immutable trace index.
+func (s *Snapshot) Index() *fot.TraceIndex { return s.index }
+
+// FoldedAt returns when this epoch was published.
+func (s *Snapshot) FoldedAt() time.Time { return s.foldedAt }
+
+// MineIndex returns the epoch's §VII-B mining index, built on first use
+// and cached for the life of the snapshot.
+func (s *Snapshot) MineIndex() (*mine.Index, error) {
+	s.mineOnce.Do(func() {
+		s.mineIx, s.mineErr = mine.NewIndex(s.index.All())
+	})
+	return s.mineIx, s.mineErr
+}
+
+// sectionCache holds the rendered sections of one epoch. It only ever
+// grows; epoch advance abandons the whole cache with its snapshot, so
+// nothing stale can survive a fold.
+type sectionCache struct {
+	mu   sync.Mutex
+	done map[string]core.SectionResult
+}
+
+// State is the incrementally updated analytics state behind the query
+// daemon: an epoch-based copy-on-append snapshot model. One ingest
+// goroutine folds new tickets into the next epoch with Fold; any number
+// of readers take the current Snapshot with Current and render sections
+// against it. The ticket backing array is append-only and every
+// published index views a capped prefix of it, so folding never copies
+// the history and never invalidates a reader's view.
+type State struct {
+	census   *core.Census
+	workers  int
+	sections map[string]core.Section
+	order    []string // section ids in print order
+
+	foldMu sync.Mutex // serializes folds; Current never takes it
+	all    []fot.Ticket
+
+	cur atomic.Pointer[Snapshot]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewState builds an empty state (epoch 0) whose reports use the given
+// census and fan section recomputation across workers goroutines (<= 0
+// means one per CPU, as in core.Runner).
+func NewState(census *core.Census, workers int) *State {
+	st := &State{
+		census:   census,
+		workers:  workers,
+		sections: make(map[string]core.Section),
+	}
+	for _, sec := range report.StandardSections(census) {
+		st.sections[sec.ID] = sec
+		st.order = append(st.order, sec.ID)
+	}
+	st.cur.Store(st.newSnapshot(0, nil, time.Time{}))
+	return st
+}
+
+func (st *State) newSnapshot(epoch uint64, view []fot.Ticket, at time.Time) *Snapshot {
+	return &Snapshot{
+		epoch:    epoch,
+		index:    fot.BorrowTraceIndex(fot.NewTrace(view)),
+		tickets:  len(view),
+		foldedAt: at,
+		cache:    sectionCache{done: make(map[string]core.SectionResult)},
+	}
+}
+
+// Current returns the live snapshot. Wait-free; safe from any goroutine.
+func (st *State) Current() *Snapshot { return st.cur.Load() }
+
+// SectionIDs returns every section id in print order.
+func (st *State) SectionIDs() []string { return st.order }
+
+// Fold appends a batch of tickets and publishes the next epoch. The
+// previous epoch's snapshot (and any reader holding it) is untouched:
+// published ticket prefixes are immutable, so the new index shares the
+// same backing array and only the new tail is ever written. Folding an
+// empty batch returns the current snapshot without advancing the epoch,
+// so idle ticks never invalidate the section cache.
+func (st *State) Fold(batch []fot.Ticket, now time.Time) *Snapshot {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
+	prev := st.cur.Load()
+	if len(batch) == 0 {
+		return prev
+	}
+	st.all = append(st.all, batch...)
+	// Full slice expression: the snapshot's view can never observe a
+	// later Fold's appends, even when they land in the same array.
+	view := st.all[:len(st.all):len(st.all)]
+	snap := st.newSnapshot(prev.epoch+1, view, now)
+	st.cur.Store(snap)
+	return snap
+}
+
+// CacheStats reports the lifetime section-cache hit/miss counters.
+func (st *State) CacheStats() (hits, misses uint64) {
+	return st.hits.Load(), st.misses.Load()
+}
+
+// RenderSections renders the requested section ids against one snapshot,
+// serving repeats from the epoch's cache and recomputing every missing
+// section in parallel through core.Runner. Results come back in the
+// requested order; an unknown id is an error.
+func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionResult, error) {
+	results := make([]core.SectionResult, len(ids))
+	var missing []core.Section
+	var missingAt []int
+
+	snap.cache.mu.Lock()
+	for i, id := range ids {
+		if res, ok := snap.cache.done[id]; ok {
+			results[i] = res
+			st.hits.Add(1)
+			continue
+		}
+		sec, ok := st.sections[id]
+		if !ok {
+			snap.cache.mu.Unlock()
+			return nil, fmt.Errorf("serve: unknown section %q", id)
+		}
+		st.misses.Add(1)
+		missing = append(missing, sec)
+		missingAt = append(missingAt, i)
+	}
+	snap.cache.mu.Unlock()
+
+	if len(missing) > 0 {
+		bundle := core.Runner{Workers: st.workers}.RunAll(snap.index, missing)
+		snap.cache.mu.Lock()
+		for j, res := range bundle.Sections {
+			// Two racing requests may both compute a section; the
+			// renders are deterministic over one snapshot, so either
+			// result is the same bytes.
+			snap.cache.done[res.ID] = res
+			results[missingAt[j]] = res
+		}
+		snap.cache.mu.Unlock()
+	}
+	return results, nil
+}
