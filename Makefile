@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet tier1 tier2 serve-smoke bench benchall
+.PHONY: all build test race vet lint tier1 tier2 serve-smoke bench benchall
 
 all: tier1
 
@@ -25,7 +25,14 @@ race:
 
 tier1: build test
 
-tier2: vet race serve-smoke
+tier2: vet lint race serve-smoke
+
+# lint: fotlint runs the project-specific analyzers (determinism,
+# durability, clock-injection invariants) over the whole module; every
+# finding must be fixed or reason-suppressed with //lint:ignore.
+# `go run ./cmd/fotlint -list` prints the rule registry.
+lint:
+	$(GO) run ./cmd/fotlint ./...
 
 # serve-smoke: fotqueryd generates a trace, serves it on a loopback
 # port, queries its own HTTP API end to end, and exits non-zero on any

@@ -1,0 +1,179 @@
+// Command fotlint runs dcfail's project-specific static analyzers — the
+// determinism, durability, and clock-injection invariants the compiler
+// cannot check — over the module. It is the "make lint" gate.
+//
+// Usage:
+//
+//	fotlint [flags] [pattern ...]
+//
+// Patterns are module-relative path prefixes; "./..." (the default)
+// means every package. Examples:
+//
+//	fotlint ./...               # whole module
+//	fotlint ./internal/serve    # one package subtree
+//	fotlint -list               # print the rule registry
+//	fotlint -rules maporder ./... # run a subset of rules
+//
+// Exit status is 0 when every finding is fixed or reason-suppressed via
+// //lint:ignore, and 1 otherwise (including malformed ignore
+// directives). Suppressions are counted on stderr so waived findings
+// stay visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcfail/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("fotlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "print the rule registry and exit")
+	rules := flags.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	showSuppressed := flags.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "fotlint: %v\n", err)
+		return 2
+	}
+
+	if *list {
+		printRegistry(stdout, analyzers)
+		return 0
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "fotlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "fotlint: %v\n", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, root, flags.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "fotlint: no packages match the given patterns")
+		return 2
+	}
+
+	res := lint.Run(pkgs, analyzers)
+	for path, errs := range res.TypeErrors {
+		// Soft type errors weaken analysis; surface the first per
+		// package but do not fail: go build is the compile gate.
+		fmt.Fprintf(stderr, "fotlint: note: incomplete type info for %s: %v\n", path, errs[0])
+	}
+
+	fails := res.Failures()
+	for _, d := range fails {
+		fmt.Fprintf(stdout, "%s\n", rel(root, d))
+	}
+	if *showSuppressed {
+		for _, d := range res.Diags {
+			if d.Suppressed {
+				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", rel(root, d), d.Reason)
+			}
+		}
+	}
+	fmt.Fprintf(stderr, "fotlint: %d packages, %d rules, %d problems, %d suppressed\n",
+		len(pkgs), len(analyzers), len(fails), res.Suppressed())
+	if len(fails) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules flag against the registry.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (see fotlint -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules selected no rules")
+	}
+	return out, nil
+}
+
+// printRegistry renders the rule table for -list.
+func printRegistry(w io.Writer, analyzers []*lint.Analyzer) {
+	for _, a := range analyzers {
+		scope := "all packages"
+		if len(a.Scope) > 0 {
+			scope = strings.Join(a.Scope, ", ")
+		}
+		fmt.Fprintf(w, "%-15s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(w, "%-15s scope: %s\n", "", scope)
+		fmt.Fprintf(w, "%-15s invariant: %s\n", "", a.Invariant)
+	}
+}
+
+// filterPackages keeps packages whose module-relative directory matches
+// any pattern. "./..." and "" match everything; "./x/..." and "./x"
+// match the subtree rooted at x.
+func filterPackages(pkgs []*lint.Package, root string, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			return pkgs
+		}
+		prefixes = append(prefixes, p)
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		relDir, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		relDir = filepath.ToSlash(relDir)
+		for _, pre := range prefixes {
+			if relDir == pre || strings.HasPrefix(relDir, pre+"/") {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rel shortens a diagnostic's path to be module-relative for readable,
+// stable output.
+func rel(root string, d lint.Diagnostic) string {
+	s := d.String()
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s: %s", r, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	return s
+}

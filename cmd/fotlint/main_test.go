@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcfail/internal/lint"
+)
+
+// TestListPrintsRegistry: -list names every registered rule with its
+// scope and invariant (the satellite discoverability contract).
+func TestListPrintsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("fotlint -list exited %d: %s", code, errb.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output is missing rule %q", a.Name)
+		}
+		if !strings.Contains(out.String(), a.Doc) {
+			t.Errorf("-list output is missing the doc line for %q", a.Name)
+		}
+	}
+	if !strings.Contains(out.String(), "invariant:") {
+		t.Error("-list output is missing the invariant lines")
+	}
+}
+
+// TestRepoIsLintClean is the self-gate behind `make lint`: the module
+// carries zero unsuppressed findings and zero malformed directives.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("fotlint ./... exited %d\nfindings:\n%s\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "0 problems") {
+		t.Errorf("summary does not report a clean run: %s", errb.String())
+	}
+}
+
+// TestUnknownRuleIsUsageError: a typo in -rules must not silently lint
+// nothing.
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr does not explain the unknown rule: %s", errb.String())
+	}
+}
+
+// TestFilterPackages pins the "./..."-style pattern semantics.
+func TestFilterPackages(t *testing.T) {
+	mk := func(dir string) *lint.Package { return &lint.Package{Dir: dir} }
+	pkgs := []*lint.Package{mk("/m"), mk("/m/internal/core"), mk("/m/internal/wal"), mk("/m/cmd/fotlint")}
+
+	if got := filterPackages(pkgs, "/m", []string{"./..."}); len(got) != len(pkgs) {
+		t.Errorf("./... kept %d of %d packages", len(got), len(pkgs))
+	}
+	got := filterPackages(pkgs, "/m", []string{"./internal/..."})
+	if len(got) != 2 {
+		t.Fatalf("./internal/... kept %d packages, want 2", len(got))
+	}
+	for _, p := range got {
+		if !strings.Contains(p.Dir, "/internal/") {
+			t.Errorf("unexpected package %s under ./internal/...", p.Dir)
+		}
+	}
+	if got := filterPackages(pkgs, "/m", []string{"./internal/wal", "./cmd/fotlint"}); len(got) != 2 {
+		t.Errorf("explicit dirs kept %d packages, want 2", len(got))
+	}
+}

@@ -126,6 +126,7 @@ func (a *Archive) writeMeta(meta segmentMeta) error {
 		return fmt.Errorf("archive: encode meta: %w", err)
 	}
 	path := filepath.Join(a.dir, metaName(meta.Name))
+	//lint:ignore fsyncgap meta sidecars are a rebuildable cache: a torn/missing sidecar is regenerated from the fsynced segment on open
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		return fmt.Errorf("archive: write meta: %w", err)
 	}

@@ -131,6 +131,7 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 		for attempt := 0; cfg.RetryForever || attempt < cfg.MaxAttempts; attempt++ {
 			if attempt > 0 {
 				stats.Retries++
+				//lint:ignore globalrand backoff jitter decorrelates concurrent agents and never lands in a ticket; replay determinism comes from the (AgentID, Seq) dedup key, not retry timing
 				time.Sleep(retryDelay(cfg.RetryBase, cfg.RetryMax, attempt, rand.Float64()))
 			}
 			if client == nil {

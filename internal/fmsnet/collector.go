@@ -91,6 +91,7 @@ func NewCollectorWith(addr string, opts CollectorOptions) (*Collector, error) {
 		now:     opts.Now,
 	}
 	if c.now == nil {
+		//lint:ignore walltime injection-point default; CollectorOptions.Now overrides the clock so replayed closes keep their original OpTime
 		c.now = time.Now
 	}
 	if opts.WALDir != "" {

@@ -115,10 +115,10 @@ type Report struct {
 
 // Response is the collector-to-client envelope.
 type Response struct {
-	Kind     string       `json:"kind"`
-	Error    string       `json:"error,omitempty"`
-	Code     string       `json:"code,omitempty"` // Code* constant on KindError
-	TicketID uint64       `json:"ticket_id,omitempty"`
+	Kind     string `json:"kind"`
+	Error    string `json:"error,omitempty"`
+	Code     string `json:"code,omitempty"` // Code* constant on KindError
+	TicketID uint64 `json:"ticket_id,omitempty"`
 	// Duplicate marks an ack for a report the collector had already
 	// accepted under the same (AgentID, Seq): TicketID is the original
 	// ticket, and no new ticket was created.

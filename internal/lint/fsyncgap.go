@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FsyncGap guards PR 1's durability contract in the wal and archive
+// packages: data the collector acks must survive a crash, so a file
+// that is written must be fsynced before it is closed (and before any
+// rename publishes it). Two patterns are flagged:
+//
+//   - a function that opens a file for writing (os.Create / os.OpenFile
+//     with a write flag), writes to it, and closes it — or lets it go
+//     out of scope — without ever calling Sync on it;
+//   - any call to os.WriteFile, which never syncs.
+//
+// Handing the file onward (returning it, storing it in a field) moves
+// the obligation to the new owner and is not flagged.
+var FsyncGap = &Analyzer{
+	Name: "fsyncgap",
+	Doc:  "files written on the durability path must Sync before Close/rename",
+	Invariant: "an acked record is on stable storage: every written os.File in wal/archive " +
+		"fsyncs before close, and no durable write goes through os.WriteFile",
+	Scope: []string{"wal", "archive"},
+	Run:   runFsyncGap,
+}
+
+func runFsyncGap(pass *Pass) {
+	for _, file := range pass.Files {
+		// os.WriteFile anywhere in scope is a durability hole.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if path, name, ok := pkgFunc(pass.Info, sel); ok && path == "os" && name == "WriteFile" {
+					pass.Reportf(call.Pos(), "os.WriteFile never fsyncs: open, write, Sync, Close explicitly on the durability path")
+				}
+			}
+			return true
+		})
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkFsyncBody(pass, body)
+		})
+	}
+}
+
+// fileUse tracks what one function does with one opened file object.
+type fileUse struct {
+	obj      types.Object
+	openPos  token.Pos
+	writePos token.Pos // first write-ish use
+	closePos token.Pos // first Close (incl. deferred)
+	synced   bool
+	escapes  bool // returned or stored: ownership moves on
+}
+
+func checkFsyncBody(pass *Pass, body *ast.BlockStmt) {
+	uses := map[types.Object]*fileUse{}
+
+	// Pass 1: find `f, err := os.Create(...)` / writable os.OpenFile.
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFunc(pass.Info, sel)
+		if !ok || path != "os" {
+			return true
+		}
+		switch name {
+		case "Create", "CreateTemp":
+		case "OpenFile":
+			if !openFileWritable(call) {
+				return true
+			}
+		default:
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj := identObj(pass.Info, id); obj != nil {
+			uses[obj] = &fileUse{obj: obj, openPos: call.Pos()}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other appearance of each tracked file.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if u := uses[identObj(pass.Info, id)]; u != nil {
+						switch sel.Sel.Name {
+						case "Sync":
+							u.synced = true
+						case "Close":
+							if u.closePos == token.NoPos {
+								u.closePos = node.Pos()
+							}
+						case "Write", "WriteString", "WriteAt", "ReadFrom", "Truncate", "Seek":
+							if u.writePos == token.NoPos {
+								u.writePos = node.Pos()
+							}
+						}
+						return true
+					}
+				}
+			}
+			// The file as an argument (fmt.Fprintf(f, ...), a JSON
+			// encoder, a bufio writer) is a write path too.
+			for _, arg := range node.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					if u := uses[identObj(pass.Info, id)]; u != nil && u.writePos == token.NoPos {
+						u.writePos = node.Pos()
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				markEscape(pass.Info, res, uses)
+			}
+		case *ast.AssignStmt:
+			// Storing the handle (a.current = f) hands the sync
+			// obligation to the new owner.
+			for _, rhs := range node.Rhs {
+				markEscape(pass.Info, rhs, uses)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				markEscape(pass.Info, elt, uses)
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.writePos == token.NoPos || u.synced || u.escapes {
+			continue
+		}
+		at := u.closePos
+		if at == token.NoPos {
+			at = u.writePos
+		}
+		pass.Reportf(at, "file opened at %s is written but never Synced in this function: a crash can lose acked data (fsync before close/rename)",
+			pass.Fset.Position(u.openPos))
+	}
+}
+
+// markEscape marks tracked files named directly by expr (identifier or
+// &identifier) as escaping.
+func markEscape(info *types.Info, expr ast.Expr, uses map[types.Object]*fileUse) {
+	if un, ok := expr.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		expr = un.X
+	}
+	if kv, ok := expr.(*ast.KeyValueExpr); ok {
+		expr = kv.Value
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if u := uses[identObj(info, id)]; u != nil {
+			u.escapes = true
+		}
+	}
+}
+
+// openFileWritable reports whether an os.OpenFile call's flag argument
+// names a write mode. Unresolvable flag expressions count as writable
+// (better a suppressible false positive than a missed durability gap).
+func openFileWritable(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return true
+	}
+	writable := false
+	sawFlag := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			sawFlag = true
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				writable = true
+			}
+			return false
+		}
+		return true
+	})
+	return writable || !sawFlag
+}

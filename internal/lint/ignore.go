@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one parsed //lint:ignore comment:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// A well-formed directive suppresses matching diagnostics on its own
+// line and on the line directly below it (so it can ride the flagged
+// statement or sit on its own line above). The reason is mandatory:
+// every suppression documents why the invariant is safe to waive there.
+type Directive struct {
+	Rules  []string
+	Reason string
+	Pos    token.Position
+
+	// Malformed directives (missing rule or reason, unknown rule) are
+	// themselves diagnostics: a typo must not silently stop suppressing.
+	Malformed bool
+	Problem   string
+}
+
+// ignorePrefix is matched after the comment marker, with no space
+// before "lint" (the conventional directive shape, like //go:build).
+const ignorePrefix = "lint:ignore"
+
+// parseDirectives scans a file's comments for //lint:ignore directives.
+func parseDirectives(files []*fileComments) []Directive {
+	var out []Directive
+	for _, fc := range files {
+		for _, text := range fc.comments {
+			rest, ok := strings.CutPrefix(text.text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			d := Directive{Pos: text.pos}
+			rest = strings.TrimSpace(rest)
+			ruleField, reason, _ := strings.Cut(rest, " ")
+			d.Reason = strings.TrimSpace(reason)
+			if ruleField == "" {
+				d.Malformed = true
+				d.Problem = "missing rule: want //lint:ignore <rule> <reason>"
+				out = append(out, d)
+				continue
+			}
+			for _, r := range strings.Split(ruleField, ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					d.Rules = append(d.Rules, r)
+				}
+			}
+			if d.Reason == "" {
+				d.Malformed = true
+				d.Problem = "missing reason: want //lint:ignore <rule> <reason>"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// fileComments is the comment view of one parsed file: the raw text
+// (marker stripped) and position of every // comment.
+type fileComments struct {
+	comments []commentText
+}
+
+type commentText struct {
+	text string
+	pos  token.Position
+}
+
+// Suppress applies directives to diags: covered findings are marked
+// Suppressed with the directive's reason. Directives naming a rule not
+// in known, or missing a field, become malformed diagnostics under the
+// pseudo-rule "lint". The returned slices are sorted by position.
+func Suppress(diags []Diagnostic, dirs []Directive, known map[string]bool) (out, malformed []Diagnostic) {
+	type key struct {
+		file string
+		line int
+	}
+	active := make(map[key][]*Directive)
+	for i := range dirs {
+		d := &dirs[i]
+		if d.Malformed {
+			malformed = append(malformed, Diagnostic{
+				Rule:    "lint",
+				Pos:     d.Pos,
+				Message: "malformed //lint:ignore directive: " + d.Problem,
+			})
+			continue
+		}
+		bad := false
+		for _, r := range d.Rules {
+			if !known[r] {
+				malformed = append(malformed, Diagnostic{
+					Rule:    "lint",
+					Pos:     d.Pos,
+					Message: fmt.Sprintf("//lint:ignore names unknown rule %q (see fotlint -list)", r),
+				})
+				bad = true
+			}
+		}
+		if bad {
+			continue
+		}
+		active[key{d.Pos.Filename, d.Pos.Line}] = append(active[key{d.Pos.Filename, d.Pos.Line}], d)
+	}
+
+	out = append(out, diags...)
+	for i := range out {
+		diag := &out[i]
+		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
+			for _, d := range active[key{diag.Pos.Filename, line}] {
+				for _, r := range d.Rules {
+					if r == diag.Rule {
+						diag.Suppressed = true
+						diag.Reason = d.Reason
+					}
+				}
+			}
+		}
+	}
+	sortDiags(out)
+	sortDiags(malformed)
+	return out, malformed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

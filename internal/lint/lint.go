@@ -1,0 +1,212 @@
+// Package lint is dcfail's zero-dependency static-analysis framework:
+// a miniature go/analysis built directly on go/parser and go/types.
+//
+// The repo's correctness story rests on invariants no compiler checks:
+//
+//   - report output must be byte-identical across worker counts and
+//     ticket input orders (PR 2's golden tests — broken once already by
+//     map-order iteration in CorrelatedPairs);
+//   - the WAL/archive durability path must fsync before rename/ack
+//     (PR 1's crash-safety contract);
+//   - replayable components must use injected clocks and seeded
+//     randomness, never ambient time.Now or the global math/rand source.
+//
+// Each invariant is encoded as an Analyzer. cmd/fotlint runs the whole
+// registry over the module ("make lint"); findings that are intentional
+// are suppressed in place with a reasoned //lint:ignore directive (see
+// ignore.go) so every exception is documented where it lives.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package through its Pass and reports findings.
+type Analyzer struct {
+	// Name is the rule id used in output and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description printed by fotlint -list.
+	Doc string
+	// Invariant is the project rule the analyzer encodes, printed by
+	// fotlint -list -v and DESIGN.md.
+	Invariant string
+	// Scope lists the package basenames (last import-path element) the
+	// rule applies to when run over the module; empty means every
+	// package. Fixture runs bypass Scope.
+	Scope []string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer is in scope for the package
+// with the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	base := importPath
+	for i := len(importPath) - 1; i >= 0; i-- {
+		if importPath[i] == '/' {
+			base = importPath[i+1:]
+			break
+		}
+	}
+	for _, s := range a.Scope {
+		if s == base {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzers read the
+// syntax and type information and call Reportf.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+
+	// Suppressed is set by the runner when a //lint:ignore directive
+	// covers the finding; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// All returns the standard rule registry in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, WallTime, GlobalRand, FsyncGap, LockedBlocking}
+}
+
+// ByName resolves a rule id against the standard registry.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// --- shared syntax/type helpers used by the analyzers ---
+
+// pkgFunc resolves call targets and value references of the form
+// pkg.Name where pkg is an imported package: it returns the imported
+// package path and selected identifier. ok is false for method calls,
+// locals, and unresolved expressions.
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// funcFullName returns the types.Func full name ("(*sync.Mutex).Lock",
+// "time.Now") of the selected object, or "".
+func funcFullName(info *types.Info, sel *ast.SelectorExpr) string {
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// identObj returns the object an identifier denotes (uses or defs).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// mentionsObject reports whether any identifier under n denotes obj.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies yields every function body in the file exactly once:
+// declarations and top-level function literals are visited as separate
+// regions, and literals nested inside a declaration are reported with
+// their enclosing body (analyzers that need literal-free traversal use
+// inspectSkipFuncLits).
+func funcBodies(file *ast.File, visit func(*ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				visit(d.Body)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if lit, ok := v.(*ast.FuncLit); ok && lit.Body != nil {
+						visit(lit.Body)
+					}
+				}
+			}
+		}
+	}
+}
+
+// inspectSkipFuncLits walks n without descending into nested function
+// literals — for analyses where a literal's body executes on its own
+// schedule, not inline.
+func inspectSkipFuncLits(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return f(c)
+		}
+		if _, isLit := c.(*ast.FuncLit); isLit {
+			return false
+		}
+		return f(c)
+	})
+}

@@ -1,0 +1,140 @@
+// Package linttest is the fixture harness for dcfail's analyzers, in
+// the spirit of golang.org/x/tools' analysistest but stdlib-only: a
+// fixture is a small package under testdata/<rule>/ whose flagged lines
+// carry `// want "substring"` comments. Run loads and type-checks the
+// fixture, applies one analyzer, and fails the test on any missing,
+// unexpected, or mispositioned diagnostic — so every rule is exercised
+// on both firing and non-firing code.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcfail/internal/lint"
+)
+
+// wantRe extracts the quoted substrings of a `// want "..." "..."`
+// comment.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one required diagnostic: a substring that must appear
+// in a finding on this file:line.
+type expectation struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+// Run checks one analyzer against its fixture directory.
+func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+
+	loader := lint.NewLoader()
+	pkg, err := loader.LoadDir(fixtureDir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixtureDir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s has type errors (weakens analysis): %v", fixtureDir, terr)
+	}
+
+	expects := parseWants(t, pkg)
+	diags, malformed := lint.CheckPackage(pkg, []*lint.Analyzer{a}, nil)
+	for _, m := range malformed {
+		t.Errorf("fixture %s: %s", fixtureDir, m)
+	}
+
+	firing := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, e.sub) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		firing++
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("missing diagnostic at %s:%d containing %q", e.file, e.line, e.sub)
+		}
+	}
+	if len(expects) == 0 {
+		t.Errorf("fixture %s has no // want expectations: the firing half of the rule is untested", fixtureDir)
+	}
+	if firing > 0 && !hasCleanFunc(pkg, diags) {
+		t.Errorf("fixture %s flags every function: the non-firing half of the rule is untested", fixtureDir)
+	}
+}
+
+// parseWants scans fixture comments for expectations.
+func parseWants(t *testing.T, pkg *lint.Package) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					sub, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, sub: sub})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasCleanFunc reports whether at least one function declaration in the
+// fixture contains no diagnostic — every fixture must demonstrate
+// compliant code alongside the violations.
+func hasCleanFunc(pkg *lint.Package, diags []lint.Diagnostic) bool {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			file := pkg.Fset.Position(fd.Pos()).Filename
+			start := pkg.Fset.Position(fd.Pos()).Line
+			end := pkg.Fset.Position(fd.End()).Line
+			hasDiag := false
+			for _, d := range diags {
+				if d.Pos.Filename == file && d.Pos.Line >= start && d.Pos.Line <= end {
+					hasDiag = true
+					break
+				}
+			}
+			if !hasDiag {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("dcfail/internal/core")
+	Name  string // package name from source
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check problems. Analysis proceeds on
+	// whatever information was resolved; the CLI surfaces these so a
+	// half-typed package is never silently half-linted.
+	TypeErrors []error
+
+	checking bool
+	checked  bool
+}
+
+// Loader parses and type-checks packages from source. Imports inside
+// the module resolve against the loaded set; everything else (the
+// standard library) goes through the compiler's source importer, so the
+// whole pipeline stays zero-dependency.
+type Loader struct {
+	Fset *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+}
+
+// NewLoader builds an empty loader with a shared FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// LoadModule discovers, parses, and type-checks every package under the
+// module rooted at root (the directory holding go.mod). Test files and
+// testdata/ trees are skipped: the rules guard production code, and
+// fixtures under testdata must not be linted as part of the module.
+// Packages come back sorted by import path.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var loaded []*Package
+	for _, dir := range dirs {
+		importPath := modPath
+		if rel, _ := filepath.Rel(root, dir); rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.parseDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		l.pkgs[importPath] = pkg
+		loaded = append(loaded, pkg)
+	}
+	for _, pkg := range loaded {
+		if err := l.check(pkg); err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", pkg.Path, err)
+		}
+	}
+	return loaded, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (used by the
+// fixture harness). The package may import only the standard library.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	pkg, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	l.pkgs[importPath] = pkg
+	if err := l.check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir into an unchecked
+// Package, or nil if the directory holds none.
+func (l *Loader) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	return pkg, nil
+}
+
+// check type-checks pkg, resolving module-internal imports recursively.
+// Type errors are collected, not fatal: analyzers run on whatever was
+// resolved, and the CLI reports the residue.
+func (l *Loader) check(pkg *Package) error {
+	if pkg.checked {
+		return nil
+	}
+	if pkg.checking {
+		return fmt.Errorf("import cycle through %s", pkg.Path)
+	}
+	pkg.checking = true
+	defer func() { pkg.checking = false }()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(pkg.Path, l.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	pkg.checked = true
+	return nil
+}
+
+// loaderImporter adapts the loader to types.Importer: module-internal
+// paths resolve from the loaded set, the rest falls through to the
+// stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if pkg, ok := l.pkgs[path]; ok {
+		if err := l.check(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	raw, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod (how cmd/fotlint anchors "./..." patterns).
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedBlocking flags network/file I/O and time.Sleep performed while
+// a sync.Mutex or sync.RWMutex is held. A lock that spans a blocking
+// call turns one slow peer (or one slow disk) into a stall for every
+// goroutine contending on that lock — the live service's ingest and
+// query paths share several small mutexes that must stay compute-only.
+//
+// The check is a linear over-approximation: within one function body,
+// a region starts at x.Lock()/x.RLock() and ends at the matching
+// x.Unlock()/x.RUnlock(); `defer x.Unlock()` holds to function end.
+// Function literals are separate regions (their bodies run on their own
+// schedule). Intentional holds — e.g. the WAL's group-commit fsync —
+// are suppressed in place with a reasoned //lint:ignore.
+var LockedBlocking = &Analyzer{
+	Name: "lockedblocking",
+	Doc:  "no blocking I/O or sleep while a sync.Mutex/RWMutex is held",
+	Invariant: "locks protect in-memory state transitions only; anything that can block on the " +
+		"outside world happens before Lock or after Unlock",
+	Run: runLockedBlocking,
+}
+
+func runLockedBlocking(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(c ast.Node) bool {
+			switch fn := c.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockedRegion(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					checkLockedRegion(pass, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexMethod classifies sel as a sync mutex lock/unlock call on the
+// standard mutex types, returning the lock key (source text of the
+// receiver expression) and whether it acquires or releases.
+func mutexMethod(pass *Pass, sel *ast.SelectorExpr) (key string, acquire, release bool) {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return types.ExprString(sel.X), true, false
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkLockedRegion scans one function body in statement order,
+// maintaining the set of held locks. Branch bodies are scanned with the
+// entry-state copy; locks acquired inside a branch do not leak past it
+// (an over- and under-approximation that matches how the repo's lock
+// regions are actually written).
+func checkLockedRegion(pass *Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	var scanStmts func(stmts []ast.Stmt, held map[string]bool)
+	scanStmts = func(stmts []ast.Stmt, held map[string]bool) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						key, acquire, release := mutexMethod(pass, sel)
+						if acquire {
+							held[key] = true
+							continue
+						}
+						if release {
+							delete(held, key)
+							continue
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+					if key, _, release := mutexMethod(pass, sel); release {
+						// Held until function end: the region covers
+						// every following statement.
+						held[key] = true
+						continue
+					}
+				}
+			case *ast.BlockStmt:
+				scanStmts(s.List, copyHeld(held))
+				continue
+			case *ast.IfStmt:
+				scanStmts(s.Body.List, copyHeld(held))
+				if s.Else != nil {
+					if eb, ok := s.Else.(*ast.BlockStmt); ok {
+						scanStmts(eb.List, copyHeld(held))
+					} else {
+						scanStmts([]ast.Stmt{s.Else}, copyHeld(held))
+					}
+				}
+				continue
+			case *ast.ForStmt:
+				scanStmts(s.Body.List, copyHeld(held))
+				continue
+			case *ast.RangeStmt:
+				scanStmts(s.Body.List, copyHeld(held))
+				continue
+			case *ast.SwitchStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CaseClause); ok {
+						scanStmts(cc.Body, copyHeld(held))
+					}
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CaseClause); ok {
+						scanStmts(cc.Body, copyHeld(held))
+					}
+				}
+				continue
+			case *ast.SelectStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						scanStmts(cc.Body, copyHeld(held))
+					}
+				}
+				continue
+			}
+			if len(held) > 0 {
+				reportBlockingCalls(pass, stmt, held)
+			}
+		}
+	}
+	scanStmts(body.List, held)
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k := range held {
+		cp[k] = true
+	}
+	return cp
+}
+
+// reportBlockingCalls flags blocking calls inside stmt while locks are
+// held. Nested function literals are skipped: they run later, on their
+// own goroutine or call stack.
+func reportBlockingCalls(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	locks := make([]string, 0, len(held))
+	for k := range held {
+		locks = append(locks, k)
+	}
+	// Deterministic diagnostic text regardless of map order (the linter
+	// holds itself to its own rules).
+	sort.Strings(locks)
+	heldDesc := strings.Join(locks, ", ")
+
+	inspectSkipFuncLits(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := blockingCallName(pass, call); ok {
+			pass.Reportf(call.Pos(), "%s while %s is held: a blocking call under a mutex stalls every contender", name, heldDesc)
+		}
+		return true
+	})
+}
+
+// blockingCallName classifies calls that can block on the outside
+// world: sleeps, dials/listens, and I/O methods on net and *os.File
+// values.
+func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if path, name, ok := pkgFunc(pass.Info, sel); ok {
+		switch path {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep", true
+			}
+		case "net":
+			switch name {
+			case "Dial", "DialTimeout", "Listen", "ListenPacket":
+				return "net." + name, true
+			}
+		case "net/http":
+			switch name {
+			case "Get", "Post", "PostForm", "Head":
+				return "http." + name, true
+			}
+		}
+		return "", false
+	}
+	// Method calls: receiver from package net, net/http, or *os.File.
+	recv := pass.Info.Types[sel.X].Type
+	if recv == nil {
+		return "", false
+	}
+	pkgPath := typePkgPath(recv)
+	method := sel.Sel.Name
+	switch pkgPath {
+	case "net":
+		switch method {
+		case "Read", "Write", "ReadFrom", "WriteTo", "Accept", "AcceptTCP":
+			return "(net)." + method, true
+		}
+	case "net/http":
+		if method == "Do" {
+			return "(http.Client).Do", true
+		}
+	case "os":
+		switch method {
+		case "Read", "Write", "WriteString", "WriteAt", "ReadFrom", "Sync":
+			return "(os.File)." + method, true
+		}
+	}
+	return "", false
+}
+
+// typePkgPath digs the defining package out of a (possibly pointer or
+// interface) type.
+func typePkgPath(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			if obj := tt.Obj(); obj != nil && obj.Pkg() != nil {
+				return obj.Pkg().Path()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose iteration order can leak
+// into output: a slice append with no later sort of that slice in the
+// same function, a direct write to a writer, or a channel send. This is
+// the exact bug class that broke PR 2's byte-identity golden test when
+// CorrelatedPairs iterated its host map unsorted.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map must not feed an unsorted append, a writer, or a channel send",
+	Invariant: "report output is byte-identical across worker counts and input orders; " +
+		"map iteration order must never reach a slice, stream, or channel unsorted",
+	Scope: []string{"core", "report", "fot", "mine", "serve"},
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkMapOrderBody(pass, body)
+		})
+	}
+}
+
+func checkMapOrderBody(pass *Pass, body *ast.BlockStmt) {
+	// Collect the map-range statements of this function (including
+	// those inside nested literals: a closure appending map-ordered
+	// items leaks order the same way).
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.Info.Types[rs.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+
+	// Index the function's sort calls once: (position, objects named in
+	// the arguments). sort.Slice(keys, ...) after the loop launders the
+	// map order out of keys.
+	type sortCall struct {
+		pos  token.Pos
+		node ast.Node
+	}
+	var sorts []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if path, name, ok := pkgFunc(pass.Info, sel); ok && isSortFunc(path, name) {
+				sorts = append(sorts, sortCall{pos: call.Pos(), node: call})
+			}
+		}
+		return true
+	})
+	sortedAfter := func(pos token.Pos, obj types.Object) bool {
+		for _, s := range sorts {
+			if s.pos > pos && mentionsObject(pass.Info, s.node, obj) {
+				return true
+			}
+		}
+		return false
+	}
+
+	isMapRange := make(map[*ast.RangeStmt]bool, len(ranges))
+	for _, rs := range ranges {
+		isMapRange[rs] = true
+	}
+
+	for _, rs := range ranges {
+		rangeEnd := rs.End()
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			// A nested map-range is analyzed as its own loop; stopping
+			// here keeps each finding attributed once.
+			if inner, ok := n.(*ast.RangeStmt); ok && isMapRange[inner] {
+				return false
+			}
+			switch stmt := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(stmt.Pos(), "channel send inside range over map: receivers observe nondeterministic order")
+			case *ast.CallExpr:
+				if name, ok := writerCallName(pass.Info, stmt); ok {
+					pass.Reportf(stmt.Pos(), "%s inside range over map writes in nondeterministic order (sort keys first)", name)
+				}
+			case *ast.AssignStmt:
+				obj := appendTarget(pass.Info, stmt)
+				if obj == nil {
+					return true
+				}
+				// Accumulating into a variable that outlives the loop:
+				// fine only if something sorts it afterwards.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rangeEnd {
+					return true
+				}
+				if !sortedAfter(rangeEnd, obj) {
+					pass.Reportf(stmt.Pos(), "append to %q inside range over map with no later sort of %q in this function: element order is nondeterministic", obj.Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)` /
+// `x = append(y, ...)` when x is a plain identifier, else nil. Writes
+// into map entries (`m[k] = append(...)`) are order-independent and
+// return nil.
+func appendTarget(info *types.Info, assign *ast.AssignStmt) types.Object {
+	if len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identObj(info, id)
+}
+
+// writerCallName classifies calls that emit bytes in call order:
+// package-level print/write helpers and Write-family methods. The name
+// returned is used in the diagnostic.
+func writerCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if path, name, ok := pkgFunc(info, sel); ok {
+		switch path {
+		case "fmt":
+			switch name {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return "fmt." + name, true
+			}
+		case "io":
+			if name == "WriteString" || name == "Copy" {
+				return "io." + name, true
+			}
+		case "net/http":
+			if name == "Error" {
+				return "http.Error", true
+			}
+		}
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// A method named Write* on anything (os.File, bytes.Buffer,
+		// strings.Builder, net.Conn, http.ResponseWriter) streams in
+		// call order.
+		return "(...)." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isSortFunc recognizes the stdlib sorting entry points.
+func isSortFunc(path, name string) bool {
+	switch path {
+	case "sort":
+		switch name {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Result is one lint run over a set of packages.
+type Result struct {
+	// Diags holds every finding, suppressed ones marked in place so the
+	// CLI can report a suppression count.
+	Diags []Diagnostic
+	// Malformed holds broken //lint:ignore directives. These always
+	// fail the run: a typo in a suppression must not pass silently.
+	Malformed []Diagnostic
+	// TypeErrors holds soft type-check problems per package path.
+	TypeErrors map[string][]error
+}
+
+// Failures returns the diagnostics that make the run fail: unsuppressed
+// findings plus malformed directives, sorted by position.
+func (r Result) Failures() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	out = append(out, r.Malformed...)
+	sortDiags(out)
+	return out
+}
+
+// Suppressed counts findings waived by //lint:ignore directives.
+func (r Result) Suppressed() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Run applies every in-scope analyzer to every package and resolves
+// //lint:ignore directives. Output order is deterministic: packages are
+// analyzed as given (LoadModule sorts by import path) and diagnostics
+// are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	res := Result{TypeErrors: make(map[string][]error)}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			res.TypeErrors[pkg.Path] = pkg.TypeErrors
+		}
+		var inScope []*Analyzer
+		for _, a := range analyzers {
+			if a.AppliesTo(pkg.Path) {
+				inScope = append(inScope, a)
+			}
+		}
+		out, malformed := CheckPackage(pkg, inScope, known)
+		res.Diags = append(res.Diags, out...)
+		res.Malformed = append(res.Malformed, malformed...)
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Malformed)
+	return res
+}
+
+// CheckPackage runs the given analyzers over one package regardless of
+// Scope and resolves the package's //lint:ignore directives against the
+// known rule set (nil means "the analyzers passed in"). It is the
+// building block of Run and the fixture harness's entry point.
+func CheckPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) (diags, malformed []Diagnostic) {
+	if known == nil {
+		known = make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	return Suppress(diags, parseDirectives(commentsOf(pkg)), known)
+}
+
+// commentsOf flattens a package's comments into the directive parser's
+// view. CommentGroup.Text() strips directive-style comments entirely,
+// so the raw text is trimmed by hand here.
+func commentsOf(pkg *Package) []*fileComments {
+	fset := pkg.Fset
+	var out []*fileComments
+	for _, f := range pkg.Files {
+		fc := &fileComments{}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				if rest, ok := strings.CutPrefix(text, "//"); ok {
+					fc.comments = append(fc.comments, commentText{
+						text: rest,
+						pos:  fset.Position(c.Slash),
+					})
+				}
+			}
+		}
+		out = append(out, fc)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Fixture for the fsyncgap analyzer: written files fsync before close
+// on the durability path.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+type segment struct {
+	f *os.File
+}
+
+// writeNoSync loses acked data on crash: written, closed, never synced.
+func writeNoSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close() // want "never Synced"
+}
+
+// writeSynced is the durable shape: write, Sync, Close.
+func writeSynced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// appendLine writes through fmt with a deferred close and no sync.
+func appendLine(path, msg string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "never Synced"
+	_, err = fmt.Fprintln(f, msg)
+	return err
+}
+
+// sidecar goes through os.WriteFile, which never syncs.
+func sidecar(path string, raw []byte) error {
+	return os.WriteFile(path, raw, 0o644) // want "os.WriteFile never fsyncs"
+}
+
+// readAll opens read-only: nothing to sync.
+func readAll(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// openSegment hands the written handle to its owner, who syncs at roll
+// time: the obligation moves with the file.
+func openSegment(s *segment, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hdr\n")); err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}
+
+// openReturn passes the handle back to the caller.
+func openReturn(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte("hdr\n")); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

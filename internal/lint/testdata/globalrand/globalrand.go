@@ -1,0 +1,34 @@
+// Fixture for the globalrand analyzer: generator packages draw from an
+// explicitly seeded *rand.Rand, never the process-global source.
+package fixture
+
+import "math/rand"
+
+// roll draws from the global source: two runs with the same profile
+// seed diverge.
+func roll() int {
+	return rand.Intn(6) // want "global math/rand source"
+}
+
+// jitter does too, as a float.
+func jitter() float64 {
+	return rand.Float64() // want "global math/rand source"
+}
+
+// shuffle reorders through the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}
+
+// seeded builds and uses an explicit source: the constructors are the
+// fix, not the bug.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// threaded receives the seeded source as a parameter; the *rand.Rand
+// type reference itself is not a draw.
+func threaded(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

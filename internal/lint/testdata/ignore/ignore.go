@@ -1,0 +1,46 @@
+// Fixture for //lint:ignore handling: suppressed findings carry their
+// reason, malformed directives are themselves reported.
+package fixture
+
+import "time"
+
+type clock struct {
+	now func() time.Time
+}
+
+// defaultClock is a legitimate injection-point default, suppressed with
+// a reasoned directive on the line above.
+func defaultClock(c *clock) {
+	//lint:ignore walltime injection-point default; callers override Now for determinism
+	c.now = time.Now
+}
+
+// sameLine demonstrates a directive riding the flagged statement.
+func sameLine() time.Time {
+	return time.Now() //lint:ignore walltime fixture demonstrates same-line suppression
+}
+
+// missingReason has a directive with no justification: the directive is
+// malformed and the finding stays live.
+func missingReason() time.Time {
+	//lint:ignore walltime
+	return time.Now()
+}
+
+// unknownRule names a rule that does not exist: reported, not silently
+// inert.
+func unknownRule() time.Time {
+	//lint:ignore nosuchrule the rule name has a typo
+	return time.Now()
+}
+
+// missingEverything is the degenerate malformed case.
+func missingEverything() time.Time {
+	//lint:ignore
+	return time.Now()
+}
+
+// clean uses the injected clock: nothing to suppress.
+func clean(c *clock) time.Time {
+	return c.now()
+}

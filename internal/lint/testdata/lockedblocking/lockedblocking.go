@@ -1,0 +1,76 @@
+// Fixture for the lockedblocking analyzer: locks protect in-memory
+// state only; blocking calls happen outside the critical section.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	n    int
+}
+
+// slowBump sleeps inside the critical section.
+func (g *guarded) slowBump() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while g.mu is held"
+	g.n++
+	g.mu.Unlock()
+}
+
+// send writes to the network under a deferred unlock.
+func (g *guarded) send(b []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, err := g.conn.Write(b) // want "while g.mu is held"
+	return err
+}
+
+// dialUnderRead dials while holding the read lock.
+func (g *guarded) dialUnderRead() (net.Conn, error) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return net.Dial("tcp", "localhost:1") // want "net.Dial while g.rw is held"
+}
+
+// branchIO blocks inside a branch entered with the lock held.
+func (g *guarded) branchIO(b []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n > 0 {
+		g.conn.Write(b) // want "while g.mu is held"
+	}
+}
+
+// sendUnlocked is the fix: copy state out, unlock, then do I/O.
+func (g *guarded) sendUnlocked(b []byte) error {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	_ = n
+	_, err := g.conn.Write(b)
+	return err
+}
+
+// spawn starts a goroutine while locked; the literal's body runs on its
+// own schedule and is analyzed as its own (lock-free) region.
+func (g *guarded) spawn() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	g.n++
+}
+
+// compute holds the lock for memory work only.
+func (g *guarded) compute() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n * 2
+}

@@ -1,0 +1,99 @@
+// Fixture for the maporder analyzer: map iteration order must never
+// reach a slice, stream, or channel unsorted.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collectUnsorted is the CorrelatedPairs bug class: the keys slice
+// inherits the map's random iteration order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "no later sort"
+	}
+	return keys
+}
+
+// collectSorted is the canonical fix: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice sorts aggregates through sort.Slice.
+func collectSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// dump streams key=value lines straight out of the loop.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "nondeterministic order"
+	}
+}
+
+// dumpBuilder leaks order through a Write-family method.
+func dumpBuilder(sb io.StringWriter, m map[string]bool) {
+	for k := range m {
+		sb.WriteString(k) // want "nondeterministic order"
+	}
+}
+
+// stream sends keys to a channel in map order.
+func stream(ch chan<- string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// invert writes into a map keyed by the loop variable: order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// total folds commutatively: order-free.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceAppend ranges over a slice, not a map: out of the rule's reach.
+func sliceAppend(in []string) []string {
+	var out []string
+	for _, s := range in {
+		out = append(out, s)
+	}
+	return out
+}
+
+// innerScratch appends to a loop-local slice that dies each iteration:
+// nothing outlives the loop, so no order leaks.
+func innerScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := make([]int, 0, len(vs))
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+// Fixture for the walltime analyzer: deterministic packages take an
+// injected clock instead of reading the ambient one.
+package fixture
+
+import "time"
+
+type daemon struct {
+	now func() time.Time
+}
+
+// stamp reads the wall clock directly.
+func stamp() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+// age computes elapsed time off the ambient clock.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+// deadline does too, via Until.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until"
+}
+
+// defaultClock smuggles the ambient clock in as a value, not a call.
+func defaultClock(d *daemon) {
+	d.now = time.Now // want "time.Now"
+}
+
+// injected is the fix: all timestamps come from the daemon's clock.
+func injected(d *daemon) time.Time {
+	return d.now()
+}
+
+// paced uses a ticker for scheduling, which the rule deliberately
+// allows: the invariant is about timestamps in state and output.
+func paced(interval time.Duration) *time.Ticker {
+	return time.NewTicker(interval)
+}

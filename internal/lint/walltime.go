@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime flags references to the ambient wall clock in packages whose
+// behavior must be deterministic or replay-tested. The collector (PR 1)
+// and the serve daemon (this PR) take an injected `Now func() time.Time`
+// precisely so replayed traces carry their original timestamps and fold
+// timing is testable; a stray time.Now reintroduces nondeterminism the
+// golden tests cannot see.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "deterministic/replay-tested packages must use an injected clock, not time.Now/Since/Until",
+	Invariant: "replayable components take a `Now func() time.Time` (or receive timestamps from " +
+		"their input) so identical inputs always produce identical outputs",
+	Scope: []string{"core", "report", "fot", "mine", "serve", "fmsnet", "wal", "archive"},
+	Run:   runWallTime,
+}
+
+// wallFuncs are the ambient-clock entry points. time.NewTicker and
+// time.NewTimer pace real work and are deliberately not flagged: the
+// invariant is about timestamps that land in state or output, not about
+// scheduling.
+var wallFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Both calls (time.Now()) and value references
+			// (`clock = time.Now`) smuggle the ambient clock in.
+			if path, name, ok := pkgFunc(pass.Info, sel); ok && path == "time" && wallFuncs[name] {
+				pass.Reportf(sel.Pos(), "time.%s in deterministic package %q: thread an injected clock (func() time.Time) instead", name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+}

@@ -88,6 +88,7 @@ func EvaluateWarningPredictor(tr *fot.Trace, horizon time.Duration) (*PredictorE
 			if i < len(l.warnings) && l.warnings[i].Before(f) {
 				eval.PredictedFatals++
 				// Lead time from the earliest in-horizon warning.
+				//lint:ignore maporder leads only feeds stats.Median, which copies and sorts before selecting: slot iteration order cannot reach the output
 				leads = append(leads, f.Sub(l.warnings[i]).Hours())
 			}
 		}

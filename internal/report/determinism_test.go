@@ -1,0 +1,64 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dcfail/internal/fot"
+)
+
+// TestFullByteIdenticalUnderInputShuffle locks in at runtime what the
+// maporder lint rule guards statically: the full report is a pure
+// function of the ticket *set*, not the order tickets arrived in. The
+// same tickets are fed in three different orders (generator order,
+// reversed, seeded shuffle) and every rendering must be byte-identical
+// — exactly the property the live service relies on when archive tails
+// and collector streams deliver tickets in whatever order the network
+// produced.
+func TestFullByteIdenticalUnderInputShuffle(t *testing.T) {
+	r, census := fixture(t)
+	base := r.Trace.Clone().Tickets
+
+	reversed := make([]fot.Ticket, len(base))
+	for i, tk := range base {
+		reversed[len(base)-1-i] = tk
+	}
+	shuffled := make([]fot.Ticket, len(base))
+	copy(shuffled, base)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	render := func(tickets []fot.Ticket, workers int) string {
+		t.Helper()
+		cp := make([]fot.Ticket, len(tickets))
+		copy(cp, tickets)
+		var buf bytes.Buffer
+		if err := Full(&buf, fot.NewTraceIndex(fot.NewTrace(cp)), census, workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	want := render(base, 1)
+	if want == "" {
+		t.Fatal("empty report")
+	}
+	for name, got := range map[string]string{
+		"reversed input":            render(reversed, 1),
+		"shuffled input":            render(shuffled, 1),
+		"shuffled input, 4 workers": render(shuffled, 4),
+	} {
+		if got != want {
+			t.Errorf("%s: report differs from generator-order rendering (len %d vs %d)", name, len(got), len(want))
+			for i := 0; i < len(got) && i < len(want); i++ {
+				if got[i] != want[i] {
+					lo, hiG, hiW := max(0, i-80), min(len(got), i+80), min(len(want), i+80)
+					t.Errorf("%s: first divergence at byte %d:\n got: %q\nwant: %q", name, i, got[lo:hiG], want[lo:hiW])
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestInjectedClockMakesFoldTimingDeterministic locks in the serve
+// daemon's clock injection (Options.Now): every epoch the ingest loop
+// publishes is stamped by the injected clock, not the wall clock, so
+// fold timing is exactly reproducible in tests — the same contract the
+// collector has had since PR 1.
+func TestInjectedClockMakesFoldTimingDeterministic(t *testing.T) {
+	trace, census := smallWorld(t)
+	fake := time.Date(2017, 6, 26, 12, 0, 0, 0, time.UTC)
+
+	d := New(Options{
+		Census: census,
+		Now:    func() time.Time { return fake },
+		// A long interval proves the stamp comes from the injection at
+		// fold time, not from ticker arithmetic.
+		FoldInterval: time.Hour,
+	})
+	d.StartIngest(FromTrace(trace, 0))
+	waitDrained(t, d)
+	defer d.Shutdown(context.Background())
+
+	snap := d.State().Current()
+	if snap.Tickets() != trace.Len() {
+		t.Fatalf("folded %d tickets, want %d", snap.Tickets(), trace.Len())
+	}
+	if !snap.FoldedAt().Equal(fake) {
+		t.Fatalf("FoldedAt = %v, want the injected clock's %v", snap.FoldedAt(), fake)
+	}
+}

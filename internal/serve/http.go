@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -86,7 +87,7 @@ func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 		reply.CacheRate = float64(hits) / float64(total)
 	}
 	if reply.Pending > 0 && !snap.FoldedAt().IsZero() {
-		reply.IngestLagMS = time.Since(snap.FoldedAt()).Milliseconds()
+		reply.IngestLagMS = d.now().Sub(snap.FoldedAt()).Milliseconds()
 	}
 	if d.opts.SourceDrops != nil {
 		reply.SourceDrops = d.opts.SourceDrops()
@@ -119,8 +120,15 @@ func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
 				delete(want, id)
 			}
 		}
-		for id := range want {
-			http.Error(w, fmt.Sprintf("unknown section %q", id), http.StatusBadRequest)
+		if len(want) > 0 {
+			// Name the leftovers deterministically: map order must not
+			// pick which unknown section the client hears about.
+			unknown := make([]string, 0, len(want))
+			for id := range want {
+				unknown = append(unknown, id)
+			}
+			sort.Strings(unknown)
+			http.Error(w, fmt.Sprintf("unknown section %q", unknown[0]), http.StatusBadRequest)
 			return
 		}
 		ids = sel

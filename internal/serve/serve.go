@@ -63,6 +63,11 @@ type Options struct {
 	// SourceDrops, when set, is surfaced in /stats as the ingest
 	// source's drop counter (e.g. fmsnet.TicketSub.Dropped).
 	SourceDrops func() uint64
+	// Now supplies fold timestamps and /stats lag measurements (nil
+	// means time.Now), mirroring fmsnet.CollectorOptions.Now: inject a
+	// fake clock to make fold timing and ingest lag deterministic in
+	// tests.
+	Now func() time.Time
 }
 
 // maxAlerts caps the /alerts ring buffer.
@@ -73,6 +78,7 @@ const maxAlerts = 256
 type Daemon struct {
 	opts  Options
 	state *State
+	now   func() time.Time
 
 	detMu    sync.Mutex
 	detector *mine.BatchDetector
@@ -111,8 +117,13 @@ func New(opts Options) *Daemon {
 	d := &Daemon{
 		opts:     opts,
 		state:    NewState(opts.Census, opts.Workers),
+		now:      opts.Now,
 		detector: mine.NewBatchDetector(opts.AlertWindow, opts.AlertThreshold),
 		sem:      make(chan struct{}, opts.MaxConcurrent),
+	}
+	if d.now == nil {
+		//lint:ignore walltime injection-point default; Options.Now overrides the clock for deterministic fold timing
+		d.now = time.Now
 	}
 	d.handler = d.buildHandler()
 	return d
@@ -167,7 +178,7 @@ func (d *Daemon) ingest(ctx context.Context, src TicketSource) {
 		if len(pending) == 0 {
 			return
 		}
-		d.state.Fold(pending, time.Now())
+		d.state.Fold(pending, d.now())
 		d.ingested.Add(uint64(len(pending)))
 		pending = nil
 		d.pending.Store(0)

@@ -65,17 +65,17 @@ type WAL struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	f       *os.File
-	bw      *bufio.Writer
-	size    int64
-	seq     int    // current segment number
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64
+	seq      int    // current segment number
 	appended uint64 // records written into the buffer
 	synced   uint64 // records known durable
 	syncing  bool   // a leader is flushing+fsyncing
-	err     error  // sticky failure
-	closed  bool
+	err      error  // sticky failure
+	closed   bool
 
 	tornBytes int64 // discarded from a torn tail at Open
 }
