@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint tier1 tier2 serve-smoke bench benchall
+.PHONY: all build test race vet lint tier1 tier2 serve-smoke bench benchall profile
 
 all: tier1
 
@@ -48,3 +48,10 @@ bench:
 # benchall: the full per-table/per-figure benchmark sweep.
 benchall:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# profile: CPU and allocation profiles of the paper-scale report
+# pipeline; inspect with `go tool pprof cpu.out` / `mem.out`. The
+# live daemon side is `fotqueryd -pprof 127.0.0.1:6060` instead.
+profile:
+	$(GO) run ./cmd/fotreport -profile paper -seed 42 -cpuprofile cpu.out -memprofile mem.out > /dev/null
+	@echo "wrote cpu.out and mem.out (go tool pprof <file>)"

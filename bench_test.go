@@ -285,14 +285,45 @@ func BenchmarkAblationPerfectRepair(b *testing.B) {
 // over one shared fot.TraceIndex. Both render the complete 21-section
 // report; the outputs must be byte-identical. When both sub-benchmarks
 // run, the best-iteration wall times are written to BENCH_report.json.
+//
+// FULLREPORT_PROFILE=small swaps in the small fleet profile — the CI
+// smoke run, which checks the serial/parallel byte identity and emits
+// the JSON artifact in seconds instead of minutes.
 func BenchmarkFullReport(b *testing.B) {
-	res, cen := paperFixture(b)
+	profileName := "paper"
+	var res *fms.Result
+	var cen *core.Census
+	if os.Getenv("FULLREPORT_PROFILE") == "small" {
+		profileName = "small"
+		r, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, cen = r, core.CensusFromFleet(r.Fleet)
+	} else {
+		res, cen = paperFixture(b)
+	}
 	var serialNS, parallelNS int64
+	var serialAllocs, serialBytes, parallelAllocs, parallelBytes uint64
 	var serialOut, parallelOut []byte
 
-	b.Run("serial", func(b *testing.B) {
+	// measured wraps a sub-benchmark loop with process-wide allocation
+	// accounting (runtime.ReadMemStats deltas divided by b.N), the same
+	// numbers -benchmem prints, so BENCH_report.json can carry them.
+	measured := func(b *testing.B, allocs, bytes *uint64, body func()) {
 		runtime.GC() // level the heap so sub-benchmark order doesn't skew timings
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		for i := 0; i < b.N; i++ {
+			body()
+		}
+		runtime.ReadMemStats(&after)
+		*allocs = (after.Mallocs - before.Mallocs) / uint64(b.N)
+		*bytes = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		measured(b, &serialAllocs, &serialBytes, func() {
 			var buf bytes.Buffer
 			start := time.Now()
 			if err := report.SerialReference(&buf, res.Trace, cen, nil); err != nil {
@@ -302,11 +333,10 @@ func BenchmarkFullReport(b *testing.B) {
 				serialNS = d
 			}
 			serialOut = buf.Bytes()
-		}
+		})
 	})
 	b.Run("parallel", func(b *testing.B) {
-		runtime.GC() // level the heap so sub-benchmark order doesn't skew timings
-		for i := 0; i < b.N; i++ {
+		measured(b, &parallelAllocs, &parallelBytes, func() {
 			var buf bytes.Buffer
 			start := time.Now()
 			// Fresh index each iteration: lazy view construction is part
@@ -318,7 +348,7 @@ func BenchmarkFullReport(b *testing.B) {
 				parallelNS = d
 			}
 			parallelOut = buf.Bytes()
-		}
+		})
 	})
 
 	if serialNS == 0 || parallelNS == 0 {
@@ -330,17 +360,21 @@ func BenchmarkFullReport(b *testing.B) {
 			len(parallelOut), len(serialOut))
 	}
 	doc := map[string]interface{}{
-		"benchmark":      "BenchmarkFullReport",
-		"profile":        "paper",
-		"tickets":        res.Trace.Len(),
-		"sections":       len(report.SectionIDs()),
-		"cores":          runtime.NumCPU(),
-		"workers":        runtime.NumCPU(),
-		"serial_ns":      serialNS,
-		"parallel_ns":    parallelNS,
-		"speedup":        float64(serialNS) / float64(parallelNS),
-		"byte_identical": identical,
-		"go":             runtime.Version(),
+		"benchmark":              "BenchmarkFullReport",
+		"profile":                profileName,
+		"tickets":                res.Trace.Len(),
+		"sections":               len(report.SectionIDs()),
+		"cores":                  runtime.NumCPU(),
+		"workers":                runtime.NumCPU(),
+		"serial_ns":              serialNS,
+		"parallel_ns":            parallelNS,
+		"speedup":                float64(serialNS) / float64(parallelNS),
+		"serial_allocs_per_op":   serialAllocs,
+		"serial_bytes_per_op":    serialBytes,
+		"parallel_allocs_per_op": parallelAllocs,
+		"parallel_bytes_per_op":  parallelBytes,
+		"byte_identical":         identical,
+		"go":                     runtime.Version(),
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

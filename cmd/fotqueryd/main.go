@@ -44,6 +44,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +85,7 @@ func run(args []string, w io.Writer) error {
 	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	alertWindow := fs.Duration("alert-window", 3*time.Hour, "batch alert sliding window")
 	alertThreshold := fs.Int("alert-threshold", 20, "batch alert distinct-server threshold")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); empty = disabled")
 	smoke := fs.Bool("smoke", false, "self-test: serve a generated trace on a loopback port, query the API, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -189,11 +191,34 @@ func run(args []string, w io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- d.Serve(ln) }()
 
+	// The profiling endpoint is opt-in and lives on its own listener and
+	// mux: the query API's address never exposes /debug/pprof/, and the
+	// daemon's concurrency limiter cannot throttle a profile grab.
+	profAddr := *pprofAddr
+	if *smoke {
+		profAddr = "127.0.0.1:0"
+	}
+	var pprofSrv *http.Server
+	pprofURL := ""
+	if profAddr != "" {
+		pln, err := net.Listen("tcp", profAddr)
+		if err != nil {
+			return err
+		}
+		pprofSrv = &http.Server{Handler: pprofMux()}
+		go pprofSrv.Serve(pln)
+		pprofURL = "http://" + pln.Addr().String()
+		fmt.Fprintf(w, "fotqueryd: pprof on %s/debug/pprof/\n", pprofURL)
+	}
+
 	shutdown := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if sub != nil {
 			sub.Close()
+		}
+		if pprofSrv != nil {
+			pprofSrv.Shutdown(ctx)
 		}
 		var cerr error
 		if collector != nil {
@@ -209,7 +234,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *smoke {
-		if err := smokeTest(w, d, "http://"+ln.Addr().String()); err != nil {
+		if err := smokeTest(w, d, "http://"+ln.Addr().String(), pprofURL); err != nil {
 			shutdown()
 			return fmt.Errorf("smoke: %w", err)
 		}
@@ -227,10 +252,23 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
+// pprofMux builds the standalone profiling mux. net/http/pprof's import
+// side effect registers on http.DefaultServeMux, which the daemon never
+// serves; this mux wires the same handlers onto the dedicated listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
 // smokeTest exercises the daemon's own API end to end: wait for the
-// generated trace to drain, then hit /healthz, one report section and
-// /stats and sanity-check each reply.
-func smokeTest(w io.Writer, d *serve.Daemon, base string) error {
+// generated trace to drain, then hit /healthz, one report section,
+// /stats and the pprof sidecar, sanity-checking each reply.
+func smokeTest(w io.Writer, d *serve.Daemon, base, pprofURL string) error {
 	deadline := time.Now().Add(60 * time.Second)
 	for !d.Drained() {
 		if time.Now().After(deadline) {
@@ -267,6 +305,16 @@ func smokeTest(w io.Writer, d *serve.Daemon, base string) error {
 		return fmt.Errorf("/stats not settled: epoch=%d tickets=%d drained=%v",
 			stats.Epoch, stats.Tickets, stats.Drained)
 	}
+	if pprofURL != "" {
+		body, err = get(pprofURL + "/debug/pprof/cmdline")
+		if err != nil {
+			return err
+		}
+		if len(body) == 0 {
+			return fmt.Errorf("pprof /debug/pprof/cmdline returned an empty body")
+		}
+	}
+
 	fmt.Fprintf(w, "fotqueryd: smoke ok — epoch %d, %d tickets, cache %d/%d hits\n",
 		stats.Epoch, stats.Tickets, stats.CacheHits, stats.CacheHits+stats.CacheMisses)
 	return nil

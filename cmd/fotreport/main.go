@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,8 +52,34 @@ func run(args []string, w io.Writer) error {
 	csvDir := fs.String("csvdir", "", "also export every figure's data series as CSV files into this directory")
 	only := fs.String("only", "", "comma-separated subset of: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,repeats,table4,fig8,table5,batches,table6,table8,fig9,fig10,fig11,mine,trend,verdicts")
 	workers := fs.Int("workers", 0, "parallel section workers; 0 = one per CPU, 1 = serial")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile (after the report) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush accurate allocation counts into the profile
+			if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "fotreport: memprofile:", werr)
+			}
+			f.Close()
+		}()
 	}
 	profile, err := profileByName(*profileName)
 	if err != nil {

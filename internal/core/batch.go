@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"dcfail/internal/fot"
@@ -36,13 +36,13 @@ func BatchFrequency(tr *fot.Trace, thresholds []int) (*BatchFrequencyResult, err
 // ticket: r_N must not depend on the trace's start time-of-day, and a
 // failure cluster straddling midnight belongs to two study days.
 func BatchFrequencyIndexed(ix *fot.TraceIndex, thresholds []int) (*BatchFrequencyResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
 	if len(thresholds) == 0 {
 		thresholds = []int{100, 200, 500}
 	}
-	daily, days := ix.FailureDayBuckets()
+	daily, days := ix.FailureDayCounts()
 	if days < 1 {
 		days = 1
 	}
@@ -50,19 +50,24 @@ func BatchFrequencyIndexed(ix *fot.TraceIndex, thresholds []int) (*BatchFrequenc
 	res := &BatchFrequencyResult{Thresholds: thresholds, Days: days}
 	for _, c := range sortedComponentsByCount(counts) {
 		row := BatchFrequencyRow{Component: c, R: make(map[int]float64, len(thresholds))}
+		for _, th := range thresholds {
+			row.R[th] = 0
+		}
 		for _, n := range daily[c] {
-			if n > row.MaxDaily {
-				row.MaxDaily = n
+			if n == 0 {
+				continue // only days with failures, as the sparse buckets had
+			}
+			if int(n) > row.MaxDaily {
+				row.MaxDaily = int(n)
+			}
+			for _, th := range thresholds {
+				if int(n) >= th {
+					row.R[th] += 1
+				}
 			}
 		}
 		for _, th := range thresholds {
-			over := 0
-			for _, n := range daily[c] {
-				if n >= th {
-					over++
-				}
-			}
-			row.R[th] = float64(over) / float64(days)
+			row.R[th] /= float64(days)
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -95,9 +100,11 @@ func BatchWindows(tr *fot.Trace, census *Census, linkGap time.Duration, minSize 
 	return BatchWindowsIndexed(fot.BorrowTraceIndex(tr), census, linkGap, minSize)
 }
 
-// BatchWindowsIndexed is BatchWindows over a shared TraceIndex.
+// BatchWindowsIndexed is BatchWindows over a shared TraceIndex. The
+// failure rows arrive time-ordered, so each (device, type) group is
+// already run-detectable without a per-group sort or ticket copies.
 func BatchWindowsIndexed(ix *fot.TraceIndex, census *Census, linkGap time.Duration, minSize int) ([]BatchEpisode, error) {
-	failures, err := requireFailures(ix)
+	fail, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
@@ -113,76 +120,98 @@ func BatchWindowsIndexed(ix *fot.TraceIndex, census *Census, linkGap time.Durati
 			lineSizes[census.Servers[i].ProductLine]++
 		}
 	}
-	type groupKey struct {
-		dev fot.Component
-		typ string
+	cols := ix.Cols()
+	groups := make(map[uint64][]int32)
+	for _, r := range fail {
+		k := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		groups[k] = append(groups[k], r)
 	}
-	groups := make(map[groupKey][]fot.Ticket)
-	for _, tk := range failures.Tickets {
-		k := groupKey{tk.Device, tk.Type}
-		groups[k] = append(groups[k], tk)
-	}
+	gapNS := int64(linkGap)
 	var episodes []BatchEpisode
-	for k, tickets := range groups {
-		sort.Slice(tickets, func(i, j int) bool { return tickets[i].Time.Before(tickets[j].Time) })
+	scratch := newEpisodeScratch()
+	for k, rows := range groups {
+		dev := fot.Component(k >> 32)
+		typ := cols.TypeName(uint32(k))
 		runStart := 0
-		for i := 1; i <= len(tickets); i++ {
-			if i < len(tickets) && tickets[i].Time.Sub(tickets[i-1].Time) <= linkGap {
+		for i := 1; i <= len(rows); i++ {
+			if i < len(rows) && cols.TimeNS[rows[i]]-cols.TimeNS[rows[i-1]] <= gapNS {
 				continue
 			}
 			if i-runStart >= minSize {
-				episodes = append(episodes, summarizeEpisode(k.dev, k.typ, tickets[runStart:i], lineSizes))
+				episodes = append(episodes, summarizeEpisode(cols, dev, typ, rows[runStart:i], lineSizes, scratch))
 			}
 			runStart = i
 		}
 	}
-	sort.Slice(episodes, func(i, j int) bool {
-		if episodes[i].Tickets != episodes[j].Tickets {
-			return episodes[i].Tickets > episodes[j].Tickets
+	slices.SortFunc(episodes, func(a, b BatchEpisode) int {
+		if a.Tickets != b.Tickets {
+			return b.Tickets - a.Tickets
 		}
-		if !episodes[i].Start.Equal(episodes[j].Start) {
-			return episodes[i].Start.Before(episodes[j].Start)
+		if d := a.Start.Compare(b.Start); d != 0 {
+			return d
 		}
-		if episodes[i].Component != episodes[j].Component {
-			return episodes[i].Component < episodes[j].Component
+		if a.Component != b.Component {
+			return int(a.Component) - int(b.Component)
 		}
-		return episodes[i].Type < episodes[j].Type
+		return cmpString(a.Type, b.Type)
 	})
 	return episodes, nil
 }
 
-func summarizeEpisode(dev fot.Component, typ string, run []fot.Ticket, lineSizes map[string]int) BatchEpisode {
+// episodeScratch holds the per-episode dedup sets, reused (cleared, not
+// reallocated) across every episode of a BatchWindows pass.
+type episodeScratch struct {
+	servers   map[uint64]bool
+	idcs      map[string]bool
+	models    map[string]bool
+	lineHosts map[[2]uint64]bool // {line symbol, host} pairs seen
+	lineCount map[uint32]int     // line symbol -> distinct hosts
+}
+
+func newEpisodeScratch() *episodeScratch {
+	return &episodeScratch{
+		servers:   make(map[uint64]bool),
+		idcs:      make(map[string]bool),
+		models:    make(map[string]bool),
+		lineHosts: make(map[[2]uint64]bool),
+		lineCount: make(map[uint32]int),
+	}
+}
+
+func summarizeEpisode(cols *fot.Columns, dev fot.Component, typ string, run []int32, lineSizes map[string]int, sc *episodeScratch) BatchEpisode {
 	ep := BatchEpisode{
 		Component: dev,
 		Type:      typ,
-		Start:     run[0].Time,
-		End:       run[len(run)-1].Time,
+		Start:     cols.Ticket(run[0]).Time,
+		End:       cols.Ticket(run[len(run)-1]).Time,
 		Tickets:   len(run),
 	}
-	servers := make(map[uint64]bool)
-	idcs := make(map[string]bool)
-	models := make(map[string]bool)
-	lineServers := make(map[string]map[uint64]bool)
-	for _, tk := range run {
-		servers[tk.HostID] = true
-		idcs[tk.IDC] = true
-		if tk.Model != "" {
-			models[tk.Model] = true
+	clear(sc.servers)
+	clear(sc.idcs)
+	clear(sc.models)
+	clear(sc.lineHosts)
+	clear(sc.lineCount)
+	for _, r := range run {
+		sc.servers[cols.Host[r]] = true
+		sc.idcs[cols.IDCName(cols.IDCSym[r])] = true
+		if m := cols.Ticket(r).Model; m != "" {
+			sc.models[m] = true
 		}
-		m := lineServers[tk.ProductLine]
-		if m == nil {
-			m = make(map[uint64]bool)
-			lineServers[tk.ProductLine] = m
+		sym := cols.LineSym[r]
+		lh := [2]uint64{uint64(sym), cols.Host[r]}
+		if !sc.lineHosts[lh] {
+			sc.lineHosts[lh] = true
+			sc.lineCount[sym]++
 		}
-		m[tk.HostID] = true
 	}
-	ep.Servers = len(servers)
-	ep.IDCs = sortedKeys(idcs)
-	ep.Models = sortedKeys(models)
+	ep.Servers = len(sc.servers)
+	ep.IDCs = sortedKeys(sc.idcs)
+	ep.Models = sortedKeys(sc.models)
 	best, bestN := "", 0
-	for line, hosts := range lineServers {
-		if len(hosts) > bestN || (len(hosts) == bestN && line < best) {
-			best, bestN = line, len(hosts)
+	for sym, hosts := range sc.lineCount {
+		line := cols.LineName(sym)
+		if hosts > bestN || (hosts == bestN && line < best) {
+			best, bestN = line, hosts
 		}
 	}
 	ep.TopProductLine = best
@@ -197,6 +226,6 @@ func sortedKeys(set map[string]bool) []string {
 	for k := range set {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

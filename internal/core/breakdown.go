@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"dcfail/internal/fot"
 )
@@ -32,7 +32,6 @@ func CategoryBreakdownIndexed(ix *fot.TraceIndex) (*CategoryBreakdownResult, err
 	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	counts := ix.All().CountByCategory()
 	total := ix.Len()
 	decisions := map[fot.Category]string{
 		fot.Fixing:     "Issue a repair order (RO)",
@@ -41,11 +40,12 @@ func CategoryBreakdownIndexed(ix *fot.TraceIndex) (*CategoryBreakdownResult, err
 	}
 	res := &CategoryBreakdownResult{Total: total}
 	for _, cat := range []fot.Category{fot.Fixing, fot.Error, fot.FalseAlarm} {
+		n := len(ix.RowsByCategory(cat))
 		res.Rows = append(res.Rows, CategoryShare{
 			Category: cat,
 			Decision: decisions[cat],
-			Count:    counts[cat],
-			Fraction: float64(counts[cat]) / float64(total),
+			Count:    n,
+			Fraction: float64(n) / float64(total),
 		})
 	}
 	return res, nil
@@ -72,17 +72,18 @@ func ComponentBreakdown(tr *fot.Trace) (*ComponentBreakdownResult, error) {
 
 // ComponentBreakdownIndexed is ComponentBreakdown over a shared TraceIndex.
 func ComponentBreakdownIndexed(ix *fot.TraceIndex) (*ComponentBreakdownResult, error) {
-	failures, err := requireFailures(ix)
+	rows, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
+	total := len(rows)
 	counts := ix.FailureCountByComponent()
-	res := &ComponentBreakdownResult{Total: failures.Len()}
+	res := &ComponentBreakdownResult{Total: total}
 	for _, c := range sortedComponentsByCount(counts) {
 		res.Rows = append(res.Rows, ComponentShare{
 			Component: c,
 			Count:     counts[c],
-			Fraction:  float64(counts[c]) / float64(failures.Len()),
+			Fraction:  float64(counts[c]) / float64(total),
 		})
 	}
 	return res, nil
@@ -108,32 +109,42 @@ func TypeBreakdown(tr *fot.Trace, c fot.Component) (*TypeBreakdownResult, error)
 	return TypeBreakdownIndexed(fot.BorrowTraceIndex(tr), c)
 }
 
-// TypeBreakdownIndexed is TypeBreakdown over a shared TraceIndex.
+// TypeBreakdownIndexed is TypeBreakdown over a shared TraceIndex: one
+// dense count over the interned type column, no per-type maps.
 func TypeBreakdownIndexed(ix *fot.TraceIndex, c fot.Component) (*TypeBreakdownResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
-	sub := ix.FailuresByComponent(c)
-	if sub.Len() == 0 {
+	sub := ix.FailureRowsByComponent(c)
+	if len(sub) == 0 {
 		return nil, errNoTickets("component", c.String())
 	}
-	counts := sub.CountByType()
-	names := make([]string, 0, len(counts))
-	for name := range counts {
-		names = append(names, name)
+	cols := ix.Cols()
+	counts := make([]int, cols.TypeCount())
+	for _, r := range sub {
+		counts[cols.TypeSym[r]]++
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if counts[names[i]] != counts[names[j]] {
-			return counts[names[i]] > counts[names[j]]
+	names := make([]string, 0, 8)
+	byName := make(map[string]int, 8)
+	for sym, n := range counts {
+		if n > 0 {
+			name := cols.TypeName(uint32(sym))
+			names = append(names, name)
+			byName[name] = n
 		}
-		return names[i] < names[j]
+	}
+	slices.SortFunc(names, func(a, b string) int {
+		if byName[a] != byName[b] {
+			return byName[b] - byName[a]
+		}
+		return cmpString(a, b)
 	})
-	res := &TypeBreakdownResult{Component: c, Total: sub.Len()}
+	res := &TypeBreakdownResult{Component: c, Total: len(sub)}
 	for _, name := range names {
 		res.Rows = append(res.Rows, TypeShare{
 			Type:     name,
-			Count:    counts[name],
-			Fraction: float64(counts[name]) / float64(sub.Len()),
+			Count:    byName[name],
+			Fraction: float64(byName[name]) / float64(len(sub)),
 		})
 	}
 	return res, nil

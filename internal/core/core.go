@@ -29,7 +29,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"dcfail/internal/fot"
@@ -124,17 +125,18 @@ func (c *Census) Validate() error {
 	return nil
 }
 
-// requireFailures extracts the failure population (D_fixing + D_error) and
-// errors out on an empty trace, the common precondition of all analyses.
-func requireFailures(ix *fot.TraceIndex) (*fot.Trace, error) {
+// requireFailureRows extracts the failure population (D_fixing +
+// D_error) as time-ordered row indices and errors out on an empty
+// trace, the common precondition of all analyses.
+func requireFailureRows(ix *fot.TraceIndex) ([]int32, error) {
 	if ix == nil || ix.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
-	failures := ix.Failures()
-	if failures.Len() == 0 {
+	rows := ix.FailureRows()
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: trace has no failures (only false alarms)")
 	}
-	return failures, nil
+	return rows, nil
 }
 
 // sortedComponentsByCount returns component classes ordered by descending
@@ -144,11 +146,14 @@ func sortedComponentsByCount(counts map[fot.Component]int) []fot.Component {
 	for c := range counts {
 		comps = append(comps, c)
 	}
-	sort.Slice(comps, func(i, j int) bool {
-		if counts[comps[i]] != counts[comps[j]] {
-			return counts[comps[i]] > counts[comps[j]]
+	slices.SortFunc(comps, func(a, b fot.Component) int {
+		if counts[a] != counts[b] {
+			return counts[b] - counts[a]
 		}
-		return comps[i] < comps[j]
+		return int(a) - int(b)
 	})
 	return comps
 }
+
+// cmpString is strings.Compare for SortFunc comparators.
+func cmpString(a, b string) int { return strings.Compare(a, b) }

@@ -53,22 +53,27 @@ func LifecycleRates(tr *fot.Trace, census *Census, c fot.Component, horizon int)
 	return LifecycleRatesIndexed(fot.BorrowTraceIndex(tr), census, c, horizon)
 }
 
-// LifecycleRatesIndexed is LifecycleRates over a shared TraceIndex.
+// LifecycleRatesIndexed is LifecycleRates over a shared TraceIndex: one
+// pass over the deduplicated failure rows, reading the precomputed
+// service-age column.
 func LifecycleRatesIndexed(ix *fot.TraceIndex, census *Census, c fot.Component, horizon int) (*LifecycleResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
-	failures := ix.FailuresFirstPerInstance()
+	first := ix.FirstInstanceRows()
 	if census == nil {
 		return nil, errNoTickets("census for", c.String())
 	}
 	if horizon < 1 {
 		horizon = 48
 	}
-	lo, hi, ok := failures.Span()
-	if !ok {
+	if len(first) == 0 {
 		return nil, errEmptyTrace()
 	}
+	cols := ix.Cols()
+	// Rows are time-ordered, so the span is the first and last row.
+	lo := cols.Ticket(first[0]).Time
+	hi := cols.Ticket(first[len(first)-1]).Time
 	res := &LifecycleResult{
 		Component:  c,
 		Counts:     make([]int, horizon),
@@ -76,12 +81,15 @@ func LifecycleRatesIndexed(ix *fot.TraceIndex, census *Census, c fot.Component, 
 		Rates:      make([]float64, horizon),
 		Normalized: make([]float64, horizon),
 	}
-	for _, tk := range failures.ByComponent(c).Tickets {
-		age, known := tk.AgeAtFailure()
-		if !known {
+	for _, r := range first {
+		if fot.Component(cols.Device[r]) != c {
 			continue
 		}
-		m := int(age.Hours() / hoursPerMonth)
+		ns := cols.AgeNS[r]
+		if ns < 0 {
+			continue
+		}
+		m := int(time.Duration(ns).Hours() / hoursPerMonth)
 		if m >= 0 && m < horizon {
 			res.Counts[m]++
 		}

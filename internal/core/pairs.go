@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"dcfail/internal/fot"
@@ -50,73 +51,71 @@ func CorrelatedPairs(tr *fot.Trace, window time.Duration) (*CorrelatedPairsResul
 }
 
 // CorrelatedPairsIndexed is CorrelatedPairs over a shared TraceIndex.
+// The host grouping comes pre-sorted (hosts ascending, rows in time
+// order) from the index, so the scan is one pass over dense columns.
 func CorrelatedPairsIndexed(ix *fot.TraceIndex, window time.Duration) (*CorrelatedPairsResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
-	failures := ix.FailuresFirstPerInstance()
 	if window <= 0 {
 		window = 24 * time.Hour
 	}
+	cols := ix.Cols()
 	res := &CorrelatedPairsResult{Window: window}
 	counts := make(map[[2]fot.Component]int)
-	serversWith := make(map[uint64]bool)
+	windowNS := int64(window)
+	powerFan := canonicalPair(fot.Power, fot.Fan)
 
-	byHost := failures.GroupByHost()
-	res.FailedServers = len(byHost)
-	// Walk hosts in sorted order: the Table VII example list is capped, so
-	// map-order iteration would pick different examples every run.
-	hosts := make([]uint64, 0, len(byHost))
-	for h := range byHost {
-		hosts = append(hosts, h)
-	}
-	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
-	for _, host := range hosts {
-		tickets := byHost[host]
-		sort.Slice(tickets, func(i, j int) bool { return tickets[i].Time.Before(tickets[j].Time) })
-		for i := 0; i < len(tickets)-1; i++ {
-			a := tickets[i]
-			b := tickets[i+1]
-			if b.Time.Sub(a.Time) > window || a.Device == b.Device {
+	hosts, groups := ix.FirstInstanceHostGroups()
+	res.FailedServers = len(hosts)
+	for hi, rows := range groups {
+		host := hosts[hi]
+		pairedHost := false
+		for i := 0; i < len(rows)-1; i++ {
+			a, b := rows[i], rows[i+1]
+			devA, devB := fot.Component(cols.Device[a]), fot.Component(cols.Device[b])
+			if cols.TimeNS[b]-cols.TimeNS[a] > windowNS || devA == devB {
 				continue
 			}
-			key := canonicalPair(a.Device, b.Device)
+			key := canonicalPair(devA, devB)
 			counts[key]++
 			res.TotalPairs++
-			serversWith[host] = true
-			if key == canonicalPair(fot.Power, fot.Fan) && len(res.PowerFanExamples) < 8 {
-				first, second := a, b
+			pairedHost = true
+			if key == powerFan && len(res.PowerFanExamples) < 8 {
+				first, second := *cols.Ticket(a), *cols.Ticket(b)
 				if first.Device != fot.Power {
-					first, second = b, a
+					first, second = second, first
 				}
 				res.PowerFanExamples = append(res.PowerFanExamples, PairExample{
 					HostID: host, First: first, Second: second,
 				})
 			}
-			if a.Device == fot.Misc || b.Device == fot.Misc {
+			if devA == fot.Misc || devB == fot.Misc {
 				res.MiscFraction++ // numerator; normalized below
 			}
 			i++ // consume both tickets of the pair
+		}
+		if pairedHost {
+			res.ServersWithPairs++
 		}
 	}
 	if res.TotalPairs > 0 {
 		res.MiscFraction /= float64(res.TotalPairs)
 	}
-	res.ServersWithPairs = len(serversWith)
 	if res.FailedServers > 0 {
 		res.ServerFraction = float64(res.ServersWithPairs) / float64(res.FailedServers)
 	}
 	for key, n := range counts {
 		res.Pairs = append(res.Pairs, PairCount{A: key[0], B: key[1], Count: n})
 	}
-	sort.Slice(res.Pairs, func(i, j int) bool {
-		if res.Pairs[i].Count != res.Pairs[j].Count {
-			return res.Pairs[i].Count > res.Pairs[j].Count
+	slices.SortFunc(res.Pairs, func(a, b PairCount) int {
+		if a.Count != b.Count {
+			return b.Count - a.Count
 		}
-		if res.Pairs[i].A != res.Pairs[j].A {
-			return res.Pairs[i].A < res.Pairs[j].A
+		if a.A != b.A {
+			return int(a.A) - int(b.A)
 		}
-		return res.Pairs[i].B < res.Pairs[j].B
+		return int(a.B) - int(b.B)
 	})
 	return res, nil
 }
@@ -150,8 +149,11 @@ func SyncRepeatGroups(tr *fot.Trace, maxSkew time.Duration, minOccurrences int) 
 }
 
 // SyncRepeatGroupsIndexed is SyncRepeatGroups over a shared TraceIndex.
+// Because the failure rows arrive time-ordered, each (component, type)
+// group's time buckets are contiguous runs: the scan reuses one scratch
+// table per run instead of materializing a map per bucket.
 func SyncRepeatGroupsIndexed(ix *fot.TraceIndex, maxSkew time.Duration, minOccurrences int) ([]SyncRepeatGroup, error) {
-	failures, err := requireFailures(ix)
+	fail, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
@@ -162,98 +164,144 @@ func SyncRepeatGroupsIndexed(ix *fot.TraceIndex, maxSkew time.Duration, minOccur
 		minOccurrences = 2
 	}
 	const maxBucketHosts = 8
-
-	type bucketKey struct {
-		dev    fot.Component
-		typ    string
-		bucket int64
-	}
-	buckets := make(map[bucketKey]map[uint64]time.Time)
+	cols := ix.Cols()
 	skew := int64(maxSkew / time.Second)
-	for _, tk := range failures.Tickets {
-		// Two buckets (floor and shifted) so near-boundary instants meet.
-		sec := tk.Time.Unix()
-		for _, b := range []int64{sec / skew, (sec + skew/2) / skew} {
-			k := bucketKey{tk.Device, tk.Type, b}
-			m := buckets[k]
-			if m == nil {
-				m = make(map[uint64]time.Time)
-				buckets[k] = m
+
+	// Group the time-ordered failure rows by (device, type).
+	groups := make(map[uint64][]int32)
+	for _, r := range fail {
+		k := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		groups[k] = append(groups[k], r)
+	}
+
+	// Candidate pair instants go into one flat slice instead of a map of
+	// per-pair grain maps. All emissions for a given (a, b, group) come
+	// from that group's deterministic floor/shifted passes over
+	// time-ordered rows, so after a stable sort the last entry of each
+	// equal-grain run is exactly the value the old map overwrite kept.
+	type emission struct {
+		a, b  uint64
+		grain int64  // skew-grain instant, deduplicates double-bucketing
+		key   uint64 // device<<32 | type symbol
+		row   int32
+	}
+	var emits []emission
+
+	firstByHost := make(map[uint64]int32) // scratch, reset per run
+	var runHosts []uint64                 // scratch
+	emitRun := func(key uint64, rows []int32) {
+		// First occurrence per host within the bucket, in time order.
+		clear(firstByHost)
+		runHosts = runHosts[:0]
+		for _, r := range rows {
+			h := cols.Host[r]
+			if _, ok := firstByHost[h]; !ok {
+				firstByHost[h] = r
+				runHosts = append(runHosts, h)
 			}
-			if _, ok := m[tk.HostID]; !ok {
-				m[tk.HostID] = tk.Time
+		}
+		if len(runHosts) < 2 || len(runHosts) > maxBucketHosts {
+			return
+		}
+		slices.Sort(runHosts)
+		for i := 0; i < len(runHosts); i++ {
+			r := firstByHost[runHosts[i]]
+			grain := cols.Ticket(r).Time.Unix() / skew
+			for j := i + 1; j < len(runHosts); j++ {
+				emits = append(emits, emission{runHosts[i], runHosts[j], grain, key, r})
 			}
 		}
 	}
 
-	type pairKey struct {
-		a, b uint64
-		dev  fot.Component
-		typ  string
-	}
-	type pairAgg struct {
-		instants map[int64]time.Time
-	}
-	pairs := make(map[pairKey]*pairAgg)
-	for k, hosts := range buckets {
-		if len(hosts) < 2 || len(hosts) > maxBucketHosts {
-			continue
-		}
-		ids := make([]uint64, 0, len(hosts))
-		for h := range hosts {
-			ids = append(ids, h)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				pk := pairKey{ids[i], ids[j], k.dev, k.typ}
-				agg := pairs[pk]
-				if agg == nil {
-					agg = &pairAgg{instants: make(map[int64]time.Time)}
-					pairs[pk] = agg
+	for k, rows := range groups {
+		// Two bucketing passes (floor and shifted) so near-boundary
+		// instants meet; rows are time-ordered, so equal bucket values
+		// form contiguous runs.
+		for _, shift := range []int64{0, skew / 2} {
+			runStart := 0
+			var runBucket int64
+			for i, r := range rows {
+				b := (cols.Ticket(r).Time.Unix() + shift) / skew
+				if i == 0 {
+					runBucket = b
+					continue
 				}
-				// Deduplicate the double-bucketing by the instant's
-				// skew-grain timestamp.
-				t := hosts[ids[i]]
-				agg.instants[t.Unix()/skew] = t
+				if b != runBucket {
+					emitRun(k, rows[runStart:i])
+					runStart, runBucket = i, b
+				}
 			}
+			emitRun(k, rows[runStart:])
 		}
 	}
+
+	slices.SortStableFunc(emits, func(x, y emission) int {
+		if x.a != y.a {
+			return cmp.Compare(x.a, y.a)
+		}
+		if x.b != y.b {
+			return cmp.Compare(x.b, y.b)
+		}
+		if x.key != y.key {
+			return cmp.Compare(x.key, y.key)
+		}
+		return cmp.Compare(x.grain, y.grain)
+	})
 
 	var out []SyncRepeatGroup
-	for pk, agg := range pairs {
-		if len(agg.instants) < minOccurrences {
-			continue
+	for i := 0; i < len(emits); {
+		j := i + 1
+		for j < len(emits) && emits[j].a == emits[i].a && emits[j].b == emits[i].b && emits[j].key == emits[i].key {
+			j++
 		}
-		g := SyncRepeatGroup{
-			HostA: pk.a, HostB: pk.b,
-			Occurrences: len(agg.instants),
-			Component:   pk.dev,
-			Type:        pk.typ,
+		occurrences := 1
+		for k := i + 1; k < j; k++ {
+			if emits[k].grain != emits[k-1].grain {
+				occurrences++
+			}
 		}
-		for _, t := range agg.instants {
-			g.Times = append(g.Times, t)
+		if occurrences >= minOccurrences {
+			g := SyncRepeatGroup{
+				HostA: emits[i].a, HostB: emits[i].b,
+				Occurrences: occurrences,
+				Component:   fot.Component(emits[i].key >> 32),
+				Type:        cols.TypeName(uint32(emits[i].key)),
+				Times:       make([]time.Time, 0, occurrences),
+			}
+			for k := i; k < j; k++ {
+				if k+1 < j && emits[k+1].grain == emits[k].grain {
+					continue // only the last emission of a grain counts
+				}
+				g.Times = append(g.Times, cols.Ticket(emits[k].row).Time)
+			}
+			slices.SortFunc(g.Times, func(a, b time.Time) int { return a.Compare(b) })
+			if len(g.Times) > 8 {
+				g.Times = g.Times[:8]
+			}
+			out = append(out, g)
 		}
-		sort.Slice(g.Times, func(i, j int) bool { return g.Times[i].Before(g.Times[j]) })
-		if len(g.Times) > 8 {
-			g.Times = g.Times[:8]
-		}
-		out = append(out, g)
+		i = j
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Occurrences != out[j].Occurrences {
-			return out[i].Occurrences > out[j].Occurrences
+	slices.SortFunc(out, func(a, b SyncRepeatGroup) int {
+		if a.Occurrences != b.Occurrences {
+			return b.Occurrences - a.Occurrences
 		}
-		if out[i].HostA != out[j].HostA {
-			return out[i].HostA < out[j].HostA
+		if a.HostA != b.HostA {
+			if a.HostA < b.HostA {
+				return -1
+			}
+			return 1
 		}
-		if out[i].HostB != out[j].HostB {
-			return out[i].HostB < out[j].HostB
+		if a.HostB != b.HostB {
+			if a.HostB < b.HostB {
+				return -1
+			}
+			return 1
 		}
-		if out[i].Component != out[j].Component {
-			return out[i].Component < out[j].Component
+		if a.Component != b.Component {
+			return int(a.Component) - int(b.Component)
 		}
-		return out[i].Type < out[j].Type
+		return cmpString(a.Type, b.Type)
 	})
 	return out, nil
 }

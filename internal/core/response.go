@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"time"
 
 	"dcfail/internal/fot"
 	"dcfail/internal/stats"
@@ -38,7 +39,7 @@ func ResponseTimesIndexed(ix *fot.TraceIndex, cat fot.Category) (*ResponseTimesR
 	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	days := rtDays(ix.ByCategory(cat))
+	days := rtDaysRows(ix.Cols(), ix.RowsByCategory(cat))
 	if len(days) == 0 {
 		return nil, errNoTickets("category", cat.String())
 	}
@@ -57,9 +58,10 @@ func ResponseTimesByClassIndexed(ix *fot.TraceIndex) (map[fot.Component]*Respons
 	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
+	cols := ix.Cols()
 	out := make(map[fot.Component]*ResponseTimesResult)
 	for _, c := range fot.Components() {
-		days := rtDays(ix.AllByComponent(c))
+		days := rtDaysRows(cols, ix.AllRowsByComponent(c))
 		if len(days) < 8 {
 			continue
 		}
@@ -71,11 +73,13 @@ func ResponseTimesByClassIndexed(ix *fot.TraceIndex) (map[fot.Component]*Respons
 	return out, nil
 }
 
-func rtDays(tr *fot.Trace) []float64 {
-	out := make([]float64, 0, tr.Len())
-	for _, tk := range tr.Tickets {
-		if rt, ok := tk.ResponseTime(); ok {
-			out = append(out, rt.Hours()/24)
+// rtDaysRows collects the day-denominated response times of the rows
+// with a recorded response, straight off the RTNS column.
+func rtDaysRows(cols *fot.Columns, rows []int32) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if ns := cols.RTNS[r]; ns >= 0 {
+			out = append(out, time.Duration(ns).Hours()/24)
 		}
 	}
 	return out
@@ -138,27 +142,50 @@ func ProductLineRT(tr *fot.Trace, c fot.Component) (*ProductLineRTResult, error)
 	return ProductLineRTIndexed(fot.BorrowTraceIndex(tr), c)
 }
 
-// ProductLineRTIndexed is ProductLineRT over a shared TraceIndex.
+// ProductLineRTIndexed is ProductLineRT over a shared TraceIndex. One
+// bucketing pass over the scope's rows replaces the per-line re-filter
+// of the whole trace the row-struct implementation paid.
 func ProductLineRTIndexed(ix *fot.TraceIndex, c fot.Component) (*ProductLineRTResult, error) {
 	if ix == nil || ix.Len() == 0 {
 		return nil, errEmptyTrace()
 	}
-	scope := ix.All()
+	cols := ix.Cols()
+	scope := ix.TimePerm()
 	if c != 0 {
-		scope = ix.AllByComponent(c)
+		scope = ix.AllRowsByComponent(c)
 	}
+	lineRows := make([][]int32, cols.LineCount())
+	for _, r := range scope {
+		sym := cols.LineSym[r]
+		lineRows[sym] = append(lineRows[sym], r)
+	}
+	lines := make([]string, 0, len(lineRows))
+	for sym, rows := range lineRows {
+		if len(rows) > 0 && cols.LineName(uint32(sym)) != "" {
+			lines = append(lines, cols.LineName(uint32(sym)))
+		}
+	}
+	slices.Sort(lines)
+
 	res := &ProductLineRTResult{Component: c}
 	var medians []float64
-	for _, line := range scope.ProductLines() {
-		sub := scope.ByProductLine(line)
-		days := rtDays(sub)
+	for _, line := range lines {
+		sym, _ := cols.LineSymOf(line)
+		rows := lineRows[sym]
+		days := rtDaysRows(cols, rows)
 		if len(days) == 0 {
 			continue
+		}
+		failures := 0
+		for _, r := range rows {
+			if fot.Category(cols.Category[r]).IsFailure() {
+				failures++
+			}
 		}
 		med := stats.Median(days)
 		res.Points = append(res.Points, LineRTPoint{
 			Line:         line,
-			Failures:     sub.Failures().Len(),
+			Failures:     failures,
 			MedianRTDays: med,
 		})
 		medians = append(medians, med)
@@ -166,11 +193,11 @@ func ProductLineRTIndexed(ix *fot.TraceIndex, c fot.Component) (*ProductLineRTRe
 	if len(res.Points) == 0 {
 		return nil, errNoTickets("product lines with", "responses")
 	}
-	sort.Slice(res.Points, func(i, j int) bool {
-		if res.Points[i].Failures != res.Points[j].Failures {
-			return res.Points[i].Failures > res.Points[j].Failures
+	slices.SortFunc(res.Points, func(a, b LineRTPoint) int {
+		if a.Failures != b.Failures {
+			return b.Failures - a.Failures
 		}
-		return res.Points[i].Line < res.Points[j].Line
+		return cmpString(a.Line, b.Line)
 	})
 	// Busiest 1% of lines (at least one), pooled ticket median.
 	top := len(res.Points) / 100
@@ -179,8 +206,8 @@ func ProductLineRTIndexed(ix *fot.TraceIndex, c fot.Component) (*ProductLineRTRe
 	}
 	var pooled []float64
 	for _, pt := range res.Points[:top] {
-		sub := scope.ByProductLine(pt.Line)
-		pooled = append(pooled, rtDays(sub)...)
+		sym, _ := cols.LineSymOf(pt.Line)
+		pooled = append(pooled, rtDaysRows(cols, lineRows[sym])...)
 	}
 	res.Top1PctMedianDays = stats.Median(pooled)
 

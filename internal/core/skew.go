@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"dcfail/internal/fot"
 	"dcfail/internal/stats"
@@ -30,30 +30,31 @@ func ServerSkew(tr *fot.Trace) (*ServerSkewResult, error) {
 	return ServerSkewIndexed(fot.BorrowTraceIndex(tr))
 }
 
-// ServerSkewIndexed is ServerSkew over a shared TraceIndex.
+// ServerSkewIndexed is ServerSkew over a shared TraceIndex: per-server
+// counts are the host-group lengths, no map build.
 func ServerSkewIndexed(ix *fot.TraceIndex) (*ServerSkewResult, error) {
-	failures, err := requireFailures(ix)
+	fail, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
-	perServer := make(map[uint64]int)
-	for _, tk := range failures.Tickets {
-		perServer[tk.HostID]++
-	}
-	counts := make([]int, 0, len(perServer))
+	hosts, groups := ix.FailureHostGroups()
+	counts := make([]int, len(groups))
 	var maxCount int
 	var maxHost uint64
-	for host, n := range perServer {
-		counts = append(counts, n)
-		if n > maxCount || (n == maxCount && host < maxHost) {
+	// Hosts come sorted ascending, so a strict > keeps the smallest host
+	// on ties.
+	for hi, host := range hosts {
+		n := len(groups[hi])
+		counts[hi] = n
+		if n > maxCount {
 			maxCount, maxHost = n, host
 		}
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	slices.SortFunc(counts, func(a, b int) int { return b - a })
 
 	res := &ServerSkewResult{
 		FailedServers: len(counts),
-		TotalFailures: failures.Len(),
+		TotalFailures: len(fail),
 		TopShare:      make(map[float64]float64),
 		MaxOneServer:  maxCount,
 		MaxServer:     maxHost,
@@ -112,49 +113,48 @@ func RepeatAnalysis(tr *fot.Trace) (*RepeatResult, error) {
 	return RepeatAnalysisIndexed(fot.BorrowTraceIndex(tr))
 }
 
-// RepeatAnalysisIndexed is RepeatAnalysis over a shared TraceIndex.
+// RepeatAnalysisIndexed is RepeatAnalysis over a shared TraceIndex. The
+// group key uses interned slot/type symbols: equality is all the scan
+// needs, and symbol keys hash far cheaper than strings.
 func RepeatAnalysisIndexed(ix *fot.TraceIndex) (*RepeatResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	rows, err := requireFailureRows(ix)
+	if err != nil {
 		return nil, err
 	}
+	cols := ix.Cols()
 	type groupKey struct {
 		host uint64
-		dev  fot.Component
-		slot string
-		typ  string
+		dev  uint8
+		slot uint32
+		typ  uint32
 	}
-	ordered := ix.FailuresByTime()
-	type groupState struct {
-		fixed    bool // saw a D_fixing ticket
-		repeated bool // saw a ticket after a fixing ticket
-	}
-	groups := make(map[groupKey]*groupState)
+	const (
+		gFixed    = 1 // saw a D_fixing ticket
+		gRepeated = 2 // saw a ticket after a fixing ticket
+	)
+	groups := make(map[groupKey]uint8)
 	serversWithRepeat := make(map[uint64]bool)
-	servers := make(map[uint64]bool)
-	for _, tk := range ordered.Tickets {
-		servers[tk.HostID] = true
-		k := groupKey{tk.HostID, tk.Device, tk.Slot, tk.Type}
+	for _, r := range rows {
+		k := groupKey{cols.Host[r], cols.Device[r], cols.SlotSym[r], cols.TypeSym[r]}
 		g := groups[k]
-		if g == nil {
-			g = &groupState{}
-			groups[k] = g
-		}
-		if g.fixed {
+		if g&gFixed != 0 {
 			// Same failure after a "solved" ticket: a repeat.
-			g.repeated = true
-			serversWithRepeat[tk.HostID] = true
+			g |= gRepeated
+			serversWithRepeat[cols.Host[r]] = true
 		}
-		if tk.Category == fot.Fixing {
-			g.fixed = true
+		if fot.Category(cols.Category[r]) == fot.Fixing {
+			g |= gFixed
 		}
+		groups[k] = g
 	}
-	res := &RepeatResult{FailedServers: len(servers)}
+	hosts, _ := ix.FailureHostGroups()
+	res := &RepeatResult{FailedServers: len(hosts)}
 	for _, g := range groups {
-		if !g.fixed {
+		if g&gFixed == 0 {
 			continue
 		}
 		res.FixedGroups++
-		if g.repeated {
+		if g&gRepeated != 0 {
 			res.RepeatedGroups++
 		}
 	}

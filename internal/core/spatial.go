@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"dcfail/internal/fot"
 	"dcfail/internal/stats"
@@ -51,20 +51,37 @@ func RackAnalysis(tr *fot.Trace, census *Census) (*RackAnalysisResult, error) {
 	return RackAnalysisIndexed(fot.BorrowTraceIndex(tr), census)
 }
 
-// RackAnalysisIndexed is RackAnalysis over a shared TraceIndex.
+// rackMemo is the memoized (result, error) pair for RackAnalysisIndexed.
+type rackMemo struct {
+	res *RackAnalysisResult
+	err error
+}
+
+// RackAnalysisIndexed is RackAnalysis over a shared TraceIndex,
+// memoized per index: Table IV and the hypotheses section share one
+// computation.
 func RackAnalysisIndexed(ix *fot.TraceIndex, census *Census) (*RackAnalysisResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if ix == nil || ix.Len() == 0 {
+		return nil, errEmptyTrace()
+	}
+	m := ix.Memo("core.rack", func() any {
+		res, err := rackAnalysisUncached(ix, census)
+		return rackMemo{res, err}
+	}).(rackMemo)
+	return m.res, m.err
+}
+
+func rackAnalysisUncached(ix *fot.TraceIndex, census *Census) (*RackAnalysisResult, error) {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
 	if census == nil || len(census.Datacenters) == 0 {
 		return nil, errNoTickets("census for", "rack analysis")
 	}
-	deduped := ix.FailuresFirstPerInstance()
-
 	res := &RackAnalysisResult{}
 	modern, modernOK := 0, 0
 	for _, dc := range census.Datacenters {
-		one, err := rackPositions(deduped, census, dc)
+		one, err := rackPositions(ix, census, dc)
 		if err != nil {
 			continue // facility with too little data
 		}
@@ -100,18 +117,21 @@ func RackPositions(tr *fot.Trace, census *Census, idc string) (*RackPositionResu
 
 // RackPositionsIndexed is RackPositions over a shared TraceIndex.
 func RackPositionsIndexed(ix *fot.TraceIndex, census *Census, idc string) (*RackPositionResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
 	for _, dc := range census.Datacenters {
 		if dc.ID == idc {
-			return rackPositions(ix.FailuresFirstPerInstance(), census, dc)
+			return rackPositions(ix, census, dc)
 		}
 	}
 	return nil, errNoTickets("datacenter", idc)
 }
 
-func rackPositions(failures *fot.Trace, census *Census, dc CensusDC) (*RackPositionResult, error) {
+// rackPositions scans the deduplicated failure rows of one datacenter:
+// an IDC-symbol compare and a position-column read per row, no ticket
+// copies.
+func rackPositions(ix *fot.TraceIndex, census *Census, dc CensusDC) (*RackPositionResult, error) {
 	res := &RackPositionResult{
 		IDC:       dc.ID,
 		BuiltYear: dc.BuiltYear,
@@ -126,10 +146,16 @@ func rackPositions(failures *fot.Trace, census *Census, dc CensusDC) (*RackPosit
 			res.Occupancy[s.Position]++
 		}
 	}
-	failedHosts := make(map[uint64]int) // host -> position
-	for _, tk := range failures.ByIDC(dc.ID).Tickets {
-		if tk.Position >= 1 && tk.Position <= dc.PositionsPerRack {
-			failedHosts[tk.HostID] = tk.Position
+	cols := ix.Cols()
+	failedHosts := make(map[uint64]int32) // host -> position
+	if sym, ok := cols.IDCSymOf(dc.ID); ok {
+		for _, r := range ix.FirstInstanceRows() {
+			if cols.IDCSym[r] != sym {
+				continue
+			}
+			if pos := cols.Position[r]; pos >= 1 && pos <= int32(dc.PositionsPerRack) {
+				failedHosts[cols.Host[r]] = pos
+			}
 		}
 	}
 	for _, pos := range failedHosts {
@@ -202,6 +228,6 @@ func rateAnomalies(failed, occupancy []int, positions []int, totalFailed, totalO
 			out = append(out, p)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

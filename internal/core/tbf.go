@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"time"
+
 	"dcfail/internal/fot"
 	"dcfail/internal/stats"
 )
@@ -56,6 +59,19 @@ func (r *TBFResult) AllRejected(alpha float64) bool {
 	return fitted > 0
 }
 
+// tbfGaps builds the consecutive-gap series (minutes) of time-ordered
+// rows straight off the TimeNS column.
+func tbfGaps(cols *fot.Columns, rows []int32) []float64 {
+	if len(rows) < 2 {
+		return nil
+	}
+	out := make([]float64, len(rows)-1)
+	for i := 1; i < len(rows); i++ {
+		out[i-1] = time.Duration(cols.TimeNS[rows[i]] - cols.TimeNS[rows[i-1]]).Minutes()
+	}
+	return out
+}
+
 // floorAndFit runs the shared TBF pipeline for one scope: floor zero
 // gaps, then summarize and fit every family. It mutates gaps in place —
 // callers handing over a cached slice must copy first.
@@ -81,22 +97,44 @@ func TBFAnalysis(tr *fot.Trace, c fot.Component) (*TBFResult, error) {
 	return TBFAnalysisIndexed(fot.BorrowTraceIndex(tr), c)
 }
 
-// TBFAnalysisIndexed is TBFAnalysis over a shared TraceIndex.
+// tbfMemo is the memoized (result, error) pair; the result is shared
+// between sections and must not be mutated.
+type tbfMemo struct {
+	res *TBFResult
+	err error
+}
+
+// TBFAnalysisIndexed is TBFAnalysis over a shared TraceIndex. The MLE
+// fits dominate its cost, so the result is memoized per (index,
+// component): the hypotheses section and Fig. 5 share one computation.
 func TBFAnalysisIndexed(ix *fot.TraceIndex, c fot.Component) (*TBFResult, error) {
-	failures, err := requireFailures(ix)
-	if err != nil {
+	if ix == nil || ix.Len() == 0 {
+		return nil, errEmptyTrace()
+	}
+	m := ix.Memo(fmt.Sprintf("core.tbf.%d", int(c)), func() any {
+		res, err := tbfAnalysisUncached(ix, c)
+		return tbfMemo{res, err}
+	}).(tbfMemo)
+	return m.res, m.err
+}
+
+func tbfAnalysisUncached(ix *fot.TraceIndex, c fot.Component) (*TBFResult, error) {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
+	cols := ix.Cols()
 	scope := "all"
 	var gaps []float64
+	var scopeRows []int32
 	if c != 0 {
-		failures = ix.FailuresByComponent(c)
+		scopeRows = ix.FailureRowsByComponent(c)
 		scope = c.String()
-		if failures.Len() < 16 {
+		if len(scopeRows) < 16 {
 			return nil, errNoTickets("component", c.String())
 		}
-		gaps = failures.TBF()
+		gaps = tbfGaps(cols, scopeRows)
 	} else {
+		scopeRows = ix.FailureRows()
 		gaps = append([]float64(nil), ix.FailureTBF()...)
 	}
 	if len(gaps) < 16 {
@@ -108,16 +146,21 @@ func TBFAnalysisIndexed(ix *fot.TraceIndex, c fot.Component) (*TBFResult, error)
 	if ranked := stats.RankFitsByAIC(gaps, res.Fits); len(ranked) > 0 && ranked[0].Err == nil {
 		res.BestFamily = ranked[0].Dist.Name()
 	}
-	idcs, byIDC := ix.FailureIDCs(), ix.FailuresByIDC
-	if c != 0 {
-		idcs, byIDC = failures.IDCs(), failures.ByIDC
+	// Bucket the scope's rows by IDC symbol; each bucket is already
+	// time-ordered, so its gap series falls straight out.
+	idcRows := make([][]int32, cols.IDCCount())
+	for _, r := range scopeRows {
+		sym := cols.IDCSym[r]
+		idcRows[sym] = append(idcRows[sym], r)
 	}
-	for _, idc := range idcs {
-		g := byIDC(idc).TBF()
+	for sym, rows := range idcRows {
+		g := tbfGaps(cols, rows)
 		if len(g) < 2 {
 			continue
 		}
-		res.PerIDCMTBF[idc] = stats.Mean(g)
+		if idc := cols.IDCName(uint32(sym)); idc != "" {
+			res.PerIDCMTBF[idc] = stats.Mean(g)
+		}
 	}
 	return res, nil
 }
@@ -130,16 +173,17 @@ func TBFByProductLine(tr *fot.Trace, minTickets int) (map[string]*TBFResult, err
 
 // TBFByProductLineIndexed is TBFByProductLine over a shared TraceIndex.
 func TBFByProductLineIndexed(ix *fot.TraceIndex, minTickets int) (map[string]*TBFResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	if _, err := requireFailureRows(ix); err != nil {
 		return nil, err
 	}
+	cols := ix.Cols()
 	out := make(map[string]*TBFResult)
 	for _, line := range ix.FailureProductLines() {
-		sub := ix.FailuresByProductLine(line)
-		if sub.Len() < minTickets {
+		rows := ix.FailureRowsByProductLine(line)
+		if len(rows) < minTickets {
 			continue
 		}
-		gaps := sub.TBF()
+		gaps := tbfGaps(cols, rows)
 		if len(gaps) < 16 {
 			continue
 		}

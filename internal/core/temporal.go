@@ -29,23 +29,25 @@ func DayOfWeek(tr *fot.Trace, c fot.Component) (*DayOfWeekResult, error) {
 	return DayOfWeekIndexed(fot.BorrowTraceIndex(tr), c)
 }
 
-// DayOfWeekIndexed is DayOfWeek over a shared TraceIndex.
+// DayOfWeekIndexed is DayOfWeek over a shared TraceIndex: one dense
+// count over the precomputed weekday column.
 func DayOfWeekIndexed(ix *fot.TraceIndex, c fot.Component) (*DayOfWeekResult, error) {
-	failures, err := requireFailures(ix)
+	rows, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
 	if c != 0 {
-		failures = ix.FailuresByComponent(c)
-		if failures.Len() == 0 {
+		rows = ix.FailureRowsByComponent(c)
+		if len(rows) == 0 {
 			return nil, errNoTickets("component", c.String())
 		}
 	}
+	cols := ix.Cols()
 	res := &DayOfWeekResult{Component: c}
-	for _, tk := range failures.Tickets {
-		res.Counts[int(tk.Time.Weekday())]++
+	for _, r := range rows {
+		res.Counts[cols.Weekday[r]]++
 	}
-	total := failures.Len()
+	total := len(rows)
 	for d := range res.Counts {
 		res.Fractions[d] = float64(res.Counts[d]) / float64(total)
 	}
@@ -79,23 +81,25 @@ func HourOfDay(tr *fot.Trace, c fot.Component) (*HourOfDayResult, error) {
 	return HourOfDayIndexed(fot.BorrowTraceIndex(tr), c)
 }
 
-// HourOfDayIndexed is HourOfDay over a shared TraceIndex.
+// HourOfDayIndexed is HourOfDay over a shared TraceIndex: one dense
+// count over the precomputed hour column.
 func HourOfDayIndexed(ix *fot.TraceIndex, c fot.Component) (*HourOfDayResult, error) {
-	failures, err := requireFailures(ix)
+	rows, err := requireFailureRows(ix)
 	if err != nil {
 		return nil, err
 	}
 	if c != 0 {
-		failures = ix.FailuresByComponent(c)
-		if failures.Len() == 0 {
+		rows = ix.FailureRowsByComponent(c)
+		if len(rows) == 0 {
 			return nil, errNoTickets("component", c.String())
 		}
 	}
+	cols := ix.Cols()
 	res := &HourOfDayResult{Component: c}
-	for _, tk := range failures.Tickets {
-		res.Counts[tk.Time.Hour()]++
+	for _, r := range rows {
+		res.Counts[cols.Hour[r]]++
 	}
-	total := failures.Len()
+	total := len(rows)
 	for h := range res.Counts {
 		res.Fractions[h] = float64(res.Counts[h]) / float64(total)
 	}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"dcfail/internal/fot"
@@ -38,51 +39,63 @@ func Trend(tr *fot.Trace) (*TrendResult, error) {
 	return TrendIndexed(fot.BorrowTraceIndex(tr))
 }
 
+// rowsInRange cuts the [fromNS, toNS) window out of a time-ordered row
+// slice by binary search — no per-year filter pass over the whole trace.
+func rowsInRange(cols *fot.Columns, rows []int32, fromNS, toNS int64) []int32 {
+	cmpNS := func(r int32, ns int64) int { return cmp.Compare(cols.TimeNS[r], ns) }
+	lo, _ := slices.BinarySearchFunc(rows, fromNS, cmpNS)
+	hi, _ := slices.BinarySearchFunc(rows, toNS, cmpNS)
+	return rows[lo:hi]
+}
+
 // TrendIndexed is Trend over a shared TraceIndex.
 func TrendIndexed(ix *fot.TraceIndex) (*TrendResult, error) {
-	if _, err := requireFailures(ix); err != nil {
+	fail, err := requireFailureRows(ix)
+	if err != nil {
 		return nil, err
 	}
+	cols := ix.Cols()
+	perm := ix.TimePerm()
 	lo, hi, _ := ix.FailureSpan()
 	res := &TrendResult{}
 	for year := lo.Year(); year <= hi.Year(); year++ {
-		from := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
-		to := from.AddDate(1, 0, 0)
-		all := ix.All().Between(from, to)
-		fail := all.Failures()
-		if fail.Len() == 0 {
+		fromNS := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+		toNS := time.Date(year+1, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+		allRows := rowsInRange(cols, perm, fromNS, toNS)
+		failRows := rowsInRange(cols, fail, fromNS, toNS)
+		if len(failRows) == 0 {
 			continue
 		}
 		ys := YearStats{
 			Year:     year,
-			Tickets:  all.Len(),
-			Failures: fail.Len(),
+			Tickets:  len(allRows),
+			Failures: len(failRows),
 		}
-		if gaps := fail.TBF(); len(gaps) > 0 {
+		if gaps := tbfGaps(cols, failRows); len(gaps) > 0 {
 			ys.MTBFMinutes = stats.Mean(gaps)
 		}
 		hosts := make(map[uint64]bool)
 		errs := 0
 		var rt []float64
-		for _, tk := range fail.Tickets {
-			hosts[tk.HostID] = true
-			if tk.Category == fot.Error {
+		for _, r := range failRows {
+			hosts[cols.Host[r]] = true
+			switch fot.Category(cols.Category[r]) {
+			case fot.Error:
 				errs++
-			}
-			if tk.Category == fot.Fixing {
-				if d, ok := tk.ResponseTime(); ok {
-					rt = append(rt, d.Hours()/24)
+			case fot.Fixing:
+				if ns := cols.RTNS[r]; ns >= 0 {
+					rt = append(rt, time.Duration(ns).Hours()/24)
 				}
 			}
 		}
 		ys.FailedServers = len(hosts)
-		ys.ErrorShare = float64(errs) / float64(fail.Len())
+		ys.ErrorShare = float64(errs) / float64(len(failRows))
 		if len(rt) > 0 {
 			ys.MedianRTDays = stats.Median(rt)
 		}
 		res.Years = append(res.Years, ys)
 	}
-	sort.Slice(res.Years, func(i, j int) bool { return res.Years[i].Year < res.Years[j].Year })
+	slices.SortFunc(res.Years, func(a, b YearStats) int { return a.Year - b.Year })
 	if len(res.Years) == 0 {
 		return nil, errNoTickets("years with", "failures")
 	}

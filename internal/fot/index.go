@@ -1,29 +1,90 @@
 package fot
 
 import (
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TraceIndex is a set of precomputed, shareable views over one trace: the
-// failure subset, per-component / per-IDC / per-product-line groupings, a
-// time-sorted copy, the sorted TBF gap series, the repeat-deduplicated
-// view, the failure span and UTC calendar-day buckets. It exists so that
-// the ~20 analyses of a full report — which each used to re-filter and
-// re-sort the whole trace — can share one pass over the data, and so that
-// a parallel report runner can hand every analysis the same immutable
-// snapshot.
+// TraceIndex is the columnar analysis engine over one immutable trace
+// snapshot. On first use it decomposes the tickets into
+// structure-of-arrays Columns and computes one global (time, id)
+// permutation; every view the ~20 report analyses consume — the
+// failure subset, time order, first-per-instance dedup, per-component
+// / per-IDC / per-product-line groups, day buckets, TBF gaps — is a
+// []int32 row-index slice into those shared columns. Deriving a view
+// copies no tickets and sorts nothing the permutation hasn't already
+// ordered.
 //
-// Immutability contract: NewTraceIndex deep-copies the source tickets, so
-// mutating the source trace afterwards (SortByTime, editing tickets)
-// never changes what the index serves. In exchange, everything an index
-// method returns — traces, slices, maps — is shared and must be treated
-// as read-only by callers. Views are built lazily on first use and cached
-// under sync.Once, so a TraceIndex is safe for concurrent use by any
-// number of goroutines.
+// Two API layers share the engine:
+//
+//   - Row views (FailureRows, FailureRowsByComponent, Cols, …) are the
+//     hot path: internal/core iterates row indices over dense columns.
+//   - The legacy *Trace views (Failures, ByCategory, …) materialize
+//     real ticket slices lazily, preserving their documented trace-
+//     order semantics for callers that still want tickets.
+//
+// Immutability contract: NewTraceIndex deep-copies the source tickets,
+// so mutating the source trace afterwards never changes what the index
+// serves. In exchange, everything an index method returns — traces,
+// slices, maps, columns — is shared and must be treated as read-only
+// by callers. Views are built lazily under sync.Once, so a TraceIndex
+// is safe for concurrent use by any number of goroutines.
 type TraceIndex struct {
 	all *Trace
 
+	// prev chains an incrementally-extended index (ExtendTraceIndex) to
+	// its predecessor until the columns are built, letting serve's
+	// epoch snapshots reuse the previous epoch's decomposition and
+	// permutation instead of re-deriving them from scratch.
+	prev atomic.Pointer[TraceIndex]
+
+	colsOnce sync.Once
+	cols     atomic.Pointer[Columns]
+
+	failRowsOnce sync.Once
+	failRows     []int32 // failures in (time, id) order
+
+	firstRowsOnce sync.Once
+	firstRows     []int32 // first-per-instance failures, (time, id) order
+
+	catRowsOnce sync.Once
+	catRows     [][]int32 // per Category code, (time, id) order, all tickets
+
+	failCompRowsOnce sync.Once
+	failCompRows     [][]int32 // failures per Component code, (time, id) order
+
+	allCompRowsOnce sync.Once
+	allCompRows     [][]int32 // all tickets per Component code, (time, id) order
+
+	idcRowsOnce  sync.Once
+	failIDCRows  [][]int32 // failures per IDC symbol, (time, id) order
+	failIDCNames []string  // sorted distinct IDCs among failures
+
+	lineRowsOnce  sync.Once
+	failLineRows  [][]int32 // failures per product-line symbol, (time, id) order
+	failLineNames []string  // sorted distinct product lines among failures
+
+	hostRowsOnce  sync.Once
+	failHosts     []uint64  // ascending distinct failing hosts
+	failHostRows  [][]int32 // failures per failHosts[i], (time, id) order
+	firstHostRows [][]int32 // first-per-instance rows per failHosts[i]
+
+	countOnce      sync.Once
+	failCompCounts []int // failures per Component code
+
+	dayOnce   sync.Once
+	dayCounts [][]int32 // failures per Component code per relative UTC day
+	dayCount  int
+
+	tbfOnce sync.Once
+	tbf     []float64
+
+	memoMu sync.Mutex
+	memo   map[string]*memoEntry
+
+	// Lazily materialized legacy *Trace views.
 	failuresOnce sync.Once
 	failures     *Trace
 
@@ -44,25 +105,15 @@ type TraceIndex struct {
 
 	failIDCOnce sync.Once
 	failByIDC   map[string]*Trace
-	failIDCs    []string
 
 	failLineOnce sync.Once
 	failByLine   map[string]*Trace
-	failLines    []string
 
-	countOnce   sync.Once
-	failByClass map[Component]int
+	countMapOnce sync.Once
+	failByClass  map[Component]int
 
-	spanOnce       sync.Once
-	spanLo, spanHi time.Time
-	spanOK         bool
-
-	tbfOnce sync.Once
-	tbf     []float64
-
-	dayOnce    sync.Once
+	dayMapOnce sync.Once
 	dayBuckets map[Component]map[int]int
-	dayCount   int
 }
 
 // NewTraceIndex builds an index over a private snapshot of tr. The source
@@ -86,11 +137,346 @@ func BorrowTraceIndex(tr *Trace) *TraceIndex {
 	return &TraceIndex{all: tr}
 }
 
+// ExtendTraceIndex indexes tr as an incremental extension of prev: tr
+// must contain prev's tickets as a value-identical prefix (the serve
+// epoch model — one append-only slice, each epoch a longer prefix).
+// Column decomposition and the global permutation are then reused from
+// prev and only the tail is decomposed and merged, keeping per-epoch
+// cost proportional to the batch, not the history. Like
+// BorrowTraceIndex, the caller must not mutate tr afterwards. A prev
+// of nil (or one that is not actually a prefix) degrades to
+// BorrowTraceIndex semantics with a fresh build.
+func ExtendTraceIndex(prev *TraceIndex, tr *Trace) *TraceIndex {
+	if tr == nil {
+		return &TraceIndex{all: &Trace{}}
+	}
+	ix := &TraceIndex{all: tr}
+	if prev != nil && prev.Len() <= tr.Len() {
+		ix.prev.Store(prev)
+	}
+	return ix
+}
+
 // Len returns the number of tickets in the indexed snapshot.
 func (ix *TraceIndex) Len() int { return ix.all.Len() }
 
 // All returns the indexed snapshot in original trace order.
 func (ix *TraceIndex) All() *Trace { return ix.all }
+
+// Cols returns the shared column decomposition, building it on first
+// use. An extended index reuses the nearest built ancestor's columns
+// and decomposes only its tail rows.
+func (ix *TraceIndex) Cols() *Columns {
+	ix.colsOnce.Do(func() {
+		var built *Columns
+		// Walk the epoch chain to the nearest ancestor whose columns
+		// exist; unbuilt intermediate epochs are skipped (their prefix
+		// is ours too).
+		for p := ix.prev.Load(); p != nil; p = p.prev.Load() {
+			if pc := p.cols.Load(); pc != nil {
+				built = extend(pc, ix.all.Tickets)
+				break
+			}
+		}
+		if built == nil {
+			built = buildColumns(ix.all.Tickets)
+		}
+		ix.cols.Store(built)
+		ix.prev.Store(nil) // release the chain for GC
+	})
+	return ix.cols.Load()
+}
+
+// TimePerm returns every row ordered by (time, id) — the one global
+// permutation all time-ordered views are subsequences of.
+func (ix *TraceIndex) TimePerm() []int32 { return ix.Cols().Perm() }
+
+// FailureRows returns the D_fixing + D_error rows in (time, id) order.
+func (ix *TraceIndex) FailureRows() []int32 {
+	ix.failRowsOnce.Do(func() {
+		cols := ix.Cols()
+		perm := cols.Perm()
+		n := 0
+		for _, r := range perm {
+			if Category(cols.Category[r]).IsFailure() {
+				n++
+			}
+		}
+		rows := make([]int32, 0, n)
+		for _, r := range perm {
+			if Category(cols.Category[r]).IsFailure() {
+				rows = append(rows, r)
+			}
+		}
+		ix.failRows = rows
+	})
+	return ix.failRows
+}
+
+// FirstInstanceRows returns the repeat-deduplicated failure rows: the
+// first row of each (host, device, slot, type) group in (time, id)
+// order — the paper's "filter out repeating failures" step.
+func (ix *TraceIndex) FirstInstanceRows() []int32 {
+	ix.firstRowsOnce.Do(func() {
+		cols := ix.Cols()
+		fail := ix.FailureRows()
+		type key struct {
+			host      uint64
+			dev       uint8
+			slot, typ uint32
+		}
+		seen := make(map[key]struct{}, len(fail))
+		rows := make([]int32, 0, len(fail))
+		for _, r := range fail {
+			k := key{cols.Host[r], cols.Device[r], cols.SlotSym[r], cols.TypeSym[r]}
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			rows = append(rows, r)
+		}
+		ix.firstRows = rows
+	})
+	return ix.firstRows
+}
+
+// partitionRows is one counting-sort pass: scatter src rows (already in
+// a canonical order) into one group per code, preserving order.
+func partitionRows(src []int32, codes int, codeOf func(int32) int) [][]int32 {
+	counts := make([]int32, codes)
+	for _, r := range src {
+		counts[codeOf(r)]++
+	}
+	backing := make([]int32, len(src))
+	groups := make([][]int32, codes)
+	off := int32(0)
+	for c, n := range counts {
+		groups[c] = backing[off : off : off+n]
+		off += n
+	}
+	for _, r := range src {
+		c := codeOf(r)
+		groups[c] = append(groups[c], r)
+	}
+	return groups
+}
+
+// RowsByCategory returns all rows of one category in (time, id) order.
+func (ix *TraceIndex) RowsByCategory(c Category) []int32 {
+	ix.catRowsOnce.Do(func() {
+		cols := ix.Cols()
+		ix.catRows = partitionRows(cols.Perm(), int(FalseAlarm)+1, func(r int32) int {
+			cat := int(cols.Category[r])
+			if cat > int(FalseAlarm) {
+				cat = 0 // invalid categories bucket at 0, never served
+			}
+			return cat
+		})
+	})
+	if c < 0 || int(c) >= len(ix.catRows) {
+		return nil
+	}
+	return ix.catRows[c]
+}
+
+// FailureRowsByComponent returns the failure rows of one component
+// class in (time, id) order.
+func (ix *TraceIndex) FailureRowsByComponent(c Component) []int32 {
+	ix.failCompRowsOnce.Do(func() {
+		cols := ix.Cols()
+		ix.failCompRows = partitionRows(ix.FailureRows(), numComponents+1, func(r int32) int {
+			return int(cols.Device[r])
+		})
+	})
+	if c < 1 || int(c) > numComponents {
+		return nil
+	}
+	return ix.failCompRows[c]
+}
+
+// AllRowsByComponent returns every row (false alarms included) of one
+// component class in (time, id) order.
+func (ix *TraceIndex) AllRowsByComponent(c Component) []int32 {
+	ix.allCompRowsOnce.Do(func() {
+		cols := ix.Cols()
+		ix.allCompRows = partitionRows(cols.Perm(), numComponents+1, func(r int32) int {
+			return int(cols.Device[r])
+		})
+	})
+	if c < 1 || int(c) > numComponents {
+		return nil
+	}
+	return ix.allCompRows[c]
+}
+
+// buildSymGroups partitions failure rows by a symbol column and
+// resolves the occupied symbols' sorted names.
+func buildSymGroups(rows []int32, col []uint32, syms int, name func(uint32) string) (groups [][]int32, names []string) {
+	groups = partitionRows(rows, syms, func(r int32) int { return int(col[r]) })
+	names = make([]string, 0, syms)
+	for sym, g := range groups {
+		if len(g) > 0 && name(uint32(sym)) != "" {
+			names = append(names, name(uint32(sym)))
+		}
+	}
+	slices.Sort(names)
+	return groups, names
+}
+
+func (ix *TraceIndex) buildIDCRows() {
+	ix.idcRowsOnce.Do(func() {
+		cols := ix.Cols()
+		ix.failIDCRows, ix.failIDCNames = buildSymGroups(ix.FailureRows(), cols.IDCSym, cols.IDCCount(), cols.IDCName)
+	})
+}
+
+// FailureRowsByIDC returns the failure rows of one datacenter in
+// (time, id) order.
+func (ix *TraceIndex) FailureRowsByIDC(idc string) []int32 {
+	ix.buildIDCRows()
+	if sym, ok := ix.Cols().IDCSymOf(idc); ok {
+		return ix.failIDCRows[sym]
+	}
+	return nil
+}
+
+func (ix *TraceIndex) buildLineRows() {
+	ix.lineRowsOnce.Do(func() {
+		cols := ix.Cols()
+		ix.failLineRows, ix.failLineNames = buildSymGroups(ix.FailureRows(), cols.LineSym, cols.LineCount(), cols.LineName)
+	})
+}
+
+// FailureRowsByProductLine returns the failure rows of one product line
+// in (time, id) order.
+func (ix *TraceIndex) FailureRowsByProductLine(line string) []int32 {
+	ix.buildLineRows()
+	if sym, ok := ix.Cols().LineSymOf(line); ok {
+		return ix.failLineRows[sym]
+	}
+	return nil
+}
+
+func (ix *TraceIndex) buildHostRows() {
+	ix.hostRowsOnce.Do(func() {
+		cols := ix.Cols()
+		fail := ix.FailureRows()
+		idx := make(map[uint64]int32, 256)
+		hosts := make([]uint64, 0, 256)
+		for _, r := range fail {
+			h := cols.Host[r]
+			if _, ok := idx[h]; !ok {
+				idx[h] = 0
+				hosts = append(hosts, h)
+			}
+		}
+		slices.Sort(hosts)
+		for i, h := range hosts {
+			idx[h] = int32(i)
+		}
+		hostOf := func(r int32) int { return int(idx[cols.Host[r]]) }
+		ix.failHostRows = partitionRows(fail, len(hosts), hostOf)
+		ix.firstHostRows = partitionRows(ix.FirstInstanceRows(), len(hosts), hostOf)
+		ix.failHosts = hosts
+	})
+}
+
+// FailureHostGroups returns the ascending distinct failing hosts and,
+// aligned with them, each host's failure rows in (time, id) order.
+func (ix *TraceIndex) FailureHostGroups() ([]uint64, [][]int32) {
+	ix.buildHostRows()
+	return ix.failHosts, ix.failHostRows
+}
+
+// FirstInstanceHostGroups returns the ascending distinct failing hosts
+// and each host's first-per-instance rows in (time, id) order. Hosts
+// whose failures are all repeats have empty groups.
+func (ix *TraceIndex) FirstInstanceHostGroups() ([]uint64, [][]int32) {
+	ix.buildHostRows()
+	return ix.failHosts, ix.firstHostRows
+}
+
+// FailureComponentCounts tallies failures per component code into a
+// dense array of length numComponents+1 (index by Component value).
+func (ix *TraceIndex) FailureComponentCounts() []int {
+	ix.countOnce.Do(func() {
+		cols := ix.Cols()
+		counts := make([]int, numComponents+1)
+		for _, r := range ix.FailureRows() {
+			counts[cols.Device[r]]++
+		}
+		ix.failCompCounts = counts
+	})
+	return ix.failCompCounts
+}
+
+// FailureDayCounts returns, per component code, the number of failures
+// on each UTC calendar day (index 0 = the first failure's date), and
+// the total number of calendar days the failure span touches.
+func (ix *TraceIndex) FailureDayCounts() ([][]int32, int) {
+	ix.dayOnce.Do(func() {
+		cols := ix.Cols()
+		fail := ix.FailureRows()
+		if len(fail) == 0 {
+			return
+		}
+		first := cols.DayIdx[fail[0]]
+		last := first
+		for _, r := range fail {
+			if d := cols.DayIdx[r]; d > last {
+				last = d
+			}
+		}
+		ix.dayCount = int(last-first) + 1
+		counts := make([][]int32, numComponents+1)
+		for _, r := range fail {
+			dev := cols.Device[r]
+			if counts[dev] == nil {
+				counts[dev] = make([]int32, ix.dayCount)
+			}
+			counts[dev][cols.DayIdx[r]-first]++
+		}
+		ix.dayCounts = counts
+	})
+	return ix.dayCounts, ix.dayCount
+}
+
+// memoEntry computes one cached analysis result exactly once.
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// Memo returns the cached value for key, running build on first use.
+// It exists so analyses that feed several report sections (TBF fits,
+// rack skew, day-of-week profiles) are computed once per snapshot even
+// when sections run concurrently; build runs at most once per key and
+// its result is shared, so it must return immutable data.
+func (ix *TraceIndex) Memo(key string, build func() any) any {
+	ix.memoMu.Lock()
+	if ix.memo == nil {
+		ix.memo = make(map[string]*memoEntry)
+	}
+	e := ix.memo[key]
+	if e == nil {
+		e = &memoEntry{}
+		ix.memo[key] = e
+	}
+	ix.memoMu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}
+
+// materialize copies the rows' tickets into a real Trace, for the
+// legacy views.
+func (ix *TraceIndex) materialize(rows []int32) *Trace {
+	cols := ix.Cols()
+	out := make([]Ticket, len(rows))
+	for i, r := range rows {
+		out[i] = cols.tickets[r]
+	}
+	return &Trace{Tickets: out}
+}
 
 // Failures returns the D_fixing + D_error subset in trace order.
 func (ix *TraceIndex) Failures() *Trace {
@@ -101,11 +487,7 @@ func (ix *TraceIndex) Failures() *Trace {
 // FailuresByTime returns the failure subset sorted by detection time
 // (ties by ID).
 func (ix *TraceIndex) FailuresByTime() *Trace {
-	ix.byTimeOnce.Do(func() {
-		ordered := ix.Failures().Clone()
-		ordered.SortByTime()
-		ix.byTime = ordered
-	})
+	ix.byTimeOnce.Do(func() { ix.byTime = ix.materialize(ix.FailureRows()) })
 	return ix.byTime
 }
 
@@ -113,7 +495,7 @@ func (ix *TraceIndex) FailuresByTime() *Trace {
 // the first ticket of each (host, device, slot, type) group in time
 // order, as used by the spatial, lifecycle and correlated-pair analyses.
 func (ix *TraceIndex) FailuresFirstPerInstance() *Trace {
-	ix.firstOnce.Do(func() { ix.first = firstPerInstance(ix.FailuresByTime().Tickets) })
+	ix.firstOnce.Do(func() { ix.first = ix.materialize(ix.FirstInstanceRows()) })
 	return ix.first
 }
 
@@ -176,20 +558,12 @@ func groupByComponent(tr *Trace) map[Component]*Trace {
 // FailureIDCs returns the sorted set of datacenters present among the
 // failures.
 func (ix *TraceIndex) FailureIDCs() []string {
-	ix.buildIDCViews()
-	return ix.failIDCs
+	ix.buildIDCRows()
+	return ix.failIDCNames
 }
 
 // FailuresByIDC returns the failures of one datacenter, in trace order.
 func (ix *TraceIndex) FailuresByIDC(idc string) *Trace {
-	ix.buildIDCViews()
-	if sub := ix.failByIDC[idc]; sub != nil {
-		return sub
-	}
-	return &Trace{}
-}
-
-func (ix *TraceIndex) buildIDCViews() {
 	ix.failIDCOnce.Do(func() {
 		ix.failByIDC = make(map[string]*Trace)
 		for _, tk := range ix.Failures().Tickets {
@@ -200,28 +574,23 @@ func (ix *TraceIndex) buildIDCViews() {
 			}
 			sub.Tickets = append(sub.Tickets, tk)
 		}
-		ix.failIDCs = ix.Failures().IDCs()
 	})
-}
-
-// FailureProductLines returns the sorted set of product lines present
-// among the failures.
-func (ix *TraceIndex) FailureProductLines() []string {
-	ix.buildLineViews()
-	return ix.failLines
-}
-
-// FailuresByProductLine returns the failures of one product line, in
-// trace order.
-func (ix *TraceIndex) FailuresByProductLine(pl string) *Trace {
-	ix.buildLineViews()
-	if sub := ix.failByLine[pl]; sub != nil {
+	if sub := ix.failByIDC[idc]; sub != nil {
 		return sub
 	}
 	return &Trace{}
 }
 
-func (ix *TraceIndex) buildLineViews() {
+// FailureProductLines returns the sorted set of product lines present
+// among the failures.
+func (ix *TraceIndex) FailureProductLines() []string {
+	ix.buildLineRows()
+	return ix.failLineNames
+}
+
+// FailuresByProductLine returns the failures of one product line, in
+// trace order.
+func (ix *TraceIndex) FailuresByProductLine(pl string) *Trace {
 	ix.failLineOnce.Do(func() {
 		ix.failByLine = make(map[string]*Trace)
 		for _, tk := range ix.Failures().Tickets {
@@ -232,28 +601,54 @@ func (ix *TraceIndex) buildLineViews() {
 			}
 			sub.Tickets = append(sub.Tickets, tk)
 		}
-		ix.failLines = ix.Failures().ProductLines()
 	})
+	if sub := ix.failByLine[pl]; sub != nil {
+		return sub
+	}
+	return &Trace{}
 }
 
 // FailureCountByComponent tallies failures per component class.
 func (ix *TraceIndex) FailureCountByComponent() map[Component]int {
-	ix.countOnce.Do(func() { ix.failByClass = ix.Failures().CountByComponent() })
+	ix.countMapOnce.Do(func() {
+		counts := ix.FailureComponentCounts()
+		ix.failByClass = make(map[Component]int, numComponents)
+		for c, n := range counts {
+			if n > 0 {
+				ix.failByClass[Component(c)] = n
+			}
+		}
+	})
 	return ix.failByClass
 }
 
 // FailureSpan returns the earliest and latest failure detection times,
 // and false when there are no failures.
 func (ix *TraceIndex) FailureSpan() (lo, hi time.Time, ok bool) {
-	ix.spanOnce.Do(func() { ix.spanLo, ix.spanHi, ix.spanOK = ix.Failures().Span() })
-	return ix.spanLo, ix.spanHi, ix.spanOK
+	fail := ix.FailureRows()
+	if len(fail) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	cols := ix.Cols()
+	return cols.tickets[fail[0]].Time, cols.tickets[fail[len(fail)-1]].Time, true
 }
 
 // FailureTBF returns the time-between-failures series of the failure
 // subset in minutes. The slice is cached and shared: callers that modify
 // gaps (e.g. zero-gap flooring before a fit) must copy it first.
 func (ix *TraceIndex) FailureTBF() []float64 {
-	ix.tbfOnce.Do(func() { ix.tbf = ix.Failures().TBF() })
+	ix.tbfOnce.Do(func() {
+		fail := ix.FailureRows()
+		if len(fail) < 2 {
+			return
+		}
+		cols := ix.Cols()
+		gaps := make([]float64, len(fail)-1)
+		for i := 1; i < len(fail); i++ {
+			gaps[i-1] = time.Duration(cols.TimeNS[fail[i]] - cols.TimeNS[fail[i-1]]).Minutes()
+		}
+		ix.tbf = gaps
+	})
 	return ix.tbf
 }
 
@@ -274,21 +669,23 @@ func utcDayIndex(t time.Time) int {
 // straddling midnight counts on two days, exactly as the paper's
 // "study days" denominator implies.
 func (ix *TraceIndex) FailureDayBuckets() (map[Component]map[int]int, int) {
-	ix.dayOnce.Do(func() {
-		ix.dayBuckets = make(map[Component]map[int]int)
-		lo, hi, ok := ix.FailureSpan()
-		if !ok {
+	ix.dayMapOnce.Do(func() {
+		counts, days := ix.FailureDayCounts()
+		if days == 0 {
 			return
 		}
-		first := utcDayIndex(lo)
-		ix.dayCount = utcDayIndex(hi) - first + 1
-		for _, tk := range ix.Failures().Tickets {
-			m := ix.dayBuckets[tk.Device]
-			if m == nil {
-				m = make(map[int]int)
-				ix.dayBuckets[tk.Device] = m
+		ix.dayBuckets = make(map[Component]map[int]int)
+		for c, daily := range counts {
+			if daily == nil {
+				continue
 			}
-			m[utcDayIndex(tk.Time)-first]++
+			m := make(map[int]int)
+			for d, n := range daily {
+				if n > 0 {
+					m[d] = int(n)
+				}
+			}
+			ix.dayBuckets[Component(c)] = m
 		}
 	})
 	return ix.dayBuckets, ix.dayCount

@@ -1,7 +1,8 @@
 package fot
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 )
 
@@ -30,12 +31,11 @@ func (tr *Trace) Clone() *Trace {
 
 // SortByTime orders tickets by detection time (ties by ID) in place.
 func (tr *Trace) SortByTime() {
-	sort.Slice(tr.Tickets, func(i, j int) bool {
-		a, b := tr.Tickets[i], tr.Tickets[j]
-		if !a.Time.Equal(b.Time) {
-			return a.Time.Before(b.Time)
+	slices.SortFunc(tr.Tickets, func(a, b Ticket) int {
+		if d := a.Time.Compare(b.Time); d != 0 {
+			return d
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -149,7 +149,7 @@ func (tr *Trace) distinctString(key func(Ticket) string) []string {
 	for k := range set {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -203,7 +203,7 @@ func (tr *Trace) TBF() []float64 {
 		return nil
 	}
 	times := tr.Times()
-	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	slices.SortFunc(times, func(a, b time.Time) int { return a.Compare(b) })
 	out := make([]float64, 0, len(times)-1)
 	for i := 1; i < len(times); i++ {
 		out = append(out, times[i].Sub(times[i-1]).Minutes())

@@ -18,6 +18,7 @@ package mine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -60,8 +61,8 @@ func NewIndex(tr *fot.Trace) (*Index, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return tr.Tickets[order[a]].Time.Before(tr.Tickets[order[b]].Time)
+	slices.SortStableFunc(order, func(a, b int) int {
+		return tr.Tickets[a].Time.Compare(tr.Tickets[b].Time)
 	})
 	for _, i := range order {
 		t := &tr.Tickets[i]
@@ -267,11 +268,14 @@ func ChronicServers(tr *fot.Trace, n, minRepeats int) ([]ChronicServer, error) {
 			Span:             agg.hi.Sub(agg.lo),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].WorstSlotRepeats != out[j].WorstSlotRepeats {
-			return out[i].WorstSlotRepeats > out[j].WorstSlotRepeats
+	slices.SortFunc(out, func(a, b ChronicServer) int {
+		if a.WorstSlotRepeats != b.WorstSlotRepeats {
+			return b.WorstSlotRepeats - a.WorstSlotRepeats
 		}
-		return out[i].HostID < out[j].HostID
+		if a.HostID < b.HostID {
+			return -1
+		}
+		return 1
 	})
 	if len(out) > n {
 		out = out[:n]

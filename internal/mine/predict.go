@@ -2,7 +2,7 @@ package mine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"dcfail/internal/fot"
@@ -38,36 +38,65 @@ type PredictorEval struct {
 // False alarms are excluded; both D_fixing and D_error tickets count
 // (a prediction is useful either way).
 func EvaluateWarningPredictor(tr *fot.Trace, horizon time.Duration) (*PredictorEval, error) {
-	if tr == nil || tr.Len() == 0 {
+	return EvaluateWarningPredictorIndexed(fot.BorrowTraceIndex(tr), horizon)
+}
+
+// EvaluateWarningPredictorIndexed is EvaluateWarningPredictor over a
+// shared TraceIndex. The failure rows arrive time-ordered, so the
+// per-slot warning and fatal timestamp lists come out pre-sorted — no
+// per-slot sort pass — and the fatal-type verdict is cached per
+// (device, type-symbol) code.
+func EvaluateWarningPredictorIndexed(ix *fot.TraceIndex, horizon time.Duration) (*PredictorEval, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, fmt.Errorf("mine: empty trace")
 	}
 	if horizon <= 0 {
 		horizon = 10 * 24 * time.Hour
 	}
-	failures := tr.Failures()
+	fail := ix.FailureRows()
+	cols := ix.Cols()
 
-	// Per component instance, the time-ordered warning and fatal lists.
-	type lists struct {
-		warnings []time.Time
-		fatals   []time.Time
+	// Pass 1: map each eligible row to a dense slot index and count the
+	// per-slot warning/fatal populations. Two counting-sort passes beat a
+	// map of per-slot pointer lists: one backing array per side instead
+	// of two grown slices per component instance.
+	type instKey struct {
+		host uint64
+		dev  uint8
+		slot uint32
 	}
-	perSlot := make(map[slotKey]*lists)
+	fatalByCode := make(map[uint64]bool)
+	slotIdx := make(map[instKey]int32)
+	rowSlot := make([]int32, 0, len(fail)) // dense slot per eligible row
+	rowFatal := make([]bool, 0, len(fail))
+	var warnN, fatalN []int32
 	eval := &PredictorEval{Horizon: horizon}
-	for _, t := range failures.Tickets {
-		if t.Device == fot.Misc {
+	for _, r := range fail {
+		dev := fot.Component(cols.Device[r])
+		if dev == fot.Misc {
 			continue // manual reports are not detector output
 		}
-		sk := slotKey{t.HostID, t.Device, t.Slot}
-		l := perSlot[sk]
-		if l == nil {
-			l = &lists{}
-			perSlot[sk] = l
+		sk := instKey{cols.Host[r], cols.Device[r], cols.SlotSym[r]}
+		si, ok := slotIdx[sk]
+		if !ok {
+			si = int32(len(warnN))
+			slotIdx[sk] = si
+			warnN = append(warnN, 0)
+			fatalN = append(fatalN, 0)
 		}
-		if fot.IsFatalType(t.Device, t.Type) {
-			l.fatals = append(l.fatals, t.Time)
+		code := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		fatal, ok := fatalByCode[code]
+		if !ok {
+			fatal = fot.IsFatalType(dev, cols.TypeName(cols.TypeSym[r]))
+			fatalByCode[code] = fatal
+		}
+		rowSlot = append(rowSlot, si)
+		rowFatal = append(rowFatal, fatal)
+		if fatal {
+			fatalN[si]++
 			eval.Fatals++
 		} else {
-			l.warnings = append(l.warnings, t.Time)
+			warnN[si]++
 			eval.Warnings++
 		}
 	}
@@ -76,28 +105,55 @@ func EvaluateWarningPredictor(tr *fot.Trace, horizon time.Duration) (*PredictorE
 			map[bool]string{true: "warnings", false: "fatal failures"}[eval.Fatals > 0])
 	}
 
+	// Pass 2: partition the timestamps into per-slot sub-slices. The rows
+	// were visited in time order, so every sub-slice comes out sorted.
+	nSlots := len(warnN)
+	warnOff := make([]int32, nSlots+1)
+	fatalOff := make([]int32, nSlots+1)
+	for s := 0; s < nSlots; s++ {
+		warnOff[s+1] = warnOff[s] + warnN[s]
+		fatalOff[s+1] = fatalOff[s] + fatalN[s]
+	}
+	warnTimes := make([]int64, eval.Warnings)
+	fatalTimes := make([]int64, eval.Fatals)
+	warnFill := make([]int32, nSlots)
+	fatalFill := make([]int32, nSlots)
+	copy(warnFill, warnOff[:nSlots])
+	copy(fatalFill, fatalOff[:nSlots])
+	ei := 0
+	for _, r := range fail {
+		if fot.Component(cols.Device[r]) == fot.Misc {
+			continue
+		}
+		si := rowSlot[ei]
+		if rowFatal[ei] {
+			fatalTimes[fatalFill[si]] = cols.TimeNS[r]
+			fatalFill[si]++
+		} else {
+			warnTimes[warnFill[si]] = cols.TimeNS[r]
+			warnFill[si]++
+		}
+		ei++
+	}
+
+	horizonNS := int64(horizon)
 	var leads []float64
-	for _, l := range perSlot {
-		sort.Slice(l.warnings, func(i, j int) bool { return l.warnings[i].Before(l.warnings[j]) })
-		sort.Slice(l.fatals, func(i, j int) bool { return l.fatals[i].Before(l.fatals[j]) })
+	for s := 0; s < nSlots; s++ {
+		warnings := warnTimes[warnOff[s]:warnOff[s+1]]
+		fatals := fatalTimes[fatalOff[s]:fatalOff[s+1]]
 		// Recall side: each fatal, was there a warning in [f-h, f)?
-		for _, f := range l.fatals {
-			i := sort.Search(len(l.warnings), func(i int) bool {
-				return !l.warnings[i].Before(f.Add(-horizon))
-			})
-			if i < len(l.warnings) && l.warnings[i].Before(f) {
+		for _, f := range fatals {
+			i, _ := slices.BinarySearch(warnings, f-horizonNS)
+			if i < len(warnings) && warnings[i] < f {
 				eval.PredictedFatals++
 				// Lead time from the earliest in-horizon warning.
-				//lint:ignore maporder leads only feeds stats.Median, which copies and sorts before selecting: slot iteration order cannot reach the output
-				leads = append(leads, f.Sub(l.warnings[i]).Hours())
+				leads = append(leads, time.Duration(f-warnings[i]).Hours())
 			}
 		}
 		// Precision side: each warning, does a fatal follow in (w, w+h]?
-		for _, w := range l.warnings {
-			i := sort.Search(len(l.fatals), func(i int) bool {
-				return l.fatals[i].After(w)
-			})
-			if i < len(l.fatals) && !l.fatals[i].After(w.Add(horizon)) {
+		for _, w := range warnings {
+			i, _ := slices.BinarySearch(fatals, w+1)
+			if i < len(fatals) && fatals[i] <= w+horizonNS {
 				eval.UsefulWarnings++
 			}
 		}

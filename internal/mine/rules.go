@@ -2,7 +2,8 @@ package mine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"dcfail/internal/fot"
@@ -44,7 +45,25 @@ type Rule struct {
 // over hosts gives the expected support under independence — so chronic
 // hosts that simply see everything do not masquerade as correlations.
 func MineRules(tr *fot.Trace, window time.Duration, minSupport int, minLift float64) ([]Rule, error) {
-	if tr == nil || tr.Len() == 0 {
+	return MineRulesIndexed(fot.BorrowTraceIndex(tr), window, minSupport, minLift)
+}
+
+// pairAgg accumulates one item pair's observed support and chance
+// baseline. Hosts arrive in ascending unique order, so a last-host
+// sentinel replaces the per-pair host set.
+type pairAgg struct {
+	support  int
+	lastHost uint64
+	hasHost  bool
+	expected float64
+}
+
+// MineRulesIndexed is MineRules over a shared TraceIndex: items are
+// (device, type-symbol) codes, host groups come pre-sorted from the
+// index, and the expected-support sum runs in ascending host order — the
+// float accumulation is reproducible regardless of input order.
+func MineRulesIndexed(ix *fot.TraceIndex, window time.Duration, minSupport int, minLift float64) ([]Rule, error) {
+	if ix == nil || ix.Len() == 0 {
 		return nil, fmt.Errorf("mine: empty trace")
 	}
 	if window <= 0 {
@@ -54,111 +73,140 @@ func MineRules(tr *fot.Trace, window time.Duration, minSupport int, minLift floa
 		minSupport = 1
 	}
 
-	failures := tr.Failures()
-	lo, hi, ok := failures.Span()
-	if !ok || !hi.After(lo) {
+	fail := ix.FailureRows()
+	cols := ix.Cols()
+	if len(fail) == 0 {
 		return nil, fmt.Errorf("mine: no failed servers")
 	}
-	chancePerPair := 2 * window.Hours() / hi.Sub(lo).Hours()
-	byHost := failures.GroupByHost()
-	pairs := make(map[[2]Item]*pairAgg)
-	for host, tickets := range byHost {
-		sort.Slice(tickets, func(i, j int) bool {
-			return tickets[i].Time.Before(tickets[j].Time)
-		})
-		// Per-host item counts for the chance baseline.
-		itemCounts := make(map[Item]int)
-		for _, t := range tickets {
-			itemCounts[Item{t.Device, t.Type}]++
+	loNS, hiNS := cols.TimeNS[fail[0]], cols.TimeNS[fail[len(fail)-1]]
+	if hiNS <= loNS {
+		return nil, fmt.Errorf("mine: no failed servers")
+	}
+	chancePerPair := 2 * window.Hours() / time.Duration(hiNS-loNS).Hours()
+	windowNS := int64(window)
+
+	// Rank type symbols by name so item ordering (device, then type
+	// string) works on codes without resolving strings in the loops.
+	rank := make([]int32, cols.TypeCount())
+	order := make([]uint32, cols.TypeCount())
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	slices.SortFunc(order, func(a, b uint32) int {
+		return strings.Compare(cols.TypeName(a), cols.TypeName(b))
+	})
+	for r, sym := range order {
+		rank[sym] = int32(r)
+	}
+	itemCode := func(r int32) uint64 {
+		return uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+	}
+	itemLess := func(a, b uint64) bool {
+		if da, db := a>>32, b>>32; da != db {
+			return da < db
 		}
-		// Expected co-occurrence for every item pair this host carries.
-		items := make([]Item, 0, len(itemCounts))
-		for it := range itemCounts {
+		return rank[uint32(a)] < rank[uint32(b)]
+	}
+
+	hosts, groups := ix.FailureHostGroups()
+	pairs := make(map[[2]uint64]*pairAgg)
+	var items []uint64 // scratch, reused across hosts
+	counts := make(map[uint64]int)
+	for hi, rows := range groups {
+		host := hosts[hi]
+		// Per-host item counts for the chance baseline.
+		clear(counts)
+		for _, r := range rows {
+			counts[itemCode(r)]++
+		}
+		items = items[:0]
+		for it := range counts {
 			items = append(items, it)
 		}
-		sort.Slice(items, func(i, j int) bool {
-			if items[i].Device != items[j].Device {
-				return items[i].Device < items[j].Device
+		slices.SortFunc(items, func(a, b uint64) int {
+			if itemLess(a, b) {
+				return -1
+			} else if itemLess(b, a) {
+				return 1
 			}
-			return items[i].Type < items[j].Type
+			return 0
 		})
+		// Expected co-occurrence for every item pair this host carries.
 		for i := 0; i < len(items); i++ {
 			for j := i + 1; j < len(items); j++ {
-				p := chancePerPair * float64(itemCounts[items[i]]*itemCounts[items[j]])
+				p := chancePerPair * float64(counts[items[i]]*counts[items[j]])
 				if p > 1 {
 					p = 1
 				}
-				agg := pairAggFor(pairs, [2]Item{items[i], items[j]})
-				agg.expected += p
+				pairAggFor(pairs, [2]uint64{items[i], items[j]}).expected += p
 			}
 		}
-		// Observed co-occurrence within the window.
-		for i, t := range tickets {
-			a := Item{t.Device, t.Type}
-			for j := i + 1; j < len(tickets); j++ {
-				u := tickets[j]
-				if u.Time.Sub(t.Time) > window {
+		// Observed co-occurrence within the window; rows are time-ordered.
+		for i, r := range rows {
+			a := itemCode(r)
+			for j := i + 1; j < len(rows); j++ {
+				u := rows[j]
+				if cols.TimeNS[u]-cols.TimeNS[r] > windowNS {
 					break
 				}
-				b := Item{u.Device, u.Type}
+				b := itemCode(u)
 				if a == b {
 					continue
 				}
-				agg := pairAggFor(pairs, canonicalItems(a, b))
-				agg.hosts[host] = true
+				key := [2]uint64{a, b}
+				if itemLess(b, a) {
+					key = [2]uint64{b, a}
+				}
+				agg := pairAggFor(pairs, key)
+				if !agg.hasHost || agg.lastHost != host {
+					agg.support++
+					agg.lastHost, agg.hasHost = host, true
+				}
 			}
 		}
 	}
 
+	itemOf := func(code uint64) Item {
+		return Item{fot.Component(code >> 32), cols.TypeName(uint32(code))}
+	}
 	var rules []Rule
 	for key, agg := range pairs {
-		support := len(agg.hosts)
-		if support < minSupport {
+		if agg.support < minSupport {
 			continue
 		}
 		expected := agg.expected
 		if expected < 1e-9 {
 			expected = 1e-9
 		}
-		lift := float64(support) / expected
+		lift := float64(agg.support) / expected
 		if lift < minLift {
 			continue
 		}
 		rules = append(rules, Rule{
-			A: key[0], B: key[1],
-			Support: support, Expected: agg.expected, Lift: lift,
+			A: itemOf(key[0]), B: itemOf(key[1]),
+			Support: agg.support, Expected: agg.expected, Lift: lift,
 		})
 	}
-	sort.Slice(rules, func(i, j int) bool {
-		if rules[i].Support != rules[j].Support {
-			return rules[i].Support > rules[j].Support
+	slices.SortFunc(rules, func(a, b Rule) int {
+		if a.Support != b.Support {
+			return b.Support - a.Support
 		}
-		if rules[i].Lift != rules[j].Lift {
-			return rules[i].Lift > rules[j].Lift
+		if a.Lift != b.Lift {
+			if a.Lift > b.Lift {
+				return -1
+			}
+			return 1
 		}
-		return rules[i].A.String()+rules[i].B.String() < rules[j].A.String()+rules[j].B.String()
+		return strings.Compare(a.A.String()+a.B.String(), b.A.String()+b.B.String())
 	})
 	return rules, nil
 }
 
-// pairAgg accumulates one item pair's observed hosts and chance baseline.
-type pairAgg struct {
-	hosts    map[uint64]bool
-	expected float64
-}
-
-func pairAggFor(m map[[2]Item]*pairAgg, key [2]Item) *pairAgg {
+func pairAggFor(m map[[2]uint64]*pairAgg, key [2]uint64) *pairAgg {
 	agg := m[key]
 	if agg == nil {
-		agg = &pairAgg{hosts: make(map[uint64]bool)}
+		agg = &pairAgg{}
 		m[key] = agg
 	}
 	return agg
-}
-
-func canonicalItems(a, b Item) [2]Item {
-	if a.Device > b.Device || (a.Device == b.Device && a.Type > b.Type) {
-		a, b = b, a
-	}
-	return [2]Item{a, b}
 }

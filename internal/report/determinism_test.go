@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -45,11 +46,15 @@ func TestFullByteIdenticalUnderInputShuffle(t *testing.T) {
 	if want == "" {
 		t.Fatal("empty report")
 	}
-	for name, got := range map[string]string{
-		"reversed input":            render(reversed, 1),
-		"shuffled input":            render(shuffled, 1),
-		"shuffled input, 4 workers": render(shuffled, 4),
-	} {
+	// Worker counts cover the serial path, one-per-CPU (0), a mid fan-out
+	// and heavy oversubscription (32 > sections is clamped by the runner)
+	// on both hostile orderings: scheduling must never reach the bytes.
+	cases := map[string]string{"shuffled input, 1 worker": render(shuffled, 1)}
+	for _, workers := range []int{0, 1, 4, 32} {
+		cases[fmt.Sprintf("reversed input, %d workers", workers)] = render(reversed, workers)
+		cases[fmt.Sprintf("shuffled input, %d workers", workers)] = render(shuffled, workers)
+	}
+	for name, got := range cases {
 		if got != want {
 			t.Errorf("%s: report differs from generator-order rendering (len %d vs %d)", name, len(got), len(want))
 			for i := 0; i < len(got) && i < len(want); i++ {

@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 
@@ -305,8 +306,14 @@ func ResponseTimesByClass(w io.Writer, byClass map[fot.Component]*core.ResponseT
 	for c := range byClass {
 		comps = append(comps, c)
 	}
-	sort.Slice(comps, func(i, j int) bool {
-		return byClass[comps[i]].MedianDays < byClass[comps[j]].MedianDays
+	slices.SortFunc(comps, func(a, b fot.Component) int {
+		if ma, mb := byClass[a].MedianDays, byClass[b].MedianDays; ma != mb {
+			if ma < mb {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b)
 	})
 	ew.printf("  %-14s %8s %10s %10s\n", "device", "n", "median(d)", "mean(d)")
 	for _, c := range comps {

@@ -197,14 +197,14 @@ func standardSections(census *core.Census) []core.Section {
 			return Trend(w, r)
 		}},
 		{ID: "mine", Render: func(ix *fot.TraceIndex, w io.Writer) error {
-			rules, err := mine.MineRules(ix.All(), 24*time.Hour, 3, 3.0)
+			rules, err := mine.MineRulesIndexed(ix, 24*time.Hour, 3, 3.0)
 			if err != nil {
 				return err
 			}
 			if err := MiningRules(w, rules, 12); err != nil {
 				return err
 			}
-			eval, err := mine.EvaluateWarningPredictor(ix.All(), 10*24*time.Hour)
+			eval, err := mine.EvaluateWarningPredictorIndexed(ix, 10*24*time.Hour)
 			if err != nil {
 				return err
 			}

@@ -95,14 +95,18 @@ func NewState(census *core.Census, workers int) *State {
 		st.sections[sec.ID] = sec
 		st.order = append(st.order, sec.ID)
 	}
-	st.cur.Store(st.newSnapshot(0, nil, time.Time{}))
+	st.cur.Store(st.newSnapshot(nil, 0, nil, time.Time{}))
 	return st
 }
 
-func (st *State) newSnapshot(epoch uint64, view []fot.Ticket, at time.Time) *Snapshot {
+// newSnapshot indexes view as an incremental extension of the previous
+// epoch's index: the columnar decomposition and global time permutation
+// of the shared ticket prefix carry over, so a fold pays for its batch,
+// not the whole history.
+func (st *State) newSnapshot(prev *fot.TraceIndex, epoch uint64, view []fot.Ticket, at time.Time) *Snapshot {
 	return &Snapshot{
 		epoch:    epoch,
-		index:    fot.BorrowTraceIndex(fot.NewTrace(view)),
+		index:    fot.ExtendTraceIndex(prev, fot.NewTrace(view)),
 		tickets:  len(view),
 		foldedAt: at,
 		cache:    sectionCache{done: make(map[string]core.SectionResult)},
@@ -132,7 +136,7 @@ func (st *State) Fold(batch []fot.Ticket, now time.Time) *Snapshot {
 	// Full slice expression: the snapshot's view can never observe a
 	// later Fold's appends, even when they land in the same array.
 	view := st.all[:len(st.all):len(st.all)]
-	snap := st.newSnapshot(prev.epoch+1, view, now)
+	snap := st.newSnapshot(prev.index, prev.epoch+1, view, now)
 	st.cur.Store(snap)
 	return snap
 }
