@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint tier1 tier2 serve-smoke bench benchall profile
+.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve benchall profile
 
 all: tier1
 
@@ -25,7 +25,7 @@ race:
 
 tier1: build test
 
-tier2: vet lint race serve-smoke
+tier2: vet lint race serve-smoke chaos
 
 # lint: fotlint runs the project-specific analyzers (determinism,
 # durability, clock-injection invariants) over the whole module; every
@@ -36,14 +36,30 @@ lint:
 
 # serve-smoke: fotqueryd generates a trace, serves it on a loopback
 # port, queries its own HTTP API end to end, and exits non-zero on any
-# mismatch — the hermetic live-service gate.
+# mismatch — the hermetic live-service gate. The router smoke stands up
+# the full replicated tier (primary, stream, two replicas, router),
+# kills the serving replica, and requires the failover query to succeed.
 serve-smoke:
 	$(GO) run ./cmd/fotqueryd -smoke
+	$(GO) run ./cmd/fotrouter -smoke
+
+# chaos: the replica-kill/restart harness under the race detector — a
+# thousand concurrent clients through the router while a replica dies
+# and rejoins mid-stream; the gate is zero failed queries and
+# byte-identical responses. `-short` drops to 100 clients.
+chaos:
+	$(GO) test -race -run TestChaosReplicaKillRestartUnderLoad -v ./internal/router/
 
 # bench: the headline serial-vs-parallel full-report comparison at paper
 # scale; writes BENCH_report.json in the repo root.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkFullReport -benchtime 2x -v .
+
+# bench-serve: load-generates the replicated serving tier through the
+# router and writes latency percentiles / QPS / availability to
+# BENCH_serve.json in the repo root.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServeTier -benchtime 500x -v .
 
 # benchall: the full per-table/per-figure benchmark sweep.
 benchall:

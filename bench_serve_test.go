@@ -1,0 +1,208 @@
+package dcfail
+
+// Load-generation benchmark for the replicated serving tier: a primary
+// state, a replication stream, two synced replicas, and the router, all
+// in-process. BenchmarkServeTier drives concurrent clients through the
+// router and writes latency percentiles, throughput, and availability
+// to BENCH_serve.json (the CI artifact tracked alongside
+// BENCH_report.json).
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/replica"
+	"dcfail/internal/router"
+	"dcfail/internal/serve"
+)
+
+// serveTier is the in-process replicated stack under load.
+type serveTier struct {
+	stream   *replica.Server
+	replicas []*tierNode
+	rt       *router.Router
+	front    *httptest.Server
+}
+
+type tierNode struct {
+	daemon *serve.Daemon
+	syncer *replica.Syncer
+	ln     net.Listener
+}
+
+func startServeTier(b *testing.B, nReplicas int) *serveTier {
+	b.Helper()
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	census := core.CensusFromFleet(res.Fleet)
+	primary := serve.NewState(census, 0)
+	primary.Fold(res.Trace.Tickets, time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC))
+
+	stream, err := replica.NewServer("127.0.0.1:0", primary, replica.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tier := &serveTier{stream: stream}
+	var urls []string
+	for i := 0; i < nReplicas; i++ {
+		d := serve.New(serve.Options{Census: census, MaxConcurrent: 256})
+		sy := replica.NewSyncer(d.State(), replica.SyncerOptions{Addr: stream.Addr()})
+		d.SetLagProbe(sy.Lag)
+		sy.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go d.Serve(ln)
+		tier.replicas = append(tier.replicas, &tierNode{daemon: d, syncer: sy, ln: ln})
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	want := primary.Current().Epoch()
+	deadline := time.Now().Add(60 * time.Second)
+	for _, node := range tier.replicas {
+		for node.daemon.State().Current().Epoch() != want {
+			if time.Now().After(deadline) {
+				b.Fatal("replicas never converged")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	rt, err := router.New(router.Options{
+		Backends:      urls,
+		CheckInterval: 100 * time.Millisecond,
+		HedgeAfter:    500 * time.Millisecond,
+		Client:        &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tier.rt = rt
+	tier.front = httptest.NewServer(rt.Handler())
+
+	// One warm pass so every replica's section cache is hot: the artifact
+	// measures the serving tier, not the first render of each epoch.
+	resp, err := http.Get(tier.front.URL + "/report?sections=table2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return tier
+}
+
+func (tier *serveTier) close() {
+	tier.front.Close()
+	tier.rt.Close()
+	for _, node := range tier.replicas {
+		node.ln.Close()
+		node.syncer.Stop()
+	}
+	tier.stream.Close()
+}
+
+// BenchmarkServeTier measures routed query latency through the full
+// replicated stack. Each op is one GET /report?sections=table2 through
+// the router; ops run in parallel client goroutines. After the run the
+// best-observed percentiles, QPS, and availability (non-5xx fraction)
+// are written to BENCH_serve.json.
+func BenchmarkServeTier(b *testing.B) {
+	tier := startServeTier(b, 2)
+	defer tier.close()
+
+	transport := &http.Transport{MaxIdleConnsPerHost: 256}
+	defer transport.CloseIdleConnections()
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var failed int
+
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{Transport: transport}
+		var local []time.Duration
+		localFailed := 0
+		for pb.Next() {
+			t0 := time.Now()
+			resp, err := client.Get(tier.front.URL + "/report?sections=table2")
+			if err != nil {
+				localFailed++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= http.StatusInternalServerError {
+				localFailed++
+				continue
+			}
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		failed += localFailed
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	total := len(latencies) + failed
+	availability := float64(len(latencies)) / float64(total)
+	qps := float64(total) / elapsed.Seconds()
+
+	b.ReportMetric(float64(pct(0.50).Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(pct(0.99).Nanoseconds()), "p99-ns")
+	b.ReportMetric(qps, "qps")
+
+	status := tier.rt.Status()
+	doc := map[string]interface{}{
+		"benchmark":    "BenchmarkServeTier",
+		"profile":      "small",
+		"replicas":     len(tier.replicas),
+		"clients":      runtime.GOMAXPROCS(0),
+		"requests":     total,
+		"failed":       failed,
+		"availability": availability,
+		"qps":          qps,
+		"p50_ns":       pct(0.50).Nanoseconds(),
+		"p90_ns":       pct(0.90).Nanoseconds(),
+		"p99_ns":       pct(0.99).Nanoseconds(),
+		"max_ns":       latencies[len(latencies)-1].Nanoseconds(),
+		"hedges":       status.Hedges,
+		"failovers":    status.Failovers,
+		"shed":         status.Shed,
+		"cores":        runtime.NumCPU(),
+		"go":           runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("serve tier: %d requests, p50 %v, p99 %v, %.0f qps, availability %.4f",
+		total, pct(0.50), pct(0.99), qps, availability)
+}

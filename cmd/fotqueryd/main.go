@@ -19,6 +19,16 @@
 //	    Run an embedded collector: agents report to -collect, every
 //	    accepted ticket folds into the live report.
 //
+//	fotqueryd -sync 10.0.0.1:7075
+//	    Run as a read-only serving replica: follow a primary's
+//	    replication stream (its -replicate address) instead of
+//	    ingesting tickets directly.
+//
+// Any mode may add -replicate ADDR to publish its epoch history to
+// replicas, and -degraded-after D to make /healthz report degraded
+// (HTTP 503) when the source lag exceeds D — the failover signal
+// cmd/fotrouter keys on.
+//
 // The census the population-normalized sections need is rebuilt
 // deterministically from (-profile, -seed), which must match the
 // trace's generator.
@@ -57,6 +67,7 @@ import (
 	"dcfail/internal/fms"
 	"dcfail/internal/fmsnet"
 	"dcfail/internal/fot"
+	"dcfail/internal/replica"
 	"dcfail/internal/serve"
 	"dcfail/internal/topo"
 )
@@ -76,6 +87,9 @@ func run(args []string, w io.Writer) error {
 	tracePath := fs.String("trace", "", "serve a frozen trace file (csv or jsonl by extension)")
 	archiveDir := fs.String("archive", "", "tail an fmsd archive directory for new tickets")
 	collectAddr := fs.String("collect", "", "run an embedded collector on this address and ingest its tickets")
+	syncAddr := fs.String("sync", "", "run as a read-only replica: follow this primary replication address")
+	replicateAddr := fs.String("replicate", "", "publish this daemon's epoch history to replicas on this address")
+	degradedAfter := fs.Duration("degraded-after", 0, "report /healthz degraded once source lag exceeds this; 0 = never")
 	subBuffer := fs.Int("sub-buffer", 4096, "collector subscription buffer; overflow is dropped and counted")
 	pollInterval := fs.Duration("poll-interval", 500*time.Millisecond, "archive re-poll interval while idle")
 	foldInterval := fs.Duration("fold-interval", 200*time.Millisecond, "max delay before pending tickets fold into a new epoch")
@@ -103,6 +117,9 @@ func run(args []string, w io.Writer) error {
 	if *smoke && nsrc > 0 {
 		return fmt.Errorf("-smoke generates its own trace; drop -trace/-archive/-collect")
 	}
+	if *syncAddr != "" && (nsrc > 0 || *smoke) {
+		return fmt.Errorf("-sync replaces local ingest; drop -trace/-archive/-collect/-smoke")
+	}
 
 	var profile fleetgen.Profile
 	switch *profileName {
@@ -121,6 +138,14 @@ func run(args []string, w io.Writer) error {
 	var sub *fmsnet.TicketSub
 	var collector *fmsnet.Collector
 	switch {
+	case *syncAddr != "":
+		// Replica mode: no local ticket source — rows arrive over the
+		// primary's replication stream and fold under its epoch numbers.
+		fleet, err := topo.Build(profile.FleetSpec, *seed)
+		if err != nil {
+			return err
+		}
+		census = core.CensusFromFleet(fleet)
 	case *tracePath != "":
 		trace, err := loadTrace(*tracePath)
 		if err != nil {
@@ -171,12 +196,32 @@ func run(args []string, w io.Writer) error {
 		RequestTimeout: *reqTimeout,
 		AlertWindow:    *alertWindow,
 		AlertThreshold: *alertThreshold,
+		DegradedAfter:  *degradedAfter,
 	}
 	if sub != nil {
 		opts.SourceDrops = sub.Dropped
 	}
 	d := serve.New(opts)
-	d.StartIngest(src)
+	var syncer *replica.Syncer
+	if *syncAddr != "" {
+		// Replica mode: the syncer is the ticket source, and /healthz
+		// measures replication lag instead of pending-queue lag.
+		syncer = replica.NewSyncer(d.State(), replica.SyncerOptions{Addr: *syncAddr})
+		d.SetLagProbe(syncer.Lag)
+		syncer.Start()
+		fmt.Fprintf(w, "fotqueryd: syncing from %s\n", *syncAddr)
+	} else {
+		d.StartIngest(src)
+	}
+	var stream *replica.Server
+	if *replicateAddr != "" {
+		s, err := replica.NewServer(*replicateAddr, d.State(), replica.ServerOptions{})
+		if err != nil {
+			return err
+		}
+		stream = s
+		fmt.Fprintf(w, "fotqueryd: replicating on %s\n", stream.Addr())
+	}
 
 	addr := *listen
 	if *smoke {
@@ -216,6 +261,12 @@ func run(args []string, w io.Writer) error {
 		defer cancel()
 		if sub != nil {
 			sub.Close()
+		}
+		if syncer != nil {
+			syncer.Stop()
+		}
+		if stream != nil {
+			stream.Close()
 		}
 		if pprofSrv != nil {
 			pprofSrv.Shutdown(ctx)
@@ -281,8 +332,12 @@ func smokeTest(w io.Writer, d *serve.Daemon, base, pprofURL string) error {
 	if err != nil {
 		return err
 	}
-	if strings.TrimSpace(string(body)) != "ok" {
-		return fmt.Errorf("/healthz said %q, want ok", body)
+	var health serve.HealthReply
+	if err := json.Unmarshal(body, &health); err != nil {
+		return fmt.Errorf("/healthz: %w", err)
+	}
+	if health.Status != serve.HealthOK {
+		return fmt.Errorf("/healthz said %q, want %q", health.Status, serve.HealthOK)
 	}
 
 	body, err = get(base + "/report/table1")

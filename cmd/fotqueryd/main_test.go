@@ -36,6 +36,12 @@ func TestSourceFlagValidation(t *testing.T) {
 	if err := run([]string{"-profile", "galactic"}, &out); err == nil {
 		t.Fatal("want error for unknown profile")
 	}
+	if err := run([]string{"-sync", "127.0.0.1:7075", "-trace", "x.csv"}, &out); err == nil {
+		t.Fatal("want error for -sync with a local ticket source")
+	}
+	if err := run([]string{"-sync", "127.0.0.1:7075", "-smoke"}, &out); err == nil {
+		t.Fatal("want error for -sync with -smoke")
+	}
 }
 
 // TestFrozenTraceFileMode serves a trace written to disk and smoke-tests

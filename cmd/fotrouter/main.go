@@ -1,0 +1,264 @@
+// Command fotrouter fronts a fleet of fotqueryd replicas with one
+// stable address. It health-checks every backend's /healthz, routes
+// each query to the freshest healthy replica, hedges slow attempts,
+// fails over on error, and sheds load with 503 + Retry-After when no
+// replica can serve.
+//
+//	fotrouter -listen 127.0.0.1:7090 \
+//	    -backends http://10.0.0.2:7080,http://10.0.0.3:7080
+//
+// Clients that care about epoch monotonicity send `X-Min-Epoch: E`
+// (the last X-Epoch they saw); the router only answers from a replica
+// at epoch ≥ E. Every response carries X-Served-By and X-Router-Epoch
+// (the tier-wide freshness watermark); stale responses from degraded
+// replicas add X-Stale and X-Staleness-MS.
+//
+// -smoke builds a complete in-process tier — a folded primary, a
+// replication stream, two syncing replicas, and the router — queries it
+// end to end including a replica kill, and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/replica"
+	"dcfail/internal/router"
+	"dcfail/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fotrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fotrouter", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7090", "HTTP listen address")
+	backends := fs.String("backends", "", "comma-separated replica base URLs (required unless -smoke)")
+	checkInterval := fs.Duration("check-interval", 250*time.Millisecond, "health-probe period")
+	probeTimeout := fs.Duration("probe-timeout", time.Second, "per-probe timeout")
+	reqTimeout := fs.Duration("timeout", 5*time.Second, "total per-request budget across retries and hedges")
+	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "hedge onto a second replica after this wait; <0 disables")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds sent when shedding")
+	smoke := fs.Bool("smoke", false, "self-test: build an in-process tier, query it through the router, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *smoke {
+		return smokeTest(w, *checkInterval, *hedgeAfter)
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+
+	rt, err := router.New(router.Options{
+		Backends:          urls,
+		CheckInterval:     *checkInterval,
+		ProbeTimeout:      *probeTimeout,
+		RequestTimeout:    *reqTimeout,
+		HedgeAfter:        *hedgeAfter,
+		RetryAfterSeconds: *retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fotrouter: routing %d backends on http://%s\n", len(urls), ln.Addr())
+	srv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(w, "fotrouter: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// tierReplica is one in-process serving replica for the smoke tier.
+type tierReplica struct {
+	daemon *serve.Daemon
+	syncer *replica.Syncer
+	ln     net.Listener
+	url    string
+}
+
+func startTierReplica(census *core.Census, streamAddr string) (*tierReplica, error) {
+	d := serve.New(serve.Options{Census: census, DegradedAfter: 5 * time.Second})
+	sy := replica.NewSyncer(d.State(), replica.SyncerOptions{Addr: streamAddr})
+	d.SetLagProbe(sy.Lag)
+	sy.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sy.Stop()
+		return nil, err
+	}
+	go d.Serve(ln)
+	return &tierReplica{daemon: d, syncer: sy, ln: ln, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (r *tierReplica) stop() {
+	r.syncer.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r.daemon.Shutdown(ctx)
+}
+
+// smokeTest assembles the full replicated tier in one process: primary
+// state, replication stream, two syncing replicas, router. It queries
+// through the router, kills a replica, and queries again.
+func smokeTest(w io.Writer, checkInterval, hedgeAfter time.Duration) error {
+	res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 1)
+	if err != nil {
+		return err
+	}
+	census := core.CensusFromFleet(res.Fleet)
+
+	primary := serve.NewState(census, 0)
+	primary.Fold(res.Trace.Tickets, time.Now())
+	stream, err := replica.NewServer("127.0.0.1:0", primary, replica.ServerOptions{})
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+
+	var reps []*tierReplica
+	for i := 0; i < 2; i++ {
+		rep, err := startTierReplica(census, stream.Addr())
+		if err != nil {
+			return err
+		}
+		defer rep.stop()
+		reps = append(reps, rep)
+	}
+
+	rt, err := router.New(router.Options{
+		Backends:      []string{reps[0].url, reps[1].url},
+		CheckInterval: checkInterval,
+		HedgeAfter:    hedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(w, "fotrouter: smoke tier up, router on %s\n", base)
+
+	// Both replicas converge on the primary's epoch.
+	want := primary.Current().Epoch()
+	deadline := time.Now().Add(60 * time.Second)
+	for _, rep := range reps {
+		for rep.daemon.State().Current().Epoch() != want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s never converged to epoch %d", rep.url, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A routed query lands on a fresh replica with tier headers.
+	resp, body, err := get(base+"/report/table1", want)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "Table I") {
+		return fmt.Errorf("routed /report/table1 body does not look like Table I:\n%s", body)
+	}
+	if resp.Header.Get("X-Served-By") == "" || resp.Header.Get("X-Router-Epoch") == "" {
+		return fmt.Errorf("routed response missing tier headers: %v", resp.Header)
+	}
+
+	// Kill the replica that served it; the router fails over.
+	killed := resp.Header.Get("X-Served-By")
+	for _, rep := range reps {
+		if rep.url == killed {
+			rep.stop()
+		}
+	}
+	if _, body, err = get(base+"/report/table1", want); err != nil {
+		return fmt.Errorf("after replica kill: %w", err)
+	}
+	if !strings.Contains(string(body), "Table I") {
+		return fmt.Errorf("failover response body does not look like Table I")
+	}
+
+	// /router/status reflects the tier.
+	_, body, err = get(base+"/router/status", 0)
+	if err != nil {
+		return err
+	}
+	var status router.Status
+	if err := json.Unmarshal(body, &status); err != nil {
+		return fmt.Errorf("/router/status: %w", err)
+	}
+	if len(status.Backends) != 2 || status.Watermark < want {
+		return fmt.Errorf("status not settled: %+v", status)
+	}
+	fmt.Fprintf(w, "fotrouter: smoke ok — watermark %d, %d requests, %d failovers after kill\n",
+		status.Watermark, status.Requests, status.Failovers)
+	return nil
+}
+
+func get(url string, minEpoch uint64) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if minEpoch > 0 {
+		req.Header.Set("X-Min-Epoch", fmt.Sprint(minEpoch))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, body, nil
+}

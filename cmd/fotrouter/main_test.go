@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeEndToEnd builds the in-process tier exactly as
+// `fotrouter -smoke` does: primary, replication stream, two replicas,
+// router; query, kill a replica, query again.
+func TestSmokeEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-check-interval", "50ms"}, &out); err != nil {
+		t.Fatalf("run -smoke: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke ok") {
+		t.Fatalf("no smoke ok line in output:\n%s", out.String())
+	}
+}
+
+// TestBackendsFlagRequired pins the flag contract.
+func TestBackendsFlagRequired(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want error when -backends is empty without -smoke")
+	}
+}

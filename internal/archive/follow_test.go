@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"dcfail/internal/fot"
 )
 
 // drainIDs polls the follower once and returns the ids it yielded.
@@ -139,5 +141,72 @@ func TestFollowerLeavesTornTailForNextPoll(t *testing.T) {
 	}
 	if ids := drainIDs(t, f); len(ids) != 1 || ids[0] != 2 {
 		t.Fatalf("poll after tail completed = %v, want [2]", ids)
+	}
+}
+
+// TestFollowerResumesAcrossRollWithTornTail is the crash-adjacent worst
+// case the replica tier leans on: a segment is polled while its last
+// frame is torn mid-line, the follower state is persisted, and before
+// the next poll the writer both completes that line AND rolls to a new
+// segment. A follower resumed from the persisted position must yield the
+// repaired tail first and then the new segment's rows — no duplicate, no
+// loss, in archive order.
+func TestFollowerResumesAcrossRollWithTornTail(t *testing.T) {
+	dir := t.TempDir()
+	line := func(id uint64) []byte {
+		b, err := fot.MarshalJSONLine(ticket(id, time.Duration(id)*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+
+	// Segment 1: ticket 1 complete, ticket 2 torn halfway through its
+	// frame (the writer crashed or is mid-write; no trailing newline).
+	torn := line(2)
+	half := len(torn) / 2
+	seg1 := filepath.Join(dir, "seg-000001.jsonl")
+	if err := os.WriteFile(seg1, append(line(1), torn[:half]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := Follow(dir, Position{})
+	if ids := drainIDs(t, f); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("poll with torn tail = %v, want [1]", ids)
+	}
+	pos := f.Pos()
+	if pos.Segment != "seg-000001.jsonl" || pos.Offset != 1 {
+		t.Fatalf("persisted position = %+v, want seg-000001.jsonl/1", pos)
+	}
+
+	// The writer recovers: it finishes ticket 2's line, finalizes the
+	// segment, and rolls — tickets 3 and 4 land in segment 2.
+	fh, err := os.OpenFile(seg1, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(torn[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg2 := filepath.Join(dir, "seg-000002.jsonl")
+	if err := os.WriteFile(seg2, append(line(3), line(4)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the persisted position with a brand-new follower, as a
+	// restarted fotqueryd would.
+	f2 := Follow(dir, pos)
+	ids := drainIDs(t, f2)
+	if len(ids) != 3 || ids[0] != 2 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("resumed poll across roll = %v, want [2 3 4]", ids)
+	}
+	if got := f2.Pos(); got.Segment != "seg-000002.jsonl" || got.Offset != 2 {
+		t.Fatalf("position after roll = %+v, want seg-000002.jsonl/2", got)
+	}
+	if ids := drainIDs(t, f2); len(ids) != 0 {
+		t.Fatalf("drained archive still yields %v", ids)
 	}
 }

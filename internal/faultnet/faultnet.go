@@ -30,8 +30,13 @@ type Proxy struct {
 
 	partition atomic.Bool  // refuse new conns, sever existing
 	stallUp   atomic.Bool  // black-hole upstream->client bytes (lost acks)
+	blackhole atomic.Bool  // accept conns but forward nothing in either direction
 	delay     atomic.Int64 // per-chunk latency, nanoseconds
 	truncate  atomic.Int64 // sever a conn after forwarding this many client bytes (0 = off)
+	bandwidth atomic.Int64 // per-link forwarding cap, bytes/second (0 = unlimited)
+
+	flapMu   sync.Mutex
+	flapStop chan struct{} // non-nil while a flap loop runs
 
 	wg      sync.WaitGroup
 	closing chan struct{}
@@ -90,6 +95,55 @@ func (p *Proxy) SetTruncateAfter(n int64) { p.truncate.Store(n) }
 // StallUpstream black-holes upstream->client traffic when on: requests
 // still reach the collector, but acks never come back.
 func (p *Proxy) StallUpstream(on bool) { p.stallUp.Store(on) }
+
+// BlackHole, when on, keeps accepting and dialing connections but
+// forwards nothing in either direction — the "switch forwards the SYN
+// and then dies" failure: the dial succeeds, so naive clients believe
+// they are connected and hang instead of failing fast. Unlike Partition,
+// nothing is refused and nothing is severed; only read deadlines or
+// heartbeats get a client out.
+func (p *Proxy) BlackHole(on bool) { p.blackhole.Store(on) }
+
+// SetBandwidth caps each link's forwarding rate (both directions
+// combined per direction pump) to bytesPerSec by sleeping after each
+// chunk — the degraded-uplink scenario where a replica stays connected
+// but cannot keep up with the stream. 0 removes the cap.
+func (p *Proxy) SetBandwidth(bytesPerSec int64) { p.bandwidth.Store(bytesPerSec) }
+
+// FlapEvery severs every live connection each interval — the flapping
+// NIC/port scenario: connections keep working briefly, then die, over
+// and over. The links are cut abruptly (as SeverAll), but new
+// connections are still accepted, so retrying clients make progress
+// between flaps. A non-positive interval stops flapping.
+func (p *Proxy) FlapEvery(interval time.Duration) {
+	p.flapMu.Lock()
+	defer p.flapMu.Unlock()
+	if p.flapStop != nil {
+		close(p.flapStop)
+		p.flapStop = nil
+	}
+	if interval <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	p.flapStop = stop
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.SeverAll()
+			case <-stop:
+				return
+			case <-p.closing:
+				return
+			}
+		}
+	}()
+}
 
 // Partition severs every live connection and refuses new ones while on.
 func (p *Proxy) Partition(on bool) {
@@ -185,6 +239,22 @@ func (p *Proxy) pump(l *link, src, dst net.Conn, clientToServer bool) {
 			}
 			if p.partition.Load() {
 				return
+			}
+			if p.blackhole.Load() {
+				// Swallow the bytes but keep reading so neither side
+				// blocks on a full send buffer — the link looks alive
+				// and carries nothing.
+				continue
+			}
+			if bw := p.bandwidth.Load(); bw > 0 {
+				// Model a capped link by stretching each chunk over the
+				// time it would need at bw bytes/second.
+				wait := time.Duration(int64(n) * int64(time.Second) / bw)
+				select {
+				case <-time.After(wait):
+				case <-p.closing:
+					return
+				}
 			}
 			chunk := buf[:n]
 			if clientToServer {

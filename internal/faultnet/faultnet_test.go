@@ -208,6 +208,111 @@ func TestStallUpstreamLosesAcks(t *testing.T) {
 	}
 }
 
+func TestBlackHoleAcceptsButForwardsNothing(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	p.BlackHole(true)
+	// The dial succeeds — that is the point of this fault mode.
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("black-holed proxy refused the dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "void"); err == nil {
+		t.Fatal("black-holed link delivered a response")
+	}
+	if got := echo.got(); len(got) != 0 {
+		t.Fatalf("upstream received %q through a black hole", got)
+	}
+	// Lifting the fault restores service for new traffic on the same
+	// (still-open) connection: the pump never severed it.
+	p.BlackHole(false)
+	resp, err := roundTrip(t, conn, "back")
+	if err != nil {
+		t.Fatalf("healed black hole still failing: %v", err)
+	}
+	if resp != "echo:back" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestBandwidthCapSlowsTransfer(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	// 1 KiB/s: a 128-byte line should take ≥ ~125ms per direction.
+	p.SetBandwidth(1024)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, conn, strings.Repeat("b", 128)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("capped round trip took %v, want ≥ ~250ms", elapsed)
+	}
+	// Uncapped again: fast.
+	p.SetBandwidth(0)
+	start = time.Now()
+	if _, err := roundTrip(t, conn, "quick"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("uncapped round trip took %v", elapsed)
+	}
+}
+
+func TestFlapSeversPeriodicallyButAllowsReconnect(t *testing.T) {
+	echo := startEcho(t)
+	p := startProxy(t, echo.addr())
+	p.FlapEvery(50 * time.Millisecond)
+	defer p.FlapEvery(0)
+
+	// Each connection eventually dies, but a retrying client keeps making
+	// progress across reconnects.
+	successes := 0
+	var flapped bool
+	deadline := time.Now().Add(3 * time.Second)
+	for successes < 5 && time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		// Drive the link until the flap cuts it.
+		for time.Now().Before(deadline) {
+			if _, err := roundTrip(t, conn, fmt.Sprintf("msg-%d", successes)); err != nil {
+				flapped = true
+				break
+			}
+			successes++
+			time.Sleep(5 * time.Millisecond)
+		}
+		conn.Close()
+	}
+	if successes < 5 {
+		t.Fatalf("only %d round trips succeeded under flapping", successes)
+	}
+	if !flapped {
+		t.Fatal("no connection was ever severed by the flap loop")
+	}
+
+	// Disabled: a connection survives comfortably longer than the old
+	// flap interval.
+	p.FlapEvery(0)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(120 * time.Millisecond)
+	if _, err := roundTrip(t, conn, "calm"); err != nil {
+		t.Fatalf("connection died after flapping was disabled: %v", err)
+	}
+}
+
 func TestSetUpstreamRedirectsNewConns(t *testing.T) {
 	echo1 := startEcho(t)
 	echo2 := startEcho(t)

@@ -57,6 +57,8 @@ func TestScope(t *testing.T) {
 		{"maporder", "dcfail/internal/wal", false},
 		{"walltime", "dcfail/internal/serve", true},
 		{"walltime", "dcfail/internal/fmsnet", true},
+		{"walltime", "dcfail/internal/replica", true},
+		{"walltime", "dcfail/internal/router", true},
 		{"walltime", "dcfail/cmd/fotqueryd", false},
 		{"globalrand", "dcfail/internal/fleetgen", true},
 		{"globalrand", "dcfail/internal/inject", true},

@@ -1,0 +1,106 @@
+// Package replica streams a primary serve.Daemon's epoch history to
+// read-only serving replicas over the fmsnet wire idiom (newline-
+// delimited JSON over TCP), so the query tier survives the loss of any
+// single serving process.
+//
+// The unit of replication is the primary's append-only ticket log plus
+// its epoch markers. A replica subscribes with the (epoch, row) position
+// it already holds; the primary streams every later row as a CRC-checked
+// frame and, after the rows of each published fold, an epoch marker
+// naming (epoch, row count, fold time). The replica folds exactly the
+// marker's prefix under the marker's epoch number (serve.State.FoldTo),
+// which makes every replica's /report for epoch E byte-identical to the
+// primary's — and to report.SerialReference over that prefix.
+//
+// Delivery is at-least-once: a reconnect may replay rows the replica
+// already consumed, and the replica dedups by row index the same way the
+// collector dedups agent (AgentID, Seq) pairs. A CRC mismatch or a row
+// gap drops the connection; the resume position makes the retry cheap.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// Message kinds on the replication stream.
+const (
+	// KindSync is the replica's (only) request: resume from (epoch, row).
+	KindSync = "sync"
+	// KindHello announces the primary's tip; re-sent as a heartbeat so a
+	// black-holed connection is detectable by read deadline.
+	KindHello = "hello"
+	// KindRow carries one log row with its CRC.
+	KindRow = "row"
+	// KindEpoch marks a published fold: rows [0, Rows) form epoch Epoch.
+	KindEpoch = "epoch"
+	// KindError is a terminal primary-side rejection.
+	KindError = "error"
+)
+
+// MaxFrameBytes bounds one replication frame on the wire, mirroring
+// fmsnet.MaxFrameBytes.
+const MaxFrameBytes = 1 << 20
+
+// Message is the single envelope both directions use; Kind picks the
+// populated fields.
+type Message struct {
+	Kind string `json:"kind"`
+	// Epoch: resume point (KindSync), tip (KindHello), or the published
+	// fold (KindEpoch).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Row is the log index of a KindRow frame, and the resume row on
+	// KindSync (first row the replica does NOT have).
+	Row int `json:"row,omitempty"`
+	// Rows is the log length: the tip's on KindHello, the epoch's on
+	// KindEpoch.
+	Rows int `json:"rows,omitempty"`
+	// Ticket is the row payload (fot.MarshalJSONLine bytes).
+	Ticket json.RawMessage `json:"ticket,omitempty"`
+	// CRC is crc32.ChecksumIEEE over Ticket.
+	CRC uint32 `json:"crc,omitempty"`
+	// FoldedAt is the primary's fold timestamp (KindEpoch), so replicas
+	// publish epochs with the primary's clock, not their own.
+	FoldedAt time.Time `json:"folded_at,omitempty"`
+	// Error carries the rejection text on KindError.
+	Error string `json:"error,omitempty"`
+}
+
+// encode renders one frame as a JSON line.
+func encode(m *Message) ([]byte, error) {
+	line, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("replica: encode %s: %w", m.Kind, err)
+	}
+	return append(line, '\n'), nil
+}
+
+// rowMessage builds a CRC-stamped row frame.
+func rowMessage(row int, t fot.Ticket) (*Message, error) {
+	payload, err := fot.MarshalJSONLine(t)
+	if err != nil {
+		return nil, fmt.Errorf("replica: marshal row %d: %w", row, err)
+	}
+	return &Message{
+		Kind:   KindRow,
+		Row:    row,
+		Ticket: payload,
+		CRC:    crc32.ChecksumIEEE(payload),
+	}, nil
+}
+
+// decodeRow verifies the CRC and decodes the ticket of a KindRow frame.
+func decodeRow(m *Message) (fot.Ticket, error) {
+	if got := crc32.ChecksumIEEE(m.Ticket); got != m.CRC {
+		return fot.Ticket{}, fmt.Errorf("replica: row %d crc mismatch: frame says %08x, payload is %08x", m.Row, m.CRC, got)
+	}
+	t, err := fot.UnmarshalJSONLine(m.Ticket)
+	if err != nil {
+		return fot.Ticket{}, fmt.Errorf("replica: row %d: %w", m.Row, err)
+	}
+	return t, nil
+}

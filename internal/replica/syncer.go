@@ -1,0 +1,309 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/serve"
+)
+
+// SyncerOptions tunes a replica's catch-up loop.
+type SyncerOptions struct {
+	// Addr is the primary's replication address (NewServer's listener).
+	Addr string
+	// Dial overrides how the primary is reached — tests route through a
+	// faultnet.Proxy here. Nil dials Addr over TCP with a 5s timeout.
+	Dial func(addr string) (net.Conn, error)
+	// RetryMin/RetryMax bound the reconnect backoff (defaults 50ms / 2s).
+	// The backoff is deterministic (doubling, no jitter): replicas of one
+	// primary are few, and determinism keeps chaos tests replayable.
+	RetryMin, RetryMax time.Duration
+	// StallTimeout is the per-read deadline. The primary heartbeats every
+	// ServerOptions.Heartbeat, so a read that outlives this is a stalled
+	// or black-holed link, not an idle one (default 5s; keep it a few
+	// multiples of the primary's heartbeat).
+	StallTimeout time.Duration
+	// Now stamps deadlines and lag bookkeeping (nil means time.Now).
+	Now func() time.Time
+}
+
+// SyncStats is a snapshot of the syncer's lifetime counters.
+type SyncStats struct {
+	Rows        uint64 `json:"rows"`         // rows accepted into the local log
+	Dups        uint64 `json:"dups"`         // at-least-once replays skipped by row index
+	CRCFailures uint64 `json:"crc_failures"` // frames rejected by checksum
+	Reconnects  uint64 `json:"reconnects"`   // times the stream was re-established
+	Folds       uint64 `json:"folds"`        // epoch markers applied
+	Connected   bool   `json:"connected"`
+	TipEpoch    uint64 `json:"tip_epoch"` // newest primary epoch heard of
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// Syncer keeps one serve.State converged with a primary's replication
+// stream: it dials, resumes from the local (epoch, row) position, dedups
+// replayed rows, verifies CRCs, folds each epoch marker via FoldTo, and
+// reconnects with bounded backoff whenever the link fails. Lag() feeds
+// the daemon's /healthz so a stuck replica degrades instead of serving
+// silently stale epochs forever.
+type Syncer struct {
+	state *serve.State
+	opts  SyncerOptions
+	now   func() time.Time
+
+	rows        atomic.Uint64
+	dups        atomic.Uint64
+	crcFailures atomic.Uint64
+	reconnects  atomic.Uint64
+	folds       atomic.Uint64
+	connected   atomic.Bool
+	tipEpoch    atomic.Uint64
+	behindSince atomic.Int64 // unix nanos; 0 = caught up
+	lastErr     atomic.Pointer[string]
+
+	mu        sync.Mutex
+	conn      net.Conn // live connection, severed by Stop
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+
+	// pending holds CRC-verified rows past the last fold, awaiting their
+	// epoch marker. It is owned by the run goroutine and deliberately
+	// survives reconnects: the resume row is folded + len(pending), so a
+	// flapping link makes monotonic row progress instead of re-pulling
+	// the whole epoch suffix every connection (which livelocks when the
+	// flap interval is shorter than one epoch's transfer time).
+	pending []fot.Ticket
+}
+
+// NewSyncer builds a syncer folding into st. Call Start to begin.
+func NewSyncer(st *serve.State, opts SyncerOptions) *Syncer {
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if opts.RetryMin <= 0 {
+		opts.RetryMin = 50 * time.Millisecond
+	}
+	if opts.RetryMax < opts.RetryMin {
+		opts.RetryMax = 2 * time.Second
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = 5 * time.Second
+	}
+	s := &Syncer{state: st, opts: opts, now: opts.Now, closing: make(chan struct{})}
+	if s.now == nil {
+		//lint:ignore walltime injection-point default; SyncerOptions.Now overrides the clock used for deadlines and lag
+		s.now = time.Now
+	}
+	return s
+}
+
+// Start launches the catch-up loop. Call once; Stop ends it.
+func (s *Syncer) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop severs the stream and waits for the loop to exit. Idempotent.
+func (s *Syncer) Stop() {
+	s.closeOnce.Do(func() { close(s.closing) })
+	s.mu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns the lifetime counters.
+func (s *Syncer) Stats() SyncStats {
+	st := SyncStats{
+		Rows:        s.rows.Load(),
+		Dups:        s.dups.Load(),
+		CRCFailures: s.crcFailures.Load(),
+		Reconnects:  s.reconnects.Load(),
+		Folds:       s.folds.Load(),
+		Connected:   s.connected.Load(),
+		TipEpoch:    s.tipEpoch.Load(),
+	}
+	if msg := s.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	return st
+}
+
+// Lag reports how long this replica has been behind the newest known
+// primary state: zero while connected and caught up, else the time since
+// it fell behind (a disconnect or a tip announcement it has not reached).
+// Wire it into serve.Daemon.SetLagProbe so /healthz degrades with it.
+func (s *Syncer) Lag() time.Duration {
+	since := s.behindSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(s.now().UnixNano() - since)
+}
+
+// markBehind stamps the fell-behind time if not already behind.
+func (s *Syncer) markBehind() {
+	s.behindSince.CompareAndSwap(0, s.now().UnixNano())
+}
+
+// reviseLag re-evaluates behind/caught-up against the known tip.
+func (s *Syncer) reviseLag() {
+	if s.tipEpoch.Load() > s.state.Current().Epoch() {
+		s.markBehind()
+	} else if s.connected.Load() {
+		s.behindSince.Store(0)
+	}
+}
+
+func (s *Syncer) fail(err error) {
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+}
+
+func (s *Syncer) run() {
+	defer s.wg.Done()
+	backoff := s.opts.RetryMin
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-s.closing:
+			return
+		default:
+		}
+		if attempt > 0 {
+			s.reconnects.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-s.closing:
+				return
+			}
+			backoff *= 2
+			if backoff > s.opts.RetryMax {
+				backoff = s.opts.RetryMax
+			}
+		}
+		conn, err := s.opts.Dial(s.opts.Addr)
+		if err != nil {
+			s.markBehind()
+			s.fail(err)
+			continue
+		}
+		s.mu.Lock()
+		s.conn = conn
+		s.mu.Unlock()
+		progressed, err := s.stream(conn)
+		conn.Close()
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+		s.connected.Store(false)
+		s.markBehind()
+		if err != nil {
+			s.fail(err)
+		}
+		if progressed {
+			backoff = s.opts.RetryMin
+		}
+	}
+}
+
+// stream runs one connection: subscribe from the resume position (the
+// fold boundary plus any retained pending rows), then apply rows and
+// markers until the link errors. It reports whether any message was
+// applied, so the caller resets backoff only on progress.
+func (s *Syncer) stream(conn net.Conn) (progressed bool, err error) {
+	local := s.state.Current()
+	folded := local.Tickets()
+	nextRow := folded + len(s.pending)
+	sub, err := encode(&Message{Kind: KindSync, Epoch: local.Epoch(), Row: nextRow})
+	if err != nil {
+		return false, err
+	}
+	conn.SetWriteDeadline(s.now().Add(s.opts.StallTimeout))
+	if _, err := conn.Write(sub); err != nil {
+		return false, fmt.Errorf("replica: subscribe: %w", err)
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
+
+	for {
+		conn.SetReadDeadline(s.now().Add(s.opts.StallTimeout))
+		if !sc.Scan() {
+			if serr := sc.Err(); serr != nil {
+				return progressed, fmt.Errorf("replica: stream read: %w", serr)
+			}
+			return progressed, fmt.Errorf("replica: primary closed the stream")
+		}
+		var m Message
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return progressed, fmt.Errorf("replica: decode frame: %w", err)
+		}
+		switch m.Kind {
+		case KindHello:
+			// First hello doubles as the connection-established signal;
+			// later ones are heartbeats that refresh the tip.
+			s.connected.Store(true)
+			progressed = true
+			if m.Epoch > s.tipEpoch.Load() {
+				s.tipEpoch.Store(m.Epoch)
+			}
+			s.reviseLag()
+		case KindRow:
+			if m.Row < nextRow {
+				// At-least-once replay after a reconnect: same dedup role
+				// as the collector's (AgentID, Seq) index, keyed by the
+				// total order the log already gives us.
+				s.dups.Add(1)
+				continue
+			}
+			if m.Row > nextRow {
+				return progressed, fmt.Errorf("replica: row gap: got %d, want %d", m.Row, nextRow)
+			}
+			t, err := decodeRow(&m)
+			if err != nil {
+				s.crcFailures.Add(1)
+				return progressed, err
+			}
+			s.pending = append(s.pending, t)
+			nextRow++
+			s.rows.Add(1)
+			progressed = true
+		case KindEpoch:
+			if m.Epoch > s.tipEpoch.Load() {
+				s.tipEpoch.Store(m.Epoch)
+			}
+			if m.Epoch <= s.state.Current().Epoch() {
+				continue // marker replay; the fold already happened
+			}
+			if m.Rows > nextRow {
+				return progressed, fmt.Errorf("replica: epoch %d needs %d rows, have %d", m.Epoch, m.Rows, nextRow)
+			}
+			take := m.Rows - folded
+			if take < 0 {
+				return progressed, fmt.Errorf("replica: epoch %d rows %d behind local log %d", m.Epoch, m.Rows, folded)
+			}
+			if _, err := s.state.FoldTo(s.pending[:take], m.Epoch, m.FoldedAt); err != nil {
+				return progressed, err
+			}
+			s.pending = s.pending[take:]
+			folded = m.Rows
+			s.folds.Add(1)
+			progressed = true
+			s.reviseLag()
+		case KindError:
+			return progressed, fmt.Errorf("replica: primary rejected stream: %s", m.Error)
+		default:
+			return progressed, fmt.Errorf("replica: unknown frame kind %q", m.Kind)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/faultnet"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/replica"
+	"dcfail/internal/report"
+	"dcfail/internal/serve"
+)
+
+// chaosWorld caches one deterministic SmallProfile run for this file.
+var (
+	chaosOnce   sync.Once
+	chaosTrace  *fot.Trace
+	chaosCensus *core.Census
+	chaosErr    error
+)
+
+func chaosWorld(t *testing.T) (*fot.Trace, *core.Census) {
+	t.Helper()
+	chaosOnce.Do(func() {
+		res, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 11)
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		chaosTrace = res.Trace
+		chaosCensus = core.CensusFromFleet(res.Fleet)
+	})
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+	return chaosTrace, chaosCensus
+}
+
+// chaosReplica is one serving replica: daemon + syncer + HTTP listener.
+type chaosReplica struct {
+	daemon *serve.Daemon
+	syncer *replica.Syncer
+	ln     net.Listener
+}
+
+func startChaosReplica(t *testing.T, census *core.Census, streamAddr string) *chaosReplica {
+	t.Helper()
+	d := serve.New(serve.Options{Census: census, DegradedAfter: 2 * time.Second, MaxConcurrent: 256})
+	sy := replica.NewSyncer(d.State(), replica.SyncerOptions{
+		Addr:         streamAddr,
+		RetryMin:     10 * time.Millisecond,
+		RetryMax:     200 * time.Millisecond,
+		StallTimeout: 500 * time.Millisecond,
+	})
+	d.SetLagProbe(sy.Lag)
+	sy.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sy.Stop()
+		t.Fatal(err)
+	}
+	go d.Serve(ln)
+	return &chaosReplica{daemon: d, syncer: sy, ln: ln}
+}
+
+func (r *chaosReplica) addr() string { return r.ln.Addr().String() }
+
+// kill simulates an abrupt process death: the HTTP listener and the
+// replication stream vanish, with no graceful drain.
+func (r *chaosReplica) kill() {
+	r.ln.Close()
+	r.syncer.Stop()
+}
+
+// TestChaosReplicaKillRestartUnderLoad is the tier's safety proof, run
+// under -race by `make chaos`. A thousand concurrent clients query the
+// router while the primary folds epochs and one replica is killed
+// (mid-stream, no drain) and later restarted from an empty state behind
+// the same front address. The gate:
+//
+//   - zero failed queries — every request returns 200 through failover,
+//     hedging, and the wait-for-capacity path;
+//   - every response body is byte-identical to report.SerialReference
+//     over the ticket prefix of the epoch named in its X-Epoch header;
+//   - epochs never run backwards for any single client (enforced
+//     end-to-end via X-Min-Epoch).
+func TestChaosReplicaKillRestartUnderLoad(t *testing.T) {
+	trace, census := chaosWorld(t)
+	clients := 1000
+	if testing.Short() {
+		clients = 100
+	}
+
+	// Primary: folds are driven by this test so every published
+	// (epoch, rows) pair is recorded for the byte-identity oracle.
+	primary := serve.NewState(census, 0)
+	var epochRows sync.Map // uint64 epoch -> int rows
+	epochRows.Store(uint64(0), 0)
+	stream, err := replica.NewServer("127.0.0.1:0", primary, replica.ServerOptions{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	// Replica A sits behind a fixed faultnet front so its backend URL
+	// survives the kill/restart; replica B is plain.
+	repA := startChaosReplica(t, census, stream.Addr())
+	front, err := faultnet.New("127.0.0.1:0", repA.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	repB := startChaosReplica(t, census, stream.Addr())
+	defer repB.kill()
+
+	rt, err := New(Options{
+		Backends:       []string{"http://" + front.Addr(), "http://" + repB.addr()},
+		CheckInterval:  25 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		RequestTimeout: 60 * time.Second,
+		HedgeAfter:     250 * time.Millisecond,
+		Client:         &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1024}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	waitHealthy(t, rt, 2)
+
+	// The byte-identity oracle: expected table2 bytes for an epoch,
+	// rendered lazily from the recorded prefix.
+	var refMu sync.Mutex
+	refs := map[uint64][]byte{}
+	expected := func(epoch uint64) ([]byte, error) {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if b, ok := refs[epoch]; ok {
+			return b, nil
+		}
+		rowsAny, ok := epochRows.Load(epoch)
+		if !ok {
+			return nil, fmt.Errorf("epoch %d was never published by the primary", epoch)
+		}
+		var buf bytes.Buffer
+		prefix := fot.NewTrace(trace.Tickets[:rowsAny.(int)])
+		if err := report.SerialReference(&buf, prefix, census, func(id string) bool { return id == "table2" }); err != nil {
+			return nil, err
+		}
+		refs[epoch] = buf.Bytes()
+		return buf.Bytes(), nil
+	}
+
+	// Fold driver: ~24 epochs, 50ms apart. Replica A is killed a third
+	// of the way in — mid-stream, while epochs are still being published
+	// — and restarted (empty state, same front address) at two thirds.
+	const batches = 24
+	step := (trace.Len() + batches - 1) / batches
+	foldDone := make(chan struct{})
+	restarted := make(chan *chaosReplica, 1)
+	go func() {
+		defer close(foldDone)
+		now := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < batches; i++ {
+			lo, hi := i*step, (i+1)*step
+			if hi > trace.Len() {
+				hi = trace.Len()
+			}
+			snap := primary.Fold(trace.Tickets[lo:hi], now)
+			epochRows.Store(snap.Epoch(), snap.Tickets())
+			now = now.Add(time.Minute)
+			switch i {
+			case batches / 3:
+				repA.kill()
+				front.SeverAll()
+			case 2 * batches / 3:
+				fresh := startChaosReplica(t, census, stream.Addr())
+				front.SetUpstream(fresh.addr())
+				front.SeverAll()
+				restarted <- fresh
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	// The client fleet. Each client chains requests with X-Min-Epoch so
+	// monotonicity is enforced end-to-end, not just observed.
+	transport := &http.Transport{MaxIdleConnsPerHost: 1024}
+	defer transport.CloseIdleConnections()
+	var failed, completed atomic.Uint64
+	errs := make(chan error, 32)
+	reportErr := func(err error) {
+		failed.Add(1)
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	// Clients ramp in over ~1s rather than dialing in the same
+	// microsecond: a load generator models arrival, not a syscall burst.
+	// No client-side timeout — the router's RequestTimeout is the tier's
+	// own latency bound, and the gate here is zero FAILED queries.
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(c) * time.Millisecond)
+			client := &http.Client{Transport: transport}
+			minEpoch := uint64(0)
+			for i := 0; i < 4; i++ {
+				req, err := http.NewRequest(http.MethodGet, srv.URL+"/report?sections=table2", nil)
+				if err != nil {
+					reportErr(err)
+					return
+				}
+				if minEpoch > 0 {
+					req.Header.Set("X-Min-Epoch", strconv.FormatUint(minEpoch, 10))
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: %w", c, i, err))
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: read: %w", c, i, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					reportErr(fmt.Errorf("client %d req %d: status %d: %s", c, i, resp.StatusCode, body))
+					return
+				}
+				epoch, err := strconv.ParseUint(resp.Header.Get("X-Epoch"), 10, 64)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: bad X-Epoch %q", c, i, resp.Header.Get("X-Epoch")))
+					return
+				}
+				if epoch < minEpoch {
+					reportErr(fmt.Errorf("client %d req %d: epoch ran backwards: %d after %d", c, i, epoch, minEpoch))
+					return
+				}
+				want, err := expected(epoch)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: %w", c, i, err))
+					return
+				}
+				if !bytes.Equal(body, want) {
+					reportErr(fmt.Errorf("client %d req %d: epoch %d body differs from serial reference (%d vs %d bytes)",
+						c, i, epoch, len(body), len(want)))
+					return
+				}
+				minEpoch = epoch
+				completed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-foldDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d queries failed (gate: zero)", n, uint64(clients)*4)
+	}
+	if got, want := completed.Load(), uint64(clients)*4; got != want {
+		t.Fatalf("completed %d queries, want %d", got, want)
+	}
+
+	// The restarted replica re-syncs the whole history and rejoins, and
+	// the stable replica catches up once the load stops.
+	fresh := <-restarted
+	defer fresh.kill()
+	wantEpoch := primary.Current().Epoch()
+	deadline := time.Now().Add(30 * time.Second)
+	for fresh.daemon.State().Current().Epoch() != wantEpoch ||
+		repB.daemon.State().Current().Epoch() != wantEpoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas stuck: restarted at epoch %d (stats %+v), stable at epoch %d (stats %+v), want %d",
+				fresh.daemon.State().Current().Epoch(), fresh.syncer.Stats(),
+				repB.daemon.State().Current().Epoch(), repB.syncer.Stats(), wantEpoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for rt.Watermark() != wantEpoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("router watermark stuck: %+v (want %d)", rt.Status(), wantEpoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	status := rt.Status()
+	t.Logf("chaos: %d clients, %d queries, 0 failed; %d hedges, %d failovers, %d shed; watermark %d",
+		clients, completed.Load(), status.Hedges, status.Failovers, status.Shed, wantEpoch)
+}

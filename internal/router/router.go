@@ -1,0 +1,511 @@
+// Package router fronts a fleet of read-only serving replicas with one
+// stable HTTP address. It health-checks each backend's /healthz, routes
+// every query to the freshest healthy replica, hedges slow attempts,
+// fails over on error, and — when the whole tier is lagging — degrades
+// in the open: stale responses carry staleness headers, and requests no
+// replica can satisfy are shed with 503 + Retry-After instead of
+// queueing until the client gives up.
+//
+// Epoch monotonicity: replicas converge independently, so two requests
+// from one client may land on replicas at different epochs. A client
+// that sends `X-Min-Epoch: E` (its last seen X-Epoch) is only answered
+// from a replica at epoch ≥ E; the router also keeps a tier-wide epoch
+// watermark (the newest epoch any probe or response has shown) exposed
+// on every response as X-Router-Epoch, so clients can chain requests
+// without ever reading time run backwards.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcfail/internal/serve"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Backends are the replica base URLs, e.g. "http://127.0.0.1:8081".
+	Backends []string
+	// CheckInterval is the health-probe period (default 250ms).
+	CheckInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 1s).
+	ProbeTimeout time.Duration
+	// RequestTimeout is the total budget for one client request across
+	// every attempt, hedge, and failover (default 5s).
+	RequestTimeout time.Duration
+	// HedgeAfter launches a second attempt on the next-best backend when
+	// the first has not answered within this window (default 250ms;
+	// negative disables hedging).
+	HedgeAfter time.Duration
+	// RetryAfterSeconds is the Retry-After value sent when shedding
+	// (default 1).
+	RetryAfterSeconds int
+	// Client issues backend requests; injectable for tests (default: a
+	// plain http.Client — per-attempt deadlines come from the request
+	// context).
+	Client *http.Client
+	// Now stamps probe times and staleness math (nil means time.Now).
+	Now func() time.Time
+}
+
+// BackendStatus is one backend's view in /router/status.
+type BackendStatus struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Degraded  bool   `json:"degraded"`
+	Epoch     uint64 `json:"epoch"`
+	Tickets   int    `json:"tickets"`
+	LagMS     int64  `json:"lag_ms"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status is the /router/status JSON body.
+type Status struct {
+	Backends  []BackendStatus `json:"backends"`
+	Watermark uint64          `json:"epoch_watermark"`
+	Requests  uint64          `json:"requests"`
+	Hedges    uint64          `json:"hedges"`
+	Failovers uint64          `json:"failovers"`
+	Shed      uint64          `json:"shed"`
+}
+
+// backend is the router's live record of one replica.
+type backend struct {
+	url string
+
+	mu       sync.Mutex
+	healthy  bool
+	degraded bool
+	epoch    uint64
+	tickets  int
+	lagMS    int64
+	lastErr  string
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{
+		URL: b.url, Healthy: b.healthy, Degraded: b.degraded,
+		Epoch: b.epoch, Tickets: b.tickets, LagMS: b.lagMS, LastError: b.lastErr,
+	}
+}
+
+// view is an immutable routing snapshot of one backend.
+type view struct {
+	b        *backend
+	healthy  bool
+	degraded bool
+	epoch    uint64
+	lagMS    int64
+}
+
+func (b *backend) view() view {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return view{b: b, healthy: b.healthy, degraded: b.degraded, epoch: b.epoch, lagMS: b.lagMS}
+}
+
+// Router is the serving-tier front end. Create with New, then serve its
+// Handler; Close stops the health loop.
+type Router struct {
+	opts     Options
+	now      func() time.Time
+	client   *http.Client
+	backends []*backend
+	handler  http.Handler
+
+	watermark atomic.Uint64
+	requests  atomic.Uint64
+	hedges    atomic.Uint64
+	failovers atomic.Uint64
+	shed      atomic.Uint64
+
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a router over the given backends and starts its health
+// loop. Callers must Close it.
+func New(opts Options) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends")
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = 250 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = 250 * time.Millisecond
+	}
+	if opts.RetryAfterSeconds <= 0 {
+		opts.RetryAfterSeconds = 1
+	}
+	rt := &Router{
+		opts:    opts,
+		now:     opts.Now,
+		client:  opts.Client,
+		closing: make(chan struct{}),
+	}
+	if rt.now == nil {
+		//lint:ignore walltime injection-point default; Options.Now overrides the clock used for probes and staleness
+		rt.now = time.Now
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	for _, u := range opts.Backends {
+		rt.backends = append(rt.backends, &backend{url: u})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /router/status", rt.handleStatus)
+	mux.HandleFunc("/", rt.route)
+	rt.handler = mux
+
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler: every backend route plus
+// /router/status.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Close stops the health loop. In-flight requests finish on their own
+// deadlines. Idempotent.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.closing) })
+	rt.wg.Wait()
+}
+
+// Watermark returns the newest epoch the router has observed tier-wide.
+func (rt *Router) Watermark() uint64 { return rt.watermark.Load() }
+
+// Status returns the current tier view and lifetime counters.
+func (rt *Router) Status() Status {
+	st := Status{
+		Watermark: rt.watermark.Load(),
+		Requests:  rt.requests.Load(),
+		Hedges:    rt.hedges.Load(),
+		Failovers: rt.failovers.Load(),
+		Shed:      rt.shed.Load(),
+	}
+	for _, b := range rt.backends {
+		st.Backends = append(st.Backends, b.status())
+	}
+	return st
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.Status())
+}
+
+// raiseWatermark lifts the tier watermark monotonically.
+func (rt *Router) raiseWatermark(epoch uint64) {
+	for {
+		cur := rt.watermark.Load()
+		if epoch <= cur || rt.watermark.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// healthLoop probes every backend each CheckInterval. One probe answers
+// both questions the router has — is the replica reachable, and how
+// fresh is it — because /healthz carries status, epoch, and lag.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	rt.probeAll() // immediately, so the first request has a tier view
+	tick := time.NewTicker(rt.opts.CheckInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			rt.probeAll()
+		case <-rt.closing:
+			return
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		rt.markDown(b, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(b, err)
+		return
+	}
+	defer resp.Body.Close()
+	var health serve.HealthReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&health); err != nil {
+		rt.markDown(b, fmt.Errorf("decode healthz: %w", err))
+		return
+	}
+	rt.raiseWatermark(health.Epoch)
+	b.mu.Lock()
+	b.healthy = true
+	b.degraded = resp.StatusCode != http.StatusOK || health.Status != serve.HealthOK
+	b.epoch = health.Epoch
+	b.tickets = health.Tickets
+	b.lagMS = health.LagMS
+	if b.degraded {
+		b.lastErr = health.Reason
+	} else {
+		b.lastErr = ""
+	}
+	b.mu.Unlock()
+}
+
+func (rt *Router) markDown(b *backend, err error) {
+	b.mu.Lock()
+	b.healthy = false
+	b.degraded = false
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+}
+
+// candidates returns backends able to serve a request at epoch ≥
+// minEpoch, best first: healthy fresh replicas by descending epoch, then
+// degraded-but-reachable ones (they still serve their last complete
+// epoch). Backends in `tried` are excluded.
+func (rt *Router) candidates(minEpoch uint64, tried map[*backend]bool) []view {
+	var fresh, stale []view
+	for _, b := range rt.backends {
+		v := b.view()
+		if tried[b] || !v.healthy || v.epoch < minEpoch {
+			continue
+		}
+		if v.degraded {
+			stale = append(stale, v)
+		} else {
+			fresh = append(fresh, v)
+		}
+	}
+	byEpoch := func(vs []view) func(i, j int) bool {
+		return func(i, j int) bool { return vs[i].epoch > vs[j].epoch }
+	}
+	sort.SliceStable(fresh, byEpoch(fresh))
+	sort.SliceStable(stale, byEpoch(stale))
+	return append(fresh, stale...)
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	v      view
+	resp   *http.Response
+	body   []byte
+	err    error
+	hedged bool
+}
+
+// route serves one client request: pick the freshest eligible replica,
+// hedge if it dawdles, fail over if it errors, and shed with 503 +
+// Retry-After if the deadline expires with no replica able to answer.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "router: read-only tier", http.StatusMethodNotAllowed)
+		return
+	}
+	minEpoch := uint64(0)
+	if raw := r.Header.Get("X-Min-Epoch"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "router: bad X-Min-Epoch", http.StatusBadRequest)
+			return
+		}
+		minEpoch = v
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+	defer cancel()
+
+	tried := make(map[*backend]bool)
+	for {
+		cands := rt.candidates(minEpoch, tried)
+		if len(cands) == 0 {
+			if len(tried) > 0 {
+				// Every eligible backend failed this request; a fresh
+				// candidate set may heal within the deadline.
+				tried = make(map[*backend]bool)
+			}
+			// Wait for a probe to surface capacity, within the deadline.
+			select {
+			case <-ctx.Done():
+				rt.shedRequest(w)
+				return
+			case <-time.After(rt.opts.CheckInterval):
+				continue
+			}
+		}
+		res, ok := rt.attempt(ctx, r, cands, tried, minEpoch)
+		if !ok {
+			select {
+			case <-ctx.Done():
+				rt.shedRequest(w)
+				return
+			default:
+				continue // failover: next candidate set
+			}
+		}
+		rt.writeResponse(w, res)
+		return
+	}
+}
+
+// shedRequest answers 503 + Retry-After: the tier is lagging or down,
+// and honest backpressure beats an unbounded queue.
+func (rt *Router) shedRequest(w http.ResponseWriter) {
+	rt.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.opts.RetryAfterSeconds))
+	w.Header().Set("X-Router-Epoch", strconv.FormatUint(rt.watermark.Load(), 10))
+	http.Error(w, "router: no replica can serve this request; retry shortly", http.StatusServiceUnavailable)
+}
+
+// staleFor reports whether a response violates the client's minimum
+// epoch. Probed epochs only lag reality, so this should never fire for
+// a well-behaved replica — but the monotonicity guarantee is checked
+// against what the backend actually said, not what the probe believed.
+func staleFor(resp *http.Response, minEpoch uint64) bool {
+	raw := resp.Header.Get("X-Epoch")
+	if raw == "" || minEpoch == 0 {
+		return false
+	}
+	epoch, err := strconv.ParseUint(raw, 10, 64)
+	return err == nil && epoch < minEpoch
+}
+
+// attempt runs one primary try against cands[0], hedging onto cands[1]
+// if the first answer is slow. The first usable response wins; failed
+// backends land in tried.
+func (rt *Router) attempt(ctx context.Context, r *http.Request, cands []view, tried map[*backend]bool, minEpoch uint64) (attemptResult, bool) {
+	results := make(chan attemptResult, 2)
+	launch := func(v view, hedged bool) {
+		go func() {
+			resp, body, err := rt.forward(ctx, r, v)
+			results <- attemptResult{v: v, resp: resp, body: body, err: err, hedged: hedged}
+		}()
+	}
+	launch(cands[0], false)
+	inFlight := 1
+
+	var hedge <-chan time.Time
+	if rt.opts.HedgeAfter > 0 && len(cands) > 1 {
+		hedge = time.After(rt.opts.HedgeAfter)
+	}
+	for inFlight > 0 {
+		select {
+		case <-hedge:
+			hedge = nil
+			rt.hedges.Add(1)
+			launch(cands[1], true)
+			inFlight++
+		case res := <-results:
+			inFlight--
+			if res.err != nil || res.resp.StatusCode >= http.StatusInternalServerError ||
+				staleFor(res.resp, minEpoch) {
+				// This replica is no good for this request; remember that
+				// and wait for the hedge (if any) before giving up.
+				tried[res.v.b] = true
+				rt.failovers.Add(1)
+				if res.err == nil {
+					if staleFor(res.resp, minEpoch) {
+						res.err = fmt.Errorf("epoch %s below client minimum %d",
+							res.resp.Header.Get("X-Epoch"), minEpoch)
+					} else {
+						res.err = fmt.Errorf("status %d", res.resp.StatusCode)
+					}
+				}
+				res.v.b.mu.Lock()
+				res.v.b.lastErr = res.err.Error()
+				res.v.b.mu.Unlock()
+				continue
+			}
+			return res, true
+		case <-ctx.Done():
+			return attemptResult{}, false
+		}
+	}
+	return attemptResult{}, false
+}
+
+// forward relays the client request to one backend and buffers the
+// response, so a failover can still pick a different replica after a
+// mid-body error without having committed bytes to the client.
+func (rt *Router) forward(ctx context.Context, r *http.Request, v view) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, v.b.url+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, body, nil
+}
+
+// writeResponse relays a backend response, stamping tier headers.
+func (rt *Router) writeResponse(w http.ResponseWriter, res attemptResult) {
+	if raw := res.resp.Header.Get("X-Epoch"); raw != "" {
+		if epoch, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			rt.raiseWatermark(epoch)
+		}
+	}
+	h := w.Header()
+	for k, vals := range res.resp.Header {
+		for _, v := range vals {
+			h.Add(k, v)
+		}
+	}
+	h.Set("X-Served-By", res.v.b.url)
+	h.Set("X-Router-Epoch", strconv.FormatUint(rt.watermark.Load(), 10))
+	if res.v.degraded {
+		// Honest staleness: the body is a complete epoch, just not the
+		// newest one the tier has seen.
+		h.Set("X-Stale", "true")
+		h.Set("X-Staleness-MS", strconv.FormatInt(res.v.lagMS, 10))
+	}
+	w.WriteHeader(res.resp.StatusCode)
+	w.Write(res.body)
+}

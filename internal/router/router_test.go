@@ -1,0 +1,281 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcfail/internal/serve"
+)
+
+// fakeReplica is a scripted backend: /healthz serves the configured
+// reply, /report/table1 serves the configured body + X-Epoch.
+type fakeReplica struct {
+	srv *httptest.Server
+
+	healthCode atomic.Int64
+	epoch      atomic.Uint64
+	degraded   atomic.Bool
+	lagMS      atomic.Int64
+	reportCode atomic.Int64
+	delay      atomic.Int64 // report handler sleep, nanoseconds
+	hits       atomic.Uint64
+}
+
+func newFakeReplica(t *testing.T, epoch uint64) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.healthCode.Store(http.StatusOK)
+	f.reportCode.Store(http.StatusOK)
+	f.epoch.Store(epoch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		reply := serve.HealthReply{Status: serve.HealthOK, Epoch: f.epoch.Load(), LagMS: f.lagMS.Load()}
+		code := int(f.healthCode.Load())
+		if f.degraded.Load() {
+			reply.Status = serve.HealthDegraded
+			reply.Reason = "source lag"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(reply)
+	})
+	mux.HandleFunc("GET /report/table1", func(w http.ResponseWriter, r *http.Request) {
+		if d := f.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		f.hits.Add(1)
+		if code := int(f.reportCode.Load()); code != http.StatusOK {
+			http.Error(w, "scripted failure", code)
+			return
+		}
+		w.Header().Set("X-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		fmt.Fprintf(w, "report from %s at epoch %d", f.srv.URL, f.epoch.Load())
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func startRouter(t *testing.T, opts Options, backends ...*fakeReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, b := range backends {
+		opts.Backends = append(opts.Backends, b.srv.URL)
+	}
+	if opts.CheckInterval == 0 {
+		opts.CheckInterval = 20 * time.Millisecond
+	}
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+// waitHealthy blocks until the router's tier view shows n healthy
+// backends.
+func waitHealthy(t *testing.T, rt *Router, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, b := range rt.Status().Backends {
+			if b.Healthy {
+				healthy++
+			}
+		}
+		if healthy == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never saw %d healthy backends: %+v", n, rt.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func routedGet(t *testing.T, base string, minEpoch uint64) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/report/table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minEpoch > 0 {
+		req.Header.Set("X-Min-Epoch", strconv.FormatUint(minEpoch, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestRoutesToFreshestHealthyBackend(t *testing.T) {
+	stale := newFakeReplica(t, 5)
+	fresh := newFakeReplica(t, 9)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, stale, fresh)
+	waitHealthy(t, rt, 2)
+
+	for i := 0; i < 5; i++ {
+		resp, _ := routedGet(t, srv.URL, 0)
+		if got := resp.Header.Get("X-Served-By"); got != fresh.srv.URL {
+			t.Fatalf("request %d served by %s, want the freshest %s", i, got, fresh.srv.URL)
+		}
+	}
+	if stale.hits.Load() != 0 {
+		t.Fatalf("stale replica took %d hits with the fresh one healthy", stale.hits.Load())
+	}
+	if rt.Watermark() != 9 {
+		t.Fatalf("watermark = %d, want 9", rt.Watermark())
+	}
+}
+
+func TestFailoverOnBackendError(t *testing.T) {
+	bad := newFakeReplica(t, 9)
+	good := newFakeReplica(t, 7)
+	bad.reportCode.Store(http.StatusInternalServerError)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, bad, good)
+	waitHealthy(t, rt, 2)
+
+	// The freshest replica 500s; the router must answer from the other.
+	resp, body := routedGet(t, srv.URL, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Served-By"); got != good.srv.URL {
+		t.Fatalf("served by %s, want failover to %s", got, good.srv.URL)
+	}
+	if rt.Status().Failovers == 0 {
+		t.Fatal("failover counter never moved")
+	}
+}
+
+func TestDegradedReplicaServesWithStalenessHeaders(t *testing.T) {
+	lagging := newFakeReplica(t, 4)
+	lagging.degraded.Store(true)
+	lagging.lagMS.Store(1500)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, lagging)
+	waitHealthy(t, rt, 1)
+
+	// The only replica is degraded: it still answers (last complete
+	// epoch), and the router says so out loud.
+	resp, body := routedGet(t, srv.URL, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Stale") != "true" {
+		t.Fatalf("degraded response missing X-Stale: %v", resp.Header)
+	}
+	if resp.Header.Get("X-Staleness-MS") != "1500" {
+		t.Fatalf("X-Staleness-MS = %q, want 1500", resp.Header.Get("X-Staleness-MS"))
+	}
+}
+
+func TestShedsWithRetryAfterWhenTierIsDown(t *testing.T) {
+	dead := newFakeReplica(t, 3)
+	dead.srv.Close() // unreachable from the start
+	rt, srv := startRouter(t, Options{
+		HedgeAfter:        -1,
+		RequestTimeout:    200 * time.Millisecond,
+		RetryAfterSeconds: 7,
+	}, dead)
+
+	resp, _ := routedGet(t, srv.URL, 0)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After = %q, want 7", resp.Header.Get("Retry-After"))
+	}
+	if rt.Status().Shed == 0 {
+		t.Fatal("shed counter never moved")
+	}
+}
+
+func TestMinEpochExcludesLaggingReplicas(t *testing.T) {
+	behind := newFakeReplica(t, 3)
+	ahead := newFakeReplica(t, 8)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, behind, ahead)
+	waitHealthy(t, rt, 2)
+
+	resp, _ := routedGet(t, srv.URL, 5)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 from the ahead replica", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Served-By"); got != ahead.srv.URL {
+		t.Fatalf("served by %s, want %s (the only one at epoch ≥ 5)", got, ahead.srv.URL)
+	}
+
+	// No replica can satisfy the minimum → shed, not a stale answer.
+	resp, _ = func() (*http.Response, string) {
+		rt2, srv2 := startRouter(t, Options{
+			HedgeAfter:     -1,
+			RequestTimeout: 200 * time.Millisecond,
+		}, behind)
+		waitHealthy(t, rt2, 1)
+		return routedGet(t, srv2.URL, 5)
+	}()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 when no replica reaches the minimum epoch", resp.StatusCode)
+	}
+}
+
+func TestHedgedRequestBeatsSlowReplica(t *testing.T) {
+	slow := newFakeReplica(t, 9)
+	fast := newFakeReplica(t, 9)
+	slow.delay.Store(int64(2 * time.Second))
+	rt, srv := startRouter(t, Options{HedgeAfter: 50 * time.Millisecond}, slow, fast)
+	waitHealthy(t, rt, 2)
+
+	// Force the slow replica to rank first by giving it a higher epoch.
+	slow.epoch.Store(10)
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Watermark() != 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	resp, body := routedGet(t, srv.URL, 0)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Served-By"); got != fast.srv.URL {
+		t.Fatalf("served by %s, want the hedge target %s", got, fast.srv.URL)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged request took %v; the hedge never fired", elapsed)
+	}
+	if rt.Status().Hedges == 0 {
+		t.Fatal("hedge counter never moved")
+	}
+}
+
+func TestWritesRejected(t *testing.T) {
+	rep := newFakeReplica(t, 1)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, rep)
+	waitHealthy(t, rt, 1)
+	resp, err := http.Post(srv.URL+"/report/table1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -19,14 +19,22 @@ func (d *Daemon) Handler() http.Handler { return d.handler }
 
 func (d *Daemon) buildHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /stats", d.handleStats)
 	mux.HandleFunc("GET /report", d.handleReport)
 	mux.HandleFunc("GET /report/{section}", d.handleSection)
 	mux.HandleFunc("GET /hosts/{id}", d.handleHost)
 	mux.HandleFunc("GET /alerts", d.handleAlerts)
 	limited := d.limitConcurrency(mux)
-	return http.TimeoutHandler(limited, d.opts.RequestTimeout, "request timed out\n")
+	// /healthz deliberately bypasses the concurrency gate: a health probe
+	// must report whether the process is alive and fresh, not whether the
+	// query queue happens to be deep. A probe that queues behind slow
+	// reports makes a saturated-but-healthy replica look dead, and a
+	// router that believes it amplifies the very stampede that caused the
+	// queue (observed in the chaos harness before this split).
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", d.handleHealthz)
+	outer.Handle("/", limited)
+	return http.TimeoutHandler(outer, d.opts.RequestTimeout, "request timed out\n")
 }
 
 // limitConcurrency admits at most MaxConcurrent requests at once;
@@ -43,9 +51,45 @@ func (d *Daemon) limitConcurrency(next http.Handler) http.Handler {
 	})
 }
 
+// HealthReply is the /healthz JSON body. Status is "ok" (HTTP 200) or
+// "degraded" (HTTP 503 with Reason set): the source lag exceeded
+// Options.DegradedAfter or the ingest loop died — the failover signal
+// cmd/fotrouter keys on. Epoch rides along so one probe tells a router
+// both "is it healthy" and "how fresh is it".
+type HealthReply struct {
+	Status  string `json:"status"`
+	Epoch   uint64 `json:"epoch"`
+	Tickets int    `json:"tickets"`
+	LagMS   int64  `json:"lag_ms"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// HealthOK and HealthDegraded are the HealthReply.Status values.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	snap := d.state.Current()
+	lag := d.lag()
+	reply := HealthReply{
+		Status:  HealthOK,
+		Epoch:   snap.Epoch(),
+		Tickets: snap.Tickets(),
+		LagMS:   lag.Milliseconds(),
+	}
+	if msg := d.ingestErr.Load(); msg != nil {
+		reply.Status = HealthDegraded
+		reply.Reason = "ingest failed: " + *msg
+	} else if limit := d.opts.DegradedAfter; limit > 0 && lag > limit {
+		reply.Status = HealthDegraded
+		reply.Reason = fmt.Sprintf("source lag %dms exceeds %dms", reply.LagMS, limit.Milliseconds())
+	}
+	if reply.Status != HealthOK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, reply)
 }
 
 // StatsReply is the /stats JSON body.
@@ -89,9 +133,7 @@ func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if reply.Pending > 0 && !snap.FoldedAt().IsZero() {
 		reply.IngestLagMS = d.now().Sub(snap.FoldedAt()).Milliseconds()
 	}
-	if d.opts.SourceDrops != nil {
-		reply.SourceDrops = d.opts.SourceDrops()
-	}
+	reply.SourceDrops = d.sourceDrops()
 	if msg := d.ingestErr.Load(); msg != nil {
 		reply.IngestError = *msg
 	}

@@ -61,8 +61,17 @@ type Options struct {
 	AlertWindow    time.Duration
 	AlertThreshold int
 	// SourceDrops, when set, is surfaced in /stats as the ingest
-	// source's drop counter (e.g. fmsnet.TicketSub.Dropped).
+	// source's drop counter (e.g. fmsnet.TicketSub.Dropped). The daemon
+	// tracks a high-water mark over the probe, so the exported counter is
+	// monotonic even if the source is swapped or reset underneath it.
 	SourceDrops func() uint64
+	// DegradedAfter is the source-lag threshold for /healthz: when the
+	// oldest pending (unfolded) ticket — or, with a lag probe installed,
+	// the replication stream — has been waiting longer than this, the
+	// endpoint reports status "degraded" with 503 so a router can fail
+	// over. 0 disables lag-based degradation (always "ok" while the
+	// ingest loop is healthy).
+	DegradedAfter time.Duration
 	// Now supplies fold timestamps and /stats lag measurements (nil
 	// means time.Now), mirroring fmsnet.CollectorOptions.Now: inject a
 	// fake clock to make fold timing and ingest lag deterministic in
@@ -89,6 +98,8 @@ type Daemon struct {
 	ingested  atomic.Uint64
 	drained   atomic.Bool
 	ingestErr atomic.Pointer[string]
+	dropsHW   atomic.Uint64 // high-water mark over Options.SourceDrops
+	lagProbe  atomic.Pointer[func() time.Duration]
 
 	ingestCancel context.CancelFunc
 	ingestDone   chan struct{}
@@ -131,6 +142,48 @@ func New(opts Options) *Daemon {
 
 // State exposes the underlying snapshot state (tests, embedders).
 func (d *Daemon) State() *State { return d.state }
+
+// SetLagProbe overrides the /healthz lag measurement with an external
+// source — a replica daemon installs its syncer's replication lag here,
+// so "behind the primary" degrades health exactly like "behind the
+// ingest queue" does on a primary. Safe to call after New, before or
+// while serving.
+func (d *Daemon) SetLagProbe(probe func() time.Duration) {
+	d.lagProbe.Store(&probe)
+}
+
+// lag reports how far behind the daemon's published state is: the
+// installed lag probe if any, else how long the oldest pending (unfolded)
+// ticket has been waiting.
+func (d *Daemon) lag() time.Duration {
+	if p := d.lagProbe.Load(); p != nil {
+		return (*p)()
+	}
+	snap := d.state.Current()
+	if d.pending.Load() > 0 && !snap.FoldedAt().IsZero() {
+		return d.now().Sub(snap.FoldedAt())
+	}
+	return 0
+}
+
+// sourceDrops returns the monotonic high-water mark over the configured
+// drop probe. A probe that goes backwards (source swap, reset) can never
+// make the exported counter regress.
+func (d *Daemon) sourceDrops() uint64 {
+	if d.opts.SourceDrops == nil {
+		return d.dropsHW.Load()
+	}
+	v := d.opts.SourceDrops()
+	for {
+		cur := d.dropsHW.Load()
+		if v <= cur {
+			return cur
+		}
+		if d.dropsHW.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}
 
 // Drained reports whether a finite ingest source has been fully folded.
 func (d *Daemon) Drained() bool { return d.drained.Load() }

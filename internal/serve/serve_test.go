@@ -266,8 +266,15 @@ func TestEndpointsHostsAlertsStatsHealthz(t *testing.T) {
 	defer srv.Close()
 
 	resp, body := get(t, srv, "/healthz")
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+	var health HealthReply
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != HealthOK {
 		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	if health.Tickets != len(tickets) || health.Epoch == 0 {
+		t.Fatalf("/healthz freshness = %+v, want %d tickets at a nonzero epoch", health, len(tickets))
 	}
 
 	resp, body = get(t, srv, "/hosts/100")

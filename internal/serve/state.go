@@ -54,10 +54,16 @@ func (s *Snapshot) MineIndex() (*mine.Index, error) {
 
 // sectionCache holds the rendered sections of one epoch. It only ever
 // grows; epoch advance abandons the whole cache with its snapshot, so
-// nothing stale can survive a fold.
+// nothing stale can survive a fold. inflight dedups concurrent misses:
+// the first reader to miss a section computes it, later readers wait on
+// its channel (closed when the result lands in done) instead of racing
+// duplicate renders — on a fresh epoch under a request stampede, N
+// identical renders on one box otherwise multiply the epoch's cold cost
+// by N (observed as a collapse in the chaos harness).
 type sectionCache struct {
-	mu   sync.Mutex
-	done map[string]core.SectionResult
+	mu       sync.Mutex
+	done     map[string]core.SectionResult
+	inflight map[string]chan struct{}
 }
 
 // State is the incrementally updated analytics state behind the query
@@ -76,6 +82,9 @@ type State struct {
 	foldMu sync.Mutex // serializes folds; Current never takes it
 	all    []fot.Ticket
 
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
+
 	cur atomic.Pointer[Snapshot]
 
 	hits   atomic.Uint64
@@ -90,6 +99,7 @@ func NewState(census *core.Census, workers int) *State {
 		census:   census,
 		workers:  workers,
 		sections: make(map[string]core.Section),
+		watchers: make(map[chan struct{}]struct{}),
 	}
 	for _, sec := range report.StandardSections(census) {
 		st.sections[sec.ID] = sec
@@ -109,7 +119,10 @@ func (st *State) newSnapshot(prev *fot.TraceIndex, epoch uint64, view []fot.Tick
 		index:    fot.ExtendTraceIndex(prev, fot.NewTrace(view)),
 		tickets:  len(view),
 		foldedAt: at,
-		cache:    sectionCache{done: make(map[string]core.SectionResult)},
+		cache: sectionCache{
+			done:     make(map[string]core.SectionResult),
+			inflight: make(map[string]chan struct{}),
+		},
 	}
 }
 
@@ -132,13 +145,80 @@ func (st *State) Fold(batch []fot.Ticket, now time.Time) *Snapshot {
 	if len(batch) == 0 {
 		return prev
 	}
+	return st.publish(batch, prev.epoch+1, now)
+}
+
+// FoldTo appends a batch and publishes it under an explicit epoch number
+// — the replication path: a replica replaying a primary's epoch markers
+// folds each marker's rows under the primary's epoch, so /report bodies
+// and X-Epoch headers agree across the whole serving tier. The epoch must
+// advance; an empty batch is allowed (a marker whose rows all arrived
+// before a reconnect still has to move the epoch forward).
+func (st *State) FoldTo(batch []fot.Ticket, epoch uint64, now time.Time) (*Snapshot, error) {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
+	prev := st.cur.Load()
+	if epoch <= prev.epoch {
+		return nil, fmt.Errorf("serve: FoldTo epoch %d not after current %d", epoch, prev.epoch)
+	}
+	return st.publish(batch, epoch, now), nil
+}
+
+// publish appends batch (possibly empty) and installs the new epoch.
+// Callers hold foldMu.
+func (st *State) publish(batch []fot.Ticket, epoch uint64, now time.Time) *Snapshot {
+	prev := st.cur.Load()
 	st.all = append(st.all, batch...)
 	// Full slice expression: the snapshot's view can never observe a
 	// later Fold's appends, even when they land in the same array.
 	view := st.all[:len(st.all):len(st.all)]
-	snap := st.newSnapshot(prev.index, prev.epoch+1, view, now)
+	snap := st.newSnapshot(prev.index, epoch, view, now)
 	st.cur.Store(snap)
+	st.notifyWatchers()
 	return snap
+}
+
+// Rows returns rows [from, to) of the append-only ticket log. Published
+// prefixes are immutable, so the returned (capped) subslice stays valid
+// and read-only no matter how many folds happen afterwards. to must not
+// exceed the published row count (Current().Tickets()).
+func (st *State) Rows(from, to int) ([]fot.Ticket, error) {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
+	if from < 0 || to < from || to > len(st.all) {
+		return nil, fmt.Errorf("serve: rows [%d, %d) out of range (have %d)", from, to, len(st.all))
+	}
+	return st.all[from:to:to], nil
+}
+
+// Watch registers an epoch-advance signal: the returned capacity-1
+// channel receives (coalesced, non-blocking) after every published fold.
+// Pair with Unwatch.
+func (st *State) Watch() chan struct{} {
+	ch := make(chan struct{}, 1)
+	st.watchMu.Lock()
+	st.watchers[ch] = struct{}{}
+	st.watchMu.Unlock()
+	return ch
+}
+
+// Unwatch removes a channel registered with Watch.
+func (st *State) Unwatch(ch chan struct{}) {
+	st.watchMu.Lock()
+	delete(st.watchers, ch)
+	st.watchMu.Unlock()
+}
+
+func (st *State) notifyWatchers() {
+	st.watchMu.Lock()
+	for ch := range st.watchers {
+		select {
+		//lint:ignore maporder coalesced wake-up signals carry no payload; delivery order across watchers is immaterial
+		case ch <- struct{}{}:
+		default: // watcher already has a pending signal
+		}
+	}
+	st.watchMu.Unlock()
 }
 
 // CacheStats reports the lifetime section-cache hit/miss counters.
@@ -148,12 +228,20 @@ func (st *State) CacheStats() (hits, misses uint64) {
 
 // RenderSections renders the requested section ids against one snapshot,
 // serving repeats from the epoch's cache and recomputing every missing
-// section in parallel through core.Runner. Results come back in the
-// requested order; an unknown id is an error.
+// section in parallel through core.Runner. Concurrent misses of the same
+// section are deduplicated: exactly one caller renders it, the rest wait
+// for its result. Results come back in the requested order; an unknown
+// id is an error.
 func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionResult, error) {
 	results := make([]core.SectionResult, len(ids))
 	var missing []core.Section
 	var missingAt []int
+	type waiter struct {
+		at int
+		id string
+		ch chan struct{}
+	}
+	var waits []waiter
 
 	snap.cache.mu.Lock()
 	for i, id := range ids {
@@ -162,13 +250,20 @@ func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionRes
 			st.hits.Add(1)
 			continue
 		}
-		sec, ok := st.sections[id]
-		if !ok {
+		if _, ok := st.sections[id]; !ok {
 			snap.cache.mu.Unlock()
 			return nil, fmt.Errorf("serve: unknown section %q", id)
 		}
+		if ch, ok := snap.cache.inflight[id]; ok {
+			// Another request is already rendering this section; its
+			// result is as good as ours and costs nothing.
+			st.hits.Add(1)
+			waits = append(waits, waiter{at: i, id: id, ch: ch})
+			continue
+		}
 		st.misses.Add(1)
-		missing = append(missing, sec)
+		snap.cache.inflight[id] = make(chan struct{})
+		missing = append(missing, st.sections[id])
 		missingAt = append(missingAt, i)
 	}
 	snap.cache.mu.Unlock()
@@ -177,12 +272,19 @@ func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionRes
 		bundle := core.Runner{Workers: st.workers}.RunAll(snap.index, missing)
 		snap.cache.mu.Lock()
 		for j, res := range bundle.Sections {
-			// Two racing requests may both compute a section; the
-			// renders are deterministic over one snapshot, so either
-			// result is the same bytes.
 			snap.cache.done[res.ID] = res
 			results[missingAt[j]] = res
+			if ch, ok := snap.cache.inflight[res.ID]; ok {
+				close(ch)
+				delete(snap.cache.inflight, res.ID)
+			}
 		}
+		snap.cache.mu.Unlock()
+	}
+	for _, w := range waits {
+		<-w.ch
+		snap.cache.mu.Lock()
+		results[w.at] = snap.cache.done[w.id]
 		snap.cache.mu.Unlock()
 	}
 	return results, nil
