@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve benchall profile
+.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve bench-fold benchall profile
 
 all: tier1
 
@@ -60,6 +60,14 @@ bench:
 # BENCH_serve.json in the repo root.
 bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkServeTier -benchtime 500x -v .
+
+# bench-fold: incremental engine delta-fold cost against full recompute
+# at paper scale; writes BENCH_fold.json in the repo root and fails if
+# the steady-state per-fold speedup drops under 5x. The CI smoke runs
+# the same benchmark with FOLDBENCH_PROFILE=small (byte-identity checked,
+# gate not enforced at toy scale).
+bench-fold:
+	$(GO) test -run '^$$' -bench BenchmarkFoldDelta -benchtime 1x -v -timeout 40m .
 
 # benchall: the full per-table/per-figure benchmark sweep.
 benchall:

@@ -1,0 +1,188 @@
+package dcfail
+
+// Fold-cost benchmark: the incremental section engine's per-fold cost
+// (delta advance + re-render of changed sections, byte-carry for the
+// rest) against the full recompute every serving fold paid before it.
+// Both paths run over identically built indexes, each with its own
+// per-epoch memo space, and every fold's assembled output is checked
+// byte-identical — the speedup is only meaningful if the bytes agree.
+//
+// `make bench-fold` runs this at paper scale and writes BENCH_fold.json
+// in the repo root; the run fails if the steady-state speedup drops
+// under 5x. FOLDBENCH_PROFILE=small is the CI smoke variant — it checks
+// the same byte identity and emits the same artifact in seconds, but
+// does not enforce the speedup gate (delta overhead is not amortised at
+// toy scale).
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/report"
+)
+
+func BenchmarkFoldDelta(b *testing.B) {
+	profileName := "paper"
+	var res *fms.Result
+	var cen *core.Census
+	if os.Getenv("FOLDBENCH_PROFILE") == "small" {
+		profileName = "small"
+		r, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, cen = r, core.CensusFromFleet(r.Fleet)
+	} else {
+		res, cen = paperFixture(b)
+	}
+
+	// Global (time, id) order — the append order a live source delivers.
+	tickets := append([]fot.Ticket(nil), res.Trace.Tickets...)
+	slices.SortFunc(tickets, func(x, y fot.Ticket) int {
+		if !x.Time.Equal(y.Time) {
+			return x.Time.Compare(y.Time)
+		}
+		if x.ID < y.ID {
+			return -1
+		} else if x.ID > y.ID {
+			return 1
+		}
+		return 0
+	})
+
+	// One bootstrap fold carries 80% of the trace; the remaining rows
+	// arrive as steady-state delta folds, the regime the daemon lives in.
+	const deltaFolds = 16
+	boot := len(tickets) * 4 / 5
+	cuts := []int{boot}
+	for i := 1; i <= deltaFolds; i++ {
+		cuts = append(cuts, boot+(len(tickets)-boot)*i/deltaFolds)
+	}
+
+	sections := report.StandardSections(cen)
+	type rendered struct {
+		bytes []byte
+		err   string
+	}
+
+	var fullNS, incNS []int64
+	for iter := 0; iter < b.N; iter++ {
+		engine := core.NewIncrementalEngine(report.StandardIncrementalSections(cen))
+		var ixInc, ixFull *fot.TraceIndex
+		carried := map[string]rendered{}
+		fullNS, incNS = fullNS[:0], incNS[:0]
+
+		for epoch, cut := range cuts {
+			ixInc = fot.ExtendTraceIndex(ixInc, fot.NewTrace(tickets[:cut]))
+			ixFull = fot.ExtendTraceIndex(ixFull, fot.NewTrace(tickets[:cut]))
+
+			// The untimed index builds above allocate heavily; collect
+			// their garbage now so neither timed region pays a GC cycle
+			// triggered by setup work.
+			runtime.GC()
+
+			// Incremental fold: consume the delta, re-render only what
+			// changed, keep carried bytes for the rest.
+			start := time.Now()
+			changed := engine.Advance(ixInc, uint64(epoch))
+			for _, sec := range sections {
+				if _, ok := carried[sec.ID]; ok && !changed[sec.ID] {
+					continue
+				}
+				var buf bytes.Buffer
+				ok, err := engine.TryRender(sec.ID, uint64(epoch), ixInc, &buf)
+				if !ok {
+					b.Fatalf("epoch %d: TryRender(%q) refused", epoch, sec.ID)
+				}
+				r := rendered{bytes: buf.Bytes()}
+				if err != nil {
+					r.err = err.Error()
+				}
+				carried[sec.ID] = r
+			}
+			incD := time.Since(start)
+
+			// Full recompute: every section from scratch, as the serving
+			// tier did before the engine existed.
+			start = time.Now()
+			full := make(map[string]rendered, len(sections))
+			for _, sec := range sections {
+				var buf bytes.Buffer
+				err := sec.Render(ixFull, &buf)
+				r := rendered{bytes: buf.Bytes()}
+				if err != nil {
+					r.err = err.Error()
+				}
+				full[sec.ID] = r
+			}
+			fullD := time.Since(start)
+
+			if epoch > 0 { // bootstrap is not a steady-state fold
+				incNS = append(incNS, int64(incD))
+				fullNS = append(fullNS, int64(fullD))
+			}
+			for _, sec := range sections {
+				f, c := full[sec.ID], carried[sec.ID]
+				if !bytes.Equal(f.bytes, c.bytes) || f.err != c.err {
+					b.Fatalf("epoch %d section %s: incremental output diverged from full recompute", epoch, sec.ID)
+				}
+			}
+		}
+		if st := engine.Stats(); st.Rebuilds != 0 || len(st.Broken) != 0 {
+			b.Fatalf("engine stats after monotone schedule: %+v", st)
+		}
+	}
+
+	mean := func(xs []int64) int64 {
+		var sum int64
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / int64(len(xs))
+	}
+	fullMean, incMean := mean(fullNS), mean(incNS)
+	speedup := float64(fullMean) / float64(incMean)
+	pass := speedup >= 5
+	if profileName == "paper" && !pass {
+		b.Errorf("per-fold speedup %.2fx under the 5x gate (full %v, incremental %v)",
+			speedup, time.Duration(fullMean), time.Duration(incMean))
+	}
+
+	doc := map[string]interface{}{
+		"benchmark":        "BenchmarkFoldDelta",
+		"profile":          profileName,
+		"tickets":          len(tickets),
+		"sections":         len(sections),
+		"bootstrap_rows":   boot,
+		"delta_folds":      deltaFolds,
+		"rows_per_fold":    (len(tickets) - boot) / deltaFolds,
+		"full_ns_per_fold": fullMean,
+		"inc_ns_per_fold":  incMean,
+		"full_ns_folds":    fullNS,
+		"inc_ns_folds":     incNS,
+		"speedup":          speedup,
+		"gate":             "speedup >= 5 at paper profile",
+		"gate_pass":        pass,
+		"byte_identical":   true, // enforced per fold above; a divergence aborts the run
+		"cores":            runtime.NumCPU(),
+		"go":               runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fold.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("fold cost: full %.1fms, incremental %.1fms per fold — %.1fx (%d delta folds of ~%d rows)",
+		float64(fullMean)/1e6, float64(incMean)/1e6, speedup, deltaFolds, (len(tickets)-boot)/deltaFolds)
+}

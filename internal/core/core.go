@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
 	"time"
 
 	"dcfail/internal/fot"
@@ -43,6 +44,13 @@ import (
 type Census struct {
 	Servers     []CensusServer
 	Datacenters []CensusDC
+
+	// Dense per-server inventory for the Fig. 6 exposure scan, built
+	// lazily once per census (inc_lifecycle.go): the census is static
+	// while exposure is re-derived every epoch, so the map-shaped
+	// Components reads are paid once, not per epoch.
+	expOnce  sync.Once
+	expDense *censusExposureDense
 }
 
 // CensusServer is one monitored host.

@@ -1,0 +1,96 @@
+package fmsnet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcfail/internal/serve"
+)
+
+// TestSubscriberDropBackfillAccounting is the end-to-end drop contract
+// between the collector feed and the serving daemon: a subscriber that
+// overflows its bounded buffer sees Dropped() advance while the
+// collector's ack path never stalls, and the daemon's exported
+// SourceDrops tracks the live subscriber's counter — including across a
+// reattach, where the fresh subscription restarts its count at zero and
+// the daemon's high-water mark carries the history until the new feed
+// catches up past it.
+func TestSubscriberDropBackfillAccounting(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col)
+
+	// The daemon reads whichever subscription is currently attached —
+	// exactly how cmd/fotqueryd wires sub.Dropped into Options.SourceDrops.
+	var cur atomic.Pointer[TicketSub]
+	sub := col.SubscribeTickets(2)
+	cur.Store(sub)
+	d := serve.New(serve.Options{SourceDrops: func() uint64 { return cur.Load().Dropped() }})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	stats := func() uint64 {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var reply serve.StatsReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.SourceDrops
+	}
+
+	// Overflow the undrained 2-slot buffer. Every report must ack within
+	// the deadline — drops are counted, never pushed back on the agent.
+	const burst = 32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= burst; i++ {
+			if _, err := cl.Report(sampleReport(i, true)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("acks stalled behind an overflowing subscription")
+	}
+	if got := sub.Dropped(); got != burst-2 {
+		t.Fatalf("Dropped() = %d, want %d (buffer keeps 2 of %d)", got, burst-2, burst)
+	}
+	if got := stats(); got != sub.Dropped() {
+		t.Fatalf("/stats source_drops = %d, want the subscriber's %d", got, sub.Dropped())
+	}
+
+	// Reattach: the old feed closes, a fresh one starts its counter at
+	// zero. The exported counter must not regress, and once the new feed
+	// drops past the old high-water mark the two agree again.
+	sub.Close()
+	sub2 := col.SubscribeTickets(1)
+	defer sub2.Close()
+	cur.Store(sub2)
+	if got := stats(); got != burst-2 {
+		t.Fatalf("/stats source_drops after reattach = %d, want high-water %d", got, burst-2)
+	}
+	const burst2 = 2 * burst
+	for i := uint64(burst + 1); i <= burst+burst2; i++ {
+		if _, err := cl.Report(sampleReport(i, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sub2.Dropped(); got != burst2-1 {
+		t.Fatalf("reattached Dropped() = %d, want %d", got, burst2-1)
+	}
+	if got := stats(); got != sub2.Dropped() {
+		t.Fatalf("/stats source_drops = %d, want the reattached subscriber's %d", got, sub2.Dropped())
+	}
+}

@@ -22,7 +22,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 // TestRegistry pins the rule registry's shape: stable names, docs, and
 // scopes, so fotlint -list stays meaningful.
 func TestRegistry(t *testing.T) {
-	want := []string{"maporder", "walltime", "globalrand", "fsyncgap", "lockedblocking"}
+	want := []string{"maporder", "walltime", "globalrand", "fsyncgap", "lockedblocking", "incpurity"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
@@ -68,6 +68,10 @@ func TestScope(t *testing.T) {
 		{"fsyncgap", "dcfail/internal/report", false},
 		{"lockedblocking", "dcfail/internal/anything", true},
 		{"lockedblocking", "dcfail", true},
+		{"incpurity", "dcfail/internal/core", true},
+		{"incpurity", "dcfail/internal/report", true},
+		{"incpurity", "dcfail/internal/mine", true},
+		{"incpurity", "dcfail/internal/serve", false},
 	}
 	for _, c := range cases {
 		a := lint.ByName(c.rule)

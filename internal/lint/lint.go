@@ -105,7 +105,7 @@ func (d Diagnostic) String() string {
 
 // All returns the standard rule registry in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, GlobalRand, FsyncGap, LockedBlocking}
+	return []*Analyzer{MapOrder, WallTime, GlobalRand, FsyncGap, LockedBlocking, Incpurity}
 }
 
 // ByName resolves a rule id against the standard registry.

@@ -1,0 +1,373 @@
+package mine
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/stats"
+)
+
+// rowEv is one failure ticket in a host's sliding pairing window.
+type rowEv struct {
+	t    int64
+	item uint64
+}
+
+// rulesState carries MineRules across epochs: per-host item counts for
+// the chance baseline, the per-host tail of rows still inside the pairing
+// window, and the set of supporting hosts per item pair. Expected support
+// is NOT carried — it depends on the study span, which moves every epoch,
+// so the render recomputes it from the counts.
+type rulesState struct {
+	hostItems map[uint64]map[uint64]int
+	recent    map[uint64][]rowEv
+	pairHosts map[[2]uint64]map[uint64]struct{}
+}
+
+func newRulesState() *rulesState {
+	return &rulesState{
+		hostItems: make(map[uint64]map[uint64]int),
+		recent:    make(map[uint64][]rowEv),
+		pairHosts: make(map[[2]uint64]map[uint64]struct{}),
+	}
+}
+
+// RulesUpdater returns the fold function of the mining section for the
+// given window (<= 0 = 24h, as MineRulesIndexed normalizes).
+func RulesUpdater(window time.Duration) func(any, *fot.TraceIndex, []int32) (any, error) {
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	windowNS := int64(window)
+	return func(prev any, ix *fot.TraceIndex, newRows []int32) (any, error) {
+		return updateRules(prev, ix, newRows, windowNS)
+	}
+}
+
+func updateRules(prev any, ix *fot.TraceIndex, newRows []int32, windowNS int64) (any, error) {
+	st, _ := prev.(*rulesState)
+	cols := ix.Cols()
+	// Canonical pair orientation: device, then type NAME — the same
+	// relation the full path's symbol ranks encode. Name order is stable
+	// as the symtab grows, so keys canonicalized at fold time stay valid.
+	less := func(a, b uint64) bool {
+		if da, db := a>>32, b>>32; da != db {
+			return da < db
+		}
+		return strings.Compare(cols.TypeName(uint32(a)), cols.TypeName(uint32(b))) < 0
+	}
+	var next *rulesState
+	for _, r := range newRows {
+		if !fot.Category(cols.Category[r]).IsFailure() {
+			continue
+		}
+		if next == nil {
+			if st != nil {
+				next = &rulesState{hostItems: st.hostItems, recent: st.recent, pairHosts: st.pairHosts}
+			} else {
+				next = newRulesState()
+			}
+		}
+		host := cols.Host[r]
+		item := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		t := cols.TimeNS[r]
+		hc := next.hostItems[host]
+		if hc == nil {
+			hc = make(map[uint64]int)
+			next.hostItems[host] = hc
+		}
+		hc[item]++
+		rec := next.recent[host]
+		// Rows older than the window can never pair with this row or any
+		// later one (time only moves forward), so drop the stale prefix.
+		lo := 0
+		for lo < len(rec) && t-rec[lo].t > windowNS {
+			lo++
+		}
+		rec = rec[lo:]
+		for _, ev := range rec {
+			if ev.item == item {
+				continue
+			}
+			key := [2]uint64{ev.item, item}
+			if less(item, ev.item) {
+				key = [2]uint64{item, ev.item}
+			}
+			hs := next.pairHosts[key]
+			if hs == nil {
+				hs = make(map[uint64]struct{})
+				next.pairHosts[key] = hs
+			}
+			hs[host] = struct{}{}
+		}
+		next.recent[host] = append(rec, rowEv{t, item})
+	}
+	if next == nil {
+		if st == nil {
+			return newRulesState(), nil
+		}
+		return prev, nil
+	}
+	return next, nil
+}
+
+// RulesFromState renders the mined rules from carried state,
+// byte-identical to MineRulesIndexed with the same parameters. The
+// expected-support sum runs per pair in ascending host order — the same
+// accumulation order as the full path's host-group loop.
+func RulesFromState(state any, ix *fot.TraceIndex, window time.Duration, minSupport int, minLift float64) ([]Rule, error) {
+	if ix == nil || ix.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	fail := ix.FailureRows()
+	cols := ix.Cols()
+	if len(fail) == 0 {
+		return nil, fmt.Errorf("mine: no failed servers")
+	}
+	loNS, hiNS := cols.TimeNS[fail[0]], cols.TimeNS[fail[len(fail)-1]]
+	if hiNS <= loNS {
+		return nil, fmt.Errorf("mine: no failed servers")
+	}
+	chancePerPair := 2 * window.Hours() / time.Duration(hiNS-loNS).Hours()
+	st := state.(*rulesState)
+
+	rank := make([]int32, cols.TypeCount())
+	order := make([]uint32, cols.TypeCount())
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	slices.SortFunc(order, func(a, b uint32) int {
+		return strings.Compare(cols.TypeName(a), cols.TypeName(b))
+	})
+	for r, sym := range order {
+		rank[sym] = int32(r)
+	}
+	itemLess := func(a, b uint64) bool {
+		if da, db := a>>32, b>>32; da != db {
+			return da < db
+		}
+		return rank[uint32(a)] < rank[uint32(b)]
+	}
+
+	// Only hosts with at least two distinct items can produce a pair;
+	// skipping the rest before the sort leaves every expected[] sum with
+	// exactly the same terms in the same host order.
+	hosts := make([]uint64, 0, len(st.hostItems))
+	for h, counts := range st.hostItems {
+		if len(counts) >= 2 {
+			hosts = append(hosts, h)
+		}
+	}
+	slices.Sort(hosts)
+	expected := make(map[[2]uint64]float64)
+	var items []uint64
+	for _, host := range hosts {
+		counts := st.hostItems[host]
+		items = items[:0]
+		for it := range counts {
+			items = append(items, it)
+		}
+		slices.SortFunc(items, func(a, b uint64) int {
+			if itemLess(a, b) {
+				return -1
+			} else if itemLess(b, a) {
+				return 1
+			}
+			return 0
+		})
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				p := chancePerPair * float64(counts[items[i]]*counts[items[j]])
+				if p > 1 {
+					p = 1
+				}
+				expected[[2]uint64{items[i], items[j]}] += p
+			}
+		}
+	}
+
+	itemOf := func(code uint64) Item {
+		return Item{fot.Component(code >> 32), cols.TypeName(uint32(code))}
+	}
+	var rules []Rule
+	for key, hs := range st.pairHosts {
+		support := len(hs)
+		if support < minSupport {
+			continue
+		}
+		exp := expected[key]
+		e := exp
+		if e < 1e-9 {
+			e = 1e-9
+		}
+		lift := float64(support) / e
+		if lift < minLift {
+			continue
+		}
+		rules = append(rules, Rule{
+			A: itemOf(key[0]), B: itemOf(key[1]),
+			Support: support, Expected: exp, Lift: lift,
+		})
+	}
+	slices.SortFunc(rules, func(a, b Rule) int {
+		if a.Support != b.Support {
+			return b.Support - a.Support
+		}
+		if a.Lift != b.Lift {
+			if a.Lift > b.Lift {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.A.String()+a.B.String(), b.A.String()+b.B.String())
+	})
+	return rules, nil
+}
+
+// predSlotKey identifies one component instance for the predictor.
+type predSlotKey struct {
+	host uint64
+	dev  uint8
+	slot uint32
+}
+
+// predictorState carries the warning-predictor scores across epochs.
+// Rows arrive in time order, so each verdict is final the moment its row
+// folds: a fatal's in-horizon warning lookup sees every warning that can
+// ever precede it, and a warning stays "pending" until a fatal lands in
+// its forward horizon or time moves past it.
+type predictorState struct {
+	slotIdx     map[predSlotKey]int32
+	warns       [][]int64 // per slot, all warning times, sorted
+	pending     [][]int64 // per slot, warnings awaiting a fatal, sorted
+	fatalByCode map[uint64]bool
+	warnings    int
+	fatals      int
+	predicted   int
+	useful      int
+	leads       []float64
+}
+
+func newPredictorState() *predictorState {
+	return &predictorState{
+		slotIdx:     make(map[predSlotKey]int32),
+		fatalByCode: make(map[uint64]bool),
+	}
+}
+
+// PredictorUpdater returns the fold function of the warning predictor for
+// the given horizon (<= 0 = 10 days, as the full path normalizes).
+func PredictorUpdater(horizon time.Duration) func(any, *fot.TraceIndex, []int32) (any, error) {
+	if horizon <= 0 {
+		horizon = 10 * 24 * time.Hour
+	}
+	horizonNS := int64(horizon)
+	return func(prev any, ix *fot.TraceIndex, newRows []int32) (any, error) {
+		return updatePredictor(prev, ix, newRows, horizonNS)
+	}
+}
+
+func updatePredictor(prev any, ix *fot.TraceIndex, newRows []int32, horizonNS int64) (any, error) {
+	st, _ := prev.(*predictorState)
+	cols := ix.Cols()
+	var next *predictorState
+	for _, r := range newRows {
+		if !fot.Category(cols.Category[r]).IsFailure() {
+			continue
+		}
+		dev := fot.Component(cols.Device[r])
+		if dev == fot.Misc {
+			continue // manual reports are not detector output
+		}
+		if next == nil {
+			if st != nil {
+				next = &predictorState{}
+				*next = *st // containers absorbed: prev handed off
+			} else {
+				next = newPredictorState()
+			}
+		}
+		sk := predSlotKey{cols.Host[r], cols.Device[r], cols.SlotSym[r]}
+		si, ok := next.slotIdx[sk]
+		if !ok {
+			si = int32(len(next.warns))
+			next.slotIdx[sk] = si
+			next.warns = append(next.warns, nil)
+			next.pending = append(next.pending, nil)
+		}
+		code := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		fatal, ok := next.fatalByCode[code]
+		if !ok {
+			fatal = fot.IsFatalType(dev, cols.TypeName(cols.TypeSym[r]))
+			next.fatalByCode[code] = fatal
+		}
+		t := cols.TimeNS[r]
+		if !fatal {
+			next.warnings++
+			next.warns[si] = append(next.warns[si], t)
+			next.pending[si] = append(next.pending[si], t)
+			continue
+		}
+		next.fatals++
+		ws := next.warns[si]
+		if i, _ := slices.BinarySearch(ws, t-horizonNS); i < len(ws) && ws[i] < t {
+			next.predicted++
+			next.leads = append(next.leads, time.Duration(t-ws[i]).Hours())
+		}
+		// Pending warnings in [t-h, t) are now useful; anything older can
+		// never be reached by a later fatal. Both are prefixes of the
+		// sorted pending list.
+		pd := next.pending[si]
+		lo, _ := slices.BinarySearch(pd, t-horizonNS)
+		hi, _ := slices.BinarySearch(pd, t)
+		next.useful += hi - lo
+		next.pending[si] = pd[hi:]
+	}
+	if next == nil {
+		if st == nil {
+			return newPredictorState(), nil
+		}
+		return prev, nil
+	}
+	return next, nil
+}
+
+// PredictorFromState renders the predictor scores from carried state,
+// byte-identical to EvaluateWarningPredictorIndexed with the same
+// horizon. Leads accumulate in fatal time order rather than slot order;
+// the median is order-independent.
+func PredictorFromState(state any, ix *fot.TraceIndex, horizon time.Duration) (*PredictorEval, error) {
+	if ix == nil || ix.Len() == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	if horizon <= 0 {
+		horizon = 10 * 24 * time.Hour
+	}
+	st := state.(*predictorState)
+	eval := &PredictorEval{
+		Horizon:         horizon,
+		Warnings:        st.warnings,
+		Fatals:          st.fatals,
+		PredictedFatals: st.predicted,
+		UsefulWarnings:  st.useful,
+	}
+	if eval.Fatals == 0 || eval.Warnings == 0 {
+		return nil, fmt.Errorf("mine: trace has no %s to evaluate",
+			map[bool]string{true: "warnings", false: "fatal failures"}[eval.Fatals > 0])
+	}
+	eval.Recall = float64(eval.PredictedFatals) / float64(eval.Fatals)
+	eval.Precision = float64(eval.UsefulWarnings) / float64(eval.Warnings)
+	if len(st.leads) > 0 {
+		eval.MedianLeadHours = stats.Median(st.leads)
+	}
+	return eval, nil
+}

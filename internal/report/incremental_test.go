@@ -1,0 +1,222 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+)
+
+// sortedFixtureTickets returns the fixture's tickets in global (time, id)
+// order — the append order a live source delivers, and the order the
+// incremental engine's delta path assumes.
+func sortedFixtureTickets(t *testing.T) ([]fot.Ticket, *core.Census) {
+	t.Helper()
+	r, census := fixture(t)
+	tickets := append([]fot.Ticket(nil), r.Trace.Clone().Tickets...)
+	slices.SortFunc(tickets, func(a, b fot.Ticket) int {
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Compare(b.Time)
+		}
+		if a.ID != b.ID {
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return tickets, census
+}
+
+// renderSection runs one render function and captures (bytes, error) —
+// the pair the byte-identity contract covers, including partial output
+// written before an error.
+func renderSection(render func(w *bytes.Buffer) error) (string, string) {
+	var buf bytes.Buffer
+	err := render(&buf)
+	if err != nil {
+		return buf.String(), err.Error()
+	}
+	return buf.String(), ""
+}
+
+// foldSchedule cuts n rows into randomized batch boundaries, always
+// ending at n. It front-loads a few degenerate epochs — empty prefixes
+// and single rows — so the error paths render under both engines too.
+func foldSchedule(rng *rand.Rand, n int) []int {
+	cuts := []int{0, 1}
+	k := 1
+	for k < n {
+		step := 1 + rng.Intn(n/4+1)
+		k += step
+		if k > n {
+			k = n
+		}
+		cuts = append(cuts, k)
+		if rng.Intn(4) == 0 {
+			cuts = append(cuts, k) // empty batch: epoch advances, no rows
+		}
+	}
+	if cuts[len(cuts)-1] != n {
+		cuts = append(cuts, n)
+	}
+	return cuts
+}
+
+// TestIncrementalSectionsByteIdentical is the tentpole gate: every
+// section rendered from carried fold state must be byte-identical —
+// bytes and errors — to its full recompute over the same prefix, for
+// randomized fold schedules (many small folds vs one big fold), at every
+// epoch, under concurrent renders (run with -race).
+func TestIncrementalSectionsByteIdentical(t *testing.T) {
+	tickets, census := sortedFixtureTickets(t)
+	full := StandardSections(census)
+
+	for _, workers := range []int{0, 1, 4, 32} {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("workers=%d/seed=%d", workers, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				engine := core.NewIncrementalEngine(StandardIncrementalSections(census))
+				var ix *fot.TraceIndex
+				prevBytes := map[string]string{}
+				for epoch, k := range foldSchedule(rng, len(tickets)) {
+					ix = fot.ExtendTraceIndex(ix, fot.NewTrace(tickets[:k]))
+					changed := engine.Advance(ix, uint64(epoch))
+
+					type out struct{ bytes, err string }
+					gotInc := make([]out, len(full))
+					gotFull := make([]out, len(full))
+					nWorkers := workers
+					if nWorkers < 1 {
+						nWorkers = 8
+					}
+					var wg sync.WaitGroup
+					work := make(chan int)
+					for w := 0; w < nWorkers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for i := range work {
+								sec := full[i]
+								gotFull[i].bytes, gotFull[i].err = renderSection(func(b *bytes.Buffer) error {
+									return sec.Render(ix, b)
+								})
+								gotInc[i].bytes, gotInc[i].err = renderSection(func(b *bytes.Buffer) error {
+									ok, err := engine.TryRender(sec.ID, uint64(epoch), ix, b)
+									if !ok {
+										t.Errorf("epoch %d: TryRender(%q) not ok", epoch, sec.ID)
+									}
+									return err
+								})
+							}
+						}()
+					}
+					for i := range full {
+						work <- i
+					}
+					close(work)
+					wg.Wait()
+
+					for i, sec := range full {
+						if gotInc[i] != gotFull[i] {
+							t.Fatalf("epoch %d (rows %d) section %s: incremental render diverged\n inc: err=%q bytes=%q\nfull: err=%q bytes=%q",
+								epoch, k, sec.ID, gotInc[i].err, gotInc[i].bytes, gotFull[i].err, gotFull[i].bytes)
+						}
+						// Sections the engine reported unchanged must allow
+						// byte-carry from the previous epoch.
+						if prev, ok := prevBytes[sec.ID]; ok && !changed[sec.ID] && gotFull[i].bytes != prev {
+							t.Fatalf("epoch %d section %s: engine said unchanged but bytes moved", epoch, sec.ID)
+						}
+						prevBytes[sec.ID] = gotFull[i].bytes
+					}
+				}
+
+				st := engine.Stats()
+				if st.Rebuilds != 0 {
+					t.Errorf("monotone schedule triggered %d rebuilds", st.Rebuilds)
+				}
+				if len(st.Broken) != 0 {
+					t.Errorf("broken sections: %v", st.Broken)
+				}
+
+				// Final epoch: the assembled incremental report matches the
+				// serial golden reference byte for byte.
+				var want bytes.Buffer
+				if err := SerialReference(&want, fot.NewTrace(tickets), census, nil); err != nil {
+					t.Fatal(err)
+				}
+				var got bytes.Buffer
+				for _, sec := range full {
+					if ok, err := engine.TryRender(sec.ID, st.Epoch, ix, &got); !ok || err != nil {
+						t.Fatalf("final render %s: ok=%v err=%v", sec.ID, ok, err)
+					}
+					fmt.Fprintln(&got)
+				}
+				if got.String() != want.String() {
+					t.Fatal("assembled incremental report differs from SerialReference")
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalEngineRebuildsOnDisorder feeds a batch that starts
+// before the fold watermark: the engine must rebuild from the full
+// permutation — counted in Stats — and still render byte-identically.
+func TestIncrementalEngineRebuildsOnDisorder(t *testing.T) {
+	tickets, census := sortedFixtureTickets(t)
+	full := StandardSections(census)
+	engine := core.NewIncrementalEngine(StandardIncrementalSections(census))
+
+	// Fold the SECOND half first, then extend with a trace that appends
+	// the first half after it — an out-of-order backfill.
+	half := len(tickets) / 2
+	disordered := append([]fot.Ticket(nil), tickets[half:]...)
+	disordered = append(disordered, tickets[:half]...)
+
+	ix := fot.NewTraceIndex(fot.NewTrace(disordered[:half]))
+	engine.Advance(ix, 1)
+	if got := engine.Stats().Rebuilds; got != 0 {
+		t.Fatalf("rebuilds after ordered prefix = %d, want 0", got)
+	}
+	ix = fot.ExtendTraceIndex(ix, fot.NewTrace(disordered))
+	engine.Advance(ix, 2)
+	if got := engine.Stats().Rebuilds; got != 1 {
+		t.Fatalf("rebuilds after backfill = %d, want 1", got)
+	}
+	for _, sec := range full {
+		fullBytes, fullErr := renderSection(func(b *bytes.Buffer) error { return sec.Render(ix, b) })
+		incBytes, incErr := renderSection(func(b *bytes.Buffer) error {
+			ok, err := engine.TryRender(sec.ID, 2, ix, b)
+			if !ok {
+				t.Errorf("TryRender(%q) not ok after rebuild", sec.ID)
+			}
+			return err
+		})
+		if incBytes != fullBytes || incErr != fullErr {
+			t.Fatalf("section %s diverged after rebuild", sec.ID)
+		}
+	}
+}
+
+// TestIncrementalStaleEpochRefused pins TryRender's snapshot rule: a
+// reader holding an older epoch gets ok=false and no bytes.
+func TestIncrementalStaleEpochRefused(t *testing.T) {
+	tickets, census := sortedFixtureTickets(t)
+	engine := core.NewIncrementalEngine(StandardIncrementalSections(census))
+	ix := fot.NewTraceIndex(fot.NewTrace(tickets[:len(tickets)/2]))
+	engine.Advance(ix, 7)
+	var buf bytes.Buffer
+	if ok, err := engine.TryRender("table1", 6, ix, &buf); ok || err != nil || buf.Len() != 0 {
+		t.Fatalf("stale epoch: ok=%v err=%v len=%d, want refusal with no bytes", ok, err, buf.Len())
+	}
+	if ok, err := engine.TryRender("nope", 7, ix, &buf); ok || err != nil || buf.Len() != 0 {
+		t.Fatalf("unknown id: ok=%v err=%v len=%d, want refusal with no bytes", ok, err, buf.Len())
+	}
+}

@@ -505,6 +505,12 @@ func (rt *Router) writeResponse(w http.ResponseWriter, res attemptResult) {
 		// newest one the tier has seen.
 		h.Set("X-Stale", "true")
 		h.Set("X-Staleness-MS", strconv.FormatInt(res.v.lagMS, 10))
+		if h.Get("X-Epoch") == "" {
+			// Backend endpoints that don't stamp snapshot headers still owe
+			// monotonic-read clients an epoch for a stale body; the probe's
+			// view is the epoch that replica is serving.
+			h.Set("X-Epoch", strconv.FormatUint(res.v.epoch, 10))
+		}
 	}
 	w.WriteHeader(res.resp.StatusCode)
 	w.Write(res.body)

@@ -47,6 +47,13 @@ func newFakeReplica(t *testing.T, epoch uint64) *fakeReplica {
 		w.WriteHeader(code)
 		json.NewEncoder(w).Encode(reply)
 	})
+	// /alerts mimics the daemon endpoints that reply without snapshot
+	// headers — no X-Epoch on the backend response.
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"total":0,"recent":[]}`)
+	})
 	mux.HandleFunc("GET /report/table1", func(w http.ResponseWriter, r *http.Request) {
 		if d := f.delay.Load(); d > 0 {
 			time.Sleep(time.Duration(d))
@@ -184,6 +191,40 @@ func TestDegradedReplicaServesWithStalenessHeaders(t *testing.T) {
 	if resp.Header.Get("X-Staleness-MS") != "1500" {
 		t.Fatalf("X-Staleness-MS = %q, want 1500", resp.Header.Get("X-Staleness-MS"))
 	}
+	if resp.Header.Get("X-Epoch") != "4" {
+		t.Fatalf("stale response X-Epoch = %q, want 4 from the backend", resp.Header.Get("X-Epoch"))
+	}
+}
+
+// TestDegradedResponseCarriesEpochWithoutBackendHeader pins the fix for
+// stale bodies from endpoints that don't stamp snapshot headers: the
+// router must fill in X-Epoch from its probe view so a monotonic-read
+// client can still reason about what it was served.
+func TestDegradedResponseCarriesEpochWithoutBackendHeader(t *testing.T) {
+	lagging := newFakeReplica(t, 4)
+	lagging.degraded.Store(true)
+	lagging.lagMS.Store(900)
+	rt, srv := startRouter(t, Options{HedgeAfter: -1}, lagging)
+	waitHealthy(t, rt, 1)
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/alerts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Stale") != "true" {
+		t.Fatalf("degraded response missing X-Stale: %v", resp.Header)
+	}
+	if resp.Header.Get("X-Epoch") != "4" {
+		t.Fatalf("stale response X-Epoch = %q, want 4 from the router's probe view", resp.Header.Get("X-Epoch"))
+	}
 }
 
 func TestShedsWithRetryAfterWhenTierIsDown(t *testing.T) {
@@ -204,6 +245,29 @@ func TestShedsWithRetryAfterWhenTierIsDown(t *testing.T) {
 	}
 	if rt.Status().Shed == 0 {
 		t.Fatal("shed counter never moved")
+	}
+}
+
+// TestShedRetryAfterDefaultsPositive is the regression for the shed
+// path with RetryAfterSeconds left unset: option normalization must
+// substitute a positive default — "Retry-After: 0" tells well-behaved
+// clients to hammer a tier that just said it has no capacity.
+func TestShedRetryAfterDefaultsPositive(t *testing.T) {
+	dead := newFakeReplica(t, 3)
+	dead.srv.Close()
+	_, srv := startRouter(t, Options{
+		HedgeAfter:     -1,
+		RequestTimeout: 200 * time.Millisecond,
+		// RetryAfterSeconds deliberately unset.
+	}, dead)
+
+	resp, _ := routedGet(t, srv.URL, 0)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra <= 0 {
+		t.Fatalf("Retry-After = %q, want a positive integer by default", resp.Header.Get("Retry-After"))
 	}
 }
 

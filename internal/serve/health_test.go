@@ -3,12 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"dcfail/internal/core"
 	"dcfail/internal/fot"
 )
 
@@ -191,10 +193,20 @@ func TestStateRowsAndWatch(t *testing.T) {
 
 // TestRenderSectionsSingleflight pins the stampede guard: N concurrent
 // requests for the same cold section trigger exactly one render — the
-// rest wait for it — and everyone gets identical bytes.
+// rest wait for it — and everyone gets identical bytes. A gated test
+// section holds the render open until every waiter has registered, so
+// the counter assertions are deterministic: one miss (the renderer),
+// N-1 waits, zero hits — a waiter blocks on an in-flight render, it is
+// NOT served from the done map and must not be counted as a hit.
 func TestRenderSectionsSingleflight(t *testing.T) {
 	trace, census := smallWorld(t)
 	st := NewState(census, 0)
+	release := make(chan struct{})
+	st.sections["slowtest"] = core.Section{ID: "slowtest", Render: func(_ *fot.TraceIndex, w io.Writer) error {
+		<-release
+		_, err := io.WriteString(w, "slow section body\n")
+		return err
+	}}
 	st.Fold(trace.Tickets, time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC))
 	snap := st.Current()
 
@@ -208,7 +220,7 @@ func TestRenderSectionsSingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			res, err := st.RenderSections(snap, []string{"table2"})
+			res, err := st.RenderSections(snap, []string{"slowtest"})
 			if err != nil {
 				errs[i] = err
 				return
@@ -221,6 +233,16 @@ func TestRenderSectionsSingleflight(t *testing.T) {
 		}(i)
 	}
 	close(start)
+	// Let every reader classify itself against the in-flight render, then
+	// release it. The renderer holds the channel open until this fires.
+	for {
+		_, misses, waits := st.CacheStats()
+		if misses == 1 && waits == readers-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
 	wg.Wait()
 	for i := 0; i < readers; i++ {
 		if errs[i] != nil {
@@ -230,11 +252,14 @@ func TestRenderSectionsSingleflight(t *testing.T) {
 			t.Fatalf("reader %d got different bytes", i)
 		}
 	}
-	hits, misses := st.CacheStats()
+	hits, misses, waits := st.CacheStats()
 	if misses != 1 {
 		t.Fatalf("misses = %d, want exactly 1 render for %d concurrent readers", misses, readers)
 	}
-	if hits != readers-1 {
-		t.Fatalf("hits = %d, want %d", hits, readers-1)
+	if waits != readers-1 {
+		t.Fatalf("waits = %d, want %d", waits, readers-1)
+	}
+	if hits != 0 {
+		t.Fatalf("hits = %d, want 0: waiters must not count as cache hits", hits)
 	}
 }

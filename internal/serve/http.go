@@ -106,15 +106,28 @@ type StatsReply struct {
 	IngestLagMS int64     `json:"ingest_lag_ms"`
 	CacheHits   uint64    `json:"cache_hits"`
 	CacheMisses uint64    `json:"cache_misses"`
-	CacheRate   float64   `json:"cache_hit_rate"`
-	Alerts      uint64    `json:"alerts"`
-	SourceDrops uint64    `json:"source_drops"`
-	IngestError string    `json:"ingest_error,omitempty"`
+	// CacheWaits counts readers that piggybacked on another request's
+	// in-flight render — neither a hit (they blocked) nor a miss (the
+	// renderer already counted the compute).
+	CacheWaits uint64  `json:"cache_waits"`
+	CacheRate  float64 `json:"cache_hit_rate"`
+	// Incremental render accounting: per-section counts of cache misses
+	// served from carried fold state vs the full recompute, plus engine
+	// health (fold epoch, rebuilds after out-of-order ingest, sections
+	// permanently on the full path).
+	IncSections map[string]SectionRenderStats `json:"incremental_sections"`
+	IncEpoch    uint64                        `json:"incremental_epoch"`
+	IncRebuilds uint64                        `json:"incremental_rebuilds"`
+	IncBroken   []string                      `json:"incremental_broken,omitempty"`
+	Alerts      uint64                        `json:"alerts"`
+	SourceDrops uint64                        `json:"source_drops"`
+	IngestError string                        `json:"ingest_error,omitempty"`
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := d.state.Current()
-	hits, misses := d.state.CacheStats()
+	hits, misses, cacheWaits := d.state.CacheStats()
+	secStats, engineStats := d.state.IncrementalStats()
 	_, alertN := d.Alerts()
 	reply := StatsReply{
 		Epoch:       snap.Epoch(),
@@ -125,6 +138,11 @@ func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LastFold:    snap.FoldedAt(),
 		CacheHits:   hits,
 		CacheMisses: misses,
+		CacheWaits:  cacheWaits,
+		IncSections: secStats,
+		IncEpoch:    engineStats.Epoch,
+		IncRebuilds: engineStats.Rebuilds,
+		IncBroken:   engineStats.Broken,
 		Alerts:      alertN,
 	}
 	if total := hits + misses; total > 0 {

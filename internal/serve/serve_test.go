@@ -172,14 +172,14 @@ func TestSectionCacheServesRepeatsAndInvalidatesOnFold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := st.CacheStats(); hits != 0 || misses != 1 {
+	if hits, misses, _ := st.CacheStats(); hits != 0 || misses != 1 {
 		t.Fatalf("after first render: hits=%d misses=%d, want 0/1", hits, misses)
 	}
 	again, err := st.RenderSections(snap, []string{"table1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := st.CacheStats(); hits != 1 || misses != 1 {
+	if hits, misses, _ := st.CacheStats(); hits != 1 || misses != 1 {
 		t.Fatalf("after repeat render: hits=%d misses=%d, want 1/1", hits, misses)
 	}
 	if !bytes.Equal(first[0].Text, again[0].Text) {
@@ -195,7 +195,7 @@ func TestSectionCacheServesRepeatsAndInvalidatesOnFold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := st.CacheStats(); hits != 1 || misses != 2 {
+	if hits, misses, _ := st.CacheStats(); hits != 1 || misses != 2 {
 		t.Fatalf("after post-fold render: hits=%d misses=%d, want 1/2", hits, misses)
 	}
 	// Not stale: the new epoch's section must match a from-scratch serial

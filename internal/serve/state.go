@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,28 @@ type State struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	waits  atomic.Uint64
+
+	// engine carries every section's incremental fold state; folds advance
+	// it under foldMu, renders consult it before falling back to the full
+	// recompute. incOff disables the delta path (benchmark baseline,
+	// operational escape hatch).
+	engine  *core.IncrementalEngine
+	incOff  atomic.Bool
+	secStat map[string]*sectionRenderCounters
+}
+
+// sectionRenderCounters tracks how one section's cache misses were
+// served: from carried fold state, or by the full recompute.
+type sectionRenderCounters struct {
+	incremental atomic.Uint64
+	fallback    atomic.Uint64
+}
+
+// SectionRenderStats is the exported snapshot of one section's counters.
+type SectionRenderStats struct {
+	Incremental uint64 `json:"incremental"`
+	Fallback    uint64 `json:"fallback"`
 }
 
 // NewState builds an empty state (epoch 0) whose reports use the given
@@ -105,9 +128,19 @@ func NewState(census *core.Census, workers int) *State {
 		st.sections[sec.ID] = sec
 		st.order = append(st.order, sec.ID)
 	}
+	st.engine = core.NewIncrementalEngine(report.StandardIncrementalSections(census))
+	st.secStat = make(map[string]*sectionRenderCounters, len(st.order))
+	for _, id := range st.order {
+		st.secStat[id] = &sectionRenderCounters{}
+	}
 	st.cur.Store(st.newSnapshot(nil, 0, nil, time.Time{}))
 	return st
 }
+
+// SetIncremental toggles the delta render path. Disabled, every cache
+// miss takes the full recompute — the benchmark baseline and the escape
+// hatch if a section's fold state is ever suspect in production.
+func (st *State) SetIncremental(enabled bool) { st.incOff.Store(!enabled) }
 
 // newSnapshot indexes view as an incremental extension of the previous
 // epoch's index: the columnar decomposition and global time permutation
@@ -173,6 +206,18 @@ func (st *State) publish(batch []fot.Ticket, epoch uint64, now time.Time) *Snaps
 	// later Fold's appends, even when they land in the same array.
 	view := st.all[:len(st.all):len(st.all)]
 	snap := st.newSnapshot(prev.index, epoch, view, now)
+	// Fold the appended rows into the engine, then pre-seed the new
+	// epoch's cache with every rendered section the fold provably left
+	// byte-identical: a warm epoch advance re-renders only what changed.
+	changed := st.engine.Advance(snap.index, epoch)
+	prev.cache.mu.Lock()
+	for id, res := range prev.cache.done {
+		//lint:ignore maporder cache carry-over; per-key copy, order immaterial
+		if !changed[id] {
+			snap.cache.done[id] = res
+		}
+	}
+	prev.cache.mu.Unlock()
 	st.cur.Store(snap)
 	st.notifyWatchers()
 	return snap
@@ -221,9 +266,25 @@ func (st *State) notifyWatchers() {
 	st.watchMu.Unlock()
 }
 
-// CacheStats reports the lifetime section-cache hit/miss counters.
-func (st *State) CacheStats() (hits, misses uint64) {
-	return st.hits.Load(), st.misses.Load()
+// CacheStats reports the lifetime section-cache counters. hits are
+// served straight from an epoch's done map; misses triggered a render;
+// waits piggybacked on another request's in-flight render — not free
+// like a hit (the caller blocks) and not a render like a miss, so they
+// are counted apart from both.
+func (st *State) CacheStats() (hits, misses, waits uint64) {
+	return st.hits.Load(), st.misses.Load(), st.waits.Load()
+}
+
+// IncrementalStats reports, per section, how many cache misses were
+// served from fold state vs the full recompute, plus the engine's health
+// snapshot.
+func (st *State) IncrementalStats() (map[string]SectionRenderStats, core.IncrementalEngineStats) {
+	out := make(map[string]SectionRenderStats, len(st.secStat))
+	for id, c := range st.secStat {
+		//lint:ignore maporder snapshot copy into a map; order immaterial
+		out[id] = SectionRenderStats{Incremental: c.incremental.Load(), Fallback: c.fallback.Load()}
+	}
+	return out, st.engine.Stats()
 }
 
 // RenderSections renders the requested section ids against one snapshot,
@@ -255,9 +316,11 @@ func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionRes
 			return nil, fmt.Errorf("serve: unknown section %q", id)
 		}
 		if ch, ok := snap.cache.inflight[id]; ok {
-			// Another request is already rendering this section; its
-			// result is as good as ours and costs nothing.
-			st.hits.Add(1)
+			// Another request is already rendering this section. Not a
+			// hit — the result isn't here yet and this caller blocks for
+			// it — and not a miss — the renderer already counted the
+			// compute. Counted as a wait.
+			st.waits.Add(1)
 			waits = append(waits, waiter{at: i, id: id, ch: ch})
 			continue
 		}
@@ -269,11 +332,41 @@ func (st *State) RenderSections(snap *Snapshot, ids []string) ([]core.SectionRes
 	snap.cache.mu.Unlock()
 
 	if len(missing) > 0 {
-		bundle := core.Runner{Workers: st.workers}.RunAll(snap.index, missing)
+		// Delta path first: sections whose fold state matches this
+		// snapshot's epoch render from carried state instead of rescanning
+		// history. A stale snapshot, a broken section or a disabled engine
+		// falls back to the full recompute transparently.
+		rendered := make([]core.SectionResult, 0, len(missing))
+		renderedAt := make([]int, 0, len(missing))
+		var fallback []core.Section
+		var fallbackAt []int
+		for j, sec := range missing {
+			if !st.incOff.Load() {
+				var buf bytes.Buffer
+				if ok, err := st.engine.TryRender(sec.ID, snap.epoch, snap.index, &buf); ok {
+					rendered = append(rendered, core.SectionResult{ID: sec.ID, Text: buf.Bytes(), Err: err})
+					renderedAt = append(renderedAt, missingAt[j])
+					if c := st.secStat[sec.ID]; c != nil {
+						c.incremental.Add(1)
+					}
+					continue
+				}
+			}
+			if c := st.secStat[sec.ID]; c != nil {
+				c.fallback.Add(1)
+			}
+			fallback = append(fallback, sec)
+			fallbackAt = append(fallbackAt, missingAt[j])
+		}
+		if len(fallback) > 0 {
+			bundle := core.Runner{Workers: st.workers}.RunAll(snap.index, fallback)
+			rendered = append(rendered, bundle.Sections...)
+			renderedAt = append(renderedAt, fallbackAt...)
+		}
 		snap.cache.mu.Lock()
-		for j, res := range bundle.Sections {
+		for j, res := range rendered {
 			snap.cache.done[res.ID] = res
-			results[missingAt[j]] = res
+			results[renderedAt[j]] = res
 			if ch, ok := snap.cache.inflight[res.ID]; ok {
 				close(ch)
 				delete(snap.cache.inflight, res.ID)

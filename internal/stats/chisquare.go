@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ChiSquareResult is the outcome of a Pearson chi-squared test.
@@ -177,6 +178,49 @@ func GoodnessOfFit(xs []float64, dist Dist, nBins int) (ChiSquareResult, error) 
 	return ChiSquareTest(observed, expected, dist.NumParams())
 }
 
+// GoodnessOfFit over an already-sorted sample: bin occupancy comes from
+// nBins−1 binary searches for the edge positions instead of a search per
+// point. The counts are the exact per-point binning of the same multiset
+// (searchEdges puts x == edges[i] into bin i; the first sorted index >= an
+// edge marks the same boundary), so the test outcome is identical.
+func (e *ECDF) GoodnessOfFit(dist Dist, nBins int) (ChiSquareResult, error) {
+	xs := e.sorted
+	if len(xs) < 2*nBins {
+		return ChiSquareResult{}, fmt.Errorf(
+			"stats: GoodnessOfFit: sample of %d too small for %d bins", len(xs), nBins)
+	}
+	if nBins < 3 {
+		return ChiSquareResult{}, fmt.Errorf("stats: GoodnessOfFit: need >= 3 bins, got %d", nBins)
+	}
+	edges := make([]float64, nBins+1)
+	edges[0] = math.Inf(-1)
+	edges[nBins] = math.Inf(1)
+	for i := 1; i < nBins; i++ {
+		edges[i] = dist.Quantile(float64(i) / float64(nBins))
+	}
+	for i := 1; i < nBins; i++ {
+		if !(edges[i] > edges[i-1]) {
+			return ChiSquareResult{}, fmt.Errorf("stats: GoodnessOfFit: degenerate quantile edges from %s", dist.Name())
+		}
+	}
+	observed := make([]int, nBins)
+	prev := 0
+	for i := 1; i < nBins; i++ {
+		// First sample index >= edges[i]: everything before it sits in
+		// bins below i, exactly as searchEdges would place it.
+		idx := sort.SearchFloat64s(xs, edges[i])
+		observed[i-1] = idx - prev
+		prev = idx
+	}
+	observed[nBins-1] = len(xs) - prev
+	expected := make([]float64, nBins)
+	per := float64(len(xs)) / float64(nBins)
+	for i := range expected {
+		expected[i] = per
+	}
+	return ChiSquareTest(observed, expected, dist.NumParams())
+}
+
 // searchEdges returns the bin index for x given edges of length nBins+1
 // where edges[0] = -Inf and edges[nBins] = +Inf.
 func searchEdges(edges []float64, x float64) int {
@@ -206,12 +250,19 @@ type FitReport struct {
 // Fit failures are reported per-family in FitReport.Err rather than
 // aborting the whole comparison.
 func FitAll(xs []float64, nBins int) []FitReport {
-	ecdf := NewECDF(xs)
+	return FitAllWithECDF(xs, NewECDF(xs), nBins)
+}
+
+// FitAllWithECDF is FitAll against a caller-supplied ECDF of the same
+// sample, for callers that already maintain a sorted view of xs (the
+// incremental TBF path) and would otherwise pay a redundant O(n log n)
+// sort. The ECDF must be built over exactly the multiset of xs.
+func FitAllWithECDF(xs []float64, ecdf *ECDF, nBins int) []FitReport {
 	reports := make([]FitReport, 0, 4)
 	add := func(d Dist, err error) {
 		r := FitReport{Dist: d, Err: err}
 		if err == nil {
-			r.Test, r.Err = GoodnessOfFit(xs, d, nBins)
+			r.Test, r.Err = ecdf.GoodnessOfFit(d, nBins)
 			r.KS = ecdf.KSDistance(d)
 		}
 		reports = append(reports, r)

@@ -95,6 +95,16 @@ func Quantile(xs []float64, p float64) float64 {
 	return quantileSorted(sorted, p)
 }
 
+// QuantileSorted returns the type-7 p-quantile of an already
+// ascending-sorted sample — Quantile without the copy and sort. It
+// returns NaN for empty input or p outside [0, 1].
+func QuantileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return quantileSorted(xs, p)
+}
+
 // quantileSorted computes the type-7 quantile assuming xs is sorted.
 func quantileSorted(xs []float64, p float64) float64 {
 	n := len(xs)

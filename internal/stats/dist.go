@@ -105,6 +105,16 @@ func (e Exponential) Rand(rng *rand.Rand) float64 {
 	return rng.ExpFloat64() / e.Lambda
 }
 
+func (e Exponential) logPDF() func(float64) float64 {
+	logL := math.Log(e.Lambda)
+	return func(x float64) float64 {
+		if x < 0 {
+			return math.Inf(-1)
+		}
+		return logL - e.Lambda*x
+	}
+}
+
 // --- Weibull ---
 
 // Weibull is the Weibull distribution with shape K > 0 and scale Lambda > 0.
@@ -160,6 +170,26 @@ func (w Weibull) Rand(rng *rand.Rand) float64 {
 	return w.Lambda * math.Pow(rng.ExpFloat64(), 1/w.K)
 }
 
+func (w Weibull) logPDF() func(float64) float64 {
+	logHead := math.Log(w.K) - math.Log(w.Lambda)
+	return func(x float64) float64 {
+		if x < 0 {
+			return math.Inf(-1)
+		}
+		if x == 0 {
+			switch {
+			case w.K == 1:
+				return -math.Log(w.Lambda)
+			case w.K < 1:
+				return math.Inf(1)
+			}
+			return math.Inf(-1)
+		}
+		logZ := math.Log(x / w.Lambda)
+		return logHead + (w.K-1)*logZ - math.Exp(w.K*logZ)
+	}
+}
+
 // Hazard returns the Weibull hazard rate at x >= 0.
 func (w Weibull) Hazard(x float64) float64 {
 	if x < 0 {
@@ -204,6 +234,26 @@ func (g Gamma) CDF(x float64) float64 {
 		return 0
 	}
 	return GammaRegP(g.K, x/g.Theta)
+}
+
+func (g Gamma) logPDF() func(float64) float64 {
+	lg, _ := math.Lgamma(g.K)
+	head := -lg - g.K*math.Log(g.Theta)
+	return func(x float64) float64 {
+		if x < 0 {
+			return math.Inf(-1)
+		}
+		if x == 0 {
+			switch {
+			case g.K == 1:
+				return -math.Log(g.Theta)
+			case g.K < 1:
+				return math.Inf(1)
+			}
+			return math.Inf(-1)
+		}
+		return head + (g.K-1)*math.Log(x) - x/g.Theta
+	}
 }
 
 // Quantile inverts the CDF by Newton iteration from a Wilson–Hilferty
@@ -318,6 +368,18 @@ func (l LogNormal) Quantile(p float64) float64 {
 
 func (l LogNormal) Rand(rng *rand.Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+func (l LogNormal) logPDF() func(float64) float64 {
+	head := -math.Log(l.Sigma * math.Sqrt(2*math.Pi))
+	return func(x float64) float64 {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		logX := math.Log(x)
+		z := (logX - l.Mu) / l.Sigma
+		return head - z*z/2 - logX
+	}
 }
 
 // --- Normal ---

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The large-sample fast paths — branch-and-bound KS, sorted-sample
+// goodness-of-fit binning, and closed-form log-densities — must agree
+// with the plain per-point definitions they replace.
+
+func fastPathSamples(t *testing.T) map[string][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	out := make(map[string][]float64)
+	draw := func(name string, d Dist, n int) {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Rand(rng)
+		}
+		out[name] = xs
+	}
+	// Sizes straddle the KS fast-path threshold; families are deliberately
+	// cross-matched against the fitted distributions below.
+	draw("exp", Exponential{Lambda: 0.4}, 5000)
+	draw("weibull", Weibull{K: 0.7, Lambda: 30}, 9001)
+	draw("gamma", Gamma{K: 2.5, Theta: 12}, 4096)
+	draw("lognormal", LogNormal{Mu: 2, Sigma: 1.3}, 1500)
+	return out
+}
+
+// ksPlainScan is the reference O(n) KS statistic over a sorted sample.
+func ksPlainScan(sorted []float64, dist Dist) float64 {
+	n := len(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := dist.CDF(x)
+		if lo := math.Abs(f - float64(i)/float64(n)); lo > d {
+			d = lo
+		}
+		if hi := math.Abs(float64(i+1)/float64(n) - f); hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+func TestKSDistanceMatchesPlainScan(t *testing.T) {
+	for name, xs := range fastPathSamples(t) {
+		ec := NewECDF(xs)
+		for _, r := range FitAll(xs, 20) {
+			if r.Err != nil {
+				continue
+			}
+			got := ec.KSDistance(r.Dist)
+			want := ksPlainScan(ec.sorted, r.Dist)
+			if got != want {
+				t.Errorf("%s vs %s: KSDistance = %v, plain scan = %v", name, r.Dist.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestSortedGoodnessOfFitMatchesPerPoint(t *testing.T) {
+	for name, xs := range fastPathSamples(t) {
+		ec := NewECDF(xs)
+		for _, r := range FitAll(xs, 20) {
+			if r.Err != nil {
+				continue
+			}
+			got, gotErr := ec.GoodnessOfFit(r.Dist, 20)
+			want, wantErr := GoodnessOfFit(xs, r.Dist, 20)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s vs %s: error mismatch: %v / %v", name, r.Dist.Name(), gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if got != want {
+				t.Errorf("%s vs %s: sorted GoF = %+v, per-point GoF = %+v", name, r.Dist.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestLogPDFMatchesLogOfPDF(t *testing.T) {
+	dists := []Dist{
+		Exponential{Lambda: 0.03},
+		Weibull{K: 0.8, Lambda: 45},
+		Weibull{K: 2.2, Lambda: 45},
+		Gamma{K: 0.6, Theta: 80},
+		Gamma{K: 3, Theta: 80},
+		LogNormal{Mu: 3, Sigma: 2},
+	}
+	points := []float64{0, 1e-9, 0.017, 1, 33.4, 1200, 1e7}
+	for _, d := range dists {
+		lp := d.(logPDFer).logPDF()
+		for _, x := range points {
+			got := lp(x)
+			want := math.Log(d.PDF(x))
+			switch {
+			case math.IsInf(want, -1) || math.IsInf(got, -1):
+				// PDF underflows to 0 deep in the tail where the closed
+				// form still resolves the (hugely negative) log-density;
+				// both rank the family last, so only require agreement on
+				// "vanishingly unlikely".
+				if !math.IsInf(got, -1) && !(math.IsInf(want, -1) && got < -700) {
+					t.Errorf("%s at %g: logPDF = %v, log(PDF) = %v", d.Name(), x, got, want)
+				}
+				if math.IsInf(got, -1) && !math.IsInf(want, -1) {
+					t.Errorf("%s at %g: logPDF = -Inf but log(PDF) = %v", d.Name(), x, want)
+				}
+			case math.IsInf(want, 1) || math.IsInf(got, 1):
+				if !math.IsInf(got, 1) || !math.IsInf(want, 1) {
+					t.Errorf("%s at %g: logPDF = %v, log(PDF) = %v", d.Name(), x, got, want)
+				}
+			default:
+				if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Errorf("%s at %g: logPDF = %v, log(PDF) = %v (diff %g)", d.Name(), x, got, want, diff)
+				}
+			}
+		}
+	}
+}

@@ -90,16 +90,26 @@ func FitWeibull(xs []float64) (Weibull, error) {
 	}
 	meanLog /= n
 
-	// x^k = exp(k·ln x) with cached logs: the score is evaluated dozens
-	// of times on potentially hundreds of thousands of points.
-	score := func(k float64) float64 {
-		var swl, sw float64
+	// x^k = exp(k·ln x) with cached logs: the score is evaluated several
+	// times on potentially hundreds of thousands of points. One fused pass
+	// yields the score and its derivative: with S_j = Σ (ln x)^j · x^k,
+	//
+	//	g(k)  = S1/S0 − 1/k − mean(ln x)
+	//	g'(k) = (S2·S0 − S1²)/S0² + 1/k²
+	eval := func(k float64) (g, dg float64) {
+		var s0, s1, s2 float64
 		for _, l := range logs {
 			w := math.Exp(k * l)
-			sw += w
-			swl += w * l
+			s0 += w
+			wl := w * l
+			s1 += wl
+			s2 += wl * l
 		}
-		return swl/sw - 1/k - meanLog
+		return s1/s0 - 1/k - meanLog, (s2*s0-s1*s1)/(s0*s0) + 1/(k*k)
+	}
+	score := func(k float64) float64 {
+		g, _ := eval(k)
+		return g
 	}
 
 	// Initial guess from the method of moments on ln(x):
@@ -118,36 +128,58 @@ func FitWeibull(xs []float64) (Weibull, error) {
 
 	// The score is increasing in k: −1/k dominates as k→0⁺ (score→−∞) and
 	// the weighted-log term tends to max ln x > mean ln x as k→∞. Bracket
-	// the unique root, then bisect.
+	// the unique root, then refine.
+	// Each score() call is a full pass over the sample; carry the last
+	// value at each endpoint instead of re-evaluating it for the final
+	// bracket check (the guess itself is evaluated once, not twice, when
+	// it already brackets on one side).
 	lo, hi := k, k
-	for i := 0; i < 80 && score(lo) > 0; i++ {
+	gLo := score(lo)
+	for i := 0; i < 80 && gLo > 0; i++ {
 		lo /= 2
+		gLo = score(lo)
 		if lo < 1e-8 {
 			break
 		}
 	}
-	for i := 0; i < 80 && score(hi) < 0; i++ {
+	gHi := gLo
+	if hi != lo {
+		gHi = score(hi)
+	}
+	for i := 0; i < 80 && gHi < 0; i++ {
 		hi *= 2
+		gHi = score(hi)
 		if hi > 1e8 {
 			break
 		}
 	}
-	if score(lo) > 0 || score(hi) < 0 {
+	if gLo > 0 || gHi < 0 {
 		return Weibull{}, fmt.Errorf("stats: FitWeibull: %w (score not bracketed)", ErrConverge)
 	}
+	// Safeguarded Newton inside the bracket: quadratic convergence from
+	// the moment guess (typically 5–8 fused passes instead of ~40 plain
+	// bisection passes), falling back to a bisection step whenever the
+	// Newton step leaves the bracket.
+	k = clamp(k, lo, hi)
 	for i := 0; i < 100; i++ {
-		mid := (lo + hi) / 2
-		fm := score(mid)
-		if fm == 0 || (hi-lo)/mid < 1e-10 {
-			k = mid
+		g, dg := eval(k)
+		if g == 0 {
 			break
 		}
-		if fm < 0 {
-			lo = mid
+		if g < 0 {
+			lo = k
 		} else {
-			hi = mid
+			hi = k
 		}
-		k = mid
+		next := k - g/dg
+		if !(dg > 0) || next <= lo || next >= hi {
+			next = (lo + hi) / 2
+		}
+		done := math.Abs(next-k) <= 1e-12*k || (hi-lo) <= 1e-10*lo
+		k = next
+		if done {
+			break
+		}
 	}
 
 	sw := 0.0

@@ -83,10 +83,29 @@ func kolmogorovQ(t float64) float64 {
 	}
 }
 
+// logPDFer is the optional fast path of LogLikelihood: a distribution
+// whose log-density has a closed form cheaper than log(PDF(x)). The
+// returned closure carries the distribution's constants hoisted out of
+// the per-point path.
+type logPDFer interface {
+	logPDF() func(x float64) float64
+}
+
 // LogLikelihood returns the total log-density of xs under dist
 // (−Inf if any observation has zero density).
 func LogLikelihood(xs []float64, dist Dist) float64 {
 	ll := 0.0
+	if lp, ok := dist.(logPDFer); ok {
+		f := lp.logPDF()
+		for _, x := range xs {
+			l := f(x)
+			if math.IsInf(l, -1) {
+				return math.Inf(-1)
+			}
+			ll += l
+		}
+		return ll
+	}
 	for _, x := range xs {
 		p := dist.PDF(x)
 		if p <= 0 {
