@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve bench-fold benchall profile
+.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve bench-fold bench-predict benchall profile
 
 all: tier1
 
@@ -68,6 +68,15 @@ bench-serve:
 # gate not enforced at toy scale).
 bench-fold:
 	$(GO) test -run '^$$' -bench BenchmarkFoldDelta -benchtime 1x -v -timeout 40m .
+
+# bench-predict: streaming risk-engine per-fold update cost against the
+# incremental fold budget, plus scoring throughput; writes
+# BENCH_predict.json in the repo root and fails if the update exceeds
+# 10% of the fold budget at paper scale. The CI smoke runs the same
+# benchmark with PREDICTBENCH_PROFILE=small (artifact emitted, gate not
+# enforced at toy scale).
+bench-predict:
+	$(GO) test -run '^$$' -bench BenchmarkPredictUpdate -benchtime 1x -v -timeout 40m .
 
 # benchall: the full per-table/per-figure benchmark sweep.
 benchall:

@@ -1,0 +1,164 @@
+package dcfail
+
+// Predictor-cost benchmark: the streaming risk engine's per-fold update
+// cost against the incremental section engine's delta-fold budget on the
+// same append schedule, plus steady-state scoring throughput. The gate
+// encodes the subsystem's bar for riding the serving fold path: keeping
+// per-host feature state current must cost at most 10% of what the
+// section engine already spends per delta fold.
+//
+// `make bench-predict` runs this at paper scale and writes
+// BENCH_predict.json in the repo root; the run fails if the predictor's
+// mean per-fold update exceeds 10% of the incremental fold budget.
+// PREDICTBENCH_PROFILE=small is the CI smoke variant — same schedule,
+// same artifact, seconds instead of minutes, no gate (fixed per-fold
+// overheads are not amortised at toy scale).
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/predict"
+	"dcfail/internal/report"
+)
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	profileName := "paper"
+	var res *fms.Result
+	var cen *core.Census
+	if os.Getenv("PREDICTBENCH_PROFILE") == "small" {
+		profileName = "small"
+		r, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, cen = r, core.CensusFromFleet(r.Fleet)
+	} else {
+		res, cen = paperFixture(b)
+	}
+
+	// Global (time, id) order — the append order a live source delivers.
+	tickets := append([]fot.Ticket(nil), res.Trace.Tickets...)
+	slices.SortFunc(tickets, func(x, y fot.Ticket) int {
+		if !x.Time.Equal(y.Time) {
+			return x.Time.Compare(y.Time)
+		}
+		if x.ID < y.ID {
+			return -1
+		} else if x.ID > y.ID {
+			return 1
+		}
+		return 0
+	})
+
+	// The serving daemon's steady state: one bootstrap fold, then delta
+	// folds — the same schedule bench_fold_test.go prices the section
+	// engine on, so the two budgets are directly comparable.
+	const deltaFolds = 16
+	boot := len(tickets) * 4 / 5
+	cuts := []int{boot}
+	for i := 1; i <= deltaFolds; i++ {
+		cuts = append(cuts, boot+(len(tickets)-boot)*i/deltaFolds)
+	}
+
+	var foldNS, predNS []int64
+	var pe *predict.Engine
+	for iter := 0; iter < b.N; iter++ {
+		engine := core.NewIncrementalEngine(report.StandardIncrementalSections(cen))
+		pe = predict.NewEngine(predict.Options{})
+		var ix *fot.TraceIndex
+		foldNS, predNS = foldNS[:0], predNS[:0]
+
+		for epoch, cut := range cuts {
+			ix = fot.ExtendTraceIndex(ix, fot.NewTrace(tickets[:cut]))
+			runtime.GC() // index builds allocate; keep GC out of the timed regions
+
+			start := time.Now()
+			engine.Advance(ix, uint64(epoch))
+			foldD := time.Since(start)
+
+			start = time.Now()
+			pe.Advance(ix, uint64(epoch))
+			predD := time.Since(start)
+
+			if epoch > 0 { // bootstrap is not a steady-state fold
+				foldNS = append(foldNS, int64(foldD))
+				predNS = append(predNS, int64(predD))
+			}
+		}
+		if st := pe.Stats(); st.Rebuilds != 0 {
+			b.Fatalf("predictor rebuilt on a monotone schedule: %+v", st)
+		}
+	}
+
+	// Steady-state scoring throughput over the fully folded fleet.
+	ranked, _ := pe.AtRisk(256)
+	if len(ranked) == 0 {
+		b.Fatal("no hosts tracked after the full trace")
+	}
+	const scoreRounds = 50
+	start := time.Now()
+	for r := 0; r < scoreRounds; r++ {
+		for i := range ranked {
+			if _, _, ok := pe.ScoreHost(ranked[i].Host); !ok {
+				b.Fatalf("tracked host %d lost its state", ranked[i].Host)
+			}
+		}
+	}
+	scoreD := time.Since(start)
+	scores := scoreRounds * len(ranked)
+	scoresPerSec := float64(scores) / scoreD.Seconds()
+
+	mean := func(xs []int64) int64 {
+		var sum int64
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / int64(len(xs))
+	}
+	foldMean, predMean := mean(foldNS), mean(predNS)
+	share := float64(predMean) / float64(foldMean)
+	pass := share <= 0.10
+	if profileName == "paper" && !pass {
+		b.Errorf("predictor update is %.1f%% of the incremental fold budget (gate: <= 10%%; fold %v, predict %v)",
+			share*100, time.Duration(foldMean), time.Duration(predMean))
+	}
+
+	doc := map[string]interface{}{
+		"benchmark":           "BenchmarkPredictUpdate",
+		"profile":             profileName,
+		"tickets":             len(tickets),
+		"hosts_tracked":       pe.Stats().Hosts,
+		"bootstrap_rows":      boot,
+		"delta_folds":         deltaFolds,
+		"rows_per_fold":       (len(tickets) - boot) / deltaFolds,
+		"fold_ns_per_fold":    foldMean,
+		"predict_ns_per_fold": predMean,
+		"fold_ns_folds":       foldNS,
+		"predict_ns_folds":    predNS,
+		"predict_share":       share,
+		"scores_timed":        scores,
+		"scores_per_sec":      scoresPerSec,
+		"gate":                "predict update <= 10% of incremental fold budget at paper profile",
+		"gate_pass":           pass,
+		"cores":               runtime.NumCPU(),
+		"go":                  runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_predict.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("predict update: %.2fms per fold vs %.2fms fold budget (%.1f%%); %.0f scores/s over %d hosts",
+		float64(predMean)/1e6, float64(foldMean)/1e6, share*100, scoresPerSec, len(ranked))
+}

@@ -7,6 +7,7 @@
 //	fotmine -trace trace.csv -rules            # association rules
 //	fotmine -trace trace.csv -predict -horizon 240h
 //	fotmine -profile small -seed 1 -rules      # in-memory trace
+//	fotmine -eval-predictor -train-seed 1 -eval-seeds 2,3,4
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"dcfail/internal/fms"
 	"dcfail/internal/fot"
 	"dcfail/internal/mine"
+	"dcfail/internal/predict"
 	"dcfail/internal/report"
 )
 
@@ -39,16 +42,33 @@ func run(args []string, w io.Writer) error {
 	tracePath := fs.String("trace", "", "trace file from fotgen (csv or jsonl by extension)")
 	ticketID := fs.Uint64("ticket", 0, "print the related-information context for this ticket id")
 	rules := fs.Bool("rules", false, "mine temporal association rules")
-	predict := fs.Bool("predict", false, "score the warning-based failure predictor")
+	predictFlag := fs.Bool("predict", false, "score the warning-based failure predictor")
 	chronic := fs.Bool("chronic", false, "rank the worst repeat-flapping servers")
 	horizon := fs.Duration("horizon", 10*24*time.Hour, "predictor horizon / rule window scale")
 	minSupport := fs.Int("min-support", 3, "rules: minimum supporting servers")
 	minLift := fs.Float64("min-lift", 3.0, "rules: minimum temporal lift")
+	evalPredictor := fs.Bool("eval-predictor", false, "run the streaming-predictor evaluation harness over generated seeds")
+	trainSeed := fs.Int64("train-seed", 1, "eval-predictor: seed for the threshold-fitting trace")
+	evalSeeds := fs.String("eval-seeds", "2,3,4", "eval-predictor: comma-separated held-out seeds")
+	evalHorizons := fs.String("eval-horizons", "120h,240h", "eval-predictor: comma-separated prediction horizons")
+	evalCuts := fs.Int("eval-cuts", 6, "eval-predictor: evaluation cut instants per trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *ticketID == 0 && !*rules && !*predict && !*chronic {
-		return fmt.Errorf("nothing to do: pass -ticket, -rules, -predict and/or -chronic")
+	if *evalPredictor {
+		var profile fleetgen.Profile
+		switch *profileName {
+		case "small":
+			profile = fleetgen.SmallProfile()
+		case "paper":
+			profile = fleetgen.PaperProfile()
+		default:
+			return fmt.Errorf("unknown profile %q (want small or paper)", *profileName)
+		}
+		return runEvalPredictor(w, profile, *trainSeed, *evalSeeds, *evalHorizons, *evalCuts)
+	}
+	if *ticketID == 0 && !*rules && !*predictFlag && !*chronic {
+		return fmt.Errorf("nothing to do: pass -ticket, -rules, -predict, -chronic and/or -eval-predictor")
 	}
 
 	var trace *fot.Trace
@@ -109,7 +129,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	if *predict {
+	if *predictFlag {
 		eval, err := mine.EvaluateWarningPredictor(trace, *horizon)
 		if err != nil {
 			return err
@@ -129,4 +149,63 @@ func run(args []string, w io.Writer) error {
 	}
 	_, err := buf.WriteTo(w)
 	return err
+}
+
+// runEvalPredictor generates one training trace and a set of held-out
+// traces, fits the logistic threshold on the training seed, and prints
+// the streaming-vs-baseline scorecard (predict.Evaluate / WriteReport).
+func runEvalPredictor(w io.Writer, profile fleetgen.Profile, trainSeed int64, seedCSV, horizonCSV string, cuts int) error {
+	gen := func(seed int64) (predict.EvalTrace, error) {
+		res, err := fms.Run(profile, fms.DefaultConfig(), seed)
+		if err != nil {
+			return predict.EvalTrace{}, err
+		}
+		return predict.EvalTrace{
+			Name: "seed-" + strconv.FormatInt(seed, 10),
+			Ix:   fot.BorrowTraceIndex(res.Trace),
+		}, nil
+	}
+
+	train, err := gen(trainSeed)
+	if err != nil {
+		return err
+	}
+	var held []predict.EvalTrace
+	for _, f := range strings.Split(seedCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		seed, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("eval-seeds: %w", err)
+		}
+		et, err := gen(seed)
+		if err != nil {
+			return err
+		}
+		held = append(held, et)
+	}
+	if len(held) == 0 {
+		return fmt.Errorf("eval-seeds: no held-out seeds")
+	}
+
+	var horizons []time.Duration
+	for _, f := range strings.Split(horizonCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		h, err := time.ParseDuration(f)
+		if err != nil {
+			return fmt.Errorf("eval-horizons: %w", err)
+		}
+		horizons = append(horizons, h)
+	}
+
+	rep, err := predict.Evaluate(train, held, nil, predict.EvalConfig{Horizons: horizons, Cuts: cuts})
+	if err != nil {
+		return err
+	}
+	return predict.WriteReport(w, rep)
 }

@@ -360,6 +360,35 @@ func smokeTest(w io.Writer, d *serve.Daemon, base, pprofURL string) error {
 		return fmt.Errorf("/stats not settled: epoch=%d tickets=%d drained=%v",
 			stats.Epoch, stats.Tickets, stats.Drained)
 	}
+	if stats.Predict.Hosts == 0 || stats.Predict.Epoch != stats.Epoch {
+		return fmt.Errorf("/stats predictor not settled: %+v against epoch %d", stats.Predict, stats.Epoch)
+	}
+
+	// The streaming predictor: rank the fleet, then score the top host.
+	body, err = get(base + "/atrisk?n=3")
+	if err != nil {
+		return err
+	}
+	var atRisk serve.AtRiskReply
+	if err := json.Unmarshal(body, &atRisk); err != nil {
+		return fmt.Errorf("/atrisk: %w", err)
+	}
+	if len(atRisk.Hosts) == 0 || atRisk.Model == "" {
+		return fmt.Errorf("/atrisk returned no ranked hosts: %s", body)
+	}
+	body, err = get(fmt.Sprintf("%s/predict/%d", base, atRisk.Hosts[0].Host))
+	if err != nil {
+		return err
+	}
+	var pred serve.PredictReply
+	if err := json.Unmarshal(body, &pred); err != nil {
+		return fmt.Errorf("/predict: %w", err)
+	}
+	if pred.Score != atRisk.Hosts[0].Score {
+		return fmt.Errorf("/predict score %v disagrees with /atrisk rank 0 score %v",
+			pred.Score, atRisk.Hosts[0].Score)
+	}
+
 	if pprofURL != "" {
 		body, err = get(pprofURL + "/debug/pprof/cmdline")
 		if err != nil {
@@ -370,8 +399,9 @@ func smokeTest(w io.Writer, d *serve.Daemon, base, pprofURL string) error {
 		}
 	}
 
-	fmt.Fprintf(w, "fotqueryd: smoke ok — epoch %d, %d tickets, cache %d/%d hits\n",
-		stats.Epoch, stats.Tickets, stats.CacheHits, stats.CacheHits+stats.CacheMisses)
+	fmt.Fprintf(w, "fotqueryd: smoke ok — epoch %d, %d tickets, cache %d/%d hits, top risk host %d (%.3f)\n",
+		stats.Epoch, stats.Tickets, stats.CacheHits, stats.CacheHits+stats.CacheMisses,
+		atRisk.Hosts[0].Host, atRisk.Hosts[0].Score)
 	return nil
 }
 

@@ -209,6 +209,23 @@ func smokeTest(w io.Writer, checkInterval, hedgeAfter time.Duration) error {
 		return fmt.Errorf("routed response missing tier headers: %v", resp.Header)
 	}
 
+	// The streaming predictor serves through the router too, with the
+	// epoch-bearing header intact.
+	resp, body, err = get(base+"/atrisk?n=3", want)
+	if err != nil {
+		return err
+	}
+	var atRisk serve.AtRiskReply
+	if err := json.Unmarshal(body, &atRisk); err != nil {
+		return fmt.Errorf("routed /atrisk: %w", err)
+	}
+	if len(atRisk.Hosts) == 0 || atRisk.Epoch != want {
+		return fmt.Errorf("routed /atrisk not settled at epoch %d: %s", want, body)
+	}
+	if resp.Header.Get("X-Epoch") != fmt.Sprint(want) {
+		return fmt.Errorf("routed /atrisk X-Epoch %q, want %d", resp.Header.Get("X-Epoch"), want)
+	}
+
 	// Kill the replica that served it; the router fails over.
 	killed := resp.Header.Get("X-Served-By")
 	for _, rep := range reps {

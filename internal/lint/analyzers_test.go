@@ -72,6 +72,10 @@ func TestScope(t *testing.T) {
 		{"incpurity", "dcfail/internal/report", true},
 		{"incpurity", "dcfail/internal/mine", true},
 		{"incpurity", "dcfail/internal/serve", false},
+		{"maporder", "dcfail/internal/predict", true},
+		{"walltime", "dcfail/internal/predict", true},
+		{"incpurity", "dcfail/internal/predict", true},
+		{"globalrand", "dcfail/internal/predict", false},
 	}
 	for _, c := range cases {
 		a := lint.ByName(c.rule)

@@ -17,7 +17,7 @@ var Incpurity = &Analyzer{
 	Doc:  "incremental Update must not mutate prev state nor fold map order into state",
 	Invariant: "Update(prev, ix, newRows) returns prev unchanged or a fresh top-level state; " +
 		"prev and its aliases are never written through, and state never absorbs unsorted map order",
-	Scope: []string{"core", "report", "mine"},
+	Scope: []string{"core", "report", "mine", "predict"},
 	Run:   runIncpurity,
 }
 

@@ -16,7 +16,7 @@ var MapOrder = &Analyzer{
 	Doc:  "range over a map must not feed an unsorted append, a writer, or a channel send",
 	Invariant: "report output is byte-identical across worker counts and input orders; " +
 		"map iteration order must never reach a slice, stream, or channel unsorted",
-	Scope: []string{"core", "report", "fot", "mine", "serve"},
+	Scope: []string{"core", "report", "fot", "mine", "serve", "predict"},
 	Run:   runMapOrder,
 }
 

@@ -15,7 +15,7 @@ var WallTime = &Analyzer{
 	Doc:  "deterministic/replay-tested packages must use an injected clock, not time.Now/Since/Until",
 	Invariant: "replayable components take a `Now func() time.Time` (or receive timestamps from " +
 		"their input) so identical inputs always produce identical outputs",
-	Scope: []string{"core", "report", "fot", "mine", "serve", "fmsnet", "wal", "archive", "replica", "router"},
+	Scope: []string{"core", "report", "fot", "mine", "serve", "fmsnet", "wal", "archive", "replica", "router", "predict"},
 	Run:   runWallTime,
 }
 

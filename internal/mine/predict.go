@@ -34,6 +34,49 @@ type PredictorEval struct {
 	MedianLeadHours float64
 }
 
+// PredictorPopulation is one host's lifetime predictor-eligible ticket
+// populations: failure-category rows on non-Misc devices, split by the
+// fatal-type verdict. It is the consistency surface between this batch
+// evaluation and the streaming predictor (internal/predict): on a frozen
+// trace both must produce identical per-host populations.
+type PredictorPopulation struct {
+	Warnings int
+	Fatals   int
+}
+
+// WarningFatalPopulations classifies every predictor-eligible ticket
+// with the exact §VII-A rule EvaluateWarningPredictorIndexed uses and
+// returns the per-host populations. Hosts with no eligible tickets are
+// absent from the map.
+func WarningFatalPopulations(ix *fot.TraceIndex) map[uint64]PredictorPopulation {
+	out := make(map[uint64]PredictorPopulation)
+	if ix == nil || ix.Len() == 0 {
+		return out
+	}
+	cols := ix.Cols()
+	fatalByCode := make(map[uint64]bool)
+	for _, r := range ix.FailureRows() {
+		dev := fot.Component(cols.Device[r])
+		if dev == fot.Misc {
+			continue // manual reports are not detector output
+		}
+		code := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		fatal, ok := fatalByCode[code]
+		if !ok {
+			fatal = fot.IsFatalType(dev, cols.TypeName(cols.TypeSym[r]))
+			fatalByCode[code] = fatal
+		}
+		p := out[cols.Host[r]]
+		if fatal {
+			p.Fatals++
+		} else {
+			p.Warnings++
+		}
+		out[cols.Host[r]] = p
+	}
+	return out
+}
+
 // EvaluateWarningPredictor replays the trace and scores the predictor.
 // False alarms are excluded; both D_fixing and D_error tickets count
 // (a prediction is useful either way).

@@ -1,0 +1,306 @@
+package predict
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+// Options configures an Engine. The zero value of every field has a
+// usable default.
+type Options struct {
+	// Window is the trailing feature window (recent warning rate,
+	// batch-episode recency). Default 240h — the §VII-A default horizon.
+	Window time.Duration
+	// BatchWindow / BatchThreshold tune the batch-episode membership
+	// feature, defaulting to mine.NewBatchDetector's 3h / 20 signature.
+	BatchWindow    time.Duration
+	BatchThreshold int
+	// Scorer combines a feature vector into a risk score in [0, 1].
+	// Default: DefaultLogistic().
+	Scorer Scorer
+	// Now measures update cost for the /stats counters (nil means
+	// time.Now). Scores never read it — all scoring time is fold-time.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 240 * time.Hour
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 3 * time.Hour
+	}
+	if o.BatchThreshold < 2 {
+		o.BatchThreshold = 20
+	}
+	if o.Scorer == nil {
+		o.Scorer = DefaultLogistic()
+	}
+	if o.Now == nil {
+		//lint:ignore walltime injection-point default; Options.Now overrides the clock, and it only times update cost — scores use fold-time
+		o.Now = time.Now
+	}
+	return o
+}
+
+// HostScore is one scored host: the model output plus the feature
+// breakdown it was computed from.
+type HostScore struct {
+	Host     uint64       `json:"host"`
+	Score    float64      `json:"score"`
+	Features HostFeatures `json:"features"`
+}
+
+// EngineStats is a point-in-time snapshot of the predictor's health and
+// cost counters, surfaced under "predict" in the daemon's /stats.
+type EngineStats struct {
+	Epoch        uint64 `json:"epoch"`
+	Rows         int    `json:"rows"`
+	Hosts        int    `json:"hosts_tracked"`
+	ScoresServed uint64 `json:"scores_served"`
+	Folds        uint64 `json:"folds"`
+	FoldedRows   uint64 `json:"folded_rows"`
+	UpdateNS     uint64 `json:"update_ns_total"`
+	Rebuilds     uint64 `json:"rebuilds"`
+	Model        string `json:"model"`
+}
+
+// Engine carries the per-host feature state across epochs and answers
+// score queries against the newest fold. Advance is the fold path —
+// serve.State calls it under its fold mutex with exactly the appended
+// row range; queries take a read lock, so a score never observes a
+// half-folded state.
+//
+// Like core.IncrementalEngine, the engine assumes rows are appended in
+// global (time, id) order. A batch that violates it (backfill,
+// out-of-order ingest after a reattach) triggers a transparent rebuild
+// from the full permutation — correctness never depends on arrival
+// order, only the delta fast path does.
+type Engine struct {
+	opts   Options
+	update func(core.SectionState, *fot.TraceIndex, []int32) (core.SectionState, error)
+
+	mu       sync.RWMutex
+	st       *featureState
+	epoch    uint64
+	rows     int
+	asOfNS   int64 // newest folded ticket time (fold-time "now")
+	lastT    int64 // (time, id) key of the last folded row
+	lastID   uint64
+	haveLast bool
+
+	folds      uint64
+	foldedRows uint64
+	updateNS   uint64
+	rebuilds   uint64
+	scores     atomic.Uint64 // lifetime scores served (read path)
+}
+
+// NewEngine builds an engine with no folded rows (epoch 0).
+func NewEngine(opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		opts:   opts,
+		update: stateUpdater(int64(opts.BatchWindow), opts.BatchThreshold),
+	}
+}
+
+// Model returns the scorer's version string, served alongside every
+// score so clients can tell which model produced a number.
+func (e *Engine) Model() string { return e.opts.Scorer.Version() }
+
+// Window returns the effective feature window.
+func (e *Engine) Window() time.Duration { return e.opts.Window }
+
+// Advance folds the rows appended since the previous call — rows
+// [watermark, ix.Len()) — and tags the state with epoch. It must be
+// externally serialized with respect to itself (serve's fold mutex).
+func (e *Engine) Advance(ix *fot.TraceIndex, epoch uint64) {
+	cols := ix.Cols()
+	n := ix.Len()
+	start := e.opts.Now()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		e.folds++
+		e.updateNS += uint64(e.opts.Now().Sub(start))
+	}()
+
+	if n < e.rows {
+		e.rebuildLocked(ix, epoch)
+		return
+	}
+	newRows := make([]int32, 0, n-e.rows)
+	for r := e.rows; r < n; r++ {
+		newRows = append(newRows, int32(r))
+	}
+	if len(newRows) == 0 {
+		// Epoch marker with no rows (replication): scores are unchanged,
+		// only the epoch tag moves.
+		e.epoch = epoch
+		return
+	}
+	slices.SortFunc(newRows, func(a, b int32) int {
+		if cols.TimeNS[a] != cols.TimeNS[b] {
+			if cols.TimeNS[a] < cols.TimeNS[b] {
+				return -1
+			}
+			return 1
+		}
+		if cols.ID[a] != cols.ID[b] {
+			if cols.ID[a] < cols.ID[b] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	first := newRows[0]
+	if e.haveLast && (cols.TimeNS[first] < e.lastT ||
+		(cols.TimeNS[first] == e.lastT && cols.ID[first] <= e.lastID)) {
+		e.rebuildLocked(ix, epoch)
+		return
+	}
+	e.foldLocked(ix, newRows)
+	e.rows = n
+	e.epoch = epoch
+}
+
+// foldLocked runs the state update over rows (pre-sorted) and advances
+// the fold-time watermark.
+func (e *Engine) foldLocked(ix *fot.TraceIndex, rows []int32) {
+	next, _ := e.update(e.st, ix, rows)
+	e.st = next.(*featureState)
+	cols := ix.Cols()
+	last := rows[len(rows)-1]
+	e.lastT, e.lastID, e.haveLast = cols.TimeNS[last], cols.ID[last], true
+	if cols.TimeNS[last] > e.asOfNS {
+		e.asOfNS = cols.TimeNS[last]
+	}
+	e.foldedRows += uint64(len(rows))
+}
+
+// rebuildLocked discards the state and refolds the whole permutation.
+func (e *Engine) rebuildLocked(ix *fot.TraceIndex, epoch uint64) {
+	e.rebuilds++
+	e.st = nil
+	e.asOfNS = 0
+	perm := ix.TimePerm()
+	if len(perm) > 0 {
+		e.foldLocked(ix, perm)
+	} else {
+		e.haveLast = false
+	}
+	e.rows = ix.Len()
+	e.epoch = epoch
+}
+
+// ScoreHost scores one host against the newest fold. ok is false when
+// the host has no predictor-eligible tickets (or nothing folded yet).
+// The returned epoch identifies the fold the score was computed from —
+// the value /predict/{host} stamps as X-Epoch.
+func (e *Engine) ScoreHost(host uint64) (sc HostScore, epoch uint64, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.st == nil {
+		return HostScore{}, e.epoch, false
+	}
+	hi, found := e.st.hostIdx[host]
+	if !found {
+		return HostScore{}, e.epoch, false
+	}
+	e.scores.Add(1)
+	return e.scoreLocked(hi), e.epoch, true
+}
+
+// scoreLocked computes one host's score under the read lock.
+func (e *Engine) scoreLocked(hi int32) HostScore {
+	f := e.st.features(hi, e.asOfNS, int64(e.opts.Window))
+	return HostScore{Host: f.Host, Score: e.opts.Scorer.Score(&f), Features: f}
+}
+
+// AtRisk returns the k highest-risk hosts against the newest fold,
+// deterministically ordered: score descending, host id ascending on
+// ties. k <= 0 means 10. The returned epoch identifies the fold — every
+// replica that folded the same epoch returns the same list.
+func (e *Engine) AtRisk(k int) (ranked []HostScore, epoch uint64) {
+	if k <= 0 {
+		k = 10
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.st == nil {
+		return nil, e.epoch
+	}
+	all := make([]HostScore, 0, len(e.st.hosts))
+	for hi := range e.st.hosts {
+		all = append(all, e.scoreLocked(int32(hi)))
+	}
+	e.scores.Add(uint64(len(all)))
+	slices.SortFunc(all, func(a, b HostScore) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		if a.Host != b.Host {
+			if a.Host < b.Host {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], e.epoch
+}
+
+// Populations snapshots every tracked host's lifetime warning/fatal
+// populations — the consistency gate surface against
+// mine.WarningFatalPopulations.
+func (e *Engine) Populations() map[uint64]mine.PredictorPopulation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.st == nil {
+		return map[uint64]mine.PredictorPopulation{}
+	}
+	return e.st.populations()
+}
+
+// Epoch returns the newest folded epoch.
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	hosts := 0
+	if e.st != nil {
+		hosts = len(e.st.hosts)
+	}
+	return EngineStats{
+		Epoch:        e.epoch,
+		Rows:         e.rows,
+		Hosts:        hosts,
+		ScoresServed: e.scores.Load(),
+		Folds:        e.folds,
+		FoldedRows:   e.foldedRows,
+		UpdateNS:     e.updateNS,
+		Rebuilds:     e.rebuilds,
+		Model:        e.opts.Scorer.Version(),
+	}
+}

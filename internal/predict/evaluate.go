@@ -1,0 +1,336 @@
+package predict
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dcfail/internal/core"
+	"dcfail/internal/fot"
+)
+
+// EvalTrace is one named trace for the evaluation harness (the name is a
+// seed label in the report tables).
+type EvalTrace struct {
+	Name string
+	Ix   *fot.TraceIndex
+}
+
+// EvalConfig tunes the DC-Prophet-style evaluation. Zero values default.
+type EvalConfig struct {
+	// Horizons are the prediction horizons H: at each cut instant T a
+	// host is an actual positive iff it has a predictor-eligible fatal
+	// in (T, T+H]. The feature window equals the horizon. Default
+	// {120h, 240h}.
+	Horizons []time.Duration
+	// Cuts is how many evaluation instants are spread across each
+	// trace's failure span (first quarter skipped as warm-up, last
+	// horizon reserved for labels). Default 6.
+	Cuts int
+	// BatchWindow / BatchThreshold configure the streaming fold exactly
+	// like Options. Defaults 3h / 20.
+	BatchWindow    time.Duration
+	BatchThreshold int
+	// Grid is the threshold grid fitted on the training trace; the
+	// lowest F1-maximizing value wins (deterministic). Default
+	// 0.05, 0.10, ..., 0.95.
+	Grid []float64
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if len(c.Horizons) == 0 {
+		c.Horizons = []time.Duration{120 * time.Hour, 240 * time.Hour}
+	}
+	if c.Cuts <= 0 {
+		c.Cuts = 6
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 3 * time.Hour
+	}
+	if c.BatchThreshold < 2 {
+		c.BatchThreshold = 20
+	}
+	if len(c.Grid) == 0 {
+		for i := 1; i <= 19; i++ {
+			c.Grid = append(c.Grid, float64(i)*0.05)
+		}
+	}
+	return c
+}
+
+// VariantScore is one (variant, trace, horizon) row of the comparison
+// table: pooled confusion counts over every cut instant plus the derived
+// precision/recall/F-score.
+type VariantScore struct {
+	Variant   string        `json:"variant"`
+	Trace     string        `json:"trace"`
+	Horizon   time.Duration `json:"horizon"`
+	Threshold float64       `json:"threshold"`
+	Cuts      int           `json:"cuts"`
+	TP        int           `json:"tp"`
+	FP        int           `json:"fp"`
+	FN        int           `json:"fn"`
+	Precision float64       `json:"precision"`
+	Recall    float64       `json:"recall"`
+	F1        float64       `json:"f1"`
+}
+
+// EvalReport is the harness output: thresholds fitted on the training
+// trace, then every variant scored on the training trace (reference) and
+// each held-out trace, per horizon.
+type EvalReport struct {
+	Train    string         `json:"train"`
+	Held     []string       `json:"held"`
+	Variants []string       `json:"variants"`
+	Results  []VariantScore `json:"results"`
+}
+
+// sample is one (host, cut) scoring decision: the variant's score and
+// whether the host actually failed within the horizon after the cut.
+type sample struct {
+	score float64
+	pos   bool
+}
+
+// cutSamples is one trace replayed under one horizon: per-variant score
+// samples over every (tracked host, cut) pair, plus the actual positives
+// the tracker had never seen at cut time (always false negatives).
+type cutSamples struct {
+	perScorer [][]sample
+	missed    int
+	cuts      int
+}
+
+// collect replays one trace through the streaming fold function, pausing
+// at each cut instant to score every tracked host with every variant.
+// The replay IS the production path: the same stateUpdater fold over
+// row batches in global time order, features read at the cut instant.
+func collect(ix *fot.TraceIndex, horizonNS int64, cfg EvalConfig, scorers []Scorer) (*cutSamples, error) {
+	if ix == nil || ix.Len() == 0 {
+		return nil, fmt.Errorf("predict: empty trace")
+	}
+	cols := ix.Cols()
+
+	// Eligible rows in global time order, plus per-host fatal timelines
+	// for labeling. fatalHosts keeps first-seen (time) order so the
+	// missed-positive scan is deterministic.
+	fatalByCode := make(map[uint64]bool)
+	var elig []int32
+	hostFatal := make(map[uint64][]int64)
+	var fatalHosts []uint64
+	for _, r := range ix.TimePerm() {
+		if !fot.Category(cols.Category[r]).IsFailure() {
+			continue
+		}
+		dev := fot.Component(cols.Device[r])
+		if dev == fot.Misc {
+			continue
+		}
+		elig = append(elig, r)
+		code := uint64(cols.Device[r])<<32 | uint64(cols.TypeSym[r])
+		fatal, ok := fatalByCode[code]
+		if !ok {
+			fatal = fot.IsFatalType(dev, cols.TypeName(cols.TypeSym[r]))
+			fatalByCode[code] = fatal
+		}
+		if fatal {
+			h := cols.Host[r]
+			if _, seen := hostFatal[h]; !seen {
+				fatalHosts = append(fatalHosts, h)
+			}
+			hostFatal[h] = append(hostFatal[h], cols.TimeNS[r])
+		}
+	}
+	if len(elig) == 0 {
+		return nil, fmt.Errorf("predict: no predictor-eligible tickets")
+	}
+	loNS := cols.TimeNS[elig[0]]
+	hiNS := cols.TimeNS[elig[len(elig)-1]]
+
+	// Cut instants: skip the first quarter (cold state scores nothing
+	// useful), and leave one horizon of trailing trace so every cut's
+	// label window is fully observed.
+	start := loNS + (hiNS-loNS)/4
+	end := hiNS - horizonNS
+	if end < start {
+		end = start
+	}
+	var instants []int64
+	if cfg.Cuts == 1 || end == start {
+		instants = []int64{start}
+	} else {
+		step := (end - start) / int64(cfg.Cuts-1)
+		for i := 0; i < cfg.Cuts; i++ {
+			t := start + int64(i)*step
+			if len(instants) == 0 || t > instants[len(instants)-1] {
+				instants = append(instants, t)
+			}
+		}
+	}
+
+	update := stateUpdater(int64(cfg.BatchWindow), cfg.BatchThreshold)
+	out := &cutSamples{perScorer: make([][]sample, len(scorers)), cuts: len(instants)}
+	var state core.SectionState
+	pos := 0
+	for _, T := range instants {
+		// Fold everything up to and including T — one batch per cut, the
+		// same shape a serve epoch advance would hand the engine.
+		batchEnd := pos
+		for batchEnd < len(elig) && cols.TimeNS[elig[batchEnd]] <= T {
+			batchEnd++
+		}
+		if batchEnd > pos {
+			next, err := update(state, ix, elig[pos:batchEnd])
+			if err != nil {
+				return nil, err
+			}
+			state = next
+			pos = batchEnd
+		}
+		st, _ := state.(*featureState)
+
+		hasFatalAfter := func(h uint64, t int64) bool {
+			ft := hostFatal[h]
+			for _, f := range ft {
+				if f > t {
+					return f <= t+horizonNS
+				}
+			}
+			return false
+		}
+		if st != nil {
+			for hi := range st.hosts {
+				f := st.features(int32(hi), T, horizonNS)
+				label := hasFatalAfter(f.Host, T)
+				for si, sc := range scorers {
+					out.perScorer[si] = append(out.perScorer[si], sample{score: sc.Score(&f), pos: label})
+				}
+			}
+		}
+		// Actual positives the tracker has never seen: no features to
+		// score, so every variant misses them (false negatives).
+		for _, h := range fatalHosts {
+			if st != nil {
+				if _, tracked := st.hostIdx[h]; tracked {
+					continue
+				}
+			}
+			if hasFatalAfter(h, T) {
+				out.missed++
+			}
+		}
+	}
+	return out, nil
+}
+
+// confusion thresholds one variant's samples into pooled counts.
+func confusion(samples []sample, missed int, threshold float64) (tp, fp, fn int) {
+	for _, s := range samples {
+		switch {
+		case s.score >= threshold && s.pos:
+			tp++
+		case s.score >= threshold:
+			fp++
+		case s.pos:
+			fn++
+		}
+	}
+	return tp, fp, fn + missed
+}
+
+func prf(tp, fp, fn int) (p, r, f1 float64) {
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return p, r, f1
+}
+
+// fitThreshold sweeps the grid on the training samples and returns the
+// lowest threshold maximizing F1 — deterministic for every input.
+func fitThreshold(samples []sample, missed int, grid []float64) float64 {
+	best, bestF1 := grid[0], -1.0
+	for _, th := range grid {
+		_, _, f1 := prf(confusion(samples, missed, th))
+		if f1 > bestF1 {
+			best, bestF1 = th, f1
+		}
+	}
+	return best
+}
+
+// Evaluate runs the DC-Prophet-style harness: fit each variant's
+// decision threshold on the training trace, then score the training
+// trace (reference row) and every held-out trace at every horizon.
+// Row order is deterministic: horizon, then train + held trace order,
+// then variant order.
+func Evaluate(train EvalTrace, held []EvalTrace, scorers []Scorer, cfg EvalConfig) (*EvalReport, error) {
+	if len(scorers) == 0 {
+		scorers = []Scorer{DefaultLogistic(), WarningScorer{}}
+	}
+	cfg = cfg.withDefaults()
+	rep := &EvalReport{Train: train.Name}
+	for _, h := range held {
+		rep.Held = append(rep.Held, h.Name)
+	}
+	for _, s := range scorers {
+		rep.Variants = append(rep.Variants, s.Name())
+	}
+	for _, horizon := range cfg.Horizons {
+		horizonNS := int64(horizon)
+		trainCS, err := collect(train.Ix, horizonNS, cfg, scorers)
+		if err != nil {
+			return nil, fmt.Errorf("train %s: %w", train.Name, err)
+		}
+		thresholds := make([]float64, len(scorers))
+		for si := range scorers {
+			thresholds[si] = fitThreshold(trainCS.perScorer[si], trainCS.missed, cfg.Grid)
+		}
+		score := func(name string, cs *cutSamples) {
+			for si, sc := range scorers {
+				tp, fp, fn := confusion(cs.perScorer[si], cs.missed, thresholds[si])
+				p, r, f1 := prf(tp, fp, fn)
+				rep.Results = append(rep.Results, VariantScore{
+					Variant: sc.Name(), Trace: name, Horizon: horizon,
+					Threshold: thresholds[si], Cuts: cs.cuts,
+					TP: tp, FP: fp, FN: fn,
+					Precision: p, Recall: r, F1: f1,
+				})
+			}
+		}
+		score(train.Name+" (train)", trainCS)
+		for _, ht := range held {
+			cs, err := collect(ht.Ix, horizonNS, cfg, scorers)
+			if err != nil {
+				return nil, fmt.Errorf("held %s: %w", ht.Name, err)
+			}
+			score(ht.Name, cs)
+		}
+	}
+	return rep, nil
+}
+
+// WriteReport renders the comparison table as fixed-width text, the
+// fotmine -eval-predictor output.
+func WriteReport(w io.Writer, rep *EvalReport) error {
+	if _, err := fmt.Fprintf(w, "Predictor evaluation — train %s, held-out %d trace(s)\n\n", rep.Train, len(rep.Held)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-18s %-16s %8s %6s %5s %5s %5s %5s %7s %7s %7s\n",
+		"variant", "trace", "horizon", "thresh", "cuts", "TP", "FP", "FN", "prec", "recall", "F1"); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		if _, err := fmt.Fprintf(w, "%-18s %-16s %8s %6.2f %5d %5d %5d %5d %7.3f %7.3f %7.3f\n",
+			r.Variant, r.Trace, r.Horizon, r.Threshold, r.Cuts, r.TP, r.FP, r.FN,
+			r.Precision, r.Recall, r.F1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

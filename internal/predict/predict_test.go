@@ -1,0 +1,350 @@
+package predict
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+)
+
+var (
+	once sync.Once
+	res  *fms.Result
+	gerr error
+)
+
+func fixture(t testing.TB) *fms.Result {
+	t.Helper()
+	once.Do(func() {
+		res, gerr = fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 555)
+	})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	return res
+}
+
+// tk builds one synthetic ticket. HDD "SMARTFail" is a warning type,
+// "NotReady" a fatal one (fot type catalogue).
+func tk(id, host uint64, typ string, at time.Time, cat fot.Category) fot.Ticket {
+	return fot.Ticket{
+		ID: id, HostID: host, IDC: "dc01", Rack: "r1", Position: 1,
+		Device: fot.HDD, Slot: "sda", Type: typ, Time: at,
+		Category: cat, ProductLine: "A", DeployTime: at.Add(-365 * 24 * time.Hour),
+	}
+}
+
+// advanceSchedule folds the trace into an Engine under the given row
+// chunking and returns the engine.
+func advanceSchedule(t *testing.T, tr *fot.Trace, chunks []int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{})
+	tickets := tr.Tickets
+	var prefix []fot.Ticket
+	epoch := uint64(0)
+	for _, n := range chunks {
+		if n > len(tickets)-len(prefix) {
+			n = len(tickets) - len(prefix)
+		}
+		prefix = tickets[:len(prefix)+n]
+		epoch++
+		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(prefix)), epoch)
+	}
+	if len(prefix) != len(tickets) {
+		epoch++
+		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(tickets)), epoch)
+	}
+	return e
+}
+
+func popsEqual(t *testing.T, got, want map[uint64]mine.PredictorPopulation, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d hosts tracked, batch says %d", label, len(got), len(want))
+	}
+	for h, w := range want {
+		if g, ok := got[h]; !ok || g != w {
+			t.Fatalf("%s: host %d populations %+v, batch says %+v", label, h, got[h], w)
+		}
+	}
+}
+
+// TestConsistencyGate is the streaming-vs-batch satellite: however the
+// frozen trace is split across epochs, the streaming per-host
+// warning/fatal populations must exactly match the batch §VII-A
+// classification, and the totals must match EvaluateWarningPredictorIndexed.
+func TestConsistencyGate(t *testing.T) {
+	r := fixture(t)
+	ix := fot.BorrowTraceIndex(r.Trace)
+	want := mine.WarningFatalPopulations(ix)
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture: no eligible hosts")
+	}
+	n := len(r.Trace.Tickets)
+
+	rng := rand.New(rand.NewSource(7))
+	randomChunks := make([]int, 0, 64)
+	for left := n; left > 0; {
+		c := 1 + rng.Intn(n/10+1)
+		if c > left {
+			c = left
+		}
+		randomChunks = append(randomChunks, c)
+		left -= c
+	}
+	schedules := map[string][]int{
+		"one-shot":   {n},
+		"halves":     {n / 2, n - n/2},
+		"row-by-row": nil, // special-cased below: 200 single-row folds then the rest
+		"random":     randomChunks,
+	}
+	rows := make([]int, 200)
+	for i := range rows {
+		rows[i] = 1
+	}
+	schedules["row-by-row"] = append(rows, n-200)
+
+	for name, chunks := range schedules {
+		e := advanceSchedule(t, r.Trace, chunks)
+		popsEqual(t, e.Populations(), want, name)
+	}
+
+	// Totals line up with the batch scorecard's populations.
+	eval, err := mine.EvaluateWarningPredictorIndexed(ix, 240*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warn, fatal int
+	for _, p := range want {
+		warn += p.Warnings
+		fatal += p.Fatals
+	}
+	if warn != eval.Warnings || fatal != eval.Fatals {
+		t.Fatalf("population totals (%d, %d) disagree with batch eval (%d, %d)",
+			warn, fatal, eval.Warnings, eval.Fatals)
+	}
+}
+
+// TestOutOfOrderRebuild hands the engine a batch older than its
+// watermark: it must rebuild from the permutation and still match the
+// batch populations.
+func TestOutOfOrderRebuild(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	late := []fot.Ticket{
+		tk(1, 10, "SMARTFail", base.Add(48*time.Hour), fot.Fixing),
+		tk(2, 11, "NotReady", base.Add(72*time.Hour), fot.Fixing),
+	}
+	early := tk(3, 10, "SMARTFail", base, fot.Fixing) // older than the watermark
+
+	e := NewEngine(Options{})
+	e.Advance(fot.BorrowTraceIndex(fot.NewTrace(late)), 1)
+	if st := e.Stats(); st.Rebuilds != 0 {
+		t.Fatalf("in-order fold rebuilt: %+v", st)
+	}
+	all := append(append([]fot.Ticket{}, late...), early)
+	e.Advance(fot.BorrowTraceIndex(fot.NewTrace(all)), 2)
+	st := e.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("out-of-order batch did not rebuild: %+v", st)
+	}
+	popsEqual(t, e.Populations(),
+		mine.WarningFatalPopulations(fot.BorrowTraceIndex(fot.NewTrace(all))), "after rebuild")
+	sc, _, ok := e.ScoreHost(10)
+	if !ok || sc.Features.Warnings != 2 {
+		t.Fatalf("host 10 after rebuild: ok=%v features=%+v", ok, sc.Features)
+	}
+}
+
+// TestWarningAfterFatal checks ordering: a warning folded after a fatal
+// still lands in the warning population and the recent-warning window,
+// exactly as the batch classification counts it.
+func TestWarningAfterFatal(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tickets := []fot.Ticket{
+		tk(1, 5, "NotReady", base, fot.Fixing),                      // fatal first
+		tk(2, 5, "SMARTFail", base.Add(24*time.Hour), fot.Fixing),   // then a warning
+		tk(3, 5, "SMARTFail", base.Add(48*time.Hour), fot.Error),    // D_error counts too
+		tk(4, 5, "SMARTFail", base.Add(72*time.Hour), fot.FalseAlarm), // excluded
+	}
+	e := advanceSchedule(t, fot.NewTrace(tickets), []int{1, 1, 1, 1})
+	sc, _, ok := e.ScoreHost(5)
+	if !ok {
+		t.Fatal("host untracked")
+	}
+	f := sc.Features
+	if f.Fatals != 1 || f.Warnings != 2 || f.Tickets != 3 {
+		t.Fatalf("populations wrong: %+v", f)
+	}
+	if f.RecentWarnings != 2 {
+		t.Fatalf("warnings after the fatal must stay in the window: %+v", f)
+	}
+}
+
+// TestHorizonBoundary pins the inclusive-left window edge: a warning
+// whose age is exactly the window still counts as recent (lead ==
+// horizon predicts, per the batch [f-h, f) rule), one nanosecond older
+// does not.
+func TestHorizonBoundary(t *testing.T) {
+	window := 240 * time.Hour
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	boundary := []fot.Ticket{
+		tk(1, 7, "SMARTFail", base, fot.Fixing),
+		tk(2, 7, "NotReady", base.Add(window), fot.Fixing), // lead == horizon
+	}
+	e := advanceSchedule(t, fot.NewTrace(boundary), []int{2})
+	sc, _, ok := e.ScoreHost(7)
+	if !ok || sc.Features.RecentWarnings != 1 {
+		t.Fatalf("lead == horizon must count: ok=%v %+v", ok, sc.Features)
+	}
+
+	past := []fot.Ticket{
+		tk(1, 7, "SMARTFail", base, fot.Fixing),
+		tk(2, 7, "NotReady", base.Add(window).Add(time.Nanosecond), fot.Fixing),
+	}
+	e = advanceSchedule(t, fot.NewTrace(past), []int{2})
+	sc, _, ok = e.ScoreHost(7)
+	if !ok || sc.Features.RecentWarnings != 0 {
+		t.Fatalf("lead just past horizon must not count: ok=%v %+v", ok, sc.Features)
+	}
+}
+
+// TestWarningsNoFatals: a host with only warnings is tracked, scored,
+// and carries a zero fatal population.
+func TestWarningsNoFatals(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tickets := []fot.Ticket{
+		tk(1, 9, "SMARTFail", base, fot.Fixing),
+		tk(2, 9, "SMARTFail", base.Add(time.Hour), fot.Fixing),
+	}
+	e := advanceSchedule(t, fot.NewTrace(tickets), []int{2})
+	sc, _, ok := e.ScoreHost(9)
+	if !ok {
+		t.Fatal("warning-only host must be tracked")
+	}
+	if sc.Features.Fatals != 0 || sc.Features.Warnings != 2 {
+		t.Fatalf("populations wrong: %+v", sc.Features)
+	}
+	if sc.Score <= 0 || sc.Score >= 1 {
+		t.Fatalf("logistic score out of (0,1): %v", sc.Score)
+	}
+	ranked, _ := e.AtRisk(10)
+	if len(ranked) != 1 || ranked[0].Host != 9 {
+		t.Fatalf("atrisk missing the host: %+v", ranked)
+	}
+}
+
+// TestAtRiskDeterministicTieBreak: equal scores order by ascending host.
+func TestAtRiskDeterministicTieBreak(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tickets []fot.Ticket
+	for i, h := range []uint64{42, 17, 99, 3} {
+		tickets = append(tickets, tk(uint64(i+1), h, "SMARTFail", base.Add(time.Duration(i)*time.Minute), fot.Fixing))
+	}
+	e := advanceSchedule(t, fot.NewTrace(tickets), []int{len(tickets)})
+	ranked, _ := e.AtRisk(0)
+	if len(ranked) != 4 {
+		t.Fatalf("want 4 hosts, got %d", len(ranked))
+	}
+	// The last arrival has the freshest event (lower staleness decay), so
+	// scores differ slightly; verify global order is (score desc, host asc).
+	for i := 1; i < len(ranked); i++ {
+		a, b := ranked[i-1], ranked[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Host > b.Host) {
+			t.Fatalf("order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestConcurrentScoreVsFold exercises the read/fold race under -race:
+// scores and rankings run against the engine while epochs advance.
+func TestConcurrentScoreVsFold(t *testing.T) {
+	r := fixture(t)
+	tickets := r.Trace.Tickets
+	if len(tickets) > 4000 {
+		tickets = tickets[:4000]
+	}
+	e := NewEngine(Options{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(2) == 0 {
+					e.ScoreHost(tickets[rng.Intn(len(tickets))].HostID)
+				} else {
+					e.AtRisk(5)
+				}
+				e.Stats()
+			}
+		}(int64(w))
+	}
+	step := 200
+	for n := step; n <= len(tickets); n += step {
+		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(tickets[:n])), uint64(n/step))
+	}
+	close(stop)
+	wg.Wait()
+	popsEqual(t, e.Populations(),
+		mine.WarningFatalPopulations(fot.BorrowTraceIndex(fot.NewTrace(tickets[:len(tickets)/step*step]))),
+		"after concurrent folds")
+}
+
+// TestEvaluateHarness runs the full DC-Prophet-style loop on tiny
+// simulated fleets: two variants, one train seed, three held-out seeds,
+// two horizons — and checks shape and metric sanity.
+func TestEvaluateHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated-fleet evaluation")
+	}
+	mk := func(seed int64) EvalTrace {
+		r, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EvalTrace{Name: "seed-" + string(rune('0'+seed)), Ix: fot.BorrowTraceIndex(r.Trace)}
+	}
+	train := mk(1)
+	held := []EvalTrace{mk(2), mk(3), mk(4)}
+	cfg := EvalConfig{Horizons: []time.Duration{120 * time.Hour, 240 * time.Hour}, Cuts: 4}
+	rep, err := Evaluate(train, held, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 /*variants*/ * 2 /*horizons*/ * (1 + len(held))
+	if len(rep.Results) != wantRows {
+		t.Fatalf("want %d result rows, got %d", wantRows, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.TP+r.FN == 0 {
+			t.Fatalf("row %+v has no actual positives — degenerate cut placement", r)
+		}
+		if r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+			t.Fatalf("metrics out of range: %+v", r)
+		}
+	}
+	// The calibrated logistic variant should not lose to the raw warning
+	// baseline on F1 pooled across every held-out row.
+	sum := map[string]float64{}
+	for _, r := range rep.Results {
+		if r.Trace != train.Name+" (train)" {
+			sum[r.Variant] += r.F1
+		}
+	}
+	t.Logf("held-out F1 sums: %v", sum)
+	if sum["logistic"] < sum["warning-baseline"]*0.9 {
+		t.Errorf("logistic F1 %.3f far below baseline %.3f", sum["logistic"], sum["warning-baseline"])
+	}
+}

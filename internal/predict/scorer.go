@@ -1,0 +1,92 @@
+package predict
+
+import "math"
+
+// Scorer turns one host's feature vector into a risk score in [0, 1].
+// Implementations must be pure functions of the vector — no clocks, no
+// per-call state — so every replica serving the same epoch returns the
+// same score.
+type Scorer interface {
+	// Name is the variant's short identifier (evaluation tables).
+	Name() string
+	// Version identifies the exact model (name + parameter revision);
+	// served with every score so clients can tell models apart.
+	Version() string
+	// Score maps a feature vector to [0, 1].
+	Score(f *HostFeatures) float64
+}
+
+// LogisticScorer is a calibrated logistic model over the streaming
+// feature vector. The weights are hand-calibrated against the simulated
+// fleet (see predict.Evaluate and EXPERIMENTS.md): recent warning volume
+// dominates, fatal history and batch-episode membership push risk up,
+// an accelerating TBF trend (< 1) adds, and a stale host (no events for
+// most of the window) decays toward the prior.
+type LogisticScorer struct {
+	Bias        float64
+	WRecent     float64 // * log1p(RecentWarnings)
+	WFatals     float64 // * log1p(Fatals)
+	WBatch      float64 // * 1 if BatchMember
+	WAccel      float64 // * max(0, 1-TBFTrend) when trend is known
+	WStale      float64 // * min(1, LastEventAgeHours/windowHours)
+	WindowHours float64 // staleness normalizer; <= 0 disables the term
+	// Threshold is the decision boundary the evaluation harness fits on
+	// the training seed; Score itself never reads it.
+	Threshold float64
+	Revision  string
+}
+
+// DefaultLogistic returns the shipped calibration. Threshold comes from
+// the grid fit on the training seed (fleetgen small profile, seed 1).
+func DefaultLogistic() *LogisticScorer {
+	return &LogisticScorer{
+		Bias:        -4.0,
+		WRecent:     2.2,
+		WFatals:     0.8,
+		WBatch:      0.7,
+		WAccel:      0.9,
+		WStale:      -1.5,
+		WindowHours: 240,
+		Threshold:   0.5,
+		Revision:    "v1",
+	}
+}
+
+func (s *LogisticScorer) Name() string    { return "logistic" }
+func (s *LogisticScorer) Version() string { return "logistic-" + s.Revision }
+
+func (s *LogisticScorer) Score(f *HostFeatures) float64 {
+	x := s.Bias
+	x += s.WRecent * math.Log1p(float64(f.RecentWarnings))
+	x += s.WFatals * math.Log1p(float64(f.Fatals))
+	if f.BatchMember {
+		x += s.WBatch
+	}
+	if f.TBFTrend > 0 && f.TBFTrend < 1 {
+		x += s.WAccel * (1 - f.TBFTrend)
+	}
+	if s.WindowHours > 0 && f.LastEventAgeHours > 0 {
+		age := f.LastEventAgeHours / s.WindowHours
+		if age > 1 {
+			age = 1
+		}
+		x += s.WStale * age
+	}
+	return sigmoid(x)
+}
+
+// WarningScorer is the §VII-A batch rule lifted to host level: a host
+// with any warning inside the window is predicted to fail, all others
+// are not. It is the baseline variant in the evaluation harness — the
+// streaming equivalent of "a warning in [f-h, f) predicts the fatal".
+type WarningScorer struct{}
+
+func (WarningScorer) Name() string    { return "warning-baseline" }
+func (WarningScorer) Version() string { return "warning-baseline-v1" }
+
+func (WarningScorer) Score(f *HostFeatures) float64 {
+	if f.RecentWarnings > 0 {
+		return 1
+	}
+	return 0
+}

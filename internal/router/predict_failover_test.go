@@ -1,0 +1,215 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcfail/internal/faultnet"
+	"dcfail/internal/fot"
+	"dcfail/internal/predict"
+	"dcfail/internal/replica"
+	"dcfail/internal/serve"
+)
+
+// TestAtRiskFailoverConsistency kills a replica mid-stream while clients
+// rank hosts through the router. The gate: every /atrisk response is
+// 200, its X-Epoch matches the body epoch and never runs backwards per
+// client, and the ranked (host, score) list is exactly what a reference
+// predict.Engine computes for that epoch's ticket prefix — whichever
+// replica served it, before or after the failover.
+func TestAtRiskFailoverConsistency(t *testing.T) {
+	trace, census := chaosWorld(t)
+
+	// Replicas fold what the replication wire delivers: tickets that
+	// round-tripped fot.MarshalJSONLine (RFC3339, second precision). The
+	// oracle must fold the same bytes-on-the-wire view, not the in-memory
+	// trace with its nanosecond timestamps.
+	wire := make([]fot.Ticket, trace.Len())
+	for i, tk := range trace.Tickets {
+		line, err := fot.MarshalJSONLine(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wire[i], err = fot.UnmarshalJSONLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	primary := serve.NewState(census, 0)
+	var epochRows sync.Map // uint64 epoch -> int rows
+	epochRows.Store(uint64(0), 0)
+	stream, err := replica.NewServer("127.0.0.1:0", primary, replica.ServerOptions{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	repA := startChaosReplica(t, census, stream.Addr())
+	front, err := faultnet.New("127.0.0.1:0", repA.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	repB := startChaosReplica(t, census, stream.Addr())
+	defer repB.kill()
+
+	rt, err := New(Options{
+		Backends:       []string{"http://" + front.Addr(), "http://" + repB.addr()},
+		CheckInterval:  25 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		RequestTimeout: 30 * time.Second,
+		HedgeAfter:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	waitHealthy(t, rt, 2)
+
+	// The ranking oracle: a reference engine folded to the epoch's exact
+	// ticket prefix. Chunking does not matter (the fold is row-by-row
+	// inside a batch), so one Advance reproduces any replica's state.
+	const topN = 8
+	var refMu sync.Mutex
+	refs := map[uint64][]predict.HostScore{}
+	oracle := func(epoch uint64) ([]predict.HostScore, error) {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if r, ok := refs[epoch]; ok {
+			return r, nil
+		}
+		rowsAny, ok := epochRows.Load(epoch)
+		if !ok {
+			return nil, fmt.Errorf("epoch %d was never published by the primary", epoch)
+		}
+		e := predict.NewEngine(predict.Options{})
+		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(wire[:rowsAny.(int)])), epoch)
+		ranked, _ := e.AtRisk(topN)
+		refs[epoch] = ranked
+		return ranked, nil
+	}
+
+	// Fold driver: 12 epochs, killing replica A a third of the way in.
+	const batches = 12
+	step := (trace.Len() + batches - 1) / batches
+	foldDone := make(chan struct{})
+	go func() {
+		defer close(foldDone)
+		now := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < batches; i++ {
+			lo, hi := i*step, (i+1)*step
+			if hi > trace.Len() {
+				hi = trace.Len()
+			}
+			snap := primary.Fold(trace.Tickets[lo:hi], now)
+			epochRows.Store(snap.Epoch(), snap.Tickets())
+			now = now.Add(time.Minute)
+			if i == batches/3 {
+				repA.kill()
+				front.SeverAll()
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	clients := 20
+	var failed atomic.Uint64
+	errs := make(chan error, 16)
+	reportErr := func(err error) {
+		failed.Add(1)
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(c*10) * time.Millisecond)
+			client := srv.Client()
+			minEpoch := uint64(0)
+			for i := 0; i < 6; i++ {
+				req, err := http.NewRequest(http.MethodGet, srv.URL+"/atrisk?n="+strconv.Itoa(topN), nil)
+				if err != nil {
+					reportErr(err)
+					return
+				}
+				if minEpoch > 0 {
+					req.Header.Set("X-Min-Epoch", strconv.FormatUint(minEpoch, 10))
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: %w", c, i, err))
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: read: %w", c, i, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					reportErr(fmt.Errorf("client %d req %d: status %d: %s", c, i, resp.StatusCode, body))
+					return
+				}
+				epoch, err := strconv.ParseUint(resp.Header.Get("X-Epoch"), 10, 64)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: bad X-Epoch %q", c, i, resp.Header.Get("X-Epoch")))
+					return
+				}
+				if epoch < minEpoch {
+					reportErr(fmt.Errorf("client %d req %d: epoch ran backwards: %d after %d", c, i, epoch, minEpoch))
+					return
+				}
+				var ar serve.AtRiskReply
+				if err := json.Unmarshal(body, &ar); err != nil {
+					reportErr(fmt.Errorf("client %d req %d: %w", c, i, err))
+					return
+				}
+				if ar.Epoch != epoch {
+					reportErr(fmt.Errorf("client %d req %d: body epoch %d, header %d", c, i, ar.Epoch, epoch))
+					return
+				}
+				want, err := oracle(epoch)
+				if err != nil {
+					reportErr(fmt.Errorf("client %d req %d: %w", c, i, err))
+					return
+				}
+				if len(ar.Hosts) != len(want) {
+					reportErr(fmt.Errorf("client %d req %d: epoch %d ranked %d hosts, reference has %d",
+						c, i, epoch, len(ar.Hosts), len(want)))
+					return
+				}
+				for j := range want {
+					if ar.Hosts[j].Host != want[j].Host || ar.Hosts[j].Score != want[j].Score {
+						reportErr(fmt.Errorf("client %d req %d: epoch %d rank %d is (%d, %v), reference (%d, %v)",
+							c, i, epoch, j, ar.Hosts[j].Host, ar.Hosts[j].Score, want[j].Host, want[j].Score))
+						return
+					}
+				}
+				minEpoch = epoch
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-foldDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d /atrisk queries failed through failover (gate: zero)", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dcfail/internal/core"
+	"dcfail/internal/predict"
 )
 
 // Handler returns the daemon's HTTP handler: the API mux wrapped in the
@@ -24,6 +25,8 @@ func (d *Daemon) buildHandler() http.Handler {
 	mux.HandleFunc("GET /report/{section}", d.handleSection)
 	mux.HandleFunc("GET /hosts/{id}", d.handleHost)
 	mux.HandleFunc("GET /alerts", d.handleAlerts)
+	mux.HandleFunc("GET /predict/{host}", d.handlePredict)
+	mux.HandleFunc("GET /atrisk", d.handleAtRisk)
 	limited := d.limitConcurrency(mux)
 	// /healthz deliberately bypasses the concurrency gate: a health probe
 	// must report whether the process is alive and fresh, not whether the
@@ -122,6 +125,9 @@ type StatsReply struct {
 	Alerts      uint64                        `json:"alerts"`
 	SourceDrops uint64                        `json:"source_drops"`
 	IngestError string                        `json:"ingest_error,omitempty"`
+	// Predict is the streaming risk-scoring engine's health: hosts
+	// tracked, scores served, cumulative fold cost, rebuilds.
+	Predict predict.EngineStats `json:"predict"`
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -144,6 +150,7 @@ func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IncRebuilds: engineStats.Rebuilds,
 		IncBroken:   engineStats.Broken,
 		Alerts:      alertN,
+		Predict:     d.state.Predictor().Stats(),
 	}
 	if total := hits + misses; total > 0 {
 		reply.CacheRate = float64(hits) / float64(total)
@@ -319,6 +326,74 @@ func (d *Daemon) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	writeJSON(w, reply)
+}
+
+// PredictReply is the /predict/{host} JSON body: the risk score, the
+// feature breakdown it was computed from, and the model version. Epoch
+// identifies the fold the score came from (also the X-Epoch header) —
+// all scoring time is fold-time, so any replica serving the same epoch
+// returns the same body.
+type PredictReply struct {
+	Host        uint64               `json:"host"`
+	Epoch       uint64               `json:"epoch"`
+	Score       float64              `json:"score"`
+	Model       string               `json:"model"`
+	WindowHours float64              `json:"window_hours"`
+	Features    predict.HostFeatures `json:"features"`
+}
+
+func (d *Daemon) handlePredict(w http.ResponseWriter, r *http.Request) {
+	host, err := strconv.ParseUint(r.PathValue("host"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad host id", http.StatusBadRequest)
+		return
+	}
+	pred := d.state.Predictor()
+	sc, epoch, ok := pred.ScoreHost(host)
+	if !ok {
+		http.Error(w, fmt.Sprintf("host %d has no predictor-eligible tickets", host), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("X-Epoch", strconv.FormatUint(epoch, 10))
+	writeJSON(w, PredictReply{
+		Host:        host,
+		Epoch:       epoch,
+		Score:       sc.Score,
+		Model:       pred.Model(),
+		WindowHours: pred.Window().Hours(),
+		Features:    sc.Features,
+	})
+}
+
+// AtRiskReply is the /atrisk JSON body: the n highest-risk hosts at the
+// reply's epoch, ordered score-descending with ascending host id as the
+// deterministic tie-break.
+type AtRiskReply struct {
+	Epoch uint64              `json:"epoch"`
+	Model string              `json:"model"`
+	Hosts []predict.HostScore `json:"hosts"`
+}
+
+func (d *Daemon) handleAtRisk(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if v > 10000 {
+			v = 10000
+		}
+		n = v
+	}
+	pred := d.state.Predictor()
+	ranked, epoch := pred.AtRisk(n)
+	if ranked == nil {
+		ranked = []predict.HostScore{}
+	}
+	w.Header().Set("X-Epoch", strconv.FormatUint(epoch, 10))
+	writeJSON(w, AtRiskReply{Epoch: epoch, Model: pred.Model(), Hosts: ranked})
 }
 
 func writeSnapshotHeaders(w http.ResponseWriter, snap *Snapshot) {

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+	"dcfail/internal/mine"
+	"dcfail/internal/predict"
+)
+
+// TestPredictEndpoints drives /predict/{host}, /atrisk and the /stats
+// predictor counters over a drained frozen trace, and checks the scores
+// agree with the batch classification.
+func TestPredictEndpoints(t *testing.T) {
+	trace, census := smallWorld(t)
+	d := New(Options{Census: census, FoldInterval: 10 * time.Millisecond})
+	d.StartIngest(FromTrace(trace, 0))
+	waitDrained(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	pops := mine.WarningFatalPopulations(fot.BorrowTraceIndex(trace))
+	if len(pops) == 0 {
+		t.Fatal("degenerate fixture")
+	}
+	var someHost uint64
+	for h := range pops {
+		someHost = h
+		break
+	}
+
+	// /predict/{host}: tracked host scores with the populations the
+	// batch rule assigns it.
+	resp, body := get(t, srv, "/predict/"+strconv.FormatUint(someHost, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/predict status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictReply
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	want := pops[someHost]
+	if pr.Features.Warnings != want.Warnings || pr.Features.Fatals != want.Fatals {
+		t.Fatalf("host %d populations (%d, %d), batch says %+v",
+			someHost, pr.Features.Warnings, pr.Features.Fatals, want)
+	}
+	if pr.Score <= 0 || pr.Score >= 1 {
+		t.Fatalf("logistic score out of (0,1): %v", pr.Score)
+	}
+	if pr.Model == "" {
+		t.Fatal("model version missing")
+	}
+	curEpoch := d.State().Current().Epoch()
+	if got := resp.Header.Get("X-Epoch"); got != strconv.FormatUint(curEpoch, 10) {
+		t.Fatalf("X-Epoch = %s, current epoch %d", got, curEpoch)
+	}
+
+	// Unknown host and bad id.
+	if resp, _ := get(t, srv, "/predict/18446744073709551615"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown host status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv, "/predict/notahost"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad host id status %d", resp.StatusCode)
+	}
+
+	// /atrisk: n respected, deterministic order, epoch header matches.
+	resp, body = get(t, srv, "/atrisk?n=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/atrisk status %d: %s", resp.StatusCode, body)
+	}
+	var ar AtRiskReply
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Hosts) != 5 {
+		t.Fatalf("want 5 hosts, got %d", len(ar.Hosts))
+	}
+	for i := 1; i < len(ar.Hosts); i++ {
+		a, b := ar.Hosts[i-1], ar.Hosts[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Host > b.Host) {
+			t.Fatalf("ranking order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if got := resp.Header.Get("X-Epoch"); got != strconv.FormatUint(ar.Epoch, 10) {
+		t.Fatalf("X-Epoch %s disagrees with body epoch %d", got, ar.Epoch)
+	}
+	// Same request twice: byte-identical on a frozen trace.
+	_, body2 := get(t, srv, "/atrisk?n=5")
+	if string(body) != string(body2) {
+		t.Fatal("/atrisk not deterministic on a frozen trace")
+	}
+	if resp, _ := get(t, srv, "/atrisk?n=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("n=0 status %d", resp.StatusCode)
+	}
+
+	// /stats carries the predictor counters.
+	_, body = get(t, srv, "/stats")
+	var st StatsReply
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Predict.Hosts != len(pops) {
+		t.Fatalf("stats says %d hosts tracked, batch classification has %d", st.Predict.Hosts, len(pops))
+	}
+	if st.Predict.ScoresServed == 0 || st.Predict.Folds == 0 {
+		t.Fatalf("predictor counters not advancing: %+v", st.Predict)
+	}
+	if st.Predict.Epoch != curEpoch {
+		t.Fatalf("predictor epoch %d, snapshot epoch %d", st.Predict.Epoch, curEpoch)
+	}
+}
+
+// TestPredictorOptionsWiring: a custom scorer configured through
+// serve.Options reaches the endpoints.
+func TestPredictorOptionsWiring(t *testing.T) {
+	trace, census := smallWorld(t)
+	d := New(Options{
+		Census:       census,
+		FoldInterval: 10 * time.Millisecond,
+		Predict:      &predict.Options{Scorer: predict.WarningScorer{}, Window: 48 * time.Hour},
+	})
+	d.StartIngest(FromTrace(trace, 0))
+	waitDrained(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/atrisk?n=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/atrisk status %d: %s", resp.StatusCode, body)
+	}
+	var ar AtRiskReply
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Model != (predict.WarningScorer{}).Version() {
+		t.Fatalf("model %q, want the configured baseline", ar.Model)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"dcfail/internal/core"
 	"dcfail/internal/fot"
 	"dcfail/internal/mine"
+	"dcfail/internal/predict"
 )
 
 // Options configures a Daemon. The zero value of every field has a
@@ -77,6 +78,10 @@ type Options struct {
 	// fake clock to make fold timing and ingest lag deterministic in
 	// tests.
 	Now func() time.Time
+	// Predict, when set, configures the streaming risk-scoring engine
+	// behind /predict/{host} and /atrisk (nil keeps predict.Options
+	// defaults: 240h window, logistic scorer).
+	Predict *predict.Options
 }
 
 // maxAlerts caps the /alerts ring buffer.
@@ -135,6 +140,9 @@ func New(opts Options) *Daemon {
 	if d.now == nil {
 		//lint:ignore walltime injection-point default; Options.Now overrides the clock for deterministic fold timing
 		d.now = time.Now
+	}
+	if opts.Predict != nil {
+		d.state.SetPredictor(*opts.Predict)
 	}
 	d.handler = d.buildHandler()
 	return d

@@ -10,6 +10,7 @@ import (
 	"dcfail/internal/core"
 	"dcfail/internal/fot"
 	"dcfail/internal/mine"
+	"dcfail/internal/predict"
 	"dcfail/internal/report"
 )
 
@@ -99,6 +100,12 @@ type State struct {
 	engine  *core.IncrementalEngine
 	incOff  atomic.Bool
 	secStat map[string]*sectionRenderCounters
+
+	// pred is the streaming failure predictor behind /predict and
+	// /atrisk. It advances on the same fold path as engine — including
+	// the replica FoldTo path — so every replica serving epoch N ranks
+	// hosts from identical feature state.
+	pred *predict.Engine
 }
 
 // sectionRenderCounters tracks how one section's cache misses were
@@ -133,9 +140,22 @@ func NewState(census *core.Census, workers int) *State {
 	for _, id := range st.order {
 		st.secStat[id] = &sectionRenderCounters{}
 	}
+	st.pred = predict.NewEngine(predict.Options{})
 	st.cur.Store(st.newSnapshot(nil, 0, nil, time.Time{}))
 	return st
 }
+
+// SetPredictor replaces the streaming predictor's configuration. Must be
+// called before the first fold (the daemon does it from New); a later
+// call would discard folded feature state.
+func (st *State) SetPredictor(opts predict.Options) {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
+	st.pred = predict.NewEngine(opts)
+}
+
+// Predictor exposes the streaming risk-scoring engine.
+func (st *State) Predictor() *predict.Engine { return st.pred }
 
 // SetIncremental toggles the delta render path. Disabled, every cache
 // miss takes the full recompute — the benchmark baseline and the escape
@@ -210,6 +230,7 @@ func (st *State) publish(batch []fot.Ticket, epoch uint64, now time.Time) *Snaps
 	// epoch's cache with every rendered section the fold provably left
 	// byte-identical: a warm epoch advance re-renders only what changed.
 	changed := st.engine.Advance(snap.index, epoch)
+	st.pred.Advance(snap.index, epoch)
 	prev.cache.mu.Lock()
 	for id, res := range prev.cache.done {
 		//lint:ignore maporder cache carry-over; per-key copy, order immaterial
