@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint tier1 tier2 serve-smoke chaos bench bench-serve bench-fold bench-predict benchall profile
+.PHONY: all build test race vet lint lint-sarif tier1 tier2 serve-smoke chaos bench bench-serve bench-fold bench-predict benchall profile
 
 all: tier1
 
@@ -28,11 +28,18 @@ tier1: build test
 tier2: vet lint race serve-smoke chaos
 
 # lint: fotlint runs the project-specific analyzers (determinism,
-# durability, clock-injection invariants) over the whole module; every
-# finding must be fixed or reason-suppressed with //lint:ignore.
+# durability, clock-injection, and concurrency-contract invariants)
+# over the whole module; every finding must be fixed or
+# reason-suppressed with //lint:ignore.
 # `go run ./cmd/fotlint -list` prints the rule registry.
 lint:
 	$(GO) run ./cmd/fotlint ./...
+
+# lint-sarif: the same run as a SARIF 2.1.0 log (fotlint.sarif in the
+# repo root) — what CI uploads as a workflow artifact; suppressed
+# findings ride along as inSource suppressions with their reasons.
+lint-sarif:
+	$(GO) run ./cmd/fotlint -sarif ./... > fotlint.sarif
 
 # serve-smoke: fotqueryd generates a trace, serves it on a loopback
 # port, queries its own HTTP API end to end, and exits non-zero on any

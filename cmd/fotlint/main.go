@@ -13,11 +13,14 @@
 //	fotlint ./internal/serve    # one package subtree
 //	fotlint -list               # print the rule registry
 //	fotlint -rules maporder ./... # run a subset of rules
+//	fotlint -json ./...         # machine-readable findings + suppressions
+//	fotlint -sarif ./...        # SARIF 2.1.0 log for CI upload
 //
 // Exit status is 0 when every finding is fixed or reason-suppressed via
 // //lint:ignore, and 1 otherwise (including malformed ignore
-// directives). Suppressions are counted on stderr so waived findings
-// stay visible.
+// directives); a path prefix matching no package is a usage error (2)
+// with the nearest real directories suggested. Suppressions are counted
+// on stderr so waived findings stay visible.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dcfail/internal/lint"
@@ -41,7 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := flags.Bool("list", false, "print the rule registry and exit")
 	rules := flags.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	showSuppressed := flags.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	jsonOut := flags.Bool("json", false, "emit findings and suppression records as JSON on stdout")
+	sarifOut := flags.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "fotlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -66,7 +76,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fotlint: %v\n", err)
 		return 2
 	}
-	pkgs = filterPackages(pkgs, root, flags.Args())
+	pkgs, unknown := filterPackages(pkgs, root, flags.Args())
+	if len(unknown) > 0 {
+		for _, u := range unknown {
+			msg := fmt.Sprintf("fotlint: no packages match %q", u.pattern)
+			if len(u.suggestions) > 0 {
+				msg += fmt.Sprintf(" (did you mean %s?)", strings.Join(u.suggestions, ", "))
+			}
+			fmt.Fprintln(stderr, msg)
+		}
+		return 2
+	}
 	if len(pkgs) == 0 {
 		fmt.Fprintln(stderr, "fotlint: no packages match the given patterns")
 		return 2
@@ -80,13 +100,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fails := res.Failures()
-	for _, d := range fails {
-		fmt.Fprintf(stdout, "%s\n", rel(root, d))
-	}
-	if *showSuppressed {
-		for _, d := range res.Diags {
-			if d.Suppressed {
-				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", rel(root, d), d.Reason)
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(stdout, analyzers, res, root); err != nil {
+			fmt.Fprintf(stderr, "fotlint: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, analyzers, res, root); err != nil {
+			fmt.Fprintf(stderr, "fotlint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range fails {
+			fmt.Fprintf(stdout, "%s\n", rel(root, d))
+		}
+		if *showSuppressed {
+			for _, d := range res.Diags {
+				if d.Suppressed {
+					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", rel(root, d), d.Reason)
+				}
 			}
 		}
 	}
@@ -134,38 +167,118 @@ func printRegistry(w io.Writer, analyzers []*lint.Analyzer) {
 	}
 }
 
+// unknownPattern is a path prefix that matched no package, with its
+// nearest real package directories for the error message.
+type unknownPattern struct {
+	pattern     string
+	suggestions []string
+}
+
 // filterPackages keeps packages whose module-relative directory matches
 // any pattern. "./..." and "" match everything; "./x/..." and "./x"
-// match the subtree rooted at x.
-func filterPackages(pkgs []*lint.Package, root string, patterns []string) []*lint.Package {
+// match the subtree rooted at x. A pattern matching nothing is returned
+// in unknown — a typo in a CI config must fail loudly, not lint zero
+// packages successfully.
+func filterPackages(pkgs []*lint.Package, root string, patterns []string) (out []*lint.Package, unknown []unknownPattern) {
 	if len(patterns) == 0 {
-		return pkgs
+		return pkgs, nil
 	}
-	var prefixes []string
-	for _, p := range patterns {
-		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
-		p = strings.TrimSuffix(p, "...")
-		p = strings.TrimSuffix(p, "/")
-		if p == "" || p == "." {
-			return pkgs
-		}
-		prefixes = append(prefixes, p)
-	}
-	var out []*lint.Package
+	relDirs := make(map[*lint.Package]string, len(pkgs))
+	var allDirs []string
 	for _, pkg := range pkgs {
 		relDir, err := filepath.Rel(root, pkg.Dir)
 		if err != nil {
 			continue
 		}
-		relDir = filepath.ToSlash(relDir)
-		for _, pre := range prefixes {
-			if relDir == pre || strings.HasPrefix(relDir, pre+"/") {
-				out = append(out, pkg)
-				break
+		relDirs[pkg] = filepath.ToSlash(relDir)
+		allDirs = append(allDirs, relDirs[pkg])
+	}
+
+	matched := make(map[*lint.Package]bool)
+	all := false
+	for _, raw := range patterns {
+		p := strings.TrimPrefix(filepath.ToSlash(raw), "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			all = true
+			continue
+		}
+		hit := false
+		for _, pkg := range pkgs {
+			relDir := relDirs[pkg]
+			if relDir == p || strings.HasPrefix(relDir, p+"/") {
+				matched[pkg] = true
+				hit = true
 			}
+		}
+		if !hit {
+			unknown = append(unknown, unknownPattern{pattern: raw, suggestions: nearestDirs(p, allDirs)})
+		}
+	}
+	if all {
+		return pkgs, unknown
+	}
+	for _, pkg := range pkgs {
+		if matched[pkg] {
+			out = append(out, pkg)
+		}
+	}
+	return out, unknown
+}
+
+// nearestDirs ranks package directories by edit distance to the failed
+// pattern and returns up to three close ones.
+func nearestDirs(pattern string, dirs []string) []string {
+	type cand struct {
+		dir  string
+		dist int
+	}
+	var cands []cand
+	for _, d := range dirs {
+		dist := editDistance(pattern, d)
+		// Only offer plausible typos: within a third of the pattern's
+		// length, so "internal/srve" suggests internal/serve but "zzz"
+		// suggests nothing.
+		if dist*3 <= len(pattern) {
+			cands = append(cands, cand{dir: d, dist: dist})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].dir < cands[j].dir
+	})
+	var out []string
+	for _, c := range cands {
+		out = append(out, "./"+c.dir)
+		if len(out) == 3 {
+			break
 		}
 	}
 	return out
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // rel shortens a diagnostic's path to be module-relative for readable,

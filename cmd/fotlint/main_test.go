@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -43,6 +44,48 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
+// TestJSONCarriesSuppressionRecords: -json output lists every waived
+// finding with its rule and //lint:ignore reason, so suppressions stay
+// auditable in CI artifacts.
+func TestJSONCarriesSuppressionRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/serve"}, &out, &errb); code != 0 {
+		t.Fatalf("fotlint -json exited %d: %s", code, errb.String())
+	}
+	var rep struct {
+		Rules []struct {
+			Name string `json:"name"`
+		} `json:"rules"`
+		Findings   []json.RawMessage `json:"findings"`
+		Suppressed []struct {
+			Rule   string `json:"rule"`
+			File   string `json:"file"`
+			Line   int    `json:"line"`
+			Reason string `json:"reason"`
+		} `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(rep.Rules) != len(lint.All())+1 {
+		t.Errorf("rules = %d, want registry + pseudo-rule lint", len(rep.Rules))
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("clean tree reported %d findings", len(rep.Findings))
+	}
+	if len(rep.Suppressed) == 0 {
+		t.Fatal("no suppression records for ./internal/serve (state.go carries reasoned //lint:ignore directives)")
+	}
+	for _, s := range rep.Suppressed {
+		if s.Rule == "" || s.File == "" || s.Line == 0 || s.Reason == "" {
+			t.Errorf("incomplete suppression record: %+v", s)
+		}
+	}
+}
+
 // TestUnknownRuleIsUsageError: a typo in -rules must not silently lint
 // nothing.
 func TestUnknownRuleIsUsageError(t *testing.T) {
@@ -60,19 +103,73 @@ func TestFilterPackages(t *testing.T) {
 	mk := func(dir string) *lint.Package { return &lint.Package{Dir: dir} }
 	pkgs := []*lint.Package{mk("/m"), mk("/m/internal/core"), mk("/m/internal/wal"), mk("/m/cmd/fotlint")}
 
-	if got := filterPackages(pkgs, "/m", []string{"./..."}); len(got) != len(pkgs) {
-		t.Errorf("./... kept %d of %d packages", len(got), len(pkgs))
+	if got, unknown := filterPackages(pkgs, "/m", []string{"./..."}); len(got) != len(pkgs) || len(unknown) != 0 {
+		t.Errorf("./... kept %d of %d packages (%d unknown)", len(got), len(pkgs), len(unknown))
 	}
-	got := filterPackages(pkgs, "/m", []string{"./internal/..."})
-	if len(got) != 2 {
-		t.Fatalf("./internal/... kept %d packages, want 2", len(got))
+	got, unknown := filterPackages(pkgs, "/m", []string{"./internal/..."})
+	if len(got) != 2 || len(unknown) != 0 {
+		t.Fatalf("./internal/... kept %d packages, want 2 (%d unknown)", len(got), len(unknown))
 	}
 	for _, p := range got {
 		if !strings.Contains(p.Dir, "/internal/") {
 			t.Errorf("unexpected package %s under ./internal/...", p.Dir)
 		}
 	}
-	if got := filterPackages(pkgs, "/m", []string{"./internal/wal", "./cmd/fotlint"}); len(got) != 2 {
-		t.Errorf("explicit dirs kept %d packages, want 2", len(got))
+	if got, unknown := filterPackages(pkgs, "/m", []string{"./internal/wal", "./cmd/fotlint"}); len(got) != 2 || len(unknown) != 0 {
+		t.Errorf("explicit dirs kept %d packages, want 2 (%d unknown)", len(got), len(unknown))
+	}
+}
+
+// TestUnknownPatternIsRejected: a prefix matching no package is a usage
+// error carrying a "did you mean" list, not a silent zero-package run.
+func TestUnknownPatternIsRejected(t *testing.T) {
+	mk := func(dir string) *lint.Package { return &lint.Package{Dir: dir} }
+	pkgs := []*lint.Package{mk("/m/internal/serve"), mk("/m/internal/wal")}
+
+	got, unknown := filterPackages(pkgs, "/m", []string{"./internal/srve"})
+	if len(got) != 0 {
+		t.Errorf("typo pattern kept %d packages, want 0", len(got))
+	}
+	if len(unknown) != 1 {
+		t.Fatalf("got %d unknown patterns, want 1", len(unknown))
+	}
+	if unknown[0].pattern != "./internal/srve" {
+		t.Errorf("unknown pattern = %q", unknown[0].pattern)
+	}
+	found := false
+	for _, s := range unknown[0].suggestions {
+		if s == "./internal/serve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suggestions %v do not include ./internal/serve", unknown[0].suggestions)
+	}
+
+	// A pattern with no plausible neighbor still errors, just without
+	// suggestions.
+	if _, unknown := filterPackages(pkgs, "/m", []string{"./zzz"}); len(unknown) != 1 || len(unknown[0].suggestions) != 0 {
+		t.Errorf("far-off pattern: unknown = %+v, want 1 entry with no suggestions", unknown)
+	}
+
+	// One good and one bad pattern: the bad one is still reported.
+	got, unknown = filterPackages(pkgs, "/m", []string{"./internal/wal", "./internal/srve"})
+	if len(got) != 1 || len(unknown) != 1 {
+		t.Errorf("mixed patterns: %d packages, %d unknown; want 1 and 1", len(got), len(unknown))
+	}
+}
+
+// TestUnknownPatternExitsTwo drives the CLI end to end on the real
+// module with a typoed path prefix.
+func TestUnknownPatternExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./internal/srve"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "did you mean") || !strings.Contains(errb.String(), "./internal/serve") {
+		t.Errorf("stderr lacks the did-you-mean suggestion: %s", errb.String())
 	}
 }

@@ -159,6 +159,7 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 				if errors.As(err, &pe) && pe.Permanent() {
 					return stats, fmt.Errorf("fmsnet: report rejected: %w", err)
 				}
+				//lint:ignore errdrop the transport already failed; Close on a dead connection adds nothing before the reconnect
 				client.Close()
 				client = nil
 				continue

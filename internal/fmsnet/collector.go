@@ -101,6 +101,7 @@ func NewCollectorWith(addr string, opts CollectorOptions) (*Collector, error) {
 		}
 		stats, err := wal.Replay(opts.WALDir, c.applyReplayed)
 		if err != nil {
+			//lint:ignore errdrop best-effort cleanup of a WAL we are abandoning; the replay error is what the caller needs
 			w.Close()
 			return nil, fmt.Errorf("fmsnet: wal replay: %w", err)
 		}
@@ -111,6 +112,7 @@ func NewCollectorWith(addr string, opts CollectorOptions) (*Collector, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if c.log != nil {
+			//lint:ignore errdrop best-effort cleanup on the listen-failure path; nothing was written yet, the listen error is returned
 			c.log.Close()
 		}
 		return nil, fmt.Errorf("fmsnet: listen: %w", err)

@@ -22,7 +22,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 // TestRegistry pins the rule registry's shape: stable names, docs, and
 // scopes, so fotlint -list stays meaningful.
 func TestRegistry(t *testing.T) {
-	want := []string{"maporder", "walltime", "globalrand", "fsyncgap", "lockedblocking", "incpurity"}
+	want := []string{
+		"maporder", "walltime", "globalrand", "fsyncgap", "lockedblocking", "incpurity",
+		"lockorder", "epochpub", "goroleak", "errdrop",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
@@ -76,6 +79,20 @@ func TestScope(t *testing.T) {
 		{"walltime", "dcfail/internal/predict", true},
 		{"incpurity", "dcfail/internal/predict", true},
 		{"globalrand", "dcfail/internal/predict", false},
+		{"lockorder", "dcfail/internal/anything", true},
+		{"lockorder", "dcfail", true},
+		{"epochpub", "dcfail/internal/serve", true},
+		{"epochpub", "dcfail/internal/replica", true},
+		{"epochpub", "dcfail/internal/predict", true},
+		{"epochpub", "dcfail/internal/core", false},
+		{"goroleak", "dcfail/internal/router", true},
+		{"goroleak", "dcfail/internal/fmsnet", true},
+		{"goroleak", "dcfail/internal/report", false},
+		{"errdrop", "dcfail/internal/wal", true},
+		{"errdrop", "dcfail/internal/archive", true},
+		{"errdrop", "dcfail/internal/replica", true},
+		{"errdrop", "dcfail/internal/fmsnet", true},
+		{"errdrop", "dcfail/internal/serve", false},
 	}
 	for _, c := range cases {
 		a := lint.ByName(c.rule)

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochPub guards the serving tier's epoch-publication protocol: a
+// snapshot/epoch atomic pointer may only become visible through its
+// type's designated publish method. serve.State.publish is the single
+// place a new epoch is installed — it appends under foldMu, advances
+// the incremental engine and the predictor, then Stores the snapshot
+// pointer, so every reader observes a fully folded epoch. A Store (or
+// worse, a non-atomic field write) anywhere else publishes a torn or
+// half-advanced epoch: exactly the correlated-failure class the chaos
+// harness can only catch after the fact.
+//
+// Designation is structural: any struct field of type sync/atomic's
+// Pointer[T] whose declaring type also declares a method named
+// "publish" or "Publish" is an epoch pointer; the per-package phase
+// exports an EpochPtrFact for it. The whole-module phase then scans
+// every loaded package: Store calls on the field outside the publisher
+// (and outside the declaring type's constructors only via suppression)
+// and any direct assignment to the field are findings. Types without a
+// publish method are unconstrained — the rule encodes the protocol,
+// not a blanket atomic.Pointer policy.
+var EpochPub = &Analyzer{
+	Name: "epochpub",
+	Doc:  "epoch/snapshot atomic pointers are stored only inside the designated publish method",
+	Invariant: "a type that declares publish()/Publish() installs its atomic.Pointer fields " +
+		"nowhere else; all other stores and every non-atomic write are findings",
+	Scope:     []string{"serve", "replica", "predict"},
+	Run:       runEpochPubPackage,
+	RunModule: runEpochPubModule,
+}
+
+// EpochPtrFact marks a struct field as a designated-publish epoch
+// pointer.
+type EpochPtrFact struct {
+	Owner     string // owning named type, e.g. "dcfail/internal/serve.State"
+	Publisher string // the designated method name ("publish" or "Publish")
+}
+
+func (*EpochPtrFact) AFact() {}
+
+// runEpochPubPackage exports an EpochPtrFact for every atomic.Pointer
+// field of a type that declares a publish method.
+func runEpochPubPackage(pass *Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		publisher := publishMethodOf(named)
+		if publisher == "" {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isAtomicPointer(f.Type()) {
+				pass.ExportFact(f, &EpochPtrFact{
+					Owner:     named.Obj().Pkg().Path() + "." + named.Obj().Name(),
+					Publisher: publisher,
+				})
+			}
+		}
+	}
+}
+
+// publishMethodOf returns the designated publish method's name, or "".
+func publishMethodOf(named *types.Named) string {
+	for i := 0; i < named.NumMethods(); i++ {
+		switch named.Method(i).Name() {
+		case "publish", "Publish":
+			return named.Method(i).Name()
+		}
+	}
+	return ""
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T].
+func isAtomicPointer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// runEpochPubModule checks every package — in or out of Scope — for
+// stores into fact-carrying fields outside their designated publisher.
+func runEpochPubModule(pass *ModulePass) {
+	facts := make(map[types.Object]*EpochPtrFact)
+	for _, of := range pass.Facts.AllFacts() {
+		if f, ok := of.Fact.(*EpochPtrFact); ok {
+			facts[of.Obj] = f
+		}
+	}
+	if len(facts) == 0 {
+		return
+	}
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkEpochStores(pass, pkg, fd, facts)
+			}
+		}
+	}
+}
+
+// checkEpochStores flags Stores and direct writes to epoch-pointer
+// fields inside one function, unless the function is the field's
+// designated publisher.
+func checkEpochStores(pass *ModulePass, pkg *Package, fd *ast.FuncDecl, facts map[types.Object]*EpochPtrFact) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// field.Store(v) / field.Swap(v) / field.CompareAndSwap(o, v)
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Store", "Swap", "CompareAndSwap":
+			default:
+				return true
+			}
+			fieldSel, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[fieldSel.Sel]
+			fact, marked := facts[obj]
+			if !marked {
+				return true
+			}
+			if isPublisher(pkg, fd, fact) {
+				return true
+			}
+			pass.Reportf(x.Pos(), "epoch pointer %s.%s stored outside its publish method %s.%s: readers can observe a half-published epoch",
+				fact.Owner, fieldSel.Sel.Name, fact.Owner, fact.Publisher)
+		case *ast.AssignStmt:
+			// Non-atomic write: s.cur = ... (or a compound target path
+			// ending at the field). Always a finding — even inside the
+			// publisher, a torn write defeats the atomic protocol.
+			for _, lhs := range x.Lhs {
+				target := lhs
+				if star, ok := target.(*ast.StarExpr); ok {
+					target = star.X
+				}
+				fieldSel, ok := target.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Uses[fieldSel.Sel]
+				if fact, marked := facts[obj]; marked {
+					pass.Reportf(lhs.Pos(), "non-atomic write to epoch pointer %s.%s: use %s.%s (atomic Store inside the publisher)",
+						fact.Owner, fieldSel.Sel.Name, fact.Owner, fact.Publisher)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPublisher reports whether fd is the designated publish method on the
+// fact's owning type.
+func isPublisher(pkg *Package, fd *ast.FuncDecl, fact *EpochPtrFact) bool {
+	if fd.Name.Name != fact.Publisher || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == fact.Owner
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarding errors on durability paths. The
+// WAL's crash-safety story (PR 1) is "an acked ticket survives a
+// SIGKILL"; that chain is only as strong as its weakest error check — a
+// dropped Sync error means the segment may not be on disk, a dropped
+// Close error can swallow the final flush, a dropped Write error hands
+// the caller a short frame. The rule covers the packages on that chain
+// (wal, archive, replica, fmsnet) and the call families whose errors
+// carry durability meaning:
+//
+//   - *os.File: Write, WriteString, WriteAt, Sync, Close, Truncate
+//   - *bufio.Writer: Flush, Write, WriteString, WriteByte
+//   - os.WriteFile, os.Rename
+//   - methods named Sync/Flush/Close/Write/Append/Commit on types
+//     declared in this module (the WAL log, the archive writer, the
+//     fmsnet client: their errors wrap the same syscalls)
+//
+// Discarding is a bare expression statement or an assignment of the
+// error position to `_`. Deferred calls are exempt: `defer f.Close()`
+// on a read path is idiomatic, and the written-file case is already
+// enforced by fsyncgap (sync-before-close). Intentional drops — closing
+// an already-failed connection before a retry — take a reasoned
+// //lint:ignore errdrop, which is the only escape hatch.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "errors on durability paths (Sync/Flush/Write/Close families) must not be discarded",
+	Invariant: "every error returned on the WAL/archive/replica/fmsnet durability chain is " +
+		"handled, propagated, or suppressed with a written reason — never dropped",
+	Scope: []string{"wal", "archive", "replica", "fmsnet"},
+	Run:   runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred closes are fsyncgap's domain
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, ok := durabilityCall(pass, call); ok {
+						pass.Reportf(call.Pos(), "%s error discarded on a durability path: handle it, propagate it, or //lint:ignore errdrop with a reason", name)
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				checkErrAssign(pass, s)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// checkErrAssign flags `_, _ = f.Write(b)` / `_ = f.Sync()` shapes: a
+// durability call whose error position lands in the blank identifier.
+func checkErrAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := durabilityCall(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the call's last result; with a single-value call the
+	// single LHS is the error.
+	last := assign.Lhs[len(assign.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(assign.Pos(), "%s error assigned to _ on a durability path: handle it, propagate it, or //lint:ignore errdrop with a reason", name)
+	}
+}
+
+// durabilityCall classifies call as a member of the durability families
+// whose last result is an error, returning a printable name.
+func durabilityCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !lastResultIsError(pass, call) {
+		return "", false
+	}
+	// Package-level os calls.
+	if path, name, ok := pkgFunc(pass.Info, sel); ok {
+		if path == "os" && (name == "WriteFile" || name == "Rename") {
+			return "os." + name, true
+		}
+		return "", false
+	}
+	recv := pass.Info.Types[sel.X].Type
+	if recv == nil {
+		return "", false
+	}
+	method := sel.Sel.Name
+	switch typePkgPath(recv) {
+	case "os":
+		switch method {
+		case "Write", "WriteString", "WriteAt", "Sync", "Close", "Truncate":
+			return "(os.File)." + method, true
+		}
+		return "", false
+	case "bufio":
+		switch method {
+		case "Flush", "Write", "WriteString", "WriteByte":
+			return "(bufio.Writer)." + method, true
+		}
+		return "", false
+	}
+	// Module-local durability types: receiver declared in this module
+	// (same leading path segment as the package under analysis), method
+	// in the durability family.
+	if named := namedOf(recv); named != nil && sameModule(named.Obj().Pkg(), pass.Pkg) {
+		switch method {
+		case "Sync", "Flush", "Close", "Write", "Append", "Commit":
+			return "(" + named.Obj().Name() + ")." + method, true
+		}
+	}
+	return "", false
+}
+
+// lastResultIsError reports whether the call's final result is error.
+func lastResultIsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// sameModule reports whether p was declared under the same module root
+// (first import-path segment) as cur — the loader's view of "our code".
+func sameModule(p *types.Package, cur *types.Package) bool {
+	if p == nil || cur == nil {
+		return false
+	}
+	root := func(path string) string {
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			return path[:i]
+		}
+		return path
+	}
+	return root(p.Path()) == root(cur.Path())
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The facts layer turns the per-package analyzers into a two-phase,
+// cross-package framework, mirroring go/analysis facts on the repo's
+// zero-dependency loader:
+//
+//  1. Per-package phase. Packages are analyzed in import-dependency
+//     order; an analyzer's Run may attach typed Facts to package-level
+//     objects ("this function acquires mutex X", "this field is the
+//     epoch pointer, published only by method P") via Pass.ExportFact.
+//     Because dependencies are analyzed first, Run can already consult
+//     facts of every imported package through Pass.FactsOf.
+//  2. Whole-module phase. After every package is analyzed, each
+//     analyzer's RunModule (if any) sees all packages and the complete
+//     fact store at once — the phase lockorder needs, since a
+//     lock-order cycle is a property of the module-wide acquisition
+//     graph, not of any one package.
+//
+// Facts live in memory for the duration of one Run: the loader already
+// holds every package, so unlike go/analysis nothing is serialized, but
+// the store still records export order (FactStore.AllFacts) so a fact's
+// provenance is inspectable and iteration is deterministic (packages in
+// analysis order, objects in source order).
+
+// Fact is a typed statement an analyzer exports about a package-level
+// object (a function, a struct field, a variable). Implementations are
+// plain data; AFact is a marker so arbitrary values cannot be exported
+// by accident.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one exported fact about it.
+type ObjectFact struct {
+	Obj  types.Object
+	Fact Fact
+}
+
+// FactStore holds every fact exported during one Run, in export order.
+// Export order is deterministic: packages are processed in sorted
+// dependency order and analyzers walk files in sorted-name order.
+type FactStore struct {
+	byObj map[types.Object][]Fact
+	all   []ObjectFact
+}
+
+// NewFactStore builds an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byObj: make(map[types.Object][]Fact)}
+}
+
+// export records one fact.
+func (s *FactStore) export(obj types.Object, f Fact) {
+	s.byObj[obj] = append(s.byObj[obj], f)
+	s.all = append(s.all, ObjectFact{Obj: obj, Fact: f})
+}
+
+// FactsOf returns every fact exported about obj, in export order.
+func (s *FactStore) FactsOf(obj types.Object) []Fact { return s.byObj[obj] }
+
+// AllFacts returns every exported fact in deterministic export order —
+// the whole-module phase's iteration surface.
+func (s *FactStore) AllFacts() []ObjectFact { return s.all }
+
+// ExportFact attaches a fact to a package-level object (or a field of a
+// package-level type). Downstream passes — later packages in dependency
+// order, and every RunModule — observe it via FactsOf.
+func (p *Pass) ExportFact(obj types.Object, f Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	p.facts.export(obj, f)
+}
+
+// FactsOf returns the facts exported about obj so far: by this package's
+// earlier analyzers and by every dependency already analyzed.
+func (p *Pass) FactsOf(obj types.Object) []Fact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.FactsOf(obj)
+}
+
+// ModulePass is the whole-module phase's view: every loaded package in
+// analysis order plus the complete fact store. Diagnostics reported here
+// are routed through the same //lint:ignore suppression machinery as
+// per-package findings, keyed by the position they are reported at.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+	Facts    *FactStore
+
+	diags []Diagnostic
+}
+
+// Reportf records a module-phase finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// sortPackagesByDeps orders pkgs so that every package appears after the
+// packages it imports (facts flow forward). Ties break on import path,
+// so the order is deterministic. Import cycles cannot occur in compiled
+// Go; any residue from half-typed packages falls back to path order.
+func sortPackagesByDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	deps := make(map[string][]string, len(pkgs))
+	indegree := make(map[string]int, len(pkgs))
+	for _, p := range pkgs {
+		indegree[p.Path] += 0
+		seen := map[string]bool{}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path := importPathOf(imp)
+				if path == p.Path || seen[path] {
+					continue
+				}
+				if _, inModule := byPath[path]; !inModule {
+					continue
+				}
+				seen[path] = true
+				deps[path] = append(deps[path], p.Path)
+				indegree[p.Path]++
+			}
+		}
+	}
+
+	var ready []string
+	for path, n := range indegree {
+		if n == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+
+	var out []*Package
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		next := append([]string(nil), deps[path]...)
+		sort.Strings(next)
+		for _, d := range next {
+			indegree[d]--
+			if indegree[d] == 0 {
+				ready = insertSorted(ready, d)
+			}
+		}
+	}
+	if len(out) < len(pkgs) { // cycle residue: keep path order
+		inOut := make(map[string]bool, len(out))
+		for _, p := range out {
+			inOut[p.Path] = true
+		}
+		for _, p := range pkgs {
+			if !inOut[p.Path] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func importPathOf(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 && s[0] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return s
+}
+
+func insertSorted(ss []string, s string) []string {
+	i := 0
+	for i < len(ss) && ss[i] < s {
+		i++
+	}
+	ss = append(ss, "")
+	copy(ss[i+1:], ss[i:])
+	ss[i] = s
+	return ss
+}

@@ -83,6 +83,62 @@ func TestIgnoreDoesNotLeakAcrossRules(t *testing.T) {
 	}
 }
 
+// TestIgnoreEdgeCases: directives keep working at the syntactic
+// extremes — the file's last line, deep block nesting, and several
+// rules in one comma-separated directive — and never widen beyond
+// their own line plus the next.
+func TestIgnoreEdgeCases(t *testing.T) {
+	pkg, err := lint.NewLoader().LoadDir("testdata/ignoreedge", "fixture/ignoreedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("ignoreedge fixture has type errors: %v", pkg.TypeErrors)
+	}
+	diags, malformed := lint.CheckPackage(pkg, []*lint.Analyzer{lint.WallTime, lint.GlobalRand}, nil)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+
+	byReason := make(map[string][]lint.Diagnostic)
+	var live []lint.Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			byReason[d.Reason] = append(byReason[d.Reason], d)
+		} else {
+			live = append(live, d)
+		}
+	}
+
+	// Nested block: the deeply-nested call is suppressed...
+	if got := byReason["deep nesting must not hide the directive"]; len(got) != 1 {
+		t.Errorf("nested-block suppression hit %d findings %v, want 1", len(got), got)
+	}
+	// ...but the directive does not scope to the whole block: exactly
+	// one walltime finding (nested's trailing return) stays live.
+	if len(live) != 1 || live[0].Rule != "walltime" {
+		t.Errorf("live findings = %v, want just nested()'s trailing time.Now", live)
+	}
+
+	// One directive, two rules, one line.
+	multi := byReason["seeded replay fixture needs both on one line"]
+	if len(multi) != 2 {
+		t.Fatalf("multi-rule directive suppressed %d findings %v, want 2", len(multi), multi)
+	}
+	rules := map[string]bool{}
+	for _, d := range multi {
+		rules[d.Rule] = true
+	}
+	if !rules["walltime"] || !rules["globalrand"] {
+		t.Errorf("multi-rule directive covered %v, want walltime and globalrand", rules)
+	}
+
+	// Same-line directive on the file's last line.
+	if got := byReason["directive on the final line of the file"]; len(got) != 1 {
+		t.Errorf("last-line suppression hit %d findings %v, want 1", len(got), got)
+	}
+}
+
 // TestResultFailures: Run-level accounting — suppressed findings drop
 // out of Failures, malformed directives land in it.
 func TestResultFailures(t *testing.T) {

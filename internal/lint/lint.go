@@ -36,10 +36,17 @@ type Analyzer struct {
 	Invariant string
 	// Scope lists the package basenames (last import-path element) the
 	// rule applies to when run over the module; empty means every
-	// package. Fixture runs bypass Scope.
+	// package. Fixture runs bypass Scope. Scope gates the per-package
+	// phase only: RunModule always sees every loaded package.
 	Scope []string
-	// Run performs the check.
+	// Run performs the per-package check. Packages are visited in
+	// import-dependency order, so Run may export facts about this
+	// package's objects and import facts of every dependency.
 	Run func(*Pass)
+	// RunModule, if set, runs once after every package's Run: the
+	// whole-module phase. Cross-package properties — the lock-order
+	// graph, stores into another package's published field — live here.
+	RunModule func(*ModulePass)
 }
 
 // AppliesTo reports whether the analyzer is in scope for the package
@@ -72,6 +79,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts *FactStore
 	diags []Diagnostic
 }
 
@@ -105,7 +113,10 @@ func (d Diagnostic) String() string {
 
 // All returns the standard rule registry in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, GlobalRand, FsyncGap, LockedBlocking, Incpurity}
+	return []*Analyzer{
+		MapOrder, WallTime, GlobalRand, FsyncGap, LockedBlocking, Incpurity,
+		LockOrder, EpochPub, GoroLeak, ErrDrop,
+	}
 }
 
 // ByName resolves a rule id against the standard registry.

@@ -5,11 +5,23 @@
 // fixture, applies one analyzer, and fails the test on any missing,
 // unexpected, or mispositioned diagnostic — so every rule is exercised
 // on both firing and non-firing code.
+//
+// A fixture may instead be a tree of packages: when testdata/<rule>/
+// holds subdirectories, each becomes one package ("fixture/<rule>/a",
+// "fixture/<rule>/b", ...) and the analyzer runs over all of them as a
+// module — per-package phase in dependency order, then the module
+// phase. That is how the cross-package rules (lockorder, epochpub,
+// goroleak's fact path) exercise facts exported by one package and
+// consumed by another. Subdirectories load in sorted order, so a
+// fixture package may import siblings that sort before it.
 package linttest
 
 import (
 	"go/ast"
+	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,17 +48,18 @@ type expectation struct {
 func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
 	t.Helper()
 
-	loader := lint.NewLoader()
-	pkg, err := loader.LoadDir(fixtureDir, "fixture/"+a.Name)
-	if err != nil {
-		t.Fatalf("load fixture %s: %v", fixtureDir, err)
-	}
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("fixture %s has type errors (weakens analysis): %v", fixtureDir, terr)
+	pkgs := loadFixture(t, fixtureDir, a.Name)
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture package %s has type errors (weakens analysis): %v", pkg.Path, terr)
+		}
 	}
 
-	expects := parseWants(t, pkg)
-	diags, malformed := lint.CheckPackage(pkg, []*lint.Analyzer{a}, nil)
+	var expects []expectation
+	for _, pkg := range pkgs {
+		expects = append(expects, parseWants(t, pkg)...)
+	}
+	diags, malformed := lint.CheckPackages(pkgs, []*lint.Analyzer{a}, nil)
 	for _, m := range malformed {
 		t.Errorf("fixture %s: %s", fixtureDir, m)
 	}
@@ -81,9 +94,45 @@ func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
 	if len(expects) == 0 {
 		t.Errorf("fixture %s has no // want expectations: the firing half of the rule is untested", fixtureDir)
 	}
-	if firing > 0 && !hasCleanFunc(pkg, diags) {
+	if firing > 0 && !hasCleanFunc(pkgs, diags) {
 		t.Errorf("fixture %s flags every function: the non-firing half of the rule is untested", fixtureDir)
 	}
+}
+
+// loadFixture loads testdata/<rule> as a single package, or — when the
+// directory holds subdirectories — one package per subdirectory, sorted,
+// sharing a loader so cross-package imports and facts resolve.
+func loadFixture(t *testing.T, fixtureDir, rule string) []*lint.Package {
+	t.Helper()
+	loader := lint.NewLoader()
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixtureDir, err)
+	}
+	var subs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			subs = append(subs, e.Name())
+		}
+	}
+	if len(subs) == 0 {
+		pkg, err := loader.LoadDir(fixtureDir, "fixture/"+rule)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", fixtureDir, err)
+		}
+		return []*lint.Package{pkg}
+	}
+	sort.Strings(subs)
+	var pkgs []*lint.Package
+	for _, sub := range subs {
+		path := "fixture/" + rule + "/" + sub
+		pkg, err := loader.LoadDir(filepath.Join(fixtureDir, sub), path)
+		if err != nil {
+			t.Fatalf("load fixture package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
 }
 
 // parseWants scans fixture comments for expectations.
@@ -114,25 +163,27 @@ func parseWants(t *testing.T, pkg *lint.Package) []expectation {
 // hasCleanFunc reports whether at least one function declaration in the
 // fixture contains no diagnostic — every fixture must demonstrate
 // compliant code alongside the violations.
-func hasCleanFunc(pkg *lint.Package, diags []lint.Diagnostic) bool {
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			file := pkg.Fset.Position(fd.Pos()).Filename
-			start := pkg.Fset.Position(fd.Pos()).Line
-			end := pkg.Fset.Position(fd.End()).Line
-			hasDiag := false
-			for _, d := range diags {
-				if d.Pos.Filename == file && d.Pos.Line >= start && d.Pos.Line <= end {
-					hasDiag = true
-					break
+func hasCleanFunc(pkgs []*lint.Package, diags []lint.Diagnostic) bool {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
 				}
-			}
-			if !hasDiag {
-				return true
+				file := pkg.Fset.Position(fd.Pos()).Filename
+				start := pkg.Fset.Position(fd.Pos()).Line
+				end := pkg.Fset.Position(fd.End()).Line
+				hasDiag := false
+				for _, d := range diags {
+					if d.Pos.Filename == file && d.Pos.Line >= start && d.Pos.Line <= end {
+						hasDiag = true
+						break
+					}
+				}
+				if !hasDiag {
+					return true
+				}
 			}
 		}
 	}

@@ -1,0 +1,547 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition graph and reports
+// every cycle — a potential deadlock. The serving tier acquires small
+// mutexes in nested patterns (serve.State.foldMu over the incremental
+// engine's mutex over each epoch's cache mutex); two call paths that
+// take the same pair of locks in opposite orders deadlock only under
+// the exact interleaving the chaos harness happens not to hit, which is
+// why the rule runs at merge time instead.
+//
+// Mechanics: the per-package phase scans every function linearly (the
+// same region model as lockedblocking), identifies each acquired lock
+// by its declaration — a named struct field ("(serve.State).foldMu") or
+// a package-level variable — and exports a LockOrderFact per function:
+// the locks it acquires, the nested held→acquired edges, and the calls
+// it makes while holding locks. The whole-module phase closes the call
+// relation transitively (a function that calls another under lock
+// reaches everything the callee acquires, through any chain), assembles
+// the directed graph over lock identities, and reports one finding per
+// cycle naming both call chains. Function-local mutexes cannot be
+// shared across functions by identity, so they stay out of the graph.
+//
+// The lock identity is per field declaration, not per instance: two
+// instances of one struct type share a graph node. Hand-over-hand
+// locking of sibling instances would be a false positive — none exists
+// in the repo, and the //lint:ignore escape hatch covers the pattern if
+// one ever appears.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the module-wide lock-acquisition graph must be cycle-free",
+	Invariant: "any two locks ever held together are acquired in one global order; " +
+		"a cycle in the held→acquired graph is a latent deadlock",
+	Run:       runLockOrderPackage,
+	RunModule: runLockOrderModule,
+}
+
+// LockSite is one acquisition of an identified lock.
+type LockSite struct {
+	Key string // lock identity, e.g. "(dcfail/internal/serve.State).foldMu"
+	Pos token.Pos
+}
+
+// LockEdge is a nested acquisition: To acquired while From was held.
+type LockEdge struct {
+	From, To string
+	Pos      token.Pos
+	Fn       string // function the nesting occurs in
+}
+
+// LockCall is a call made while holding locks; the callee's (transitive)
+// acquisitions become edges in the module phase.
+type LockCall struct {
+	Held   []string
+	Callee *types.Func
+	Pos    token.Pos
+	Fn     string
+}
+
+// LockOrderFact is the per-function lock summary exported to the module
+// phase.
+type LockOrderFact struct {
+	Acquires []LockSite
+	Edges    []LockEdge
+	Calls    []LockCall
+}
+
+func (*LockOrderFact) AFact() {}
+
+func runLockOrderPackage(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fact := &LockOrderFact{}
+			scanLockRegions(pass, fd.Body, fn.FullName(), fact)
+			// Function literals inside fd run on their own schedule, but
+			// locks they acquire still belong to this function's summary
+			// only if invoked inline; goroutine bodies are separate. The
+			// conservative choice — folding literals into the summary —
+			// manufactures edges from locks held at the go statement to
+			// locks the goroutine takes later, which are not deadlocks.
+			// Literals are therefore scanned as their own anonymous
+			// regions: their internal nesting still reaches the graph,
+			// their acquisitions do not leak into the spawner's.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+					litFact := &LockOrderFact{}
+					scanLockRegions(pass, lit.Body, fn.FullName()+".func", litFact)
+					fact.Edges = append(fact.Edges, litFact.Edges...)
+					// Calls under lock inside the literal still matter.
+					fact.Calls = append(fact.Calls, litFact.Calls...)
+					return false
+				}
+				return true
+			})
+			if len(fact.Acquires)+len(fact.Edges)+len(fact.Calls) > 0 {
+				pass.ExportFact(fn, fact)
+			}
+		}
+	}
+}
+
+// lockIdentity names the lock behind a mutex method receiver expression,
+// or "" if it has no stable cross-function identity (a function-local
+// mutex). Identities:
+//
+//	struct field:        "(pkgpath.Type).field"
+//	package-level var:   "pkgpath.var"
+//	embedded sync mutex: "(pkgpath.Type).Mutex" / ".RWMutex"
+func lockIdentity(pass *Pass, recv ast.Expr) string {
+	switch x := recv.(type) {
+	case *ast.ParenExpr:
+		return lockIdentity(pass, x.X)
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[x.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			// Selecting a package-level var through its package name.
+			if v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return ""
+		}
+		return fieldLockKey(pass, x, v)
+	case *ast.Ident:
+		obj := identObj(pass.Info, x)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return "" // function-local mutex: no cross-function identity
+	}
+	return ""
+}
+
+// fieldLockKey names a struct-field lock by its owning named type. The
+// owner comes from the selection's receiver type, so promoted fields
+// resolve to the embedding struct's declared field.
+func fieldLockKey(pass *Pass, sel *ast.SelectorExpr, field *types.Var) string {
+	recvT := pass.Info.Types[sel.X].Type
+	if recvT == nil {
+		return ""
+	}
+	if named := namedOf(recvT); named != nil {
+		return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Path(), named.Obj().Name(), field.Name())
+	}
+	// Anonymous struct: fall back to the field's own package + name.
+	if field.Pkg() != nil {
+		return fmt.Sprintf("(%s.?).%s", field.Pkg().Path(), field.Name())
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to the defining named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			if tt.Obj().Pkg() == nil {
+				return nil
+			}
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// lockMethodRecv classifies call as a sync.Mutex/RWMutex Lock/RLock/
+// Unlock/RUnlock and returns the receiver expression the lock lives at.
+// An embedded mutex called through its promoting struct ("s.Lock()")
+// reports the struct expression; lockIdentity then keys it by the
+// embedding type.
+func lockMethodRecv(pass *Pass, call *ast.CallExpr) (recv ast.Expr, acquire, release bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return sel.X, true, false
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return sel.X, false, true
+	}
+	return nil, false, false
+}
+
+// embeddedLockKey adjusts the identity when the receiver expression is
+// the embedding struct itself (promoted Lock): "s.Lock()" acquires the
+// embedded sync.Mutex field of s's type.
+func embeddedLockKey(pass *Pass, recv ast.Expr) string {
+	t := pass.Info.Types[recv].Type
+	if t == nil {
+		return ""
+	}
+	named := namedOf(t)
+	if named == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		if fn := namedOf(f.Type()); fn != nil && fn.Obj().Pkg() != nil &&
+			fn.Obj().Pkg().Path() == "sync" &&
+			(fn.Obj().Name() == "Mutex" || fn.Obj().Name() == "RWMutex") {
+			return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Path(), named.Obj().Name(), fn.Obj().Name())
+		}
+	}
+	return ""
+}
+
+// acquiredKey resolves the lock identity of an acquire/release receiver:
+// a mutex-typed expression directly, or a struct with an embedded mutex.
+func acquiredKey(pass *Pass, recv ast.Expr) string {
+	t := pass.Info.Types[recv].Type
+	if t != nil {
+		if named := namedOf(t); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			// Promoted method: the receiver is the embedding struct.
+			if key := embeddedLockKey(pass, recv); key != "" {
+				return key
+			}
+		}
+	}
+	return lockIdentity(pass, recv)
+}
+
+// scanLockRegions walks one function body in statement order with the
+// lockedblocking region model: acquisitions push onto the held list (in
+// order), releases pop, defer-release holds to function end, branch
+// bodies inherit a copy of the entry state. While any lock is held,
+// further acquisitions record edges and calls record LockCalls.
+func scanLockRegions(pass *Pass, body *ast.BlockStmt, fnName string, fact *LockOrderFact) {
+	var scan func(stmts []ast.Stmt, held []string)
+	scan = func(stmts []ast.Stmt, held []string) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if recv, acquire, release := lockMethodRecv(pass, call); acquire || release {
+						key := acquiredKey(pass, recv)
+						if acquire {
+							if key != "" {
+								fact.Acquires = append(fact.Acquires, LockSite{Key: key, Pos: call.Pos()})
+								// A held→acquired pair is one edge; h == key
+								// (re-acquiring a held non-reentrant mutex)
+								// becomes a self-loop, itself a deadlock.
+								for _, h := range held {
+									fact.Edges = append(fact.Edges, LockEdge{From: h, To: key, Pos: call.Pos(), Fn: fnName})
+								}
+								held = append(held, key)
+							}
+							continue
+						}
+						if key != "" {
+							held = removeLock(held, key)
+						}
+						continue
+					}
+				}
+			case *ast.DeferStmt:
+				// defer x.Unlock() holds the lock to function end; the
+				// held list already carries it from the acquisition just
+				// above, so there is nothing to pop. Any other deferred
+				// call runs at return, outside the statement-ordered
+				// region model; skip both.
+				continue
+			case *ast.BlockStmt:
+				scan(s.List, append([]string(nil), held...))
+				continue
+			case *ast.IfStmt:
+				scan(s.Body.List, append([]string(nil), held...))
+				if s.Else != nil {
+					if eb, ok := s.Else.(*ast.BlockStmt); ok {
+						scan(eb.List, append([]string(nil), held...))
+					} else {
+						scan([]ast.Stmt{s.Else}, append([]string(nil), held...))
+					}
+				}
+				continue
+			case *ast.ForStmt:
+				scan(s.Body.List, append([]string(nil), held...))
+				continue
+			case *ast.RangeStmt:
+				scan(s.Body.List, append([]string(nil), held...))
+				continue
+			case *ast.SwitchStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CaseClause); ok {
+						scan(cc.Body, append([]string(nil), held...))
+					}
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CaseClause); ok {
+						scan(cc.Body, append([]string(nil), held...))
+					}
+				}
+				continue
+			case *ast.SelectStmt:
+				for _, clause := range s.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						scan(cc.Body, append([]string(nil), held...))
+					}
+				}
+				continue
+			}
+			if len(held) > 0 {
+				recordCallsUnderLock(pass, stmt, held, fnName, fact)
+			}
+		}
+	}
+	scan(body.List, nil)
+}
+
+func removeLock(held []string, key string) []string {
+	out := held[:0:len(held)]
+	removed := false
+	for _, h := range held {
+		if !removed && h == key {
+			removed = true
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// recordCallsUnderLock records every resolvable function or method call
+// inside stmt made while locks are held. Nested function literals are
+// skipped (they run on their own schedule).
+func recordCallsUnderLock(pass *Pass, stmt ast.Stmt, held []string, fnName string, fact *LockOrderFact) {
+	inspectSkipFuncLits(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			callee, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+		case *ast.Ident:
+			callee, _ = pass.Info.Uses[fun].(*types.Func)
+		}
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		fact.Calls = append(fact.Calls, LockCall{
+			Held:   append([]string(nil), held...),
+			Callee: callee,
+			Pos:    call.Pos(),
+			Fn:     fnName,
+		})
+		return true
+	})
+}
+
+// moduleLockEdge is one graph edge with its witness.
+type moduleLockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // human-readable witness: "fnA (direct)" or "fnA -> fnB"
+}
+
+func runLockOrderModule(pass *ModulePass) {
+	// Collect per-function facts in deterministic export order.
+	type fnFact struct {
+		fn   *types.Func
+		fact *LockOrderFact
+	}
+	var fnFacts []fnFact
+	factOf := make(map[*types.Func]*LockOrderFact)
+	for _, of := range pass.Facts.AllFacts() {
+		lf, ok := of.Fact.(*LockOrderFact)
+		if !ok {
+			continue
+		}
+		fn, ok := of.Obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		fnFacts = append(fnFacts, fnFact{fn: fn, fact: lf})
+		factOf[fn] = lf
+	}
+
+	// Transitive acquisition closure: reaches(F) = locks F acquires
+	// directly plus, through any chain of calls recorded under or out of
+	// lock, locks its callees acquire. Fixpoint over the (small) summary
+	// call graph.
+	reaches := make(map[*types.Func]map[string]token.Pos, len(fnFacts))
+	for _, ff := range fnFacts {
+		m := make(map[string]token.Pos)
+		for _, a := range ff.fact.Acquires {
+			if _, ok := m[a.Key]; !ok {
+				m[a.Key] = a.Pos
+			}
+		}
+		reaches[ff.fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range fnFacts {
+			m := reaches[ff.fn]
+			for _, c := range ff.fact.Calls {
+				cm := reaches[c.Callee]
+				for k := range cm {
+					if _, ok := m[k]; !ok {
+						m[k] = c.Pos // witness: the call site that reaches k
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble edges: direct nesting, plus held→(callee's reach).
+	var edges []moduleLockEdge
+	seen := make(map[string]bool)
+	add := func(e moduleLockEdge) {
+		id := e.from + "\x00" + e.to
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		edges = append(edges, e)
+	}
+	for _, ff := range fnFacts {
+		for _, e := range ff.fact.Edges {
+			add(moduleLockEdge{from: e.From, to: e.To, pos: e.Pos, via: e.Fn})
+		}
+		for _, c := range ff.fact.Calls {
+			cm := reaches[c.Callee]
+			if len(cm) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(cm))
+			for k := range cm {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, to := range keys {
+				for _, h := range c.Held {
+					if h == to {
+						continue // callee re-acquiring the held lock is a
+						// self-deadlock only if truly the same instance;
+						// left to the direct-edge case above.
+					}
+					add(moduleLockEdge{from: h, to: to, pos: c.Pos, via: c.Fn + " -> " + c.Callee.FullName()})
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the lock graph. The graph is small (tens of
+	// nodes); enumerate cycles by DFS from each node in sorted order and
+	// canonicalize so each cycle reports once, at its first edge's
+	// witness position.
+	adj := make(map[string][]moduleLockEdge)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	reported := make(map[string]bool)
+	for _, start := range nodes {
+		var path []moduleLockEdge
+		onPath := map[string]bool{start: true}
+		var dfs func(cur string)
+		dfs = func(cur string) {
+			for _, e := range adj[cur] {
+				if e.to == start {
+					cycle := append(append([]moduleLockEdge(nil), path...), e)
+					reportLockCycle(pass, cycle, reported)
+					continue
+				}
+				if onPath[e.to] || e.to < start {
+					// Cycles through smaller nodes were found from that
+					// node's own DFS; visiting again would double-report.
+					continue
+				}
+				onPath[e.to] = true
+				path = append(path, e)
+				dfs(e.to)
+				path = path[:len(path)-1]
+				delete(onPath, e.to)
+			}
+		}
+		dfs(start)
+	}
+}
+
+// reportLockCycle emits one diagnostic per distinct cycle, naming every
+// edge's lock pair and witnessing call chain.
+func reportLockCycle(pass *ModulePass, cycle []moduleLockEdge, reported map[string]bool) {
+	keys := make([]string, len(cycle))
+	for i, e := range cycle {
+		keys[i] = e.from
+	}
+	id := strings.Join(keys, "\x00")
+	if reported[id] {
+		return
+	}
+	reported[id] = true
+
+	var parts []string
+	for _, e := range cycle {
+		parts = append(parts, fmt.Sprintf("%s -> %s [%s at %s]", e.from, e.to, e.via, pass.Fset.Position(e.pos)))
+	}
+	pass.Reportf(cycle[0].pos, "lock-order cycle (potential deadlock): %s", strings.Join(parts, "; "))
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable emitters for fotlint: a flat JSON document and a
+// SARIF 2.1.0 log. Both are deterministic — diagnostics sorted by
+// position, rules in registry order, paths module-relative — so a CI
+// artifact diffs cleanly between runs and the SARIF upload can be
+// consumed by code-scanning UIs.
+
+// jsonRule is one registry entry in -json output.
+type jsonRule struct {
+	Name      string   `json:"name"`
+	Doc       string   `json:"doc"`
+	Invariant string   `json:"invariant"`
+	Scope     []string `json:"scope,omitempty"`
+}
+
+// jsonDiag is one finding in -json output. Reason is set only on
+// suppression records.
+type jsonDiag struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// jsonReport is the -json document: the rule registry that ran, the
+// failing findings (including malformed directives under the pseudo-
+// rule "lint"), and the suppression records with their justifications.
+type jsonReport struct {
+	Rules      []jsonRule `json:"rules"`
+	Findings   []jsonDiag `json:"findings"`
+	Suppressed []jsonDiag `json:"suppressed"`
+}
+
+// WriteJSON renders res as the -json document. root, when non-empty,
+// rewrites file paths module-relative.
+func WriteJSON(w io.Writer, analyzers []*Analyzer, res Result, root string) error {
+	rep := jsonReport{
+		Rules:      ruleMeta(analyzers),
+		Findings:   []jsonDiag{},
+		Suppressed: []jsonDiag{},
+	}
+	for _, d := range res.Failures() {
+		rep.Findings = append(rep.Findings, toJSONDiag(d, root))
+	}
+	for _, d := range suppressedDiags(res) {
+		jd := toJSONDiag(d, root)
+		jd.Reason = d.Reason
+		rep.Suppressed = append(rep.Suppressed, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ruleMeta renders the registry plus the pseudo-rule "lint" that owns
+// malformed //lint:ignore directives.
+func ruleMeta(analyzers []*Analyzer) []jsonRule {
+	out := make([]jsonRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		out = append(out, jsonRule{Name: a.Name, Doc: a.Doc, Invariant: a.Invariant, Scope: a.Scope})
+	}
+	out = append(out, jsonRule{
+		Name:      "lint",
+		Doc:       "//lint:ignore directives must name a known rule and give a reason",
+		Invariant: "every suppression is well-formed and justified",
+	})
+	return out
+}
+
+// suppressedDiags extracts the suppression records, sorted.
+func suppressedDiags(res Result) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range res.Diags {
+		if d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+func toJSONDiag(d Diagnostic, root string) jsonDiag {
+	return jsonDiag{
+		Rule:    d.Rule,
+		File:    relPath(root, d.Pos.Filename),
+		Line:    d.Pos.Line,
+		Column:  d.Pos.Column,
+		Message: d.Message,
+	}
+}
+
+// relPath rewrites path module-relative (slash-separated, for stable
+// SARIF artifact URIs) when it sits under root.
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return path
+}
+
+// --- SARIF 2.1.0 (minimal shape) ---
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string          `json:"name"`
+	Rules []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID        string       `json:"id"`
+	ShortDesc sarifMessage `json:"shortDescription"`
+	FullDesc  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification"`
+}
+
+// WriteSARIF renders res as a SARIF 2.1.0 log: failing findings as
+// level "error" results, suppression records as results carrying an
+// inSource suppression with the //lint:ignore reason as justification.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, res Result, root string) error {
+	rules := ruleMeta(analyzers)
+	ruleIndex := make(map[string]int, len(rules))
+	descs := make([]sarifRuleDesc, len(rules))
+	for i, r := range rules {
+		ruleIndex[r.Name] = i
+		descs[i] = sarifRuleDesc{
+			ID:        r.Name,
+			ShortDesc: sarifMessage{Text: r.Doc},
+			FullDesc:  sarifMessage{Text: r.Invariant},
+		}
+	}
+
+	results := []sarifResult{}
+	toResult := func(d Diagnostic) sarifResult {
+		return sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ruleIndex[d.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+	}
+	for _, d := range res.Failures() {
+		results = append(results, toResult(d))
+	}
+	for _, d := range suppressedDiags(res) {
+		r := toResult(d)
+		r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: d.Reason}}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fotlint", Rules: descs}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,238 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"dcfail/internal/lint"
+)
+
+// fakeResult builds a Result with one failing finding, one suppressed
+// finding, and one malformed directive — the three record kinds the
+// emitters must carry.
+func fakeResult() lint.Result {
+	return lint.Result{
+		Diags: []lint.Diagnostic{
+			{
+				Rule:    "lockorder",
+				Pos:     token.Position{Filename: "internal/serve/state.go", Line: 40, Column: 2},
+				Message: "lock-order cycle (potential deadlock): A -> B; B -> A",
+			},
+			{
+				Rule:       "epochpub",
+				Pos:        token.Position{Filename: "internal/serve/state.go", Line: 144, Column: 2},
+				Message:    "epoch pointer stored outside its publish method",
+				Suppressed: true,
+				Reason:     "epoch 0 bootstrap before the state escapes the constructor",
+			},
+		},
+		Malformed: []lint.Diagnostic{
+			{
+				Rule:    "lint",
+				Pos:     token.Position{Filename: "internal/wal/wal.go", Line: 7, Column: 1},
+				Message: "lint:ignore needs a rule name and a reason",
+			},
+		},
+	}
+}
+
+// TestSARIFShape pins the SARIF 2.1.0 minimal schema shape: version,
+// $schema, tool.driver.rules, and per-result ruleId, message, location,
+// and inSource suppression records.
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.All(), fakeResult(), ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID        string `json:"id"`
+						ShortDesc struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						FullDesc struct {
+							Text string `json:"text"`
+						} `json:"fullDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind          string `json:"kind"`
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema is empty")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fotlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Registry + the pseudo-rule "lint" for malformed directives.
+	if want := len(lint.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("driver has %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDesc.Text == "" {
+			t.Errorf("rule %d is missing id or shortDescription", i)
+		}
+		ruleIDs[r.ID] = i
+	}
+	if _, ok := ruleIDs["lint"]; !ok {
+		t.Error("rules are missing the pseudo-rule \"lint\"")
+	}
+
+	// Failing finding + malformed directive + suppressed record.
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %s has an empty message", r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %s has %d locations, want 1", r.RuleID, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("result %s is missing its artifact URI or start line", r.RuleID)
+		}
+		if idx, ok := ruleIDs[r.RuleID]; !ok || idx != r.RuleIndex {
+			t.Errorf("result %s: ruleIndex %d does not point at its rule entry", r.RuleID, r.RuleIndex)
+		}
+	}
+	// Failures sort by position (serve/state.go before wal/wal.go);
+	// suppression records follow them.
+	if run.Results[0].RuleID != "lockorder" || run.Results[1].RuleID != "lint" {
+		t.Errorf("failure order = %s, %s; want lockorder, lint", run.Results[0].RuleID, run.Results[1].RuleID)
+	}
+	sup := run.Results[2]
+	if sup.RuleID != "epochpub" || len(sup.Suppressions) != 1 {
+		t.Fatalf("last result should be the suppressed epochpub record, got %s with %d suppressions", sup.RuleID, len(sup.Suppressions))
+	}
+	if sup.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppression kind = %q, want inSource", sup.Suppressions[0].Kind)
+	}
+	if sup.Suppressions[0].Justification == "" {
+		t.Error("suppression justification is empty")
+	}
+	if len(run.Results[0].Suppressions) != 0 {
+		t.Error("failing result carries suppressions")
+	}
+}
+
+// TestJSONReport pins the -json document: rule metadata, findings, and
+// suppression records with reasons.
+func TestJSONReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, lint.All(), fakeResult(), ""); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	var rep struct {
+		Rules []struct {
+			Name      string `json:"name"`
+			Doc       string `json:"doc"`
+			Invariant string `json:"invariant"`
+		} `json:"rules"`
+		Findings []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+			Reason  string `json:"reason"`
+		} `json:"findings"`
+		Suppressed []struct {
+			Rule   string `json:"rule"`
+			Reason string `json:"reason"`
+		} `json:"suppressed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if want := len(lint.All()) + 1; len(rep.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(rep.Rules), want)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2 (failure + malformed)", len(rep.Findings))
+	}
+	if rep.Findings[0].Rule != "lockorder" || rep.Findings[0].Line != 40 {
+		t.Errorf("findings[0] = %+v", rep.Findings[0])
+	}
+	if rep.Findings[0].Reason != "" {
+		t.Error("failing finding carries a suppression reason")
+	}
+	if len(rep.Suppressed) != 1 || rep.Suppressed[0].Rule != "epochpub" || rep.Suppressed[0].Reason == "" {
+		t.Errorf("suppressed = %+v, want one reasoned epochpub record", rep.Suppressed)
+	}
+}
+
+// TestEmittersAreDeterministic: two renders of the same result are
+// byte-identical — the CI artifact must diff cleanly.
+func TestEmittersAreDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	res := fakeResult()
+	if err := lint.WriteSARIF(&a, lint.All(), res, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.WriteSARIF(&b, lint.All(), res, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two SARIF renders differ")
+	}
+	a.Reset()
+	b.Reset()
+	if err := lint.WriteJSON(&a, lint.All(), res, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.WriteJSON(&b, lint.All(), res, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two JSON renders differ")
+	}
+}

@@ -41,10 +41,12 @@ func (r Result) Suppressed() int {
 	return n
 }
 
-// Run applies every in-scope analyzer to every package and resolves
-// //lint:ignore directives. Output order is deterministic: packages are
-// analyzed as given (LoadModule sorts by import path) and diagnostics
-// are sorted by position.
+// Run applies every in-scope analyzer to every package (the per-package
+// phase, in import-dependency order so facts flow forward), then every
+// analyzer's RunModule over the whole set (the module phase), and
+// resolves //lint:ignore directives. Output order is deterministic:
+// diagnostics are sorted by position, and both phases visit packages in
+// a fixed order.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -52,36 +54,72 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	}
 
 	res := Result{TypeErrors: make(map[string][]error)}
-	for _, pkg := range pkgs {
+	ordered := sortPackagesByDeps(pkgs)
+	store := NewFactStore()
+	var allComments []*fileComments
+	var raw []Diagnostic
+	for _, pkg := range ordered {
 		if len(pkg.TypeErrors) > 0 {
 			res.TypeErrors[pkg.Path] = pkg.TypeErrors
 		}
 		var inScope []*Analyzer
 		for _, a := range analyzers {
-			if a.AppliesTo(pkg.Path) {
+			if a.Run != nil && a.AppliesTo(pkg.Path) {
 				inScope = append(inScope, a)
 			}
 		}
-		out, malformed := CheckPackage(pkg, inScope, known)
-		res.Diags = append(res.Diags, out...)
-		res.Malformed = append(res.Malformed, malformed...)
+		raw = append(raw, runPackagePhase(pkg, inScope, store)...)
+		allComments = append(allComments, commentsOf(pkg)...)
 	}
-	sortDiags(res.Diags)
-	sortDiags(res.Malformed)
+	raw = append(raw, runModulePhase(ordered, analyzers, store)...)
+
+	res.Diags, res.Malformed = Suppress(raw, parseDirectives(allComments), known)
 	return res
 }
 
-// CheckPackage runs the given analyzers over one package regardless of
-// Scope and resolves the package's //lint:ignore directives against the
-// known rule set (nil means "the analyzers passed in"). It is the
-// building block of Run and the fixture harness's entry point.
-func CheckPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) (diags, malformed []Diagnostic) {
+// CheckPackages runs the given analyzers over the given packages with
+// Scope bypassed: every analyzer sees every package, per-package phase
+// then module phase, and //lint:ignore directives from all packages are
+// resolved against the known rule set (nil means "the analyzers passed
+// in"). It is the building block of Run and the fixture harness's entry
+// point; packages may import one another (they are re-ordered by
+// dependency internally).
+func CheckPackages(pkgs []*Package, analyzers []*Analyzer, known map[string]bool) (diags, malformed []Diagnostic) {
 	if known == nil {
 		known = make(map[string]bool, len(analyzers))
 		for _, a := range analyzers {
 			known[a.Name] = true
 		}
 	}
+	ordered := sortPackagesByDeps(pkgs)
+	store := NewFactStore()
+	var allComments []*fileComments
+	var raw []Diagnostic
+	for _, pkg := range ordered {
+		var withRun []*Analyzer
+		for _, a := range analyzers {
+			if a.Run != nil {
+				withRun = append(withRun, a)
+			}
+		}
+		raw = append(raw, runPackagePhase(pkg, withRun, store)...)
+		allComments = append(allComments, commentsOf(pkg)...)
+	}
+	raw = append(raw, runModulePhase(ordered, analyzers, store)...)
+	return Suppress(raw, parseDirectives(allComments), known)
+}
+
+// CheckPackage runs the given analyzers over one package regardless of
+// Scope (single-package fixtures; see CheckPackages for the module
+// form).
+func CheckPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) (diags, malformed []Diagnostic) {
+	return CheckPackages([]*Package{pkg}, analyzers, known)
+}
+
+// runPackagePhase applies each analyzer's Run to one package, sharing
+// the fact store, and returns the raw (unsuppressed) diagnostics.
+func runPackagePhase(pkg *Package, analyzers []*Analyzer, store *FactStore) []Diagnostic {
+	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -89,11 +127,34 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) (d
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			facts:    store,
 		}
 		a.Run(pass)
-		diags = append(diags, pass.diags...)
+		out = append(out, pass.diags...)
 	}
-	return Suppress(diags, parseDirectives(commentsOf(pkg)), known)
+	return out
+}
+
+// runModulePhase applies each analyzer's RunModule across all packages.
+func runModulePhase(ordered []*Package, analyzers []*Analyzer, store *FactStore) []Diagnostic {
+	if len(ordered) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     ordered[0].Fset,
+			Packages: ordered,
+			Facts:    store,
+		}
+		a.RunModule(mp)
+		out = append(out, mp.diags...)
+	}
+	return out
 }
 
 // commentsOf flattens a package's comments into the directive parser's

@@ -1,0 +1,38 @@
+// Package a declares an epoch-publication protocol: State has a
+// Publish method, so its atomic.Pointer fields are epoch pointers and
+// may be stored only there.
+package a
+
+import "sync/atomic"
+
+type Snapshot struct {
+	Epoch int
+}
+
+type State struct {
+	Cur atomic.Pointer[Snapshot]
+}
+
+// Publish is the designated publisher: the one legal Store.
+func (s *State) Publish(next *Snapshot) {
+	s.Cur.Store(next)
+}
+
+// Reset stores outside the publisher — a torn epoch waiting to happen.
+func (s *State) Reset() {
+	s.Cur.Store(nil) // want "stored outside its publish method"
+}
+
+// Load is a read: always fine.
+func (s *State) Load() *Snapshot {
+	return s.Cur.Load()
+}
+
+// Scratch has no publish method, so its pointer is unconstrained.
+type Scratch struct {
+	P atomic.Pointer[Snapshot]
+}
+
+func (s *Scratch) Set(v *Snapshot) {
+	s.P.Store(v)
+}

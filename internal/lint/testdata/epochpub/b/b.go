@@ -1,0 +1,23 @@
+// Package b stores into a.State's epoch pointer from outside the
+// owning package — caught by the module phase through the exported
+// fact, which a per-package pass could never see.
+package b
+
+import (
+	"sync/atomic"
+
+	"fixture/epochpub/a"
+)
+
+func Hijack(st *a.State, snap *a.Snapshot) {
+	st.Cur.Store(snap) // want "stored outside its publish method"
+}
+
+func Tear(st *a.State) {
+	st.Cur = atomic.Pointer[a.Snapshot]{} // want "non-atomic write to epoch pointer"
+}
+
+// ViaPublisher routes through the protocol: clean.
+func ViaPublisher(st *a.State, snap *a.Snapshot) {
+	st.Publish(snap)
+}

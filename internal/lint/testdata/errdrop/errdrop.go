@@ -1,0 +1,50 @@
+// Package errdrop exercises the durability families: os.File,
+// bufio.Writer, the os package calls, and module-local types whose
+// Sync/Flush/Close/Write/Append/Commit errors carry the crash-safety
+// story.
+package errdrop
+
+import (
+	"bufio"
+	"os"
+)
+
+// Log stands in for the WAL: a module-local durability type.
+type Log struct{}
+
+func (l *Log) Sync() error                  { return nil }
+func (l *Log) Close() error                 { return nil }
+func (l *Log) Append(b []byte) (int, error) { return len(b), nil }
+
+func drops(f *os.File, w *bufio.Writer, lg *Log) {
+	f.Sync()              // want "error discarded on a durability path"
+	_ = f.Close()         // want "error assigned to _ on a durability path"
+	w.Flush()             // want "error discarded on a durability path"
+	lg.Sync()             // want "error discarded on a durability path"
+	_, _ = lg.Append(nil) // want "error assigned to _ on a durability path"
+	os.Rename("a", "b")   // want "error discarded on a durability path"
+}
+
+// handles propagates every error: clean.
+func handles(f *os.File, lg *Log) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	n, err := lg.Append(nil)
+	if err != nil || n == 0 {
+		return err
+	}
+	return lg.Close()
+}
+
+// deferred closes are exempt: the read path's idiom, and fsyncgap owns
+// the written-file case.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// suppressed drops on purpose, with the reason written down.
+func suppressed(lg *Log) {
+	//lint:ignore errdrop best-effort cleanup of an already-failed log
+	lg.Close()
+}

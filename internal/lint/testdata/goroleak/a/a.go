@@ -1,0 +1,23 @@
+// Package a exports the hazard: Spin loops forever with no stop
+// signal, so spawning it leaks a goroutine. Looper parks on its done
+// channel each iteration and is safe to spawn.
+package a
+
+func Spin() {
+	for {
+		work()
+	}
+}
+
+func Looper(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func work() {}

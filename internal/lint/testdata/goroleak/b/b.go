@@ -1,0 +1,62 @@
+// Package b spawns package a's functions: the stop-less one is a
+// finding resolved through a's exported SpawnHazardFact; the others
+// demonstrate each accepted stop shape.
+package b
+
+import (
+	"sync"
+
+	"fixture/goroleak/a"
+)
+
+func SpawnBad() {
+	go a.Spin() // want "loops forever with no stop path"
+}
+
+func SpawnLitBad(tick chan int) {
+	go func() { // want "loops forever with no stop path"
+		for {
+			<-tick
+		}
+	}()
+}
+
+// SpawnWithDone selects on a done channel each iteration: clean.
+func SpawnWithDone(done chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// SpawnJoined is WaitGroup-joined: some Close owns its lifetime.
+func SpawnJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go a.Spin()
+}
+
+// SpawnOK spawns the function that honors its done channel.
+func SpawnOK(done chan struct{}) {
+	go a.Looper(done)
+}
+
+// SpawnRange ranges a channel: the sender's close ends the loop.
+func SpawnRange(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// SpawnBounded runs a conditional loop: bounded, clean.
+func SpawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}

@@ -1,0 +1,34 @@
+// Fixture for //lint:ignore edge cases: a directive deep inside nested
+// blocks, one directive naming several rules, block-scoping limits, and
+// a directive on the file's last line (see below).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// nested carries its directive inside a doubly-nested block: position,
+// not block depth, decides coverage.
+func nested(cond bool) time.Time {
+	if cond {
+		for i := 0; i < 3; i++ {
+			//lint:ignore walltime deep nesting must not hide the directive
+			_ = time.Now()
+		}
+	}
+	// The directive above covers only its own and the next line: this
+	// call stays a live finding.
+	return time.Now()
+}
+
+// multiRule suppresses two rules' findings on one line with a single
+// comma-separated directive.
+func multiRule() int64 {
+	//lint:ignore walltime,globalrand seeded replay fixture needs both on one line
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}
+
+// lastLine sits on the file's final line with a same-line directive:
+// nothing follows it, and suppression must still apply.
+func lastLine() time.Time { return time.Now() } //lint:ignore walltime directive on the final line of the file

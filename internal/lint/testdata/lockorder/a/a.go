@@ -1,0 +1,47 @@
+// Package a seeds the lock graph: an in-package two-mutex cycle on
+// Pair, and a Store whose Flush acquires locks that package b nests
+// under its own — the fact consumed across the package boundary.
+package a
+
+import "sync"
+
+// Pair takes its two mutexes in opposite orders on two paths: the
+// classic AB/BA deadlock.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+func (p *Pair) LockAB() {
+	p.A.Lock()
+	p.B.Lock() // want "lock-order cycle"
+	p.B.Unlock()
+	p.A.Unlock()
+}
+
+func (p *Pair) LockBA() {
+	p.B.Lock()
+	p.A.Lock()
+	p.A.Unlock()
+	p.B.Unlock()
+}
+
+// Store nests inner under Mu consistently — no cycle from this package
+// alone; package b closes the loop through Flush's exported fact.
+type Store struct {
+	Mu    sync.Mutex
+	inner sync.Mutex
+}
+
+func (s *Store) Flush() {
+	s.Mu.Lock()
+	s.inner.Lock()
+	s.inner.Unlock()
+	s.Mu.Unlock()
+}
+
+// Drain takes inner alone: a single lock is never an edge.
+func (s *Store) Drain() {
+	s.inner.Lock()
+	s.inner.Unlock()
+}

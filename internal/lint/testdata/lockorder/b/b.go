@@ -1,0 +1,37 @@
+// Package b closes a lock cycle across the package boundary: Refresh
+// holds Cache.mu while calling a.Store.Flush (whose fact says it takes
+// Store.Mu), and Evict holds Store.Mu while taking Cache.mu — opposite
+// orders, visible only with both packages' facts on the table.
+package b
+
+import (
+	"sync"
+
+	"fixture/lockorder/a"
+)
+
+type Cache struct {
+	mu sync.Mutex
+	st *a.Store
+}
+
+// Refresh: Cache.mu -> Store.Mu, through the call to Flush.
+func (c *Cache) Refresh() {
+	c.mu.Lock()
+	c.st.Flush()
+	c.mu.Unlock()
+}
+
+// Evict: Store.Mu -> Cache.mu, directly.
+func (c *Cache) Evict() {
+	c.st.Mu.Lock()
+	c.mu.Lock() // want "lock-order cycle"
+	c.mu.Unlock()
+	c.st.Mu.Unlock()
+}
+
+// Peek takes only its own lock: not part of any cycle.
+func (c *Cache) Peek() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}

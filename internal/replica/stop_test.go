@@ -1,0 +1,65 @@
+package replica
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcfail/internal/serve"
+)
+
+// TestStopJoinsSyncer pins the goroutine-ownership contract the
+// goroleak rule encodes: Stop severs the stream, waits for the catch-up
+// goroutine to exit, and no reconnect is ever attempted afterwards.
+func TestStopJoinsSyncer(t *testing.T) {
+	var dials atomic.Int64
+	dialed := make(chan struct{}, 1)
+	dial := func(addr string) (net.Conn, error) {
+		dials.Add(1)
+		select {
+		case dialed <- struct{}{}:
+		default:
+		}
+		client, server := net.Pipe()
+		// A silent primary: read and discard the subscribe request, send
+		// nothing back, so the syncer parks in its stream read.
+		go io.Copy(io.Discard, server)
+		return client, nil
+	}
+
+	st := serve.NewState(nil, 0)
+	s := NewSyncer(st, SyncerOptions{
+		Addr:     "test:0",
+		Dial:     dial,
+		RetryMin: 5 * time.Millisecond,
+		RetryMax: 10 * time.Millisecond,
+	})
+	s.Start()
+
+	select {
+	case <-dialed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("syncer never dialed the primary")
+	}
+
+	stopped := make(chan struct{})
+	go func() {
+		s.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not join the syncer goroutine")
+	}
+
+	// Joined means gone: many retry intervals after Stop, the dial count
+	// must not move — a live loop would be reconnecting.
+	n := dials.Load()
+	time.Sleep(60 * time.Millisecond)
+	if got := dials.Load(); got != n {
+		t.Fatalf("syncer kept reconnecting after Stop: %d dials grew to %d", n, got)
+	}
+}

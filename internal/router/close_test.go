@@ -1,0 +1,74 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingProbeTransport holds health probes open until released, so a
+// test can observe Close waiting on the health loop.
+type blockingProbeTransport struct {
+	started chan struct{}
+	release chan struct{}
+	probes  atomic.Int64
+}
+
+func (tr *blockingProbeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	tr.probes.Add(1)
+	select {
+	case tr.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-tr.release:
+	case <-req.Context().Done():
+	}
+	return nil, fmt.Errorf("probe held open by test")
+}
+
+// TestCloseJoinsHealthProber pins the goroutine-ownership contract the
+// goroleak rule encodes: Close does not return until the health-prober
+// goroutine has exited, and no probe ever fires after Close returns.
+func TestCloseJoinsHealthProber(t *testing.T) {
+	tr := &blockingProbeTransport{started: make(chan struct{}, 1), release: make(chan struct{})}
+	rt, err := New(Options{
+		Backends:      []string{"http://127.0.0.1:1"},
+		CheckInterval: 5 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		Client:        &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With a probe in flight, Close must block: the loop is mid-probe.
+	<-tr.started
+	closed := make(chan struct{})
+	go func() {
+		rt.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a health probe was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(tr.release)
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after the in-flight probe finished")
+	}
+
+	// Joined means gone: several check intervals after Close, the probe
+	// count must not move.
+	n := tr.probes.Load()
+	time.Sleep(40 * time.Millisecond)
+	if got := tr.probes.Load(); got != n {
+		t.Fatalf("health prober kept running after Close: %d probes grew to %d", n, got)
+	}
+}

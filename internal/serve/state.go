@@ -141,6 +141,7 @@ func NewState(census *core.Census, workers int) *State {
 		st.secStat[id] = &sectionRenderCounters{}
 	}
 	st.pred = predict.NewEngine(predict.Options{})
+	//lint:ignore epochpub epoch-0 bootstrap: the empty snapshot is installed before State escapes the constructor, so no reader can race it
 	st.cur.Store(st.newSnapshot(nil, 0, nil, time.Time{}))
 	return st
 }
