@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint lint-sarif tier1 tier2 serve-smoke chaos bench bench-serve bench-fold bench-predict benchall profile
+.PHONY: all build test race vet lint lint-sarif tier1 tier2 serve-smoke chaos bench bench-serve bench-fold bench-predict bench-ingest benchall profile
 
 all: tier1
 
@@ -84,6 +84,16 @@ bench-fold:
 # enforced at toy scale).
 bench-predict:
 	$(GO) test -run '^$$' -bench BenchmarkPredictUpdate -benchtime 1x -v -timeout 40m .
+
+# bench-ingest: binary ticket wire vs the legacy JSON-lines codec on
+# the collector→fold ingest path, plus cold start from a columnar
+# (.fotseg) archive vs JSON-segment replay; writes BENCH_ingest.json in
+# the repo root and fails if binary ingest drops under 1M tickets/s or
+# the cold-start speedup under 20x at paper scale. The CI smoke runs the
+# same benchmark with INGESTBENCH_PROFILE=small (report byte-identity
+# checked at every profile, gates not enforced at toy scale).
+bench-ingest:
+	$(GO) test -run '^$$' -bench BenchmarkIngestWire -benchtime 1x -v -timeout 40m .
 
 # benchall: the full per-table/per-figure benchmark sweep.
 benchall:

@@ -1,0 +1,288 @@
+package dcfail
+
+// Ingest-path benchmark for the binary ticket wire and the columnar
+// segment archive. Two gates, both enforced at paper scale:
+//
+//   - sustained collector→fold ingest of the binary wire (frame decode →
+//     batched ExtendTraceIndex folds, the serving tier's epoch regime)
+//     must hold at least 1M tickets/s;
+//   - cold start from a columnar (.fotseg) archive must replay at least
+//     20x faster than the same history as JSON-lines segments.
+//
+// Both codecs feed the identical fold chain, so the ratio isolates codec
+// cost. Before any timing, the trace is normalized through one JSON
+// round trip: RFC 3339 truncates sub-second timestamps, so this is the
+// exact image a JSON segment stores, and it makes the three report
+// sources (memory, JSON archive, binary archive) comparable. The run
+// then proves report.SerialReference byte-identical across all three —
+// at every profile, not just paper: a fast codec that changes the report
+// is a bug, not a win.
+//
+// `make bench-ingest` runs this at paper scale and writes
+// BENCH_ingest.json in the repo root. INGESTBENCH_PROFILE=small is the
+// CI smoke variant: same byte-identity proof, same artifact, seconds of
+// runtime, gates recorded but not enforced (toy scale does not amortize
+// per-batch index costs).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dcfail/internal/archive"
+	"dcfail/internal/core"
+	"dcfail/internal/fleetgen"
+	"dcfail/internal/fms"
+	"dcfail/internal/fot"
+	"dcfail/internal/report"
+	"dcfail/internal/wire"
+)
+
+// ingestFoldBatch mirrors fotqueryd's default -fold-batch.
+const ingestFoldBatch = 8192
+
+// foldChain is the shared consumer both codecs feed: accumulate decoded
+// tickets and fold every full batch into the extending trace index,
+// materializing columns, exactly as the serving tier's epoch folds do.
+type foldChain struct {
+	all []fot.Ticket
+	ix  *fot.TraceIndex
+}
+
+func (f *foldChain) push(t fot.Ticket) {
+	f.all = append(f.all, t)
+	if len(f.all)%ingestFoldBatch == 0 {
+		f.fold()
+	}
+}
+
+func (f *foldChain) fold() {
+	n := len(f.all)
+	f.ix = fot.ExtendTraceIndex(f.ix, fot.NewTrace(f.all[:n:n]))
+	f.ix.Cols()
+}
+
+func (f *foldChain) finish(b *testing.B, want int) {
+	if len(f.all)%ingestFoldBatch != 0 {
+		f.fold()
+	}
+	if len(f.all) != want {
+		b.Fatalf("fold chain consumed %d tickets, want %d", len(f.all), want)
+	}
+}
+
+// renderReference renders the full serial reference report over a trace.
+func renderReference(b *testing.B, tr *fot.Trace, cen *core.Census) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := report.SerialReference(&buf, tr, cen, nil); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// coldStart replays an archive directory from zero the way fotqueryd's
+// TailArchive does on boot, returning the replayed tickets and the time
+// the replay took.
+func coldStart(b *testing.B, dir string) ([]fot.Ticket, time.Duration) {
+	b.Helper()
+	f := archive.Follow(dir, archive.Position{})
+	start := time.Now()
+	tickets, err := f.Poll()
+	elapsed := time.Since(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tickets, elapsed
+}
+
+func BenchmarkIngestWire(b *testing.B) {
+	profileName := "paper"
+	var res *fms.Result
+	var cen *core.Census
+	if os.Getenv("INGESTBENCH_PROFILE") == "small" {
+		profileName = "small"
+		r, err := fms.Run(fleetgen.SmallProfile(), fms.DefaultConfig(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, cen = r, core.CensusFromFleet(r.Fleet)
+	} else {
+		res, cen = paperFixture(b)
+	}
+
+	// Normalize through one JSON round trip (see the file comment).
+	tickets := make([]fot.Ticket, res.Trace.Len())
+	for i, tk := range res.Trace.Tickets {
+		line, err := fot.MarshalJSONLine(tk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tickets[i], err = fot.UnmarshalJSONLine(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := len(tickets)
+
+	// Pre-encode the full history under both wire codecs, as a collector
+	// stream would deliver it.
+	enc := wire.NewEncoder()
+	var binStream []byte
+	var jsonStream []byte
+	for i := range tickets {
+		binStream = enc.AppendTicket(binStream, &tickets[i])
+		line, err := fot.MarshalJSONLine(tickets[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		jsonStream = append(jsonStream, line...)
+		jsonStream = append(jsonStream, '\n')
+	}
+
+	// Write the same history as a JSON archive and a binary (columnar)
+	// archive for the cold-start comparison.
+	norm := fot.NewTrace(tickets)
+	dirs := map[string]string{archive.CodecJSON: b.TempDir(), archive.CodecBinary: b.TempDir()}
+	for codec, dir := range dirs {
+		a, err := archive.OpenWith(dir, archive.Options{MaxPerSegment: 1 << 16, Codec: codec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.AppendTrace(norm); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var binIngestNS, jsonIngestNS, binColdNS, jsonColdNS int64
+	var binCold, jsonCold []fot.Ticket
+	for iter := 0; iter < b.N; iter++ {
+		// Binary wire ingest: frame decode feeding the fold chain.
+		runtime.GC()
+		chain := &foldChain{all: make([]fot.Ticket, 0, n)}
+		fr := wire.NewFrameReader(bytes.NewReader(binStream))
+		dec := wire.NewDecoder()
+		var t fot.Ticket
+		start := time.Now()
+		for {
+			kind, payload, err := fr.Next()
+			if err != nil {
+				break // io.EOF on the clean end of the stream
+			}
+			if kind != wire.KindTicket {
+				b.Fatalf("unexpected frame kind %d", kind)
+			}
+			if err := dec.DecodeTicketInto(payload, &t); err != nil {
+				b.Fatal(err)
+			}
+			chain.push(t)
+		}
+		chain.finish(b, n)
+		binIngestNS += int64(time.Since(start))
+
+		// JSON wire ingest: the legacy line-delimited codec feeding the
+		// identical fold chain.
+		runtime.GC()
+		chain = &foldChain{all: make([]fot.Ticket, 0, n)}
+		sc := bufio.NewScanner(bytes.NewReader(jsonStream))
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		start = time.Now()
+		for sc.Scan() {
+			t, err := fot.UnmarshalJSONLine(sc.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			chain.push(t)
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		chain.finish(b, n)
+		jsonIngestNS += int64(time.Since(start))
+
+		// Cold starts: replay each archive from zero.
+		runtime.GC()
+		var d time.Duration
+		binCold, d = coldStart(b, dirs[archive.CodecBinary])
+		binColdNS += int64(d)
+		runtime.GC()
+		jsonCold, d = coldStart(b, dirs[archive.CodecJSON])
+		jsonColdNS += int64(d)
+	}
+
+	// Byte identity across every source, at every profile: the serial
+	// reference report over the in-memory normalized trace, the JSON
+	// archive's replay, and the binary archive's replay must agree
+	// exactly.
+	if len(binCold) != n || len(jsonCold) != n {
+		b.Fatalf("cold starts replayed %d (binary) / %d (json) tickets, want %d", len(binCold), len(jsonCold), n)
+	}
+	wantReport := renderReference(b, norm, cen)
+	if got := renderReference(b, fot.NewTrace(binCold), cen); !bytes.Equal(got, wantReport) {
+		b.Fatal("report over binary-archive replay differs from in-memory trace")
+	}
+	if got := renderReference(b, fot.NewTrace(jsonCold), cen); !bytes.Equal(got, wantReport) {
+		b.Fatal("report over JSON-archive replay differs from in-memory trace")
+	}
+
+	iters := int64(b.N)
+	binRate := float64(n) * float64(iters) * 1e9 / float64(binIngestNS)
+	jsonRate := float64(n) * float64(iters) * 1e9 / float64(jsonIngestNS)
+	coldSpeedup := float64(jsonColdNS) / float64(binColdNS)
+	const rateGate = 1e6
+	const coldGate = 20.0
+	ratePass := binRate >= rateGate
+	coldPass := coldSpeedup >= coldGate
+	if profileName == "paper" {
+		if !ratePass {
+			b.Errorf("binary ingest %.0f tickets/s under the %.0f gate", binRate, rateGate)
+		}
+		if !coldPass {
+			b.Errorf("cold-start speedup %.1fx under the %.0fx gate (json %v, binary %v)",
+				coldSpeedup, coldGate, time.Duration(jsonColdNS/iters), time.Duration(binColdNS/iters))
+		}
+	}
+
+	doc := map[string]interface{}{
+		"benchmark":            "BenchmarkIngestWire",
+		"profile":              profileName,
+		"tickets":              n,
+		"fold_batch":           ingestFoldBatch,
+		"bin_stream_bytes":     len(binStream),
+		"json_stream_bytes":    len(jsonStream),
+		"bin_ingest_ns":        binIngestNS / iters,
+		"json_ingest_ns":       jsonIngestNS / iters,
+		"bin_tickets_per_sec":  binRate,
+		"json_tickets_per_sec": jsonRate,
+		"ingest_speedup":       binRate / jsonRate,
+		"bin_cold_ns":          binColdNS / iters,
+		"json_cold_ns":         jsonColdNS / iters,
+		"cold_speedup":         coldSpeedup,
+		"gates": []string{
+			fmt.Sprintf("binary ingest >= %.0f tickets/s at paper profile", rateGate),
+			fmt.Sprintf("cold-start speedup >= %.0fx at paper profile", coldGate),
+		},
+		"gate_pass":      ratePass && coldPass,
+		"byte_identical": true, // enforced above; a divergence aborts the run
+		"cores":          runtime.NumCPU(),
+		"go":             runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ingest.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("ingest: binary %.2fM tickets/s (json %.2fM, %.1fx smaller stream); cold start: binary %v vs json %v — %.1fx",
+		binRate/1e6, jsonRate/1e6, float64(len(jsonStream))/float64(len(binStream)),
+		time.Duration(binColdNS/iters), time.Duration(jsonColdNS/iters), coldSpeedup)
+}

@@ -48,14 +48,23 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "selftest generation seed")
 	limit := fs.Int("limit", 2000, "selftest: number of tickets to replay")
 	archiveDir := fs.String("archive", "", "archive collected tickets into this directory on shutdown")
+	archiveCodec := fs.String("archive-codec", archive.CodecBinary,
+		"archive segment codec: binary (columnar .fotseg, open-not-replay cold start) or json (line-delimited, debuggable with standard tools)")
 	walDir := fs.String("wal", "", "write-ahead log directory: append before ack, replay on start (crash safety)")
 	alertWindow := fs.Duration("alert-window", 3*time.Hour, "batch alert sliding window")
 	alertThreshold := fs.Int("alert-threshold", 20, "batch alert distinct-server threshold")
+	jsonOnly := fs.Bool("json-only", false, "refuse binary codec negotiation; every agent stream stays NL-JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *archiveCodec != archive.CodecBinary && *archiveCodec != archive.CodecJSON {
+		return fmt.Errorf("-archive-codec must be %q or %q", archive.CodecBinary, archive.CodecJSON)
+	}
 
-	collector, err := fmsnet.NewCollectorWith(*listen, fmsnet.CollectorOptions{WALDir: *walDir})
+	collector, err := fmsnet.NewCollectorWith(*listen, fmsnet.CollectorOptions{
+		WALDir:        *walDir,
+		DisableBinary: *jsonOnly,
+	})
 	if err != nil {
 		return err
 	}
@@ -79,7 +88,7 @@ func run(args []string) error {
 		if *archiveDir == "" {
 			return cerr
 		}
-		arch, err := archive.Open(*archiveDir, 0)
+		arch, err := archive.OpenWith(*archiveDir, archive.Options{Codec: *archiveCodec})
 		if err != nil {
 			return err
 		}

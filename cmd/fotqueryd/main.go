@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"dcfail/internal/archive"
+	"dcfail/internal/archive/segment"
 	"dcfail/internal/core"
 	"dcfail/internal/fleetgen"
 	"dcfail/internal/fms"
@@ -84,10 +85,11 @@ func run(args []string, w io.Writer) error {
 	listen := fs.String("listen", "127.0.0.1:7080", "HTTP listen address")
 	profileName := fs.String("profile", "small", "fleet profile for the census: small | paper")
 	seed := fs.Int64("seed", 1, "deterministic fleet seed (must match the trace's generator)")
-	tracePath := fs.String("trace", "", "serve a frozen trace file (csv or jsonl by extension)")
+	tracePath := fs.String("trace", "", "serve a frozen trace file (csv, jsonl, or fotseg by extension)")
 	archiveDir := fs.String("archive", "", "tail an fmsd archive directory for new tickets")
 	collectAddr := fs.String("collect", "", "run an embedded collector on this address and ingest its tickets")
 	syncAddr := fs.String("sync", "", "run as a read-only replica: follow this primary replication address")
+	syncCodec := fs.String("sync-codec", "binary", "replication stream codec: binary (negotiated, falls back) or json (forced legacy)")
 	replicateAddr := fs.String("replicate", "", "publish this daemon's epoch history to replicas on this address")
 	degradedAfter := fs.Duration("degraded-after", 0, "report /healthz degraded once source lag exceeds this; 0 = never")
 	subBuffer := fs.Int("sub-buffer", 4096, "collector subscription buffer; overflow is dropped and counted")
@@ -206,7 +208,7 @@ func run(args []string, w io.Writer) error {
 	if *syncAddr != "" {
 		// Replica mode: the syncer is the ticket source, and /healthz
 		// measures replication lag instead of pending-queue lag.
-		syncer = replica.NewSyncer(d.State(), replica.SyncerOptions{Addr: *syncAddr})
+		syncer = replica.NewSyncer(d.State(), replica.SyncerOptions{Addr: *syncAddr, Codec: *syncCodec})
 		d.SetLagProbe(syncer.Lag)
 		syncer.Start()
 		fmt.Fprintf(w, "fotqueryd: syncing from %s\n", *syncAddr)
@@ -422,6 +424,15 @@ func get(url string) ([]byte, error) {
 }
 
 func loadTrace(path string) (*fot.Trace, error) {
+	if strings.HasSuffix(path, ".fotseg") {
+		// A columnar archive segment: validated (footer + per-block CRCs)
+		// and decoded without replay.
+		tickets, _, err := segment.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		return fot.NewTrace(tickets), nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,22 +1,41 @@
 // Package archive implements the FMS ticket archive: the paper's
 // collector turns every closed FOT into an archived log entry (§VII-B).
-// The archive is an append-only store of JSON-lines segment files with a
-// sidecar time index per segment, so four years of tickets can be queried
-// by time range without scanning everything.
+// The archive is an append-only store of segment files with a sidecar
+// time index per segment, so four years of tickets can be queried by
+// time range without scanning everything.
 //
-// Layout inside the archive directory:
+// Two on-disk codecs exist. The default (CodecBinary) appends tickets
+// to a CRC-framed binary log (.fotlog, internal/wire frames) and
+// compacts it at rotation into an immutable columnar segment (.fotseg,
+// internal/archive/segment) whose CRC-validated footer makes cold start
+// "open + validate" instead of "reparse every line". CodecJSON keeps
+// the original JSON-lines segments for interoperability. A directory
+// may mix the two: readers dispatch on extension.
+//
+// Layout inside the archive directory (binary codec):
+//
+//	seg-000001.fotseg      immutable columnar segment (finalized)
+//	seg-000001.meta.json   {"count":N,"min_time":...,"max_time":...}
+//	seg-000002.fotlog      the open segment's append log (wire frames)
+//
+// and with CodecJSON:
 //
 //	seg-000001.jsonl       tickets, one JSON object per line
-//	seg-000001.meta.json   {"count":N,"min_time":...,"max_time":...}
-//	seg-000002.jsonl       ...
+//	seg-000001.meta.json   sidecar index
 //
-// The newest segment may lack a sidecar (crash before rotate); Open
-// rebuilds it by scanning that segment once.
+// Crash recovery on Open: a leftover .fotlog without a valid .fotseg is
+// re-finalized (its torn tail, if any, is discarded frame-exactly); a
+// .fotlog next to a valid .fotseg is a finalization that crashed after
+// the segment was durable, so the log is simply removed. Sidecars are a
+// rebuildable cache — a missing or corrupt sidecar is regenerated from
+// the segment, and for .fotseg segments the CRC'd footer is always
+// validated before a sidecar is trusted.
 package archive
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,20 +44,56 @@ import (
 	"sync"
 	"time"
 
+	"dcfail/internal/archive/segment"
 	"dcfail/internal/fot"
+	"dcfail/internal/wire"
 )
+
+// Codec names for Options.Codec.
+const (
+	// CodecBinary writes wire-framed logs compacted into columnar
+	// .fotseg segments (the default).
+	CodecBinary = "binary"
+	// CodecJSON writes the original JSON-lines segments.
+	CodecJSON = "json"
+)
+
+// Segment file extensions.
+const (
+	extJSON = ".jsonl"
+	extSeg  = ".fotseg"
+	extLog  = ".fotlog"
+)
+
+// Options configures OpenWith.
+type Options struct {
+	// MaxPerSegment sets the rotation threshold; 0 means
+	// DefaultSegmentSize.
+	MaxPerSegment int
+	// Codec selects the on-disk format for new segments (CodecBinary
+	// when empty). Existing segments of either codec are always read.
+	Codec string
+}
 
 // Archive is a segmented, append-only FOT store. It is safe for
 // concurrent use.
 type Archive struct {
 	dir           string
 	maxPerSegment int
+	codec         string
 
 	mu       sync.Mutex
 	segments []segmentMeta
 	current  *os.File
 	writer   *bufio.Writer
 	cur      segmentMeta
+	curLog   string // open .fotlog name (binary codec)
+
+	enc        *wire.Encoder // per-log symbol table (binary codec)
+	frame      []byte        // reused frame scratch (binary codec)
+	curTickets []fot.Ticket  // open segment contents (binary codec)
+
+	recoveredTorn int64
 }
 
 // segmentMeta is one segment's sidecar index.
@@ -52,20 +107,52 @@ type segmentMeta struct {
 // DefaultSegmentSize is the rotation threshold used when Open gets 0.
 const DefaultSegmentSize = 50000
 
-// Open opens (creating if needed) an archive directory. maxPerSegment
-// sets the rotation threshold; 0 means DefaultSegmentSize.
+// Open opens (creating if needed) an archive directory with the default
+// binary codec. maxPerSegment sets the rotation threshold; 0 means
+// DefaultSegmentSize.
 func Open(dir string, maxPerSegment int) (*Archive, error) {
-	if maxPerSegment <= 0 {
-		maxPerSegment = DefaultSegmentSize
+	return OpenWith(dir, Options{MaxPerSegment: maxPerSegment})
+}
+
+// OpenWith opens an archive with explicit options.
+func OpenWith(dir string, opts Options) (*Archive, error) {
+	max := opts.MaxPerSegment
+	if max <= 0 {
+		max = DefaultSegmentSize
+	}
+	codec := opts.Codec
+	if codec == "" {
+		codec = CodecBinary
+	}
+	if codec != CodecBinary && codec != CodecJSON {
+		return nil, fmt.Errorf("archive: unknown codec %q", opts.Codec)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: create dir: %w", err)
 	}
-	a := &Archive{dir: dir, maxPerSegment: maxPerSegment}
+	a := &Archive{dir: dir, maxPerSegment: max, codec: codec}
 	if err := a.loadSegments(); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// TornBytes reports how many bytes of torn binary-log tail Open
+// discarded while recovering unfinalized segments.
+func (a *Archive) TornBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.recoveredTorn
+}
+
+// baseName strips a segment file's data extension.
+func baseName(name string) string {
+	for _, ext := range []string{extJSON, extSeg, extLog} {
+		if strings.HasSuffix(name, ext) {
+			return strings.TrimSuffix(name, ext)
+		}
+	}
+	return name
 }
 
 func (a *Archive) loadSegments() error {
@@ -73,15 +160,57 @@ func (a *Archive) loadSegments() error {
 	if err != nil {
 		return fmt.Errorf("archive: read dir: %w", err)
 	}
-	var names []string
+	exts := make(map[string]map[string]bool)
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".jsonl") {
-			names = append(names, e.Name())
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") {
+			continue
+		}
+		for _, ext := range []string{extJSON, extSeg, extLog} {
+			if strings.HasSuffix(name, ext) {
+				base := baseName(name)
+				if exts[base] == nil {
+					exts[base] = make(map[string]bool)
+				}
+				exts[base][ext] = true
+			}
 		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		meta, err := a.loadOrRebuildMeta(name)
+	bases := make([]string, 0, len(exts))
+	for b := range exts {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		has := exts[base]
+		var meta segmentMeta
+		var err error
+		switch {
+		case has[extSeg]:
+			if has[extLog] {
+				// Finalization crashed. If the segment validates, it was
+				// durable before the crash and the log is redundant;
+				// otherwise the crash hit mid-Write and the log is the
+				// source of truth.
+				if _, verr := segment.ReadMeta(filepath.Join(a.dir, base+extSeg)); verr == nil {
+					if rerr := os.Remove(filepath.Join(a.dir, base+extLog)); rerr != nil {
+						return fmt.Errorf("archive: remove stale log: %w", rerr)
+					}
+				} else {
+					meta, err = a.recoverLog(base)
+					if err != nil {
+						return err
+					}
+					a.segments = append(a.segments, meta)
+					continue
+				}
+			}
+			meta, err = a.loadOrRebuildMeta(base + extSeg)
+		case has[extLog]:
+			meta, err = a.recoverLog(base)
+		default:
+			meta, err = a.loadOrRebuildMeta(base + extJSON)
+		}
 		if err != nil {
 			return err
 		}
@@ -90,25 +219,113 @@ func (a *Archive) loadSegments() error {
 	return nil
 }
 
+// recoverLog finalizes a leftover append log: its complete frames are
+// compacted into a .fotseg (any torn tail is discarded frame-exactly),
+// the sidecar is written, and the log removed.
+func (a *Archive) recoverLog(base string) (segmentMeta, error) {
+	logPath := filepath.Join(a.dir, base+extLog)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		return segmentMeta{}, fmt.Errorf("archive: read log %s: %w", logPath, err)
+	}
+	tickets, consumed, err := decodeLogFrames(raw)
+	if err != nil {
+		return segmentMeta{}, fmt.Errorf("archive: recover %s: %w", filepath.Base(logPath), err)
+	}
+	a.recoveredTorn += int64(len(raw) - consumed)
+	name := base + extSeg
+	smeta, err := segment.Write(filepath.Join(a.dir, name), tickets)
+	if err != nil {
+		return segmentMeta{}, err
+	}
+	meta := segmentMeta{Name: name, Count: smeta.Rows, MinTime: smeta.MinTime, MaxTime: smeta.MaxTime}
+	if err := a.writeMeta(meta); err != nil {
+		return segmentMeta{}, err
+	}
+	if err := os.Remove(logPath); err != nil {
+		return segmentMeta{}, fmt.Errorf("archive: remove recovered log: %w", err)
+	}
+	return meta, nil
+}
+
+// decodeLogFrames decodes the complete KindTicket frames at the front
+// of raw, returning the tickets and how many bytes they span. A torn
+// tail (truncated final frame) is not an error — recovery discards it.
+func decodeLogFrames(raw []byte) ([]fot.Ticket, int, error) {
+	dec := wire.NewDecoder()
+	var out []fot.Ticket
+	rest := raw
+	for len(rest) > 0 {
+		kind, payload, next, err := wire.DecodeFrame(rest)
+		if errors.Is(err, wire.ErrTruncated) {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if kind != wire.KindTicket {
+			return nil, 0, fmt.Errorf("archive: unexpected frame kind %d in log", kind)
+		}
+		t, err := dec.DecodeTicket(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, t)
+		rest = next
+	}
+	return out, len(raw) - len(rest), nil
+}
+
+// loadOrRebuildMeta returns the sidecar index for a finalized segment,
+// rebuilding it from the segment when missing or corrupt. For .fotseg
+// segments the CRC'd footer is validated even when the sidecar looks
+// fine — a sidecar must never vouch for bytes the segment cannot prove.
 func (a *Archive) loadOrRebuildMeta(name string) (segmentMeta, error) {
 	metaPath := filepath.Join(a.dir, metaName(name))
+	binary := strings.HasSuffix(name, extSeg)
 	raw, err := os.ReadFile(metaPath)
 	if err == nil {
 		var meta segmentMeta
 		if jerr := json.Unmarshal(raw, &meta); jerr == nil && meta.Name == name {
+			if !binary {
+				return meta, nil
+			}
+			smeta, verr := segment.ReadMeta(filepath.Join(a.dir, name))
+			if verr != nil {
+				return segmentMeta{}, fmt.Errorf("archive: segment %s fails validation: %w", name, verr)
+			}
+			if smeta.Rows == meta.Count {
+				return meta, nil
+			}
+			// Sidecar disagrees with the footer: the footer is CRC'd and
+			// authoritative, so rewrite the sidecar from it.
+			meta = segmentMeta{Name: name, Count: smeta.Rows, MinTime: smeta.MinTime, MaxTime: smeta.MaxTime}
+			if err := a.writeMeta(meta); err != nil {
+				return segmentMeta{}, err
+			}
 			return meta, nil
 		}
 		// Corrupt sidecar: fall through and rebuild.
 	} else if !os.IsNotExist(err) {
 		return segmentMeta{}, fmt.Errorf("archive: read meta %s: %w", metaPath, err)
 	}
-	tr, err := a.readSegment(name, time.Time{}, time.Time{})
-	if err != nil {
-		return segmentMeta{}, err
-	}
-	meta := segmentMeta{Name: name, Count: tr.Len()}
-	if lo, hi, ok := tr.Span(); ok {
-		meta.MinTime, meta.MaxTime = lo, hi
+	var meta segmentMeta
+	if binary {
+		// Full read validates every block CRC, not just the footer.
+		_, smeta, rerr := segment.Read(filepath.Join(a.dir, name))
+		if rerr != nil {
+			return segmentMeta{}, rerr
+		}
+		meta = segmentMeta{Name: name, Count: smeta.Rows, MinTime: smeta.MinTime, MaxTime: smeta.MaxTime}
+	} else {
+		tr, rerr := a.readSegment(name, time.Time{}, time.Time{})
+		if rerr != nil {
+			return segmentMeta{}, rerr
+		}
+		meta = segmentMeta{Name: name, Count: tr.Len()}
+		if lo, hi, ok := tr.Span(); ok {
+			meta.MinTime, meta.MaxTime = lo, hi
+		}
 	}
 	if err := a.writeMeta(meta); err != nil {
 		return segmentMeta{}, err
@@ -117,7 +334,7 @@ func (a *Archive) loadOrRebuildMeta(name string) (segmentMeta, error) {
 }
 
 func metaName(segName string) string {
-	return strings.TrimSuffix(segName, ".jsonl") + ".meta.json"
+	return baseName(segName) + ".meta.json"
 }
 
 func (a *Archive) writeMeta(meta segmentMeta) error {
@@ -138,10 +355,6 @@ func (a *Archive) Append(t fot.Ticket) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("archive: refusing invalid ticket: %w", err)
 	}
-	line, err := fot.MarshalJSONLine(t)
-	if err != nil {
-		return err
-	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.current == nil || a.cur.Count >= a.maxPerSegment {
@@ -149,11 +362,23 @@ func (a *Archive) Append(t fot.Ticket) error {
 			return err
 		}
 	}
-	if _, err := a.writer.Write(line); err != nil {
-		return fmt.Errorf("archive: append: %w", err)
-	}
-	if err := a.writer.WriteByte('\n'); err != nil {
-		return fmt.Errorf("archive: append: %w", err)
+	if a.codec == CodecBinary {
+		a.frame = a.enc.AppendTicket(a.frame[:0], &t)
+		if _, err := a.writer.Write(a.frame); err != nil {
+			return fmt.Errorf("archive: append: %w", err)
+		}
+		a.curTickets = append(a.curTickets, t)
+	} else {
+		line, err := fot.MarshalJSONLine(t)
+		if err != nil {
+			return err
+		}
+		if _, err := a.writer.Write(line); err != nil {
+			return fmt.Errorf("archive: append: %w", err)
+		}
+		if err := a.writer.WriteByte('\n'); err != nil {
+			return fmt.Errorf("archive: append: %w", err)
+		}
 	}
 	if a.cur.Count == 0 || t.Time.Before(a.cur.MinTime) {
 		a.cur.MinTime = t.Time
@@ -181,14 +406,23 @@ func (a *Archive) rotateLocked() error {
 		return err
 	}
 	seq := len(a.segments) + 1
-	name := fmt.Sprintf("seg-%06d.jsonl", seq)
-	f, err := os.OpenFile(filepath.Join(a.dir, name), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	var fileName string
+	if a.codec == CodecBinary {
+		fileName = fmt.Sprintf("seg-%06d%s", seq, extLog)
+		a.cur = segmentMeta{Name: fmt.Sprintf("seg-%06d%s", seq, extSeg)}
+		a.curLog = fileName
+		a.enc = wire.NewEncoder() // symbol table is per-log
+		a.curTickets = a.curTickets[:0]
+	} else {
+		fileName = fmt.Sprintf("seg-%06d%s", seq, extJSON)
+		a.cur = segmentMeta{Name: fileName}
+	}
+	f, err := os.OpenFile(filepath.Join(a.dir, fileName), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("archive: create segment: %w", err)
 	}
 	a.current = f
 	a.writer = bufio.NewWriter(f)
-	a.cur = segmentMeta{Name: name}
 	return nil
 }
 
@@ -207,9 +441,30 @@ func (a *Archive) closeCurrentLocked() error {
 	if err := a.current.Close(); err != nil {
 		return fmt.Errorf("archive: close segment: %w", err)
 	}
-	a.segments = append(a.segments, a.cur)
-	if err := a.writeMeta(a.cur); err != nil {
-		return err
+	if a.codec == CodecBinary {
+		// Compact the durable log into the immutable columnar segment
+		// (segment.Write fsyncs before returning), then write the sidecar
+		// and drop the log. A crash between any of these steps is healed
+		// by Open's recovery: the log is replayed or removed depending on
+		// whether the .fotseg validates.
+		if _, err := segment.Write(filepath.Join(a.dir, a.cur.Name), a.curTickets); err != nil {
+			return err
+		}
+		a.segments = append(a.segments, a.cur)
+		if err := a.writeMeta(a.cur); err != nil {
+			return err
+		}
+		if err := os.Remove(filepath.Join(a.dir, a.curLog)); err != nil {
+			return fmt.Errorf("archive: remove compacted log: %w", err)
+		}
+		a.curTickets = a.curTickets[:0]
+		a.curLog = ""
+		a.enc = nil
+	} else {
+		a.segments = append(a.segments, a.cur)
+		if err := a.writeMeta(a.cur); err != nil {
+			return err
+		}
 	}
 	a.current = nil
 	a.writer = nil
@@ -248,7 +503,8 @@ func (a *Archive) Segments() []string {
 // Query returns all archived tickets with from <= error_time < to,
 // skipping segments whose index proves they cannot match. Zero bounds
 // mean unbounded on that side. The open segment is flushed first so
-// queries see every appended ticket.
+// queries (and followers tailing the directory) see every appended
+// ticket.
 func (a *Archive) Query(from, to time.Time) (*fot.Trace, error) {
 	a.mu.Lock()
 	if a.writer != nil {
@@ -259,8 +515,17 @@ func (a *Archive) Query(from, to time.Time) (*fot.Trace, error) {
 	}
 	segs := make([]segmentMeta, len(a.segments))
 	copy(segs, a.segments)
+	var openTickets []fot.Ticket
 	if a.current != nil {
-		segs = append(segs, a.cur)
+		if a.codec == CodecBinary {
+			// The open binary segment is served from memory; the log on
+			// disk exists for crash recovery and followers.
+			if overlaps(a.cur, from, to) {
+				openTickets = append(openTickets, a.curTickets...)
+			}
+		} else {
+			segs = append(segs, a.cur)
+		}
 	}
 	a.mu.Unlock()
 
@@ -274,6 +539,11 @@ func (a *Archive) Query(from, to time.Time) (*fot.Trace, error) {
 			return nil, err
 		}
 		out = append(out, tr.Tickets...)
+	}
+	for _, t := range openTickets {
+		if inRange(t.Time, from, to) {
+			out = append(out, t)
+		}
 	}
 	trace := fot.NewTrace(out)
 	trace.SortByTime()
@@ -290,8 +560,30 @@ func overlaps(seg segmentMeta, from, to time.Time) bool {
 	return true
 }
 
-// readSegment loads one segment, filtering by time bounds (zero = open).
+func inRange(t, from, to time.Time) bool {
+	if !from.IsZero() && t.Before(from) {
+		return false
+	}
+	if !to.IsZero() && !t.Before(to) {
+		return false
+	}
+	return true
+}
+
+// readSegment loads one finalized segment, filtering by time bounds
+// (zero = open), dispatching on the on-disk codec.
 func (a *Archive) readSegment(name string, from, to time.Time) (*fot.Trace, error) {
+	if strings.HasSuffix(name, extSeg) {
+		tickets, _, err := segment.Read(filepath.Join(a.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		tr := fot.NewTrace(tickets)
+		if from.IsZero() && to.IsZero() {
+			return tr, nil
+		}
+		return tr.Filter(func(t fot.Ticket) bool { return inRange(t.Time, from, to) }), nil
+	}
 	f, err := os.Open(filepath.Join(a.dir, name))
 	if err != nil {
 		return nil, fmt.Errorf("archive: open segment: %w", err)
@@ -304,13 +596,5 @@ func (a *Archive) readSegment(name string, from, to time.Time) (*fot.Trace, erro
 	if from.IsZero() && to.IsZero() {
 		return tr, nil
 	}
-	return tr.Filter(func(t fot.Ticket) bool {
-		if !from.IsZero() && t.Time.Before(from) {
-			return false
-		}
-		if !to.IsZero() && !t.Time.Before(to) {
-			return false
-		}
-		return true
-	}), nil
+	return tr.Filter(func(t fot.Ticket) bool { return inRange(t.Time, from, to) }), nil
 }

@@ -1,0 +1,338 @@
+package archive
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dcfail/internal/archive/segment"
+	"dcfail/internal/fot"
+	"dcfail/internal/wire"
+)
+
+func TestBinaryArchiveWritesColumnarSegments(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 5) // binary is the default codec
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 12; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := a.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %v, want 3", segs)
+	}
+	for _, s := range segs {
+		if !strings.HasSuffix(s, ".fotseg") {
+			t.Fatalf("binary archive produced non-columnar segment %s", s)
+		}
+	}
+	// Logs are compacted away after finalization.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".fotlog") {
+			t.Fatalf("leftover log %s after clean close", e.Name())
+		}
+	}
+	all, err := a.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 12 {
+		t.Fatalf("query all = %d, want 12", all.Len())
+	}
+}
+
+// TestTornBinaryTailRecovery mirrors the WAL/JSON torn-tail tests for
+// the binary log: a crash mid-frame must come back with every complete
+// frame intact and the torn tail discarded frame-exactly.
+func TestTornBinaryTailRecovery(t *testing.T) {
+	writerDir := t.TempDir()
+	a, err := Open(writerDir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 7; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush the log to disk the way a query would, then "crash": copy the
+	// log with its final frame cut in half into a fresh directory.
+	if _, err := a.Query(time.Time{}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(writerDir, "seg-000001.fotlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashDir := t.TempDir()
+	torn := raw[:len(raw)-3]
+	if err := os.WriteFile(filepath.Join(crashDir, "seg-000001.fotlog"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(crashDir, 100)
+	if err != nil {
+		t.Fatalf("open after torn crash: %v", err)
+	}
+	if got := b.Count(); got != 6 {
+		t.Fatalf("recovered count = %d, want 6 (torn 7th frame dropped)", got)
+	}
+	if b.TornBytes() == 0 {
+		t.Fatal("recovery did not report torn bytes")
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, "seg-000001.fotseg")); err != nil {
+		t.Fatalf("recovered segment not finalized: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, "seg-000001.fotlog")); !os.IsNotExist(err) {
+		t.Fatalf("recovered log not removed: %v", err)
+	}
+	// The recovered archive keeps working: appends land in a new segment
+	// and queries see everything.
+	if err := b.Append(ticket(8, 8*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := b.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 7 {
+		t.Fatalf("query after recovery = %d, want 7", all.Len())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleLogNextToValidSegmentIsRemoved covers the other crash
+// window: finalization wrote and fsynced the .fotseg but crashed before
+// removing the log. Open must trust the validated segment and drop the
+// log without double-counting.
+func TestStaleLogNextToValidSegmentIsRemoved(t *testing.T) {
+	dir := t.TempDir()
+	tickets := []fot.Ticket{ticket(1, time.Hour), ticket(2, 2*time.Hour)}
+	if _, err := segment.Write(filepath.Join(dir, "seg-000001.fotseg"), tickets); err != nil {
+		t.Fatal(err)
+	}
+	enc := wire.NewEncoder()
+	var log []byte
+	for i := range tickets {
+		log = enc.AppendTicket(log, &tickets[i])
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.fotlog"), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-000001.fotlog")); !os.IsNotExist(err) {
+		t.Fatalf("stale log survived open: %v", err)
+	}
+}
+
+// TestOpenValidatesSegmentFooters is the sidecar-rebuild fix: a valid
+// sidecar must not make Open trust a segment whose CRC'd footer no
+// longer checks out, and a rebuild without a sidecar must fail on
+// block-level corruption too.
+func TestOpenValidatesSegmentFooters(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, "seg-000001.fotseg")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the footer while the sidecar still looks fine.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-6] ^= 0xff
+	if err := os.WriteFile(seg, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 2); !errors.Is(err, segment.ErrCorrupt) {
+		t.Fatalf("open trusted a sidecar over a corrupt footer: %v", err)
+	}
+
+	// Restore the footer but corrupt a column block, and delete the
+	// sidecar: the rebuild path reads the full segment and must catch it.
+	bad = append([]byte(nil), raw...)
+	bad[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(seg, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "seg-000001.meta.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 2); !errors.Is(err, segment.ErrCorrupt) {
+		t.Fatalf("meta rebuild trusted corrupt segment bytes: %v", err)
+	}
+}
+
+// TestFollowerLeavesTornBinaryTailForNextPoll mirrors the JSON torn-tail
+// follower test over a live binary log.
+func TestFollowerLeavesTornBinaryTailForNextPoll(t *testing.T) {
+	dir := t.TempDir()
+	enc := wire.NewEncoder()
+	t1, t2 := ticket(1, time.Hour), ticket(2, 2*time.Hour)
+	frame1 := enc.AppendTicket(nil, &t1)
+	frame2 := enc.AppendTicket(nil, &t2)
+	half := len(frame2) / 2
+	log := filepath.Join(dir, "seg-000001.fotlog")
+	if err := os.WriteFile(log, append(append([]byte(nil), frame1...), frame2[:half]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := Follow(dir, Position{})
+	if ids := drainIDs(t, f); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("poll with torn binary tail = %v, want [1]", ids)
+	}
+
+	fh, err := os.OpenFile(log, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(frame2[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ids := drainIDs(t, f); len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("poll after binary tail completed = %v, want [2]", ids)
+	}
+}
+
+// TestFollowerResumesAcrossCompactionWithTornTail is the binary twin of
+// the JSON across-roll torn-tail test, with the extra wrinkle that the
+// segment changes file name when the log is compacted: a follower
+// persisted mid-log must resume exactly after its offset inside the
+// compacted .fotseg, then pick up the next segment.
+func TestFollowerResumesAcrossCompactionWithTornTail(t *testing.T) {
+	dir := t.TempDir()
+	enc := wire.NewEncoder()
+	t1, t2 := ticket(1, time.Hour), ticket(2, 2*time.Hour)
+	frame1 := enc.AppendTicket(nil, &t1)
+	frame2 := enc.AppendTicket(nil, &t2)
+	half := len(frame2) / 2
+	log := filepath.Join(dir, "seg-000001.fotlog")
+	if err := os.WriteFile(log, append(append([]byte(nil), frame1...), frame2[:half]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := Follow(dir, Position{})
+	if ids := drainIDs(t, f); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("poll with torn tail = %v, want [1]", ids)
+	}
+	pos := f.Pos()
+	if pos.Segment != "seg-000001.fotlog" || pos.Offset != 1 {
+		t.Fatalf("persisted position = %+v, want seg-000001.fotlog/1", pos)
+	}
+
+	// The writer recovers: the log is completed and compacted into its
+	// columnar segment, and a second (already finalized) segment appears.
+	if _, err := segment.Write(filepath.Join(dir, "seg-000001.fotseg"), []fot.Ticket{t1, t2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(log); err != nil {
+		t.Fatal(err)
+	}
+	t3, t4 := ticket(3, 3*time.Hour), ticket(4, 4*time.Hour)
+	if _, err := segment.Write(filepath.Join(dir, "seg-000002.fotseg"), []fot.Ticket{t3, t4}); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := Follow(dir, pos)
+	ids := drainIDs(t, f2)
+	if len(ids) != 3 || ids[0] != 2 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("resumed poll across compaction = %v, want [2 3 4]", ids)
+	}
+	if got := f2.Pos(); got.Segment != "seg-000002.fotseg" || got.Offset != 2 {
+		t.Fatalf("position after compaction = %+v, want seg-000002.fotseg/2", got)
+	}
+	if ids := drainIDs(t, f2); len(ids) != 0 {
+		t.Fatalf("drained archive still yields %v", ids)
+	}
+}
+
+// TestMixedCodecDirectory proves an old JSON archive keeps working when
+// reopened with the binary default: old segments stay readable, new
+// ones are columnar, and queries span both.
+func TestMixedCodecDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenWith(dir, Options{MaxPerSegment: 3, Codec: CodecJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		if err := a.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dir, 3) // binary default
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(7); i <= 9; i++ {
+		if err := b.Append(ticket(i, time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := b.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 9 {
+		t.Fatalf("mixed query = %d, want 9", all.Len())
+	}
+	for i, tk := range all.Tickets {
+		if tk.ID != uint64(i+1) {
+			t.Fatalf("mixed query order: %v", all.Tickets)
+		}
+	}
+	segs := b.Segments()
+	if len(segs) != 3 || !strings.HasSuffix(segs[0], ".jsonl") || !strings.HasSuffix(segs[2], ".fotseg") {
+		t.Fatalf("segments = %v", segs)
+	}
+
+	// A follower over the mixed directory sees one coherent stream.
+	fw := Follow(dir, Position{})
+	ids := drainIDs(t, fw)
+	if len(ids) != 9 {
+		t.Fatalf("mixed follow = %v", ids)
+	}
+}

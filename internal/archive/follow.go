@@ -9,13 +9,20 @@ import (
 	"sort"
 	"strings"
 
+	"dcfail/internal/archive/segment"
 	"dcfail/internal/fot"
 )
 
 // Position records how far a Follower has consumed an archive: the name
-// of the segment it is inside and the number of tickets already read from
-// it. Segments are consumed strictly in name order, so (segment, offset)
-// is a total resume point. The zero value means "start of the archive".
+// of the segment file it is inside and the number of tickets already
+// read from it. Segments are consumed strictly in base-name order, so
+// (segment, offset) is a total resume point. The zero value means
+// "start of the archive".
+//
+// A binary segment changes file name when its append log (.fotlog) is
+// compacted into the immutable .fotseg: the base name and the ticket
+// order are identical, so a persisted offset carries over — Followers
+// compare positions by base name, not by file name.
 type Position struct {
 	Segment string `json:"segment"`
 	Offset  int    `json:"offset"` // tickets consumed from Segment
@@ -26,11 +33,14 @@ type Position struct {
 // every ticket appended since the previous Poll, in archive order,
 // resuming across segment rolls: a segment that was partially read last
 // time is re-opened and the already-consumed prefix skipped, and newly
-// appeared segments are picked up in name order. A Follower never holds
+// appeared segments are picked up in name order. Both archive codecs
+// are tailed transparently — JSON-lines segments, live binary logs
+// (torn trailing frames deferred to the next poll, exactly like torn
+// JSON lines), and finalized columnar segments. A Follower never holds
 // files open between polls, so the writer may rotate freely.
 //
-// A Follower is not safe for concurrent use; wrap it in the caller's own
-// synchronization if multiple goroutines poll.
+// A Follower is not safe for concurrent use; wrap it in the caller's
+// own synchronization if multiple goroutines poll.
 type Follower struct {
 	dir string
 	pos Position
@@ -49,25 +59,27 @@ func Follow(dir string, pos Position) *Follower {
 func (f *Follower) Pos() Position { return f.pos }
 
 // Poll returns the tickets appended since the last Poll (nil when there
-// is nothing new). The final, possibly still-growing segment is read too:
-// tickets are returned as soon as their full line is on disk, and the
-// next Poll continues after them whether or not the segment has been
-// finalized with a sidecar since.
+// is nothing new). The final, possibly still-growing segment is read
+// too: tickets are returned as soon as their full line or frame is on
+// disk, and the next Poll continues after them whether or not the
+// segment has been finalized since.
 func (f *Follower) Poll() ([]fot.Ticket, error) {
 	names, err := f.segmentNames()
 	if err != nil {
 		return nil, err
 	}
+	posBase := baseName(f.pos.Segment)
 	var out []fot.Ticket
 	for _, name := range names {
-		if name < f.pos.Segment {
+		base := baseName(name)
+		if f.pos.Segment != "" && base < posBase {
 			continue // fully consumed in an earlier poll
 		}
 		skip := 0
-		if name == f.pos.Segment {
+		if base == posBase {
 			skip = f.pos.Offset
 		}
-		tickets, err := readSegmentLines(filepath.Join(f.dir, name), skip)
+		tickets, err := readSegmentTickets(filepath.Join(f.dir, name), skip)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +89,10 @@ func (f *Follower) Poll() ([]fot.Ticket, error) {
 	return out, nil
 }
 
-// segmentNames lists the archive's segment files in consumption order.
+// segmentNames lists the archive's segment files in consumption order,
+// one file per segment: when a base name exists both as a leftover
+// .fotlog and its compacted .fotseg, the finalized segment wins (it is
+// a complete superset of the log).
 func (f *Follower) segmentNames() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if os.IsNotExist(err) {
@@ -86,19 +101,89 @@ func (f *Follower) segmentNames() ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("archive: follow read dir: %w", err)
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".jsonl") {
-			names = append(names, e.Name())
+	best := make(map[string]string)
+	rank := func(name string) int {
+		switch {
+		case strings.HasSuffix(name, extSeg):
+			return 2
+		case strings.HasSuffix(name, extJSON):
+			return 1
+		default:
+			return 0
 		}
 	}
-	sort.Strings(names)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") {
+			continue
+		}
+		if !strings.HasSuffix(name, extJSON) && !strings.HasSuffix(name, extSeg) && !strings.HasSuffix(name, extLog) {
+			continue
+		}
+		base := baseName(name)
+		if cur, ok := best[base]; !ok || rank(name) > rank(cur) {
+			best[base] = name
+		}
+	}
+	bases := make([]string, 0, len(best))
+	for b := range best {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	names := make([]string, 0, len(bases))
+	for _, b := range bases {
+		names = append(names, best[b])
+	}
 	return names, nil
 }
 
-// readSegmentLines reads a segment, skipping the first skip tickets. A
-// trailing line without a newline is left for the next poll: the writer
-// may still be in the middle of it.
+// readSegmentTickets reads one segment file, skipping the first skip
+// tickets, dispatching on the on-disk codec.
+func readSegmentTickets(path string, skip int) ([]fot.Ticket, error) {
+	switch {
+	case strings.HasSuffix(path, extSeg):
+		tickets, _, err := segment.Read(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, nil // raced with the writer; retry next poll
+			}
+			return nil, err
+		}
+		if skip >= len(tickets) {
+			return nil, nil
+		}
+		return tickets[skip:], nil
+	case strings.HasSuffix(path, extLog):
+		return readLogFrames(path, skip)
+	default:
+		return readSegmentLines(path, skip)
+	}
+}
+
+// readLogFrames tails a live binary append log. A torn trailing frame
+// (the writer is mid-append, or crashed mid-frame) is left for a later
+// poll — or for Open's recovery, which discards it frame-exactly.
+func readLogFrames(path string, skip int) ([]fot.Ticket, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // compacted away between ReadDir and here
+		}
+		return nil, fmt.Errorf("archive: follow open log: %w", err)
+	}
+	tickets, _, err := decodeLogFrames(raw)
+	if err != nil {
+		return nil, fmt.Errorf("archive: follow %s: %w", filepath.Base(path), err)
+	}
+	if skip >= len(tickets) {
+		return nil, nil
+	}
+	return tickets[skip:], nil
+}
+
+// readSegmentLines reads a JSON segment, skipping the first skip
+// tickets. A trailing line without a newline is left for the next poll:
+// the writer may still be in the middle of it.
 func readSegmentLines(path string, skip int) ([]fot.Ticket, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {

@@ -96,7 +96,9 @@ func TestFollowerTailsAcrossSegmentRoll(t *testing.T) {
 
 func TestFollowerLeavesTornTailForNextPoll(t *testing.T) {
 	dir := t.TempDir()
-	a, err := Open(dir, 100)
+	// This test hand-appends raw JSON to the segment file, so pin the
+	// writer to the JSON codec; the binary mirror lives in binary_test.go.
+	a, err := OpenWith(dir, Options{MaxPerSegment: 100, Codec: CodecJSON})
 	if err != nil {
 		t.Fatal(err)
 	}

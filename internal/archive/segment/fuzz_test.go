@@ -1,0 +1,27 @@
+package segment
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeSegment drives the segment decoder with arbitrary bytes:
+// it must never panic, and every rejection must be a typed error.
+func FuzzDecodeSegment(f *testing.F) {
+	for _, n := range []int{0, 1, 5, 40} {
+		data, _, err := Encode(testTickets(n))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, err := Decode(data)
+		if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped error: %v", err)
+		}
+	})
+}

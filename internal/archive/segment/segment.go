@@ -1,0 +1,555 @@
+// Package segment implements the archive's immutable columnar on-disk
+// segment format (.fotseg): one file per rotation, holding the segment's
+// tickets decomposed into fixed-width column blocks plus one string
+// table, mirroring the in-memory fot.Columns layout so a cold start is
+// "open + validate" instead of "reparse every JSON line".
+//
+// # File layout
+//
+// All integers are little-endian. The file is:
+//
+//	offset  size  field
+//	0       8     magic "FOTSEG1\n"
+//	8       ...   column blocks, back to back
+//	EOF-32  32    footer
+//
+// Each block is:
+//
+//	offset  size  field
+//	0       1     block id (blk* constant)
+//	1       4     data length, uint32
+//	5       n     data
+//	5+n     4     CRC-32 (IEEE) of data, uint32
+//
+// The footer is:
+//
+//	offset  size  field
+//	0       4     row count, uint32
+//	4       4     block count, uint32
+//	8       8     min error_time, int64 unix-nanos
+//	16      8     max error_time, int64 unix-nanos
+//	24      4     CRC-32 (IEEE) of footer bytes 0..24, uint32
+//	28      4     trailer magic "FSEG"
+//
+// Column blocks (one value per row, fixed width, so a reader can mmap
+// the file and address row i of any column directly):
+//
+//	id  column        width  encoding
+//	1   error_time    8      int64 unix-nanos
+//	2   ticket id     8      uint64
+//	3   host id       8      uint64
+//	4   device        1      Component code
+//	5   category      1      Category code
+//	6   action        1      Action code
+//	7   position      4      int32
+//	8   op_time       8      int64 unix-nanos, MinInt64 = unset
+//	9   deploy_time   8      int64 unix-nanos, MinInt64 = unset
+//	10  string table  —      uvarint count, then per string uvarint len + bytes
+//	11+ symbol cols   4      uint32 index into the string table, in field
+//	                         order hostname, idc, rack, slot, type, detail,
+//	                         operator, product_line, model (ids 11..19)
+//
+// # Versioning
+//
+// The magic byte '1' is the format version; an incompatible layout
+// change bumps it and old readers reject the file cleanly. Readers skip
+// unknown block ids (after checking their CRC), so new optional columns
+// can be added without a version bump.
+//
+// # Integrity
+//
+// Decode validates the header magic, the footer magic and CRC, and
+// every block CRC before materializing a single ticket; ReadMeta
+// validates just the header and footer — the cheap "open + validate"
+// path the archive uses on startup. Corruption anywhere is a typed
+// error (ErrTruncated for a short file, ErrCorrupt otherwise), never a
+// panic.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// magic identifies a v1 segment file.
+const magic = "FOTSEG1\n"
+
+// trailerMagic ends the footer, catching truncation cheaply.
+const trailerMagic = 0x47455346 // "FSEG" little-endian
+
+// footerSize is the fixed footer length.
+const footerSize = 32
+
+// noTimeNS is the column sentinel for a zero time.Time, matching the
+// wire codec's choice (math.MinInt64 is outside time.Time's unix-nano
+// range).
+const noTimeNS = math.MinInt64
+
+// Block ids.
+const (
+	blkTime       = 1
+	blkID         = 2
+	blkHost       = 3
+	blkDevice     = 4
+	blkCategory   = 5
+	blkAction     = 6
+	blkPosition   = 7
+	blkOpTime     = 8
+	blkDeployTime = 9
+	blkStrings    = 10
+	blkHostname   = 11
+	blkIDC        = 12
+	blkRack       = 13
+	blkSlot       = 14
+	blkType       = 15
+	blkDetail     = 16
+	blkOperator   = 17
+	blkLine       = 18
+	blkModel      = 19
+)
+
+// symbolBlocks maps block id to ticket string field, in file order.
+var symbolBlocks = [...]int{blkHostname, blkIDC, blkRack, blkSlot, blkType, blkDetail, blkOperator, blkLine, blkModel}
+
+// Typed errors, classified with errors.Is.
+var (
+	// ErrTruncated marks a file shorter than its structure declares.
+	ErrTruncated = errors.New("segment: truncated file")
+	// ErrCorrupt marks a magic, CRC, or structural mismatch.
+	ErrCorrupt = errors.New("segment: corrupt file")
+)
+
+// Meta is a segment's self-describing index: what the archive sidecar
+// caches and the footer makes authoritative.
+type Meta struct {
+	Rows    int
+	MinTime time.Time
+	MaxTime time.Time
+}
+
+func timeNS(t time.Time) int64 {
+	if t.IsZero() {
+		return noTimeNS
+	}
+	return t.UnixNano()
+}
+
+func nsTime(ns int64) time.Time {
+	if ns == noTimeNS {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// appendBlock wraps data in a block envelope.
+func appendBlock(dst []byte, id byte, data []byte) []byte {
+	dst = append(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(data)))
+	dst = append(dst, data...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(data))
+}
+
+// Encode serializes tickets into segment-file bytes.
+func Encode(tickets []fot.Ticket) ([]byte, Meta, error) {
+	if len(tickets) >= math.MaxUint32 {
+		return nil, Meta{}, fmt.Errorf("segment: %d rows exceed format capacity", len(tickets))
+	}
+	meta := Meta{Rows: len(tickets)}
+	for i := range tickets {
+		tm := tickets[i].Time
+		if i == 0 || tm.Before(meta.MinTime) {
+			meta.MinTime = tm
+		}
+		if i == 0 || tm.After(meta.MaxTime) {
+			meta.MaxTime = tm
+		}
+	}
+
+	// Intern the nine string fields into one table, first-seen order.
+	symIDs := make(map[string]uint32)
+	var symList []string
+	intern := func(s string) uint32 {
+		if id, ok := symIDs[s]; ok {
+			return id
+		}
+		id := uint32(len(symList))
+		symIDs[s] = id
+		symList = append(symList, s)
+		return id
+	}
+
+	n := len(tickets)
+	i64s := make([]byte, 0, 8*n)
+	out := append(make([]byte, 0, 64*n+len(magic)+footerSize), magic...)
+	blocks := 0
+
+	appendI64Block := func(id byte, get func(*fot.Ticket) int64) {
+		i64s = i64s[:0]
+		for i := range tickets {
+			i64s = binary.LittleEndian.AppendUint64(i64s, uint64(get(&tickets[i])))
+		}
+		out = appendBlock(out, id, i64s)
+		blocks++
+	}
+	appendU8Block := func(id byte, get func(*fot.Ticket) byte) {
+		i64s = i64s[:0]
+		for i := range tickets {
+			i64s = append(i64s, get(&tickets[i]))
+		}
+		out = appendBlock(out, id, i64s)
+		blocks++
+	}
+	appendU32Block := func(id byte, get func(*fot.Ticket) uint32) {
+		i64s = i64s[:0]
+		for i := range tickets {
+			i64s = binary.LittleEndian.AppendUint32(i64s, get(&tickets[i]))
+		}
+		out = appendBlock(out, id, i64s)
+		blocks++
+	}
+
+	appendI64Block(blkTime, func(t *fot.Ticket) int64 { return timeNS(t.Time) })
+	appendI64Block(blkID, func(t *fot.Ticket) int64 { return int64(t.ID) })
+	appendI64Block(blkHost, func(t *fot.Ticket) int64 { return int64(t.HostID) })
+	appendU8Block(blkDevice, func(t *fot.Ticket) byte { return byte(t.Device) })
+	appendU8Block(blkCategory, func(t *fot.Ticket) byte { return byte(t.Category) })
+	appendU8Block(blkAction, func(t *fot.Ticket) byte { return byte(t.Action) })
+	appendU32Block(blkPosition, func(t *fot.Ticket) uint32 { return uint32(int32(t.Position)) })
+	appendI64Block(blkOpTime, func(t *fot.Ticket) int64 { return timeNS(t.OpTime) })
+	appendI64Block(blkDeployTime, func(t *fot.Ticket) int64 { return timeNS(t.DeployTime) })
+
+	// Symbol columns must intern before the table block is emitted, so
+	// build them first, then splice the table ahead of them in id order.
+	symCols := make([][]byte, len(symbolBlocks))
+	field := func(t *fot.Ticket, which int) string {
+		switch which {
+		case blkHostname:
+			return t.Hostname
+		case blkIDC:
+			return t.IDC
+		case blkRack:
+			return t.Rack
+		case blkSlot:
+			return t.Slot
+		case blkType:
+			return t.Type
+		case blkDetail:
+			return t.Detail
+		case blkOperator:
+			return t.Operator
+		case blkLine:
+			return t.ProductLine
+		default:
+			return t.Model
+		}
+	}
+	for ci, id := range symbolBlocks {
+		col := make([]byte, 0, 4*n)
+		for i := range tickets {
+			col = binary.LittleEndian.AppendUint32(col, intern(field(&tickets[i], id)))
+		}
+		symCols[ci] = col
+	}
+	var table []byte
+	table = binary.AppendUvarint(table, uint64(len(symList)))
+	for _, s := range symList {
+		table = binary.AppendUvarint(table, uint64(len(s)))
+		table = append(table, s...)
+	}
+	out = appendBlock(out, blkStrings, table)
+	blocks++
+	for ci, id := range symbolBlocks {
+		out = appendBlock(out, byte(id), symCols[ci])
+		blocks++
+	}
+
+	// Footer.
+	foot := make([]byte, 0, footerSize)
+	foot = binary.LittleEndian.AppendUint32(foot, uint32(n))
+	foot = binary.LittleEndian.AppendUint32(foot, uint32(blocks))
+	foot = binary.LittleEndian.AppendUint64(foot, uint64(timeNS(meta.MinTime)))
+	foot = binary.LittleEndian.AppendUint64(foot, uint64(timeNS(meta.MaxTime)))
+	foot = binary.LittleEndian.AppendUint32(foot, crc32.ChecksumIEEE(foot))
+	foot = binary.LittleEndian.AppendUint32(foot, trailerMagic)
+	out = append(out, foot...)
+	return out, meta, nil
+}
+
+// Write encodes tickets and writes them to path, fsyncing before Close
+// so the segment is durable before any sidecar that references it is
+// written (the archive's fsync-before-sidecar contract). An existing
+// file at path is replaced — the torn-recovery path re-finalizes a
+// segment whose previous finalization crashed midway.
+func Write(path string, tickets []fot.Ticket) (Meta, error) {
+	buf, meta, err := Encode(tickets)
+	if err != nil {
+		return Meta{}, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		//lint:ignore errdrop the write error is what matters; close of a failed fd is best-effort cleanup
+		f.Close()
+		return Meta{}, fmt.Errorf("segment: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync error is what matters; close of a failed fd is best-effort cleanup
+		f.Close()
+		return Meta{}, fmt.Errorf("segment: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return Meta{}, fmt.Errorf("segment: close: %w", err)
+	}
+	return meta, nil
+}
+
+// parseFooter validates the trailer magic and footer CRC of data and
+// returns the declared row and block counts plus the time span.
+func parseFooter(data []byte) (rows, blocks int, meta Meta, err error) {
+	if len(data) < len(magic)+footerSize {
+		return 0, 0, Meta{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return 0, 0, Meta{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	foot := data[len(data)-footerSize:]
+	if binary.LittleEndian.Uint32(foot[28:]) != trailerMagic {
+		return 0, 0, Meta{}, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(foot[:24]) != binary.LittleEndian.Uint32(foot[24:28]) {
+		return 0, 0, Meta{}, fmt.Errorf("%w: footer CRC mismatch", ErrCorrupt)
+	}
+	rows = int(binary.LittleEndian.Uint32(foot[0:4]))
+	blocks = int(binary.LittleEndian.Uint32(foot[4:8]))
+	meta = Meta{
+		Rows:    rows,
+		MinTime: nsTime(int64(binary.LittleEndian.Uint64(foot[8:16]))),
+		MaxTime: nsTime(int64(binary.LittleEndian.Uint64(foot[16:24]))),
+	}
+	return rows, blocks, meta, nil
+}
+
+// Decode materializes the tickets of a segment file image, validating
+// header, footer, and every block CRC first.
+func Decode(data []byte) ([]fot.Ticket, Meta, error) {
+	rows, blockCount, meta, err := parseFooter(data)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	body := data[len(magic) : len(data)-footerSize]
+	cols := make(map[byte][]byte, blockCount)
+	seen := 0
+	for pos := 0; pos < len(body); {
+		if len(body)-pos < 5 {
+			return nil, Meta{}, fmt.Errorf("%w: short block header", ErrTruncated)
+		}
+		id := body[pos]
+		n := binary.LittleEndian.Uint32(body[pos+1 : pos+5])
+		pos += 5
+		if uint32(len(body)-pos) < n+4 {
+			return nil, Meta{}, fmt.Errorf("%w: block %d overruns file", ErrTruncated, id)
+		}
+		blockData := body[pos : pos+int(n)]
+		pos += int(n)
+		if crc32.ChecksumIEEE(blockData) != binary.LittleEndian.Uint32(body[pos:pos+4]) {
+			return nil, Meta{}, fmt.Errorf("%w: block %d CRC mismatch", ErrCorrupt, id)
+		}
+		pos += 4
+		seen++
+		if _, dup := cols[id]; dup {
+			return nil, Meta{}, fmt.Errorf("%w: duplicate block %d", ErrCorrupt, id)
+		}
+		cols[id] = blockData // unknown ids are CRC-checked then ignored
+	}
+	if seen != blockCount {
+		return nil, Meta{}, fmt.Errorf("%w: %d blocks, footer declares %d", ErrCorrupt, seen, blockCount)
+	}
+
+	need := func(id byte, width int) ([]byte, error) {
+		b, ok := cols[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing block %d", ErrCorrupt, id)
+		}
+		if len(b) != rows*width {
+			return nil, fmt.Errorf("%w: block %d is %d bytes, want %d", ErrCorrupt, id, len(b), rows*width)
+		}
+		return b, nil
+	}
+	times, err := need(blkTime, 8)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	ids, err := need(blkID, 8)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	hosts, err := need(blkHost, 8)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	devices, err := need(blkDevice, 1)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	categories, err := need(blkCategory, 1)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	actions, err := need(blkAction, 1)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	positions, err := need(blkPosition, 4)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	opTimes, err := need(blkOpTime, 8)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	deployTimes, err := need(blkDeployTime, 8)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+
+	// String table.
+	tb, ok := cols[blkStrings]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: missing string table", ErrCorrupt)
+	}
+	count, n := binary.Uvarint(tb)
+	if n <= 0 || count > uint64(len(tb)) {
+		return nil, Meta{}, fmt.Errorf("%w: bad string table count", ErrCorrupt)
+	}
+	tb = tb[n:]
+	syms := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, n := binary.Uvarint(tb)
+		if n <= 0 || ln > uint64(len(tb)-n) {
+			return nil, Meta{}, fmt.Errorf("%w: bad string table entry %d", ErrCorrupt, i)
+		}
+		syms = append(syms, string(tb[n:n+int(ln)]))
+		tb = tb[n+int(ln):]
+	}
+
+	symCols := make([][]byte, len(symbolBlocks))
+	for ci, id := range symbolBlocks {
+		b, err := need(byte(id), 4)
+		if err != nil {
+			return nil, Meta{}, err
+		}
+		symCols[ci] = b
+	}
+	sym := func(ci, row int) (string, error) {
+		id := binary.LittleEndian.Uint32(symCols[ci][4*row:])
+		if uint64(id) >= uint64(len(syms)) {
+			return "", fmt.Errorf("%w: symbol %d of %d in block %d", ErrCorrupt, id, len(syms), symbolBlocks[ci])
+		}
+		return syms[id], nil
+	}
+
+	tickets := make([]fot.Ticket, rows)
+	for i := 0; i < rows; i++ {
+		t := &tickets[i]
+		t.Time = nsTime(int64(binary.LittleEndian.Uint64(times[8*i:])))
+		t.ID = binary.LittleEndian.Uint64(ids[8*i:])
+		t.HostID = binary.LittleEndian.Uint64(hosts[8*i:])
+		t.Device = fot.Component(devices[i])
+		t.Category = fot.Category(categories[i])
+		t.Action = fot.Action(actions[i])
+		t.Position = int(int32(binary.LittleEndian.Uint32(positions[4*i:])))
+		t.OpTime = nsTime(int64(binary.LittleEndian.Uint64(opTimes[8*i:])))
+		t.DeployTime = nsTime(int64(binary.LittleEndian.Uint64(deployTimes[8*i:])))
+		var err error
+		if t.Hostname, err = sym(0, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.IDC, err = sym(1, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Rack, err = sym(2, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Slot, err = sym(3, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Type, err = sym(4, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Detail, err = sym(5, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Operator, err = sym(6, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.ProductLine, err = sym(7, i); err != nil {
+			return nil, Meta{}, err
+		}
+		if t.Model, err = sym(8, i); err != nil {
+			return nil, Meta{}, err
+		}
+	}
+	return tickets, meta, nil
+}
+
+// Read loads and fully validates a segment file.
+func Read(path string) ([]fot.Ticket, Meta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("segment: read %s: %w", path, err)
+	}
+	ts, meta, err := Decode(data)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("segment %s: %w", path, err)
+	}
+	return ts, meta, nil
+}
+
+// ReadMeta validates just the header and CRC'd footer of the segment at
+// path and returns its Meta — the cheap startup check that lets an
+// archive trust a sidecar without replaying the segment.
+func ReadMeta(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: stat %s: %w", path, err)
+	}
+	if st.Size() < int64(len(magic)+footerSize) {
+		return Meta{}, fmt.Errorf("%w: %s is %d bytes", ErrTruncated, path, st.Size())
+	}
+	head := make([]byte, len(magic))
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return Meta{}, fmt.Errorf("segment: read header %s: %w", path, err)
+	}
+	if string(head) != magic {
+		return Meta{}, fmt.Errorf("%w: %s bad magic", ErrCorrupt, path)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
+		return Meta{}, fmt.Errorf("segment: read footer %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(foot[28:]) != trailerMagic {
+		return Meta{}, fmt.Errorf("%w: %s bad trailer magic", ErrCorrupt, path)
+	}
+	if crc32.ChecksumIEEE(foot[:24]) != binary.LittleEndian.Uint32(foot[24:28]) {
+		return Meta{}, fmt.Errorf("%w: %s footer CRC mismatch", ErrCorrupt, path)
+	}
+	return Meta{
+		Rows:    int(binary.LittleEndian.Uint32(foot[0:4])),
+		MinTime: nsTime(int64(binary.LittleEndian.Uint64(foot[8:16]))),
+		MaxTime: nsTime(int64(binary.LittleEndian.Uint64(foot[16:24]))),
+	}, nil
+}

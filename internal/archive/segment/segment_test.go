@@ -1,0 +1,191 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// crcFix recomputes a footer's CRC after a test mutates its fields.
+func crcFix(foot []byte) {
+	binary.LittleEndian.PutUint32(foot[24:], crc32.ChecksumIEEE(foot[:24]))
+}
+
+func testTickets(n int) []fot.Ticket {
+	base := time.Date(2017, 3, 4, 5, 6, 7, 890123456, time.UTC)
+	out := make([]fot.Ticket, n)
+	for i := range out {
+		out[i] = fot.Ticket{
+			ID:          uint64(i + 1),
+			HostID:      uint64(100 + i%13),
+			Hostname:    "host-" + string(rune('a'+i%3)),
+			IDC:         "idc-1",
+			Rack:        "r9",
+			Position:    i % 40,
+			Device:      fot.Component(1 + i%11),
+			Slot:        "s1",
+			Type:        "MediumError",
+			Time:        base.Add(time.Duration(i) * 97 * time.Second),
+			Detail:      "detail text repeated across many tickets",
+			Category:    fot.Category(1 + i%3),
+			Action:      fot.Action(i % 5),
+			Operator:    "op",
+			OpTime:      base.Add(time.Duration(i)*97*time.Second + time.Hour),
+			ProductLine: "web",
+			DeployTime:  base.AddDate(-1, 0, 0),
+			Model:       "M1",
+		}
+		if i%7 == 0 { // unset optional fields must round trip
+			out[i].OpTime = time.Time{}
+			out[i].DeployTime = time.Time{}
+			out[i].Operator = ""
+			out[i].Slot = ""
+		}
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	want := testTickets(500)
+	path := filepath.Join(t.TempDir(), "seg-000001.fotseg")
+	wmeta, err := Write(path, want)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, rmeta, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch")
+	}
+	if rmeta.Rows != 500 || !rmeta.MinTime.Equal(want[0].Time) || !rmeta.MaxTime.Equal(want[499].Time) {
+		t.Fatalf("meta mismatch: %+v", rmeta)
+	}
+	if !reflect.DeepEqual(wmeta, rmeta) {
+		t.Fatalf("write/read meta disagree: %+v vs %+v", wmeta, rmeta)
+	}
+	mmeta, err := ReadMeta(path)
+	if err != nil {
+		t.Fatalf("ReadMeta: %v", err)
+	}
+	if !reflect.DeepEqual(mmeta, rmeta) {
+		t.Fatalf("ReadMeta disagrees: %+v vs %+v", mmeta, rmeta)
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg-000001.fotseg")
+	if _, err := Write(path, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, meta, err := Read(path)
+	if err != nil || len(got) != 0 || meta.Rows != 0 {
+		t.Fatalf("empty read: n=%d meta=%+v err=%v", len(got), meta, err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, _, err := Encode(testTickets(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(magic)+footerSize; cut++ {
+		if _, _, err := Decode(data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+	// Chopping whole-file prefixes of the body corrupts either the footer
+	// position or a block; every cut must be a typed error.
+	for cut := len(magic) + footerSize; cut < len(data); cut += 97 {
+		_, _, err := Decode(data[:cut])
+		if err == nil {
+			t.Fatalf("cut %d: corrupt file decoded cleanly", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: untyped error %v", cut, err)
+		}
+	}
+
+	flip := func(i int) []byte {
+		cp := append([]byte(nil), data...)
+		cp[i] ^= 0xff
+		return cp
+	}
+	if _, _, err := Decode(flip(0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, _, err := Decode(flip(len(magic) + 20)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad block byte: %v", err)
+	}
+	if _, _, err := Decode(flip(len(data) - 2)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad trailer: %v", err)
+	}
+	if _, _, err := Decode(flip(len(data) - footerSize + 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad footer field: %v", err)
+	}
+}
+
+func TestReadMetaRejectsCorruptFooter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.fotseg")
+	if _, err := Write(path, testTickets(10)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-footerSize+2] ^= 0xff
+	bad := filepath.Join(dir, "seg-000002.fotseg")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeta(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if err := os.WriteFile(bad, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeta(bad); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestUnknownBlockIDIsSkipped(t *testing.T) {
+	// Forward compat: splice an extra CRC-valid block with an unused id
+	// into the body and bump the footer block count; decode must ignore
+	// it and still materialize every ticket.
+	want := testTickets(20)
+	data, _, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := data[len(magic) : len(data)-footerSize]
+	extra := appendBlock(nil, 200, []byte("future column"))
+	rebuilt := append([]byte(nil), data[:len(magic)]...)
+	rebuilt = append(rebuilt, body...)
+	rebuilt = append(rebuilt, extra...)
+	foot := append([]byte(nil), data[len(data)-footerSize:]...)
+	// block count += 1, then re-CRC the footer
+	n := int(uint32(foot[4]) | uint32(foot[5])<<8 | uint32(foot[6])<<16 | uint32(foot[7])<<24)
+	n++
+	foot[4], foot[5], foot[6], foot[7] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	crcFix(foot)
+	rebuilt = append(rebuilt, foot...)
+	got, _, err := Decode(rebuilt)
+	if err != nil {
+		t.Fatalf("decode with unknown block: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tickets changed by unknown block")
+	}
+}

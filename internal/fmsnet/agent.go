@@ -40,6 +40,11 @@ type AgentConfig struct {
 	// detector; once full, sends into the channel block (backpressure).
 	// 0 means no spool: the sender consumes the channel directly.
 	SpoolSize int
+	// Codec selects the wire codec. "" and "binary" negotiate the dense
+	// binary report codec at connect time, falling back to NL-JSON
+	// transparently against collectors that decline or predate it;
+	// "json" forces legacy NL-JSON without attempting negotiation.
+	Codec string
 }
 
 // DefaultAgentConfig returns sensible retry settings for a host agent.
@@ -135,7 +140,13 @@ func RunAgent(addr string, reports <-chan *Report, cfg AgentConfig) (*AgentStats
 				time.Sleep(retryDelay(cfg.RetryBase, cfg.RetryMax, attempt, rand.Float64()))
 			}
 			if client == nil {
-				c, err := Dial(addr)
+				var c *Client
+				var err error
+				if cfg.Codec == "json" {
+					c, err = Dial(addr)
+				} else {
+					c, err = DialBinary(addr, cfg.AgentID)
+				}
 				if err != nil {
 					lastErr = err
 					continue

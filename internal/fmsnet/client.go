@@ -3,12 +3,14 @@ package fmsnet
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"dcfail/internal/fot"
 	"dcfail/internal/topo"
+	"dcfail/internal/wire"
 )
 
 // Client is a synchronous FMS connection used by both host agents (to
@@ -17,9 +19,18 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Scanner
 	w    *bufio.Writer
+
+	// Binary codec state, nil/empty on NL-JSON connections. Set once by
+	// DialBinary's handshake; the scratch buffers and symbol tables are
+	// reused across reports so steady-state reporting does not allocate.
+	codec string
+	enc   *wire.Encoder
+	fr    *wire.FrameReader
+	frame []byte
+	wrep  wire.Report
 }
 
-// Dial connects to a collector.
+// Dial connects to a collector speaking legacy NL-JSON.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -28,6 +39,58 @@ func Dial(addr string) (*Client, error) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// DialBinary connects and negotiates the dense binary report codec,
+// falling back to NL-JSON transparently when the collector declines (or
+// predates the hello kind entirely). The returned client works either
+// way; Codec reports what was negotiated.
+//
+// A binary connection is a report pipe: Report and ReportFrom use the
+// binary frames, and the collector only accepts report frames on it.
+// Operator calls (List, CloseTicket, Stats) need a plain Dial client.
+// agentID becomes the dedup scope for every report on the connection;
+// with a non-empty agentID use ReportFrom with distinct sequence
+// numbers, since the collector dedups on (agentID, seq).
+func DialBinary(addr, agentID string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&Request{
+		Kind:    KindHello,
+		AgentID: agentID,
+		Codecs:  []string{wire.CodecBinV1},
+	})
+	if err != nil {
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			// An old collector rejects the unknown hello kind but keeps
+			// the connection serviceable: stay on JSON.
+			return c, nil
+		}
+		//lint:ignore errdrop the dial failed on a transport error; that error is returned and the half-open conn is abandoned
+		c.Close()
+		return nil, err
+	}
+	if resp.Codec == wire.CodecBinV1 {
+		c.codec = resp.Codec
+		c.enc = wire.NewEncoder()
+		// Safe to read the raw conn: the protocol is strictly
+		// request/response, so after the hello ack line the Scanner's
+		// buffer holds no server bytes the frame reader would miss.
+		c.fr = wire.NewFrameReader(c.conn)
+	}
+	return c, nil
+}
+
+// Codec reports the negotiated wire codec: wire.CodecBinV1 after a
+// successful binary handshake, "json" otherwise.
+func (c *Client) Codec() string {
+	if c.codec == "" {
+		return "json"
+	}
+	return c.codec
 }
 
 // Close closes the connection.
@@ -63,6 +126,10 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 
 // Report submits one failure report and returns the assigned ticket id.
 func (c *Client) Report(r *Report) (uint64, error) {
+	if c.codec == wire.CodecBinV1 {
+		id, _, err := c.reportBinary(r, 0)
+		return id, err
+	}
 	resp, err := c.roundTrip(&Request{Kind: KindReport, Report: r})
 	if err != nil {
 		return 0, err
@@ -74,13 +141,69 @@ func (c *Client) Report(r *Report) (uint64, error) {
 // dedup key, enabling at-least-once delivery: resending after a lost ack
 // is safe because the collector re-acks the original ticket instead of
 // inserting a duplicate. It returns the ticket id and whether the
-// collector recognized the report as a duplicate.
+// collector recognized the report as a duplicate. On a binary connection
+// the agent identity was pinned at the handshake, so agentID here only
+// needs to match the one given to DialBinary.
 func (c *Client) ReportFrom(r *Report, agentID string, seq uint64) (uint64, bool, error) {
+	if c.codec == wire.CodecBinV1 {
+		return c.reportBinary(r, seq)
+	}
 	resp, err := c.roundTrip(&Request{Kind: KindReport, AgentID: agentID, Seq: seq, Report: r})
 	if err != nil {
 		return 0, false, err
 	}
 	return resp.TicketID, resp.Duplicate, nil
+}
+
+// reportBinary is the dense-codec report round trip: one KindReport
+// frame out, one KindAck or KindError frame back. The encoder's symbol
+// table and the frame buffer persist across calls, so a steady-state
+// agent reporting recurrent failure shapes allocates nothing per report.
+func (c *Client) reportBinary(r *Report, seq uint64) (uint64, bool, error) {
+	c.wrep = wire.Report{
+		Seq:         seq,
+		InWarranty:  r.InWarranty,
+		HostID:      r.HostID,
+		Hostname:    r.Hostname,
+		IDC:         r.IDC,
+		Rack:        r.Rack,
+		Position:    r.Position,
+		Device:      r.Device,
+		Slot:        r.Slot,
+		Type:        r.Type,
+		Time:        r.Time,
+		Detail:      r.Detail,
+		ProductLine: r.ProductLine,
+		DeployTime:  r.DeployTime,
+		Model:       r.Model,
+	}
+	c.frame = c.enc.AppendReport(c.frame[:0], &c.wrep)
+	if _, err := c.w.Write(c.frame); err != nil {
+		return 0, false, fmt.Errorf("fmsnet: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, false, fmt.Errorf("fmsnet: flush: %w", err)
+	}
+	kind, payload, err := c.fr.Next()
+	if err != nil {
+		return 0, false, fmt.Errorf("fmsnet: receive: %w", err)
+	}
+	switch kind {
+	case wire.KindAck:
+		id, dup, err := wire.DecodeAck(payload)
+		if err != nil {
+			return 0, false, fmt.Errorf("fmsnet: decode ack: %w", err)
+		}
+		return id, dup, nil
+	case wire.KindError:
+		code, msg, err := wire.DecodeError(payload)
+		if err != nil {
+			return 0, false, fmt.Errorf("fmsnet: decode error frame: %w", err)
+		}
+		return 0, false, &ProtocolError{Code: code, Msg: msg}
+	default:
+		return 0, false, fmt.Errorf("fmsnet: unexpected response frame kind %d", kind)
+	}
 }
 
 // List fetches tickets from the pool.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dcfail/internal/fot"
 	"dcfail/internal/mine"
 	"dcfail/internal/wal"
+	"dcfail/internal/wire"
 )
 
 // CollectorOptions tunes a collector beyond its listen address.
@@ -28,6 +30,10 @@ type CollectorOptions struct {
 	// tests are deterministic and replayed closes carry their original
 	// OpTime.
 	Now func() time.Time
+	// DisableBinary refuses binary codec negotiation: KindHello is still
+	// answered (with an empty codec pick) but every stream stays NL-JSON.
+	// Used to exercise the fallback path and to mimic old collectors.
+	DisableBinary bool
 }
 
 // RecoveryStats reports what a WAL replay rebuilt.
@@ -50,9 +56,10 @@ type sourceKey struct {
 // optionally backed by a write-ahead log so a crash loses nothing that
 // was acked.
 type Collector struct {
-	listener net.Listener
-	log      *wal.WAL
-	now      func() time.Time
+	listener  net.Listener
+	log       *wal.WAL
+	now       func() time.Time
+	binaryOff bool
 
 	mu        sync.Mutex
 	nextID    uint64
@@ -84,11 +91,12 @@ func NewCollector(addr string) (*Collector, error) {
 // the crash.
 func NewCollectorWith(addr string, opts CollectorOptions) (*Collector, error) {
 	c := &Collector{
-		open:    make(map[uint64]int),
-		seen:    make(map[sourceKey]uint64),
-		conns:   make(map[net.Conn]struct{}),
-		closing: make(chan struct{}),
-		now:     opts.Now,
+		open:      make(map[uint64]int),
+		seen:      make(map[sourceKey]uint64),
+		conns:     make(map[net.Conn]struct{}),
+		closing:   make(chan struct{}),
+		now:       opts.Now,
+		binaryOff: opts.DisableBinary,
 	}
 	if c.now == nil {
 		//lint:ignore walltime injection-point default; CollectorOptions.Now overrides the clock so replayed closes keep their original OpTime
@@ -315,6 +323,28 @@ func (c *Collector) serve(conn net.Conn) {
 		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Kind: KindError, Error: err.Error(), Code: CodeBadRequest}
+		} else if req.Kind == KindHello {
+			// Codec negotiation. The client is synchronous — it sends
+			// nothing after the hello until our ack arrives — so the
+			// Scanner's buffer holds no binary bytes when we hand the raw
+			// connection to the frame reader below.
+			codec := ""
+			if !c.binaryOff {
+				for _, offer := range req.Codecs {
+					if offer == wire.CodecBinV1 {
+						codec = offer
+						break
+					}
+				}
+			}
+			if !writeResp(Response{Kind: KindAck, Codec: codec}) {
+				return
+			}
+			if codec != "" {
+				c.serveBinary(conn, w, req.AgentID)
+				return
+			}
+			continue
 		} else if r, err := c.handle(&req); err != nil {
 			resp = Response{Kind: KindError, Error: err.Error(), Code: CodeBadRequest}
 			var ce *codedError
@@ -356,13 +386,24 @@ func (c *Collector) handle(req *Request) (*Response, error) {
 }
 
 func (c *Collector) handleReport(req *Request) (*Response, error) {
-	r := req.Report
-	if err := validateReport(r); err != nil {
+	id, dup, err := c.acceptReport(req.Report, req.AgentID, req.Seq)
+	if err != nil {
 		return nil, err
+	}
+	return &Response{Kind: KindAck, TicketID: id, Duplicate: dup}, nil
+}
+
+// acceptReport validates and admits one failure report — the codec-neutral
+// core shared by the JSON handler and the binary serve loop. It returns
+// the ticket id and whether the report was an at-least-once duplicate
+// (agentID != "" enables dedup on (agentID, seq)).
+func (c *Collector) acceptReport(r *Report, agentID string, seq uint64) (uint64, bool, error) {
+	if err := validateReport(r); err != nil {
+		return 0, false, err
 	}
 	device, err := fot.ParseComponent(r.Device)
 	if err != nil {
-		return nil, err
+		return 0, false, err
 	}
 	t := fot.Ticket{
 		HostID:      r.HostID,
@@ -379,11 +420,11 @@ func (c *Collector) handleReport(req *Request) (*Response, error) {
 		DeployTime:  r.DeployTime,
 		Model:       r.Model,
 	}
-	key := sourceKey{req.AgentID, req.Seq}
+	key := sourceKey{agentID, seq}
 	var fire *mine.BatchAlert
 	var onAlert func(mine.BatchAlert)
 	c.mu.Lock()
-	if req.AgentID != "" {
+	if agentID != "" {
 		if id, dup := c.seen[key]; dup {
 			c.mu.Unlock()
 			// At-least-once retry whose original ack was lost. The
@@ -392,10 +433,10 @@ func (c *Collector) handleReport(req *Request) (*Response, error) {
 			// to guarantee it is durable before we re-ack.
 			if c.log != nil {
 				if err := c.log.Sync(); err != nil {
-					return nil, codedErrorf(CodeInternal, "fmsnet: wal sync: %v", err)
+					return 0, false, codedErrorf(CodeInternal, "fmsnet: wal sync: %v", err)
 				}
 			}
-			return &Response{Kind: KindAck, TicketID: id, Duplicate: true}, nil
+			return id, true, nil
 		}
 	}
 	c.nextID++
@@ -416,7 +457,7 @@ func (c *Collector) handleReport(req *Request) (*Response, error) {
 		}
 	}
 	c.tickets = append(c.tickets, t)
-	if req.AgentID != "" {
+	if agentID != "" {
 		c.seen[key] = t.ID
 	}
 	if c.detector != nil {
@@ -429,16 +470,104 @@ func (c *Collector) handleReport(req *Request) (*Response, error) {
 	c.mu.Unlock()
 	// Durability before the ack: the record is appended (and fsynced,
 	// batched across connections) outside the pool lock.
-	rec := walRecord{Op: walOpReport, Ticket: &t, AgentID: req.AgentID, Seq: req.Seq}
+	rec := walRecord{Op: walOpReport, Ticket: &t, AgentID: agentID, Seq: seq}
 	if err := c.appendWAL(&rec); err != nil {
-		return nil, err
+		return 0, false, err
 	}
 	// The alert callback runs outside the pool lock so it may dial back
 	// into the collector if it wants to.
 	if fire != nil && onAlert != nil {
 		onAlert(*fire)
 	}
-	return &Response{Kind: KindAck, TicketID: t.ID}, nil
+	return t.ID, false, nil
+}
+
+// serveBinary takes over a connection after a successful bin/1 handshake.
+// From here on the stream is length-prefixed CRC-framed binary in both
+// directions: the agent sends KindReport frames, the collector answers
+// each with KindAck or KindError. The decoder's symbol table accumulates
+// per connection, matching the encoder on the agent side. All scratch
+// state (frame buffers, decoded report, symbol table) is reused across
+// reports, so steady-state ingest does not allocate.
+//
+// Error handling mirrors the JSON loop: a validation rejection answers
+// KindError and keeps the stream; a framing fault (bad CRC, oversized or
+// truncated frame) answers once and severs, because a broken frame
+// boundary — like an overlong JSON line — cannot be resynchronized. A
+// decode fault inside a valid frame also severs: the symbol tables may
+// have diverged, poisoning every later string reference.
+func (c *Collector) serveBinary(conn net.Conn, w *bufio.Writer, agentID string) {
+	fr := wire.NewFrameReader(conn)
+	dec := wire.NewDecoder()
+	var (
+		out  []byte
+		wrep wire.Report
+		rep  Report
+	)
+	send := func(frame []byte) bool {
+		if _, err := w.Write(frame); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				code := CodeBadRequest
+				if errors.Is(err, wire.ErrFrameTooBig) {
+					code = CodeOversizedFrame
+				}
+				out = wire.AppendError(out[:0], code, err.Error())
+				send(out)
+			}
+			return
+		}
+		if kind != wire.KindReport {
+			out = wire.AppendError(out[:0], CodeBadRequest,
+				fmt.Sprintf("fmsnet: unexpected frame kind %d", kind))
+			send(out)
+			return
+		}
+		if err := dec.DecodeReportInto(payload, &wrep); err != nil {
+			out = wire.AppendError(out[:0], CodeBadRequest, err.Error())
+			send(out)
+			return
+		}
+		rep = Report{
+			HostID:      wrep.HostID,
+			Hostname:    wrep.Hostname,
+			IDC:         wrep.IDC,
+			Rack:        wrep.Rack,
+			Position:    wrep.Position,
+			Device:      wrep.Device,
+			Slot:        wrep.Slot,
+			Type:        wrep.Type,
+			Time:        wrep.Time,
+			Detail:      wrep.Detail,
+			ProductLine: wrep.ProductLine,
+			DeployTime:  wrep.DeployTime,
+			Model:       wrep.Model,
+			InWarranty:  wrep.InWarranty,
+		}
+		id, dup, err := c.acceptReport(&rep, agentID, wrep.Seq)
+		if err != nil {
+			code := CodeBadRequest
+			var ce *codedError
+			if errors.As(err, &ce) {
+				code = ce.code
+			}
+			out = wire.AppendError(out[:0], code, err.Error())
+			if !send(out) {
+				return
+			}
+			continue
+		}
+		out = wire.AppendAck(out[:0], id, dup)
+		if !send(out) {
+			return
+		}
+	}
 }
 
 func (c *Collector) handleList(req *Request) (*Response, error) {

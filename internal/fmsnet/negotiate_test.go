@@ -1,0 +1,302 @@
+package fmsnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dcfail/internal/wire"
+)
+
+// TestBinaryNegotiationHappyPath: a new agent against a new collector
+// lands on the binary codec, and reports, acks, validation rejections,
+// and (AgentID, Seq) dedup all behave exactly as over JSON.
+func TestBinaryNegotiationHappyPath(t *testing.T) {
+	col := startCollector(t)
+	cl, err := DialBinary(col.Addr(), "agent-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if got := cl.Codec(); got != wire.CodecBinV1 {
+		t.Fatalf("negotiated codec = %q, want %q", got, wire.CodecBinV1)
+	}
+
+	id1, dup, err := cl.ReportFrom(sampleReport(1, true), "agent-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == 0 || dup {
+		t.Fatalf("first report: id=%d dup=%v", id1, dup)
+	}
+	// At-least-once retry: same seq re-acks the original ticket.
+	id2, dup, err := cl.ReportFrom(sampleReport(1, true), "agent-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1 || !dup {
+		t.Fatalf("retried report: id=%d dup=%v, want id=%d dup=true", id2, dup, id1)
+	}
+	id3, dup, err := cl.ReportFrom(sampleReport(2, false), "agent-1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 || dup {
+		t.Fatalf("second report: id=%d dup=%v", id3, dup)
+	}
+
+	// A validation rejection comes back as a typed ProtocolError and the
+	// stream keeps working afterwards.
+	bad := sampleReport(3, true)
+	bad.Device = "flux-capacitor"
+	if _, _, err := cl.ReportFrom(bad, "agent-1", 3); err == nil {
+		t.Fatal("invalid device accepted")
+	} else {
+		var pe *ProtocolError
+		if !errors.As(err, &pe) || !pe.Permanent() {
+			t.Fatalf("rejection error = %v, want permanent ProtocolError", err)
+		}
+	}
+	if _, _, err := cl.ReportFrom(sampleReport(4, true), "agent-1", 4); err != nil {
+		t.Fatalf("report after rejection: %v", err)
+	}
+
+	tr := col.Trace()
+	if tr.Len() != 3 {
+		t.Fatalf("pool has %d tickets, want 3", tr.Len())
+	}
+}
+
+// TestOldJSONAgentAgainstNewCollector: a legacy client that never sends
+// a hello still speaks plain NL-JSON end to end.
+func TestOldJSONAgentAgainstNewCollector(t *testing.T) {
+	col := startCollector(t)
+	cl := dial(t, col) // plain Dial: no hello, pure JSON
+	id, dup, err := cl.ReportFrom(sampleReport(1, true), "legacy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 || dup {
+		t.Fatalf("legacy report: id=%d dup=%v", id, dup)
+	}
+	if _, _, err := cl.ReportFrom(sampleReport(1, true), "legacy", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Codec(); got != "json" {
+		t.Fatalf("legacy client codec = %q", got)
+	}
+}
+
+// TestBinaryFallbackWhenCollectorDeclines: the collector answers the
+// hello but refuses binary (DisableBinary); the new agent transparently
+// stays on JSON over the same connection.
+func TestBinaryFallbackWhenCollectorDeclines(t *testing.T) {
+	col, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{DisableBinary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := col.Close(); err != nil {
+			t.Errorf("collector close: %v", err)
+		}
+	})
+	cl, err := DialBinary(col.Addr(), "agent-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if got := cl.Codec(); got != "json" {
+		t.Fatalf("codec after decline = %q, want json", got)
+	}
+	id, _, err := cl.ReportFrom(sampleReport(1, true), "agent-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero ticket id over fallback connection")
+	}
+}
+
+// TestBinaryFallbackAgainstPreHelloCollector simulates a collector old
+// enough to not know the hello kind at all: it rejects the unknown kind
+// with KindError but keeps the connection serviceable, which is exactly
+// what the real pre-negotiation serve loop does. DialBinary must treat
+// the rejection as "no binary here" and keep the JSON connection.
+func TestBinaryFallbackAgainstPreHelloCollector(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		w := bufio.NewWriter(conn)
+		reply := func(resp Response) {
+			line, _ := json.Marshal(resp)
+			w.Write(append(line, '\n'))
+			w.Flush()
+		}
+		for sc.Scan() {
+			var req Request
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+				return
+			}
+			switch req.Kind {
+			case KindReport:
+				reply(Response{Kind: KindAck, TicketID: 42})
+			default:
+				// The old serve loop's unknown-kind rejection.
+				reply(Response{Kind: KindError, Code: CodeBadRequest,
+					Error: "fmsnet: unknown request kind \"hello\""})
+			}
+		}
+	}()
+
+	cl, err := DialBinary(ln.Addr().String(), "agent-1")
+	if err != nil {
+		t.Fatalf("DialBinary against old collector: %v", err)
+	}
+	if got := cl.Codec(); got != "json" {
+		t.Fatalf("codec against old collector = %q, want json", got)
+	}
+	id, err := cl.Report(sampleReport(1, true))
+	if err != nil {
+		t.Fatalf("report over fallback: %v", err)
+	}
+	if id != 42 {
+		t.Fatalf("ticket id = %d, want 42", id)
+	}
+	cl.Close()
+	wg.Wait()
+}
+
+// TestRunAgentBinaryAcrossCollectorRestart: the full agent loop on the
+// default (binary) codec survives a collector restart mid-stream — the
+// reconnect renegotiates the codec and the (AgentID, Seq) dedup keeps
+// delivery exactly-once at the collector.
+func TestRunAgentBinaryAcrossCollectorRestart(t *testing.T) {
+	dir := t.TempDir()
+	col, err := NewCollectorWith("127.0.0.1:0", CollectorOptions{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+
+	reports := make(chan *Report, 8)
+	cfg := DefaultAgentConfig()
+	cfg.AgentID = "agent-r"
+	cfg.RetryForever = true
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 20 * time.Millisecond
+
+	done := make(chan struct{})
+	var stats *AgentStats
+	var runErr error
+	go func() {
+		defer close(done)
+		stats, runErr = RunAgent(addr, reports, cfg)
+	}()
+
+	for i := 1; i <= 3; i++ {
+		reports <- sampleReport(uint64(i), true)
+	}
+	waitPool(t, col, 3)
+
+	// Restart on the same WAL. The listen address changes, so restart on
+	// the original one explicitly.
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	col2, err := NewCollectorWith(addr, CollectorOptions{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := col2.Close(); err != nil {
+			t.Errorf("collector close: %v", err)
+		}
+	})
+	for i := 4; i <= 6; i++ {
+		reports <- sampleReport(uint64(i), true)
+	}
+	close(reports)
+	<-done
+	if runErr != nil {
+		t.Fatalf("RunAgent: %v (stats %+v)", runErr, stats)
+	}
+	if stats.Sent != 6 {
+		t.Fatalf("sent %d reports, want 6 (stats %+v)", stats.Sent, stats)
+	}
+	tr := col2.Trace()
+	if tr.Len() != 6 {
+		t.Fatalf("pool has %d tickets after restart, want 6", tr.Len())
+	}
+	seen := make(map[uint64]bool)
+	for _, tk := range tr.Tickets {
+		if seen[tk.HostID] {
+			t.Fatalf("duplicate ticket for host %d", tk.HostID)
+		}
+		seen[tk.HostID] = true
+	}
+}
+
+// waitPool blocks until the collector's pool holds want tickets.
+func waitPool(t *testing.T, col *Collector, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if col.Trace().Len() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("pool never reached %d tickets (has %d)", want, col.Trace().Len())
+}
+
+// TestBinaryReportSteadyStateDoesNotAllocate pins the tentpole gate on
+// the live path, not just the codec in isolation: after warm-up, a
+// report round trip allocates nothing on the client side (encoder,
+// frame buffer, and symbol table are all reused).
+func TestBinaryReportSteadyStateDoesNotAllocate(t *testing.T) {
+	col := startCollector(t)
+	cl, err := DialBinary(col.Addr(), "agent-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if cl.Codec() != wire.CodecBinV1 {
+		t.Fatalf("codec = %q", cl.Codec())
+	}
+	rep := sampleReport(7, true)
+	var seq uint64
+	// Warm up: intern every symbol, grow the buffers.
+	for i := 0; i < 4; i++ {
+		seq++
+		if _, _, err := cl.ReportFrom(rep, "agent-a", seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		seq++
+		if _, _, err := cl.ReportFrom(rep, "agent-a", seq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The client-side hot path is alloc-free; allow a tiny slack for the
+	// runtime's conn read path.
+	if avg > 2 {
+		t.Fatalf("steady-state report allocates %.1f times per round trip", avg)
+	}
+}

@@ -28,6 +28,13 @@ const (
 	KindAck = "ack"
 	// KindError is the collector's failure response.
 	KindError = "error"
+	// KindHello negotiates the wire codec at connect time: the client
+	// offers the codecs it speaks (Request.Codecs) and the collector
+	// acks with the one it picked (Response.Codec, empty = stay on
+	// NL-JSON). Collectors that predate the kind answer KindError and
+	// keep the connection usable, so new agents fall back to JSON
+	// against old collectors.
+	KindHello = "hello"
 )
 
 // Error codes carried on KindError responses so clients can classify
@@ -88,6 +95,9 @@ type Request struct {
 	// List fields (KindList).
 	OnlyOpen bool `json:"only_open,omitempty"`
 	Limit    int  `json:"limit,omitempty"`
+	// Codecs offers wire codecs in preference order (KindHello), e.g.
+	// wire.CodecBinV1. Old collectors ignore the field.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // Report is one agent detection, the subset of ticket fields a host agent
@@ -125,6 +135,9 @@ type Response struct {
 	Duplicate bool         `json:"duplicate,omitempty"`
 	Tickets   []PoolTicket `json:"tickets,omitempty"`
 	Stats     *PoolStats   `json:"stats,omitempty"`
+	// Codec is the collector's pick on a KindHello ack; empty means the
+	// stream stays NL-JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // PoolTicket is the collector's view of one ticket.

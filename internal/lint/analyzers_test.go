@@ -68,6 +68,7 @@ func TestScope(t *testing.T) {
 		{"globalrand", "dcfail/internal/serve", false},
 		{"fsyncgap", "dcfail/internal/wal", true},
 		{"fsyncgap", "dcfail/internal/archive", true},
+		{"fsyncgap", "dcfail/internal/archive/segment", true},
 		{"fsyncgap", "dcfail/internal/report", false},
 		{"lockedblocking", "dcfail/internal/anything", true},
 		{"lockedblocking", "dcfail", true},
@@ -90,6 +91,8 @@ func TestScope(t *testing.T) {
 		{"goroleak", "dcfail/internal/report", false},
 		{"errdrop", "dcfail/internal/wal", true},
 		{"errdrop", "dcfail/internal/archive", true},
+		{"errdrop", "dcfail/internal/archive/segment", true},
+		{"errdrop", "dcfail/internal/wire", true},
 		{"errdrop", "dcfail/internal/replica", true},
 		{"errdrop", "dcfail/internal/fmsnet", true},
 		{"errdrop", "dcfail/internal/serve", false},

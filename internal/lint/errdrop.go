@@ -28,12 +28,17 @@ import (
 // enforced by fsyncgap (sync-before-close). Intentional drops — closing
 // an already-failed connection before a retry — take a reasoned
 // //lint:ignore errdrop, which is the only escape hatch.
+//
+// The scope includes the binary codec layer (wire) and the columnar
+// segment writer (segment): a dropped frame-write error desynchronizes a
+// symbol-table stream, and a dropped segment Sync/Close error breaks the
+// open-not-replay cold-start contract.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "errors on durability paths (Sync/Flush/Write/Close families) must not be discarded",
-	Invariant: "every error returned on the WAL/archive/replica/fmsnet durability chain is " +
-		"handled, propagated, or suppressed with a written reason — never dropped",
-	Scope: []string{"wal", "archive", "replica", "fmsnet"},
+	Invariant: "every error returned on the WAL/archive/segment/wire/replica/fmsnet durability " +
+		"chain is handled, propagated, or suppressed with a written reason — never dropped",
+	Scope: []string{"wal", "archive", "segment", "wire", "replica", "fmsnet"},
 	Run:   runErrDrop,
 }
 

@@ -21,9 +21,9 @@ import (
 var FsyncGap = &Analyzer{
 	Name: "fsyncgap",
 	Doc:  "files written on the durability path must Sync before Close/rename",
-	Invariant: "an acked record is on stable storage: every written os.File in wal/archive " +
+	Invariant: "an acked record is on stable storage: every written os.File in wal/archive/segment " +
 		"fsyncs before close, and no durable write goes through os.WriteFile",
-	Scope: []string{"wal", "archive"},
+	Scope: []string{"wal", "archive", "segment"},
 	Run:   runFsyncGap,
 }
 

@@ -1,0 +1,134 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dcfail/internal/serve"
+	"dcfail/internal/wire"
+)
+
+// TestSyncerResumesExactlyAcrossCodecSwitch is the stacked-upgrade
+// scenario: a replica tails a JSON-only primary (as if the primary
+// predates the binary codec), the primary restarts binary-capable on the
+// same address mid-history, and the syncer's reconnect renegotiates. The
+// (epoch, row) resume must be exact across the codec switch — every row
+// delivered once, no replays needed, and the replica's rendered report
+// byte-identical to the primary's.
+func TestSyncerResumesExactlyAcrossCodecSwitch(t *testing.T) {
+	trace, census := smallWorld(t)
+	primary := serve.NewState(census, 0)
+	now := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Phase 1: a JSON-only primary serves the first half of history.
+	srv1, err := NewServer("127.0.0.1:0", primary, ServerOptions{
+		Heartbeat:     20 * time.Millisecond,
+		DisableBinary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+
+	rep := serve.NewState(census, 0)
+	sy := NewSyncer(rep, fastSyncer(addr))
+	sy.Start()
+	defer sy.Stop()
+
+	half := trace.Len() / 2
+	primary.Fold(trace.Tickets[:half], now)
+	waitConverged(t, primary, rep, 15*time.Second)
+	if got := sy.Stats().Codec; got != "json" {
+		t.Fatalf("codec against JSON-only primary = %q, want json", got)
+	}
+
+	// Phase 2: the primary restarts binary-capable on the same address
+	// with more history; the syncer reconnects and switches codecs.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Fold(trace.Tickets[half:], now.Add(time.Minute))
+	srv2, err := NewServer(addr, primary, ServerOptions{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitConverged(t, primary, rep, 15*time.Second)
+
+	stats := sy.Stats()
+	if stats.Codec != wire.CodecBinV1 {
+		t.Fatalf("codec after binary-capable restart = %q, want %q", stats.Codec, wire.CodecBinV1)
+	}
+	// Exact resume: every row crossed the wire exactly once, under one
+	// codec or the other, with no replayed prefix to dedup.
+	if stats.Rows != uint64(trace.Len()) {
+		t.Fatalf("rows accepted = %d, want %d (loss or replay across the switch)", stats.Rows, trace.Len())
+	}
+	if stats.Dups != 0 {
+		t.Fatalf("codec switch forced %d replayed rows; resume position was not exact", stats.Dups)
+	}
+	if stats.CRCFailures != 0 {
+		t.Fatalf("clean links produced %d crc failures", stats.CRCFailures)
+	}
+	if p, r := primary.Current(), rep.Current(); p.Epoch() != r.Epoch() || p.Tickets() != r.Tickets() {
+		t.Fatalf("replica (epoch %d, %d rows) != primary (epoch %d, %d rows)",
+			r.Epoch(), r.Tickets(), p.Epoch(), p.Tickets())
+	}
+	if got, want := renderSection(t, rep, "table1"), renderSection(t, primary, "table1"); !bytes.Equal(got, want) {
+		t.Fatal("replica table1 differs from primary after codec switch")
+	}
+}
+
+// TestSyncerBinaryByDefault: against a binary-capable primary the default
+// options land on the binary codec and converge to an identical state.
+func TestSyncerBinaryByDefault(t *testing.T) {
+	trace, census := smallWorld(t)
+	primary := serve.NewState(census, 0)
+	now := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	primary.Fold(trace.Tickets[:2000], now)
+
+	srv, err := NewServer("127.0.0.1:0", primary, ServerOptions{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep := serve.NewState(census, 0)
+	sy := NewSyncer(rep, fastSyncer(srv.Addr()))
+	sy.Start()
+	defer sy.Stop()
+	waitConverged(t, primary, rep, 15*time.Second)
+	if got := sy.Stats().Codec; got != wire.CodecBinV1 {
+		t.Fatalf("default negotiation = %q, want %q", got, wire.CodecBinV1)
+	}
+	if got, want := renderSection(t, rep, "table1"), renderSection(t, primary, "table1"); !bytes.Equal(got, want) {
+		t.Fatal("binary replica table1 differs from primary")
+	}
+}
+
+// TestSyncerForcedJSONAgainstBinaryPrimary: Codec "json" opts out of
+// negotiation entirely and the stream stays NL-JSON.
+func TestSyncerForcedJSONAgainstBinaryPrimary(t *testing.T) {
+	trace, census := smallWorld(t)
+	primary := serve.NewState(census, 0)
+	now := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	primary.Fold(trace.Tickets[:1000], now)
+
+	srv, err := NewServer("127.0.0.1:0", primary, ServerOptions{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep := serve.NewState(census, 0)
+	opts := fastSyncer(srv.Addr())
+	opts.Codec = "json"
+	sy := NewSyncer(rep, opts)
+	sy.Start()
+	defer sy.Stop()
+	waitConverged(t, primary, rep, 15*time.Second)
+	if got := sy.Stats().Codec; got != "json" {
+		t.Fatalf("forced-JSON negotiation = %q, want json", got)
+	}
+}

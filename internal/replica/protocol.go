@@ -68,6 +68,15 @@ type Message struct {
 	FoldedAt time.Time `json:"folded_at,omitempty"`
 	// Error carries the rejection text on KindError.
 	Error string `json:"error,omitempty"`
+	// Codecs offers wire codecs in preference order on KindSync (e.g.
+	// wire.CodecBinV1). Old primaries ignore the field and stream JSON.
+	Codecs []string `json:"codecs,omitempty"`
+	// Codec is the primary's pick, carried on the first KindHello (which
+	// is always a JSON line so the handshake is codec-neutral). Empty
+	// means the stream stays NL-JSON; wire.CodecBinV1 means every frame
+	// after that hello is length-prefixed binary in primary→replica
+	// direction.
+	Codec string `json:"codec,omitempty"`
 }
 
 // encode renders one frame as a JSON line.

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"dcfail/internal/fot"
 	"dcfail/internal/serve"
+	"dcfail/internal/wire"
 )
 
 // ServerOptions tunes the primary-side stream server.
@@ -24,6 +26,10 @@ type ServerOptions struct {
 	// Now stamps write deadlines (nil means time.Now), injectable for
 	// deterministic tests.
 	Now func() time.Time
+	// DisableBinary refuses binary codec negotiation: syncs offering
+	// wire.CodecBinV1 are still served, but as NL-JSON. Used to exercise
+	// the fallback path and to mimic old primaries.
+	DisableBinary bool
 }
 
 // Server publishes a serve.State's ticket log and epoch markers to any
@@ -164,10 +170,69 @@ func (s *Server) stream(conn net.Conn) {
 		return
 	}
 
+	// Codec negotiation: the pick rides on the first (JSON) hello; every
+	// frame after that is binary when the offer was accepted.
+	codec := ""
+	if !s.opts.DisableBinary {
+		for _, offer := range req.Codecs {
+			if offer == wire.CodecBinV1 {
+				codec = offer
+				break
+			}
+		}
+	}
+	binary := codec == wire.CodecBinV1
+	var enc *wire.Encoder
+	var frame []byte
+	if binary {
+		enc = wire.NewEncoder()
+	}
+	sendBin := func(b []byte) bool {
+		conn.SetWriteDeadline(s.now().Add(s.opts.WriteTimeout))
+		if _, err := w.Write(b); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	sendRow := func(row int, t *fot.Ticket) bool {
+		if binary {
+			frame = enc.AppendRow(frame[:0], row, t)
+			return sendBin(frame)
+		}
+		m, err := rowMessage(row, *t)
+		if err != nil {
+			send(&Message{Kind: KindError, Error: err.Error()})
+			return false
+		}
+		return send(m)
+	}
+	sendEpoch := func(epoch uint64, rows int, foldedAt time.Time) bool {
+		if binary {
+			frame = wire.AppendEpoch(frame[:0], epoch, rows, foldedAt)
+			return sendBin(frame)
+		}
+		return send(&Message{Kind: KindEpoch, Epoch: epoch, Rows: rows, FoldedAt: foldedAt})
+	}
+	sendHello := func(epoch uint64, rows int) bool {
+		if binary {
+			frame = wire.AppendHello(frame[:0], epoch, rows)
+			return sendBin(frame)
+		}
+		return send(&Message{Kind: KindHello, Epoch: epoch, Rows: rows})
+	}
+	sendError := func(msg string) {
+		if binary {
+			frame = wire.AppendError(frame[:0], "", msg)
+			sendBin(frame)
+			return
+		}
+		send(&Message{Kind: KindError, Error: msg})
+	}
+
 	watch := s.state.Watch()
 	defer s.state.Unwatch(watch)
 
-	if !send(&Message{Kind: KindHello, Epoch: tip.Epoch(), Rows: tip.Tickets()}) {
+	if !send(&Message{Kind: KindHello, Epoch: tip.Epoch(), Rows: tip.Tickets(), Codec: codec}) {
 		return
 	}
 
@@ -179,16 +244,11 @@ func (s *Server) stream(conn net.Conn) {
 		if snap.Tickets() > sentRows {
 			rows, err := s.state.Rows(sentRows, snap.Tickets())
 			if err != nil {
-				send(&Message{Kind: KindError, Error: err.Error()})
+				sendError(err.Error())
 				return
 			}
-			for i, t := range rows {
-				m, err := rowMessage(sentRows+i, t)
-				if err != nil {
-					send(&Message{Kind: KindError, Error: err.Error()})
-					return
-				}
-				if !send(m) {
+			for i := range rows {
+				if !sendRow(sentRows+i, &rows[i]) {
 					return
 				}
 			}
@@ -197,7 +257,7 @@ func (s *Server) stream(conn net.Conn) {
 		if snap.Epoch() > sentEpoch {
 			// One marker per observed fold; collapsed intermediate epochs
 			// are fine — the replica jumps straight to this one.
-			if !send(&Message{Kind: KindEpoch, Epoch: snap.Epoch(), Rows: snap.Tickets(), FoldedAt: snap.FoldedAt()}) {
+			if !sendEpoch(snap.Epoch(), snap.Tickets(), snap.FoldedAt()) {
 				return
 			}
 			sentEpoch = snap.Epoch()
@@ -206,7 +266,7 @@ func (s *Server) stream(conn net.Conn) {
 		case <-watch:
 		case <-heartbeat.C:
 			cur := s.state.Current()
-			if !send(&Message{Kind: KindHello, Epoch: cur.Epoch(), Rows: cur.Tickets()}) {
+			if !sendHello(cur.Epoch(), cur.Tickets()) {
 				return
 			}
 		case <-s.closing:

@@ -3,7 +3,9 @@ package replica
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 
 	"dcfail/internal/fot"
 	"dcfail/internal/serve"
+	"dcfail/internal/wire"
 )
 
 // SyncerOptions tunes a replica's catch-up loop.
@@ -31,6 +34,11 @@ type SyncerOptions struct {
 	StallTimeout time.Duration
 	// Now stamps deadlines and lag bookkeeping (nil means time.Now).
 	Now func() time.Time
+	// Codec selects the stream codec. "" and "binary" offer the dense
+	// binary row codec at subscribe time, falling back to NL-JSON
+	// transparently against primaries that decline or predate it;
+	// "json" forces legacy NL-JSON without offering.
+	Codec string
 }
 
 // SyncStats is a snapshot of the syncer's lifetime counters.
@@ -43,6 +51,9 @@ type SyncStats struct {
 	Connected   bool   `json:"connected"`
 	TipEpoch    uint64 `json:"tip_epoch"` // newest primary epoch heard of
 	LastError   string `json:"last_error,omitempty"`
+	// Codec is what the most recent successful handshake negotiated:
+	// wire.CodecBinV1 or "json" ("" before the first connection).
+	Codec string `json:"codec,omitempty"`
 }
 
 // Syncer keeps one serve.State converged with a primary's replication
@@ -65,6 +76,7 @@ type Syncer struct {
 	tipEpoch    atomic.Uint64
 	behindSince atomic.Int64 // unix nanos; 0 = caught up
 	lastErr     atomic.Pointer[string]
+	lastCodec   atomic.Pointer[string]
 
 	mu        sync.Mutex
 	conn      net.Conn // live connection, severed by Stop
@@ -135,6 +147,9 @@ func (s *Syncer) Stats() SyncStats {
 	}
 	if msg := s.lastErr.Load(); msg != nil {
 		st.LastError = *msg
+	}
+	if c := s.lastCodec.Load(); c != nil {
+		st.Codec = *c
 	}
 	return st
 }
@@ -217,14 +232,19 @@ func (s *Syncer) run() {
 }
 
 // stream runs one connection: subscribe from the resume position (the
-// fold boundary plus any retained pending rows), then apply rows and
-// markers until the link errors. It reports whether any message was
-// applied, so the caller resets backoff only on progress.
+// fold boundary plus any retained pending rows), read the JSON hello
+// that carries the codec pick, then apply rows and markers — binary
+// frames or JSON lines — until the link errors. It reports whether any
+// message was applied, so the caller resets backoff only on progress.
 func (s *Syncer) stream(conn net.Conn) (progressed bool, err error) {
 	local := s.state.Current()
 	folded := local.Tickets()
 	nextRow := folded + len(s.pending)
-	sub, err := encode(&Message{Kind: KindSync, Epoch: local.Epoch(), Row: nextRow})
+	req := &Message{Kind: KindSync, Epoch: local.Epoch(), Row: nextRow}
+	if s.opts.Codec != "json" {
+		req.Codecs = []string{wire.CodecBinV1}
+	}
+	sub, err := encode(req)
 	if err != nil {
 		return false, err
 	}
@@ -233,73 +253,195 @@ func (s *Syncer) stream(conn net.Conn) (progressed bool, err error) {
 		return false, fmt.Errorf("replica: subscribe: %w", err)
 	}
 
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
+	// One buffered reader for the whole connection. The handshake line is
+	// JSON under either codec, and after a binary pick the primary's
+	// frames may already sit in this buffer behind the hello — so the
+	// frame reader below must wrap br, never the raw conn (a Scanner
+	// cannot be handed off this way, which is why this loop reads lines
+	// manually).
+	br := bufio.NewReaderSize(conn, 64*1024)
+	readLine := func() ([]byte, error) {
+		var line []byte
+		for {
+			chunk, err := br.ReadSlice('\n')
+			line = append(line, chunk...)
+			if len(line) > MaxFrameBytes {
+				return nil, fmt.Errorf("replica: frame exceeds %d bytes", MaxFrameBytes)
+			}
+			if err == nil {
+				return line, nil
+			}
+			if errors.Is(err, bufio.ErrBufferFull) {
+				continue
+			}
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("replica: primary closed the stream")
+			}
+			return nil, fmt.Errorf("replica: stream read: %w", err)
+		}
+	}
+
+	// Shared frame semantics, codec-neutral. applyHello: the first hello
+	// doubles as the connection-established signal; later ones are
+	// heartbeats that refresh the tip. applyRow dedups at-least-once
+	// replays by row index — the same role as the collector's
+	// (AgentID, Seq) index, keyed by the total order the log gives us.
+	applyHello := func(epoch uint64) {
+		s.connected.Store(true)
+		progressed = true
+		if epoch > s.tipEpoch.Load() {
+			s.tipEpoch.Store(epoch)
+		}
+		s.reviseLag()
+	}
+	applyRow := func(row int, t fot.Ticket) error {
+		if row > nextRow {
+			return fmt.Errorf("replica: row gap: got %d, want %d", row, nextRow)
+		}
+		s.pending = append(s.pending, t)
+		nextRow++
+		s.rows.Add(1)
+		progressed = true
+		return nil
+	}
+	applyEpoch := func(epoch uint64, rows int, foldedAt time.Time) error {
+		if epoch > s.tipEpoch.Load() {
+			s.tipEpoch.Store(epoch)
+		}
+		if epoch <= s.state.Current().Epoch() {
+			return nil // marker replay; the fold already happened
+		}
+		if rows > nextRow {
+			return fmt.Errorf("replica: epoch %d needs %d rows, have %d", epoch, rows, nextRow)
+		}
+		take := rows - folded
+		if take < 0 {
+			return fmt.Errorf("replica: epoch %d rows %d behind local log %d", epoch, rows, folded)
+		}
+		if _, err := s.state.FoldTo(s.pending[:take], epoch, foldedAt); err != nil {
+			return err
+		}
+		s.pending = s.pending[take:]
+		folded = rows
+		s.folds.Add(1)
+		progressed = true
+		s.reviseLag()
+		return nil
+	}
+
+	// The handshake reply: a JSON hello carrying the codec pick, or a
+	// terminal rejection.
+	conn.SetReadDeadline(s.now().Add(s.opts.StallTimeout))
+	line, err := readLine()
+	if err != nil {
+		return progressed, err
+	}
+	var hello Message
+	if err := json.Unmarshal(line, &hello); err != nil {
+		return progressed, fmt.Errorf("replica: decode frame: %w", err)
+	}
+	switch hello.Kind {
+	case KindHello:
+		applyHello(hello.Epoch)
+		negotiated := hello.Codec
+		if negotiated == "" {
+			negotiated = "json"
+		}
+		s.lastCodec.Store(&negotiated)
+	case KindError:
+		return progressed, fmt.Errorf("replica: primary rejected stream: %s", hello.Error)
+	default:
+		return progressed, fmt.Errorf("replica: expected hello, got %q", hello.Kind)
+	}
+
+	if hello.Codec == wire.CodecBinV1 {
+		fr := wire.NewFrameReader(br)
+		dec := wire.NewDecoder()
+		var t fot.Ticket
+		for {
+			conn.SetReadDeadline(s.now().Add(s.opts.StallTimeout))
+			kind, payload, err := fr.Next()
+			if err != nil {
+				if errors.Is(err, wire.ErrCRC) {
+					s.crcFailures.Add(1)
+				}
+				if errors.Is(err, io.EOF) {
+					return progressed, fmt.Errorf("replica: primary closed the stream")
+				}
+				return progressed, fmt.Errorf("replica: stream read: %w", err)
+			}
+			switch kind {
+			case wire.KindHello:
+				epoch, _, derr := wire.DecodeHello(payload)
+				if derr != nil {
+					return progressed, derr
+				}
+				applyHello(epoch)
+			case wire.KindRow:
+				// Decode before the dedup check: replayed rows must still
+				// advance the per-connection symbol table or every later
+				// string reference is off by the skipped definitions.
+				row, derr := dec.DecodeRowInto(payload, &t)
+				if derr != nil {
+					return progressed, derr
+				}
+				if row < nextRow {
+					s.dups.Add(1)
+					continue
+				}
+				if err := applyRow(row, t); err != nil {
+					return progressed, err
+				}
+			case wire.KindEpoch:
+				epoch, rows, foldedAt, derr := wire.DecodeEpoch(payload)
+				if derr != nil {
+					return progressed, derr
+				}
+				if err := applyEpoch(epoch, rows, foldedAt); err != nil {
+					return progressed, err
+				}
+			case wire.KindError:
+				_, msg, derr := wire.DecodeError(payload)
+				if derr != nil {
+					return progressed, derr
+				}
+				return progressed, fmt.Errorf("replica: primary rejected stream: %s", msg)
+			default:
+				return progressed, fmt.Errorf("replica: unknown frame kind %d", kind)
+			}
+		}
+	}
 
 	for {
 		conn.SetReadDeadline(s.now().Add(s.opts.StallTimeout))
-		if !sc.Scan() {
-			if serr := sc.Err(); serr != nil {
-				return progressed, fmt.Errorf("replica: stream read: %w", serr)
-			}
-			return progressed, fmt.Errorf("replica: primary closed the stream")
+		line, err := readLine()
+		if err != nil {
+			return progressed, err
 		}
 		var m Message
-		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		if err := json.Unmarshal(line, &m); err != nil {
 			return progressed, fmt.Errorf("replica: decode frame: %w", err)
 		}
 		switch m.Kind {
 		case KindHello:
-			// First hello doubles as the connection-established signal;
-			// later ones are heartbeats that refresh the tip.
-			s.connected.Store(true)
-			progressed = true
-			if m.Epoch > s.tipEpoch.Load() {
-				s.tipEpoch.Store(m.Epoch)
-			}
-			s.reviseLag()
+			applyHello(m.Epoch)
 		case KindRow:
 			if m.Row < nextRow {
-				// At-least-once replay after a reconnect: same dedup role
-				// as the collector's (AgentID, Seq) index, keyed by the
-				// total order the log already gives us.
 				s.dups.Add(1)
 				continue
-			}
-			if m.Row > nextRow {
-				return progressed, fmt.Errorf("replica: row gap: got %d, want %d", m.Row, nextRow)
 			}
 			t, err := decodeRow(&m)
 			if err != nil {
 				s.crcFailures.Add(1)
 				return progressed, err
 			}
-			s.pending = append(s.pending, t)
-			nextRow++
-			s.rows.Add(1)
-			progressed = true
-		case KindEpoch:
-			if m.Epoch > s.tipEpoch.Load() {
-				s.tipEpoch.Store(m.Epoch)
-			}
-			if m.Epoch <= s.state.Current().Epoch() {
-				continue // marker replay; the fold already happened
-			}
-			if m.Rows > nextRow {
-				return progressed, fmt.Errorf("replica: epoch %d needs %d rows, have %d", m.Epoch, m.Rows, nextRow)
-			}
-			take := m.Rows - folded
-			if take < 0 {
-				return progressed, fmt.Errorf("replica: epoch %d rows %d behind local log %d", m.Epoch, m.Rows, folded)
-			}
-			if _, err := s.state.FoldTo(s.pending[:take], m.Epoch, m.FoldedAt); err != nil {
+			if err := applyRow(m.Row, t); err != nil {
 				return progressed, err
 			}
-			s.pending = s.pending[take:]
-			folded = m.Rows
-			s.folds.Add(1)
-			progressed = true
-			s.reviseLag()
+		case KindEpoch:
+			if err := applyEpoch(m.Epoch, m.Rows, m.FoldedAt); err != nil {
+				return progressed, err
+			}
 		case KindError:
 			return progressed, fmt.Errorf("replica: primary rejected stream: %s", m.Error)
 		default:

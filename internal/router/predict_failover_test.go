@@ -28,21 +28,10 @@ import (
 func TestAtRiskFailoverConsistency(t *testing.T) {
 	trace, census := chaosWorld(t)
 
-	// Replicas fold what the replication wire delivers: tickets that
-	// round-tripped fot.MarshalJSONLine (RFC3339, second precision). The
-	// oracle must fold the same bytes-on-the-wire view, not the in-memory
-	// trace with its nanosecond timestamps.
-	wire := make([]fot.Ticket, trace.Len())
-	for i, tk := range trace.Tickets {
-		line, err := fot.MarshalJSONLine(tk)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if wire[i], err = fot.UnmarshalJSONLine(line); err != nil {
-			t.Fatal(err)
-		}
-	}
-
+	// Replicas fold what the replication wire delivers. The negotiated
+	// binary codec is lossless (nanoseconds included), so the oracle
+	// folds the primary's in-memory tickets verbatim — the wire no
+	// longer truncates timestamps the way the legacy JSON codec did.
 	primary := serve.NewState(census, 0)
 	var epochRows sync.Map // uint64 epoch -> int rows
 	epochRows.Store(uint64(0), 0)
@@ -93,7 +82,7 @@ func TestAtRiskFailoverConsistency(t *testing.T) {
 			return nil, fmt.Errorf("epoch %d was never published by the primary", epoch)
 		}
 		e := predict.NewEngine(predict.Options{})
-		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(wire[:rowsAny.(int)])), epoch)
+		e.Advance(fot.BorrowTraceIndex(fot.NewTrace(trace.Tickets[:rowsAny.(int)])), epoch)
 		ranked, _ := e.AtRisk(topN)
 		refs[epoch] = ranked
 		return ranked, nil

@@ -1,0 +1,535 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// noTimeNS is the on-wire sentinel for a zero time.Time (unset OpTime
+// or DeployTime). math.MinInt64 is outside time.Time's representable
+// unix-nano range, so it can never collide with a real timestamp.
+const noTimeNS = math.MinInt64
+
+// timeNS converts a time to wire nanos, mapping the zero time to the
+// sentinel.
+func timeNS(t time.Time) int64 {
+	if t.IsZero() {
+		return noTimeNS
+	}
+	return t.UnixNano()
+}
+
+// nsTime inverts timeNS. Real timestamps come back in UTC, matching
+// what every dcfail producer stores.
+func nsTime(ns int64) time.Time {
+	if ns == noTimeNS {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// Report is the binary twin of fmsnet.Report: the subset of ticket
+// fields a host agent knows, plus the delivery sequence number that
+// rides in the JSON envelope. fmsnet converts at its boundary so the
+// two packages do not import each other.
+type Report struct {
+	Seq        uint64
+	InWarranty bool
+
+	HostID      uint64
+	Hostname    string
+	IDC         string
+	Rack        string
+	Position    int
+	Device      string
+	Slot        string
+	Type        string
+	Time        time.Time
+	Detail      string
+	ProductLine string
+	DeployTime  time.Time
+	Model       string
+}
+
+// Encoder appends frames to caller-owned buffers, interning strings
+// into the stream's symbol table as it goes. One Encoder per stream;
+// it is not safe for concurrent use.
+type Encoder struct {
+	syms map[string]uint32
+}
+
+// NewEncoder returns an encoder with an empty symbol table.
+func NewEncoder() *Encoder {
+	return &Encoder{syms: make(map[string]uint32)}
+}
+
+// appendString writes one tagged string (see the package doc for the
+// tag scheme), defining a new symbol when the string is unseen and the
+// table has room.
+func (e *Encoder) appendString(dst []byte, s string) []byte {
+	if id, ok := e.syms[s]; ok {
+		return binary.AppendUvarint(dst, uint64(id)+2)
+	}
+	if len(e.syms) < MaxSymbols {
+		e.syms[s] = uint32(len(e.syms))
+		dst = binary.AppendUvarint(dst, 0)
+	} else {
+		dst = binary.AppendUvarint(dst, 1)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendRawString writes a length-prefixed string outside the symbol
+// table — used by frames (KindError) that must decode against any
+// table state.
+func appendRawString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+// appendTicketBody encodes the dense ticket fields: varint ids, fixed
+// int64 nanos, one byte per enum, tagged strings.
+func (e *Encoder) appendTicketBody(dst []byte, t *fot.Ticket) []byte {
+	dst = binary.AppendUvarint(dst, t.ID)
+	dst = binary.AppendUvarint(dst, t.HostID)
+	dst = appendI64(dst, timeNS(t.Time))
+	dst = appendI64(dst, timeNS(t.OpTime))
+	dst = appendI64(dst, timeNS(t.DeployTime))
+	dst = append(dst, byte(t.Device), byte(t.Category), byte(t.Action))
+	dst = binary.AppendVarint(dst, int64(t.Position))
+	dst = e.appendString(dst, t.Hostname)
+	dst = e.appendString(dst, t.IDC)
+	dst = e.appendString(dst, t.Rack)
+	dst = e.appendString(dst, t.Slot)
+	dst = e.appendString(dst, t.Type)
+	dst = e.appendString(dst, t.Detail)
+	dst = e.appendString(dst, t.Operator)
+	dst = e.appendString(dst, t.ProductLine)
+	return e.appendString(dst, t.Model)
+}
+
+// AppendTicket appends one KindTicket frame carrying t.
+func (e *Encoder) AppendTicket(dst []byte, t *fot.Ticket) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindTicket)
+	dst = e.appendTicketBody(dst, t)
+	return sealFrame(dst, start)
+}
+
+// AppendRow appends one KindRow frame: a replica stream row index
+// followed by the ticket body.
+func (e *Encoder) AppendRow(dst []byte, row int, t *fot.Ticket) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindRow)
+	dst = binary.AppendUvarint(dst, uint64(row))
+	dst = e.appendTicketBody(dst, t)
+	return sealFrame(dst, start)
+}
+
+// AppendReport appends one KindReport frame carrying r.
+func (e *Encoder) AppendReport(dst []byte, r *Report) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindReport)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	var flags byte
+	if r.InWarranty {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, r.HostID)
+	dst = appendI64(dst, timeNS(r.Time))
+	dst = appendI64(dst, timeNS(r.DeployTime))
+	dst = binary.AppendVarint(dst, int64(r.Position))
+	dst = e.appendString(dst, r.Hostname)
+	dst = e.appendString(dst, r.IDC)
+	dst = e.appendString(dst, r.Rack)
+	dst = e.appendString(dst, r.Device)
+	dst = e.appendString(dst, r.Slot)
+	dst = e.appendString(dst, r.Type)
+	dst = e.appendString(dst, r.Detail)
+	dst = e.appendString(dst, r.ProductLine)
+	dst = e.appendString(dst, r.Model)
+	return sealFrame(dst, start)
+}
+
+// AppendAck appends one KindAck frame: ticket id + duplicate flag. It
+// touches no symbol state, so it needs no Encoder.
+func AppendAck(dst []byte, ticketID uint64, duplicate bool) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindAck)
+	dst = binary.AppendUvarint(dst, ticketID)
+	var flags byte
+	if duplicate {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	return sealFrame(dst, start)
+}
+
+// AppendError appends one KindError frame: code + message as raw
+// strings, decodable against any symbol-table state.
+func AppendError(dst []byte, code, msg string) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindError)
+	dst = appendRawString(dst, code)
+	dst = appendRawString(dst, msg)
+	return sealFrame(dst, start)
+}
+
+// AppendEpoch appends one KindEpoch frame: the replica fold marker.
+func AppendEpoch(dst []byte, epoch uint64, rows int, foldedAt time.Time) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindEpoch)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	dst = appendI64(dst, timeNS(foldedAt))
+	return sealFrame(dst, start)
+}
+
+// AppendHello appends one KindHello frame: the replica heartbeat
+// carrying the primary's current epoch and row count.
+func AppendHello(dst []byte, epoch uint64, rows int) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, KindHello)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	return sealFrame(dst, start)
+}
+
+// Decoder decodes frame payloads, mirroring the peer Encoder's symbol
+// table. One Decoder per stream; not safe for concurrent use.
+type Decoder struct {
+	syms []string
+}
+
+// NewDecoder returns a decoder with an empty symbol table.
+func NewDecoder() *Decoder {
+	return &Decoder{}
+}
+
+// readUvarint decodes one uvarint at p[pos:].
+func readUvarint(p []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(p[pos:])
+	if n <= 0 {
+		return 0, pos, fmt.Errorf("%w: bad uvarint at %d", ErrMalformed, pos)
+	}
+	return v, pos + n, nil
+}
+
+// readVarint decodes one zigzag varint at p[pos:].
+func readVarint(p []byte, pos int) (int64, int, error) {
+	v, n := binary.Varint(p[pos:])
+	if n <= 0 {
+		return 0, pos, fmt.Errorf("%w: bad varint at %d", ErrMalformed, pos)
+	}
+	return v, pos + n, nil
+}
+
+// readI64 decodes one fixed little-endian int64 at p[pos:].
+func readI64(p []byte, pos int) (int64, int, error) {
+	if len(p)-pos < 8 {
+		return 0, pos, fmt.Errorf("%w: short int64 at %d", ErrMalformed, pos)
+	}
+	return int64(binary.LittleEndian.Uint64(p[pos:])), pos + 8, nil
+}
+
+// readByte decodes one byte at p[pos:].
+func readByte(p []byte, pos int) (byte, int, error) {
+	if pos >= len(p) {
+		return 0, pos, fmt.Errorf("%w: short byte at %d", ErrMalformed, pos)
+	}
+	return p[pos], pos + 1, nil
+}
+
+// readRawString decodes one length-prefixed string outside the symbol
+// table.
+func readRawString(p []byte, pos int) (string, int, error) {
+	ln, pos, err := readUvarint(p, pos)
+	if err != nil {
+		return "", pos, err
+	}
+	if ln > uint64(len(p)-pos) {
+		return "", pos, fmt.Errorf("%w: string length %d overruns payload", ErrMalformed, ln)
+	}
+	s := string(p[pos : pos+int(ln)])
+	return s, pos + int(ln), nil
+}
+
+// readString decodes one tagged string, updating the symbol table on a
+// definition.
+func (d *Decoder) readString(p []byte, pos int) (string, int, error) {
+	tag, pos, err := readUvarint(p, pos)
+	if err != nil {
+		return "", pos, err
+	}
+	switch tag {
+	case 0, 1:
+		s, pos, err := readRawString(p, pos)
+		if err != nil {
+			return "", pos, err
+		}
+		if tag == 0 {
+			if len(d.syms) >= MaxSymbols {
+				return "", pos, fmt.Errorf("%w: symbol table overflow", ErrMalformed)
+			}
+			d.syms = append(d.syms, s)
+		}
+		return s, pos, nil
+	default:
+		id := tag - 2
+		if id >= uint64(len(d.syms)) {
+			return "", pos, fmt.Errorf("%w: id %d of %d", ErrSymbol, id, len(d.syms))
+		}
+		return d.syms[id], pos, nil
+	}
+}
+
+// decodeTicketBody decodes a ticket body at p[pos:] into t, returning
+// the position past it.
+func (d *Decoder) decodeTicketBody(p []byte, pos int, t *fot.Ticket) (int, error) {
+	var err error
+	if t.ID, pos, err = readUvarint(p, pos); err != nil {
+		return pos, err
+	}
+	if t.HostID, pos, err = readUvarint(p, pos); err != nil {
+		return pos, err
+	}
+	var ns int64
+	if ns, pos, err = readI64(p, pos); err != nil {
+		return pos, err
+	}
+	t.Time = nsTime(ns)
+	if ns, pos, err = readI64(p, pos); err != nil {
+		return pos, err
+	}
+	t.OpTime = nsTime(ns)
+	if ns, pos, err = readI64(p, pos); err != nil {
+		return pos, err
+	}
+	t.DeployTime = nsTime(ns)
+	var b byte
+	if b, pos, err = readByte(p, pos); err != nil {
+		return pos, err
+	}
+	t.Device = fot.Component(b)
+	if b, pos, err = readByte(p, pos); err != nil {
+		return pos, err
+	}
+	t.Category = fot.Category(b)
+	if b, pos, err = readByte(p, pos); err != nil {
+		return pos, err
+	}
+	t.Action = fot.Action(b)
+	var v int64
+	if v, pos, err = readVarint(p, pos); err != nil {
+		return pos, err
+	}
+	t.Position = int(v)
+	if t.Hostname, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.IDC, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Rack, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Slot, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Type, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Detail, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Operator, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.ProductLine, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	if t.Model, pos, err = d.readString(p, pos); err != nil {
+		return pos, err
+	}
+	return pos, nil
+}
+
+// DecodeTicketInto decodes a KindTicket payload into *t without
+// allocating (beyond symbol definitions on first sight).
+func (d *Decoder) DecodeTicketInto(p []byte, t *fot.Ticket) error {
+	*t = fot.Ticket{}
+	pos, err := d.decodeTicketBody(p, 0, t)
+	if err != nil {
+		return err
+	}
+	if pos != len(p) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return nil
+}
+
+// DecodeTicket decodes a KindTicket payload.
+func (d *Decoder) DecodeTicket(p []byte) (fot.Ticket, error) {
+	var t fot.Ticket
+	err := d.DecodeTicketInto(p, &t)
+	return t, err
+}
+
+// DecodeRowInto decodes a KindRow payload: the replica row index and
+// the ticket it carries.
+func (d *Decoder) DecodeRowInto(p []byte, t *fot.Ticket) (row int, err error) {
+	*t = fot.Ticket{}
+	r, pos, err := readUvarint(p, 0)
+	if err != nil {
+		return 0, err
+	}
+	pos, err = d.decodeTicketBody(p, pos, t)
+	if err != nil {
+		return 0, err
+	}
+	if pos != len(p) {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return int(r), nil
+}
+
+// DecodeReportInto decodes a KindReport payload into *r.
+func (d *Decoder) DecodeReportInto(p []byte, r *Report) error {
+	*r = Report{}
+	var err error
+	pos := 0
+	if r.Seq, pos, err = readUvarint(p, pos); err != nil {
+		return err
+	}
+	var flags byte
+	if flags, pos, err = readByte(p, pos); err != nil {
+		return err
+	}
+	r.InWarranty = flags&1 != 0
+	if r.HostID, pos, err = readUvarint(p, pos); err != nil {
+		return err
+	}
+	var ns int64
+	if ns, pos, err = readI64(p, pos); err != nil {
+		return err
+	}
+	r.Time = nsTime(ns)
+	if ns, pos, err = readI64(p, pos); err != nil {
+		return err
+	}
+	r.DeployTime = nsTime(ns)
+	var v int64
+	if v, pos, err = readVarint(p, pos); err != nil {
+		return err
+	}
+	r.Position = int(v)
+	if r.Hostname, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.IDC, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Rack, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Device, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Slot, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Type, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Detail, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.ProductLine, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if r.Model, pos, err = d.readString(p, pos); err != nil {
+		return err
+	}
+	if pos != len(p) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return nil
+}
+
+// DecodeAck decodes a KindAck payload.
+func DecodeAck(p []byte) (ticketID uint64, duplicate bool, err error) {
+	id, pos, err := readUvarint(p, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	flags, pos, err := readByte(p, pos)
+	if err != nil {
+		return 0, false, err
+	}
+	if pos != len(p) {
+		return 0, false, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return id, flags&1 != 0, nil
+}
+
+// DecodeError decodes a KindError payload.
+func DecodeError(p []byte) (code, msg string, err error) {
+	code, pos, err := readRawString(p, 0)
+	if err != nil {
+		return "", "", err
+	}
+	msg, pos, err = readRawString(p, pos)
+	if err != nil {
+		return "", "", err
+	}
+	if pos != len(p) {
+		return "", "", fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return code, msg, nil
+}
+
+// DecodeEpoch decodes a KindEpoch payload.
+func DecodeEpoch(p []byte) (epoch uint64, rows int, foldedAt time.Time, err error) {
+	e, pos, err := readUvarint(p, 0)
+	if err != nil {
+		return 0, 0, time.Time{}, err
+	}
+	r, pos, err := readUvarint(p, pos)
+	if err != nil {
+		return 0, 0, time.Time{}, err
+	}
+	ns, pos, err := readI64(p, pos)
+	if err != nil {
+		return 0, 0, time.Time{}, err
+	}
+	if pos != len(p) {
+		return 0, 0, time.Time{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return e, int(r), nsTime(ns), nil
+}
+
+// DecodeHello decodes a KindHello payload.
+func DecodeHello(p []byte) (epoch uint64, rows int, err error) {
+	e, pos, err := readUvarint(p, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, pos, err := readUvarint(p, pos)
+	if err != nil {
+		return 0, 0, err
+	}
+	if pos != len(p) {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(p)-pos)
+	}
+	return e, int(r), nil
+}

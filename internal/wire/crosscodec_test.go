@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// crossCorpus is a set of tickets chosen to stress codec boundaries:
+// sub-second timestamps (which JSON's RFC 3339 encoding truncates to
+// whole seconds), unset optional times, empty optional strings, and
+// multi-byte UTF-8 in free-text fields.
+func crossCorpus() []fot.Ticket {
+	base := time.Date(2017, 11, 5, 3, 4, 5, 0, time.UTC)
+	tickets := []fot.Ticket{
+		testTicket(0),
+		testTicket(3),
+		{
+			ID: 7, HostID: 42, IDC: "idc-北京-1", Position: 1,
+			Device: fot.Memory, Type: "CE Overflow",
+			Time:     base.Add(999999999 * time.Nanosecond), // sub-second
+			Detail:   "corrected errors ≥ threshold — überwachung",
+			Category: fot.Error, Action: fot.ActionIgnore,
+		},
+		{
+			ID: 8, HostID: 43, IDC: "dc01", Position: 2,
+			Device: fot.HDD, Type: "SMARTFail",
+			Time:     base,
+			Category: fot.Fixing, Action: fot.ActionNone,
+			// every optional field empty/zero
+		},
+	}
+	return tickets
+}
+
+// binRoundTrip pushes one ticket through a fresh encoder/decoder pair.
+func binRoundTrip(t *testing.T, tk fot.Ticket) fot.Ticket {
+	t.Helper()
+	frame := NewEncoder().AppendTicket(nil, &tk)
+	kind, payload, rest, err := DecodeFrame(frame)
+	if err != nil || kind != KindTicket || len(rest) != 0 {
+		t.Fatalf("DecodeFrame: kind=%d rest=%d err=%v", kind, len(rest), err)
+	}
+	got, err := NewDecoder().DecodeTicket(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// jsonRoundTrip pushes one ticket through the archive/trace JSON-lines
+// codec.
+func jsonRoundTrip(t *testing.T, tk fot.Ticket) fot.Ticket {
+	t.Helper()
+	line, err := fot.MarshalJSONLine(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fot.UnmarshalJSONLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestCrossCodecRoundTripEquivalence pins the contract the mixed-codec
+// archive and the report byte-identity gate rely on: the binary codec is
+// lossless on any ticket, and on the JSON-normalized image of a ticket
+// (what a JSON segment or the legacy wire actually stores) the two
+// codecs are interchangeable — a ticket can cross JSON→binary→JSON any
+// number of times without drifting by a byte.
+func TestCrossCodecRoundTripEquivalence(t *testing.T) {
+	for i, tk := range crossCorpus() {
+		// Binary alone is exact, nanoseconds included.
+		if got := binRoundTrip(t, tk); !reflect.DeepEqual(got, tk) {
+			t.Fatalf("ticket %d: binary round trip not lossless:\n got %+v\nwant %+v", i, got, tk)
+		}
+
+		// JSON normalizes (RFC 3339 truncates sub-second precision); its
+		// image must be a fixed point of BOTH codecs.
+		norm := jsonRoundTrip(t, tk)
+		if again := jsonRoundTrip(t, norm); !reflect.DeepEqual(again, norm) {
+			t.Fatalf("ticket %d: JSON round trip not idempotent", i)
+		}
+		if got := binRoundTrip(t, norm); !reflect.DeepEqual(got, norm) {
+			t.Fatalf("ticket %d: binary round trip of JSON-normalized ticket drifted:\n got %+v\nwant %+v", i, got, norm)
+		}
+
+		// And the serialized images agree: re-marshaling the binary round
+		// trip reproduces the original JSON line byte for byte.
+		want, err := fot.MarshalJSONLine(norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fot.MarshalJSONLine(binRoundTrip(t, norm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ticket %d: JSON image changed across the binary codec:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+// FuzzDecodeFrame drives the frame splitter and every payload decoder
+// with arbitrary bytes: the decoders must never panic, and any rejection
+// must be one of the package's typed errors.
+func FuzzDecodeFrame(f *testing.F) {
+	enc := NewEncoder()
+	for i := 0; i < 4; i++ {
+		tk := testTicket(i)
+		f.Add(enc.AppendTicket(nil, &tk))
+		f.Add(enc.AppendRow(nil, i*10, &tk))
+	}
+	rep := Report{Seq: 9, InWarranty: true, HostID: 4, IDC: "idc-1", Device: "memory",
+		Type: "CE", Time: time.Date(2019, 1, 2, 3, 4, 5, 6, time.UTC)}
+	f.Add(enc.AppendReport(nil, &rep))
+	f.Add(AppendAck(nil, 12, false))
+	f.Add(AppendError(nil, "bad_request", "nope"))
+	f.Add(AppendEpoch(nil, 3, 77, time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)))
+	f.Add(AppendHello(nil, 1, 2))
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+
+	typed := func(err error) bool {
+		return errors.Is(err, ErrTruncated) || errors.Is(err, ErrCRC) ||
+			errors.Is(err, ErrVersion) || errors.Is(err, ErrFrameTooBig) ||
+			errors.Is(err, ErrMalformed) || errors.Is(err, ErrSymbol)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for i := 0; i < 64 && len(rest) > 0; i++ {
+			kind, payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				if !typed(err) {
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				return
+			}
+			dec := NewDecoder()
+			switch kind {
+			case KindTicket:
+				if _, err := dec.DecodeTicket(payload); err != nil && !typed(err) {
+					t.Fatalf("untyped ticket error: %v", err)
+				}
+			case KindRow:
+				var tkt fot.Ticket
+				if _, err := dec.DecodeRowInto(payload, &tkt); err != nil && !typed(err) {
+					t.Fatalf("untyped row error: %v", err)
+				}
+			case KindReport:
+				var r Report
+				if err := dec.DecodeReportInto(payload, &r); err != nil && !typed(err) {
+					t.Fatalf("untyped report error: %v", err)
+				}
+			case KindAck:
+				if _, _, err := DecodeAck(payload); err != nil && !typed(err) {
+					t.Fatalf("untyped ack error: %v", err)
+				}
+			case KindError:
+				if _, _, err := DecodeError(payload); err != nil && !typed(err) {
+					t.Fatalf("untyped error-frame error: %v", err)
+				}
+			case KindEpoch:
+				if _, _, _, err := DecodeEpoch(payload); err != nil && !typed(err) {
+					t.Fatalf("untyped epoch error: %v", err)
+				}
+			case KindHello:
+				if _, _, err := DecodeHello(payload); err != nil && !typed(err) {
+					t.Fatalf("untyped hello error: %v", err)
+				}
+			}
+			rest = next
+		}
+	})
+}

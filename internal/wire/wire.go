@@ -1,0 +1,211 @@
+// Package wire implements dcfail's binary ticket codec: the
+// length-prefixed, CRC-framed wire format that fmsnet (agent →
+// collector), internal/replica (primary → replica), and the binary
+// archive log share. It exists because the system's throughput ceiling
+// moved to the edges once the analysis core went columnar — JSON
+// marshalling of ~300-byte ticket lines was the ingest hot path.
+//
+// # Frame layout
+//
+// Every message is one frame:
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     kind (Kind* constant)
+//	2       4     payload length, uint32 little-endian
+//	6       4     CRC-32 (IEEE) of the payload, uint32 little-endian
+//	10      n     payload
+//
+// The CRC covers the payload only; the header is validated
+// structurally (version, kind, bounded length). A frame never exceeds
+// MaxFrameBytes of payload, mirroring fmsnet's JSON line bound.
+//
+// # Strings and the symbol table
+//
+// Ticket payloads are dense: int64 unix-nanos for times, single bytes
+// for the Category/Component/Action enums, varints for ids, and
+// interned symbol references for the nine string fields. Both ends of
+// a stream maintain one shared, append-only symbol table; the encoder
+// defines a symbol the first time it sends a string and refers back by
+// index afterwards, so a steady-state ticket frame carries no string
+// bytes at all. Each string is prefixed with a uvarint tag:
+//
+//	tag 0    definition: uvarint length + bytes follow; BOTH sides
+//	         append the string to their table (next id = len(table))
+//	tag 1    raw: uvarint length + bytes follow; NOT added to the
+//	         table (the encoder's escape once MaxSymbols is reached,
+//	         so the two tables can never desynchronize)
+//	tag k≥2  reference to table entry k-2
+//
+// The table is per-stream state: a new connection (or a new archive
+// log file) starts with an empty table on both sides. Decoders reject
+// references past the table end with ErrSymbol rather than guessing.
+//
+// # Error taxonomy
+//
+// Decoders never panic on hostile input; they return typed errors that
+// callers classify with errors.Is: ErrTruncated (input ends
+// mid-frame — the torn-tail case recovery paths tolerate), ErrCRC
+// (payload corrupt), ErrVersion / ErrFrameTooBig / ErrMalformed /
+// ErrSymbol (structurally invalid).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the frame format version this package encodes. Decoders
+// reject other versions with ErrVersion; a future incompatible layout
+// bumps this byte and negotiates a new codec name.
+const Version = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 10
+
+// MaxFrameBytes bounds one frame's payload, mirroring fmsnet's JSON
+// line bound so neither codec can make the other's peer buffer more.
+const MaxFrameBytes = 1 << 20
+
+// MaxSymbols caps a stream's symbol table. Past the cap the encoder
+// falls back to raw (non-interned) strings; both sides stop growing
+// their tables at exactly the same point.
+const MaxSymbols = 1 << 20
+
+// CodecBinV1 is the negotiation token for this codec, offered in the
+// JSON hello exchange ("codecs":["bin/1"]) and echoed back by a peer
+// that accepts it. Peers that predate the token ignore the field and
+// the stream stays NL-JSON.
+const CodecBinV1 = "bin/1"
+
+// Frame kinds.
+const (
+	// KindTicket carries one fully-materialized fot.Ticket (archive log,
+	// tooling).
+	KindTicket byte = 1
+	// KindReport carries one agent failure report (fmsnet).
+	KindReport byte = 2
+	// KindAck acknowledges a report: ticket id + duplicate flag.
+	KindAck byte = 3
+	// KindError carries a coded rejection (code + message strings).
+	KindError byte = 4
+	// KindEpoch marks a replica fold point: epoch, rows, folded-at.
+	KindEpoch byte = 5
+	// KindHello is the replica heartbeat/status frame: epoch, rows.
+	KindHello byte = 6
+	// KindRow carries one replica stream row: row index + ticket body.
+	KindRow byte = 7
+)
+
+// Typed decode errors.
+var (
+	// ErrTruncated marks input that ends mid-frame (short header or
+	// short payload) — the recoverable torn-tail shape.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCRC marks a payload whose checksum does not match its header.
+	ErrCRC = errors.New("wire: frame CRC mismatch")
+	// ErrVersion marks a frame with an unsupported version byte.
+	ErrVersion = errors.New("wire: unsupported frame version")
+	// ErrFrameTooBig marks a header declaring a payload over MaxFrameBytes.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrMalformed marks a structurally invalid payload (bad varint,
+	// length overrun, short fixed field).
+	ErrMalformed = errors.New("wire: malformed payload")
+	// ErrSymbol marks a reference past the end of the symbol table.
+	ErrSymbol = errors.New("wire: unknown symbol reference")
+)
+
+// beginFrame appends a frame header with zeroed length/CRC; sealFrame
+// backfills them once the payload is appended.
+func beginFrame(dst []byte, kind byte) []byte {
+	return append(dst, Version, kind, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// sealFrame backfills the length and CRC of the frame whose header
+// starts at start. The payload is everything appended after the header.
+func sealFrame(dst []byte, start int) []byte {
+	payload := dst[start+HeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start+2:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+6:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// DecodeFrame splits one frame off the front of b, validating version,
+// size bound, and CRC. It returns the frame kind, its payload (aliasing
+// b), and the remaining bytes. ErrTruncated means b ends mid-frame —
+// callers tailing a live file treat that as "stop here, retry later".
+func DecodeFrame(b []byte) (kind byte, payload []byte, rest []byte, err error) {
+	if len(b) < HeaderSize {
+		return 0, nil, b, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderSize)
+	}
+	if b[0] != Version {
+		return 0, nil, b, fmt.Errorf("%w: %d", ErrVersion, b[0])
+	}
+	n := binary.LittleEndian.Uint32(b[2:6])
+	if n > MaxFrameBytes {
+		return 0, nil, b, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if uint32(len(b)-HeaderSize) < n {
+		return 0, nil, b, fmt.Errorf("%w: %d payload bytes of %d", ErrTruncated, len(b)-HeaderSize, n)
+	}
+	payload = b[HeaderSize : HeaderSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[6:10]) {
+		return 0, nil, b, ErrCRC
+	}
+	return b[1], payload, b[HeaderSize+int(n):], nil
+}
+
+// FrameReader reads frames off an io.Reader, reusing one payload
+// buffer across calls so steady-state ingest allocates nothing. The
+// payload returned by Next is valid only until the following Next.
+type FrameReader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewFrameReader wraps r. Wrap r in a bufio.Reader first when the
+// transport benefits from read coalescing; FrameReader issues exactly
+// two reads per frame.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads and validates the next frame. A clean end of stream
+// (EOF on a frame boundary) returns io.EOF; EOF mid-frame returns
+// ErrTruncated.
+func (fr *FrameReader) Next() (kind byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: short header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	if fr.hdr[0] != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrVersion, fr.hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[2:6])
+	if n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: short payload", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(fr.hdr[6:10]) {
+		return 0, nil, ErrCRC
+	}
+	return fr.hdr[1], buf, nil
+}

@@ -1,0 +1,321 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"dcfail/internal/fot"
+)
+
+func testTicket(i int) fot.Ticket {
+	base := time.Date(2018, 4, 1, 9, 30, 0, 123456789, time.UTC)
+	return fot.Ticket{
+		ID:          uint64(i + 1),
+		HostID:      uint64(1000 + i%7),
+		Hostname:    "host-7",
+		IDC:         "idc-beijing-2",
+		Rack:        "r12",
+		Position:    3 + i%5,
+		Device:      fot.HDD,
+		Slot:        "slot-1",
+		Type:        "MediumError",
+		Time:        base.Add(time.Duration(i) * 41 * time.Second),
+		Detail:      "SMART reallocated sector count exceeded threshold",
+		Category:    fot.Fixing,
+		Action:      fot.ActionRepairOrder,
+		Operator:    "op-3",
+		OpTime:      base.Add(time.Duration(i)*41*time.Second + 6*time.Hour),
+		ProductLine: "search",
+		DeployTime:  base.AddDate(-2, 0, 0),
+		Model:       "ST4000NM0033",
+	}
+}
+
+func TestTicketRoundTrip(t *testing.T) {
+	enc := NewEncoder()
+	dec := NewDecoder()
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		want := testTicket(i)
+		if i == 4 { // unset optional times must survive the sentinel
+			want.OpTime = time.Time{}
+			want.DeployTime = time.Time{}
+			want.Operator = ""
+		}
+		buf = enc.AppendTicket(buf[:0], &want)
+		kind, payload, rest, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("ticket %d: DecodeFrame: %v", i, err)
+		}
+		if kind != KindTicket || len(rest) != 0 {
+			t.Fatalf("ticket %d: kind=%d rest=%d", i, kind, len(rest))
+		}
+		got, err := dec.DecodeTicket(payload)
+		if err != nil {
+			t.Fatalf("ticket %d: DecodeTicket: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ticket %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestSymbolInterningShrinksSteadyStateFrames(t *testing.T) {
+	enc := NewEncoder()
+	tk := testTicket(0)
+	first := enc.AppendTicket(nil, &tk)
+	second := enc.AppendTicket(nil, &tk)
+	if len(second) >= len(first) {
+		t.Fatalf("interning did not shrink repeat frame: first=%d second=%d", len(first), len(second))
+	}
+	// All nine strings collapse to one-or-two-byte references; the repeat
+	// frame should carry no string bytes at all.
+	if len(second) > HeaderSize+64 {
+		t.Fatalf("steady-state frame unexpectedly large: %d bytes", len(second))
+	}
+}
+
+func TestRawStringTagDoesNotGrowTable(t *testing.T) {
+	// Hand-build a ticket body whose strings all use tag 1 (raw): the
+	// decoder must accept them without extending its table, so a
+	// following tag-2 reference is ErrSymbol.
+	var p []byte
+	p = binary.AppendUvarint(p, 1)  // id
+	p = binary.AppendUvarint(p, 2)  // host
+	p = appendI64(p, 42)            // time
+	p = appendI64(p, noTimeNS)      // optime
+	p = appendI64(p, noTimeNS)      // deploytime
+	p = append(p, 1, 1, 0)          // device, category, action
+	p = binary.AppendVarint(p, 0)   // position
+	for i := 0; i < 8; i++ {
+		p = binary.AppendUvarint(p, 1) // raw tag
+		p = binary.AppendUvarint(p, 1)
+		p = append(p, 'x')
+	}
+	p = binary.AppendUvarint(p, 2) // reference into an empty table
+	dec := NewDecoder()
+	_, err := dec.DecodeTicket(p)
+	if !errors.Is(err, ErrSymbol) {
+		t.Fatalf("want ErrSymbol for reference after raw-only strings, got %v", err)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	enc := NewEncoder()
+	dec := NewDecoder()
+	want := Report{
+		Seq:         77,
+		InWarranty:  true,
+		HostID:      42,
+		Hostname:    "host-42",
+		IDC:         "idc-1",
+		Rack:        "r3",
+		Position:    12,
+		Device:      "hard drive",
+		Slot:        "s2",
+		Type:        "NotReady",
+		Time:        time.Date(2019, 2, 3, 4, 5, 6, 7, time.UTC),
+		Detail:      "spin-up failure",
+		ProductLine: "ads",
+		DeployTime:  time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		Model:       "WD4000FYYZ",
+	}
+	buf := enc.AppendReport(nil, &want)
+	kind, payload, _, err := DecodeFrame(buf)
+	if err != nil || kind != KindReport {
+		t.Fatalf("DecodeFrame: kind=%d err=%v", kind, err)
+	}
+	var got Report
+	if err := dec.DecodeReportInto(payload, &got); err != nil {
+		t.Fatalf("DecodeReportInto: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("report mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRowAckErrorEpochHelloRoundTrips(t *testing.T) {
+	enc := NewEncoder()
+	dec := NewDecoder()
+	tk := testTicket(3)
+	buf := enc.AppendRow(nil, 1234, &tk)
+	kind, payload, _, err := DecodeFrame(buf)
+	if err != nil || kind != KindRow {
+		t.Fatalf("row frame: kind=%d err=%v", kind, err)
+	}
+	var got fot.Ticket
+	row, err := dec.DecodeRowInto(payload, &got)
+	if err != nil || row != 1234 || !reflect.DeepEqual(got, tk) {
+		t.Fatalf("row decode: row=%d err=%v", row, err)
+	}
+
+	buf = AppendAck(nil, 99, true)
+	kind, payload, _, err = DecodeFrame(buf)
+	if err != nil || kind != KindAck {
+		t.Fatalf("ack frame: kind=%d err=%v", kind, err)
+	}
+	id, dup, err := DecodeAck(payload)
+	if err != nil || id != 99 || !dup {
+		t.Fatalf("ack decode: id=%d dup=%v err=%v", id, dup, err)
+	}
+
+	buf = AppendError(nil, "bad_request", "no such kind")
+	kind, payload, _, err = DecodeFrame(buf)
+	if err != nil || kind != KindError {
+		t.Fatalf("error frame: kind=%d err=%v", kind, err)
+	}
+	code, msg, err := DecodeError(payload)
+	if err != nil || code != "bad_request" || msg != "no such kind" {
+		t.Fatalf("error decode: %q %q %v", code, msg, err)
+	}
+
+	at := time.Date(2020, 6, 7, 8, 9, 10, 11, time.UTC)
+	buf = AppendEpoch(nil, 7, 290000, at)
+	kind, payload, _, err = DecodeFrame(buf)
+	if err != nil || kind != KindEpoch {
+		t.Fatalf("epoch frame: kind=%d err=%v", kind, err)
+	}
+	ep, rows, folded, err := DecodeEpoch(payload)
+	if err != nil || ep != 7 || rows != 290000 || !folded.Equal(at) {
+		t.Fatalf("epoch decode: %d %d %v %v", ep, rows, folded, err)
+	}
+
+	buf = AppendHello(nil, 3, 1000)
+	kind, payload, _, err = DecodeFrame(buf)
+	if err != nil || kind != KindHello {
+		t.Fatalf("hello frame: kind=%d err=%v", kind, err)
+	}
+	ep, rows, err = DecodeHello(payload)
+	if err != nil || ep != 3 || rows != 1000 {
+		t.Fatalf("hello decode: %d %d %v", ep, rows, err)
+	}
+}
+
+func TestDecodeFrameTypedErrors(t *testing.T) {
+	enc := NewEncoder()
+	tk := testTicket(0)
+	frame := enc.AppendTicket(nil, &tk)
+
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, _, err := DecodeFrame(frame[:cut])
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+
+	bad := bytes.Clone(frame)
+	bad[0] = 9
+	if _, _, _, err := DecodeFrame(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+
+	bad = bytes.Clone(frame)
+	binary.LittleEndian.PutUint32(bad[2:], MaxFrameBytes+1)
+	if _, _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+
+	bad = bytes.Clone(frame)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, _, err := DecodeFrame(bad); !errors.Is(err, ErrCRC) {
+		t.Fatalf("want ErrCRC, got %v", err)
+	}
+
+	// Trailing garbage inside a valid frame payload is ErrMalformed.
+	withJunk := NewEncoder().AppendTicket(nil, &tk)
+	withJunk = append(withJunk, 0xaa)
+	binary.LittleEndian.PutUint32(withJunk[2:], uint32(len(withJunk)-HeaderSize))
+	// recompute CRC over the padded payload
+	withJunk = sealFrame(withJunk, 0)
+	_, payload, _, err := DecodeFrame(withJunk)
+	if err != nil {
+		t.Fatalf("padded frame should pass CRC: %v", err)
+	}
+	if _, err := NewDecoder().DecodeTicket(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed on trailing bytes, got %v", err)
+	}
+}
+
+func TestFrameReaderStreamAndTornTail(t *testing.T) {
+	enc := NewEncoder()
+	var stream []byte
+	var want []fot.Ticket
+	for i := 0; i < 25; i++ {
+		tk := testTicket(i)
+		want = append(want, tk)
+		stream = enc.AppendTicket(stream, &tk)
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	dec := NewDecoder()
+	var got []fot.Ticket
+	for {
+		kind, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if kind != KindTicket {
+			t.Fatalf("kind=%d", kind)
+		}
+		tk, err := dec.DecodeTicket(payload)
+		if err != nil {
+			t.Fatalf("DecodeTicket: %v", err)
+		}
+		got = append(got, tk)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream round trip mismatch (%d vs %d tickets)", len(got), len(want))
+	}
+
+	// A stream cut mid-frame must surface ErrTruncated, not EOF.
+	for _, cut := range []int{len(stream) - 1, len(stream) - HeaderSize - 1, len(stream) - 3} {
+		fr := NewFrameReader(bytes.NewReader(stream[:cut]))
+		var err error
+		for {
+			_, _, err = fr.Next()
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestSteadyStateCodecDoesNotAllocate(t *testing.T) {
+	enc := NewEncoder()
+	dec := NewDecoder()
+	tk := testTicket(0)
+	buf := make([]byte, 0, 1024)
+	// Warm the symbol tables and the scratch ticket.
+	buf = enc.AppendTicket(buf[:0], &tk)
+	var out fot.Ticket
+	_, payload, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeTicketInto(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = enc.AppendTicket(buf[:0], &tk)
+		_, payload, _, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeTicketInto(payload, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state encode+decode allocates %.1f times per ticket; want 0", allocs)
+	}
+}
